@@ -1,0 +1,166 @@
+//! AST-level call graph, with reachability and cycle queries used by the
+//! well-formedness checks (paper §3.1, §4.2).
+
+use commset_lang::ast::{walk_expr, walk_stmts, Expr, ExprKind, Item, Program};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The call graph of a program: for each defined function, the set of
+/// program functions it calls directly (intrinsics are not nodes).
+#[derive(Debug, Clone, Default)]
+pub struct CallGraph {
+    /// Direct callees per function.
+    pub callees: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl CallGraph {
+    /// Builds the call graph of `program`.
+    pub fn new(program: &Program) -> Self {
+        let defined: BTreeSet<String> = program
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                Item::Func(f) => Some(f.name.clone()),
+                _ => None,
+            })
+            .collect();
+        let mut callees: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for item in &program.items {
+            let Item::Func(f) = item else { continue };
+            let mut out = BTreeSet::new();
+            let mut record = |e: &Expr| {
+                if let ExprKind::Call(name, _) = &e.kind {
+                    if defined.contains(name) {
+                        out.insert(name.clone());
+                    }
+                }
+            };
+            walk_stmts(&f.body, &mut |s| {
+                commset_lang::ast::stmt_exprs(s, &mut |e| walk_expr(e, &mut |x| record(x)));
+            });
+            callees.insert(f.name.clone(), out);
+        }
+        CallGraph { callees }
+    }
+
+    /// All functions transitively reachable from `from` (excluding `from`
+    /// itself unless it is reachable through a cycle).
+    pub fn reachable(&self, from: &str) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        let mut stack: Vec<&str> = self
+            .callees
+            .get(from)
+            .map(|s| s.iter().map(String::as_str).collect())
+            .unwrap_or_default();
+        while let Some(f) = stack.pop() {
+            if out.insert(f.to_string()) {
+                if let Some(cs) = self.callees.get(f) {
+                    stack.extend(cs.iter().map(String::as_str));
+                }
+            }
+        }
+        out
+    }
+
+    /// True if `from` can transitively call `to`.
+    pub fn calls_transitively(&self, from: &str, to: &str) -> bool {
+        self.reachable(from).contains(to)
+    }
+}
+
+/// Detects a cycle in an arbitrary name-keyed directed graph; returns one
+/// cycle's nodes if present.
+pub fn find_cycle(edges: &BTreeMap<String, BTreeSet<String>>) -> Option<Vec<String>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let mut marks: BTreeMap<&str, Mark> = edges.keys().map(|k| (k.as_str(), Mark::White)).collect();
+    // Ensure referenced-but-undeclared nodes exist.
+    for tos in edges.values() {
+        for t in tos {
+            marks.entry(t.as_str()).or_insert(Mark::White);
+        }
+    }
+    fn dfs<'a>(
+        n: &'a str,
+        edges: &'a BTreeMap<String, BTreeSet<String>>,
+        marks: &mut BTreeMap<&'a str, Mark>,
+        path: &mut Vec<&'a str>,
+    ) -> Option<Vec<String>> {
+        marks.insert(n, Mark::Grey);
+        path.push(n);
+        if let Some(tos) = edges.get(n) {
+            for t in tos {
+                match marks.get(t.as_str()).copied().unwrap_or(Mark::White) {
+                    Mark::Grey => {
+                        let start = path.iter().position(|p| *p == t).unwrap_or(0);
+                        return Some(path[start..].iter().map(|s| s.to_string()).collect());
+                    }
+                    Mark::White => {
+                        if let Some(c) = dfs(t, edges, marks, path) {
+                            return Some(c);
+                        }
+                    }
+                    Mark::Black => {}
+                }
+            }
+        }
+        marks.insert(n, Mark::Black);
+        path.pop();
+        None
+    }
+    let keys: Vec<&str> = marks.keys().copied().collect();
+    for k in keys {
+        if marks[k] == Mark::White {
+            let mut path = Vec::new();
+            if let Some(c) = dfs(k, edges, &mut marks, &mut path) {
+                return Some(c);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(src: &str) -> CallGraph {
+        let unit = commset_lang::compile_unit(src).unwrap();
+        CallGraph::new(&unit.program)
+    }
+
+    #[test]
+    fn direct_and_transitive_calls() {
+        let g = graph(
+            "extern void io(int x); int c() { io(1); return 0; } int b() { return c(); } int a() { return b(); } int main() { return a(); }",
+        );
+        assert!(g.callees["a"].contains("b"));
+        assert!(!g.callees["a"].contains("c"));
+        assert!(!g.callees["c"].contains("io"), "intrinsics are not nodes");
+        assert!(g.calls_transitively("a", "c"));
+        assert!(g.calls_transitively("main", "c"));
+        assert!(!g.calls_transitively("c", "a"));
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let mut edges: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        edges.insert("x".into(), ["y".to_string()].into());
+        edges.insert("y".into(), ["z".to_string()].into());
+        edges.insert("z".into(), BTreeSet::new());
+        assert!(find_cycle(&edges).is_none());
+        edges.get_mut("z").unwrap().insert("x".into());
+        let cycle = find_cycle(&edges).unwrap();
+        assert_eq!(cycle.len(), 3);
+    }
+
+    #[test]
+    fn self_cycle_found() {
+        let mut edges: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        edges.insert("r".into(), ["r".to_string()].into());
+        assert_eq!(find_cycle(&edges).unwrap(), vec!["r".to_string()]);
+    }
+}

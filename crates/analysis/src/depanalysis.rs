@@ -1,0 +1,477 @@
+//! Algorithm 1 of the paper: *CommSetDepAnalysis*.
+//!
+//! For every memory dependence edge whose endpoints are calls to functions
+//! sharing a CommSet, the edge is annotated:
+//!
+//! * `uco` — unconditionally commutative — when the shared set is
+//!   unpredicated, when an intra-iteration predicate is proven true, or
+//!   when a loop-carried predicate is proven true *and* the destination
+//!   dominates the source (lines 23–27);
+//! * `ico` — inter-iteration commutative — when a loop-carried predicate
+//!   is proven true but the dominance condition fails (the edge then only
+//!   constrains intra-iteration order).
+//!
+//! Predicates are proven by the symbolic interpreter under the assertion
+//! that induction-variable bindings differ on separate iterations
+//! (`Assert(i1 != i2)`, line 22) and that loop-invariant bindings agree.
+
+use crate::hotloop::HotLoop;
+use crate::metadata::ManagedUnit;
+use crate::pdg::{DepKind, Pdg};
+use crate::symex::{self, Rel, Tri};
+use commset_lang::ast::{BinOp, Expr, ExprKind};
+use std::collections::BTreeSet;
+
+pub use crate::pdg::CommAnnotation;
+
+/// Runs Algorithm 1 over `pdg`, annotating memory edges in place.
+///
+/// Returns the number of edges annotated.
+pub fn analyze_commutativity(pdg: &mut Pdg, managed: &ManagedUnit, hot: &HotLoop) -> usize {
+    // Loop-invariant scalars: never written by any body statement.
+    let written: BTreeSet<&String> = hot.body.iter().flat_map(|s| &s.reg_writes).collect();
+    let iv = hot.shape.iv();
+    let mut annotated = 0;
+
+    for edge in &mut pdg.edges {
+        let DepKind::Memory {
+            src_call: Some(src_call),
+            dst_call: Some(dst_call),
+            ..
+        } = &edge.kind
+        else {
+            continue;
+        };
+        let f = &src_call.callee;
+        let g = &dst_call.callee;
+        let mut best: Option<CommAnnotation> = None;
+        for set_id in managed.common_sets(f, g) {
+            let set = managed.set(set_id);
+            let ann = match &set.predicate {
+                None => Some(CommAnnotation::Uco),
+                Some(pred) => {
+                    // Bind actuals (lines 13–20).
+                    let mf = managed
+                        .memberships_of(f)
+                        .into_iter()
+                        .find(|m| m.set == set_id)
+                        .expect("membership exists");
+                    let mg = managed
+                        .memberships_of(g)
+                        .into_iter()
+                        .find(|m| m.set == set_id)
+                        .expect("membership exists");
+                    let args_f: Vec<&Expr> = mf
+                        .arg_params
+                        .iter()
+                        .filter_map(|&i| src_call.args.get(i))
+                        .collect();
+                    let args_g: Vec<&Expr> = mg
+                        .arg_params
+                        .iter()
+                        .filter_map(|&i| dst_call.args.get(i))
+                        .collect();
+                    if args_f.len() != pred.params1.len() || args_g.len() != pred.params1.len() {
+                        None
+                    } else {
+                        let rels: Vec<Rel> = args_f
+                            .iter()
+                            .zip(&args_g)
+                            .map(|(a, b)| relation(a, b, edge.carried, iv, &written))
+                            .collect();
+                        match symex::prove(pred, &rels) {
+                            Tri::True => {
+                                if edge.carried {
+                                    // Dominance at statement level: with no
+                                    // top-level break (checked by hotloop),
+                                    // an earlier statement dominates every
+                                    // later one. dst dominates src iff
+                                    // pos(dst) <= pos(src).
+                                    if edge.dst.0 <= edge.src.0 {
+                                        Some(CommAnnotation::Uco)
+                                    } else {
+                                        Some(CommAnnotation::Ico)
+                                    }
+                                } else {
+                                    Some(CommAnnotation::Uco)
+                                }
+                            }
+                            _ => None,
+                        }
+                    }
+                }
+            };
+            best = match (best, ann) {
+                (_, Some(CommAnnotation::Uco)) => Some(CommAnnotation::Uco),
+                (Some(CommAnnotation::Uco), _) => Some(CommAnnotation::Uco),
+                (None, a) => a,
+                (b, None) => b,
+                (Some(CommAnnotation::Ico), Some(CommAnnotation::Ico)) => {
+                    Some(CommAnnotation::Ico)
+                }
+            };
+            if best == Some(CommAnnotation::Uco) {
+                break;
+            }
+        }
+        if best.is_some() {
+            edge.comm = best;
+            annotated += 1;
+        }
+    }
+    annotated
+}
+
+/// Decomposes an instance actual into the affine form `var + offset`
+/// (`var` absent for pure literals); `None` for anything richer.
+fn affine_of(e: &Expr) -> Option<(Option<&String>, i64)> {
+    match &e.kind {
+        ExprKind::IntLit(v) => Some((None, *v)),
+        ExprKind::Var(x) => Some((Some(x), 0)),
+        ExprKind::Binary(op @ (BinOp::Add | BinOp::Sub), a, b) => {
+            let sign = if *op == BinOp::Sub { -1 } else { 1 };
+            match (&a.kind, &b.kind) {
+                (ExprKind::Var(x), ExprKind::IntLit(c)) => Some((Some(x), sign * c)),
+                (ExprKind::IntLit(c), ExprKind::Var(x)) if *op == BinOp::Add => Some((Some(x), *c)),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Derives the relation between two predicate actuals for one edge.
+///
+/// Actuals are first normalized to affine forms `var + offset`:
+///
+/// * Loop-carried, both based on the induction variable with the *same*
+///   offset → `Ne` (line 22; `i + 1` differs across iterations exactly
+///   when `i` does).
+/// * Both based on the same loop-invariant scalar → that scalar's value
+///   is fixed, so equal offsets give `Eq` and distinct offsets give `Ne`.
+/// * Equal integer literals → `Eq`; distinct literals → `Ne`.
+/// * Anything else → `Unknown`.
+fn relation(
+    a: &Expr,
+    b: &Expr,
+    carried: bool,
+    iv: Option<&str>,
+    written: &BTreeSet<&String>,
+) -> Rel {
+    let (Some((va, oa)), Some((vb, ob))) = (affine_of(a), affine_of(b)) else {
+        return Rel::Unknown;
+    };
+    match (va, vb) {
+        (None, None) => {
+            if oa == ob {
+                Rel::Eq
+            } else {
+                Rel::Ne
+            }
+        }
+        (Some(x), Some(y)) if x == y => {
+            let base = if Some(x.as_str()) == iv {
+                if carried {
+                    Rel::Ne
+                } else {
+                    Rel::Eq
+                }
+            } else if !written.contains(x) {
+                // Loop-invariant: equal across iterations too.
+                Rel::Eq
+            } else {
+                // Rewritten in the loop body: nothing is known, whether the
+                // edge is carried or not.
+                Rel::Unknown
+            };
+            match (base, oa == ob) {
+                (Rel::Eq, true) => Rel::Eq,
+                (Rel::Eq, false) => Rel::Ne,
+                (Rel::Ne, true) => Rel::Ne,
+                // x1 + c1 vs x2 + c2 with x1 != x2 and c1 != c2: the sums
+                // may still collide (e.g. x1=1,c1=2 vs x2=2,c2=1).
+                (Rel::Ne, false) => Rel::Unknown,
+                (Rel::Unknown, _) => Rel::Unknown,
+            }
+        }
+        _ => Rel::Unknown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::effects::summarize;
+    use crate::hotloop::find_hot_loop;
+    use crate::metadata::manage;
+    use commset_ir::IntrinsicTable;
+    use commset_lang::ast::Type;
+
+    fn pipeline(src: &str) -> (Pdg, usize) {
+        let mut table = IntrinsicTable::new();
+        table.register("fs_open", vec![Type::Int], Type::Handle, &[], &["FS"], 50);
+        table.register("fs_close", vec![Type::Handle], Type::Void, &[], &["FS"], 30);
+        table.register("compute", vec![Type::Handle], Type::Int, &[], &[], 500);
+        table.register(
+            "print_digest",
+            vec![Type::Int],
+            Type::Void,
+            &[],
+            &["CONSOLE"],
+            40,
+        );
+        table.register("rng", vec![], Type::Int, &["SEED"], &["SEED"], 10);
+        let unit = commset_lang::compile_unit(src).unwrap();
+        let managed = manage(unit).unwrap();
+        let summaries = summarize(&managed.program, &table);
+        let hot = find_hot_loop(&managed, &summaries, &table, "main").unwrap();
+        let mut pdg = Pdg::build(&hot);
+        let n = analyze_commutativity(&mut pdg, &managed, &hot);
+        (pdg, n)
+    }
+
+    const MD5_LIKE: &str = r#"
+        #pragma CommSetDecl(FSET, Group)
+        #pragma CommSetPredicate(FSET, (i1), (i2), i1 != i2)
+        extern handle fs_open(int idx);
+        extern void fs_close(handle fp);
+        extern int compute(handle fp);
+        extern void print_digest(int d);
+        int main() {
+            int n = 10;
+            for (int i = 0; i < n; i = i + 1) {
+                handle fp = handle(0);
+                #pragma CommSet(SELF, FSET(i))
+                { fp = fs_open(i); }
+                int d = compute(fp);
+                #pragma CommSet(SELF, FSET(i))
+                { print_digest(d); }
+                #pragma CommSet(SELF, FSET(i))
+                { fs_close(fp); }
+            }
+            return 0;
+        }
+    "#;
+
+    #[test]
+    fn md5_like_loop_becomes_doall_legal() {
+        let (pdg, n) = pipeline(MD5_LIKE);
+        assert!(n > 0);
+        assert!(
+            pdg.doall_legal(),
+            "all carried memory deps must be relaxed:\n{}",
+            pdg.dump()
+        );
+        // Intra-iteration FS edges must survive (fopen before fclose within
+        // an iteration).
+        let intra_mem = pdg
+            .edges
+            .iter()
+            .any(|e| !e.carried && matches!(e.kind, DepKind::Memory { .. }) && e.effective_intra());
+        assert!(intra_mem, "{}", pdg.dump());
+    }
+
+    #[test]
+    fn self_unpredicated_relaxes_rng() {
+        let (pdg, _) = pipeline(
+            r#"
+            extern int rng();
+            int main() {
+                int n = 10;
+                for (int i = 0; i < n; i = i + 1) {
+                    int v = 0;
+                    #pragma CommSet(SELF)
+                    { v = rng(); }
+                }
+                return 0;
+            }
+            "#,
+        );
+        assert!(pdg.doall_legal(), "{}", pdg.dump());
+    }
+
+    #[test]
+    fn without_annotations_nothing_is_relaxed() {
+        let (pdg, n) = pipeline(
+            r#"
+            extern int rng();
+            int main() {
+                int n = 10;
+                for (int i = 0; i < n; i = i + 1) {
+                    int v = rng();
+                }
+                return 0;
+            }
+            "#,
+        );
+        assert_eq!(n, 0);
+        assert!(!pdg.doall_legal());
+    }
+
+    #[test]
+    fn forward_carried_edges_become_ico_not_uco() {
+        let (pdg, _) = pipeline(MD5_LIKE);
+        // fopen (S1) -> fclose (S4) carried: dst is later -> ico.
+        // fclose (S4) -> fopen (S1) carried: dst earlier (dominates) -> uco.
+        let mut saw_ico = false;
+        let mut saw_uco = false;
+        for e in &pdg.edges {
+            if !e.carried {
+                continue;
+            }
+            if let DepKind::Memory { loc, .. } = &e.kind {
+                if format!("{loc}").contains("FS") {
+                    match e.comm {
+                        Some(CommAnnotation::Ico) => {
+                            assert!(e.src.0 < e.dst.0, "ico edges point forward");
+                            saw_ico = true;
+                        }
+                        Some(CommAnnotation::Uco) => {
+                            if e.src != e.dst {
+                                assert!(e.dst.0 <= e.src.0, "uco carried edges point backward");
+                            }
+                            saw_uco = true;
+                        }
+                        None => {}
+                    }
+                }
+            }
+        }
+        assert!(saw_ico && saw_uco, "{}", pdg.dump());
+    }
+
+    #[test]
+    fn relation_handles_affine_actuals() {
+        use commset_lang::parser::parse_expr;
+        let e = |s: &str| parse_expr(s).unwrap();
+        let written: BTreeSet<&String> = BTreeSet::new();
+        let iv = Some("i");
+        // Same iv + same offset: distinct across iterations.
+        assert_eq!(relation(&e("i + 1"), &e("i + 1"), true, iv, &written), Rel::Ne);
+        assert_eq!(relation(&e("i - 2"), &e("i - 2"), true, iv, &written), Rel::Ne);
+        assert_eq!(relation(&e("1 + i"), &e("i + 1"), true, iv, &written), Rel::Ne);
+        // Same iv + different offsets, carried: may collide across
+        // iterations (i1 + 1 == i2 when i2 = i1 + 1).
+        assert_eq!(relation(&e("i"), &e("i + 1"), true, iv, &written), Rel::Unknown);
+        // ... but within one iteration the offset decides.
+        assert_eq!(relation(&e("i"), &e("i + 1"), false, iv, &written), Rel::Ne);
+        assert_eq!(relation(&e("i + 3"), &e("i + 3"), false, iv, &written), Rel::Eq);
+        // Loop-invariant base: fixed value, offsets decide in all cases.
+        let k = "k".to_string();
+        let inv: BTreeSet<&String> = BTreeSet::new();
+        assert_eq!(relation(&e("k"), &e("k + 1"), true, iv, &inv), Rel::Ne);
+        assert_eq!(relation(&e("k + 2"), &e("k + 2"), true, iv, &inv), Rel::Eq);
+        // Rewritten base: nothing is known.
+        let w: BTreeSet<&String> = [&k].into_iter().collect();
+        assert_eq!(relation(&e("k + 1"), &e("k + 1"), false, iv, &w), Rel::Unknown);
+        // Literals.
+        assert_eq!(relation(&e("3"), &e("4"), true, iv, &written), Rel::Ne);
+        assert_eq!(relation(&e("5"), &e("5"), true, iv, &written), Rel::Eq);
+        // Non-affine forms stay unknown.
+        assert_eq!(relation(&e("i * 2"), &e("i * 2"), true, iv, &written), Rel::Unknown);
+    }
+
+    mod relation_soundness {
+        use super::super::*;
+        use commset_lang::ast::Expr;
+        use proptest::prelude::*;
+
+        #[derive(Debug, Clone, Copy)]
+        enum Base {
+            /// The induction variable `i`.
+            Iv,
+            /// A loop-invariant scalar `k`.
+            Inv,
+            /// A literal.
+            Lit(i64),
+        }
+
+        fn expr_of(base: Base, off: i64) -> Expr {
+            let leaf = match base {
+                Base::Iv => Expr::var("i".to_string()),
+                Base::Inv => Expr::var("k".to_string()),
+                // Cmm has no negative literals; fold the offset in.
+                Base::Lit(v) => return Expr::int((v + off).max(0)),
+            };
+            match off.cmp(&0) {
+                std::cmp::Ordering::Equal => leaf,
+                std::cmp::Ordering::Greater => Expr::new(
+                    ExprKind::Binary(BinOp::Add, Box::new(leaf), Box::new(Expr::int(off))),
+                    Default::default(),
+                ),
+                std::cmp::Ordering::Less => Expr::new(
+                    ExprKind::Binary(BinOp::Sub, Box::new(leaf), Box::new(Expr::int(-off))),
+                    Default::default(),
+                ),
+            }
+        }
+
+        fn value_of(base: Base, off: i64, i: i64, k: i64) -> i64 {
+            match base {
+                Base::Iv => i + off,
+                Base::Inv => k + off,
+                Base::Lit(v) => (v + off).max(0),
+            }
+        }
+
+        fn arb_base() -> impl Strategy<Value = Base> {
+            prop_oneof![
+                Just(Base::Iv),
+                Just(Base::Inv),
+                (0i64..20).prop_map(Base::Lit),
+            ]
+        }
+
+        proptest! {
+            /// `relation()`'s `Eq`/`Ne` claims must hold for every concrete
+            /// valuation consistent with the edge: loop-invariant `k` and
+            /// same-iteration `i` agree across both bindings; carried edges
+            /// bind `i` to two *different* iterations.
+            #[test]
+            fn claims_hold_on_concrete_valuations(
+                base_a in arb_base(), off_a in -5i64..6,
+                base_b in arb_base(), off_b in -5i64..6,
+                carried in any::<bool>(),
+                i1 in -50i64..50, delta in 1i64..100, k in -50i64..50,
+            ) {
+                let ea = expr_of(base_a, off_a);
+                let eb = expr_of(base_b, off_b);
+                let written: BTreeSet<&String> = BTreeSet::new();
+                let rel = relation(&ea, &eb, carried, Some("i"), &written);
+                let i2 = if carried { i1 + delta } else { i1 };
+                let va = value_of(base_a, off_a, i1, k);
+                let vb = value_of(base_b, off_b, i2, k);
+                match rel {
+                    Rel::Eq => prop_assert_eq!(va, vb, "claimed Eq"),
+                    Rel::Ne => prop_assert_ne!(va, vb, "claimed Ne"),
+                    Rel::Unknown => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn predicate_on_invariant_var_relaxes_nothing_across_iterations() {
+        // Predicating on a loop-invariant variable makes the predicate
+        // `k != k` = false across iterations: no relaxation.
+        let (pdg, n) = pipeline(
+            r#"
+            #pragma CommSetDecl(S, Self)
+            #pragma CommSetPredicate(S, (a), (b), a != b)
+            extern int rng();
+            int main() {
+                int n = 10;
+                int k = 3;
+                for (int i = 0; i < n; i = i + 1) {
+                    int v = 0;
+                    #pragma CommSet(S(k))
+                    { v = rng(); }
+                }
+                return 0;
+            }
+            "#,
+        );
+        assert_eq!(n, 0, "{}", pdg.dump());
+        assert!(!pdg.doall_legal());
+    }
+}

@@ -1,0 +1,352 @@
+//! Per-function side-effect summaries over abstract memory locations.
+//!
+//! Shared mutable state in Cmm is reachable only through globals and
+//! intrinsic channels, so a function's memory footprint is the union of its
+//! direct global accesses, its intrinsics' declared channels, and its
+//! callees' footprints — a simple fixpoint over the call graph.
+
+use commset_lang::ast::*;
+use commset_ir::IntrinsicTable;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// An abstract memory location visible across function boundaries.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Location {
+    /// An intrinsic effect channel, by name (e.g. `FS`, `RNG_SEED`).
+    Channel(String),
+    /// A global scalar.
+    Global(String),
+    /// A global array (treated as one location).
+    GlobalArray(String),
+    /// A local array of the function under analysis (only meaningful within
+    /// one function; never escapes a summary).
+    LocalArray(String),
+}
+
+impl std::fmt::Display for Location {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Location::Channel(c) => write!(f, "channel {c}"),
+            Location::Global(g) => write!(f, "global {g}"),
+            Location::GlobalArray(g) => write!(f, "global array {g}"),
+            Location::LocalArray(a) => write!(f, "array {a}"),
+        }
+    }
+}
+
+/// Read/write footprint of a function.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FuncEffects {
+    /// Locations possibly read.
+    pub reads: BTreeSet<Location>,
+    /// Locations possibly written.
+    pub writes: BTreeSet<Location>,
+}
+
+impl FuncEffects {
+    /// True if the function touches no shared location.
+    pub fn is_pure(&self) -> bool {
+        self.reads.is_empty() && self.writes.is_empty()
+    }
+
+    fn absorb(&mut self, other: &FuncEffects) -> bool {
+        let before = (self.reads.len(), self.writes.len());
+        self.reads.extend(other.reads.iter().cloned());
+        self.writes.extend(other.writes.iter().cloned());
+        before != (self.reads.len(), self.writes.len())
+    }
+}
+
+/// Computes summaries for every function in `program`.
+///
+/// Unknown callees (neither program functions nor registered intrinsics)
+/// are treated as touching the conservative `WORLD` channel.
+pub fn summarize(
+    program: &Program,
+    intrinsics: &IntrinsicTable,
+) -> HashMap<String, FuncEffects> {
+    let globals: HashMap<String, bool> = program
+        .items
+        .iter()
+        .filter_map(|i| match i {
+            Item::Global(g) => Some((g.name.clone(), g.array_len.is_some())),
+            _ => None,
+        })
+        .collect();
+    let extern_names: BTreeSet<String> = program
+        .items
+        .iter()
+        .filter_map(|i| match i {
+            Item::Extern(e) => Some(e.name.clone()),
+            _ => None,
+        })
+        .collect();
+    let mut direct: BTreeMap<String, FuncEffects> = BTreeMap::new();
+    let mut calls: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for item in &program.items {
+        let Item::Func(f) = item else { continue };
+        let mut fx = FuncEffects::default();
+        let mut callees = BTreeSet::new();
+        // Names declared locally shadow globals.
+        let mut locals: BTreeSet<String> = f.params.iter().map(|p| p.name.clone()).collect();
+        walk_stmts(&f.body, &mut |s| {
+            if let StmtKind::VarDecl { name, .. } = &s.kind {
+                locals.insert(name.clone());
+            }
+        });
+        walk_stmts(&f.body, &mut |s| {
+            if let StmtKind::Assign { target, .. } = &s.kind {
+                match target {
+                    LValue::Var(n, _) => {
+                        if !locals.contains(n) && globals.contains_key(n) {
+                            fx.writes.insert(Location::Global(n.clone()));
+                        }
+                    }
+                    LValue::Index(n, _, _) => {
+                        if !locals.contains(n) && globals.contains_key(n) {
+                            fx.writes.insert(Location::GlobalArray(n.clone()));
+                        }
+                    }
+                }
+            }
+            stmt_exprs(s, &mut |e| {
+                walk_expr(e, &mut |x| match &x.kind {
+                    ExprKind::Var(n)
+                        if !locals.contains(n) && globals.contains_key(n) => {
+                            fx.reads.insert(Location::Global(n.clone()));
+                        }
+                    ExprKind::Index(n, _)
+                        if !locals.contains(n) && globals.contains_key(n) => {
+                            fx.reads.insert(Location::GlobalArray(n.clone()));
+                        }
+                    ExprKind::Call(n, _) => {
+                        callees.insert(n.clone());
+                    }
+                    _ => {}
+                });
+            });
+        });
+        calls.insert(f.name.clone(), callees);
+        direct.insert(f.name.clone(), fx);
+    }
+    // Seed intrinsic effects into each caller's direct footprint.
+    let mut summaries: HashMap<String, FuncEffects> = direct.clone().into_iter().collect();
+    for (fname, callees) in &calls {
+        let fx = summaries.get_mut(fname).unwrap();
+        for c in callees {
+            if direct.contains_key(c) {
+                continue; // program function: handled by the fixpoint
+            }
+            match intrinsics.lookup(c) {
+                Some((_, sig)) => {
+                    for ch in &sig.reads {
+                        fx.reads
+                            .insert(Location::Channel(intrinsics.channels.name(*ch).to_string()));
+                    }
+                    for ch in &sig.writes {
+                        fx.writes
+                            .insert(Location::Channel(intrinsics.channels.name(*ch).to_string()));
+                    }
+                }
+                None if extern_names.contains(c) => {
+                    // Extern without a registration: conservative.
+                    fx.reads.insert(Location::Channel("WORLD".to_string()));
+                    fx.writes.insert(Location::Channel("WORLD".to_string()));
+                }
+                None => {
+                    // Call to an undefined name; sema rejects this, but stay
+                    // conservative for robustness.
+                    fx.reads.insert(Location::Channel("WORLD".to_string()));
+                    fx.writes.insert(Location::Channel("WORLD".to_string()));
+                }
+            }
+        }
+    }
+    // Fixpoint over program-function calls.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        let names: Vec<String> = calls.keys().cloned().collect();
+        for fname in &names {
+            let callee_fx: Vec<FuncEffects> = calls[fname]
+                .iter()
+                .filter_map(|c| summaries.get(c).cloned())
+                .collect();
+            let fx = summaries.get_mut(fname).unwrap();
+            for cfx in &callee_fx {
+                if fx.absorb(cfx) {
+                    changed = true;
+                }
+            }
+        }
+    }
+    summaries
+}
+
+/// Functions whose return value is always a *fresh* instance handle — the
+/// allocation-site freshness the paper's dependence analysis exploits for
+/// per-iteration allocations (456.hmmer's matrices, md5sum's streams).
+///
+/// A function qualifies when every `return e;` returns either a direct
+/// call to a fresh intrinsic/function, or a variable whose only
+/// assignments in the body are such calls. Computed as a fixpoint so
+/// outlined regions wrapping allocators qualify too.
+pub fn fresh_functions(program: &Program, intrinsics: &IntrinsicTable) -> BTreeSet<String> {
+    let mut fresh: BTreeSet<String> = BTreeSet::new();
+    loop {
+        let mut changed = false;
+        for item in &program.items {
+            let Item::Func(f) = item else { continue };
+            if fresh.contains(&f.name) {
+                continue;
+            }
+            if function_returns_fresh(f, intrinsics, &fresh) {
+                fresh.insert(f.name.clone());
+                changed = true;
+            }
+        }
+        if !changed {
+            return fresh;
+        }
+    }
+}
+
+fn call_is_fresh(name: &str, intrinsics: &IntrinsicTable, fresh: &BTreeSet<String>) -> bool {
+    intrinsics.is_fresh_handle(name) || fresh.contains(name)
+}
+
+fn function_returns_fresh(
+    f: &commset_lang::ast::FuncDecl,
+    intrinsics: &IntrinsicTable,
+    fresh: &BTreeSet<String>,
+) -> bool {
+    let mut returns = 0usize;
+    let mut all_fresh = true;
+    walk_stmts(&f.body, &mut |s| {
+        if let StmtKind::Return(Some(e)) = &s.kind {
+            returns += 1;
+            let ok = match &e.kind {
+                ExprKind::Call(name, _) => call_is_fresh(name, intrinsics, fresh),
+                ExprKind::Var(v) => var_only_assigned_fresh(f, v, intrinsics, fresh),
+                _ => false,
+            };
+            all_fresh &= ok;
+        }
+    });
+    returns > 0 && all_fresh
+}
+
+fn var_only_assigned_fresh(
+    f: &commset_lang::ast::FuncDecl,
+    v: &str,
+    intrinsics: &IntrinsicTable,
+    fresh: &BTreeSet<String>,
+) -> bool {
+    let mut writes = 0usize;
+    let mut all_fresh = true;
+    walk_stmts(&f.body, &mut |s| match &s.kind {
+        StmtKind::Assign { target, value, .. } if target.name() == v => {
+            writes += 1;
+            all_fresh &= matches!(&value.kind, ExprKind::Call(n, _) if call_is_fresh(n, intrinsics, fresh));
+        }
+        StmtKind::VarDecl {
+            name,
+            init: Some(init),
+            ..
+        } if name == v => {
+            writes += 1;
+            all_fresh &= matches!(&init.kind, ExprKind::Call(n, _) if call_is_fresh(n, intrinsics, fresh));
+        }
+        _ => {}
+    });
+    writes > 0 && all_fresh
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commset_lang::ast::Type;
+
+    #[test]
+    fn fresh_function_summary_propagates_through_wrappers() {
+        let mut t = IntrinsicTable::new();
+        t.register("alloc", vec![Type::Int], Type::Handle, &[], &["MAT"], 10);
+        t.mark_fresh_handle("alloc");
+        t.register("reuse", vec![], Type::Handle, &["MAT"], &[], 10);
+        let unit = commset_lang::compile_unit(
+            r#"
+            extern handle alloc(int n);
+            extern handle reuse();
+            handle wrap(int n) { handle m = alloc(n); return m; }
+            handle wrap2(int n) { return wrap(n); }
+            handle not_fresh() { return reuse(); }
+            handle mixed(int n) { handle m = alloc(n); m = reuse(); return m; }
+            int main() { return 0; }
+            "#,
+        )
+        .unwrap();
+        let fresh = fresh_functions(&unit.program, &t);
+        assert!(fresh.contains("wrap"));
+        assert!(fresh.contains("wrap2"), "fixpoint through wrappers");
+        assert!(!fresh.contains("not_fresh"));
+        assert!(!fresh.contains("mixed"), "a non-fresh assignment disqualifies");
+        assert!(!fresh.contains("main"));
+    }
+
+    fn table() -> IntrinsicTable {
+        let mut t = IntrinsicTable::new();
+        t.register("rng_next", vec![], Type::Int, &["SEED"], &["SEED"], 10);
+        t.register("print_val", vec![Type::Int], Type::Void, &[], &["CONSOLE"], 5);
+        t
+    }
+
+    fn summ(src: &str) -> HashMap<String, FuncEffects> {
+        let unit = commset_lang::compile_unit(src).unwrap();
+        summarize(&unit.program, &table())
+    }
+
+    #[test]
+    fn direct_global_effects() {
+        let s = summ("int g; int main() { g = g + 1; return g; }");
+        let m = &s["main"];
+        assert!(m.reads.contains(&Location::Global("g".into())));
+        assert!(m.writes.contains(&Location::Global("g".into())));
+    }
+
+    #[test]
+    fn locals_shadow_globals() {
+        let s = summ("int g; int main() { int g = 1; g = 2; return g; }");
+        assert!(s["main"].is_pure());
+    }
+
+    #[test]
+    fn intrinsic_channels_flow_to_callers() {
+        let s = summ(
+            "extern int rng_next(); int helper() { return rng_next(); } int main() { return helper(); }",
+        );
+        assert!(s["helper"].writes.contains(&Location::Channel("SEED".into())));
+        assert!(s["main"].writes.contains(&Location::Channel("SEED".into())));
+    }
+
+    #[test]
+    fn fixpoint_handles_recursion() {
+        let s = summ(
+            "int g; int f(int n) { if (n > 0) { g = g + 1; return f(n - 1); } return 0; } int main() { return f(3); }",
+        );
+        assert!(s["f"].writes.contains(&Location::Global("g".into())));
+        assert!(s["main"].writes.contains(&Location::Global("g".into())));
+    }
+
+    #[test]
+    fn unregistered_extern_is_conservative() {
+        let s = summ("extern void mystery(); int main() { mystery(); return 0; }");
+        assert!(s["main"].writes.contains(&Location::Channel("WORLD".into())));
+    }
+
+    #[test]
+    fn global_arrays_are_one_location() {
+        let s = summ("int a[8]; int main() { a[0] = 1; return a[1]; }");
+        assert!(s["main"].writes.contains(&Location::GlobalArray("a".into())));
+        assert!(s["main"].reads.contains(&Location::GlobalArray("a".into())));
+    }
+}

@@ -1,0 +1,38 @@
+//! # commset-analysis
+//!
+//! The COMMSET compiler middle end (paper §4.2–§4.4):
+//!
+//! * [`callgraph`] — AST-level call graph with reachability and cycle
+//!   queries.
+//! * [`metadata`] — the *CommSet Metadata Manager*: inlines call paths that
+//!   enable named optional blocks, outlines commutative regions into their
+//!   own functions (post-order, so nesting works), and checks whole-program
+//!   *well-formedness* (no transitive calls between members of one set, no
+//!   cycle in the CommSet graph).
+//! * [`effects`] — per-function side-effect summaries over abstract memory
+//!   locations (intrinsic channels, globals, local arrays), computed as a
+//!   fixpoint over the call graph.
+//! * [`hotloop`] — locates the parallelization target loop and computes
+//!   per-statement read/write sets.
+//! * [`pdg`] — the statement-level Program Dependence Graph with register,
+//!   memory and control dependences, and loop-carried classification.
+//! * [`symex`] — the symbolic interpreter that proves `CommSetPredicate`s
+//!   always-true under induction-variable assertions.
+//! * [`depanalysis`] — Algorithm 1: annotating PDG memory edges as
+//!   unconditionally (`uco`) or inter-iteration (`ico`) commutative.
+//! * [`scc`] — Tarjan SCCs over the (relaxed) PDG and the DAG-SCC used by
+//!   the DSWP transform family.
+
+pub mod callgraph;
+pub mod depanalysis;
+pub mod effects;
+pub mod hotloop;
+pub mod metadata;
+pub mod pdg;
+pub mod scc;
+pub mod symex;
+
+pub use depanalysis::{analyze_commutativity, CommAnnotation};
+pub use hotloop::{HotLoop, LoopShape};
+pub use metadata::{manage, ManagedUnit};
+pub use pdg::{DepKind, Location, NodeId, Pdg, PdgEdge};

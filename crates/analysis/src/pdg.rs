@@ -1,0 +1,618 @@
+//! The statement-level Program Dependence Graph (paper §2 Figure 2, §4.3).
+//!
+//! Nodes are the loop condition plus the top-level statements of the
+//! hot-loop body; edges are register flow dependences, memory dependences
+//! (with call attribution for Algorithm 1) and control dependences, each
+//! classified as intra-iteration or loop-carried.
+//!
+//! Privatization convention: every parallel execution context owns a
+//! private copy of scalar locals, so register *anti* and *output*
+//! dependences never constrain the transforms and are not represented —
+//! only flow dependences (including loop-carried ones) are.
+
+pub use crate::effects::Location;
+use crate::hotloop::{CallRef, HotLoop};
+use commset_lang::token::Span;
+use std::collections::BTreeSet;
+
+/// Index of a PDG node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// What a node represents.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeKind {
+    /// The loop condition / control header.
+    Condition,
+    /// The i-th top-level body statement.
+    Stmt(usize),
+}
+
+/// A PDG node.
+#[derive(Debug, Clone)]
+pub struct PdgNode {
+    /// The node id (Condition is always node 0).
+    pub id: NodeId,
+    /// Condition or statement.
+    pub kind: NodeKind,
+    /// Printable label (`COND`, `S0`, `S1`, ...).
+    pub label: String,
+    /// Source location.
+    pub span: Span,
+    /// Profile weight (1 for the condition).
+    pub weight: u64,
+}
+
+/// The dependence kind of an edge.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DepKind {
+    /// Register flow dependence on a scalar local.
+    RegFlow(String),
+    /// Memory dependence on an abstract location, with the responsible
+    /// calls when attributable.
+    Memory {
+        /// The conflicting location.
+        loc: Location,
+        /// Call producing the source access (None = direct access).
+        src_call: Option<CallRef>,
+        /// Call producing the destination access.
+        dst_call: Option<CallRef>,
+    },
+    /// Control dependence (from the condition node).
+    Control,
+}
+
+/// Commutativity annotation produced by Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommAnnotation {
+    /// Unconditionally commutative: the edge can be ignored entirely.
+    Uco,
+    /// Inter-iteration commutative: treat as an intra-iteration edge.
+    Ico,
+}
+
+/// A PDG edge.
+#[derive(Debug, Clone)]
+pub struct PdgEdge {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Kind of dependence.
+    pub kind: DepKind,
+    /// True for loop-carried edges.
+    pub carried: bool,
+    /// True for the induction-variable update cycle (handled specially by
+    /// every transform: each context privatizes the IV).
+    pub induction: bool,
+    /// Algorithm 1 annotation, if any.
+    pub comm: Option<CommAnnotation>,
+}
+
+impl PdgEdge {
+    /// True if this edge still constrains parallelization after
+    /// relaxation: `uco` edges don't, `ico` edges only constrain
+    /// intra-iteration order.
+    pub fn effective_carried(&self) -> bool {
+        self.carried && self.comm.is_none() && !self.induction
+    }
+
+    /// True if the edge constrains intra-iteration order (after
+    /// relaxation).
+    pub fn effective_intra(&self) -> bool {
+        match self.comm {
+            Some(CommAnnotation::Uco) => false,
+            Some(CommAnnotation::Ico) => true,
+            None => !self.induction,
+        }
+    }
+}
+
+/// The statement-level PDG of a hot loop.
+#[derive(Debug, Clone)]
+pub struct Pdg {
+    /// Nodes; node 0 is the condition.
+    pub nodes: Vec<PdgNode>,
+    /// All edges.
+    pub edges: Vec<PdgEdge>,
+}
+
+impl Pdg {
+    /// Builds the PDG of `hot`.
+    pub fn build(hot: &HotLoop) -> Pdg {
+        let mut nodes = vec![PdgNode {
+            id: NodeId(0),
+            kind: NodeKind::Condition,
+            label: "COND".to_string(),
+            span: hot.span,
+            weight: 1,
+        }];
+        for (i, s) in hot.body.iter().enumerate() {
+            nodes.push(PdgNode {
+                id: NodeId(i + 1),
+                kind: NodeKind::Stmt(i),
+                label: s.label.clone(),
+                span: s.span,
+                weight: s.weight,
+            });
+        }
+        let mut edges = Vec::new();
+        let iv = hot.shape.iv();
+        // Privatized scalars: the induction variable and declared reduction
+        // accumulators — their carried cycles are handled by the transforms
+        // (per-context copies, merged at the join).
+        let privatized: BTreeSet<&str> = iv
+            .into_iter()
+            .chain(hot.reductions.iter().map(|r| r.var.as_str()))
+            .collect();
+        let n = hot.body.len();
+
+        // --- register flow dependences -------------------------------------
+        // Collect all scalar names written anywhere in the body.
+        let mut vars: BTreeSet<&String> = BTreeSet::new();
+        for s in &hot.body {
+            vars.extend(&s.reg_writes);
+        }
+        for v in vars {
+            let writers: Vec<usize> = (0..n)
+                .filter(|&i| hot.body[i].reg_writes.contains(v))
+                .collect();
+            let readers: Vec<usize> = (0..n)
+                .filter(|&i| hot.body[i].reg_reads.contains(v))
+                .collect();
+            let is_iv = privatized.contains(v.as_str());
+            for &w in &writers {
+                // Intra-iteration: w -> r with w < r and no must-write in
+                // between.
+                for &r in &readers {
+                    if w < r {
+                        let killed = ((w + 1)..r).any(|k| hot.body[k].must_writes.contains(v));
+                        if !killed {
+                            edges.push(PdgEdge {
+                                src: NodeId(w + 1),
+                                dst: NodeId(r + 1),
+                                kind: DepKind::RegFlow(v.clone()),
+                                carried: false,
+                                induction: is_iv,
+                                comm: None,
+                            });
+                        }
+                    }
+                    // Loop-carried: value written in iteration k survives
+                    // into iteration k+1 up to r's read iff no earlier
+                    // statement (positions < r) must-writes it.
+                    let killed_prefix = (0..r).any(|k| hot.body[k].must_writes.contains(v));
+                    if !killed_prefix {
+                        edges.push(PdgEdge {
+                            src: NodeId(w + 1),
+                            dst: NodeId(r + 1),
+                            kind: DepKind::RegFlow(v.clone()),
+                            carried: true,
+                            induction: is_iv,
+                            comm: None,
+                        });
+                    }
+                }
+                // Carried flow into the loop condition (it executes first
+                // in the next iteration, so no kill prefix applies).
+                if hot.cond_reads.contains(v) {
+                    edges.push(PdgEdge {
+                        src: NodeId(w + 1),
+                        dst: NodeId(0),
+                        kind: DepKind::RegFlow(v.clone()),
+                        carried: true,
+                        induction: is_iv,
+                        comm: None,
+                    });
+                }
+            }
+        }
+
+        // --- memory dependences ---------------------------------------------
+        // Fresh-instance reasoning over instance-partitioned channels: two
+        // accesses through the same handle variable are iteration-private
+        // when the handle is rebound to a *fresh* instance each iteration
+        // before both accesses (the paper's allocation-site freshness for
+        // per-iteration matrices/streams).
+        let fresh_private = |v: &str, pa: usize, pb: usize| -> bool {
+            let Some(writers) = hot.handle_writers.get(v) else {
+                return false;
+            };
+            let (pmin, pmax) = (pa.min(pb), pa.max(pb));
+            let Some(reaching) = writers
+                .iter()
+                .filter(|w| w.pos <= pmin)
+                .max_by_key(|w| w.pos)
+            else {
+                return false;
+            };
+            if !reaching.fresh || !reaching.must {
+                return false;
+            }
+            // No rebinding between the two accesses.
+            !writers
+                .iter()
+                .any(|w| w.pos > reaching.pos && w.pos <= pmax)
+        };
+        for a in 0..n {
+            for b in 0..n {
+                for acc_a in &hot.body[a].mem {
+                    for acc_b in &hot.body[b].mem {
+                        if acc_a.loc != acc_b.loc || !(acc_a.write || acc_b.write) {
+                            continue;
+                        }
+                        let instance_fresh = match (&acc_a.instance, &acc_b.instance) {
+                            (Some(va), Some(vb)) if va == vb => fresh_private(va, a, b),
+                            _ => false,
+                        };
+                        // Intra-iteration edge for ordered pairs.
+                        if a < b {
+                            edges.push(PdgEdge {
+                                src: NodeId(a + 1),
+                                dst: NodeId(b + 1),
+                                kind: DepKind::Memory {
+                                    loc: acc_a.loc.clone(),
+                                    src_call: acc_a.via.clone(),
+                                    dst_call: acc_b.via.clone(),
+                                },
+                                carried: false,
+                                induction: false,
+                                comm: None,
+                            });
+                        }
+                        // Loop-carried edge for every conflicting pair
+                        // (including self loops), unless the location is
+                        // iteration-private (body-local array or fresh
+                        // per-iteration instance).
+                        if a <= b
+                            && !(acc_a.iter_private || acc_b.iter_private)
+                            && !instance_fresh
+                        {
+                            edges.push(PdgEdge {
+                                src: NodeId(b + 1),
+                                dst: NodeId(a + 1),
+                                kind: DepKind::Memory {
+                                    loc: acc_a.loc.clone(),
+                                    src_call: acc_b.via.clone(),
+                                    dst_call: acc_a.via.clone(),
+                                },
+                                carried: true,
+                                induction: false,
+                                comm: None,
+                            });
+                            if a < b {
+                                edges.push(PdgEdge {
+                                    src: NodeId(a + 1),
+                                    dst: NodeId(b + 1),
+                                    kind: DepKind::Memory {
+                                        loc: acc_a.loc.clone(),
+                                        src_call: acc_a.via.clone(),
+                                        dst_call: acc_b.via.clone(),
+                                    },
+                                    carried: true,
+                                    induction: false,
+                                    comm: None,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // --- control dependences ---------------------------------------------
+        for i in 0..n {
+            edges.push(PdgEdge {
+                src: NodeId(0),
+                dst: NodeId(i + 1),
+                kind: DepKind::Control,
+                carried: false,
+                induction: false,
+                comm: None,
+            });
+        }
+
+        dedup_edges(&mut edges);
+        Pdg { nodes, edges }
+    }
+
+    /// True if, after relaxation, no loop-carried dependence remains —
+    /// i.e. the loop is DOALL-schedulable from the PDG's point of view
+    /// (iteration countability is checked separately).
+    pub fn doall_legal(&self) -> bool {
+        self.edges.iter().all(|e| !e.effective_carried())
+    }
+
+    /// Loop-carried edges still effective after relaxation, for the
+    /// "explain what inhibits parallelism" diagnostics.
+    pub fn inhibitors(&self) -> Vec<&PdgEdge> {
+        self.edges.iter().filter(|e| e.effective_carried()).collect()
+    }
+
+    /// A compact multi-line dump used in tests and diagnostics.
+    pub fn dump(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for n in &self.nodes {
+            let _ = writeln!(out, "{}: {} (w={})", n.id, n.label, n.weight);
+        }
+        for e in &self.edges {
+            let kind = match &e.kind {
+                DepKind::RegFlow(v) => format!("reg {v}"),
+                DepKind::Memory { loc, .. } => format!("mem {loc}"),
+                DepKind::Control => "ctl".to_string(),
+            };
+            let carried = if e.carried { " carried" } else { "" };
+            let comm = match e.comm {
+                Some(CommAnnotation::Uco) => " [uco]",
+                Some(CommAnnotation::Ico) => " [ico]",
+                None => "",
+            };
+            let ind = if e.induction { " (iv)" } else { "" };
+            let _ = writeln!(out, "{} -> {}: {kind}{carried}{ind}{comm}", e.src, e.dst);
+        }
+        out
+    }
+}
+
+/// Removes duplicate edges (same endpoints, kind, carried flag).
+fn dedup_edges(edges: &mut Vec<PdgEdge>) {
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    edges.retain(|e| {
+        let key = format!(
+            "{}-{}-{:?}-{}-{}",
+            e.src.0,
+            e.dst.0,
+            kind_key(&e.kind),
+            e.carried,
+            e.induction
+        );
+        seen.insert(key)
+    });
+}
+
+fn kind_key(k: &DepKind) -> String {
+    match k {
+        DepKind::RegFlow(v) => format!("r:{v}"),
+        DepKind::Memory {
+            loc,
+            src_call,
+            dst_call,
+        } => format!(
+            "m:{loc}:{}:{}",
+            src_call.as_ref().map(|c| c.span.start).unwrap_or(0),
+            dst_call.as_ref().map(|c| c.span.start).unwrap_or(0)
+        ),
+        DepKind::Control => "c".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::effects::summarize;
+    use crate::hotloop::find_hot_loop;
+    use crate::metadata::manage;
+    use commset_ir::IntrinsicTable;
+    use commset_lang::ast::Type;
+
+    fn build(src: &str) -> Pdg {
+        let mut table = IntrinsicTable::new();
+        table.register("io_op", vec![Type::Int], Type::Void, &[], &["IO"], 10);
+        table.register("pure_calc", vec![Type::Int], Type::Int, &[], &[], 100);
+        let unit = commset_lang::compile_unit(src).unwrap();
+        let managed = manage(unit).unwrap();
+        let summaries = summarize(&managed.program, &table);
+        let hot = find_hot_loop(&managed, &summaries, &table, "main").unwrap();
+        Pdg::build(&hot)
+    }
+
+    #[test]
+    fn accumulator_has_carried_self_edge() {
+        let pdg = build(
+            "extern int pure_calc(int x); int main() { int s = 0; for (int i = 0; i < 9; i = i + 1) { s = s + pure_calc(i); } return s; }",
+        );
+        // Node 1 = the accumulation statement. It writes and reads s.
+        let self_edges: Vec<_> = pdg
+            .edges
+            .iter()
+            .filter(|e| {
+                e.src == NodeId(1)
+                    && e.dst == NodeId(1)
+                    && e.carried
+                    && matches!(&e.kind, DepKind::RegFlow(v) if v == "s")
+            })
+            .collect();
+        assert_eq!(self_edges.len(), 1, "{}", pdg.dump());
+        assert!(!pdg.doall_legal());
+    }
+
+    #[test]
+    fn induction_edges_are_tagged() {
+        let pdg = build(
+            "extern int pure_calc(int x); int main() { int s = 0; for (int i = 0; i < 9; i = i + 1) { s = pure_calc(i); } return s; }",
+        );
+        // `i` flows into pure_calc's argument; the IV cycle must be tagged.
+        assert!(
+            pdg.edges
+                .iter()
+                .all(|e| !e.effective_carried() || !e.induction),
+            "{}",
+            pdg.dump()
+        );
+    }
+
+    #[test]
+    fn io_calls_produce_carried_memory_self_edges() {
+        let pdg = build(
+            "extern void io_op(int x); int main() { for (int i = 0; i < 9; i = i + 1) { io_op(i); } return 0; }",
+        );
+        let found = pdg.edges.iter().any(|e| {
+            e.carried
+                && matches!(&e.kind, DepKind::Memory { loc: Location::Channel(c), .. } if c == "IO")
+        });
+        assert!(found, "{}", pdg.dump());
+        assert!(!pdg.doall_legal());
+        assert!(!pdg.inhibitors().is_empty());
+    }
+
+    #[test]
+    fn pure_loops_are_doall_legal() {
+        let pdg = build(
+            "extern int pure_calc(int x); int main() { for (int i = 0; i < 9; i = i + 1) { int v = pure_calc(i); } return 0; }",
+        );
+        assert!(pdg.doall_legal(), "{}", pdg.dump());
+    }
+
+    #[test]
+    fn intra_edges_respect_kills() {
+        let pdg = build(
+            "extern int pure_calc(int x); int main() { for (int i = 0; i < 9; i = i + 1) { int v = pure_calc(i); int w = v + 1; v = pure_calc(w); int z = v; } return 0; }",
+        );
+        // v's first write feeds w's stmt (S0 -> S1) but NOT z's stmt (S3):
+        // S2 must-writes v in between.
+        let s0_to_s1 = pdg.edges.iter().any(|e| {
+            e.src == NodeId(1) && e.dst == NodeId(2) && !e.carried
+                && matches!(&e.kind, DepKind::RegFlow(v) if v == "v")
+        });
+        let s0_to_s3 = pdg.edges.iter().any(|e| {
+            e.src == NodeId(1) && e.dst == NodeId(4) && !e.carried
+                && matches!(&e.kind, DepKind::RegFlow(v) if v == "v")
+        });
+        assert!(s0_to_s1, "{}", pdg.dump());
+        assert!(!s0_to_s3, "{}", pdg.dump());
+    }
+
+    #[test]
+    fn fresh_instance_channels_are_iteration_private() {
+        // alloc -> use -> free on a per-instance channel: the intra edges
+        // order the triple, but no carried conflict survives (fresh handle
+        // each iteration) — the hmmer/potrace pattern.
+        let mut table = IntrinsicTable::new();
+        table.register("alloc", vec![Type::Int], Type::Handle, &[], &["META"], 20);
+        table.mark_fresh_handle("alloc");
+        table.register(
+            "use_obj",
+            vec![Type::Handle],
+            Type::Int,
+            &["DATA"],
+            &["DATA"],
+            100,
+        );
+        table.register(
+            "free_obj",
+            vec![Type::Handle],
+            Type::Void,
+            &[],
+            &["META", "DATA"],
+            15,
+        );
+        table.mark_per_instance("DATA");
+        let unit = commset_lang::compile_unit(
+            r#"
+            #pragma CommSetDecl(MSET, Group)
+            #pragma CommSetPredicate(MSET, (i1), (i2), i1 != i2)
+            extern handle alloc(int n);
+            extern int use_obj(handle h);
+            extern void free_obj(handle h);
+            int main() {
+                for (int i = 0; i < 8; i = i + 1) {
+                    handle h = handle(0);
+                    #pragma CommSet(SELF, MSET(i))
+                    { h = alloc(i); }
+                    int v = use_obj(h);
+                    #pragma CommSet(SELF, MSET(i))
+                    { free_obj(h); }
+                }
+                return 0;
+            }
+            "#,
+        )
+        .unwrap();
+        let managed = manage(unit).unwrap();
+        let summaries = summarize(&managed.program, &table);
+        let hot = find_hot_loop(&managed, &summaries, &table, "main").unwrap();
+        // The region wrapping `alloc` is itself recognized as fresh.
+        let writers = hot.handle_writers.get("h").expect("h tracked");
+        assert!(writers.iter().any(|w| w.fresh && w.must), "{writers:?}");
+        let mut pdg = Pdg::build(&hot);
+        // No carried DATA edge exists even before relaxation.
+        let carried_data = pdg.edges.iter().any(|e| {
+            e.carried
+                && matches!(&e.kind, DepKind::Memory { loc: Location::Channel(c), .. } if c == "DATA")
+        });
+        assert!(!carried_data, "{}", pdg.dump());
+        // The intra DATA edges still order use-before-free.
+        let intra_use_free = pdg.edges.iter().any(|e| {
+            !e.carried
+                && e.src.0 < e.dst.0
+                && matches!(&e.kind, DepKind::Memory { loc: Location::Channel(c), .. } if c == "DATA")
+        });
+        assert!(intra_use_free, "{}", pdg.dump());
+        // With the META relaxations, the loop is DOALL-legal.
+        crate::depanalysis::analyze_commutativity(&mut pdg, &managed, &hot);
+        assert!(pdg.doall_legal(), "{}", pdg.dump());
+    }
+
+    #[test]
+    fn conditional_rebinding_defeats_freshness() {
+        // If the handle may be conditionally rebound, the suppression must
+        // not fire (conservative).
+        let mut table = IntrinsicTable::new();
+        table.register("alloc", vec![Type::Int], Type::Handle, &[], &["META"], 20);
+        table.mark_fresh_handle("alloc");
+        table.register("use_obj", vec![Type::Handle], Type::Int, &["DATA"], &["DATA"], 100);
+        table.mark_per_instance("DATA");
+        let unit = commset_lang::compile_unit(
+            r#"
+            extern handle alloc(int n);
+            extern int use_obj(handle h);
+            handle keep;
+            int main() {
+                handle h = alloc(0);
+                for (int i = 0; i < 8; i = i + 1) {
+                    if (i % 2 == 0) { h = alloc(i); }
+                    int v = use_obj(h);
+                }
+                return 0;
+            }
+            "#,
+        )
+        .unwrap();
+        let managed = manage(unit).unwrap();
+        let summaries = summarize(&managed.program, &table);
+        let hot = find_hot_loop(&managed, &summaries, &table, "main").unwrap();
+        let pdg = Pdg::build(&hot);
+        let carried_data = pdg.edges.iter().any(|e| {
+            e.carried
+                && matches!(&e.kind, DepKind::Memory { loc: Location::Channel(c), .. } if c == "DATA")
+        });
+        assert!(carried_data, "conditional rebinding keeps the conflict: {}", pdg.dump());
+    }
+
+    #[test]
+    fn uncountable_loop_condition_gets_carried_edge() {
+        let mut table = IntrinsicTable::new();
+        table.register("next", vec![Type::Int], Type::Int, &["LL"], &[], 10);
+        let unit = commset_lang::compile_unit(
+            "extern int next(int p); int main() { int p = 1; while (p != 0) { p = next(p); } return 0; }",
+        )
+        .unwrap();
+        let managed = manage(unit).unwrap();
+        let summaries = summarize(&managed.program, &table);
+        let hot = find_hot_loop(&managed, &summaries, &table, "main").unwrap();
+        let pdg = Pdg::build(&hot);
+        let to_cond = pdg
+            .edges
+            .iter()
+            .any(|e| e.dst == NodeId(0) && e.carried && !e.induction);
+        assert!(to_cond, "{}", pdg.dump());
+        assert!(!pdg.doall_legal());
+    }
+}

@@ -1,0 +1,227 @@
+//! Strongly connected components of the relaxed PDG and the DAG-SCC the
+//! DSWP transform family partitions (paper §4.4–4.5).
+//!
+//! Edge filtering implements the paper's rule: "the ico edges are treated
+//! as intra-iteration dependence edges, while uco edges are treated as
+//! non-existent edges in the PDG".
+
+use crate::pdg::{CommAnnotation, NodeId, Pdg};
+use std::collections::BTreeSet;
+
+/// The DAG of strongly connected components of the relaxed PDG.
+#[derive(Debug, Clone)]
+pub struct DagScc {
+    /// Component index of each PDG node.
+    pub comp_of: Vec<usize>,
+    /// Components in topological order (sources first); node ids within a
+    /// component are sorted.
+    pub comps: Vec<Vec<NodeId>>,
+    /// Edges between distinct components (topological indices).
+    pub comp_edges: BTreeSet<(usize, usize)>,
+    /// Whether each component contains an internal loop-carried dependence
+    /// (such a component cannot be replicated by PS-DSWP).
+    pub comp_carried: Vec<bool>,
+    /// Total profile weight of each component.
+    pub comp_weight: Vec<u64>,
+}
+
+impl DagScc {
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.comps.len()
+    }
+
+    /// True if there are no components (empty PDG).
+    pub fn is_empty(&self) -> bool {
+        self.comps.is_empty()
+    }
+}
+
+/// Computes the DAG-SCC of the relaxed PDG.
+pub fn dag_scc(pdg: &Pdg) -> DagScc {
+    let n = pdg.nodes.len();
+    // Effective edge list after relaxation.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut eff_edges: Vec<(usize, usize, bool)> = Vec::new(); // (src, dst, carried)
+    for e in &pdg.edges {
+        if e.comm == Some(CommAnnotation::Uco) || e.induction {
+            continue;
+        }
+        let carried = e.carried && e.comm != Some(CommAnnotation::Ico);
+        adj[e.src.0].push(e.dst.0);
+        eff_edges.push((e.src.0, e.dst.0, carried));
+    }
+
+    // Iterative Tarjan.
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut comp_of = vec![usize::MAX; n];
+    let mut comps_rev: Vec<Vec<usize>> = Vec::new();
+
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        // (node, next child position)
+        let mut call: Vec<(usize, usize)> = vec![(start, 0)];
+        index[start] = next_index;
+        low[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+        while let Some(&mut (v, ref mut ci)) = call.last_mut() {
+            if *ci < adj[v].len() {
+                let w = adj[v][*ci];
+                *ci += 1;
+                if index[w] == usize::MAX {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(parent, _)) = call.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().unwrap();
+                        on_stack[w] = false;
+                        comp_of[w] = comps_rev.len();
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort_unstable();
+                    comps_rev.push(comp);
+                }
+            }
+        }
+    }
+    // Tarjan yields reverse topological order; flip it.
+    let m = comps_rev.len();
+    let remap = |old: usize| m - 1 - old;
+    let mut comps: Vec<Vec<NodeId>> = vec![Vec::new(); m];
+    for (old, comp) in comps_rev.into_iter().enumerate() {
+        comps[remap(old)] = comp.into_iter().map(NodeId).collect();
+    }
+    for c in comp_of.iter_mut() {
+        *c = remap(*c);
+    }
+    let mut comp_edges = BTreeSet::new();
+    let mut comp_carried = vec![false; m];
+    for (s, d, carried) in eff_edges {
+        let (cs, cd) = (comp_of[s], comp_of[d]);
+        if cs != cd {
+            comp_edges.insert((cs, cd));
+        } else if carried {
+            comp_carried[cs] = true;
+        }
+    }
+    let mut comp_weight = vec![0u64; m];
+    for (i, node) in pdg.nodes.iter().enumerate() {
+        comp_weight[comp_of[i]] += node.weight;
+    }
+    DagScc {
+        comp_of,
+        comps,
+        comp_edges,
+        comp_carried,
+        comp_weight,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pdg::{DepKind, PdgEdge, PdgNode};
+    use commset_lang::token::Span;
+
+    fn mk_pdg(n: usize, edges: &[(usize, usize, bool)]) -> Pdg {
+        let nodes = (0..n)
+            .map(|i| PdgNode {
+                id: NodeId(i),
+                kind: if i == 0 {
+                    crate::pdg::NodeKind::Condition
+                } else {
+                    crate::pdg::NodeKind::Stmt(i - 1)
+                },
+                label: format!("S{i}"),
+                span: Span::default(),
+                weight: 10,
+            })
+            .collect();
+        let edges = edges
+            .iter()
+            .map(|&(s, d, carried)| PdgEdge {
+                src: NodeId(s),
+                dst: NodeId(d),
+                kind: DepKind::RegFlow("v".into()),
+                carried,
+                induction: false,
+                comm: None,
+            })
+            .collect();
+        Pdg { nodes, edges }
+    }
+
+    #[test]
+    fn chain_gives_singleton_comps_in_topo_order() {
+        let pdg = mk_pdg(4, &[(0, 1, false), (1, 2, false), (2, 3, false)]);
+        let dag = dag_scc(&pdg);
+        assert_eq!(dag.len(), 4);
+        for (i, comp) in dag.comps.iter().enumerate() {
+            assert_eq!(comp.len(), 1);
+            // topological: edges only point forward
+            for &(s, d) in &dag.comp_edges {
+                assert!(s < d);
+            }
+            let _ = i;
+        }
+    }
+
+    #[test]
+    fn cycle_collapses_into_one_component() {
+        let pdg = mk_pdg(4, &[(0, 1, false), (1, 2, false), (2, 1, true), (2, 3, false)]);
+        let dag = dag_scc(&pdg);
+        assert_eq!(dag.len(), 3);
+        let c1 = dag.comp_of[1];
+        assert_eq!(c1, dag.comp_of[2]);
+        assert!(dag.comp_carried[c1], "cycle via carried edge");
+        assert_eq!(dag.comp_weight[c1], 20);
+    }
+
+    #[test]
+    fn uco_edges_are_ignored_and_ico_are_intra() {
+        let mut pdg = mk_pdg(3, &[(1, 2, true), (2, 1, true)]);
+        // Mark 1->2 uco and 2->1 ico: no cycle remains, and the ico edge is
+        // not carried.
+        pdg.edges[0].comm = Some(CommAnnotation::Uco);
+        pdg.edges[1].comm = Some(CommAnnotation::Ico);
+        let dag = dag_scc(&pdg);
+        assert_eq!(dag.len(), 3);
+        assert!(dag.comp_carried.iter().all(|&c| !c));
+        // The ico edge 2->1 still orders the components.
+        let c2 = dag.comp_of[2];
+        let c1 = dag.comp_of[1];
+        assert!(dag.comp_edges.contains(&(c2, c1)));
+    }
+
+    #[test]
+    fn self_loop_marks_component_carried() {
+        let pdg = mk_pdg(2, &[(1, 1, true)]);
+        let dag = dag_scc(&pdg);
+        let c = dag.comp_of[1];
+        assert!(dag.comp_carried[c]);
+    }
+}

@@ -1,0 +1,11 @@
+//! Regenerates Table 1: the programming-model comparison matrix.
+//!
+//! Run: `cargo run -p commset-bench --bin table1`
+
+fn main() {
+    println!("Table 1: COMMSET vs prior semantic-commutativity systems\n");
+    print!("{}", commset_bench::table1::render());
+    println!("\n(The CommSet column claims are enforced by this repository:");
+    println!(" predication, commuting blocks, group sets and automatic");
+    println!(" concurrency control are all exercised by the workloads.)");
+}

@@ -1,0 +1,177 @@
+//! Table 1: the comparison between COMMSET and the prior semantic
+//! commutativity systems, encoded as data so the `table1` binary can
+//! render it (and tests can sanity-check the claims the implementation
+//! must uphold for the COMMSET row).
+
+/// One system's row in Table 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SystemRow {
+    /// System name.
+    pub name: &'static str,
+    /// Expressiveness: commutativity predication supported.
+    pub predication: bool,
+    /// Expressiveness: commuting *blocks* (not just interfaces).
+    pub commuting_blocks: bool,
+    /// Expressiveness: group commutativity (linear specification).
+    pub group_commutativity: bool,
+    /// Requires additional parallelism extensions beyond commutativity.
+    pub extra_extensions: bool,
+    /// Parallelism forms supported: data.
+    pub data_parallelism: bool,
+    /// Parallelism forms supported: pipeline.
+    pub pipeline_parallelism: bool,
+    /// Concurrency control chosen automatically.
+    pub auto_concurrency_control: bool,
+    /// Parallelization driven by (Runtime / Programmer / Compiler).
+    pub driver: &'static str,
+    /// Optimistic or speculative parallelism in the implementation.
+    pub speculative: bool,
+}
+
+/// The rows of Table 1, in the paper's order.
+pub fn rows() -> Vec<SystemRow> {
+    vec![
+        SystemRow {
+            name: "Jade",
+            predication: false,
+            commuting_blocks: false,
+            group_commutativity: false,
+            extra_extensions: true,
+            data_parallelism: true,
+            pipeline_parallelism: true,
+            auto_concurrency_control: true,
+            driver: "Runtime",
+            speculative: false,
+        },
+        SystemRow {
+            name: "Galois",
+            predication: true,
+            commuting_blocks: false,
+            group_commutativity: false,
+            extra_extensions: true,
+            data_parallelism: true,
+            pipeline_parallelism: false,
+            auto_concurrency_control: true,
+            driver: "Runtime",
+            speculative: true,
+        },
+        SystemRow {
+            name: "DPJ",
+            predication: false,
+            commuting_blocks: false,
+            group_commutativity: false,
+            extra_extensions: true,
+            data_parallelism: true,
+            pipeline_parallelism: false,
+            auto_concurrency_control: false,
+            driver: "Programmer",
+            speculative: false,
+        },
+        SystemRow {
+            name: "Paralax",
+            predication: false,
+            commuting_blocks: false,
+            group_commutativity: false,
+            extra_extensions: false,
+            data_parallelism: false,
+            pipeline_parallelism: true,
+            auto_concurrency_control: true,
+            driver: "Compiler",
+            speculative: false,
+        },
+        SystemRow {
+            name: "VELOCITY",
+            predication: false,
+            commuting_blocks: false,
+            group_commutativity: false,
+            extra_extensions: false,
+            data_parallelism: false,
+            pipeline_parallelism: true,
+            auto_concurrency_control: true,
+            driver: "Compiler",
+            speculative: true,
+        },
+        SystemRow {
+            name: "CommSet",
+            predication: true,
+            commuting_blocks: true,
+            group_commutativity: true,
+            extra_extensions: false,
+            data_parallelism: true,
+            pipeline_parallelism: true,
+            auto_concurrency_control: true,
+            driver: "Compiler",
+            speculative: false,
+        },
+    ]
+}
+
+fn mark(b: bool) -> &'static str {
+    if b {
+        "yes"
+    } else {
+        "-"
+    }
+}
+
+/// Renders the table.
+pub fn render() -> String {
+    let mut out = String::new();
+    out.push_str(
+        "System    | Pred | Blocks | Group | NoExtraExt | Data | Pipeline | AutoSync | Driver     | Spec\n",
+    );
+    out.push_str(
+        "----------+------+--------+-------+------------+------+----------+----------+------------+-----\n",
+    );
+    for r in rows() {
+        out.push_str(&format!(
+            "{:<9} | {:<4} | {:<6} | {:<5} | {:<10} | {:<4} | {:<8} | {:<8} | {:<10} | {}\n",
+            r.name,
+            mark(r.predication),
+            mark(r.commuting_blocks),
+            mark(r.group_commutativity),
+            mark(!r.extra_extensions),
+            mark(r.data_parallelism),
+            mark(r.pipeline_parallelism),
+            mark(r.auto_concurrency_control),
+            r.driver,
+            mark(r.speculative),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commset_row_claims_every_advantage() {
+        let commset = rows().into_iter().find(|r| r.name == "CommSet").unwrap();
+        assert!(commset.predication);
+        assert!(commset.commuting_blocks);
+        assert!(commset.group_commutativity);
+        assert!(!commset.extra_extensions);
+        assert!(commset.data_parallelism && commset.pipeline_parallelism);
+        assert!(commset.auto_concurrency_control);
+        assert_eq!(commset.driver, "Compiler");
+    }
+
+    #[test]
+    fn only_commset_offers_blocks_and_groups() {
+        for r in rows() {
+            if r.name != "CommSet" {
+                assert!(!r.commuting_blocks, "{}", r.name);
+                assert!(!r.group_commutativity, "{}", r.name);
+            }
+        }
+    }
+
+    #[test]
+    fn render_contains_every_system() {
+        let s = render();
+        for name in ["Jade", "Galois", "DPJ", "Paralax", "VELOCITY", "CommSet"] {
+            assert!(s.contains(name));
+        }
+    }
+}

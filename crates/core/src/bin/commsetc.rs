@@ -1,0 +1,273 @@
+//! `commsetc` — the COMMSET compiler as a command-line tool.
+//!
+//! Analyzes an annotated Cmm source file, explains what inhibits
+//! parallelization, ranks the applicable schedules, and emits the
+//! transformed (parallelized) source:
+//!
+//! ```text
+//! commsetc analyze  prog.cmm [--effects prog.effects] [--pdg] [--threads N]
+//! commsetc schedules prog.cmm [--effects prog.effects] [--threads N]
+//! commsetc emit     prog.cmm --scheme doall [--sync spin] [--threads N]
+//!                            [--effects prog.effects]
+//! ```
+//!
+//! Intrinsic *types* come from the source's `extern` declarations. Their
+//! *effects* come from an optional sidecar file (`--effects`), one line
+//! per extern:
+//!
+//! ```text
+//! # name  [reads=A,B]  [writes=C,D]  [cost=N]  [fresh]  [per_instance]
+//! fs_open    writes=FS cost=50 fresh
+//! fs_read    reads=FS writes=FS cost=120
+//! md5_chunk  cost=700
+//! irrevocable FS,CONSOLE
+//! per_instance FS
+//! ```
+//!
+//! `fresh` marks a handle-returning allocator (each call yields a
+//! distinct instance); `per_instance CHAN` partitions a channel by
+//! handle; `irrevocable CHANS` rejects the TM sync mode for members
+//! touching those channels. Externs absent from the sidecar default to
+//! pure compute with cost 100.
+
+use commset::spec::{build_table, parse_effects, EffectsSpec};
+use commset::{Compiler, Scheme, SyncMode};
+use commset_lang::printer::print_program;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: commsetc <analyze|schedules|emit> <file.cmm> \
+         [--effects <file>] [--pdg] [--threads N] \
+         [--scheme doall|dswp|ps-dswp] [--sync spin|mutex|tm|lib] \
+         [--hot-func NAME]"
+    );
+    ExitCode::from(2)
+}
+
+struct Args {
+    command: String,
+    file: String,
+    effects: Option<String>,
+    pdg: bool,
+    threads: usize,
+    scheme: Option<Scheme>,
+    sync: SyncMode,
+    hot_func: Option<String>,
+}
+
+fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
+    argv.next(); // program name
+    let command = argv.next().ok_or("missing command")?;
+    let file = argv.next().ok_or("missing input file")?;
+    let mut args = Args {
+        command,
+        file,
+        effects: None,
+        pdg: false,
+        threads: 8,
+        scheme: None,
+        sync: SyncMode::Spin,
+        hot_func: None,
+    };
+    while let Some(flag) = argv.next() {
+        let mut value = || argv.next().ok_or(format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--effects" => args.effects = Some(value()?),
+            "--pdg" => args.pdg = true,
+            "--threads" => {
+                args.threads = value()?
+                    .parse()
+                    .map_err(|_| "--threads needs a number".to_string())?
+            }
+            "--scheme" => {
+                args.scheme = Some(match value()?.as_str() {
+                    "doall" => Scheme::Doall,
+                    "dswp" => Scheme::Dswp,
+                    "ps-dswp" | "psdswp" => Scheme::PsDswp,
+                    other => return Err(format!("unknown scheme `{other}`")),
+                })
+            }
+            "--sync" => {
+                args.sync = match value()?.as_str() {
+                    "spin" => SyncMode::Spin,
+                    "mutex" => SyncMode::Mutex,
+                    "tm" => SyncMode::Tm,
+                    "lib" => SyncMode::Lib,
+                    other => return Err(format!("unknown sync mode `{other}`")),
+                }
+            }
+            "--hot-func" => args.hot_func = Some(value()?),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let source = std::fs::read_to_string(&args.file)
+        .map_err(|e| format!("{}: {e}", args.file))?;
+    let spec = match &args.effects {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            parse_effects(&text)?
+        }
+        None => EffectsSpec::default(),
+    };
+    let table = build_table(&source, &spec)?;
+    let irrevocable: Vec<&str> = spec.irrevocable.iter().map(String::as_str).collect();
+    let mut compiler = Compiler::new(table).with_irrevocable(&irrevocable);
+    if let Some(f) = &args.hot_func {
+        compiler = compiler.with_hot_func(f);
+    }
+    let analysis = compiler.analyze(&source).map_err(|d| d.to_string())?;
+
+    match args.command.as_str() {
+        "analyze" => {
+            println!("file:              {}", args.file);
+            println!("sloc:              {}", analysis.sloc);
+            println!("annotation lines:  {}", analysis.annotation_lines);
+            println!("relaxed PDG edges: {}", analysis.relaxed_edges);
+            println!("countable loop:    {}", analysis.hot.shape.is_countable());
+            println!("DOALL legal:       {}", analysis.doall_legal());
+            let schemes = compiler.applicable_schemes(&analysis, args.threads);
+            let names: Vec<String> = schemes.iter().map(|s| s.to_string()).collect();
+            println!("applicable:        [{}]", names.join(", "));
+            let inhibitors = analysis.explain_inhibitors();
+            if inhibitors.is_empty() {
+                println!("inhibitors:        none");
+            } else {
+                println!("inhibitors:");
+                for line in inhibitors {
+                    println!("  {line}");
+                }
+            }
+            if args.pdg {
+                println!("\n{}", analysis.pdg_dump());
+            }
+            Ok(())
+        }
+        "schedules" => {
+            let ranked = compiler.compile_all(&analysis, args.threads);
+            if ranked.is_empty() {
+                return Err("no schedule applies; run `analyze` for why".to_string());
+            }
+            println!(
+                "{:<22} {:>12} {:>8} {:>7} {:>7}",
+                "schedule", "est. cost", "workers", "queues", "locks"
+            );
+            for (scheme, sync, _, plan) in &ranked {
+                println!(
+                    "{:<22} {:>12.0} {:>8} {:>7} {:>7}",
+                    format!("{scheme} + {sync}"),
+                    plan.estimated_cost,
+                    plan.workers.len(),
+                    plan.queues.len(),
+                    plan.locks.len()
+                );
+            }
+            Ok(())
+        }
+        "emit" => {
+            let scheme = args
+                .scheme
+                .ok_or("emit needs --scheme doall|dswp|ps-dswp")?;
+            let pp = compiler
+                .compile_to_ast(&analysis, scheme, args.threads, args.sync)
+                .map_err(|d| d.to_string())?;
+            let mut out = format!(
+                "// {} x{} ({}), estimated cost {:.0}\n",
+                scheme, args.threads, args.sync, pp.plan.estimated_cost
+            );
+            for (i, d) in pp.plan.stage_desc.iter().enumerate() {
+                out.push_str(&format!("// stage {i}: {d}\n"));
+            }
+            for q in &pp.plan.queues {
+                out.push_str(&format!(
+                    "// queue {}: {} (capacity {})\n",
+                    q.id, q.what, q.capacity
+                ));
+            }
+            for l in &pp.plan.locks {
+                out.push_str(&format!("// lock {}: set {}\n", l.id, l.set));
+            }
+            out.push_str(&print_program(&pp.program));
+            // One write, errors ignored: `commsetc emit | head` must not
+            // panic on the closed pipe.
+            use std::io::Write;
+            let _ = std::io::stdout().write_all(out.as_bytes());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args()) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Result<Args, String> {
+        parse_args(
+            std::iter::once("commsetc".to_string()).chain(v.iter().map(|s| s.to_string())),
+        )
+    }
+
+    #[test]
+    fn defaults_and_flags_parse() {
+        let a = args(&["analyze", "f.cmm"]).unwrap();
+        assert_eq!(a.command, "analyze");
+        assert_eq!(a.file, "f.cmm");
+        assert_eq!(a.threads, 8);
+        assert!(!a.pdg);
+        assert_eq!(a.sync, SyncMode::Spin);
+        assert!(a.scheme.is_none());
+
+        let a = args(&[
+            "emit", "p.cmm", "--scheme", "ps-dswp", "--threads", "4", "--sync", "lib",
+            "--effects", "p.fx", "--pdg", "--hot-func", "work",
+        ])
+        .unwrap();
+        assert_eq!(a.scheme, Some(Scheme::PsDswp));
+        assert_eq!(a.threads, 4);
+        assert_eq!(a.sync, SyncMode::Lib);
+        assert_eq!(a.effects.as_deref(), Some("p.fx"));
+        assert!(a.pdg);
+        assert_eq!(a.hot_func.as_deref(), Some("work"));
+    }
+
+    #[test]
+    fn malformed_invocations_are_rejected() {
+        assert!(args(&[]).is_err(), "missing command");
+        assert!(args(&["analyze"]).is_err(), "missing file");
+        assert!(args(&["emit", "f.cmm", "--scheme", "magic"]).is_err());
+        assert!(args(&["emit", "f.cmm", "--sync", "rcu"]).is_err());
+        assert!(args(&["emit", "f.cmm", "--threads", "many"]).is_err());
+        assert!(args(&["emit", "f.cmm", "--threads"]).is_err(), "value missing");
+        assert!(args(&["analyze", "f.cmm", "--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn missing_input_file_is_a_run_error() {
+        let a = args(&["analyze", "/nonexistent/x.cmm"]).unwrap();
+        let err = run(&a).unwrap_err();
+        assert!(err.contains("x.cmm"), "{err}");
+    }
+}

@@ -1,0 +1,237 @@
+//! Effects sidecars: describing extern intrinsics in plain text.
+//!
+//! The [`Compiler`](crate::Compiler) needs an
+//! [`IntrinsicTable`] giving each extern's effect channels and cost.
+//! Embedders usually build one programmatically; standalone tools (the
+//! `commsetc` CLI) and quick experiments can instead pair a `.cmm` source
+//! with a sidecar text file, one line per extern:
+//!
+//! ```text
+//! # name  [reads=A,B]  [writes=C,D]  [cost=N]  [fresh]
+//! fs_open    writes=FS cost=50 fresh
+//! fs_read    reads=FS writes=FS cost=120
+//! md5_chunk  cost=700
+//! irrevocable FS,CONSOLE
+//! per_instance FS
+//! ```
+//!
+//! * `reads=`/`writes=` — effect channels (comma-separated);
+//! * `cost=` — the intrinsic's base simulated cost (default 100);
+//! * `fresh` — a handle-returning allocator: each call yields a distinct
+//!   instance (enables the per-instance dependence refinement);
+//! * `irrevocable CHANS` — channels whose effects cannot be rolled back;
+//!   members touching them reject the TM sync mode;
+//! * `per_instance CHANS` — channels partitioned by handle argument.
+//!
+//! Externs absent from the sidecar default to pure compute with cost 100.
+//! Parameter and return *types* always come from the source's `extern`
+//! declarations, never from the sidecar.
+
+use commset_ir::IntrinsicTable;
+use commset_lang::ast::Item;
+use std::collections::HashMap;
+
+/// A parsed effects sidecar: per-extern effect rows plus the global
+/// `irrevocable` and `per_instance` directives.
+#[derive(Debug, Default, Clone)]
+pub struct EffectsSpec {
+    /// Effect rows keyed by extern name.
+    pub rows: HashMap<String, EffectRow>,
+    /// Channels whose effects cannot be rolled back.
+    pub irrevocable: Vec<String>,
+    /// Channels partitioned per handle instance.
+    pub per_instance: Vec<String>,
+}
+
+/// One extern's effects.
+#[derive(Debug, Clone)]
+pub struct EffectRow {
+    /// Channels read.
+    pub reads: Vec<String>,
+    /// Channels written.
+    pub writes: Vec<String>,
+    /// Base simulated cost.
+    pub cost: u64,
+    /// True for handle-returning allocators.
+    pub fresh: bool,
+}
+
+impl Default for EffectRow {
+    fn default() -> Self {
+        EffectRow {
+            reads: Vec::new(),
+            writes: Vec::new(),
+            cost: 100,
+            fresh: false,
+        }
+    }
+}
+
+/// Parses a sidecar file's text.
+///
+/// `#` starts a comment; blank lines are skipped.
+///
+/// # Errors
+///
+/// Returns a `line N: ...` message for malformed attributes.
+pub fn parse_effects(text: &str) -> Result<EffectsSpec, String> {
+    let mut spec = EffectsSpec::default();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let head = parts.next().expect("non-empty line has a token");
+        let list = |v: &str| -> Vec<String> {
+            v.split(',')
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect()
+        };
+        if head == "irrevocable" {
+            let chans = parts
+                .next()
+                .ok_or_else(|| format!("line {}: `irrevocable` needs a channel list", lineno + 1))?;
+            spec.irrevocable.extend(list(chans));
+            continue;
+        }
+        if head == "per_instance" {
+            let chans = parts.next().ok_or_else(|| {
+                format!("line {}: `per_instance` needs a channel list", lineno + 1)
+            })?;
+            spec.per_instance.extend(list(chans));
+            continue;
+        }
+        let mut row = EffectRow::default();
+        for tok in parts {
+            if let Some(v) = tok.strip_prefix("reads=") {
+                row.reads = list(v);
+            } else if let Some(v) = tok.strip_prefix("writes=") {
+                row.writes = list(v);
+            } else if let Some(v) = tok.strip_prefix("cost=") {
+                row.cost = v
+                    .parse()
+                    .map_err(|_| format!("line {}: bad cost `{v}`", lineno + 1))?;
+            } else if tok == "fresh" {
+                row.fresh = true;
+            } else {
+                return Err(format!("line {}: unknown attribute `{tok}`", lineno + 1));
+            }
+        }
+        spec.rows.insert(head.to_string(), row);
+    }
+    Ok(spec)
+}
+
+/// Builds an intrinsic table for `source`: parameter/return types from its
+/// `extern` declarations, effects from `spec`.
+///
+/// # Errors
+///
+/// Propagates front-end diagnostics (as rendered strings) when `source`
+/// does not parse or check.
+pub fn build_table(source: &str, spec: &EffectsSpec) -> Result<IntrinsicTable, String> {
+    // A parse/sema pass just to enumerate externs; Compiler::analyze
+    // re-runs the front end with the finished table.
+    let unit = commset_lang::compile_unit(source).map_err(|d| d.to_string())?;
+    let mut table = IntrinsicTable::new();
+    for item in &unit.program.items {
+        let Item::Extern(e) = item else { continue };
+        let row = spec.rows.get(&e.name).cloned().unwrap_or_default();
+        let reads: Vec<&str> = row.reads.iter().map(String::as_str).collect();
+        let writes: Vec<&str> = row.writes.iter().map(String::as_str).collect();
+        table.register(
+            &e.name,
+            e.params.iter().map(|p| p.ty).collect(),
+            e.ret,
+            &reads,
+            &writes,
+            row.cost,
+        );
+        if row.fresh {
+            table.mark_fresh_handle(&e.name);
+        }
+    }
+    for chan in &spec.per_instance {
+        table.mark_per_instance(chan);
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effects_sidecar_parses() {
+        let spec = parse_effects(
+            "# comment\n\
+             fs_open writes=FS cost=60 fresh\n\
+             fs_read reads=FS writes=FS cost=140\n\
+             pure_fn cost=700\n\
+             bare_fn\n\
+             irrevocable FS,CONSOLE\n\
+             per_instance FS # trailing comment\n",
+        )
+        .unwrap();
+        let open = &spec.rows["fs_open"];
+        assert_eq!(open.writes, ["FS"]);
+        assert!(open.reads.is_empty());
+        assert_eq!(open.cost, 60);
+        assert!(open.fresh);
+        let read = &spec.rows["fs_read"];
+        assert_eq!(read.reads, ["FS"]);
+        assert!(!read.fresh);
+        assert_eq!(spec.rows["pure_fn"].cost, 700);
+        assert_eq!(spec.rows["bare_fn"].cost, 100, "defaults apply");
+        assert_eq!(spec.irrevocable, ["FS", "CONSOLE"]);
+        assert_eq!(spec.per_instance, ["FS"]);
+    }
+
+    #[test]
+    fn effects_sidecar_rejects_junk() {
+        assert!(parse_effects("f cost=abc").is_err());
+        assert!(parse_effects("f sideways=FS").is_err());
+        assert!(parse_effects("irrevocable").is_err());
+    }
+
+    #[test]
+    fn table_built_from_externs_and_sidecar() {
+        let spec = parse_effects("emit writes=OUT cost=25\n").unwrap();
+        let table = build_table(
+            "extern void emit(int v);\n\
+             extern int pure(int x);\n\
+             int main() { return 0; }",
+            &spec,
+        )
+        .unwrap();
+        let (_, e) = table.lookup("emit").expect("registered");
+        assert_eq!(e.base_cost, 25);
+        assert_eq!(e.writes.len(), 1);
+        let (_, p) = table.lookup("pure").expect("registered with defaults");
+        assert_eq!(p.base_cost, 100);
+        assert!(p.writes.is_empty() && p.reads.is_empty());
+    }
+
+    #[test]
+    fn fresh_and_per_instance_marks_apply() {
+        let spec = parse_effects(
+            "alloc writes=HEAP cost=40 fresh\nper_instance HEAP\n",
+        )
+        .unwrap();
+        let table = build_table(
+            "extern handle alloc(int n);\nint main() { return 0; }",
+            &spec,
+        )
+        .unwrap();
+        assert!(table.is_fresh_handle("alloc"));
+        assert!(table.is_per_instance_name("HEAP"));
+    }
+
+    #[test]
+    fn bad_source_is_reported() {
+        let spec = EffectsSpec::default();
+        assert!(build_table("int main( {", &spec).is_err());
+    }
+}

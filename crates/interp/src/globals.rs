@@ -1,0 +1,200 @@
+//! Global-memory backends.
+
+use crate::vm::GlobalMem;
+use commset_ir::{GlobalId, Module};
+use commset_lang::ast::Type;
+use commset_runtime::Value;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn init_value(g: &commset_ir::repr::GlobalDecl) -> Value {
+    match (g.init, g.ty) {
+        (Some(commset_ir::Const::Int(v)), _) => Value::Int(v),
+        (Some(commset_ir::Const::Float(v)), _) => Value::Float(v),
+        (None, Type::Float) => Value::Float(0.0),
+        (None, _) => Value::Int(0),
+    }
+}
+
+/// Plain single-threaded globals for the sequential and simulated
+/// executors.
+#[derive(Debug)]
+pub struct PlainGlobals {
+    scalars: Vec<Value>,
+    arrays: Vec<Vec<Value>>,
+}
+
+impl PlainGlobals {
+    /// Allocates and initializes globals for `module`.
+    pub fn new(module: &Module) -> Self {
+        let mut scalars = Vec::new();
+        let mut arrays = Vec::new();
+        for g in &module.globals {
+            match g.len {
+                None => {
+                    scalars.push(init_value(g));
+                    arrays.push(Vec::new());
+                }
+                Some(n) => {
+                    scalars.push(Value::Int(0));
+                    arrays.push(vec![
+                        match g.ty {
+                            Type::Float => Value::Float(0.0),
+                            _ => Value::Int(0),
+                        };
+                        n
+                    ]);
+                }
+            }
+        }
+        PlainGlobals { scalars, arrays }
+    }
+}
+
+impl GlobalMem for PlainGlobals {
+    fn load(&mut self, g: GlobalId) -> Value {
+        self.scalars[g.0 as usize]
+    }
+
+    fn store(&mut self, g: GlobalId, v: Value) {
+        self.scalars[g.0 as usize] = v;
+    }
+
+    fn load_elem(&mut self, g: GlobalId, idx: i64) -> Value {
+        let arr = &self.arrays[g.0 as usize];
+        *arr.get(idx as usize)
+            .unwrap_or_else(|| panic!("global array index {idx} out of bounds ({})", arr.len()))
+    }
+
+    fn store_elem(&mut self, g: GlobalId, idx: i64, v: Value) {
+        let arr = &mut self.arrays[g.0 as usize];
+        let len = arr.len();
+        *arr.get_mut(idx as usize)
+            .unwrap_or_else(|| panic!("global array index {idx} out of bounds ({len})")) = v;
+    }
+}
+
+/// Lock-free atomic globals shared by the thread executor's workers.
+///
+/// Every cell is a word-sized atomic; the float/int interpretation comes
+/// from the module's static global types. Races on individual globals are
+/// prevented by the compiler-inserted synchronization (that is precisely
+/// the property the thread executor validates), and would at worst produce
+/// stale values, never unsoundness.
+#[derive(Debug)]
+pub struct AtomicGlobals {
+    scalars: Vec<AtomicU64>,
+    arrays: Vec<Vec<AtomicU64>>,
+    is_float: Vec<bool>,
+}
+
+impl AtomicGlobals {
+    /// Allocates and initializes shared globals for `module`.
+    pub fn new(module: &Module) -> Arc<Self> {
+        let mut scalars = Vec::new();
+        let mut arrays = Vec::new();
+        let mut is_float = Vec::new();
+        for g in &module.globals {
+            is_float.push(g.ty == Type::Float);
+            match g.len {
+                None => {
+                    scalars.push(AtomicU64::new(init_value(g).to_bits()));
+                    arrays.push(Vec::new());
+                }
+                Some(n) => {
+                    let zero = match g.ty {
+                        Type::Float => Value::Float(0.0),
+                        _ => Value::Int(0),
+                    };
+                    scalars.push(AtomicU64::new(0));
+                    arrays.push((0..n).map(|_| AtomicU64::new(zero.to_bits())).collect());
+                }
+            }
+        }
+        Arc::new(AtomicGlobals {
+            scalars,
+            arrays,
+            is_float,
+        })
+    }
+}
+
+/// Per-thread adapter giving a worker mutable-reference access to the
+/// shared atomic globals.
+#[derive(Debug, Clone)]
+pub struct SharedGlobals {
+    inner: Arc<AtomicGlobals>,
+}
+
+impl SharedGlobals {
+    /// Wraps the shared store.
+    pub fn new(inner: Arc<AtomicGlobals>) -> Self {
+        SharedGlobals { inner }
+    }
+}
+
+impl GlobalMem for SharedGlobals {
+    fn load(&mut self, g: GlobalId) -> Value {
+        let i = g.0 as usize;
+        Value::from_bits(
+            self.inner.scalars[i].load(Ordering::SeqCst),
+            self.inner.is_float[i],
+        )
+    }
+
+    fn store(&mut self, g: GlobalId, v: Value) {
+        self.inner.scalars[g.0 as usize].store(v.to_bits(), Ordering::SeqCst);
+    }
+
+    fn load_elem(&mut self, g: GlobalId, idx: i64) -> Value {
+        let i = g.0 as usize;
+        let arr = &self.inner.arrays[i];
+        let cell = arr
+            .get(idx as usize)
+            .unwrap_or_else(|| panic!("global array index {idx} out of bounds ({})", arr.len()));
+        Value::from_bits(cell.load(Ordering::SeqCst), self.inner.is_float[i])
+    }
+
+    fn store_elem(&mut self, g: GlobalId, idx: i64, v: Value) {
+        let arr = &self.inner.arrays[g.0 as usize];
+        let cell = arr
+            .get(idx as usize)
+            .unwrap_or_else(|| panic!("global array index {idx} out of bounds ({})", arr.len()));
+        cell.store(v.to_bits(), Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commset_ir::{lower_program, IntrinsicTable};
+
+    fn module(src: &str) -> Module {
+        let unit = commset_lang::compile_unit(src).unwrap();
+        lower_program(&unit.program, IntrinsicTable::new()).unwrap()
+    }
+
+    #[test]
+    fn plain_globals_initialize() {
+        let m = module("int g = 7; float f = 1.5; int a[3]; int main() { return 0; }");
+        let mut pg = PlainGlobals::new(&m);
+        assert_eq!(pg.load(m.global_id("g").unwrap()), Value::Int(7));
+        assert_eq!(pg.load(m.global_id("f").unwrap()), Value::Float(1.5));
+        let a = m.global_id("a").unwrap();
+        assert_eq!(pg.load_elem(a, 2), Value::Int(0));
+        pg.store_elem(a, 2, Value::Int(9));
+        assert_eq!(pg.load_elem(a, 2), Value::Int(9));
+    }
+
+    #[test]
+    fn atomic_globals_round_trip_floats() {
+        let m = module("float f = 2.5; int main() { return 0; }");
+        let shared = AtomicGlobals::new(&m);
+        let mut a = SharedGlobals::new(Arc::clone(&shared));
+        let mut b = SharedGlobals::new(shared);
+        let f = m.global_id("f").unwrap();
+        assert_eq!(a.load(f), Value::Float(2.5));
+        a.store(f, Value::Float(-3.25));
+        assert_eq!(b.load(f), Value::Float(-3.25));
+    }
+}

@@ -1,0 +1,28 @@
+//! # commset-interp
+//!
+//! Execution of compiled Cmm modules.
+//!
+//! * [`vm`] — a *resumable* virtual machine over the IR: `step()` retires
+//!   one instruction; intrinsic calls surface as pending *special* events
+//!   the driving executor resolves. The same VM backs every executor.
+//! * [`globals`] — global-memory backends (plain for single-threaded
+//!   executors, atomic for the thread executor).
+//! * [`seq`] — the sequential executor (the evaluation baseline), with
+//!   simulated-time accounting.
+//! * [`sim_exec`] — the simulated-parallel executor: a discrete-event
+//!   scheduler over one VM per worker thread, using `commset-sim`'s lock,
+//!   queue and TM models. This is what regenerates the paper's Figure 6 on
+//!   a single-core host.
+//! * [`thread_exec`] — the real-thread executor (OS threads, the runtime's
+//!   lock-free queues and raw locks), used by the correctness tests.
+
+pub mod globals;
+pub mod seq;
+pub mod sim_exec;
+pub mod thread_exec;
+pub mod vm;
+
+pub use seq::run_sequential;
+pub use sim_exec::{run_simulated, SimOutcome};
+pub use thread_exec::run_threaded;
+pub use vm::{StepOutcome, Vm};

@@ -1,0 +1,588 @@
+//! The simulated-parallel executor.
+//!
+//! Runs `main` sequentially until `__par_invoke(section)`, then executes
+//! the section's workers as virtual threads under a discrete-event
+//! scheduler: each worker VM owns a clock; lock, queue and transaction
+//! interactions are resolved by `commset-sim`'s contention models; the
+//! scheduler always advances the minimum-clock runnable worker, so shared
+//! state mutates in simulated-time order and the whole run is
+//! deterministic. Speedups reported by the benchmark harness are ratios of
+//! the `sim_time` produced here.
+
+use crate::globals::PlainGlobals;
+use crate::vm::{PendingSpecial, StepOutcome, Vm};
+use commset_ir::Module;
+use commset_runtime::{Registry, Value, World};
+use commset_sim::lock::AcquireOutcome;
+use commset_sim::{
+    pick_min_clock, CostModel, PopOutcome, PushOutcome, SimLock, SimLockKind, SimQueue, TmModel,
+};
+use commset_transform::{ParallelPlan, SyncMode};
+use std::collections::HashMap;
+
+/// Statistics of one simulated run.
+#[derive(Debug, Clone, Default)]
+pub struct SimStats {
+    /// Per-lock (set name, contention ratio).
+    pub lock_contention: Vec<(String, f64)>,
+    /// Transactions committed.
+    pub tm_commits: u64,
+    /// Transactions aborted.
+    pub tm_aborts: u64,
+    /// Total queue pushes.
+    pub queue_pushes: u64,
+    /// Pops that found an empty queue (pipeline stall indicator).
+    pub queue_stalls: u64,
+}
+
+/// Result of a simulated run.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// `main`'s return value.
+    pub result: Option<Value>,
+    /// Total simulated time (sequential sections + parallel sections).
+    pub sim_time: u64,
+    /// Statistics from the parallel sections.
+    pub stats: SimStats,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum WStatus {
+    Ready,
+    BlockedPop(usize),
+    BlockedPush(usize),
+    BlockedLock(usize),
+    Done,
+}
+
+/// Runs the transformed program under the DES.
+///
+/// `plans` must contain one plan per `__par_invoke` section in the
+/// program, keyed by its `section` field.
+///
+/// # Panics
+///
+/// Panics on executor-contract violations (unknown section, deadlock,
+/// nested parallel sections) and on VM dynamic errors.
+pub fn run_simulated(
+    module: &Module,
+    registry: &Registry,
+    plans: &[ParallelPlan],
+    world: &mut World,
+    cm: &CostModel,
+) -> SimOutcome {
+    let mut globals = PlainGlobals::new(module);
+    let mut vm = Vm::for_name(module, "main", &[]);
+    let mut sim_time: u64 = 0;
+    let mut stats = SimStats::default();
+    loop {
+        match vm.step(&mut globals) {
+            StepOutcome::Ran { cost } => sim_time += cost * cm.inst,
+            StepOutcome::Special(p) => {
+                let name = module.intrinsics.name(p.intrinsic.0 as usize);
+                if name == "__par_invoke" {
+                    let section = p.args[0].as_int();
+                    let plan = plans
+                        .iter()
+                        .find(|pl| pl.section == section)
+                        .unwrap_or_else(|| panic!("no plan for section {section}"));
+                    let (end, section_stats) = run_section(
+                        module,
+                        registry,
+                        plan,
+                        world,
+                        &mut globals,
+                        sim_time,
+                        cm,
+                    );
+                    sim_time = end;
+                    merge_stats(&mut stats, section_stats);
+                    vm.resolve_special(Value::Int(0));
+                } else {
+                    let base = module.intrinsics.sig(p.intrinsic.0 as usize).base_cost;
+                    let out = registry.call(name, world, &p.args);
+                    sim_time += base + out.extra_cost;
+                    vm.resolve_special(out.value);
+                }
+            }
+            StepOutcome::Finished(result) => {
+                return SimOutcome {
+                    result,
+                    sim_time,
+                    stats,
+                }
+            }
+        }
+    }
+}
+
+fn merge_stats(into: &mut SimStats, from: SimStats) {
+    into.lock_contention.extend(from.lock_contention);
+    into.tm_commits += from.tm_commits;
+    into.tm_aborts += from.tm_aborts;
+    into.queue_pushes += from.queue_pushes;
+    into.queue_stalls += from.queue_stalls;
+}
+
+struct Worker<'m> {
+    vm: Vm<'m>,
+    clock: u64,
+    status: WStatus,
+    tx: Option<commset_sim::tm::TxRecord>,
+    /// True when retrying a lock acquisition after having blocked on it
+    /// (pays the contention penalty).
+    lock_retry: bool,
+}
+
+/// Executes one parallel section; returns (end time, stats).
+fn run_section(
+    module: &Module,
+    registry: &Registry,
+    plan: &ParallelPlan,
+    world: &mut World,
+    globals: &mut PlainGlobals,
+    start: u64,
+    cm: &CostModel,
+) -> (u64, SimStats) {
+    let lock_kind = match plan.sync {
+        SyncMode::Spin => SimLockKind::Spin,
+        _ => SimLockKind::Mutex,
+    };
+    let mut locks: Vec<SimLock> = plan
+        .locks
+        .iter()
+        .map(|_| {
+            let mut l = SimLock::new(lock_kind);
+            l.free_at = start;
+            l
+        })
+        .collect();
+    // Queue ids may be sparse in principle; map id -> index.
+    let mut queue_index: HashMap<i64, usize> = HashMap::new();
+    let mut queues: Vec<SimQueue> = Vec::new();
+    for q in &plan.queues {
+        queue_index.insert(q.id, queues.len());
+        queues.push(SimQueue::new(q.capacity));
+    }
+    let mut tm = TmModel::new();
+    // The virtual world is internally thread-safe (the paper's "Lib"
+    // discipline): each intrinsic execution serializes on the channels it
+    // writes, and readers wait for in-flight writers. This is what makes
+    // I/O-channel saturation emerge at high thread counts.
+    let mut channel_free: HashMap<u32, u64> = HashMap::new();
+
+    let mut workers: Vec<Worker<'_>> = plan
+        .workers
+        .iter()
+        .map(|w| Worker {
+            vm: Vm::for_name(module, &w.func, &[Value::Int(w.tid), Value::Int(w.nt)]),
+            clock: start + cm.par_spawn,
+            status: WStatus::Ready,
+            tx: None,
+            lock_retry: false,
+        })
+        .collect();
+
+    loop {
+        let clocks: Vec<u64> = workers.iter().map(|w| w.clock).collect();
+        let runnable: Vec<bool> = workers
+            .iter()
+            .map(|w| w.status == WStatus::Ready)
+            .collect();
+        let Some(i) = pick_min_clock(&clocks, &runnable) else {
+            if workers.iter().all(|w| w.status == WStatus::Done) {
+                break;
+            }
+            panic!(
+                "simulated deadlock in section {}: workers {:?}",
+                plan.section,
+                workers
+                    .iter()
+                    .enumerate()
+                    .map(|(k, w)| format!("{k}:{:?}@{}({})", w.status, w.clock, w.vm.current_function()))
+                    .collect::<Vec<_>>()
+            );
+        };
+        // Step worker i until it blocks, finishes, or completes one special.
+        let step = workers[i].vm.step(globals);
+        match step {
+            StepOutcome::Ran { cost } => {
+                workers[i].clock += cost * cm.inst;
+            }
+            StepOutcome::Finished(_) => {
+                workers[i].status = WStatus::Done;
+            }
+            StepOutcome::Special(p) => {
+                handle_special(
+                    module, registry, world, plan, &mut workers, i, &p, &mut locks,
+                    &mut queues, &queue_index, &mut tm, &mut channel_free, cm,
+                );
+            }
+        }
+    }
+
+    let end = workers
+        .iter()
+        .map(|w| w.clock)
+        .max()
+        .unwrap_or(start)
+        .max(start)
+        + cm.par_spawn;
+    let stats = SimStats {
+        lock_contention: plan
+            .locks
+            .iter()
+            .zip(&locks)
+            .map(|(spec, l)| (spec.set.clone(), l.contention_ratio()))
+            .collect(),
+        tm_commits: tm.commits,
+        tm_aborts: tm.aborts,
+        queue_pushes: queues.iter().map(|q| q.pushes).sum(),
+        queue_stalls: queues.iter().map(|q| q.empty_pops).sum(),
+    };
+    (end, stats)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_special(
+    module: &Module,
+    registry: &Registry,
+    world: &mut World,
+    plan: &ParallelPlan,
+    workers: &mut [Worker<'_>],
+    i: usize,
+    p: &PendingSpecial,
+    locks: &mut [SimLock],
+    queues: &mut [SimQueue],
+    queue_index: &HashMap<i64, usize>,
+    tm: &mut TmModel,
+    channel_free: &mut HashMap<u32, u64>,
+    cm: &CostModel,
+) {
+    let name = module.intrinsics.name(p.intrinsic.0 as usize).to_string();
+    let qidx = |args: &[Value]| -> usize {
+        let id = args[0].as_int();
+        *queue_index
+            .get(&id)
+            .unwrap_or_else(|| panic!("unknown queue id {id}"))
+    };
+    match name.as_str() {
+        "__lock_acquire" => {
+            let l = p.args[0].as_int() as usize;
+            let t = workers[i].clock;
+            let was_blocked = workers[i].lock_retry;
+            match locks[l].try_acquire(t, was_blocked, cm) {
+                AcquireOutcome::Granted(grant) => {
+                    if was_blocked {
+                        locks[l].pending = locks[l].pending.saturating_sub(1);
+                        workers[i].lock_retry = false;
+                    }
+                    workers[i].clock = grant;
+                    workers[i].vm.resolve_special(Value::Int(0));
+                }
+                AcquireOutcome::Held => {
+                    if !was_blocked {
+                        locks[l].pending += 1;
+                        workers[i].lock_retry = true;
+                    }
+                    workers[i].vm.retry_special_later();
+                    workers[i].status = WStatus::BlockedLock(l);
+                }
+            }
+        }
+        "__lock_release" => {
+            let l = p.args[0].as_int() as usize;
+            let t = workers[i].clock;
+            workers[i].clock = locks[l].release(t, cm);
+            workers[i].vm.resolve_special(Value::Int(0));
+            // Wake the blocked requesters; the scheduler grants in clock
+            // order, the rest re-block.
+            for w in workers.iter_mut() {
+                if w.status == WStatus::BlockedLock(l) {
+                    w.status = WStatus::Ready;
+                }
+            }
+        }
+        "__q_push" | "__q_push_f" => {
+            let q = qidx(&p.args);
+            let bits = p.args[1].to_bits();
+            match queues[q].push(workers[i].clock, bits, cm) {
+                PushOutcome::Pushed(t) => {
+                    workers[i].clock = t;
+                    workers[i].vm.resolve_special(Value::Int(0));
+                    // Wake a consumer blocked on this queue.
+                    for w in workers.iter_mut() {
+                        if w.status == WStatus::BlockedPop(q) {
+                            w.status = WStatus::Ready;
+                        }
+                    }
+                }
+                PushOutcome::Full => {
+                    workers[i].vm.retry_special_later();
+                    workers[i].status = WStatus::BlockedPush(q);
+                }
+            }
+        }
+        "__q_pop" | "__q_pop_f" => {
+            let q = qidx(&p.args);
+            match queues[q].pop(workers[i].clock, cm) {
+                PopOutcome::Popped(bits, t) => {
+                    workers[i].clock = t;
+                    let v = Value::from_bits(bits, name == "__q_pop_f");
+                    workers[i].vm.resolve_special(v);
+                    for w in workers.iter_mut() {
+                        if w.status == WStatus::BlockedPush(q) {
+                            w.status = WStatus::Ready;
+                        }
+                    }
+                }
+                PopOutcome::Empty => {
+                    workers[i].vm.retry_special_later();
+                    workers[i].status = WStatus::BlockedPop(q);
+                }
+            }
+        }
+        "__tx_begin" => {
+            let t = workers[i].clock;
+            workers[i].clock = t + cm.tx_begin;
+            workers[i].tx = Some(tm.begin(t, cm));
+            workers[i].vm.resolve_special(Value::Int(0));
+        }
+        "__tx_commit" => {
+            let mut tx = workers[i]
+                .tx
+                .take()
+                .expect("__tx_commit without __tx_begin");
+            loop {
+                let t = workers[i].clock;
+                match tm.commit(&tx, t, cm) {
+                    Ok(done) => {
+                        workers[i].clock = done;
+                        break;
+                    }
+                    Err(wasted) => {
+                        // Redo the transaction's work after the wasted time.
+                        workers[i].clock = t + wasted + tx.work;
+                        tx.start = workers[i].clock;
+                    }
+                }
+            }
+            workers[i].vm.resolve_special(Value::Int(0));
+        }
+        "__par_invoke" => panic!("nested parallel sections are not supported"),
+        _ => {
+            // Ordinary world intrinsic: readers wait for in-flight writers
+            // of their channels, and the execution holds its write channels
+            // for its duration (the internally-thread-safe world).
+            let sig = module.intrinsics.sig(p.intrinsic.0 as usize);
+            let base = sig.base_cost;
+            let out = registry.call(&name, world, &p.args);
+            let cost = base + out.extra_cost;
+            // Private compute overlaps across cores; only the serialized
+            // portion holds the intrinsic's write channels (readers wait
+            // for in-flight writers).
+            let ser = out.serialized_cost.unwrap_or(cost).min(cost);
+            let par = cost - ser;
+            let mut start = workers[i].clock + par;
+            // Instance-partitioned channels hold per-instance state: their
+            // accesses do not serialize across workers (each instance is
+            // its own cache lines).
+            for c in sig.reads.iter().chain(&sig.writes) {
+                if module.intrinsics.is_per_instance(*c) {
+                    continue;
+                }
+                start = start.max(channel_free.get(&c.0).copied().unwrap_or(0));
+            }
+            let done = start + ser;
+            if ser > 0 {
+                for c in &sig.writes {
+                    if module.intrinsics.is_per_instance(*c) {
+                        continue;
+                    }
+                    channel_free.insert(c.0, done);
+                }
+            }
+            workers[i].clock = done;
+            if let Some(tx) = &mut workers[i].tx {
+                tx.work += cost;
+                for c in &sig.reads {
+                    tx.reads
+                        .insert(module.intrinsics.channels.name(*c).to_string());
+                }
+                for c in &sig.writes {
+                    tx.writes
+                        .insert(module.intrinsics.channels.name(*c).to_string());
+                }
+            }
+            workers[i].vm.resolve_special(out.value);
+        }
+    }
+    let _ = plan;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commset_analysis::depanalysis::analyze_commutativity;
+    use commset_analysis::effects::summarize;
+    use commset_analysis::hotloop::find_hot_loop;
+    use commset_analysis::metadata::manage;
+    use commset_analysis::pdg::Pdg;
+    use commset_analysis::scc::dag_scc;
+    use commset_ir::{lower_program, IntrinsicTable};
+    use commset_lang::ast::Type;
+    use commset_runtime::intrinsics::IntrinsicOutcome;
+    use commset_transform::{doall, dswp};
+    use std::collections::BTreeSet;
+
+    fn table() -> IntrinsicTable {
+        let mut t = IntrinsicTable::new();
+        t.register("add_acc", vec![Type::Int], Type::Void, &[], &["ACC"], 20);
+        t.register("emit", vec![Type::Int], Type::Void, &[], &["OUT"], 30);
+        t.register("heavy", vec![Type::Int], Type::Int, &[], &[], 400);
+        t
+    }
+
+    fn registry() -> Registry {
+        let mut r = Registry::new();
+        r.register("add_acc", |world, args| {
+            *world.get_mut::<i64>("acc") += args[0].as_int();
+            IntrinsicOutcome::unit()
+        });
+        r.register("emit", |world, args| {
+            world.get_mut::<Vec<i64>>("out").push(args[0].as_int());
+            IntrinsicOutcome::unit()
+        });
+        r.register("heavy", |_, args| IntrinsicOutcome::value(args[0].as_int() * 2));
+        r
+    }
+
+    /// Heavy pure compute per iteration plus a small commutative update to
+    /// shared state — the shape every scalable workload has.
+    const DOALL_SRC: &str = r#"
+        extern int heavy(int x);
+        extern void add_acc(int v);
+        int main() {
+            int n = 64;
+            for (int i = 0; i < n; i = i + 1) {
+                int w = heavy(i);
+                #pragma CommSet(SELF)
+                { add_acc(i); }
+            }
+            return 0;
+        }
+    "#;
+
+    fn compile_doall(nthreads: usize, sync: SyncMode) -> (Module, ParallelPlan) {
+        let table = table();
+        let unit = commset_lang::compile_unit(DOALL_SRC).unwrap();
+        let managed = manage(unit).unwrap();
+        let summaries = summarize(&managed.program, &table);
+        let hot = find_hot_loop(&managed, &summaries, &table, "main").unwrap();
+        let mut pdg = Pdg::build(&hot);
+        analyze_commutativity(&mut pdg, &managed, &hot);
+        let pp = doall::apply_doall(
+            &managed,
+            &hot,
+            &pdg,
+            &summaries,
+            &BTreeSet::new(),
+            nthreads,
+            sync,
+            0,
+        )
+        .unwrap();
+        let module = lower_program(&pp.program, table).unwrap();
+        (module, pp.plan)
+    }
+
+    #[test]
+    fn doall_produces_correct_sum_and_speedup() {
+        // Sequential baseline.
+        let table = table();
+        let unit = commset_lang::compile_unit(DOALL_SRC).unwrap();
+        let managed = manage(unit).unwrap();
+        let seq_module = lower_program(&managed.program, table).unwrap();
+        let mut world = World::new();
+        world.install("acc", 0i64);
+        let cm = CostModel::default();
+        let seq = crate::seq::run_sequential(&seq_module, &registry(), &mut world, &cm, "main");
+        assert_eq!(*world.get::<i64>("acc"), (0..64).sum::<i64>());
+        // Parallel on 4 virtual cores.
+        let (module, plan) = compile_doall(4, SyncMode::Spin);
+        let mut world4 = World::new();
+        world4.install("acc", 0i64);
+        let par = run_simulated(&module, &registry(), &[plan], &mut world4, &cm);
+        assert_eq!(*world4.get::<i64>("acc"), (0..64).sum::<i64>());
+        let speedup = seq.sim_time as f64 / par.sim_time as f64;
+        assert!(
+            speedup > 2.0,
+            "DOALL x4 should speed up ~4x, got {speedup:.2} (seq={} par={})",
+            seq.sim_time,
+            par.sim_time
+        );
+        let _ = par.result;
+    }
+
+    #[test]
+    fn doall_is_deterministic() {
+        let cm = CostModel::default();
+        let (module, plan) = compile_doall(3, SyncMode::Mutex);
+        let run = || {
+            let mut world = World::new();
+            world.install("acc", 0i64);
+            let out = run_simulated(&module, &registry(), std::slice::from_ref(&plan), &mut world, &cm);
+            (out.sim_time, *world.get::<i64>("acc"))
+        };
+        assert_eq!(run(), run());
+    }
+
+    const PIPE_SRC: &str = r#"
+        extern int heavy(int x);
+        extern void emit(int y);
+        int main() {
+            int n = 40;
+            for (int i = 0; i < n; i = i + 1) {
+                int y = heavy(i);
+                emit(y);
+            }
+            return 0;
+        }
+    "#;
+
+    #[test]
+    fn ps_dswp_preserves_output_order() {
+        let table = table();
+        let unit = commset_lang::compile_unit(PIPE_SRC).unwrap();
+        let managed = manage(unit).unwrap();
+        let summaries = summarize(&managed.program, &table);
+        let hot = find_hot_loop(&managed, &summaries, &table, "main").unwrap();
+        let mut pdg = Pdg::build(&hot);
+        analyze_commutativity(&mut pdg, &managed, &hot);
+        let dag = dag_scc(&pdg);
+        let pp = dswp::apply_ps_dswp(
+            &managed,
+            &hot,
+            &pdg,
+            &dag,
+            &summaries,
+            &["OUT".to_string()].into(),
+            5,
+            SyncMode::Lib,
+            0,
+        )
+        .unwrap();
+        let module = lower_program(&pp.program, table).unwrap();
+        let mut world = World::new();
+        world.install("out", Vec::<i64>::new());
+        let cm = CostModel::default();
+        let out = run_simulated(&module, &registry(), &[pp.plan], &mut world, &cm);
+        let produced = world.get::<Vec<i64>>("out");
+        let expected: Vec<i64> = (0..40).map(|i| i * 2).collect();
+        assert_eq!(
+            produced, &expected,
+            "sequential output stage preserves order"
+        );
+        assert!(out.stats.queue_pushes > 0);
+    }
+}

@@ -1,0 +1,293 @@
+//! The real-thread executor.
+//!
+//! Workers run on OS threads with the runtime's lock-free SPSC queues and
+//! raw locks; globals live in a shared atomic store and the world behind a
+//! mutex. On this reproduction's single-core host it cannot demonstrate
+//! speedups — it exists so the correctness tests can validate that the
+//! compiled parallel code computes the same results under genuinely
+//! concurrent execution. TM mode falls back to a single global mutex here
+//! (pessimistic but correct); the simulated executor models optimism.
+
+use crate::globals::{AtomicGlobals, SharedGlobals};
+use crate::vm::{StepOutcome, Vm};
+use commset_ir::Module;
+use commset_runtime::lock::{LockKind, RawLock};
+use commset_runtime::{Registry, SpscQueue, Value, World};
+use commset_transform::{ParallelPlan, SyncMode};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Result of a threaded run.
+#[derive(Debug)]
+pub struct ThreadOutcome {
+    /// `main`'s return value.
+    pub result: Option<Value>,
+    /// Wall-clock duration.
+    pub wall: Duration,
+    /// The world after execution.
+    pub world: World,
+}
+
+/// Runs the transformed program on real threads.
+///
+/// # Panics
+///
+/// Panics on executor-contract violations (unknown section id) and on VM
+/// dynamic errors in any worker.
+pub fn run_threaded(
+    module: &Module,
+    registry: &Registry,
+    plans: &[ParallelPlan],
+    world: World,
+) -> ThreadOutcome {
+    let start = Instant::now();
+    let shared_globals = AtomicGlobals::new(module);
+    let world = Arc::new(Mutex::new(world));
+    let mut globals = SharedGlobals::new(Arc::clone(&shared_globals));
+    let mut vm = Vm::for_name(module, "main", &[]);
+    let result = loop {
+        match vm.step(&mut globals) {
+            StepOutcome::Ran { .. } => {}
+            StepOutcome::Special(p) => {
+                let name = module.intrinsics.name(p.intrinsic.0 as usize);
+                if name == "__par_invoke" {
+                    let section = p.args[0].as_int();
+                    let plan = plans
+                        .iter()
+                        .find(|pl| pl.section == section)
+                        .unwrap_or_else(|| panic!("no plan for section {section}"));
+                    run_section(module, registry, plan, &shared_globals, &world);
+                    vm.resolve_special(Value::Int(0));
+                } else {
+                    let out = registry.call(name, &mut world.lock(), &p.args);
+                    vm.resolve_special(out.value);
+                }
+            }
+            StepOutcome::Finished(v) => break v,
+        }
+    };
+    let world = Arc::try_unwrap(world)
+        .expect("all workers joined")
+        .into_inner();
+    ThreadOutcome {
+        result,
+        wall: start.elapsed(),
+        world,
+    }
+}
+
+fn run_section(
+    module: &Module,
+    registry: &Registry,
+    plan: &ParallelPlan,
+    shared_globals: &Arc<AtomicGlobals>,
+    world: &Arc<Mutex<World>>,
+) {
+    let lock_kind = match plan.sync {
+        SyncMode::Spin => LockKind::Spin,
+        _ => LockKind::Mutex,
+    };
+    let locks: Arc<Vec<RawLock>> =
+        Arc::new(plan.locks.iter().map(|_| RawLock::new(lock_kind)).collect());
+    // TM fallback: one global pessimistic lock.
+    let tm_lock = Arc::new(RawLock::new(LockKind::Mutex));
+    let mut queue_index: HashMap<i64, usize> = HashMap::new();
+    let mut queue_vec: Vec<SpscQueue<u64>> = Vec::new();
+    for q in &plan.queues {
+        queue_index.insert(q.id, queue_vec.len());
+        queue_vec.push(SpscQueue::new(q.capacity));
+    }
+    let queues = Arc::new(queue_vec);
+    let queue_index = Arc::new(queue_index);
+
+    crossbeam::thread::scope(|scope| {
+        for w in &plan.workers {
+            let locks = Arc::clone(&locks);
+            let tm_lock = Arc::clone(&tm_lock);
+            let queues = Arc::clone(&queues);
+            let queue_index = Arc::clone(&queue_index);
+            let world = Arc::clone(world);
+            let shared_globals = Arc::clone(shared_globals);
+            scope.spawn(move |_| {
+                let mut globals = SharedGlobals::new(shared_globals);
+                let mut vm =
+                    Vm::for_name(module, &w.func, &[Value::Int(w.tid), Value::Int(w.nt)]);
+                loop {
+                    match vm.step(&mut globals) {
+                        StepOutcome::Ran { .. } => {}
+                        StepOutcome::Finished(_) => break,
+                        StepOutcome::Special(p) => {
+                            let name =
+                                module.intrinsics.name(p.intrinsic.0 as usize);
+                            match name {
+                                "__lock_acquire" => {
+                                    locks[p.args[0].as_int() as usize].acquire();
+                                    vm.resolve_special(Value::Int(0));
+                                }
+                                "__lock_release" => {
+                                    locks[p.args[0].as_int() as usize].release();
+                                    vm.resolve_special(Value::Int(0));
+                                }
+                                "__q_push" | "__q_push_f" => {
+                                    let q = queue_index[&p.args[0].as_int()];
+                                    queues[q].push_blocking(p.args[1].to_bits());
+                                    vm.resolve_special(Value::Int(0));
+                                }
+                                "__q_pop" | "__q_pop_f" => {
+                                    let q = queue_index[&p.args[0].as_int()];
+                                    let bits = queues[q].pop_blocking();
+                                    vm.resolve_special(Value::from_bits(
+                                        bits,
+                                        name == "__q_pop_f",
+                                    ));
+                                }
+                                "__tx_begin" => {
+                                    tm_lock.acquire();
+                                    vm.resolve_special(Value::Int(0));
+                                }
+                                "__tx_commit" => {
+                                    tm_lock.release();
+                                    vm.resolve_special(Value::Int(0));
+                                }
+                                "__par_invoke" => {
+                                    panic!("nested parallel sections are not supported")
+                                }
+                                _ => {
+                                    let out = {
+                                        let mut w = world.lock();
+                                        registry.call(name, &mut w, &p.args)
+                                    };
+                                    vm.resolve_special(out.value);
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commset_analysis::depanalysis::analyze_commutativity;
+    use commset_analysis::effects::summarize;
+    use commset_analysis::hotloop::find_hot_loop;
+    use commset_analysis::metadata::manage;
+    use commset_analysis::pdg::Pdg;
+    use commset_analysis::scc::dag_scc;
+    use commset_ir::{lower_program, IntrinsicTable};
+    use commset_lang::ast::Type;
+    use commset_runtime::intrinsics::IntrinsicOutcome;
+    use commset_transform::{doall, dswp};
+    use std::collections::BTreeSet;
+
+    fn table() -> IntrinsicTable {
+        let mut t = IntrinsicTable::new();
+        t.register("add_acc", vec![Type::Int], Type::Void, &[], &["ACC"], 50);
+        t.register("double", vec![Type::Int], Type::Int, &[], &[], 50);
+        t.register("emit", vec![Type::Int], Type::Void, &[], &["OUT"], 20);
+        t
+    }
+
+    fn registry() -> Registry {
+        let mut r = Registry::new();
+        r.register("add_acc", |world, args| {
+            *world.get_mut::<i64>("acc") += args[0].as_int();
+            IntrinsicOutcome::unit()
+        });
+        r.register("double", |_, args| {
+            IntrinsicOutcome::value(args[0].as_int() * 2)
+        });
+        r.register("emit", |world, args| {
+            world.get_mut::<Vec<i64>>("out").push(args[0].as_int());
+            IntrinsicOutcome::unit()
+        });
+        r
+    }
+
+    #[test]
+    fn threaded_doall_sums_correctly() {
+        let src = r#"
+            extern void add_acc(int v);
+            int main() {
+                int n = 200;
+                for (int i = 0; i < n; i = i + 1) {
+                    #pragma CommSet(SELF)
+                    { add_acc(i); }
+                }
+                return 0;
+            }
+        "#;
+        let table = table();
+        let unit = commset_lang::compile_unit(src).unwrap();
+        let managed = manage(unit).unwrap();
+        let summaries = summarize(&managed.program, &table);
+        let hot = find_hot_loop(&managed, &summaries, &table, "main").unwrap();
+        let mut pdg = Pdg::build(&hot);
+        analyze_commutativity(&mut pdg, &managed, &hot);
+        let pp = doall::apply_doall(
+            &managed,
+            &hot,
+            &pdg,
+            &summaries,
+            &BTreeSet::new(),
+            4,
+            SyncMode::Spin,
+            0,
+        )
+        .unwrap();
+        let module = lower_program(&pp.program, table).unwrap();
+        let mut world = World::new();
+        world.install("acc", 0i64);
+        let out = run_threaded(&module, &registry(), &[pp.plan], world);
+        assert_eq!(*out.world.get::<i64>("acc"), (0..200).sum::<i64>());
+    }
+
+    #[test]
+    fn threaded_pipeline_preserves_order() {
+        let src = r#"
+            extern int double(int x);
+            extern void emit(int y);
+            int main() {
+                int n = 100;
+                for (int i = 0; i < n; i = i + 1) {
+                    int y = double(i);
+                    emit(y);
+                }
+                return 0;
+            }
+        "#;
+        let table = table();
+        let unit = commset_lang::compile_unit(src).unwrap();
+        let managed = manage(unit).unwrap();
+        let summaries = summarize(&managed.program, &table);
+        let hot = find_hot_loop(&managed, &summaries, &table, "main").unwrap();
+        let mut pdg = Pdg::build(&hot);
+        analyze_commutativity(&mut pdg, &managed, &hot);
+        let dag = dag_scc(&pdg);
+        let pp = dswp::apply_ps_dswp(
+            &managed,
+            &hot,
+            &pdg,
+            &dag,
+            &summaries,
+            &["OUT".to_string()].into(),
+            4,
+            SyncMode::Lib,
+            0,
+        )
+        .unwrap();
+        let module = lower_program(&pp.program, table).unwrap();
+        let mut world = World::new();
+        world.install("out", Vec::<i64>::new());
+        let out = run_threaded(&module, &registry(), &[pp.plan], world);
+        let produced = out.world.get::<Vec<i64>>("out");
+        let expected: Vec<i64> = (0..100).map(|i| i * 2).collect();
+        assert_eq!(produced, &expected);
+    }
+}

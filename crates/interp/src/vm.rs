@@ -1,0 +1,492 @@
+//! The resumable Cmm virtual machine.
+//!
+//! `step()` retires exactly one instruction (or terminator). Calls to
+//! program functions push frames internally; calls to *intrinsics* pause
+//! the machine with a [`StepOutcome::Special`] event — the executor
+//! computes the result (world access, queue/lock interaction, blocking)
+//! and resumes the machine with [`Vm::resolve_special`]. This design lets
+//! the discrete-event executor interleave many machines deterministically
+//! and lets the thread executor block on real primitives, with one VM
+//! implementation.
+
+use commset_ir::repr::{
+    ArrRef, Arg, Block, Callee, Const, FuncId, Function, Inst, IntrinsicId, Module, Slot,
+    Terminator,
+};
+use commset_lang::ast::{BinOp, Type, UnOp};
+use commset_runtime::Value;
+
+/// Global-memory backend used by a VM.
+pub trait GlobalMem {
+    /// Reads a scalar global.
+    fn load(&mut self, g: commset_ir::GlobalId) -> Value;
+    /// Writes a scalar global.
+    fn store(&mut self, g: commset_ir::GlobalId, v: Value);
+    /// Reads a global array element.
+    fn load_elem(&mut self, g: commset_ir::GlobalId, idx: i64) -> Value;
+    /// Writes a global array element.
+    fn store_elem(&mut self, g: commset_ir::GlobalId, idx: i64, v: Value);
+}
+
+/// One activation record.
+#[derive(Debug)]
+struct Frame {
+    func: FuncId,
+    block: usize,
+    idx: usize,
+    slots: Vec<Value>,
+    arrays: Vec<Vec<Value>>,
+    /// Where the caller wants this frame's return value.
+    ret_dst: Option<Slot>,
+}
+
+/// A pending intrinsic call awaiting its result.
+#[derive(Debug, Clone)]
+pub struct PendingSpecial {
+    /// The intrinsic being called.
+    pub intrinsic: IntrinsicId,
+    /// Evaluated arguments (string literals become interned handles via
+    /// `str_args`).
+    pub args: Vec<Value>,
+    /// String-literal arguments, position-paired with `args` slots holding
+    /// a placeholder `Int(0)`.
+    pub str_args: Vec<(usize, String)>,
+}
+
+/// What one `step()` did.
+#[derive(Debug)]
+pub enum StepOutcome {
+    /// An instruction retired; `cost` abstract units were spent.
+    Ran {
+        /// Abstract cost units (the executor scales them).
+        cost: u64,
+    },
+    /// The machine is paused on an intrinsic call; resolve it with
+    /// [`Vm::resolve_special`].
+    Special(PendingSpecial),
+    /// The entry function returned.
+    Finished(Option<Value>),
+}
+
+/// A resumable virtual machine executing one logical thread.
+pub struct Vm<'m> {
+    module: &'m Module,
+    frames: Vec<Frame>,
+    pending: bool,
+    finished: bool,
+}
+
+impl std::fmt::Debug for Vm<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Vm")
+            .field("depth", &self.frames.len())
+            .field("pending", &self.pending)
+            .field("finished", &self.finished)
+            .finish()
+    }
+}
+
+fn zero_of(ty: Type) -> Value {
+    match ty {
+        Type::Float => Value::Float(0.0),
+        _ => Value::Int(0),
+    }
+}
+
+fn new_frame(f: &Function, func: FuncId, args: &[Value], ret_dst: Option<Slot>) -> Frame {
+    assert_eq!(
+        args.len(),
+        f.param_count,
+        "arity mismatch calling `{}`",
+        f.name
+    );
+    let mut slots: Vec<Value> = f.slots.iter().map(|s| zero_of(s.ty)).collect();
+    slots[..args.len()].copy_from_slice(args);
+    let arrays = f
+        .arrays
+        .iter()
+        .map(|a| vec![zero_of(a.ty); a.len])
+        .collect();
+    Frame {
+        func,
+        block: 0,
+        idx: 0,
+        slots,
+        arrays,
+        ret_dst,
+    }
+}
+
+impl<'m> Vm<'m> {
+    /// Creates a machine poised to run `func(args...)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch.
+    pub fn new(module: &'m Module, func: FuncId, args: &[Value]) -> Self {
+        let f = module.func(func);
+        Vm {
+            module,
+            frames: vec![new_frame(f, func, args, None)],
+            pending: false,
+            finished: false,
+        }
+    }
+
+    /// Convenience: machine for a function by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function does not exist.
+    pub fn for_name(module: &'m Module, name: &str, args: &[Value]) -> Self {
+        let id = module
+            .func_id(name)
+            .unwrap_or_else(|| panic!("no function `{name}`"));
+        Vm::new(module, id, args)
+    }
+
+    /// True once the entry function has returned.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Name of the function currently on top of the stack (diagnostics).
+    pub fn current_function(&self) -> &str {
+        match self.frames.last() {
+            Some(fr) => &self.module.func(fr.func).name,
+            None => "<finished>",
+        }
+    }
+
+    /// Supplies the result of the pending intrinsic call and advances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no special is pending.
+    pub fn resolve_special(&mut self, value: Value) {
+        assert!(self.pending, "no pending special");
+        self.pending = false;
+        let fr = self.frames.last_mut().expect("frame");
+        let cur = &self.module.func(fr.func).blocks[fr.block];
+        if let Inst::Call { dst: Some(d), .. } = &cur.insts[fr.idx].inst {
+            fr.slots[d.0 as usize] = value;
+        }
+        fr.idx += 1;
+    }
+
+    /// Abandons the pending intrinsic call so it can be retried later
+    /// (used by executors when a queue operation must block).
+    pub fn retry_special_later(&mut self) {
+        assert!(self.pending, "no pending special");
+        self.pending = false;
+    }
+
+    /// Executes one instruction or terminator.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dynamic errors our type system does not rule out
+    /// (array index out of bounds, division by zero) and on stepping a
+    /// finished or pending machine.
+    pub fn step(&mut self, globals: &mut dyn GlobalMem) -> StepOutcome {
+        assert!(!self.pending, "resolve the pending special first");
+        assert!(!self.finished, "machine already finished");
+        let module = self.module;
+        let fr = self.frames.last_mut().expect("frame");
+        let func = module.func(fr.func);
+        let block: &Block = &func.blocks[fr.block];
+        if fr.idx >= block.insts.len() {
+            // Terminator.
+            match &block.term {
+                Terminator::Jump(b) => {
+                    fr.block = b.0 as usize;
+                    fr.idx = 0;
+                }
+                Terminator::Br {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
+                    let taken = fr.slots[cond.0 as usize].is_true();
+                    fr.block = if taken { then_bb.0 as usize } else { else_bb.0 as usize };
+                    fr.idx = 0;
+                }
+                Terminator::Ret(v) => {
+                    let value = v.map(|s| fr.slots[s.0 as usize]);
+                    let ret_dst = fr.ret_dst;
+                    self.frames.pop();
+                    match self.frames.last_mut() {
+                        Some(caller) => {
+                            if let (Some(d), Some(v)) = (ret_dst, value) {
+                                caller.slots[d.0 as usize] = v;
+                            }
+                            caller.idx += 1;
+                        }
+                        None => {
+                            self.finished = true;
+                            return StepOutcome::Finished(value);
+                        }
+                    }
+                }
+            }
+            return StepOutcome::Ran { cost: 1 };
+        }
+        let inst = &block.insts[fr.idx].inst;
+        match inst {
+            Inst::Const { dst, value } => {
+                fr.slots[dst.0 as usize] = match value {
+                    Const::Int(v) => Value::Int(*v),
+                    Const::Float(v) => Value::Float(*v),
+                };
+            }
+            Inst::Copy { dst, src } => {
+                fr.slots[dst.0 as usize] = fr.slots[src.0 as usize];
+            }
+            Inst::Un { dst, op, src } => {
+                let v = fr.slots[src.0 as usize];
+                fr.slots[dst.0 as usize] = eval_un(*op, v);
+            }
+            Inst::Bin { dst, op, lhs, rhs } => {
+                let a = fr.slots[lhs.0 as usize];
+                let b = fr.slots[rhs.0 as usize];
+                fr.slots[dst.0 as usize] = eval_bin(*op, a, b);
+            }
+            Inst::Cast { dst, ty, src } => {
+                let v = fr.slots[src.0 as usize];
+                fr.slots[dst.0 as usize] = match (ty, v) {
+                    (Type::Float, Value::Int(i)) => Value::Float(i as f64),
+                    (Type::Int, Value::Float(f)) => Value::Int(f as i64),
+                    _ => v,
+                };
+            }
+            Inst::LoadG { dst, global } => {
+                fr.slots[dst.0 as usize] = globals.load(*global);
+            }
+            Inst::StoreG { global, src } => {
+                globals.store(*global, fr.slots[src.0 as usize]);
+            }
+            Inst::LoadElem { dst, arr, idx } => {
+                let i = fr.slots[idx.0 as usize].as_int();
+                fr.slots[dst.0 as usize] = match arr {
+                    ArrRef::Local(a) => {
+                        let arr = &fr.arrays[a.0 as usize];
+                        *arr.get(i as usize).unwrap_or_else(|| {
+                            panic!("array index {i} out of bounds (len {})", arr.len())
+                        })
+                    }
+                    ArrRef::Global(g) => globals.load_elem(*g, i),
+                };
+            }
+            Inst::StoreElem { arr, idx, src } => {
+                let i = fr.slots[idx.0 as usize].as_int();
+                let v = fr.slots[src.0 as usize];
+                match arr {
+                    ArrRef::Local(a) => {
+                        let arr = &mut fr.arrays[a.0 as usize];
+                        let len = arr.len();
+                        *arr.get_mut(i as usize).unwrap_or_else(|| {
+                            panic!("array index {i} out of bounds (len {len})")
+                        }) = v;
+                    }
+                    ArrRef::Global(g) => globals.store_elem(*g, i, v),
+                }
+            }
+            Inst::Call { dst, callee, args } => {
+                let mut vals = Vec::with_capacity(args.len());
+                let mut str_args = Vec::new();
+                for (i, a) in args.iter().enumerate() {
+                    match a {
+                        Arg::Slot(s) => vals.push(fr.slots[s.0 as usize]),
+                        Arg::Str(s) => {
+                            str_args.push((i, s.clone()));
+                            vals.push(Value::Int(0));
+                        }
+                    }
+                }
+                match callee {
+                    Callee::Func(fid) => {
+                        let callee_fn = module.func(*fid);
+                        let frame = new_frame(callee_fn, *fid, &vals, *dst);
+                        self.frames.push(frame);
+                        return StepOutcome::Ran { cost: 3 };
+                    }
+                    Callee::Intrinsic(iid) => {
+                        // `dst` is re-read from the instruction when the
+                        // executor resolves the call.
+                        let _ = dst;
+                        self.pending = true;
+                        return StepOutcome::Special(PendingSpecial {
+                            intrinsic: *iid,
+                            args: vals,
+                            str_args,
+                        });
+                    }
+                }
+            }
+        }
+        fr.idx += 1;
+        StepOutcome::Ran { cost: 1 }
+    }
+}
+
+fn eval_un(op: UnOp, v: Value) -> Value {
+    match (op, v) {
+        (UnOp::Neg, Value::Int(i)) => Value::Int(i.wrapping_neg()),
+        (UnOp::Neg, Value::Float(f)) => Value::Float(-f),
+        (UnOp::Not, v) => Value::from(!v.is_true()),
+        (UnOp::BitNot, Value::Int(i)) => Value::Int(!i),
+        (UnOp::BitNot, Value::Float(_)) => panic!("bitwise not on float"),
+    }
+}
+
+fn eval_bin(op: BinOp, a: Value, b: Value) -> Value {
+    use BinOp::*;
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => match op {
+            Add => Value::Int(x.wrapping_add(y)),
+            Sub => Value::Int(x.wrapping_sub(y)),
+            Mul => Value::Int(x.wrapping_mul(y)),
+            Div => {
+                assert!(y != 0, "division by zero");
+                Value::Int(x.wrapping_div(y))
+            }
+            Rem => {
+                assert!(y != 0, "remainder by zero");
+                Value::Int(x.wrapping_rem(y))
+            }
+            Shl => Value::Int(x.wrapping_shl(y as u32)),
+            Shr => Value::Int(((x as u64) >> (y as u32 & 63)) as i64),
+            Lt => Value::from(x < y),
+            Le => Value::from(x <= y),
+            Gt => Value::from(x > y),
+            Ge => Value::from(x >= y),
+            Eq => Value::from(x == y),
+            Ne => Value::from(x != y),
+            BitAnd => Value::Int(x & y),
+            BitOr => Value::Int(x | y),
+            BitXor => Value::Int(x ^ y),
+            And => Value::from(x != 0 && y != 0),
+            Or => Value::from(x != 0 || y != 0),
+        },
+        (Value::Float(x), Value::Float(y)) => match op {
+            Add => Value::Float(x + y),
+            Sub => Value::Float(x - y),
+            Mul => Value::Float(x * y),
+            Div => Value::Float(x / y),
+            Lt => Value::from(x < y),
+            Le => Value::from(x <= y),
+            Gt => Value::from(x > y),
+            Ge => Value::from(x >= y),
+            Eq => Value::from(x == y),
+            Ne => Value::from(x != y),
+            other => panic!("operator {} on floats", other.as_str()),
+        },
+        (a, b) => panic!("mixed operand types: {a} {} {b}", op.as_str()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::globals::PlainGlobals;
+    use commset_ir::{lower_program, IntrinsicTable};
+
+    fn module(src: &str) -> Module {
+        let unit = commset_lang::compile_unit(src).unwrap();
+        lower_program(&unit.program, IntrinsicTable::new()).unwrap()
+    }
+
+    fn run_main(src: &str) -> Option<Value> {
+        let m = module(src);
+        let mut globals = PlainGlobals::new(&m);
+        let mut vm = Vm::for_name(&m, "main", &[]);
+        loop {
+            match vm.step(&mut globals) {
+                StepOutcome::Ran { .. } => {}
+                StepOutcome::Finished(v) => return v,
+                StepOutcome::Special(_) => panic!("unexpected intrinsic"),
+            }
+        }
+    }
+
+    #[test]
+    fn arithmetic_and_loops() {
+        let v = run_main(
+            "int main() { int s = 0; for (int i = 0; i < 10; i = i + 1) { if (i % 2 == 0) s += i; } return s; }",
+        );
+        assert_eq!(v, Some(Value::Int(20)));
+    }
+
+    #[test]
+    fn function_calls_and_recursion() {
+        let v = run_main(
+            "int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); } int main() { return fib(10); }",
+        );
+        assert_eq!(v, Some(Value::Int(55)));
+    }
+
+    #[test]
+    fn floats_and_casts() {
+        let v = run_main(
+            "int main() { float x = 1.5; float y = x * 2.0; return int(y) + int(float(3)); }",
+        );
+        assert_eq!(v, Some(Value::Int(6)));
+    }
+
+    #[test]
+    fn globals_and_arrays() {
+        let v = run_main(
+            "int g = 5; int a[4]; int main() { a[0] = g; a[1] = a[0] * 2; int buf[2]; buf[1] = a[1] + 1; g = buf[1]; return g; }",
+        );
+        assert_eq!(v, Some(Value::Int(11)));
+    }
+
+    #[test]
+    fn short_circuit_semantics() {
+        // g() must not run when f() is false: detect via a global.
+        let v = run_main(
+            "int g = 0; int f() { return 0; } int h() { g = 1; return 1; } int main() { if (f() && h()) { return 9; } return g; }",
+        );
+        assert_eq!(v, Some(Value::Int(0)), "h() must not execute");
+    }
+
+    #[test]
+    fn while_and_break_continue() {
+        let v = run_main(
+            "int main() { int s = 0; int i = 0; while (1) { i = i + 1; if (i > 10) break; if (i % 3 != 0) continue; s += i; } return s; }",
+        );
+        assert_eq!(v, Some(Value::Int(18)), "3 + 6 + 9");
+    }
+
+    #[test]
+    fn intrinsic_pauses_machine() {
+        let m = module("extern int ask(int x); int main() { return ask(21) * 2; }");
+        let mut globals = PlainGlobals::new(&m);
+        let mut vm = Vm::for_name(&m, "main", &[]);
+        loop {
+            match vm.step(&mut globals) {
+                StepOutcome::Ran { .. } => {}
+                StepOutcome::Special(p) => {
+                    assert_eq!(p.args, vec![Value::Int(21)]);
+                    vm.resolve_special(Value::Int(p.args[0].as_int() + 1));
+                }
+                StepOutcome::Finished(v) => {
+                    assert_eq!(v, Some(Value::Int(44)));
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        run_main("int main() { int z = 0; return 1 / z; }");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn array_bounds_checked() {
+        run_main("int main() { int a[2]; a[5] = 1; return 0; }");
+    }
+}

@@ -1,0 +1,140 @@
+//! Control-flow graph utilities: predecessor maps and orderings.
+
+use crate::repr::{BlockId, Function};
+
+/// Predecessor/successor view of a function's CFG.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// `preds[b]` = blocks jumping to `b`.
+    pub preds: Vec<Vec<BlockId>>,
+    /// `succs[b]` = successors of `b`.
+    pub succs: Vec<Vec<BlockId>>,
+    /// Blocks in reverse postorder from the entry.
+    pub rpo: Vec<BlockId>,
+    /// `rpo_index[b]` = position of `b` in `rpo`, or `usize::MAX` if
+    /// unreachable.
+    pub rpo_index: Vec<usize>,
+}
+
+impl Cfg {
+    /// Computes the CFG of `f`.
+    pub fn new(f: &Function) -> Self {
+        let n = f.blocks.len();
+        let mut preds = vec![Vec::new(); n];
+        let mut succs = vec![Vec::new(); n];
+        for (i, b) in f.blocks.iter().enumerate() {
+            let from = BlockId(i as u32);
+            for s in b.term.successors() {
+                succs[i].push(s);
+                preds[s.0 as usize].push(from);
+            }
+        }
+        // Iterative DFS for postorder.
+        let mut state = vec![0u8; n]; // 0 = unvisited, 1 = on stack, 2 = done
+        let mut post: Vec<BlockId> = Vec::with_capacity(n);
+        let mut stack: Vec<(BlockId, usize)> = vec![(BlockId(0), 0)];
+        state[0] = 1;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            let bs = &succs[b.0 as usize];
+            if *next < bs.len() {
+                let s = bs[*next];
+                *next += 1;
+                if state[s.0 as usize] == 0 {
+                    state[s.0 as usize] = 1;
+                    stack.push((s, 0));
+                }
+            } else {
+                state[b.0 as usize] = 2;
+                post.push(b);
+                stack.pop();
+            }
+        }
+        let rpo: Vec<BlockId> = post.into_iter().rev().collect();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_index[b.0 as usize] = i;
+        }
+        Cfg {
+            preds,
+            succs,
+            rpo,
+            rpo_index,
+        }
+    }
+
+    /// True if `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_index[b.0 as usize] != usize::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::repr::{Const, Inst, Slot, Terminator};
+    use commset_lang::ast::Type;
+
+    /// entry -> loop_head -> {body -> loop_head, exit}
+    fn diamond_loop() -> Function {
+        let mut b = FunctionBuilder::new("f", &[], Type::Void);
+        let head = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let c = b.new_temp(Type::Int);
+        b.push(Inst::Const {
+            dst: c,
+            value: Const::Int(1),
+        });
+        b.terminate(Terminator::Jump(head));
+        b.switch_to(head);
+        b.terminate(Terminator::Br {
+            cond: c,
+            then_bb: body,
+            else_bb: exit,
+        });
+        b.switch_to(body);
+        b.terminate(Terminator::Jump(head));
+        b.switch_to(exit);
+        b.terminate(Terminator::Ret(None));
+        b.finish()
+    }
+
+    #[test]
+    fn preds_and_succs() {
+        let f = diamond_loop();
+        let cfg = Cfg::new(&f);
+        // head (bb1) has preds entry (bb0) and body (bb2).
+        assert_eq!(cfg.preds[1], vec![BlockId(0), BlockId(2)]);
+        assert_eq!(cfg.succs[1], vec![BlockId(2), BlockId(3)]);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_respects_order() {
+        let f = diamond_loop();
+        let cfg = Cfg::new(&f);
+        assert_eq!(cfg.rpo[0], BlockId(0));
+        // head must come before body and exit.
+        assert!(cfg.rpo_index[1] < cfg.rpo_index[2]);
+        assert!(cfg.rpo_index[1] < cfg.rpo_index[3]);
+        assert!(cfg.is_reachable(BlockId(3)));
+    }
+
+    #[test]
+    fn unreachable_blocks_are_flagged() {
+        let mut b = FunctionBuilder::new("f", &[], Type::Void);
+        let dead = b.new_block();
+        b.terminate(Terminator::Ret(None));
+        b.switch_to(dead);
+        b.terminate(Terminator::Ret(None));
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        assert!(!cfg.is_reachable(dead));
+    }
+
+    // Slot is unused but keeps the import list honest for future tests.
+    #[allow(dead_code)]
+    fn _unused(s: Slot) -> Slot {
+        s
+    }
+}

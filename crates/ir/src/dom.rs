@@ -1,0 +1,157 @@
+//! Dominator tree via the Cooper–Harvey–Kennedy iterative algorithm.
+//!
+//! Algorithm 1 of the paper needs dominance queries between PDG nodes
+//! (`Dom(n2, n1)`) to decide whether a loop-carried commutative dependence
+//! can be treated as unconditionally commutative (§4.4, lines 23–27).
+
+use crate::cfg::Cfg;
+use crate::repr::{BlockId, Function};
+
+/// The dominator tree of a function.
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    /// `idom[b]` = immediate dominator of `b`; entry's idom is itself;
+    /// `None` for unreachable blocks.
+    pub idom: Vec<Option<BlockId>>,
+}
+
+impl DomTree {
+    /// Computes the dominator tree of `f` given its `cfg`.
+    pub fn new(f: &Function, cfg: &Cfg) -> Self {
+        let n = f.blocks.len();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[0] = Some(BlockId(0));
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in cfg.rpo.iter().skip(1) {
+                let preds = &cfg.preds[b.0 as usize];
+                // First processed predecessor.
+                let mut new_idom: Option<BlockId> = None;
+                for &p in preds {
+                    if idom[p.0 as usize].is_some() {
+                        new_idom = Some(match new_idom {
+                            None => p,
+                            Some(cur) => intersect(&idom, &cfg.rpo_index, p, cur),
+                        });
+                    }
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.0 as usize] != Some(ni) {
+                        idom[b.0 as usize] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        DomTree { idom }
+    }
+
+    /// True if `a` dominates `b` (reflexively).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur.0 as usize] {
+                Some(i) if i != cur => cur = i,
+                _ => return false,
+            }
+        }
+    }
+}
+
+fn intersect(
+    idom: &[Option<BlockId>],
+    rpo_index: &[usize],
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    while a != b {
+        while rpo_index[a.0 as usize] > rpo_index[b.0 as usize] {
+            a = idom[a.0 as usize].expect("intersect on unprocessed block");
+        }
+        while rpo_index[b.0 as usize] > rpo_index[a.0 as usize] {
+            b = idom[b.0 as usize].expect("intersect on unprocessed block");
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::repr::{Const, Inst, Terminator};
+    use commset_lang::ast::Type;
+
+    /// Builds:
+    /// ```text
+    ///        entry(0)
+    ///          |
+    ///        head(1) <---+
+    ///        /    \      |
+    ///    then(2) else(3) |
+    ///        \    /      |
+    ///        join(4) ----+
+    ///          |
+    ///        exit(5)
+    /// ```
+    fn diamond_in_loop() -> Function {
+        let mut b = FunctionBuilder::new("f", &[], Type::Void);
+        let head = b.new_block();
+        let then_bb = b.new_block();
+        let else_bb = b.new_block();
+        let join = b.new_block();
+        let exit = b.new_block();
+        let c = b.new_temp(Type::Int);
+        b.push(Inst::Const {
+            dst: c,
+            value: Const::Int(1),
+        });
+        b.terminate(Terminator::Jump(head));
+        b.switch_to(head);
+        b.terminate(Terminator::Br {
+            cond: c,
+            then_bb,
+            else_bb,
+        });
+        b.switch_to(then_bb);
+        b.terminate(Terminator::Jump(join));
+        b.switch_to(else_bb);
+        b.terminate(Terminator::Jump(join));
+        b.switch_to(join);
+        b.terminate(Terminator::Br {
+            cond: c,
+            then_bb: head,
+            else_bb: exit,
+        });
+        b.switch_to(exit);
+        b.terminate(Terminator::Ret(None));
+        b.finish()
+    }
+
+    #[test]
+    fn diamond_dominance() {
+        let f = diamond_in_loop();
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::new(&f, &cfg);
+        let b = BlockId;
+        // head dominates everything below it.
+        assert!(dom.dominates(b(1), b(2)));
+        assert!(dom.dominates(b(1), b(3)));
+        assert!(dom.dominates(b(1), b(4)));
+        assert!(dom.dominates(b(1), b(5)));
+        // the branches do not dominate the join.
+        assert!(!dom.dominates(b(2), b(4)));
+        assert!(!dom.dominates(b(3), b(4)));
+        // join's idom is head.
+        assert_eq!(dom.idom[4], Some(b(1)));
+        // reflexive.
+        assert!(dom.dominates(b(4), b(4)));
+        // nothing (but entry) dominates entry.
+        assert!(!dom.dominates(b(1), b(0)));
+        assert!(dom.dominates(b(0), b(0)));
+    }
+}

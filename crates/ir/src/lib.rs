@@ -1,0 +1,31 @@
+//! # commset-ir
+//!
+//! The compiler's intermediate representation and its analyses.
+//!
+//! Cmm functions are lowered ([`lower`]) to a flat register-machine IR
+//! ([`repr`]) over basic blocks: every scalar local is a slot, every
+//! instruction records the source statement it came from, and calls target
+//! either program functions or *intrinsics* — runtime operations with
+//! declared side-effect channels ([`effects`]).
+//!
+//! On top of the IR the crate provides the classic analyses the COMMSET
+//! compiler needs (paper §4.3–4.4): control-flow utilities ([`mod@cfg`]),
+//! dominator trees ([`dom`]), natural-loop detection and induction-variable
+//! recognition ([`loops`]), and a printer ([`mod@print`]) for debugging and
+//! golden tests.
+
+pub mod builder;
+pub mod cfg;
+pub mod dom;
+pub mod effects;
+pub mod loops;
+pub mod lower;
+pub mod print;
+pub mod repr;
+
+pub use effects::{ChannelId, EffectSig, IntrinsicTable};
+pub use lower::lower_program;
+pub use repr::{
+    Arg, ArrRef, ArrayId, BlockId, Callee, Const, FuncId, Function, GlobalId, Inst, IntrinsicId,
+    Module, Slot, Terminator,
+};

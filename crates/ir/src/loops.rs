@@ -1,0 +1,436 @@
+//! Natural-loop detection and induction-variable recognition.
+//!
+//! The COMMSET compiler targets a *hot loop* (§4): dependence analysis needs
+//! to know which blocks belong to it, which slot is its induction variable
+//! (Algorithm 1 asserts `i1 != i2` for induction variables on separate
+//! iterations), and whether the loop is *countable* (a DOALL requirement).
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use crate::repr::{BlockId, Function, Inst, Slot, Terminator};
+use commset_lang::ast::BinOp;
+use std::collections::BTreeSet;
+
+/// A natural loop.
+#[derive(Debug, Clone)]
+pub struct NaturalLoop {
+    /// The loop header.
+    pub header: BlockId,
+    /// Blocks with a back edge to the header.
+    pub latches: Vec<BlockId>,
+    /// All blocks in the loop (header included), sorted.
+    pub blocks: BTreeSet<BlockId>,
+    /// Nesting depth (1 = outermost).
+    pub depth: u32,
+}
+
+impl NaturalLoop {
+    /// True if `b` belongs to this loop.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.blocks.contains(&b)
+    }
+}
+
+/// All natural loops of a function, outermost first.
+#[derive(Debug, Clone)]
+pub struct LoopForest {
+    /// Detected loops, sorted by (depth, header).
+    pub loops: Vec<NaturalLoop>,
+}
+
+impl LoopForest {
+    /// Finds the natural loops of `f`.
+    pub fn new(f: &Function, cfg: &Cfg, dom: &DomTree) -> Self {
+        let mut loops: Vec<NaturalLoop> = Vec::new();
+        for (i, b) in f.blocks.iter().enumerate() {
+            let tail = BlockId(i as u32);
+            if !cfg.is_reachable(tail) {
+                continue;
+            }
+            for head in b.term.successors() {
+                if dom.dominates(head, tail) {
+                    // Back edge tail -> head: collect the natural loop
+                    // (only over reachable blocks — an unreachable
+                    // predecessor chain is not part of any execution).
+                    let mut blocks = BTreeSet::new();
+                    blocks.insert(head);
+                    let mut stack = vec![tail];
+                    while let Some(x) = stack.pop() {
+                        if blocks.insert(x) {
+                            for &p in &cfg.preds[x.0 as usize] {
+                                if cfg.is_reachable(p) {
+                                    stack.push(p);
+                                }
+                            }
+                        }
+                    }
+                    // Merge with an existing loop sharing the header.
+                    if let Some(l) = loops.iter_mut().find(|l| l.header == head) {
+                        l.latches.push(tail);
+                        l.blocks.extend(blocks);
+                    } else {
+                        loops.push(NaturalLoop {
+                            header: head,
+                            latches: vec![tail],
+                            blocks,
+                            depth: 0,
+                        });
+                    }
+                }
+            }
+        }
+        // Depth = number of loops whose block set strictly contains this
+        // loop's header.
+        let headers: Vec<BlockId> = loops.iter().map(|l| l.header).collect();
+        for (i, h) in headers.iter().enumerate() {
+            let depth = loops
+                .iter()
+                .filter(|l| l.blocks.contains(h))
+                .count() as u32;
+            loops[i].depth = depth;
+        }
+        loops.sort_by_key(|l| (l.depth, l.header));
+        LoopForest { loops }
+    }
+
+    /// The outermost loop containing `b`, if any.
+    pub fn outermost_containing(&self, b: BlockId) -> Option<&NaturalLoop> {
+        self.loops.iter().find(|l| l.contains(b))
+    }
+}
+
+/// A recognized basic induction variable of a loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InductionVar {
+    /// The induction slot.
+    pub slot: Slot,
+    /// Signed step per iteration.
+    pub step: i64,
+    /// Block of the unique update.
+    pub update_block: BlockId,
+}
+
+/// A countable-loop bound: `slot <cmp> bound` tested at the header.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopBound {
+    /// The compared induction slot.
+    pub iv: Slot,
+    /// The comparison operator at the header.
+    pub cmp: BinOp,
+    /// The loop-invariant bound slot.
+    pub bound: Slot,
+}
+
+/// Finds basic induction variables of `l`: slots with exactly one in-loop
+/// definition of the form `s = s + c` / `s = s - c` where `c` is a constant
+/// defined in the loop body (lowered from `i = i + 1`).
+pub fn induction_vars(f: &Function, l: &NaturalLoop) -> Vec<InductionVar> {
+    // Count in-loop defs per slot, remember int constants and add/sub
+    // definitions. Lowering produces either the direct form `s = s + c` or
+    // the copy form `t = s + c; s = t`, so both are recognized.
+    let mut defs: std::collections::HashMap<Slot, u32> = std::collections::HashMap::new();
+    let mut consts: std::collections::HashMap<Slot, i64> = std::collections::HashMap::new();
+    // slot -> (base, step-slot, is_sub) for Bin Add/Sub defs
+    let mut addsub: std::collections::HashMap<Slot, (Slot, Slot, bool)> =
+        std::collections::HashMap::new();
+    let mut candidates: Vec<(Slot, BlockId, Slot)> = Vec::new(); // (iv, block, defining value)
+    for &b in &l.blocks {
+        for node in &f.block(b).insts {
+            if let Inst::Const {
+                dst,
+                value: crate::repr::Const::Int(v),
+            } = &node.inst
+            {
+                consts.insert(*dst, *v);
+            }
+            if let Some(d) = node.inst.def() {
+                *defs.entry(d).or_insert(0) += 1;
+            }
+            match &node.inst {
+                Inst::Bin { dst, op, lhs, rhs } if matches!(op, BinOp::Add | BinOp::Sub) => {
+                    addsub.insert(*dst, (*lhs, *rhs, *op == BinOp::Sub));
+                    if lhs == dst {
+                        candidates.push((*dst, b, *dst));
+                    }
+                }
+                Inst::Copy { dst, src } => candidates.push((*dst, b, *src)),
+                _ => {}
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for (s, b, val) in candidates {
+        // The induction slot must have exactly one def in the loop and its
+        // defining value must be `s ± const`.
+        if defs.get(&s) != Some(&1) {
+            continue;
+        }
+        let key = if val == s { s } else { val };
+        let Some(&(base, step_slot, is_sub)) = addsub.get(&key) else {
+            continue;
+        };
+        if base != s {
+            continue;
+        }
+        let Some(&c) = consts.get(&step_slot) else {
+            continue;
+        };
+        out.push(InductionVar {
+            slot: s,
+            step: if is_sub { -c } else { c },
+            update_block: b,
+        });
+    }
+    out.sort_by_key(|iv| iv.slot);
+    out.dedup_by_key(|iv| iv.slot);
+    out
+}
+
+/// Recognizes a countable header test `iv <cmp> bound` where `iv` is one of
+/// `ivs` and `bound` is loop-invariant (no definition inside the loop).
+pub fn loop_bound(f: &Function, l: &NaturalLoop, ivs: &[InductionVar]) -> Option<LoopBound> {
+    let header = f.block(l.header);
+    let Terminator::Br { cond, .. } = &header.term else {
+        return None;
+    };
+    // Find the defining compare of `cond` within the header.
+    let def = header.insts.iter().rev().find_map(|n| match &n.inst {
+        Inst::Bin { dst, op, lhs, rhs } if dst == cond => Some((*op, *lhs, *rhs)),
+        _ => None,
+    })?;
+    let (op, lhs, rhs) = def;
+    if !matches!(op, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Ne) {
+        return None;
+    }
+    let defined_in_loop = |s: Slot| {
+        l.blocks.iter().any(|&b| {
+            f.block(b)
+                .insts
+                .iter()
+                .any(|n| n.inst.def() == Some(s))
+        })
+    };
+    // Either side may hold the IV; the other must be invariant. The header
+    // recomputes the bound if it was lowered as a load — accept a bound
+    // slot whose only in-loop defs are in the header itself (recomputed
+    // invariantly each iteration).
+    let invariant_enough = |s: Slot| {
+        !l.blocks.iter().any(|&b| {
+            b != l.header
+                && f.block(b)
+                    .insts
+                    .iter()
+                    .any(|n| n.inst.def() == Some(s))
+        })
+    };
+    for iv in ivs {
+        if lhs == iv.slot && invariant_enough(rhs) {
+            return Some(LoopBound {
+                iv: iv.slot,
+                cmp: op,
+                bound: rhs,
+            });
+        }
+        if rhs == iv.slot && invariant_enough(lhs) {
+            return Some(LoopBound {
+                iv: iv.slot,
+                cmp: flip(op),
+                bound: lhs,
+            });
+        }
+    }
+    let _ = defined_in_loop;
+    None
+}
+
+fn flip(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::Le => BinOp::Ge,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::Ge => BinOp::Le,
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::repr::Const;
+    use commset_lang::ast::Type;
+
+    /// Lowered shape of `for (i = 0; i < n; i = i + 1) {}` with n = param 0.
+    fn counted_loop() -> Function {
+        let mut b = FunctionBuilder::new("f", &[("n".into(), Type::Int)], Type::Void);
+        let head = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let i = b.new_slot("i", Type::Int);
+        let zero = b.new_temp(Type::Int);
+        b.push(Inst::Const {
+            dst: zero,
+            value: Const::Int(0),
+        });
+        b.push(Inst::Copy { dst: i, src: zero });
+        b.terminate(Terminator::Jump(head));
+        b.switch_to(head);
+        let c = b.new_temp(Type::Int);
+        b.push(Inst::Bin {
+            dst: c,
+            op: BinOp::Lt,
+            lhs: i,
+            rhs: b.param_slot(0),
+        });
+        b.terminate(Terminator::Br {
+            cond: c,
+            then_bb: body,
+            else_bb: exit,
+        });
+        b.switch_to(body);
+        let one = b.new_temp(Type::Int);
+        b.push(Inst::Const {
+            dst: one,
+            value: Const::Int(1),
+        });
+        b.push(Inst::Bin {
+            dst: i,
+            op: BinOp::Add,
+            lhs: i,
+            rhs: one,
+        });
+        b.terminate(Terminator::Jump(head));
+        b.switch_to(exit);
+        b.terminate(Terminator::Ret(None));
+        b.finish()
+    }
+
+    #[test]
+    fn finds_the_loop() {
+        let f = counted_loop();
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::new(&f, &cfg);
+        let forest = LoopForest::new(&f, &cfg, &dom);
+        assert_eq!(forest.loops.len(), 1);
+        let l = &forest.loops[0];
+        assert_eq!(l.header, BlockId(1));
+        assert_eq!(l.latches, vec![BlockId(2)]);
+        assert!(l.contains(BlockId(1)) && l.contains(BlockId(2)));
+        assert!(!l.contains(BlockId(3)));
+        assert_eq!(l.depth, 1);
+    }
+
+    #[test]
+    fn finds_induction_variable_and_bound() {
+        let f = counted_loop();
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::new(&f, &cfg);
+        let forest = LoopForest::new(&f, &cfg, &dom);
+        let l = &forest.loops[0];
+        let ivs = induction_vars(&f, l);
+        assert_eq!(ivs.len(), 1);
+        assert_eq!(ivs[0].step, 1);
+        let bound = loop_bound(&f, l, &ivs).expect("countable");
+        assert_eq!(bound.iv, ivs[0].slot);
+        assert_eq!(bound.cmp, BinOp::Lt);
+        assert_eq!(bound.bound, Slot(0), "bound is the parameter n");
+    }
+
+    #[test]
+    fn uncountable_while_loop_has_no_bound() {
+        // while (p != 0) { p = next(p) } — p has a non-affine update.
+        let mut b = FunctionBuilder::new("g", &[("p".into(), Type::Int)], Type::Void);
+        let head = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.terminate(Terminator::Jump(head));
+        b.switch_to(head);
+        let z = b.new_temp(Type::Int);
+        b.push(Inst::Const {
+            dst: z,
+            value: Const::Int(0),
+        });
+        let c = b.new_temp(Type::Int);
+        b.push(Inst::Bin {
+            dst: c,
+            op: BinOp::Ne,
+            lhs: Slot(0),
+            rhs: z,
+        });
+        b.terminate(Terminator::Br {
+            cond: c,
+            then_bb: body,
+            else_bb: exit,
+        });
+        b.switch_to(body);
+        // p = p >> 1 — not an Add/Sub update, so not a basic IV.
+        let one = b.new_temp(Type::Int);
+        b.push(Inst::Const {
+            dst: one,
+            value: Const::Int(1),
+        });
+        b.push(Inst::Bin {
+            dst: Slot(0),
+            op: BinOp::Shr,
+            lhs: Slot(0),
+            rhs: one,
+        });
+        b.terminate(Terminator::Jump(head));
+        b.switch_to(exit);
+        b.terminate(Terminator::Ret(None));
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::new(&f, &cfg);
+        let forest = LoopForest::new(&f, &cfg, &dom);
+        let l = &forest.loops[0];
+        let ivs = induction_vars(&f, l);
+        assert!(ivs.is_empty());
+        assert!(loop_bound(&f, l, &ivs).is_none());
+    }
+
+    #[test]
+    fn nested_loops_have_depths() {
+        // for (...) { for (...) {} }
+        let mut b = FunctionBuilder::new("h", &[], Type::Void);
+        let oh = b.new_block();
+        let ob = b.new_block();
+        let ih = b.new_block();
+        let ib = b.new_block();
+        let olatch = b.new_block();
+        let exit = b.new_block();
+        let c = b.new_temp(Type::Int);
+        b.push(Inst::Const {
+            dst: c,
+            value: Const::Int(1),
+        });
+        b.terminate(Terminator::Jump(oh));
+        b.switch_to(oh);
+        b.terminate(Terminator::Br {
+            cond: c,
+            then_bb: ob,
+            else_bb: exit,
+        });
+        b.switch_to(ob);
+        b.terminate(Terminator::Jump(ih));
+        b.switch_to(ih);
+        b.terminate(Terminator::Br {
+            cond: c,
+            then_bb: ib,
+            else_bb: olatch,
+        });
+        b.switch_to(ib);
+        b.terminate(Terminator::Jump(ih));
+        b.switch_to(olatch);
+        b.terminate(Terminator::Jump(oh));
+        b.switch_to(exit);
+        b.terminate(Terminator::Ret(None));
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::new(&f, &cfg);
+        let forest = LoopForest::new(&f, &cfg, &dom);
+        assert_eq!(forest.loops.len(), 2);
+        assert_eq!(forest.loops[0].depth, 1, "outer first");
+        assert_eq!(forest.loops[1].depth, 2);
+        assert!(forest.loops[0].blocks.len() > forest.loops[1].blocks.len());
+    }
+}

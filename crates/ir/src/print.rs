@@ -1,0 +1,182 @@
+//! Textual IR dump, for debugging and golden tests.
+
+use crate::repr::*;
+use std::fmt::Write;
+
+/// Renders a whole module.
+pub fn print_module(m: &Module) -> String {
+    let mut out = String::new();
+    for g in &m.globals {
+        match g.len {
+            Some(n) => {
+                let _ = writeln!(out, "global {} {}[{}]", g.ty, g.name, n);
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "global {} {} = {}",
+                    g.ty,
+                    g.name,
+                    g.init.unwrap_or(Const::Int(0))
+                );
+            }
+        }
+    }
+    for f in &m.funcs {
+        out.push_str(&print_function(m, f));
+    }
+    out
+}
+
+/// Renders a single function.
+pub fn print_function(m: &Module, f: &Function) -> String {
+    let mut out = String::new();
+    let params: Vec<String> = f.slots[..f.param_count]
+        .iter()
+        .enumerate()
+        .map(|(i, s)| format!("%{i}:{}", s.ty))
+        .collect();
+    let _ = writeln!(out, "func {}({}) -> {} {{", f.name, params.join(", "), f.ret);
+    for (i, a) in f.arrays.iter().enumerate() {
+        let _ = writeln!(out, "  array a{i} {}[{}]  ; {}", a.ty, a.len, a.name);
+    }
+    for (bi, b) in f.blocks.iter().enumerate() {
+        let _ = writeln!(out, "bb{bi}:");
+        for node in &b.insts {
+            let _ = writeln!(out, "  {}    ; {}", print_inst(m, &node.inst), node.stmt);
+        }
+        let term = match &b.term {
+            Terminator::Jump(t) => format!("jump {t}"),
+            Terminator::Br {
+                cond,
+                then_bb,
+                else_bb,
+            } => format!("br {cond} ? {then_bb} : {else_bb}"),
+            Terminator::Ret(Some(s)) => format!("ret {s}"),
+            Terminator::Ret(None) => "ret".to_string(),
+        };
+        let _ = writeln!(out, "  {term}    ; {}", b.term_stmt);
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders one instruction.
+pub fn print_inst(m: &Module, inst: &Inst) -> String {
+    match inst {
+        Inst::Const { dst, value } => format!("{dst} = const {value}"),
+        Inst::Copy { dst, src } => format!("{dst} = {src}"),
+        Inst::Un { dst, op, src } => format!("{dst} = {}{src}", op.as_str()),
+        Inst::Bin { dst, op, lhs, rhs } => {
+            format!("{dst} = {lhs} {} {rhs}", op.as_str())
+        }
+        Inst::Cast { dst, ty, src } => format!("{dst} = {ty}({src})"),
+        Inst::LoadG { dst, global } => {
+            format!("{dst} = load @{}", m.global(*global).name)
+        }
+        Inst::StoreG { global, src } => {
+            format!("store @{} = {src}", m.global(*global).name)
+        }
+        Inst::LoadElem { dst, arr, idx } => format!("{dst} = {}[{idx}]", arr_name(m, arr)),
+        Inst::StoreElem { arr, idx, src } => {
+            format!("{}[{idx}] = {src}", arr_name(m, arr))
+        }
+        Inst::Call { dst, callee, args } => {
+            let name = match callee {
+                Callee::Func(f) => m.func(*f).name.clone(),
+                Callee::Intrinsic(i) => format!("!{}", m.intrinsics.name(i.0 as usize)),
+            };
+            let args: Vec<String> = args
+                .iter()
+                .map(|a| match a {
+                    Arg::Slot(s) => s.to_string(),
+                    Arg::Str(s) => format!("{s:?}"),
+                })
+                .collect();
+            match dst {
+                Some(d) => format!("{d} = call {name}({})", args.join(", ")),
+                None => format!("call {name}({})", args.join(", ")),
+            }
+        }
+    }
+}
+
+fn arr_name(m: &Module, arr: &ArrRef) -> String {
+    match arr {
+        ArrRef::Local(a) => format!("a{}", a.0),
+        ArrRef::Global(g) => format!("@{}", m.global(*g).name),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::effects::IntrinsicTable;
+    use crate::lower::lower_program;
+    use commset_lang::ast::Type;
+
+    fn module(src: &str) -> Module {
+        let mut table = IntrinsicTable::new();
+        table.register("emit", vec![Type::Int], Type::Void, &[], &["OUT"], 10);
+        let unit = commset_lang::compile_unit(src).unwrap();
+        lower_program(&unit.program, table).unwrap()
+    }
+
+    #[test]
+    fn dump_covers_every_construct() {
+        let m = module(
+            r#"
+            extern void emit(int v);
+            int g;
+            float table[4];
+            int helper(int x) { return x * 2; }
+            int main() {
+                g = 5;
+                table[1] = 2.5;
+                float f = table[1];
+                int acc = 0;
+                for (int i = 0; i < 10; i = i + 1) {
+                    if (i > 3) { acc = acc + helper(i); }
+                }
+                emit(acc + g);
+                return acc;
+            }
+            "#,
+        );
+        let text = print_module(&m);
+        // Globals.
+        assert!(text.contains("global int g"), "{text}");
+        assert!(text.contains("global float table[4]"), "{text}");
+        // Functions and calls (user and intrinsic).
+        assert!(text.contains("func helper"), "{text}");
+        assert!(text.contains("func main"), "{text}");
+        assert!(text.contains("call helper("), "{text}");
+        assert!(text.contains("call !emit("), "{text}");
+        // Memory forms.
+        assert!(text.contains("store @g"), "{text}");
+        assert!(text.contains("load @g"), "{text}");
+        assert!(text.contains("@table["), "{text}");
+        // Control flow renders both terminator kinds.
+        assert!(text.contains("jump "), "{text}");
+        assert!(text.contains(" ? "), "{text}");
+        assert!(text.contains("ret "), "{text}");
+        // Statement provenance comments are attached to instructions.
+        assert!(
+            text.lines()
+                .filter(|l| l.contains(" = ") && !l.starts_with("global"))
+                .all(|l| l.contains("    ; ")),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn every_instruction_has_one_line() {
+        let m = module("int main() { int a = 1; int b = a + 2; return b; }");
+        let f = m.funcs.iter().find(|f| f.name == "main").unwrap();
+        let inst_count: usize = f.blocks.iter().map(|b| b.insts.len() + 1).sum();
+        let text = print_function(&m, f);
+        // func header + arrays(0) + per-block label + insts + closing brace.
+        let lines = text.lines().count();
+        assert_eq!(lines, 1 + f.blocks.len() + inst_count + 1, "{text}");
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests of the IR analyses: the CHK dominator tree against a
+//! naive reachability-based definition, and loop detection invariants,
+//! over randomly generated CFGs.
+
+use commset_ir::builder::FunctionBuilder;
+use commset_ir::cfg::Cfg;
+use commset_ir::dom::DomTree;
+use commset_ir::loops::LoopForest;
+use commset_ir::repr::{BlockId, Const, Function, Inst, Terminator};
+use commset_lang::ast::Type;
+use proptest::prelude::*;
+
+/// Builds a function whose CFG has `n` blocks with the given terminator
+/// choices: for each block, `(a, b)` — `a == b` means an unconditional
+/// jump, distinct values a conditional branch; the last block returns.
+fn build_cfg(n: usize, succs: &[(usize, usize)]) -> Function {
+    let mut b = FunctionBuilder::new("f", &[], Type::Void);
+    let blocks: Vec<BlockId> = std::iter::once(b.current_block())
+        .chain((1..n).map(|_| b.new_block()))
+        .collect();
+    let cond = b.new_temp(Type::Int);
+    b.push(Inst::Const {
+        dst: cond,
+        value: Const::Int(1),
+    });
+    for (i, &(x, y)) in succs.iter().enumerate() {
+        b.switch_to(blocks[i]);
+        if i == n - 1 {
+            b.terminate(Terminator::Ret(None));
+        } else if x == y {
+            b.terminate(Terminator::Jump(blocks[x % n]));
+        } else {
+            b.terminate(Terminator::Br {
+                cond,
+                then_bb: blocks[x % n],
+                else_bb: blocks[y % n],
+            });
+        }
+    }
+    b.finish()
+}
+
+/// Naive dominance: `a` dominates `b` iff removing `a` makes `b`
+/// unreachable from the entry (or `a == b`).
+fn naive_dominates(f: &Function, cfg: &Cfg, a: BlockId, b: BlockId) -> bool {
+    if a == b {
+        return true;
+    }
+    // BFS from entry avoiding `a`.
+    let n = f.blocks.len();
+    let mut seen = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    if a != BlockId(0) {
+        seen[0] = true;
+        queue.push_back(0usize);
+    }
+    while let Some(x) = queue.pop_front() {
+        for s in &cfg.succs[x] {
+            if *s == a || seen[s.0 as usize] {
+                continue;
+            }
+            seen[s.0 as usize] = true;
+            queue.push_back(s.0 as usize);
+        }
+    }
+    !seen[b.0 as usize]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The iterative dominator tree agrees with the naive definition on
+    /// every reachable block pair.
+    #[test]
+    fn dominators_match_naive_definition(
+        n in 2usize..10,
+        raw in proptest::collection::vec((0usize..10, 0usize..10), 10)
+    ) {
+        let succs: Vec<(usize, usize)> = raw.into_iter().take(n).collect();
+        prop_assume!(succs.len() == n);
+        let f = build_cfg(n, &succs);
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::new(&f, &cfg);
+        for a in 0..n {
+            for b in 0..n {
+                let (ab, bb) = (BlockId(a as u32), BlockId(b as u32));
+                if !cfg.is_reachable(ab) || !cfg.is_reachable(bb) {
+                    continue;
+                }
+                prop_assert_eq!(
+                    dom.dominates(ab, bb),
+                    naive_dominates(&f, &cfg, ab, bb),
+                    "dominates({}, {}) over {} blocks",
+                    a, b, n
+                );
+            }
+        }
+    }
+
+    /// Natural-loop invariants: headers dominate every block of their
+    /// loop, and every latch is inside the loop.
+    #[test]
+    fn natural_loops_are_dominated_by_their_headers(
+        n in 2usize..10,
+        raw in proptest::collection::vec((0usize..10, 0usize..10), 10)
+    ) {
+        let succs: Vec<(usize, usize)> = raw.into_iter().take(n).collect();
+        prop_assume!(succs.len() == n);
+        let f = build_cfg(n, &succs);
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::new(&f, &cfg);
+        let forest = LoopForest::new(&f, &cfg, &dom);
+        for l in &forest.loops {
+            for &b in &l.blocks {
+                prop_assert!(
+                    dom.dominates(l.header, b),
+                    "header {} must dominate member {}", l.header, b
+                );
+            }
+            for latch in &l.latches {
+                prop_assert!(l.contains(*latch));
+            }
+            prop_assert!(l.contains(l.header));
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Diagnostics shared by every front-end phase.
+
+use crate::token::Span;
+use std::error::Error;
+use std::fmt;
+
+/// Which phase produced a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// The lexer.
+    Lex,
+    /// The recursive-descent parser (including pragma parsing).
+    Parse,
+    /// Semantic analysis: types, CommSet resolution, well-definedness.
+    Sema,
+    /// AST-to-IR lowering.
+    Lower,
+    /// Whole-program CommSet well-formedness (metadata manager).
+    Commset,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Phase::Lex => "lex",
+            Phase::Parse => "parse",
+            Phase::Sema => "sema",
+            Phase::Lower => "lower",
+            Phase::Commset => "commset",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A compile-time error with a source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// The phase that raised the error.
+    pub phase: Phase,
+    /// Human-readable message (lowercase, no trailing punctuation).
+    pub message: String,
+    /// Source location, when one is known.
+    pub span: Option<Span>,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic with a source span.
+    pub fn new(phase: Phase, message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            phase,
+            message: message.into(),
+            span: Some(span),
+        }
+    }
+
+    /// Creates a diagnostic without a source span.
+    pub fn global(phase: Phase, message: impl Into<String>) -> Self {
+        Diagnostic {
+            phase,
+            message: message.into(),
+            span: None,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.span {
+            Some(span) => write!(f, "{} error at {}: {}", self.phase, span, self.message),
+            None => write!(f, "{} error: {}", self.phase, self.message),
+        }
+    }
+}
+
+impl Error for Diagnostic {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_phase_and_line() {
+        let d = Diagnostic::new(Phase::Parse, "expected `;`", Span::new(3, 4, 7));
+        assert_eq!(d.to_string(), "parse error at line 7: expected `;`");
+        let g = Diagnostic::global(Phase::Commset, "cycle in commset graph");
+        assert_eq!(g.to_string(), "commset error: cycle in commset graph");
+    }
+}

@@ -1,0 +1,387 @@
+//! Hand-written lexer for Cmm.
+//!
+//! `#pragma` lines are captured as single [`TokenKind::Pragma`] tokens so a
+//! compiler that does not understand COMMSET can skip them wholesale — the
+//! property the paper relies on for backwards compatibility (§3.2).
+
+use crate::diag::{Diagnostic, Phase};
+use crate::token::{Keyword, Span, Token, TokenKind};
+
+/// Lexes `source` into a token stream terminated by [`TokenKind::Eof`].
+///
+/// # Errors
+///
+/// Returns a [`Diagnostic`] for unterminated comments or strings, malformed
+/// numeric literals, and characters outside the language.
+pub fn lex(source: &str) -> Result<Vec<Token>, Diagnostic> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'src> {
+    src: &'src [u8],
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+impl<'src> Lexer<'src> {
+    fn new(source: &'src str) -> Self {
+        Lexer {
+            src: source.as_bytes(),
+            pos: 0,
+            line: 1,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn peek(&self) -> u8 {
+        *self.src.get(self.pos).unwrap_or(&0)
+    }
+
+    fn peek2(&self) -> u8 {
+        *self.src.get(self.pos + 1).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.peek();
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        c
+    }
+
+    fn span_from(&self, start: usize, line: u32) -> Span {
+        Span::new(start, self.pos, line)
+    }
+
+    fn error(&self, msg: impl Into<String>, start: usize, line: u32) -> Diagnostic {
+        Diagnostic::new(Phase::Lex, msg, Span::new(start, self.pos.max(start + 1), line))
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, Diagnostic> {
+        loop {
+            self.skip_trivia()?;
+            let start = self.pos;
+            let line = self.line;
+            if self.pos >= self.src.len() {
+                self.tokens
+                    .push(Token::new(TokenKind::Eof, self.span_from(start, line)));
+                return Ok(self.tokens);
+            }
+            let c = self.peek();
+            let kind = match c {
+                b'#' => {
+                    self.lex_pragma(start, line)?;
+                    continue;
+                }
+                b'0'..=b'9' => self.lex_number(start, line)?,
+                b'"' => self.lex_string(start, line)?,
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.lex_ident(),
+                _ => self.lex_operator(start, line)?,
+            };
+            self.tokens.push(Token::new(kind, self.span_from(start, line)));
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), Diagnostic> {
+        loop {
+            match self.peek() {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek2() == b'/' => {
+                    while self.pos < self.src.len() && self.peek() != b'\n' {
+                        self.bump();
+                    }
+                }
+                b'/' if self.peek2() == b'*' => {
+                    let start = self.pos;
+                    let line = self.line;
+                    self.bump();
+                    self.bump();
+                    loop {
+                        if self.pos >= self.src.len() {
+                            return Err(self.error("unterminated block comment", start, line));
+                        }
+                        if self.peek() == b'*' && self.peek2() == b'/' {
+                            self.bump();
+                            self.bump();
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    /// Captures an entire `#pragma ...` line (handling `\` continuations).
+    fn lex_pragma(&mut self, start: usize, line: u32) -> Result<(), Diagnostic> {
+        // Consume `#`.
+        self.bump();
+        let word_start = self.pos;
+        while self.peek().is_ascii_alphanumeric() {
+            self.bump();
+        }
+        let word = std::str::from_utf8(&self.src[word_start..self.pos]).unwrap_or("");
+        if word != "pragma" {
+            return Err(self.error("expected `#pragma`", start, line));
+        }
+        let body_start = self.pos;
+        while self.pos < self.src.len() {
+            if self.peek() == b'\\' && self.peek2() == b'\n' {
+                self.bump();
+                self.bump();
+                continue;
+            }
+            if self.peek() == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        let body = std::str::from_utf8(&self.src[body_start..self.pos])
+            .map_err(|_| self.error("pragma is not valid utf-8", start, line))?
+            .replace("\\\n", " ");
+        self.tokens.push(Token::new(
+            TokenKind::Pragma(body.trim().to_string()),
+            self.span_from(start, line),
+        ));
+        Ok(())
+    }
+
+    fn lex_number(&mut self, start: usize, line: u32) -> Result<TokenKind, Diagnostic> {
+        while self.peek().is_ascii_digit() {
+            self.bump();
+        }
+        let mut is_float = false;
+        if self.peek() == b'.' && self.peek2().is_ascii_digit() {
+            is_float = true;
+            self.bump();
+            while self.peek().is_ascii_digit() {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), b'e' | b'E') {
+            let save = self.pos;
+            self.bump();
+            if matches!(self.peek(), b'+' | b'-') {
+                self.bump();
+            }
+            if self.peek().is_ascii_digit() {
+                is_float = true;
+                while self.peek().is_ascii_digit() {
+                    self.bump();
+                }
+            } else {
+                self.pos = save;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        if is_float {
+            text.parse::<f64>()
+                .map(TokenKind::FloatLit)
+                .map_err(|_| self.error("malformed float literal", start, line))
+        } else {
+            text.parse::<i64>()
+                .map(TokenKind::IntLit)
+                .map_err(|_| self.error("integer literal out of range", start, line))
+        }
+    }
+
+    fn lex_string(&mut self, start: usize, line: u32) -> Result<TokenKind, Diagnostic> {
+        self.bump(); // opening quote
+        let mut out = String::new();
+        loop {
+            if self.pos >= self.src.len() {
+                return Err(self.error("unterminated string literal", start, line));
+            }
+            match self.bump() {
+                b'"' => return Ok(TokenKind::StrLit(out)),
+                b'\\' => {
+                    let esc = self.bump();
+                    out.push(match esc {
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'\\' => '\\',
+                        b'"' => '"',
+                        b'0' => '\0',
+                        other => {
+                            return Err(self.error(
+                                format!("unknown escape `\\{}`", other as char),
+                                start,
+                                line,
+                            ))
+                        }
+                    });
+                }
+                c => out.push(c as char),
+            }
+        }
+    }
+
+    fn lex_ident(&mut self) -> TokenKind {
+        let start = self.pos;
+        while matches!(self.peek(), b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_') {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        match Keyword::from_str(text) {
+            Some(kw) => TokenKind::Kw(kw),
+            None => TokenKind::Ident(text.to_string()),
+        }
+    }
+
+    fn lex_operator(&mut self, start: usize, line: u32) -> Result<TokenKind, Diagnostic> {
+        let c = self.bump();
+        let two = |l: &mut Lexer<'_>, next: u8, yes: TokenKind, no: TokenKind| {
+            if l.peek() == next {
+                l.bump();
+                yes
+            } else {
+                no
+            }
+        };
+        Ok(match c {
+            b'(' => TokenKind::LParen,
+            b')' => TokenKind::RParen,
+            b'{' => TokenKind::LBrace,
+            b'}' => TokenKind::RBrace,
+            b'[' => TokenKind::LBracket,
+            b']' => TokenKind::RBracket,
+            b',' => TokenKind::Comma,
+            b';' => TokenKind::Semi,
+            b'~' => TokenKind::Tilde,
+            b'+' => two(self, b'=', TokenKind::PlusAssign, TokenKind::Plus),
+            b'-' => two(self, b'=', TokenKind::MinusAssign, TokenKind::Minus),
+            b'*' => two(self, b'=', TokenKind::StarAssign, TokenKind::Star),
+            b'/' => TokenKind::Slash,
+            b'%' => TokenKind::Percent,
+            b'=' => two(self, b'=', TokenKind::EqEq, TokenKind::Assign),
+            b'!' => two(self, b'=', TokenKind::NotEq, TokenKind::Not),
+            b'^' => TokenKind::Caret,
+            b'<' => {
+                if self.peek() == b'<' {
+                    self.bump();
+                    TokenKind::Shl
+                } else {
+                    two(self, b'=', TokenKind::Le, TokenKind::Lt)
+                }
+            }
+            b'>' => {
+                if self.peek() == b'>' {
+                    self.bump();
+                    TokenKind::Shr
+                } else {
+                    two(self, b'=', TokenKind::Ge, TokenKind::Gt)
+                }
+            }
+            b'&' => two(self, b'&', TokenKind::AndAnd, TokenKind::Amp),
+            b'|' => two(self, b'|', TokenKind::OrOr, TokenKind::Pipe),
+            other => {
+                return Err(self.error(
+                    format!("unexpected character `{}`", other as char),
+                    start,
+                    line,
+                ))
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_simple_program() {
+        let ks = kinds("int main() { return 0; }");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Kw(Keyword::Int),
+                TokenKind::Ident("main".into()),
+                TokenKind::LParen,
+                TokenKind::RParen,
+                TokenKind::LBrace,
+                TokenKind::Kw(Keyword::Return),
+                TokenKind::IntLit(0),
+                TokenKind::Semi,
+                TokenKind::RBrace,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators() {
+        let ks = kinds("a += b << 2 >= c != d && e || !f & g | h ^ ~i");
+        assert!(ks.contains(&TokenKind::PlusAssign));
+        assert!(ks.contains(&TokenKind::Shl));
+        assert!(ks.contains(&TokenKind::Ge));
+        assert!(ks.contains(&TokenKind::NotEq));
+        assert!(ks.contains(&TokenKind::AndAnd));
+        assert!(ks.contains(&TokenKind::OrOr));
+        assert!(ks.contains(&TokenKind::Tilde));
+    }
+
+    #[test]
+    fn captures_pragma_line_verbatim() {
+        let ks = kinds("#pragma CommSetDecl(FSET, Group)\nint x;");
+        assert_eq!(ks[0], TokenKind::Pragma("CommSetDecl(FSET, Group)".into()));
+        assert_eq!(ks[1], TokenKind::Kw(Keyword::Int));
+    }
+
+    #[test]
+    fn pragma_backslash_continuation() {
+        let ks = kinds("#pragma CommSetPredicate(FSET, \\\n (i1), (i2), i1 != i2)\n");
+        match &ks[0] {
+            TokenKind::Pragma(body) => {
+                assert!(body.contains("(i1), (i2)"), "body = {body}");
+                assert!(!body.contains('\\'));
+            }
+            other => panic!("expected pragma, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("// line\nint /* block\nspanning */ x;");
+        assert_eq!(ks[0], TokenKind::Kw(Keyword::Int));
+        assert_eq!(ks[1], TokenKind::Ident("x".into()));
+    }
+
+    #[test]
+    fn float_and_int_literals() {
+        assert_eq!(kinds("1.5")[0], TokenKind::FloatLit(1.5));
+        assert_eq!(kinds("2e3")[0], TokenKind::FloatLit(2000.0));
+        assert_eq!(kinds("42")[0], TokenKind::IntLit(42));
+        // A dot not followed by a digit is not part of the number.
+        assert!(lex("1.x").is_err() || !kinds("1 . x").is_empty());
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(kinds(r#""a\nb""#)[0], TokenKind::StrLit("a\nb".into()));
+        assert!(lex("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let toks = lex("int\nx\n;").unwrap();
+        assert_eq!(toks[0].span.line, 1);
+        assert_eq!(toks[1].span.line, 2);
+        assert_eq!(toks[2].span.line, 3);
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        assert!(lex("int $x;").is_err());
+        assert!(lex("#define X 1").is_err());
+    }
+}

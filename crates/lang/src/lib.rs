@@ -1,0 +1,68 @@
+//! # commset-lang
+//!
+//! Front end for **Cmm**, the small C-like language this reproduction of
+//! *"Commutative Set: A Language Extension for Implicit Parallel
+//! Programming"* (PLDI 2011) uses as its host language.
+//!
+//! The crate provides:
+//!
+//! * a [`lexer`] and [`parser`] producing a span-annotated [`ast`],
+//! * the full COMMSET pragma suite (`CommSetDecl`, `CommSetPredicate`,
+//!   `CommSet`, `CommSetNamedBlock`, `CommSetNamedArg`, `CommSetNamedArgAdd`,
+//!   `CommSetNoSync`) parsed into structured [`ast::GlobalPragma`] and
+//!   [`ast::CommSetInstance`] values,
+//! * semantic analysis ([`sema`]) that type-checks programs, resolves
+//!   CommSet declarations and instances, synthesizes predicate functions and
+//!   enforces the paper's *well-definedness* conditions on commutative
+//!   blocks,
+//! * a [`printer`] that renders the AST back to concrete syntax (used by the
+//!   round-trip property tests and the diagnostics).
+//!
+//! # Examples
+//!
+//! ```
+//! use commset_lang::compile_unit;
+//!
+//! let src = r#"
+//!     #pragma CommSetDecl(SSET, Self)
+//!     extern int rng_next();
+//!     int main() {
+//!         int acc = 0;
+//!         for (int i = 0; i < 10; i = i + 1) {
+//!             #pragma CommSet(SSET)
+//!             { acc = acc + rng_next(); }
+//!         }
+//!         return acc;
+//!     }
+//! "#;
+//! let unit = compile_unit(src)?;
+//! assert_eq!(unit.commsets.len(), 1);
+//! # Ok::<(), commset_lang::diag::Diagnostic>(())
+//! ```
+
+pub mod ast;
+pub mod diag;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+pub mod sema;
+pub mod token;
+
+pub use ast::Program;
+pub use diag::Diagnostic;
+pub use sema::{analyze, CheckedUnit};
+
+/// Parses and semantically analyzes a Cmm source string in one call.
+///
+/// This is the main entry point used by the compiler driver: it runs the
+/// lexer, the parser (including pragma parsing) and [`sema::analyze`].
+///
+/// # Errors
+///
+/// Returns the first lexical, syntactic or semantic [`Diagnostic`]
+/// encountered.
+pub fn compile_unit(source: &str) -> Result<CheckedUnit, Diagnostic> {
+    let tokens = lexer::lex(source)?;
+    let program = parser::parse(tokens, source)?;
+    sema::analyze(program)
+}

@@ -1,0 +1,1045 @@
+//! Recursive-descent parser for Cmm with a Pratt expression parser and
+//! structured parsing of the COMMSET pragma directives.
+//!
+//! Instance pragmas (`CommSet`, `CommSetNamedBlock`, `CommSetNamedArg`,
+//! `CommSetNamedArgAdd`) attach to the *next* function declaration or
+//! statement, mirroring how `#pragma` directives scope in the paper's C
+//! programs (Figure 1).
+
+use crate::ast::*;
+use crate::diag::{Diagnostic, Phase};
+use crate::lexer;
+use crate::token::{Keyword, Span, Token, TokenKind};
+
+/// Parses a token stream into a [`Program`].
+///
+/// `source` is retained only for error reporting of pragma bodies.
+///
+/// # Errors
+///
+/// Returns the first syntax error encountered.
+pub fn parse(tokens: Vec<Token>, source: &str) -> Result<Program, Diagnostic> {
+    let _ = source;
+    Parser::new(tokens).program()
+}
+
+/// Parses a single expression, used by the pragma predicate parser and by
+/// tests.
+///
+/// # Errors
+///
+/// Returns a syntax error if `src` is not exactly one expression.
+pub fn parse_expr(src: &str) -> Result<Expr, Diagnostic> {
+    let tokens = lexer::lex(src)?;
+    let mut p = Parser::new(tokens);
+    let e = p.expr(0)?;
+    p.expect(&TokenKind::Eof)?;
+    Ok(e)
+}
+
+/// Pending annotations collected from pragmas until the next declaration or
+/// statement they attach to.
+#[derive(Default)]
+struct Pending {
+    instances: Vec<CommSetInstance>,
+    named_block: Option<String>,
+    named_args: Vec<String>,
+    named_arg_adds: Vec<NamedArgAdd>,
+    reductions: Vec<ReductionPragma>,
+}
+
+impl Pending {
+    fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+            && self.named_block.is_none()
+            && self.named_args.is_empty()
+            && self.named_arg_adds.is_empty()
+            && self.reductions.is_empty()
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    next_stmt: u32,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser {
+            tokens,
+            pos: 0,
+            next_stmt: 0,
+        }
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_kind(&self) -> &TokenKind {
+        &self.peek().kind
+    }
+
+    fn peek2_kind(&self) -> &TokenKind {
+        let i = (self.pos + 1).min(self.tokens.len() - 1);
+        &self.tokens[i].kind
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at(&self, kind: &TokenKind) -> bool {
+        self.peek_kind() == kind
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.at(kind) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<Token, Diagnostic> {
+        if self.at(kind) {
+            Ok(self.bump())
+        } else {
+            Err(self.err(format!("expected `{kind}`, found `{}`", self.peek_kind())))
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> Diagnostic {
+        Diagnostic::new(Phase::Parse, msg, self.peek().span)
+    }
+
+    fn fresh_stmt_id(&mut self) -> StmtId {
+        let id = StmtId(self.next_stmt);
+        self.next_stmt += 1;
+        id
+    }
+
+    fn ident(&mut self) -> Result<(String, Span), Diagnostic> {
+        match self.peek_kind().clone() {
+            TokenKind::Ident(name) => {
+                let span = self.bump().span;
+                Ok((name, span))
+            }
+            other => Err(self.err(format!("expected identifier, found `{other}`"))),
+        }
+    }
+
+    fn ty(&mut self) -> Result<Type, Diagnostic> {
+        let t = match self.peek_kind() {
+            TokenKind::Kw(Keyword::Int) => Type::Int,
+            TokenKind::Kw(Keyword::Float) => Type::Float,
+            TokenKind::Kw(Keyword::Handle) => Type::Handle,
+            TokenKind::Kw(Keyword::Void) => Type::Void,
+            other => return Err(self.err(format!("expected type, found `{other}`"))),
+        };
+        self.bump();
+        Ok(t)
+    }
+
+    fn at_type(&self) -> bool {
+        matches!(
+            self.peek_kind(),
+            TokenKind::Kw(Keyword::Int)
+                | TokenKind::Kw(Keyword::Float)
+                | TokenKind::Kw(Keyword::Handle)
+                | TokenKind::Kw(Keyword::Void)
+        )
+    }
+
+    // -- program structure --------------------------------------------------
+
+    fn program(&mut self) -> Result<Program, Diagnostic> {
+        let mut items = Vec::new();
+        let mut pending = Pending::default();
+        while !self.at(&TokenKind::Eof) {
+            if let TokenKind::Pragma(body) = self.peek_kind().clone() {
+                let span = self.bump().span;
+                match parse_pragma(&body, span)? {
+                    ParsedPragma::Global(g) => {
+                        if !pending.is_empty() {
+                            return Err(Diagnostic::new(
+                                Phase::Parse,
+                                "instance pragma must immediately precede its target",
+                                span,
+                            ));
+                        }
+                        items.push(Item::Pragma(g));
+                    }
+                    ParsedPragma::Instances(mut is) => pending.instances.append(&mut is),
+                    ParsedPragma::NamedBlock(_) => {
+                        return Err(Diagnostic::new(
+                            Phase::Parse,
+                            "CommSetNamedBlock is only valid inside a function body",
+                            span,
+                        ))
+                    }
+                    ParsedPragma::NamedArg(mut names) => pending.named_args.append(&mut names),
+                    ParsedPragma::NamedArgAdd(_) => {
+                        return Err(Diagnostic::new(
+                            Phase::Parse,
+                            "CommSetNamedArgAdd is only valid at a call site",
+                            span,
+                        ))
+                    }
+                    ParsedPragma::Reduction(_) => {
+                        return Err(Diagnostic::new(
+                            Phase::Parse,
+                            "CommSetReduction is only valid on a loop inside a function",
+                            span,
+                        ))
+                    }
+                }
+                continue;
+            }
+            if self.at(&TokenKind::Kw(Keyword::Extern)) {
+                if !pending.is_empty() {
+                    return Err(self.err("COMMSET pragmas cannot annotate extern declarations; annotate an enclosing block instead"));
+                }
+                items.push(Item::Extern(self.extern_decl()?));
+                continue;
+            }
+            // A type followed by an identifier: function or global.
+            let item = self.func_or_global(&mut pending)?;
+            items.push(item);
+        }
+        if !pending.is_empty() {
+            return Err(self.err("dangling COMMSET pragma at end of file"));
+        }
+        Ok(Program { items })
+    }
+
+    fn extern_decl(&mut self) -> Result<ExternDecl, Diagnostic> {
+        let start = self.expect(&TokenKind::Kw(Keyword::Extern))?.span;
+        let ret = self.ty()?;
+        let (name, _) = self.ident()?;
+        let params = self.param_list()?;
+        let end = self.expect(&TokenKind::Semi)?.span;
+        Ok(ExternDecl {
+            name,
+            ret,
+            params,
+            span: start.merge(end),
+        })
+    }
+
+    fn func_or_global(&mut self, pending: &mut Pending) -> Result<Item, Diagnostic> {
+        let start = self.peek().span;
+        let ty = self.ty()?;
+        let (name, _) = self.ident()?;
+        if self.at(&TokenKind::LParen) {
+            let params = self.param_list()?;
+            let body = self.block()?;
+            let p = std::mem::take(pending);
+            if p.named_block.is_some() || !p.named_arg_adds.is_empty() {
+                return Err(Diagnostic::new(
+                    Phase::Parse,
+                    "CommSetNamedBlock / CommSetNamedArgAdd cannot annotate a function declaration",
+                    start,
+                ));
+            }
+            Ok(Item::Func(FuncDecl {
+                name,
+                ret: ty,
+                params,
+                body,
+                instances: p.instances,
+                named_args: p.named_args,
+                span: start,
+            }))
+        } else {
+            if !pending.is_empty() {
+                return Err(Diagnostic::new(
+                    Phase::Parse,
+                    "COMMSET pragmas cannot annotate global variables",
+                    start,
+                ));
+            }
+            let array_len = self.opt_array_len()?;
+            let init = if self.eat(&TokenKind::Assign) {
+                Some(self.expr(0)?)
+            } else {
+                None
+            };
+            let end = self.expect(&TokenKind::Semi)?.span;
+            Ok(Item::Global(GlobalDecl {
+                name,
+                ty,
+                array_len,
+                init,
+                span: start.merge(end),
+            }))
+        }
+    }
+
+    fn opt_array_len(&mut self) -> Result<Option<usize>, Diagnostic> {
+        if self.eat(&TokenKind::LBracket) {
+            let n = match self.peek_kind() {
+                TokenKind::IntLit(v) if *v >= 0 => *v as usize,
+                _ => return Err(self.err("array length must be a non-negative integer literal")),
+            };
+            self.bump();
+            self.expect(&TokenKind::RBracket)?;
+            Ok(Some(n))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn param_list(&mut self) -> Result<Vec<Param>, Diagnostic> {
+        self.expect(&TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !self.at(&TokenKind::RParen) {
+            loop {
+                let span = self.peek().span;
+                let ty = self.ty()?;
+                let (name, _) = self.ident()?;
+                params.push(Param { name, ty, span });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(params)
+    }
+
+    // -- statements ----------------------------------------------------------
+
+    fn block(&mut self) -> Result<Block, Diagnostic> {
+        let start = self.expect(&TokenKind::LBrace)?.span;
+        let mut stmts = Vec::new();
+        let mut pending = Pending::default();
+        while !self.at(&TokenKind::RBrace) {
+            if self.at(&TokenKind::Eof) {
+                return Err(self.err("unterminated block"));
+            }
+            if let TokenKind::Pragma(body) = self.peek_kind().clone() {
+                let span = self.bump().span;
+                match parse_pragma(&body, span)? {
+                    ParsedPragma::Instances(mut is) => pending.instances.append(&mut is),
+                    ParsedPragma::Reduction(r) => pending.reductions.push(r),
+                    ParsedPragma::NamedBlock(name) => {
+                        if pending.named_block.replace(name).is_some() {
+                            return Err(Diagnostic::new(
+                                Phase::Parse,
+                                "duplicate CommSetNamedBlock on one block",
+                                span,
+                            ));
+                        }
+                    }
+                    ParsedPragma::NamedArgAdd(a) => pending.named_arg_adds.push(a),
+                    ParsedPragma::Global(_) | ParsedPragma::NamedArg(_) => {
+                        return Err(Diagnostic::new(
+                            Phase::Parse,
+                            "this COMMSET pragma is only valid at global scope",
+                            span,
+                        ))
+                    }
+                }
+                continue;
+            }
+            let mut stmt = self.stmt()?;
+            let p = std::mem::take(&mut pending);
+            if !p.is_empty() {
+                let is_compound = matches!(stmt.kind, StmtKind::Block(_));
+                if (!p.instances.is_empty() || p.named_block.is_some()) && !is_compound {
+                    return Err(Diagnostic::new(
+                        Phase::Parse,
+                        "CommSet / CommSetNamedBlock pragmas must annotate a compound statement `{ ... }`",
+                        stmt.span,
+                    ));
+                }
+                let is_loop = matches!(stmt.kind, StmtKind::For { .. } | StmtKind::While { .. });
+                if !p.reductions.is_empty() && !is_loop {
+                    return Err(Diagnostic::new(
+                        Phase::Parse,
+                        "CommSetReduction must annotate a loop",
+                        stmt.span,
+                    ));
+                }
+                stmt.instances = p.instances;
+                stmt.named_block = p.named_block;
+                stmt.named_arg_adds = p.named_arg_adds;
+                stmt.reductions = p.reductions;
+            }
+            stmts.push(stmt);
+        }
+        let end = self.expect(&TokenKind::RBrace)?.span;
+        Ok(Block {
+            stmts,
+            span: start.merge(end),
+        })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, Diagnostic> {
+        let span = self.peek().span;
+        let id = self.fresh_stmt_id();
+        match self.peek_kind().clone() {
+            TokenKind::LBrace => {
+                let b = self.block()?;
+                let sp = b.span;
+                Ok(Stmt::plain(id, StmtKind::Block(b), sp))
+            }
+            TokenKind::Kw(Keyword::If) => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.expr(0)?;
+                self.expect(&TokenKind::RParen)?;
+                let then_branch = Box::new(self.stmt()?);
+                let else_branch = if self.eat(&TokenKind::Kw(Keyword::Else)) {
+                    Some(Box::new(self.stmt()?))
+                } else {
+                    None
+                };
+                Ok(Stmt::plain(
+                    id,
+                    StmtKind::If {
+                        cond,
+                        then_branch,
+                        else_branch,
+                    },
+                    span,
+                ))
+            }
+            TokenKind::Kw(Keyword::While) => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.expr(0)?;
+                self.expect(&TokenKind::RParen)?;
+                let body = Box::new(self.stmt()?);
+                Ok(Stmt::plain(id, StmtKind::While { cond, body }, span))
+            }
+            TokenKind::Kw(Keyword::For) => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let init = if self.at(&TokenKind::Semi) {
+                    None
+                } else {
+                    Some(Box::new(self.simple_stmt()?))
+                };
+                self.expect(&TokenKind::Semi)?;
+                let cond = if self.at(&TokenKind::Semi) {
+                    None
+                } else {
+                    Some(self.expr(0)?)
+                };
+                self.expect(&TokenKind::Semi)?;
+                let step = if self.at(&TokenKind::RParen) {
+                    None
+                } else {
+                    Some(Box::new(self.simple_stmt()?))
+                };
+                self.expect(&TokenKind::RParen)?;
+                let body = Box::new(self.stmt()?);
+                Ok(Stmt::plain(
+                    id,
+                    StmtKind::For {
+                        init,
+                        cond,
+                        step,
+                        body,
+                    },
+                    span,
+                ))
+            }
+            TokenKind::Kw(Keyword::Return) => {
+                self.bump();
+                let value = if self.at(&TokenKind::Semi) {
+                    None
+                } else {
+                    Some(self.expr(0)?)
+                };
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::plain(id, StmtKind::Return(value), span))
+            }
+            TokenKind::Kw(Keyword::Break) => {
+                self.bump();
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::plain(id, StmtKind::Break, span))
+            }
+            TokenKind::Kw(Keyword::Continue) => {
+                self.bump();
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::plain(id, StmtKind::Continue, span))
+            }
+            _ => {
+                let s = self.simple_stmt()?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt { id, ..s })
+            }
+        }
+    }
+
+    /// A declaration, assignment or expression statement without the
+    /// trailing semicolon (shared between `for` headers and plain
+    /// statements).
+    fn simple_stmt(&mut self) -> Result<Stmt, Diagnostic> {
+        let span = self.peek().span;
+        let id = self.fresh_stmt_id();
+        // `float(x)` at statement start would be a cast expression, but a
+        // type name followed by an identifier is a declaration.
+        if self.at_type() && matches!(self.peek2_kind(), TokenKind::Ident(_)) {
+            let ty = self.ty()?;
+            let (name, _) = self.ident()?;
+            let array_len = self.opt_array_len()?;
+            let init = if self.eat(&TokenKind::Assign) {
+                Some(self.expr(0)?)
+            } else {
+                None
+            };
+            return Ok(Stmt::plain(
+                id,
+                StmtKind::VarDecl {
+                    name,
+                    ty,
+                    array_len,
+                    init,
+                },
+                span,
+            ));
+        }
+        // Assignment: IDENT (= | += | -= | *=) or IDENT [ expr ] op.
+        if let TokenKind::Ident(name) = self.peek_kind().clone() {
+            let is_simple_assign = matches!(
+                self.peek2_kind(),
+                TokenKind::Assign
+                    | TokenKind::PlusAssign
+                    | TokenKind::MinusAssign
+                    | TokenKind::StarAssign
+            );
+            if is_simple_assign {
+                let tspan = self.bump().span;
+                let op = self.assign_op()?;
+                let value = self.expr(0)?;
+                return Ok(Stmt::plain(
+                    id,
+                    StmtKind::Assign {
+                        target: LValue::Var(name, tspan),
+                        op,
+                        value,
+                    },
+                    span,
+                ));
+            }
+            if matches!(self.peek2_kind(), TokenKind::LBracket) {
+                // Could be `a[i] = e` or the (useless) expression `a[i]`;
+                // only assignment is allowed in statement position.
+                let tspan = self.bump().span;
+                self.expect(&TokenKind::LBracket)?;
+                let idx = self.expr(0)?;
+                self.expect(&TokenKind::RBracket)?;
+                let op = self.assign_op()?;
+                let value = self.expr(0)?;
+                return Ok(Stmt::plain(
+                    id,
+                    StmtKind::Assign {
+                        target: LValue::Index(name, Box::new(idx), tspan),
+                        op,
+                        value,
+                    },
+                    span,
+                ));
+            }
+        }
+        let e = self.expr(0)?;
+        Ok(Stmt::plain(id, StmtKind::ExprStmt(e), span))
+    }
+
+    fn assign_op(&mut self) -> Result<AssignOp, Diagnostic> {
+        let op = match self.peek_kind() {
+            TokenKind::Assign => AssignOp::Set,
+            TokenKind::PlusAssign => AssignOp::Add,
+            TokenKind::MinusAssign => AssignOp::Sub,
+            TokenKind::StarAssign => AssignOp::Mul,
+            other => return Err(self.err(format!("expected assignment operator, found `{other}`"))),
+        };
+        self.bump();
+        Ok(op)
+    }
+
+    // -- expressions (Pratt) --------------------------------------------------
+
+    fn expr(&mut self, min_prec: u8) -> Result<Expr, Diagnostic> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Rem,
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                TokenKind::Shl => BinOp::Shl,
+                TokenKind::Shr => BinOp::Shr,
+                TokenKind::Lt => BinOp::Lt,
+                TokenKind::Le => BinOp::Le,
+                TokenKind::Gt => BinOp::Gt,
+                TokenKind::Ge => BinOp::Ge,
+                TokenKind::EqEq => BinOp::Eq,
+                TokenKind::NotEq => BinOp::Ne,
+                TokenKind::Amp => BinOp::BitAnd,
+                TokenKind::Caret => BinOp::BitXor,
+                TokenKind::Pipe => BinOp::BitOr,
+                TokenKind::AndAnd => BinOp::And,
+                TokenKind::OrOr => BinOp::Or,
+                _ => break,
+            };
+            let prec = op.precedence();
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.expr(prec + 1)?;
+            let span = lhs.span.merge(rhs.span);
+            lhs = Expr::new(ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), span);
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, Diagnostic> {
+        let span = self.peek().span;
+        let op = match self.peek_kind() {
+            TokenKind::Minus => Some(UnOp::Neg),
+            TokenKind::Not => Some(UnOp::Not),
+            TokenKind::Tilde => Some(UnOp::BitNot),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let operand = self.unary()?;
+            let span = span.merge(operand.span);
+            return Ok(Expr::new(ExprKind::Unary(op, Box::new(operand)), span));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, Diagnostic> {
+        let span = self.peek().span;
+        match self.peek_kind().clone() {
+            TokenKind::IntLit(v) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::IntLit(v), span))
+            }
+            TokenKind::FloatLit(v) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::FloatLit(v), span))
+            }
+            TokenKind::StrLit(s) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::StrLit(s), span))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr(0)?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            // Casts: `int(e)`, `float(e)`, `handle(e)`.
+            TokenKind::Kw(kw @ (Keyword::Int | Keyword::Float | Keyword::Handle)) => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let e = self.expr(0)?;
+                let end = self.expect(&TokenKind::RParen)?.span;
+                let ty = match kw {
+                    Keyword::Int => Type::Int,
+                    Keyword::Float => Type::Float,
+                    _ => Type::Handle,
+                };
+                Ok(Expr::new(
+                    ExprKind::Cast(ty, Box::new(e)),
+                    span.merge(end),
+                ))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.eat(&TokenKind::LParen) {
+                    let mut args = Vec::new();
+                    if !self.at(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.expr(0)?);
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    let end = self.expect(&TokenKind::RParen)?.span;
+                    Ok(Expr::new(ExprKind::Call(name, args), span.merge(end)))
+                } else if self.eat(&TokenKind::LBracket) {
+                    let idx = self.expr(0)?;
+                    let end = self.expect(&TokenKind::RBracket)?.span;
+                    Ok(Expr::new(
+                        ExprKind::Index(name, Box::new(idx)),
+                        span.merge(end),
+                    ))
+                } else {
+                    Ok(Expr::new(ExprKind::Var(name), span))
+                }
+            }
+            other => Err(self.err(format!("expected expression, found `{other}`"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pragma directive parsing
+// ---------------------------------------------------------------------------
+
+enum ParsedPragma {
+    Global(GlobalPragma),
+    Instances(Vec<CommSetInstance>),
+    NamedBlock(String),
+    NamedArg(Vec<String>),
+    NamedArgAdd(NamedArgAdd),
+    Reduction(ReductionPragma),
+}
+
+/// Parses the body of a `#pragma ...` line into a COMMSET directive.
+fn parse_pragma(body: &str, span: Span) -> Result<ParsedPragma, Diagnostic> {
+    let tokens = lexer::lex(body)
+        .map_err(|e| Diagnostic::new(Phase::Parse, format!("in pragma: {}", e.message), span))?;
+    let mut p = Parser::new(tokens);
+    let (head, _) = p.ident().map_err(|_| {
+        Diagnostic::new(Phase::Parse, "expected COMMSET directive name", span)
+    })?;
+    let fail = |msg: &str| Diagnostic::new(Phase::Parse, msg.to_string(), span);
+    let out = match head.as_str() {
+        "CommSetDecl" => {
+            p.expect(&TokenKind::LParen).map_err(reloc(span))?;
+            let (name, _) = p.ident().map_err(reloc(span))?;
+            p.expect(&TokenKind::Comma).map_err(reloc(span))?;
+            let (kind_name, _) = p.ident().map_err(reloc(span))?;
+            let kind = match kind_name.as_str() {
+                "Self" | "SELF" => SetKind::SelfSet,
+                "Group" | "GROUP" => SetKind::Group,
+                _ => return Err(fail("CommSetDecl kind must be `Self` or `Group`")),
+            };
+            p.expect(&TokenKind::RParen).map_err(reloc(span))?;
+            ParsedPragma::Global(GlobalPragma::Decl { name, kind, span })
+        }
+        "CommSetPredicate" => {
+            p.expect(&TokenKind::LParen).map_err(reloc(span))?;
+            let (set, _) = p.ident().map_err(reloc(span))?;
+            p.expect(&TokenKind::Comma).map_err(reloc(span))?;
+            let params1 = parse_param_names(&mut p, span)?;
+            p.expect(&TokenKind::Comma).map_err(reloc(span))?;
+            let params2 = parse_param_names(&mut p, span)?;
+            p.expect(&TokenKind::Comma).map_err(reloc(span))?;
+            let pred = p.expr(0).map_err(reloc(span))?;
+            p.expect(&TokenKind::RParen).map_err(reloc(span))?;
+            if params1.len() != params2.len() {
+                return Err(fail("CommSetPredicate parameter lists must have equal length"));
+            }
+            ParsedPragma::Global(GlobalPragma::Predicate {
+                set,
+                params1,
+                params2,
+                body: pred,
+                span,
+            })
+        }
+        "CommSetNoSync" => {
+            p.expect(&TokenKind::LParen).map_err(reloc(span))?;
+            let (set, _) = p.ident().map_err(reloc(span))?;
+            p.expect(&TokenKind::RParen).map_err(reloc(span))?;
+            ParsedPragma::Global(GlobalPragma::NoSync { set, span })
+        }
+        "CommSet" => {
+            p.expect(&TokenKind::LParen).map_err(reloc(span))?;
+            let instances = parse_instance_list(&mut p, span)?;
+            p.expect(&TokenKind::RParen).map_err(reloc(span))?;
+            ParsedPragma::Instances(instances)
+        }
+        "CommSetNamedBlock" => {
+            p.expect(&TokenKind::LParen).map_err(reloc(span))?;
+            let (name, _) = p.ident().map_err(reloc(span))?;
+            p.expect(&TokenKind::RParen).map_err(reloc(span))?;
+            ParsedPragma::NamedBlock(name)
+        }
+        "CommSetNamedArg" => {
+            p.expect(&TokenKind::LParen).map_err(reloc(span))?;
+            let mut names = Vec::new();
+            loop {
+                let (name, _) = p.ident().map_err(reloc(span))?;
+                names.push(name);
+                if !p.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            p.expect(&TokenKind::RParen).map_err(reloc(span))?;
+            ParsedPragma::NamedArg(names)
+        }
+        "CommSetReduction" => {
+            p.expect(&TokenKind::LParen).map_err(reloc(span))?;
+            let (var, _) = p.ident().map_err(reloc(span))?;
+            p.expect(&TokenKind::Comma).map_err(reloc(span))?;
+            let op = match p.peek_kind().clone() {
+                TokenKind::Plus => ReductionOp::Add,
+                TokenKind::Star => ReductionOp::Mul,
+                TokenKind::Ident(ref n) if n == "max" => ReductionOp::Max,
+                TokenKind::Ident(ref n) if n == "min" => ReductionOp::Min,
+                other => {
+                    return Err(Diagnostic::new(
+                        Phase::Parse,
+                        format!("unknown reduction operator `{other}` (use +, *, max, min)"),
+                        span,
+                    ))
+                }
+            };
+            p.bump();
+            p.expect(&TokenKind::RParen).map_err(reloc(span))?;
+            ParsedPragma::Reduction(ReductionPragma { var, op, span })
+        }
+        "CommSetNamedArgAdd" => {
+            p.expect(&TokenKind::LParen).map_err(reloc(span))?;
+            let (block, _) = p.ident().map_err(reloc(span))?;
+            p.expect(&TokenKind::Comma).map_err(reloc(span))?;
+            let instances = parse_instance_list(&mut p, span)?;
+            p.expect(&TokenKind::RParen).map_err(reloc(span))?;
+            ParsedPragma::NamedArgAdd(NamedArgAdd {
+                block,
+                instances,
+                span,
+            })
+        }
+        other => {
+            return Err(Diagnostic::new(
+                Phase::Parse,
+                format!("unknown pragma `{other}` (not a COMMSET directive)"),
+                span,
+            ))
+        }
+    };
+    if !p.at(&TokenKind::Eof) {
+        return Err(fail("trailing tokens after COMMSET directive"));
+    }
+    Ok(out)
+}
+
+fn reloc(span: Span) -> impl Fn(Diagnostic) -> Diagnostic {
+    move |d| Diagnostic::new(Phase::Parse, format!("in pragma: {}", d.message), span)
+}
+
+fn parse_param_names(p: &mut Parser, span: Span) -> Result<Vec<String>, Diagnostic> {
+    p.expect(&TokenKind::LParen).map_err(reloc(span))?;
+    let mut names = Vec::new();
+    if !p.at(&TokenKind::RParen) {
+        loop {
+            let (name, _) = p.ident().map_err(reloc(span))?;
+            names.push(name);
+            if !p.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+    }
+    p.expect(&TokenKind::RParen).map_err(reloc(span))?;
+    Ok(names)
+}
+
+fn parse_instance_list(p: &mut Parser, span: Span) -> Result<Vec<CommSetInstance>, Diagnostic> {
+    let mut out = Vec::new();
+    loop {
+        let (name, _) = p.ident().map_err(reloc(span))?;
+        let set = if name == "SELF" {
+            SetRef::SelfImplicit
+        } else {
+            SetRef::Named(name)
+        };
+        let mut args = Vec::new();
+        if p.eat(&TokenKind::LParen) {
+            if !p.at(&TokenKind::RParen) {
+                loop {
+                    args.push(p.expr(0).map_err(reloc(span))?);
+                    if !p.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+            }
+            p.expect(&TokenKind::RParen).map_err(reloc(span))?;
+        }
+        out.push(CommSetInstance { set, args, span });
+        if !p.eat(&TokenKind::Comma) {
+            break;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_src(src: &str) -> Program {
+        let toks = lexer::lex(src).unwrap();
+        parse(toks, src).unwrap()
+    }
+
+    #[test]
+    fn parses_function_and_global() {
+        let p = parse_src("int g = 3; int buf[8]; void f(int x, float y) { return; }");
+        assert_eq!(p.items.len(), 3);
+        match &p.items[2] {
+            Item::Func(f) => {
+                assert_eq!(f.name, "f");
+                assert_eq!(f.params.len(), 2);
+                assert_eq!(f.ret, Type::Void);
+            }
+            other => panic!("expected function, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let e = parse_expr("1 + 2 * 3 == 7 && 1").unwrap();
+        // Top should be `&&`.
+        match e.kind {
+            ExprKind::Binary(BinOp::And, lhs, _) => match lhs.kind {
+                ExprKind::Binary(BinOp::Eq, add, _) => {
+                    assert!(matches!(add.kind, ExprKind::Binary(BinOp::Add, _, _)));
+                }
+                other => panic!("expected ==, got {other:?}"),
+            },
+            other => panic!("expected &&, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn left_associativity() {
+        let e = parse_expr("10 - 4 - 3").unwrap();
+        match e.kind {
+            ExprKind::Binary(BinOp::Sub, lhs, rhs) => {
+                assert!(matches!(lhs.kind, ExprKind::Binary(BinOp::Sub, _, _)));
+                assert!(matches!(rhs.kind, ExprKind::IntLit(3)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let p = parse_src(
+            "int main() { int s = 0; for (int i = 0; i < 10; i = i + 1) { if (i % 2 == 0) s += i; else continue; } while (s > 0) { s -= 1; break; } return s; }",
+        );
+        let Item::Func(f) = &p.items[0] else { panic!() };
+        assert_eq!(f.body.stmts.len(), 4);
+    }
+
+    #[test]
+    fn parses_array_assign_and_index() {
+        let p = parse_src("int a[4]; void f() { a[1] = 2; int x = a[1] + 1; }");
+        let Item::Func(f) = &p.items[1] else { panic!() };
+        assert!(matches!(
+            f.body.stmts[0].kind,
+            StmtKind::Assign { target: LValue::Index(..), .. }
+        ));
+    }
+
+    #[test]
+    fn parses_cast() {
+        let e = parse_expr("float(3) + 1.0").unwrap();
+        match e.kind {
+            ExprKind::Binary(BinOp::Add, lhs, _) => {
+                assert!(matches!(lhs.kind, ExprKind::Cast(Type::Float, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn global_pragmas_become_items() {
+        let p = parse_src(
+            "#pragma CommSetDecl(FSET, Group)\n#pragma CommSetPredicate(FSET, (i1), (i2), i1 != i2)\n#pragma CommSetNoSync(FSET)\nint main() { return 0; }",
+        );
+        assert!(matches!(
+            p.items[0],
+            Item::Pragma(GlobalPragma::Decl { ref name, kind: SetKind::Group, .. }) if name == "FSET"
+        ));
+        assert!(matches!(
+            p.items[1],
+            Item::Pragma(GlobalPragma::Predicate { ref set, ref params1, .. }) if set == "FSET" && params1 == &vec!["i1".to_string()]
+        ));
+        assert!(matches!(
+            p.items[2],
+            Item::Pragma(GlobalPragma::NoSync { ref set, .. }) if set == "FSET"
+        ));
+    }
+
+    #[test]
+    fn instance_pragma_attaches_to_block() {
+        let p = parse_src(
+            "int main() { for (int i = 0; i < 4; i = i + 1) {\n#pragma CommSet(SELF, FSET(i))\n{ int x = i; } } return 0; }",
+        );
+        let Item::Func(f) = &p.items[0] else { panic!() };
+        let StmtKind::For { body, .. } = &f.body.stmts[0].kind else {
+            panic!()
+        };
+        let StmtKind::Block(b) = &body.kind else { panic!() };
+        let annotated = &b.stmts[0];
+        assert_eq!(annotated.instances.len(), 2);
+        assert!(matches!(annotated.instances[0].set, SetRef::SelfImplicit));
+        match &annotated.instances[1].set {
+            SetRef::Named(n) => assert_eq!(n, "FSET"),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(annotated.instances[1].args.len(), 1);
+    }
+
+    #[test]
+    fn interface_pragma_attaches_to_function() {
+        let p = parse_src(
+            "#pragma CommSet(SSET(k))\n#pragma CommSetNamedArg(READB)\nint mdfile(handle fp, int k) { return 0; }",
+        );
+        let Item::Func(f) = &p.items[0] else { panic!() };
+        assert_eq!(f.instances.len(), 1);
+        assert_eq!(f.named_args, vec!["READB".to_string()]);
+    }
+
+    #[test]
+    fn named_block_and_arg_add() {
+        let p = parse_src(
+            "int f() {\n#pragma CommSetNamedBlock(READB)\n{ int x = 0; } return 0; }\nint main() {\n#pragma CommSetNamedArgAdd(READB, SSET(1))\n{ int y = f(); } return 0; }",
+        );
+        let Item::Func(f) = &p.items[0] else { panic!() };
+        assert_eq!(f.body.stmts[0].named_block.as_deref(), Some("READB"));
+        let Item::Func(m) = &p.items[1] else { panic!() };
+        assert_eq!(m.body.stmts[0].named_arg_adds.len(), 1);
+        assert_eq!(m.body.stmts[0].named_arg_adds[0].block, "READB");
+    }
+
+    #[test]
+    fn instance_pragma_on_non_block_is_error() {
+        let src = "int main() {\n#pragma CommSet(SELF)\nint x = 0; return 0; }";
+        let toks = lexer::lex(src).unwrap();
+        assert!(parse(toks, src).is_err());
+    }
+
+    #[test]
+    fn dangling_pragma_is_error() {
+        let src = "int main() { return 0; }\n#pragma CommSet(SELF)\n";
+        let toks = lexer::lex(src).unwrap();
+        assert!(parse(toks, src).is_err());
+    }
+
+    #[test]
+    fn unknown_pragma_is_error() {
+        let src = "#pragma omp parallel for\nint main() { return 0; }";
+        let toks = lexer::lex(src).unwrap();
+        assert!(parse(toks, src).is_err());
+    }
+
+    #[test]
+    fn predicate_param_lists_must_match() {
+        let src = "#pragma CommSetPredicate(S, (a, b), (c), a != c)\nint main(){return 0;}";
+        let toks = lexer::lex(src).unwrap();
+        assert!(parse(toks, src).is_err());
+    }
+}

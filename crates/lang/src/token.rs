@@ -1,0 +1,261 @@
+//! Token definitions and source spans for the Cmm lexer.
+
+use std::fmt;
+
+/// A half-open byte range into the original source text.
+///
+/// Spans are attached to every token and AST node so diagnostics and the
+/// "show parallelism-inhibiting dependences at source level" facility (paper
+/// §4, Figure 5) can point back into the program text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: u32,
+}
+
+impl Span {
+    /// Creates a new span.
+    pub fn new(start: usize, end: usize, line: u32) -> Self {
+        Span { start, end, line }
+    }
+
+    /// Returns the smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: self.line.min(other.line),
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}", self.line)
+    }
+}
+
+/// Keywords of the Cmm language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Keyword {
+    Int,
+    Float,
+    Handle,
+    Void,
+    If,
+    Else,
+    While,
+    For,
+    Return,
+    Break,
+    Continue,
+    Extern,
+}
+
+impl Keyword {
+    /// Returns the keyword for `ident`, if it is one.
+    ///
+    /// (Deliberately not `FromStr`: lookups are infallible `Option`s, not
+    /// parse errors.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_str(ident: &str) -> Option<Keyword> {
+        Some(match ident {
+            "int" => Keyword::Int,
+            "float" => Keyword::Float,
+            "handle" => Keyword::Handle,
+            "void" => Keyword::Void,
+            "if" => Keyword::If,
+            "else" => Keyword::Else,
+            "while" => Keyword::While,
+            "for" => Keyword::For,
+            "return" => Keyword::Return,
+            "break" => Keyword::Break,
+            "continue" => Keyword::Continue,
+            "extern" => Keyword::Extern,
+            _ => return None,
+        })
+    }
+
+    /// The concrete-syntax spelling of the keyword.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Keyword::Int => "int",
+            Keyword::Float => "float",
+            Keyword::Handle => "handle",
+            Keyword::Void => "void",
+            Keyword::If => "if",
+            Keyword::Else => "else",
+            Keyword::While => "while",
+            Keyword::For => "for",
+            Keyword::Return => "return",
+            Keyword::Break => "break",
+            Keyword::Continue => "continue",
+            Keyword::Extern => "extern",
+        }
+    }
+}
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// An integer literal, e.g. `42`.
+    IntLit(i64),
+    /// A floating-point literal, e.g. `3.5`.
+    FloatLit(f64),
+    /// A string literal (used only inside pragmas and intrinsics tests).
+    StrLit(String),
+    /// An identifier.
+    Ident(String),
+    /// A reserved keyword.
+    Kw(Keyword),
+    /// A full `#pragma ...` line, captured verbatim (without `#pragma`).
+    ///
+    /// Pragma bodies are re-lexed by the pragma parser; keeping them as a
+    /// single token preserves the property that eliding pragmas yields a
+    /// plain sequential program (paper §3.2).
+    Pragma(String),
+
+    // Punctuation and operators.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    EqEq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    AndAnd,
+    OrOr,
+    Not,
+    Amp,
+    Pipe,
+    Caret,
+    Shl,
+    Shr,
+    Tilde,
+
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::IntLit(v) => write!(f, "{v}"),
+            TokenKind::FloatLit(v) => write!(f, "{v}"),
+            TokenKind::StrLit(s) => write!(f, "{s:?}"),
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Kw(k) => write!(f, "{}", k.as_str()),
+            TokenKind::Pragma(p) => write!(f, "#pragma {p}"),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::LBrace => write!(f, "{{"),
+            TokenKind::RBrace => write!(f, "}}"),
+            TokenKind::LBracket => write!(f, "["),
+            TokenKind::RBracket => write!(f, "]"),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::Semi => write!(f, ";"),
+            TokenKind::Assign => write!(f, "="),
+            TokenKind::PlusAssign => write!(f, "+="),
+            TokenKind::MinusAssign => write!(f, "-="),
+            TokenKind::StarAssign => write!(f, "*="),
+            TokenKind::Plus => write!(f, "+"),
+            TokenKind::Minus => write!(f, "-"),
+            TokenKind::Star => write!(f, "*"),
+            TokenKind::Slash => write!(f, "/"),
+            TokenKind::Percent => write!(f, "%"),
+            TokenKind::EqEq => write!(f, "=="),
+            TokenKind::NotEq => write!(f, "!="),
+            TokenKind::Lt => write!(f, "<"),
+            TokenKind::Le => write!(f, "<="),
+            TokenKind::Gt => write!(f, ">"),
+            TokenKind::Ge => write!(f, ">="),
+            TokenKind::AndAnd => write!(f, "&&"),
+            TokenKind::OrOr => write!(f, "||"),
+            TokenKind::Not => write!(f, "!"),
+            TokenKind::Amp => write!(f, "&"),
+            TokenKind::Pipe => write!(f, "|"),
+            TokenKind::Caret => write!(f, "^"),
+            TokenKind::Shl => write!(f, "<<"),
+            TokenKind::Shr => write!(f, ">>"),
+            TokenKind::Tilde => write!(f, "~"),
+            TokenKind::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token paired with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it was lexed from.
+    pub span: Span,
+}
+
+impl Token {
+    /// Creates a token.
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_round_trip() {
+        for kw in [
+            Keyword::Int,
+            Keyword::Float,
+            Keyword::Handle,
+            Keyword::Void,
+            Keyword::If,
+            Keyword::Else,
+            Keyword::While,
+            Keyword::For,
+            Keyword::Return,
+            Keyword::Break,
+            Keyword::Continue,
+            Keyword::Extern,
+        ] {
+            assert_eq!(Keyword::from_str(kw.as_str()), Some(kw));
+        }
+        assert_eq!(Keyword::from_str("commset"), None);
+    }
+
+    #[test]
+    fn span_merge_covers_both() {
+        let a = Span::new(4, 9, 2);
+        let b = Span::new(1, 6, 1);
+        let m = a.merge(b);
+        assert_eq!(m, Span::new(1, 9, 1));
+    }
+
+    #[test]
+    fn token_display_is_concrete_syntax() {
+        assert_eq!(TokenKind::PlusAssign.to_string(), "+=");
+        assert_eq!(TokenKind::Kw(Keyword::While).to_string(), "while");
+        assert_eq!(TokenKind::IntLit(7).to_string(), "7");
+    }
+}

@@ -1,0 +1,154 @@
+//! The intrinsic registry: executable handlers for `extern` functions.
+//!
+//! The compile-time half of an intrinsic (types, effect channels, base
+//! cost) lives in `commset_ir::IntrinsicTable`; this registry holds the
+//! runtime half — the handler closure operating on the [`World`].
+
+use crate::value::Value;
+use crate::world::World;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// What an intrinsic call produced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntrinsicOutcome {
+    /// The returned value (ignored for `void` intrinsics).
+    pub value: Value,
+    /// Extra data-dependent simulated cost, added to the declared base
+    /// cost (e.g. per-byte hashing work).
+    pub extra_cost: u64,
+    /// How much of the total cost is *serialized* on the intrinsic's write
+    /// channels (shared-structure bookkeeping); the remainder is private
+    /// compute that overlaps across virtual cores. `None` means the whole
+    /// cost serializes (the conservative default).
+    pub serialized_cost: Option<u64>,
+}
+
+impl IntrinsicOutcome {
+    /// An outcome with no extra cost.
+    pub fn value(v: impl Into<Value>) -> Self {
+        IntrinsicOutcome {
+            value: v.into(),
+            extra_cost: 0,
+            serialized_cost: None,
+        }
+    }
+
+    /// A void outcome with no extra cost.
+    pub fn unit() -> Self {
+        IntrinsicOutcome {
+            value: Value::Int(0),
+            extra_cost: 0,
+            serialized_cost: None,
+        }
+    }
+
+    /// Adds data-dependent cost.
+    pub fn with_cost(mut self, cost: u64) -> Self {
+        self.extra_cost = cost;
+        self
+    }
+
+    /// Declares that only `ser` of the total cost holds the write
+    /// channels; the rest is private compute.
+    pub fn with_serialized(mut self, ser: u64) -> Self {
+        self.serialized_cost = Some(ser);
+        self
+    }
+}
+
+/// An intrinsic handler.
+pub type Handler = Arc<dyn Fn(&mut World, &[Value]) -> IntrinsicOutcome + Send + Sync>;
+
+/// Name-keyed handler registry.
+#[derive(Default, Clone)]
+pub struct Registry {
+    handlers: HashMap<String, Handler>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a handler for `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate registration (wiring bug).
+    pub fn register<F>(&mut self, name: &str, f: F)
+    where
+        F: Fn(&mut World, &[Value]) -> IntrinsicOutcome + Send + Sync + 'static,
+    {
+        let prev = self.handlers.insert(name.to_string(), Arc::new(f));
+        assert!(prev.is_none(), "duplicate intrinsic handler `{name}`");
+    }
+
+    /// Looks up a handler.
+    pub fn get(&self, name: &str) -> Option<&Handler> {
+        self.handlers.get(name)
+    }
+
+    /// Invokes the handler for `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no handler is registered — generated programs only call
+    /// intrinsics their workload registered.
+    pub fn call(&self, name: &str, world: &mut World, args: &[Value]) -> IntrinsicOutcome {
+        match self.handlers.get(name) {
+            Some(h) => h(world, args),
+            None => panic!("no handler for intrinsic `{name}`"),
+        }
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.handlers.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("handlers", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_call() {
+        let mut reg = Registry::new();
+        reg.register("bump", |world, args| {
+            let c = world.get_mut::<i64>("counter");
+            *c += args[0].as_int();
+            IntrinsicOutcome::value(*c).with_cost(3)
+        });
+        let mut world = World::new();
+        world.install("counter", 10i64);
+        let out = reg.call("bump", &mut world, &[Value::Int(5)]);
+        assert_eq!(out.value, Value::Int(15));
+        assert_eq!(out.extra_cost, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "no handler")]
+    fn missing_handler_panics() {
+        Registry::new().call("nope", &mut World::new(), &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate intrinsic handler")]
+    fn duplicate_registration_panics() {
+        let mut reg = Registry::new();
+        reg.register("x", |_, _| IntrinsicOutcome::unit());
+        reg.register("x", |_, _| IntrinsicOutcome::unit());
+    }
+}

@@ -1,0 +1,33 @@
+//! # commset-runtime
+//!
+//! The parallel execution substrate of the COMMSET reproduction:
+//!
+//! * [`value`] — the dynamic value type shared by the VM, the queues and
+//!   the intrinsic handlers.
+//! * [`queue`] — the lock-free single-producer/single-consumer ring buffer
+//!   used for pipeline communication ("lock-free queues in software",
+//!   paper §4.5).
+//! * [`lock`] — raw spin locks and mutexes with explicit acquire/release
+//!   (the sync engine emits paired `__lock_acquire`/`__lock_release`
+//!   operations).
+//! * [`stm`] — a TL2-style software transactional memory (global version
+//!   clock, versioned cells, redo log) backing the optimistic sync mode.
+//! * [`world`] — the virtual world: type-erased, channel-keyed mutable
+//!   state standing in for the paper's files, console, RNG seeds, packet
+//!   pools and allocators.
+//! * [`intrinsics`] — the registry binding `extern` intrinsic names to
+//!   effect signatures and executable handlers.
+//! * [`rng`] — the deterministic RNG algorithms used by workloads.
+
+pub mod intrinsics;
+pub mod lock;
+pub mod queue;
+pub mod rng;
+pub mod stm;
+pub mod value;
+pub mod world;
+
+pub use intrinsics::{IntrinsicOutcome, Registry};
+pub use queue::SpscQueue;
+pub use value::Value;
+pub use world::World;

@@ -1,0 +1,200 @@
+//! Lock-free bounded single-producer/single-consumer ring buffer.
+//!
+//! This is the software queue of the DSWP family (paper §4.5): dependences
+//! between pipeline stages "are communicated via lock-free queues in
+//! software". One producer thread pushes, one consumer thread pops; both
+//! ends are wait-free except when full/empty.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A bounded SPSC queue over `Copy` elements.
+///
+/// # Safety contract
+///
+/// At most one thread may push concurrently and at most one thread may pop
+/// concurrently. The type is `Sync`, so this is enforced by convention (the
+/// executor assigns exactly one producer and one consumer stage per queue,
+/// which the plan's queue topology guarantees).
+pub struct SpscQueue<T> {
+    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    cap: usize,
+    /// Next slot to write (only advanced by the producer).
+    head: AtomicUsize,
+    /// Next slot to read (only advanced by the consumer).
+    tail: AtomicUsize,
+}
+
+// SAFETY: the single-producer/single-consumer contract (documented above)
+// makes independent head/tail advancement race-free; slots are published
+// with release stores and consumed with acquire loads.
+unsafe impl<T: Send> Sync for SpscQueue<T> {}
+unsafe impl<T: Send> Send for SpscQueue<T> {}
+
+impl<T: Copy> SpscQueue<T> {
+    /// Creates a queue holding up to `capacity` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        let buf: Vec<UnsafeCell<MaybeUninit<T>>> = (0..capacity + 1)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect();
+        SpscQueue {
+            buf: buf.into_boxed_slice(),
+            cap: capacity + 1,
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of elements currently queued (approximate under concurrency).
+    pub fn len(&self) -> usize {
+        let h = self.head.load(Ordering::Acquire);
+        let t = self.tail.load(Ordering::Acquire);
+        (h + self.cap - t) % self.cap
+    }
+
+    /// True if currently empty (approximate under concurrency).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Capacity in elements.
+    pub fn capacity(&self) -> usize {
+        self.cap - 1
+    }
+
+    /// Attempts to push; returns `Err(v)` when full.
+    pub fn try_push(&self, v: T) -> Result<(), T> {
+        let h = self.head.load(Ordering::Relaxed);
+        let next = (h + 1) % self.cap;
+        if next == self.tail.load(Ordering::Acquire) {
+            return Err(v); // full
+        }
+        // SAFETY: single producer; slot `h` is not visible to the consumer
+        // until the head is advanced below.
+        unsafe {
+            (*self.buf[h].get()).write(v);
+        }
+        self.head.store(next, Ordering::Release);
+        Ok(())
+    }
+
+    /// Attempts to pop; returns `None` when empty.
+    pub fn try_pop(&self) -> Option<T> {
+        let t = self.tail.load(Ordering::Relaxed);
+        if t == self.head.load(Ordering::Acquire) {
+            return None; // empty
+        }
+        // SAFETY: single consumer; the producer published slot `t` with a
+        // release store on head.
+        let v = unsafe { (*self.buf[t].get()).assume_init() };
+        self.tail.store((t + 1) % self.cap, Ordering::Release);
+        Some(v)
+    }
+
+    /// Pushes, spinning while full.
+    pub fn push_blocking(&self, v: T) {
+        let mut v = v;
+        let mut spins = 0u32;
+        loop {
+            match self.try_push(v) {
+                Ok(()) => return,
+                Err(back) => {
+                    v = back;
+                    backoff(&mut spins);
+                }
+            }
+        }
+    }
+
+    /// Pops, spinning while empty.
+    pub fn pop_blocking(&self) -> T {
+        let mut spins = 0u32;
+        loop {
+            if let Some(v) = self.try_pop() {
+                return v;
+            }
+            backoff(&mut spins);
+        }
+    }
+}
+
+fn backoff(spins: &mut u32) {
+    *spins += 1;
+    if *spins < 32 {
+        std::hint::spin_loop();
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let q = SpscQueue::new(4);
+        assert!(q.is_empty());
+        for i in 0..4 {
+            q.try_push(i).unwrap();
+        }
+        assert_eq!(q.len(), 4);
+        assert!(q.try_push(99).is_err(), "full");
+        for i in 0..4 {
+            assert_eq!(q.try_pop(), Some(i));
+        }
+        assert_eq!(q.try_pop(), None);
+    }
+
+    #[test]
+    fn wraps_around() {
+        let q = SpscQueue::new(2);
+        for round in 0..10 {
+            q.try_push(round * 2).unwrap();
+            q.try_push(round * 2 + 1).unwrap();
+            assert_eq!(q.try_pop(), Some(round * 2));
+            assert_eq!(q.try_pop(), Some(round * 2 + 1));
+        }
+    }
+
+    #[test]
+    fn cross_thread_transfer_preserves_order_and_count() {
+        let q = Arc::new(SpscQueue::new(8));
+        let n = 10_000u64;
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                for i in 0..n {
+                    q.push_blocking(i);
+                }
+            })
+        };
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut expected = 0u64;
+                while expected < n {
+                    let v = q.pop_blocking();
+                    assert_eq!(v, expected);
+                    expected += 1;
+                }
+            })
+        };
+        producer.join().unwrap();
+        consumer.join().unwrap();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = SpscQueue::<u64>::new(0);
+    }
+}

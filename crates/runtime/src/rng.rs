@@ -1,0 +1,123 @@
+//! Deterministic random number generators used by the workloads.
+//!
+//! Both 456.hmmer and em3d in the paper call a library RNG whose *shared
+//! seed variable* is the parallelism-inhibiting dependence; the workloads
+//! model that with a [`Lcg`] living in the virtual world. Input generation
+//! uses the stronger [`SplitMix64`].
+
+/// The classic POSIX `rand()` linear congruential generator — the shape of
+/// shared-seed RNG the paper's benchmarks contend on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lcg {
+    /// The shared seed (the contended state).
+    pub seed: u64,
+}
+
+impl Lcg {
+    /// Creates a generator.
+    pub fn new(seed: u64) -> Self {
+        Lcg { seed }
+    }
+
+    /// Next pseudo-random value in `0..=32767`.
+    pub fn next_i32(&mut self) -> i64 {
+        self.seed = self
+            .seed
+            .wrapping_mul(1_103_515_245)
+            .wrapping_add(12_345);
+        ((self.seed >> 16) & 0x7fff) as i64
+    }
+
+    /// Next value in `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not positive.
+    pub fn next_below(&mut self, n: i64) -> i64 {
+        assert!(n > 0);
+        self.next_i32() % n
+    }
+
+    /// Next float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        self.next_i32() as f64 / 32768.0
+    }
+}
+
+/// SplitMix64: fast, well-distributed; used for input data generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next value in `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// Next float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcg_is_deterministic() {
+        let mut a = Lcg::new(1);
+        let mut b = Lcg::new(1);
+        for _ in 0..100 {
+            assert_eq!(a.next_i32(), b.next_i32());
+        }
+        let mut c = Lcg::new(2);
+        assert_ne!(a.next_i32(), c.next_i32());
+    }
+
+    #[test]
+    fn lcg_range() {
+        let mut r = Lcg::new(42);
+        for _ in 0..1000 {
+            let v = r.next_i32();
+            assert!((0..=32767).contains(&v));
+            let w = r.next_below(10);
+            assert!((0..10).contains(&w));
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn splitmix_distributes() {
+        let mut r = SplitMix64::new(7);
+        let mut buckets = [0u32; 8];
+        for _ in 0..8000 {
+            buckets[(r.next_u64() % 8) as usize] += 1;
+        }
+        for b in buckets {
+            assert!((800..1200).contains(&b), "roughly uniform: {buckets:?}");
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! A TL2-style software transactional memory.
+//!
+//! This backs the paper's *optimistic* synchronization mode (§4.6, "via
+//! Intel's transactional memory runtime"): a global version clock,
+//! per-cell version/value pairs, transactions with read-set validation and
+//! a redo log, and commit-time locking in address order (deadlock-free).
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A transactional heap of `u64` cells.
+pub struct Stm {
+    clock: AtomicU64,
+    cells: Vec<Cell>,
+}
+
+struct Cell {
+    /// Even = unlocked version; odd = write-locked.
+    version: AtomicU64,
+    value: AtomicU64,
+    /// Commit-time writer lock.
+    lock: Mutex<()>,
+}
+
+/// Why a transaction attempt failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Abort;
+
+/// An in-flight transaction.
+pub struct Tx<'stm> {
+    stm: &'stm Stm,
+    rv: u64,
+    reads: BTreeMap<usize, u64>,
+    writes: BTreeMap<usize, u64>,
+    /// Set when a read observed an inconsistent cell; the transaction can
+    /// no longer commit, even if the body swallowed the [`Abort`].
+    poisoned: bool,
+    /// Number of aborts suffered so far (exposed for the cost model).
+    pub aborts: u64,
+}
+
+impl Stm {
+    /// Creates a heap with `n` zero-initialized cells.
+    pub fn new(n: usize) -> Self {
+        Stm {
+            clock: AtomicU64::new(2),
+            cells: (0..n)
+                .map(|_| Cell {
+                    version: AtomicU64::new(2),
+                    value: AtomicU64::new(0),
+                    lock: Mutex::new(()),
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True if the heap has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Starts a transaction.
+    pub fn begin(&self) -> Tx<'_> {
+        Tx {
+            stm: self,
+            rv: self.clock.load(Ordering::Acquire),
+            reads: BTreeMap::new(),
+            writes: BTreeMap::new(),
+            poisoned: false,
+            aborts: 0,
+        }
+    }
+
+    /// Runs `body` transactionally until it commits, returning the result
+    /// and the number of aborts.
+    pub fn atomically<R>(&self, mut body: impl FnMut(&mut Tx<'_>) -> R) -> (R, u64) {
+        let mut total_aborts = 0;
+        loop {
+            let mut tx = self.begin();
+            let r = body(&mut tx);
+            match tx.commit() {
+                Ok(()) => return (r, total_aborts),
+                Err(Abort) => {
+                    total_aborts += 1;
+                }
+            }
+        }
+    }
+
+    /// Non-transactional read (for checks and tests).
+    pub fn peek(&self, idx: usize) -> u64 {
+        self.cells[idx].value.load(Ordering::Acquire)
+    }
+}
+
+impl Tx<'_> {
+    /// Transactional read.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Abort`] if the cell changed since the transaction began.
+    /// The transaction is then *poisoned*: even if the body ignores the
+    /// error (e.g. substitutes a default), [`Tx::commit`] will refuse it
+    /// and [`Stm::atomically`] will restart the body — an inconsistent
+    /// snapshot can never escape.
+    pub fn read(&mut self, idx: usize) -> Result<u64, Abort> {
+        if let Some(&v) = self.writes.get(&idx) {
+            return Ok(v);
+        }
+        if let Some(&v) = self.reads.get(&idx) {
+            return Ok(v);
+        }
+        let cell = &self.stm.cells[idx];
+        let v1 = cell.version.load(Ordering::Acquire);
+        let value = cell.value.load(Ordering::Acquire);
+        let v2 = cell.version.load(Ordering::Acquire);
+        if v1 != v2 || v1 % 2 == 1 || v1 > self.rv {
+            self.poisoned = true;
+            return Err(Abort);
+        }
+        self.reads.insert(idx, value);
+        Ok(value)
+    }
+
+    /// Transactional write (buffered until commit).
+    pub fn write(&mut self, idx: usize, value: u64) {
+        self.writes.insert(idx, value);
+    }
+
+    /// Attempts to commit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Abort`] when read validation fails; the caller restarts.
+    pub fn commit(self) -> Result<(), Abort> {
+        if self.poisoned {
+            return Err(Abort);
+        }
+        if self.writes.is_empty() {
+            return Ok(()); // read-only: validated on each read
+        }
+        // Lock the write set in index order (BTreeMap iteration), marking
+        // versions odd.
+        let mut guards: Vec<(usize, parking_lot::MutexGuard<'_, ()>, u64)> = Vec::new();
+        for &idx in self.writes.keys() {
+            let cell = &self.stm.cells[idx];
+            let guard = cell.lock.lock();
+            let v = cell.version.load(Ordering::Acquire);
+            if v % 2 == 1 || v > self.rv {
+                // Someone committed past us; undo the lock markers taken so
+                // far before aborting.
+                drop(guard);
+                for (idx, _, old) in &guards {
+                    self.stm.cells[*idx].version.store(*old, Ordering::Release);
+                }
+                return Err(Abort);
+            }
+            cell.version.store(v + 1, Ordering::Release); // mark locked
+            guards.push((idx, guard, v));
+        }
+        // Validate the read set.
+        for &idx in self.reads.keys() {
+            if self.writes.contains_key(&idx) {
+                continue; // we hold its lock
+            }
+            let v = self.stm.cells[idx].version.load(Ordering::Acquire);
+            if v % 2 == 1 || v > self.rv {
+                for (idx, _, old) in &guards {
+                    self.stm.cells[*idx].version.store(*old, Ordering::Release);
+                }
+                return Err(Abort);
+            }
+        }
+        // Publish.
+        let wv = self.stm.clock.fetch_add(2, Ordering::AcqRel) + 2;
+        for (idx, _, _) in &guards {
+            self.stm.cells[*idx]
+                .value
+                .store(self.writes[idx], Ordering::Release);
+        }
+        for (idx, _, _) in &guards {
+            self.stm.cells[*idx].version.store(wv, Ordering::Release);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_threaded_read_write() {
+        let stm = Stm::new(4);
+        let ((), aborts) = stm.atomically(|tx| {
+            let v = tx.read(0).unwrap_or(0);
+            tx.write(0, v + 7);
+        });
+        assert_eq!(aborts, 0);
+        assert_eq!(stm.peek(0), 7);
+    }
+
+    #[test]
+    fn concurrent_increments_serialize() {
+        let stm = Arc::new(Stm::new(1));
+        let threads = 4;
+        let per = 500;
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            let stm = Arc::clone(&stm);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..per {
+                    stm.atomically(|tx| {
+                        let v = tx.read(0).unwrap_or(0);
+                        tx.write(0, v + 1);
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(stm.peek(0), threads * per);
+    }
+
+    #[test]
+    fn read_only_transactions_never_write_lock() {
+        let stm = Stm::new(2);
+        stm.atomically(|tx| {
+            tx.write(0, 5);
+            tx.write(1, 6);
+        });
+        let (sum, _) = stm.atomically(|tx| tx.read(0).unwrap_or(0) + tx.read(1).unwrap_or(0));
+        assert_eq!(sum, 11);
+    }
+
+    #[test]
+    fn poisoned_reads_cannot_commit() {
+        // A body that swallows the read abort must still be retried:
+        // commit refuses a poisoned transaction even when read-only.
+        let stm = Stm::new(1);
+        let mut tx = stm.begin();
+        tx.poisoned = true; // as read() would set on an inconsistent cell
+        assert_eq!(tx.commit(), Err(Abort));
+        let mut tx = stm.begin();
+        tx.poisoned = true;
+        tx.write(0, 9);
+        assert_eq!(tx.commit(), Err(Abort));
+        assert_eq!(stm.peek(0), 0, "poisoned writes never publish");
+    }
+
+    #[test]
+    fn snapshot_isolation_between_cells() {
+        // A transfer between two cells preserves the invariant sum under
+        // concurrent observation.
+        let stm = Arc::new(Stm::new(2));
+        stm.atomically(|tx| {
+            tx.write(0, 100);
+            tx.write(1, 100);
+        });
+        let writer = {
+            let stm = Arc::clone(&stm);
+            std::thread::spawn(move || {
+                for _ in 0..2000 {
+                    stm.atomically(|tx| {
+                        let a = tx.read(0).unwrap_or(0);
+                        let b = tx.read(1).unwrap_or(0);
+                        tx.write(0, a.wrapping_sub(1));
+                        tx.write(1, b + 1);
+                    });
+                }
+            })
+        };
+        let reader = {
+            let stm = Arc::clone(&stm);
+            std::thread::spawn(move || {
+                for _ in 0..2000 {
+                    let (sum, _) = stm.atomically(|tx| {
+                        let a = tx.read(0).unwrap_or(0);
+                        let b = tx.read(1).unwrap_or(0);
+                        a.wrapping_add(b)
+                    });
+                    assert_eq!(sum, 200, "invariant must hold in every snapshot");
+                }
+            })
+        };
+        writer.join().unwrap();
+        reader.join().unwrap();
+    }
+}

@@ -1,0 +1,115 @@
+//! The virtual world: named, type-erased mutable state standing in for the
+//! externally visible side effects of the paper's C programs (files,
+//! console, RNG seeds, histograms, packet pools, allocators).
+//!
+//! Workloads install their own state objects under channel-like names; the
+//! intrinsic handlers retrieve them with typed accessors. The DES executor
+//! owns the world exclusively (simulated time serializes all access); the
+//! thread executor wraps it in a mutex.
+
+use std::any::Any;
+use std::collections::BTreeMap;
+
+/// The world: a registry of named state objects.
+#[derive(Default)]
+pub struct World {
+    slots: BTreeMap<String, Box<dyn Any + Send>>,
+}
+
+impl World {
+    /// Creates an empty world.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs (or replaces) a state object under `name`.
+    pub fn install<T: Any + Send>(&mut self, name: &str, state: T) {
+        self.slots.insert(name.to_string(), Box::new(state));
+    }
+
+    /// Removes and returns the state object under `name`.
+    pub fn take<T: Any + Send>(&mut self, name: &str) -> Option<T> {
+        let boxed = self.slots.remove(name)?;
+        match boxed.downcast::<T>() {
+            Ok(b) => Some(*b),
+            Err(original) => {
+                // Put it back; wrong type requested.
+                self.slots.insert(name.to_string(), original);
+                None
+            }
+        }
+    }
+
+    /// Immutable access to the state object under `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is missing or has a different type — both are
+    /// workload wiring bugs, not runtime conditions.
+    pub fn get<T: Any + Send>(&self, name: &str) -> &T {
+        self.slots
+            .get(name)
+            .unwrap_or_else(|| panic!("world slot `{name}` is not installed"))
+            .downcast_ref::<T>()
+            .unwrap_or_else(|| panic!("world slot `{name}` has an unexpected type"))
+    }
+
+    /// Mutable access to the state object under `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is missing or has a different type.
+    pub fn get_mut<T: Any + Send>(&mut self, name: &str) -> &mut T {
+        self.slots
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("world slot `{name}` is not installed"))
+            .downcast_mut::<T>()
+            .unwrap_or_else(|| panic!("world slot `{name}` has an unexpected type"))
+    }
+
+    /// True if a slot named `name` exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.slots.contains_key(name)
+    }
+
+    /// Installed slot names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.slots.keys().map(String::as_str).collect()
+    }
+}
+
+impl std::fmt::Debug for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World").field("slots", &self.names()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_get_take() {
+        let mut w = World::new();
+        w.install("counter", 41u64);
+        *w.get_mut::<u64>("counter") += 1;
+        assert_eq!(*w.get::<u64>("counter"), 42);
+        assert!(w.contains("counter"));
+        assert_eq!(w.take::<u64>("counter"), Some(42));
+        assert!(!w.contains("counter"));
+    }
+
+    #[test]
+    fn wrong_type_take_preserves_slot() {
+        let mut w = World::new();
+        w.install("x", String::from("hello"));
+        assert_eq!(w.take::<u64>("x"), None);
+        assert_eq!(w.get::<String>("x"), "hello");
+    }
+
+    #[test]
+    #[should_panic(expected = "not installed")]
+    fn missing_slot_panics() {
+        World::new().get::<u64>("nope");
+    }
+}

@@ -1,0 +1,43 @@
+//! Scheduler helper: minimum-clock thread selection.
+//!
+//! The DES invariant — shared interactions happen in global time order —
+//! holds because the executor always advances the *runnable* thread with
+//! the smallest local clock; every other thread's future interactions
+//! carry later timestamps.
+
+/// Picks the runnable thread with the smallest clock (ties broken by
+/// index, for determinism). Returns `None` when no thread is runnable.
+pub fn pick_min_clock(clocks: &[u64], runnable: &[bool]) -> Option<usize> {
+    debug_assert_eq!(clocks.len(), runnable.len());
+    let mut best: Option<usize> = None;
+    for i in 0..clocks.len() {
+        if !runnable[i] {
+            continue;
+        }
+        best = match best {
+            None => Some(i),
+            Some(b) if clocks[i] < clocks[b] => Some(i),
+            other => other,
+        };
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_min_among_runnable() {
+        let clocks = [50, 10, 30];
+        assert_eq!(pick_min_clock(&clocks, &[true, true, true]), Some(1));
+        assert_eq!(pick_min_clock(&clocks, &[true, false, true]), Some(2));
+        assert_eq!(pick_min_clock(&clocks, &[false, false, false]), None);
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        let clocks = [5, 5, 5];
+        assert_eq!(pick_min_clock(&clocks, &[true, true, true]), Some(0));
+    }
+}

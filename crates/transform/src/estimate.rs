@@ -1,0 +1,113 @@
+//! Static performance estimates used to rank applicable schemes
+//! (the paper's compiler emits "a corresponding performance estimate" per
+//! schedule, §4.5).
+
+use crate::plan::SyncMode;
+use commset_analysis::hotloop::HotLoop;
+
+/// Per-operation cost constants of the estimator (mirroring the simulator's
+/// defaults, so rankings carry over).
+pub mod costs {
+    /// Lock acquire+release round trip, uncontended.
+    pub const LOCK: f64 = 60.0;
+    /// Extra cost per contended mutex handoff (sleep/wakeup).
+    pub const MUTEX_WAKEUP: f64 = 900.0;
+    /// Queue push+pop per value.
+    pub const QUEUE: f64 = 80.0;
+    /// Transaction begin/commit overhead.
+    pub const TX: f64 = 250.0;
+}
+
+/// Sequential per-iteration cost.
+pub fn seq_iter_cost(hot: &HotLoop) -> f64 {
+    hot.body.iter().map(|s| s.weight as f64).sum::<f64>().max(1.0)
+}
+
+/// Estimated per-iteration cost of a DOALL schedule.
+pub fn doall_cost(hot: &HotLoop, nthreads: usize, sync: SyncMode, locks: usize) -> f64 {
+    let base = seq_iter_cost(hot) / nthreads.max(1) as f64;
+    let sync_cost = match sync {
+        SyncMode::Lib => 0.0,
+        SyncMode::Spin => locks as f64 * costs::LOCK,
+        SyncMode::Mutex => locks as f64 * (costs::LOCK + costs::MUTEX_WAKEUP / nthreads.max(1) as f64),
+        SyncMode::Tm => locks as f64 * costs::TX,
+    };
+    base + sync_cost
+}
+
+/// Estimated per-iteration cost of a pipeline: the slowest stage plus
+/// communication.
+pub fn pipeline_cost(
+    stage_weights: &[f64],
+    parallel_stage: Option<usize>,
+    replicas: usize,
+    queue_count: usize,
+) -> f64 {
+    let mut worst: f64 = 1.0;
+    for (i, &w) in stage_weights.iter().enumerate() {
+        let eff = if Some(i) == parallel_stage {
+            w / replicas.max(1) as f64
+        } else {
+            w
+        };
+        worst = worst.max(eff);
+    }
+    worst + queue_count as f64 * costs::QUEUE / stage_weights.len().max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doall_scales_down_with_threads() {
+        let hot = fake_hot(1000);
+        let c1 = doall_cost(&hot, 1, SyncMode::Lib, 0);
+        let c8 = doall_cost(&hot, 8, SyncMode::Lib, 0);
+        assert!(c8 < c1 / 4.0);
+    }
+
+    #[test]
+    fn mutex_costs_more_than_spin_under_few_threads() {
+        let hot = fake_hot(100);
+        let spin = doall_cost(&hot, 2, SyncMode::Spin, 2);
+        let mutex = doall_cost(&hot, 2, SyncMode::Mutex, 2);
+        assert!(mutex > spin);
+    }
+
+    #[test]
+    fn pipeline_limited_by_sequential_stage() {
+        // stage weights: [10, 1000, 50], parallel stage 1 with 6 replicas.
+        let c = pipeline_cost(&[10.0, 1000.0, 50.0], Some(1), 6, 4);
+        assert!(c < 1000.0, "parallel stage amortized: {c}");
+        assert!(c >= 1000.0 / 6.0);
+        // Without replication the middle stage dominates.
+        let c2 = pipeline_cost(&[10.0, 1000.0, 50.0], None, 1, 2);
+        assert!(c2 >= 1000.0);
+    }
+
+    fn fake_hot(weight: u64) -> HotLoop {
+        use commset_analysis::hotloop::{LoopShape, LoopStmt};
+        use commset_lang::ast::{Expr, StmtId};
+        HotLoop {
+            func: "main".into(),
+            stmt_id: StmtId(0),
+            span: Default::default(),
+            shape: LoopShape::Uncountable { cond: Expr::int(1) },
+            cond_reads: Default::default(),
+            body: vec![LoopStmt {
+                id: StmtId(1),
+                span: Default::default(),
+                label: "S0".into(),
+                reg_reads: Default::default(),
+                reg_writes: Default::default(),
+                must_writes: Default::default(),
+                mem: vec![],
+                weight,
+            }],
+            live_ins: Default::default(),
+            handle_writers: Default::default(),
+            reductions: Vec::new(),
+        }
+    }
+}

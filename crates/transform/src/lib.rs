@@ -1,0 +1,28 @@
+//! # commset-transform
+//!
+//! The parallelizing transforms of the COMMSET compiler (paper §4.5–4.6).
+//!
+//! All transforms are real AST-to-AST code generators: they synthesize
+//! per-worker / per-stage Cmm functions that communicate through queue
+//! intrinsics and are synchronized by compiler-inserted lock/transaction
+//! intrinsics, rewrite `main` to publish the parallel environment and call
+//! `__par_invoke`, and emit a [`plan::ParallelPlan`] describing the worker,
+//! queue and lock objects the executor must provide.
+//!
+//! * [`partition`] — DAG-SCC stage assignment (with merging of components
+//!   connected by residual loop-carried cross edges).
+//! * [`doall`] — the DOALL transform (cyclic iteration distribution).
+//! * [`dswp`] — DSWP and PS-DSWP (pipeline with optional replicated stage).
+//! * [`sync`] — the CommSet synchronization engine (rank-ordered
+//!   mutex/spin locks, transactions, `NoSync`/`Lib` handling).
+//! * [`estimate`] — static performance estimates used to rank schemes.
+
+pub mod codegen;
+pub mod doall;
+pub mod dswp;
+pub mod estimate;
+pub mod partition;
+pub mod plan;
+pub mod sync;
+
+pub use plan::{ParallelPlan, ParallelProgram, QueueSpec, Scheme, SyncMode, WorkerSpec};

@@ -1,0 +1,562 @@
+//! Stage assignment over the DAG-SCC (paper §4.5).
+//!
+//! Components connected by residual loop-carried cross edges, or sharing a
+//! communicated variable's writers, are first merged (they must live in one
+//! stage); the merged units are then assigned to pipeline stages in
+//! topological order, balancing profile weight. For PS-DSWP the heaviest
+//! contiguous run of replicable units becomes the parallel stage.
+
+use commset_analysis::hotloop::HotLoop;
+use commset_analysis::pdg::{CommAnnotation, DepKind, Pdg};
+use commset_analysis::scc::DagScc;
+use std::collections::BTreeSet;
+
+/// A unit of stage assignment: one or more merged SCCs.
+#[derive(Debug, Clone)]
+pub struct Unit {
+    /// PDG node indices in this unit.
+    pub nodes: Vec<usize>,
+    /// Total weight.
+    pub weight: u64,
+    /// True if the unit has an internal loop-carried dependence —
+    /// it cannot be replicated.
+    pub carried: bool,
+}
+
+/// The pipeline partition.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// Stages in pipeline order; each is a set of PDG node indices.
+    pub stages: Vec<Vec<usize>>,
+    /// Which stage (if any) is the replicated parallel stage.
+    pub parallel_stage: Option<usize>,
+}
+
+impl Partition {
+    /// The stage containing PDG node `n`.
+    pub fn stage_of(&self, n: usize) -> Option<usize> {
+        self.stages.iter().position(|s| s.contains(&n))
+    }
+}
+
+/// Merges SCCs that must share a stage and returns units in topological
+/// order.
+///
+/// `hot` supplies per-statement register write sets: *every* statement
+/// writing a communicated variable (even via a dead store) must live with
+/// the producer, or a consumer stage's local copy could shadow the popped
+/// value.
+pub fn units(pdg: &Pdg, dag: &DagScc, hot: &HotLoop) -> Vec<Unit> {
+    let m = dag.len();
+    // Union-find over components.
+    let mut parent: Vec<usize> = (0..m).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let r = find(parent, parent[x]);
+            parent[x] = r;
+        }
+        parent[x]
+    }
+    let union = |parent: &mut Vec<usize>, a: usize, b: usize| {
+        let (ra, rb) = (find(parent, a), find(parent, b));
+        if ra != rb {
+            // Keep the topologically-smaller root so ordering stays sane.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            parent[hi] = lo;
+        }
+    };
+    // Cross-component reg dependences are implemented by communicating the
+    // variable's *value at the first consumer's position* (start of the
+    // producer's iteration for purely carried edges). That requires:
+    //
+    // 1. every writer of a communicated variable to live in one unit, and
+    // 2. all cross-component consumer positions of a variable to observe
+    //    the same reaching value (no writer strictly between the first and
+    //    last consumer positions).
+    //
+    // Violations are resolved by merging the offending components.
+    // (Cross-component *carried memory* conflicts always come in both
+    // directions, so Tarjan has already fused them into one SCC.)
+    let mut vars: BTreeSet<&String> = BTreeSet::new();
+    for e in &pdg.edges {
+        if e.comm == Some(CommAnnotation::Uco) || e.induction {
+            continue;
+        }
+        if let DepKind::RegFlow(v) = &e.kind {
+            if dag.comp_of[e.src.0] != dag.comp_of[e.dst.0] {
+                vars.insert(v);
+            }
+        }
+    }
+    // 2b. Independent of communication, every statement writing a given
+    // variable (declarations and dead stores included) must share a unit:
+    // a stage owning some writers but not the declaration could not name
+    // the variable at all.
+    {
+        let mut all_vars: BTreeSet<&String> = BTreeSet::new();
+        for s in &hot.body {
+            all_vars.extend(&s.reg_writes);
+        }
+        for v in all_vars {
+            let writer_comps: Vec<usize> = hot
+                .body
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.reg_writes.contains(v))
+                .map(|(i, _)| dag.comp_of[i + 1])
+                .collect();
+            for w in writer_comps.windows(2) {
+                union(&mut parent, w[0], w[1]);
+            }
+        }
+    }
+    for v in vars {
+        // Consumer positions among cross-component edges.
+        let mut positions: Vec<usize> = Vec::new();
+        let mut endpoint_comps: Vec<usize> = Vec::new();
+        for e in &pdg.edges {
+            if e.comm == Some(CommAnnotation::Uco) || e.induction {
+                continue;
+            }
+            if let DepKind::RegFlow(x) = &e.kind {
+                if x == v && dag.comp_of[e.src.0] != dag.comp_of[e.dst.0] && e.dst.0 > 0 {
+                    positions.push(e.dst.0 - 1);
+                    endpoint_comps.push(dag.comp_of[e.src.0]);
+                    endpoint_comps.push(dag.comp_of[e.dst.0]);
+                }
+            }
+        }
+        if let (Some(&pmin), Some(&pmax)) = (positions.iter().min(), positions.iter().max()) {
+            let conflicting_writer = hot
+                .body
+                .iter()
+                .enumerate()
+                .any(|(i, s)| s.reg_writes.contains(v) && i > pmin && i <= pmax);
+            if conflicting_writer {
+                for w in endpoint_comps.windows(2) {
+                    union(&mut parent, w[0], w[1]);
+                }
+            }
+        }
+    }
+    // 3. Statements sharing a loop-body-local array must co-locate (arrays
+    //    cannot be communicated through scalar queues).
+    let mut array_users: std::collections::BTreeMap<&String, Vec<usize>> =
+        std::collections::BTreeMap::new();
+    for (i, s) in hot.body.iter().enumerate() {
+        for a in &s.mem {
+            if let commset_analysis::pdg::Location::LocalArray(name) = &a.loc {
+                array_users.entry(name).or_default().push(dag.comp_of[i + 1]);
+            }
+        }
+    }
+    for users in array_users.values() {
+        for w in users.windows(2) {
+            union(&mut parent, w[0], w[1]);
+        }
+    }
+    // Repeatedly collapse cycles the merging may have introduced at the
+    // unit level: an edge into an earlier-merged group and back means the
+    // groups cannot be ordered and must fuse (such fused units are
+    // sequential).
+    let mut cycle_roots: BTreeSet<usize> = BTreeSet::new();
+    loop {
+        let roots: Vec<usize> = (0..m).map(|c| find(&mut parent, c)).collect();
+        // Unit-level edges through the union-find roots.
+        let mut edges: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for &(cs, cd) in &dag.comp_edges {
+            let (rs, rd) = (roots[cs], roots[cd]);
+            if rs != rd {
+                edges.insert((rs, rd));
+            }
+        }
+        // Cycle detection among roots via iterative DFS.
+        match find_root_cycle(&roots, &edges) {
+            Some(cycle) => {
+                for w in cycle.windows(2) {
+                    union(&mut parent, w[0], w[1]);
+                }
+                let merged = find(&mut parent, cycle[0]);
+                cycle_roots.insert(merged);
+            }
+            None => break,
+        }
+    }
+    let roots: Vec<usize> = (0..m).map(|c| find(&mut parent, c)).collect();
+
+    // Build units keyed by final root.
+    let mut unit_of_root: std::collections::BTreeMap<usize, usize> =
+        std::collections::BTreeMap::new();
+    let mut out: Vec<Unit> = Vec::new();
+    for (c, &r) in roots.iter().enumerate() {
+        let idx = *unit_of_root.entry(r).or_insert_with(|| {
+            out.push(Unit {
+                nodes: Vec::new(),
+                weight: 0,
+                carried: false,
+            });
+            out.len() - 1
+        });
+        out[idx].nodes.extend(dag.comps[c].iter().map(|n| n.0));
+        out[idx].weight += dag.comp_weight[c];
+        out[idx].carried |= dag.comp_carried[c] || cycle_roots.contains(&r);
+    }
+    for u in &mut out {
+        u.nodes.sort_unstable();
+    }
+    // A unit producing a loop-carried cross-unit value cannot be
+    // replicated: the producing replica's register state does not span
+    // iterations.
+    for e in &pdg.edges {
+        if e.comm.is_some() || e.induction || !e.carried {
+            continue;
+        }
+        if matches!(e.kind, DepKind::RegFlow(_)) && roots[dag.comp_of[e.src.0]] != roots[dag.comp_of[e.dst.0]]
+        {
+            for u in &mut out {
+                if u.nodes.contains(&e.src.0) {
+                    u.carried = true;
+                }
+            }
+        }
+    }
+
+    // Topological order of units (Kahn), tie-broken by smallest PDG node
+    // id so unconstrained units keep source order.
+    let n_units = out.len();
+    let uidx_of_root: std::collections::BTreeMap<usize, usize> = unit_of_root.clone();
+    let mut succs: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n_units];
+    let mut preds_count = vec![0usize; n_units];
+    for &(cs, cd) in &dag.comp_edges {
+        let (us, ud) = (uidx_of_root[&roots[cs]], uidx_of_root[&roots[cd]]);
+        if us != ud && succs[us].insert(ud) {
+            preds_count[ud] += 1;
+        }
+    }
+    let mut ready: Vec<usize> = (0..n_units).filter(|&u| preds_count[u] == 0).collect();
+    let mut ordered: Vec<Unit> = Vec::new();
+    let mut placed = vec![false; n_units];
+    while !ready.is_empty() {
+        // Smallest first node id first.
+        ready.sort_by_key(|&u| out[u].nodes.first().copied().unwrap_or(usize::MAX));
+        let u = ready.remove(0);
+        placed[u] = true;
+        ordered.push(out[u].clone());
+        for &v in &succs[u] {
+            preds_count[v] -= 1;
+            if preds_count[v] == 0 && !placed[v] {
+                ready.push(v);
+            }
+        }
+    }
+    debug_assert_eq!(ordered.len(), n_units, "unit graph must be acyclic here");
+    ordered
+}
+
+/// Finds one cycle among union-find roots, as a node sequence.
+fn find_root_cycle(
+    roots: &[usize],
+    edges: &BTreeSet<(usize, usize)>,
+) -> Option<Vec<usize>> {
+    let nodes: BTreeSet<usize> = roots.iter().copied().collect();
+    let mut adj: std::collections::BTreeMap<usize, Vec<usize>> = std::collections::BTreeMap::new();
+    for &(a, b) in edges {
+        adj.entry(a).or_default().push(b);
+    }
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let mut marks: std::collections::BTreeMap<usize, Mark> =
+        nodes.iter().map(|&n| (n, Mark::White)).collect();
+    fn dfs(
+        n: usize,
+        adj: &std::collections::BTreeMap<usize, Vec<usize>>,
+        marks: &mut std::collections::BTreeMap<usize, Mark>,
+        path: &mut Vec<usize>,
+    ) -> Option<Vec<usize>> {
+        marks.insert(n, Mark::Grey);
+        path.push(n);
+        if let Some(tos) = adj.get(&n) {
+            for &t in tos {
+                match marks.get(&t).copied().unwrap_or(Mark::White) {
+                    Mark::Grey => {
+                        let start = path.iter().position(|&p| p == t).unwrap_or(0);
+                        return Some(path[start..].to_vec());
+                    }
+                    Mark::White => {
+                        if let Some(c) = dfs(t, adj, marks, path) {
+                            return Some(c);
+                        }
+                    }
+                    Mark::Black => {}
+                }
+            }
+        }
+        marks.insert(n, Mark::Black);
+        path.pop();
+        None
+    }
+    for &n in &nodes {
+        if marks[&n] == Mark::White {
+            let mut path = Vec::new();
+            if let Some(c) = dfs(n, &adj, &mut marks, &mut path) {
+                return Some(c);
+            }
+        }
+    }
+    None
+}
+
+/// Splits `units` (topologically ordered) into at most `max_stages`
+/// contiguous stages, minimizing the maximum stage weight (the classic
+/// linear-partition dynamic program, optimal for the pipeline's
+/// slowest-stage bound).
+pub fn partition_dswp(units: &[Unit], max_stages: usize) -> Partition {
+    let n = units.len();
+    if n == 0 {
+        return Partition {
+            stages: Vec::new(),
+            parallel_stage: None,
+        };
+    }
+    let k = max_stages.clamp(1, n);
+    // prefix[i] = weight of units[..i].
+    let mut prefix = vec![0u64; n + 1];
+    for (i, u) in units.iter().enumerate() {
+        prefix[i + 1] = prefix[i] + u.weight;
+    }
+    let range_w = |a: usize, b: usize| prefix[b] - prefix[a]; // units[a..b]
+    // dp[j][i] = minimal max-stage-weight splitting units[..i] into j stages.
+    let inf = u64::MAX;
+    let mut dp = vec![vec![inf; n + 1]; k + 1];
+    let mut cut = vec![vec![0usize; n + 1]; k + 1];
+    dp[0][0] = 0;
+    for j in 1..=k {
+        for i in j..=n {
+            for c in (j - 1)..i {
+                if dp[j - 1][c] == inf {
+                    continue;
+                }
+                let w = dp[j - 1][c].max(range_w(c, i));
+                if w < dp[j][i] {
+                    dp[j][i] = w;
+                    cut[j][i] = c;
+                }
+            }
+        }
+    }
+    // Pick the best stage count <= k (more stages never hurt the max, but
+    // each stage costs a thread; prefer the smallest count achieving the
+    // optimum).
+    let best = (1..=k).min_by_key(|&j| (dp[j][n], j)).unwrap();
+    let mut bounds = vec![n];
+    let mut j = best;
+    let mut i = n;
+    while j > 0 {
+        i = cut[j][i];
+        bounds.push(i);
+        j -= 1;
+    }
+    bounds.reverse(); // 0 = start
+    let mut stages = Vec::new();
+    for w in bounds.windows(2) {
+        let stage: Vec<usize> = units[w[0]..w[1]]
+            .iter()
+            .flat_map(|u| u.nodes.iter().copied())
+            .collect();
+        if !stage.is_empty() {
+            stages.push(stage);
+        }
+    }
+    Partition {
+        stages,
+        parallel_stage: None,
+    }
+}
+
+/// PS-DSWP partition: the heaviest contiguous run of replicable units
+/// becomes the parallel stage; units before and after form at most one
+/// sequential stage each.
+///
+/// Returns `None` when no unit is replicable.
+pub fn partition_ps_dswp(units: &[Unit]) -> Option<Partition> {
+    // Find the contiguous replicable run with maximal weight.
+    let mut best: Option<(usize, usize, u64)> = None; // [start, end) and weight
+    let mut i = 0;
+    while i < units.len() {
+        if units[i].carried {
+            i += 1;
+            continue;
+        }
+        let mut j = i;
+        let mut w = 0;
+        while j < units.len() && !units[j].carried {
+            w += units[j].weight;
+            j += 1;
+        }
+        if best.map(|(_, _, bw)| w > bw).unwrap_or(true) {
+            best = Some((i, j, w));
+        }
+        i = j;
+    }
+    let (start, end, _) = best?;
+    let mut stages: Vec<Vec<usize>> = Vec::new();
+    let collect = |range: &[Unit]| -> Vec<usize> {
+        range.iter().flat_map(|u| u.nodes.iter().copied()).collect()
+    };
+    if start > 0 {
+        stages.push(collect(&units[..start]));
+    }
+    let parallel_index = stages.len();
+    stages.push(collect(&units[start..end]));
+    if end < units.len() {
+        stages.push(collect(&units[end..]));
+    }
+    Some(Partition {
+        stages,
+        parallel_stage: Some(parallel_index),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commset_analysis::pdg::{NodeId, NodeKind, PdgEdge, PdgNode};
+    use commset_analysis::scc::dag_scc;
+    use commset_lang::token::Span;
+
+    /// A HotLoop whose statement `i` (node `i+1`) writes exactly the vars
+    /// named by edges sourced at node `i+1` (matching `mk_pdg`'s naming).
+    fn fake_hot(pdg: &Pdg, edges: &[(usize, usize, bool)]) -> HotLoop {
+        use commset_analysis::hotloop::{LoopShape, LoopStmt};
+        use commset_lang::ast::{Expr, StmtId};
+        let body = (1..pdg.nodes.len())
+            .map(|n| {
+                let mut writes = std::collections::BTreeSet::new();
+                for &(s, d, _) in edges {
+                    if s == n {
+                        writes.insert(format!("v{s}_{d}"));
+                    }
+                }
+                LoopStmt {
+                    id: StmtId(n as u32),
+                    span: Default::default(),
+                    label: format!("S{}", n - 1),
+                    reg_reads: Default::default(),
+                    reg_writes: writes,
+                    must_writes: Default::default(),
+                    mem: vec![],
+                    weight: pdg.nodes[n].weight,
+                }
+            })
+            .collect();
+        HotLoop {
+            func: "main".into(),
+            stmt_id: StmtId(999),
+            span: Default::default(),
+            shape: LoopShape::Uncountable { cond: Expr::int(1) },
+            cond_reads: Default::default(),
+            body,
+            live_ins: Default::default(),
+            handle_writers: Default::default(),
+            reductions: Vec::new(),
+        }
+    }
+
+    fn mk_pdg(weights: &[u64], edges: &[(usize, usize, bool)]) -> Pdg {
+        let nodes = weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| PdgNode {
+                id: NodeId(i),
+                kind: if i == 0 {
+                    NodeKind::Condition
+                } else {
+                    NodeKind::Stmt(i - 1)
+                },
+                label: format!("S{i}"),
+                span: Span::default(),
+                weight: w,
+            })
+            .collect();
+        let edges = edges
+            .iter()
+            .map(|&(s, d, carried)| PdgEdge {
+                src: NodeId(s),
+                dst: NodeId(d),
+                kind: DepKind::RegFlow(format!("v{s}_{d}")),
+                carried,
+                induction: false,
+                comm: None,
+            })
+            .collect();
+        Pdg { nodes, edges }
+    }
+
+    #[test]
+    fn chain_partitions_into_balanced_stages() {
+        // cond -> s1 -> s2 -> s3, weights favor s2.
+        let edges = [(0, 1, false), (1, 2, false), (2, 3, false)];
+        let pdg = mk_pdg(&[1, 10, 100, 10], &edges);
+        let dag = dag_scc(&pdg);
+        let us = units(&pdg, &dag, &fake_hot(&pdg, &edges));
+        assert_eq!(us.len(), 4);
+        let p = partition_dswp(&us, 2);
+        assert_eq!(p.stages.len(), 2);
+        // All nodes covered exactly once.
+        let all: Vec<usize> = p.stages.iter().flatten().copied().collect();
+        assert_eq!(all.len(), 4);
+    }
+
+    #[test]
+    fn carried_cross_edges_mark_producer_non_replicable() {
+        // s2 writes v consumed by s1 next iteration: carried cross edge.
+        // The units stay separate (the value-at-position protocol
+        // communicates it) but the producing unit must not replicate.
+        let edges = [(0, 1, false), (2, 1, true)];
+        let pdg = mk_pdg(&[1, 10, 10], &edges);
+        let dag = dag_scc(&pdg);
+        let us = units(&pdg, &dag, &fake_hot(&pdg, &edges));
+        let producer = us.iter().find(|u| u.nodes.contains(&2)).unwrap();
+        assert!(producer.carried);
+        let consumer = us.iter().find(|u| u.nodes.contains(&1)).unwrap();
+        assert!(!consumer.nodes.contains(&2));
+        assert!(!consumer.carried, "consumer stays replicable");
+    }
+
+    #[test]
+    fn ps_dswp_picks_heaviest_replicable_run() {
+        // cond(c) s1(seq accumulator) s2(heavy, replicable) s3(seq print).
+        let edges = [
+            (0, 1, false),
+            (1, 1, true), // accumulator self cycle
+            (1, 2, false),
+            (2, 3, false),
+            (3, 3, true), // ordered output
+        ];
+        let pdg = mk_pdg(&[1, 10, 1000, 20], &edges);
+        let dag = dag_scc(&pdg);
+        let us = units(&pdg, &dag, &fake_hot(&pdg, &edges));
+        let p = partition_ps_dswp(&us).unwrap();
+        let par = p.parallel_stage.unwrap();
+        assert!(p.stages[par].contains(&2));
+        assert!(!p.stages[par].contains(&1));
+        assert!(!p.stages[par].contains(&3));
+        assert_eq!(p.stages.len(), 3);
+    }
+
+    #[test]
+    fn ps_dswp_none_when_everything_carried() {
+        let edges = [(1, 1, true), (0, 1, true)];
+        let pdg = mk_pdg(&[1, 10], &edges);
+        let dag = dag_scc(&pdg);
+        let mut us = units(&pdg, &dag, &fake_hot(&pdg, &edges));
+        for u in &mut us {
+            u.carried = true;
+        }
+        assert!(partition_ps_dswp(&us).is_none());
+    }
+}

@@ -1,0 +1,327 @@
+//! **456.hmmer** — biosequence analysis (paper §5.1).
+//!
+//! Every iteration draws a protein sequence from a shared-seed RNG, scores
+//! it against an HMM profile with a dynamically allocated matrix, folds
+//! the score into a histogram, and frees the matrix. The three annotation
+//! sites of the paper:
+//!
+//! * (a) the RNG is self-commutative — any permutation of the random
+//!   sequence preserves the distribution;
+//! * (b) the histogram update is an abstract SUM;
+//! * (c) matrix allocation/deallocation commute on separate iterations
+//!   (`MSET`, predicated on the induction variable).
+//!
+//! The pipeline variant leaves the RNG and histogram *unannotated* so
+//! PS-DSWP moves them into sequential stages — the paper's three-stage
+//! schedule that takes the RNG "off the critical path".
+//!
+//! Because reordering RNG draws legitimately changes which sequences are
+//! generated ("multiple legal outcomes"), validation checks semantic
+//! invariants rather than bitwise outputs: the final RNG seed (a fixed
+//! number of draws), the histogram population, and allocator balance.
+
+use crate::framework::{PaperRow, SchemeSpec, Workload};
+use crate::worldlib::AllocTable;
+use commset::{Scheme, SyncMode};
+use commset_ir::IntrinsicTable;
+use commset_lang::ast::Type;
+use commset_runtime::intrinsics::IntrinsicOutcome;
+use commset_runtime::rng::Lcg;
+use commset_runtime::{Registry, World};
+use std::sync::Arc;
+
+/// Number of sequences scored.
+pub const NUM_SEQS: usize = 128;
+/// HMM profile states (controls Viterbi cost).
+pub const STATES: i64 = 12;
+const SEED: u64 = 0x5eed_0002;
+
+/// Histogram of scores.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    /// Bucketed score counts.
+    pub buckets: Vec<i64>,
+    /// Total insertions.
+    pub total: i64,
+}
+
+impl Histogram {
+    fn add(&mut self, score: i64) {
+        let b = (score.unsigned_abs() % 32) as usize;
+        if self.buckets.len() < 32 {
+            self.buckets.resize(32, 0);
+        }
+        self.buckets[b] += 1;
+        self.total += 1;
+    }
+}
+
+fn source(full: bool) -> String {
+    // The pipeline variant drops the SELF annotations on the RNG and
+    // histogram blocks (they stay sequential stages).
+    let rng_pragma = if full {
+        "#pragma CommSet(SELF)\n        "
+    } else {
+        ""
+    };
+    let hist_pragma = if full {
+        "#pragma CommSet(SELF)\n        "
+    } else {
+        ""
+    };
+    format!(
+        r#"
+#pragma CommSetDecl(MSET, Group)
+#pragma CommSetPredicate(MSET, (i1), (i2), i1 != i2)
+
+extern int num_seqs();
+extern int rng_gen_seq();
+extern handle mat_alloc(int s);
+extern int viterbi_score(handle m, int s);
+extern void hist_add(int score);
+extern void mat_free(handle m);
+
+int main() {{
+    int n = num_seqs();
+    for (int i = 0; i < n; i = i + 1) {{
+        int s = 0;
+        {rng_pragma}{{ s = rng_gen_seq(); }}
+        handle m = handle(0);
+        #pragma CommSet(SELF, MSET(i))
+        {{ m = mat_alloc(s); }}
+        int score = viterbi_score(m, s);
+        {hist_pragma}{{ hist_add(score); }}
+        #pragma CommSet(SELF, MSET(i))
+        {{ mat_free(m); }}
+    }}
+    return 0;
+}}
+"#
+    )
+}
+
+/// Primary variant: all three annotation sites (enables DOALL).
+pub fn annotated_source() -> String {
+    source(true)
+}
+
+/// Pipeline variant: RNG and histogram sequential (three-stage PS-DSWP).
+pub fn pipeline_source() -> String {
+    source(false)
+}
+
+/// Decodes a packed sequence descriptor into (length, content seed).
+fn decode(s: i64) -> (i64, u64) {
+    (100 + (s & 0x3f), (s as u64) >> 6)
+}
+
+/// The deterministic Viterbi-like score of a packed descriptor — the
+/// native reference shared by the intrinsic and the tests.
+pub fn score_of(s: i64) -> i64 {
+    let (len, seed) = decode(s);
+    // A real (if small) dynamic program: best path over `STATES` states.
+    let mut rng = commset_runtime::rng::SplitMix64::new(seed);
+    let mut prev = vec![0i64; STATES as usize];
+    let mut cur = vec![0i64; STATES as usize];
+    for _ in 0..len {
+        let c = (rng.next_u64() % 20) as i64;
+        for st in 0..STATES as usize {
+            let stay = prev[st] + ((st as i64 * 7 + c) % 11);
+            let from = if st > 0 {
+                prev[st - 1] + ((c + 3) % 5)
+            } else {
+                i64::MIN / 2
+            };
+            cur[st] = stay.max(from);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev.iter().copied().max().unwrap_or(0) % 1_000_003
+}
+
+/// Intrinsic signatures.
+pub fn table() -> IntrinsicTable {
+    let mut t = IntrinsicTable::new();
+    t.register("num_seqs", vec![], Type::Int, &[], &[], 5);
+    t.register("rng_gen_seq", vec![], Type::Int, &["SEED"], &["SEED"], 15);
+    t.register("mat_alloc", vec![Type::Int], Type::Handle, &[], &["MAT"], 25);
+    // The matrix *contents* are instance-partitioned: scoring reads the
+    // matrix allocated this iteration, freeing invalidates it. The fresh
+    // allocation each iteration makes the conflicts iteration-private
+    // (the allocation-site freshness the paper's analysis exploits), while
+    // still ordering score-before-free within an iteration.
+    t.register(
+        "viterbi_score",
+        vec![Type::Handle, Type::Int],
+        Type::Int,
+        &["MAT_DATA"],
+        &["MAT_DATA"],
+        40,
+    );
+    t.register("hist_add", vec![Type::Int], Type::Void, &[], &["HIST"], 12);
+    t.register(
+        "mat_free",
+        vec![Type::Handle],
+        Type::Void,
+        &[],
+        &["MAT", "MAT_DATA"],
+        18,
+    );
+    t.mark_per_instance("MAT_DATA");
+    t.mark_fresh_handle("mat_alloc");
+    t
+}
+
+/// Intrinsic handlers.
+pub fn registry() -> Registry {
+    let mut r = Registry::new();
+    r.register("num_seqs", |_, _| IntrinsicOutcome::value(NUM_SEQS as i64));
+    r.register("rng_gen_seq", |world, _| {
+        let rng = world.get_mut::<Lcg>("rng");
+        let len_bits = rng.next_i32() & 0x3f;
+        let content = rng.next_i32() << 6;
+        IntrinsicOutcome::value(content | len_bits)
+    });
+    r.register("mat_alloc", |world, args| {
+        let (len, _) = decode(args[0].as_int());
+        let h = world.get_mut::<AllocTable>("mat").alloc(len);
+        IntrinsicOutcome::value(h).with_serialized(12)
+    });
+    r.register("viterbi_score", |world, args| {
+        // The matrix handle must be live while scoring.
+        let len = world.get::<AllocTable>("mat").payload(args[0].as_int());
+        let score = score_of(args[1].as_int());
+        // Cost: one DP cell per (residue, state).
+        IntrinsicOutcome::value(score).with_cost((len * (STATES + 6)) as u64)
+    });
+    r.register("hist_add", |world, args| {
+        world.get_mut::<Histogram>("hist").add(args[0].as_int());
+        IntrinsicOutcome::unit()
+    });
+    r.register("mat_free", |world, args| {
+        world.get_mut::<AllocTable>("mat").free(args[0].as_int());
+        IntrinsicOutcome::unit().with_serialized(10)
+    });
+    r
+}
+
+/// Fresh input world.
+pub fn make_world() -> World {
+    let mut w = World::new();
+    w.install("rng", Lcg::new(SEED));
+    w.install("hist", Histogram::default());
+    w.install("mat", AllocTable::default());
+    w
+}
+
+/// Semantic-invariant validation (outputs legitimately differ by order).
+fn validate(seq: &World, par: &World) -> Result<(), String> {
+    let s_rng = seq.get::<Lcg>("rng");
+    let p_rng = par.get::<Lcg>("rng");
+    if s_rng.seed != p_rng.seed {
+        return Err("RNG draw count differs (final seeds disagree)".into());
+    }
+    let s_hist = seq.get::<Histogram>("hist");
+    let p_hist = par.get::<Histogram>("hist");
+    if p_hist.total != s_hist.total {
+        return Err(format!(
+            "histogram population differs: {} vs {}",
+            s_hist.total, p_hist.total
+        ));
+    }
+    let mat = par.get::<AllocTable>("mat");
+    if mat.live_count() != 0 {
+        return Err(format!("{} leaked matrices", mat.live_count()));
+    }
+    if mat.total_allocs != NUM_SEQS as u64 {
+        return Err("allocation count differs".into());
+    }
+    Ok(())
+}
+
+/// The 456.hmmer workload (Figure 6b).
+pub fn workload() -> Workload {
+    Workload {
+        name: "456.hmmer",
+        origin: "SPEC2006",
+        exec_fraction: "99%",
+        variants: vec![annotated_source(), pipeline_source()],
+        schemes: vec![
+            SchemeSpec::new("Comm-DOALL (Spin)", 0, Scheme::Doall, SyncMode::Spin, true),
+            SchemeSpec::new("Comm-DOALL (Mutex)", 0, Scheme::Doall, SyncMode::Mutex, true),
+            SchemeSpec::new("Comm-DOALL (TM)", 0, Scheme::Doall, SyncMode::Tm, true),
+            SchemeSpec::new("Comm-PS-DSWP (Lib)", 1, Scheme::PsDswp, SyncMode::Lib, true),
+        ],
+        table: table(),
+        registry: registry(),
+        irrevocable: vec![],
+        make_world: Arc::new(make_world),
+        validate: Arc::new(validate),
+        paper: PaperRow {
+            best_speedup: 5.82,
+            best_scheme: "DOALL + Spin",
+            annotations: 9,
+            noncomm_speedup: 1.0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commset_sim::CostModel;
+
+    #[test]
+    fn sequential_invariants_hold() {
+        let w = workload();
+        let (_, world) = w.run_sequential(&CostModel::default());
+        let hist = world.get::<Histogram>("hist");
+        assert_eq!(hist.total, NUM_SEQS as i64);
+        assert_eq!(world.get::<AllocTable>("mat").live_count(), 0);
+    }
+
+    #[test]
+    fn primary_variant_is_doall_legal() {
+        let w = workload();
+        let a = w.analyze(0).unwrap();
+        assert!(a.doall_legal(), "{}", a.pdg_dump());
+    }
+
+    #[test]
+    fn pipeline_variant_builds_three_stages() {
+        let w = workload();
+        let c = w.compiler();
+        let a = c.analyze(&w.variants[1]).unwrap();
+        assert!(!a.doall_legal());
+        let (_, plan) = c.compile(&a, Scheme::PsDswp, 8, SyncMode::Lib).unwrap();
+        let seq_stages = plan
+            .stage_desc
+            .iter()
+            .filter(|d| d.contains("Sequential"))
+            .count();
+        assert_eq!(seq_stages, 2, "{:?}", plan.stage_desc);
+        assert_eq!(plan.workers.len(), 8);
+    }
+
+    #[test]
+    fn spin_beats_mutex_and_tm_at_eight_threads() {
+        let w = workload();
+        let cm = CostModel::default();
+        let spin = w.speedup(&w.schemes[0], 8, &cm).unwrap();
+        let mutex = w.speedup(&w.schemes[1], 8, &cm).unwrap();
+        let tm = w.speedup(&w.schemes[2], 8, &cm).unwrap();
+        assert!(
+            spin > mutex && spin > tm,
+            "paper §5.1 ordering: spin {spin:.2} > mutex {mutex:.2}, tm {tm:.2}"
+        );
+        assert!(spin > 4.0, "paper: 5.82, got {spin:.2}");
+    }
+
+    #[test]
+    fn ps_dswp_scales_off_critical_path() {
+        let w = workload();
+        let cm = CostModel::default();
+        let ps = w.speedup(&w.schemes[3], 8, &cm).unwrap();
+        assert!(ps > 3.5, "paper: 5.3, got {ps:.2}");
+    }
+}

@@ -1,0 +1,260 @@
+//! **kmeans** — clustering (paper §5.6, STAMP origin).
+//!
+//! The main loop computes the nearest cluster center for each object
+//! (reading the *current* centers) and folds the object into the *next*
+//! centers' accumulators. The single annotation — the paper's Table 2
+//! reports exactly **1** for kmeans — puts the update block in a `SELF`
+//! set: update orders commute (abstract SUM; we use integer features so
+//! the sums are exact under any order).
+//!
+//! The performance story this workload reproduces: DOALL with pessimistic
+//! locks is promising up to ~5 threads, then degrades as the spin lock on
+//! the accumulator becomes contended; the three-stage PS-DSWP moves the
+//! "highly contended dependence cycle onto a sequential stage" and keeps
+//! scaling; TM suffers aborts on the hot accumulator channel.
+
+use crate::framework::{PaperRow, SchemeSpec, Workload};
+use commset::{Scheme, SyncMode};
+use commset_ir::IntrinsicTable;
+use commset_lang::ast::Type;
+use commset_runtime::intrinsics::IntrinsicOutcome;
+use commset_runtime::rng::SplitMix64;
+use commset_runtime::{Registry, World};
+use std::sync::Arc;
+
+/// Objects clustered.
+pub const NUM_POINTS: usize = 256;
+/// Cluster count.
+pub const K: usize = 12;
+/// Feature dimensions.
+pub const DIMS: usize = 10;
+const SEED: u64 = 0x5eed_0007;
+
+/// The clustering state: immutable current centers, accumulating next
+/// centers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clustering {
+    /// Object features.
+    pub points: Vec<[i64; DIMS]>,
+    /// Current centers (read-only during the loop).
+    pub centers: Vec<[i64; DIMS]>,
+    /// Next-iteration accumulators.
+    pub sums: Vec<[i64; DIMS]>,
+    /// Membership counts for the next iteration.
+    pub counts: Vec<i64>,
+}
+
+impl Clustering {
+    fn generate(seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let mut point = || {
+            let mut p = [0i64; DIMS];
+            for d in p.iter_mut() {
+                *d = (rng.next_u64() % 1000) as i64;
+            }
+            p
+        };
+        let points: Vec<[i64; DIMS]> = (0..NUM_POINTS).map(|_| point()).collect();
+        let centers: Vec<[i64; DIMS]> = (0..K).map(|_| point()).collect();
+        Clustering {
+            points,
+            centers,
+            sums: vec![[0; DIMS]; K],
+            counts: vec![0; K],
+        }
+    }
+
+    /// Nearest center of point `i` under squared Euclidean distance.
+    pub fn nearest(&self, i: usize) -> usize {
+        let p = &self.points[i];
+        let mut best = 0;
+        let mut best_d = i64::MAX;
+        for (c, center) in self.centers.iter().enumerate() {
+            let d: i64 = p
+                .iter()
+                .zip(center)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        best
+    }
+}
+
+/// The annotated source — one annotation, as in Table 2.
+pub fn annotated_source() -> String {
+    r#"
+extern int num_points();
+extern int nearest_center(int i);
+extern void update_center(int c, int i);
+
+int main() {
+    int n = num_points();
+    for (int i = 0; i < n; i = i + 1) {
+        int c = nearest_center(i);
+        #pragma CommSet(SELF)
+        { update_center(c, i); }
+    }
+    return 0;
+}
+"#
+    .to_string()
+}
+
+/// Intrinsic signatures: assignment reads the frozen current centers;
+/// updates accumulate into the next-centers channel.
+pub fn table() -> IntrinsicTable {
+    let mut t = IntrinsicTable::new();
+    t.register("num_points", vec![], Type::Int, &[], &[], 5);
+    t.register(
+        "nearest_center",
+        vec![Type::Int],
+        Type::Int,
+        &["CENTERS_CUR"],
+        &[],
+        40,
+    );
+    t.register(
+        "update_center",
+        vec![Type::Int, Type::Int],
+        Type::Void,
+        &[],
+        &["CENTERS_NEXT"],
+        60,
+    );
+    t
+}
+
+/// Intrinsic handlers.
+pub fn registry() -> Registry {
+    let mut r = Registry::new();
+    r.register("num_points", |_, _| IntrinsicOutcome::value(NUM_POINTS as i64));
+    r.register("nearest_center", |world, args| {
+        let cl = world.get::<Clustering>("clustering");
+        let i = args[0].as_int() as usize;
+        let c = cl.nearest(i);
+        // Distance evaluations: K centers x DIMS dims, all private reads
+        // of the frozen centers.
+        IntrinsicOutcome::value(c as i64)
+            .with_cost((K * DIMS * 7) as u64)
+            .with_serialized(0)
+    });
+    r.register("update_center", |world, args| {
+        let cl = world.get_mut::<Clustering>("clustering");
+        let c = args[0].as_int() as usize;
+        let i = args[1].as_int() as usize;
+        for d in 0..DIMS {
+            cl.sums[c][d] += cl.points[i][d];
+        }
+        cl.counts[c] += 1;
+        // The accumulator write is the contended shared access.
+        IntrinsicOutcome::unit().with_cost(100).with_serialized(120)
+    });
+    r
+}
+
+/// Fresh input world.
+pub fn make_world() -> World {
+    let mut w = World::new();
+    w.install("clustering", Clustering::generate(SEED));
+    w
+}
+
+/// Integer sums are order-independent: the final accumulators must match
+/// the sequential run exactly.
+fn validate(seq: &World, par: &World) -> Result<(), String> {
+    let s = seq.get::<Clustering>("clustering");
+    let p = par.get::<Clustering>("clustering");
+    if s.counts != p.counts {
+        return Err(format!("membership counts differ: {:?} vs {:?}", s.counts, p.counts));
+    }
+    if s.sums != p.sums {
+        return Err("center accumulators differ".into());
+    }
+    Ok(())
+}
+
+/// The kmeans workload (Figure 6g).
+pub fn workload() -> Workload {
+    Workload {
+        name: "kmeans",
+        origin: "STAMP",
+        exec_fraction: "99%",
+        variants: vec![annotated_source()],
+        schemes: vec![
+            SchemeSpec::new("Comm-PS-DSWP (Lib)", 0, Scheme::PsDswp, SyncMode::Lib, true),
+            SchemeSpec::new("Comm-DOALL (Spin)", 0, Scheme::Doall, SyncMode::Spin, true),
+            SchemeSpec::new("Comm-DOALL (Mutex)", 0, Scheme::Doall, SyncMode::Mutex, true),
+            SchemeSpec::new("Comm-DOALL (TM)", 0, Scheme::Doall, SyncMode::Tm, true),
+        ],
+        table: table(),
+        registry: registry(),
+        irrevocable: vec![],
+        make_world: Arc::new(make_world),
+        validate: Arc::new(validate),
+        paper: PaperRow {
+            best_speedup: 5.2,
+            best_scheme: "PS-DSWP",
+            annotations: 1,
+            noncomm_speedup: 1.0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commset_sim::CostModel;
+
+    #[test]
+    fn single_annotation_matches_table2() {
+        assert_eq!(workload().annotation_count(), 1);
+    }
+
+    #[test]
+    fn sequential_counts_cover_all_points() {
+        let w = workload();
+        let (_, world) = w.run_sequential(&CostModel::default());
+        let cl = world.get::<Clustering>("clustering");
+        assert_eq!(cl.counts.iter().sum::<i64>(), NUM_POINTS as i64);
+    }
+
+    #[test]
+    fn doall_becomes_legal_with_the_annotation() {
+        let w = workload();
+        let a = w.analyze(0).unwrap();
+        assert!(a.doall_legal(), "{}", a.pdg_dump());
+        let plain = w.compiler().analyze(&w.plain_source()).unwrap();
+        assert!(!plain.doall_legal());
+    }
+
+    #[test]
+    fn doall_spin_degrades_while_ps_dswp_keeps_scaling() {
+        let w = workload();
+        let cm = CostModel::default();
+        let spin5 = w.speedup(&w.schemes[1], 5, &cm).unwrap();
+        let spin8 = w.speedup(&w.schemes[1], 8, &cm).unwrap();
+        let ps8 = w.speedup(&w.schemes[0], 8, &cm).unwrap();
+        assert!(
+            ps8 > spin8,
+            "paper §5.6: PS-DSWP best beyond six threads (ps {ps8:.2} vs spin {spin8:.2})"
+        );
+        assert!(
+            spin8 < spin5 + 1.0,
+            "spin stops scaling past ~5 threads: {spin5:.2} -> {spin8:.2}"
+        );
+        assert!(ps8 > 3.5, "paper: 5.2, got {ps8:.2}");
+    }
+
+    #[test]
+    fn tm_is_limited_by_aborts() {
+        let w = workload();
+        let cm = CostModel::default();
+        let tm8 = w.speedup(&w.schemes[3], 8, &cm).unwrap();
+        let ps8 = w.speedup(&w.schemes[0], 8, &cm).unwrap();
+        assert!(tm8 < ps8, "paper: TM limited to 2.7x (got {tm8:.2})");
+    }
+}

@@ -1,0 +1,126 @@
+//! Reductions: privatize-and-merge vs lock-on-every-update.
+//!
+//! Two semantically identical programs sum a scored series. The first
+//! keeps the accumulator in a shared container and declares the update
+//! commutative (`CommSet(SELF)`), so the compiler serializes updates with
+//! a lock. The second uses the `CommSetReduction` extension (paper §6):
+//! the accumulator privatizes per worker and merges once at the join, so
+//! the hot path takes no lock at all. Both parallelize with DOALL; the
+//! example measures how much the reduction saves.
+//!
+//! Run with: `cargo run --example reduction`
+
+use commset::{Compiler, Scheme, SyncMode};
+use commset_interp::{run_sequential, run_simulated};
+use commset_ir::IntrinsicTable;
+use commset_lang::ast::Type;
+use commset_runtime::intrinsics::IntrinsicOutcome;
+use commset_runtime::{Registry, World};
+use commset_sim::CostModel;
+
+/// Shared-accumulator version: `acc_add` mutates the ACC channel, and the
+/// SELF set tells the compiler any two calls commute — correct, but every
+/// update serializes on the set's lock.
+const LOCKED: &str = r#"
+    extern int score(int x);
+    extern void acc_add(int v);
+    int main() {
+        int n = 512;
+        for (int i = 0; i < n; i = i + 1) {
+            int s = score(i);
+            #pragma CommSet(SELF)
+            { acc_add(s); }
+        }
+        return 0;
+    }
+"#;
+
+/// Reduction version: the accumulator is an ordinary scalar; the pragma
+/// licenses reassociation, so each worker sums privately and merges once.
+const REDUCED: &str = r#"
+    extern int score(int x);
+    int main() {
+        int n = 512;
+        int total = 0;
+        #pragma CommSetReduction(total, +)
+        for (int i = 0; i < n; i = i + 1) {
+            int s = score(i);
+            total += s;
+        }
+        return total;
+    }
+"#;
+
+fn score_of(i: i64) -> i64 {
+    (i * 37 + 11) % 101
+}
+
+fn intrinsics() -> IntrinsicTable {
+    let mut t = IntrinsicTable::new();
+    t.register("score", vec![Type::Int], Type::Int, &[], &[], 450);
+    t.register("acc_add", vec![Type::Int], Type::Void, &["ACC"], &["ACC"], 8);
+    t
+}
+
+fn registry() -> Registry {
+    let mut r = Registry::new();
+    r.register("score", |_, args| IntrinsicOutcome::value(score_of(args[0].as_int())));
+    r.register("acc_add", |world, args| {
+        *world.get_mut::<i64>("acc") += args[0].as_int();
+        IntrinsicOutcome::unit()
+    });
+    r
+}
+
+fn fresh_world() -> World {
+    let mut w = World::new();
+    w.install("acc", 0i64);
+    w
+}
+
+/// Runs one source at `threads`, returning (speedup, final sum).
+fn measure(compiler: &Compiler, src: &str, threads: usize, sync: SyncMode) -> (f64, i64) {
+    let cm = CostModel::default();
+    let a = compiler.analyze(src).expect("source compiles");
+    assert!(a.doall_legal(), "both versions must admit DOALL");
+
+    let seq_module = compiler.compile_sequential(&a).expect("lowering");
+    let mut seq_world = fresh_world();
+    let seq = run_sequential(&seq_module, &registry(), &mut seq_world, &cm, "main");
+
+    let (module, plan) = compiler
+        .compile(&a, Scheme::Doall, threads, sync)
+        .expect("DOALL applies");
+    let mut world = fresh_world();
+    let par = run_simulated(&module, &registry(), &[plan], &mut world, &cm);
+
+    // The sum lives in the world for LOCKED and in main's return value for
+    // REDUCED; take whichever is nonzero.
+    let from_world = *world.get::<i64>("acc");
+    let sum = if from_world != 0 {
+        from_world
+    } else {
+        par.result.expect("main returns").as_int()
+    };
+    (seq.sim_time as f64 / par.sim_time as f64, sum)
+}
+
+fn main() {
+    let compiler = Compiler::new(intrinsics());
+    let expected: i64 = (0..512).map(score_of).sum();
+
+    println!("summing 512 scored items on the 8-core simulator\n");
+    println!("{:<34} {:>8} {:>10}", "strategy", "speedup", "sum");
+    for (label, src, sync) in [
+        ("CommSet(SELF) + Mutex lock", LOCKED, SyncMode::Mutex),
+        ("CommSet(SELF) + Spin lock", LOCKED, SyncMode::Spin),
+        ("CommSetReduction (privatized)", REDUCED, SyncMode::Lib),
+    ] {
+        let (speedup, sum) = measure(&compiler, src, 8, sync);
+        assert_eq!(sum, expected, "{label}: wrong sum");
+        println!("{label:<34} {speedup:>7.2}x {sum:>10}");
+    }
+    println!("\nAll three agree on the sum; the reduction wins because its");
+    println!("hot path never touches a lock — workers merge partial sums");
+    println!("exactly once when the parallel section joins.");
+}

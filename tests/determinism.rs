@@ -1,0 +1,91 @@
+//! Determinism guarantees of the simulated executor and of the
+//! deterministic-output schedules.
+
+use commset::{Scheme, SyncMode};
+use commset_interp::run_simulated;
+use commset_sim::CostModel;
+use commset_workloads::worldlib::Console;
+use commset_workloads::{geti, md5sum};
+
+#[test]
+fn simulated_runs_are_bit_for_bit_repeatable() {
+    let w = md5sum::workload();
+    let c = w.compiler();
+    let a = c.analyze(&w.variants[0]).unwrap();
+    let cm = CostModel::default();
+    for (scheme, sync) in [
+        (Scheme::Doall, SyncMode::Spin),
+        (Scheme::Doall, SyncMode::Lib),
+        (Scheme::PsDswp, SyncMode::Lib),
+    ] {
+        let Ok((module, plan)) = c.compile(&a, scheme, 6, sync) else {
+            continue;
+        };
+        let run = || {
+            let mut world = (w.make_world)();
+            let out = run_simulated(&module, &w.registry, std::slice::from_ref(&plan), &mut world, &cm);
+            (
+                out.sim_time,
+                world.get::<Console>("console").lines.clone(),
+            )
+        };
+        let a1 = run();
+        let a2 = run();
+        assert_eq!(a1, a2, "{scheme} {sync} must be deterministic");
+    }
+}
+
+#[test]
+fn ps_dswp_sequential_output_stage_preserves_order_at_every_width() {
+    let w = md5sum::workload();
+    let c = w.compiler();
+    let det = c.analyze(&w.variants[1]).unwrap();
+    let cm = CostModel::default();
+    let reference = md5sum::reference_digests();
+    for threads in 3..=8 {
+        let (module, plan) = c.compile(&det, Scheme::PsDswp, threads, SyncMode::Lib).unwrap();
+        let mut world = (w.make_world)();
+        run_simulated(&module, &w.registry, &[plan], &mut world, &cm);
+        assert_eq!(
+            world.get::<Console>("console").lines,
+            reference,
+            "ordered digests at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn doall_reorders_but_never_loses_output() {
+    let w = geti::workload();
+    let cm = CostModel::default();
+    let doall = w
+        .schemes
+        .iter()
+        .find(|s| s.label.contains("DOALL (Spin)"))
+        .unwrap();
+    let (_, world) = w.run_scheme(doall, 8, &cm).unwrap();
+    let (_, seq_world) = w.run_sequential(&cm);
+    let par = world.get::<Console>("console");
+    let seq = seq_world.get::<Console>("console");
+    assert_eq!(par.multiset(), seq.multiset(), "no lost or duplicated emits");
+    // Reordering is *allowed* under the annotation, not required: with
+    // perfectly uniform iterations the simulated workers can stay in
+    // lockstep and emit in source order, which is also legal.
+}
+
+#[test]
+fn changing_thread_count_changes_interleaving_not_results() {
+    let w = geti::workload();
+    let cm = CostModel::default();
+    let doall = w
+        .schemes
+        .iter()
+        .find(|s| s.label.contains("DOALL (Spin)"))
+        .unwrap();
+    let (_, w4) = w.run_scheme(doall, 4, &cm).unwrap();
+    let (_, w8) = w.run_scheme(doall, 8, &cm).unwrap();
+    assert_eq!(
+        w4.get::<Console>("console").multiset(),
+        w8.get::<Console>("console").multiset()
+    );
+}

@@ -1,0 +1,235 @@
+//! End-to-end integration tests: source text through front end, metadata
+//! manager, Algorithm 1, transforms, lowering, and all three executors.
+
+use commset::{Compiler, Scheme, SyncMode};
+use commset_interp::{run_sequential, run_simulated, run_threaded};
+use commset_ir::IntrinsicTable;
+use commset_lang::ast::Type;
+use commset_runtime::intrinsics::IntrinsicOutcome;
+use commset_runtime::{Registry, World};
+use commset_sim::CostModel;
+
+/// A program exercising every COMMSET feature at once: named sets,
+/// predicates, implicit SELF, named optional blocks, NoSync, multiple
+/// membership.
+const KITCHEN_SINK: &str = r#"
+#pragma CommSetDecl(FSET, Group)
+#pragma CommSetPredicate(FSET, (i1), (i2), i1 != i2)
+#pragma CommSetDecl(SSET, Self)
+#pragma CommSetPredicate(SSET, (a), (b), a != b)
+#pragma CommSetDecl(LOG, Self)
+#pragma CommSetNoSync(LOG)
+
+extern int item_count();
+extern handle acquire(int i);
+extern int step_work(handle h);
+extern void publish(int v);
+extern void release(handle h);
+extern void logit(int v);
+
+#pragma CommSetNamedArg(WORKB)
+int process(handle h) {
+    int acc = 0;
+    int more = 1;
+    while (more) {
+        #pragma CommSetNamedBlock(WORKB)
+        { more = step_work(h); }
+        acc = acc + more;
+    }
+    return acc;
+}
+
+int main() {
+    int n = item_count();
+    for (int i = 0; i < n; i = i + 1) {
+        handle h = handle(0);
+        #pragma CommSet(SELF, FSET(i))
+        { h = acquire(i); }
+        int r = 0;
+        #pragma CommSetNamedArgAdd(WORKB, SSET(i), FSET(i))
+        { r = process(h); }
+        #pragma CommSet(SELF, FSET(i))
+        { publish(r); }
+        #pragma CommSet(LOG)
+        { logit(r); }
+        #pragma CommSet(SELF, FSET(i))
+        { release(h); }
+    }
+    return 0;
+}
+"#;
+
+const ITEMS: i64 = 40;
+
+fn intrinsics() -> IntrinsicTable {
+    let mut t = IntrinsicTable::new();
+    t.register("item_count", vec![], Type::Int, &[], &[], 5);
+    t.register("acquire", vec![Type::Int], Type::Handle, &[], &["TABLE"], 30);
+    t.register("step_work", vec![Type::Handle], Type::Int, &["TABLE"], &["DATA"], 30);
+    t.register("publish", vec![Type::Int], Type::Void, &[], &["OUT"], 20);
+    t.register("release", vec![Type::Handle], Type::Void, &[], &["TABLE"], 15);
+    t.register("logit", vec![Type::Int], Type::Void, &[], &["LOGC"], 10);
+    t
+}
+
+/// World state: items with a countdown; `publish`/`logit` record values.
+#[derive(Debug, Default)]
+struct Sink {
+    counters: std::collections::HashMap<i64, i64>,
+    next: i64,
+    published: Vec<i64>,
+    logged: Vec<i64>,
+}
+
+fn registry() -> Registry {
+    let mut r = Registry::new();
+    r.register("item_count", |_, _| IntrinsicOutcome::value(ITEMS));
+    r.register("acquire", |world, args| {
+        let s = world.get_mut::<Sink>("sink");
+        s.next += 1;
+        // Work proportional to the item index, deterministic.
+        s.counters.insert(s.next, 2 + args[0].as_int() % 3);
+        IntrinsicOutcome::value(s.next)
+    });
+    r.register("step_work", |world, args| {
+        let s = world.get_mut::<Sink>("sink");
+        let c = s.counters.get_mut(&args[0].as_int()).expect("live item");
+        if *c > 0 {
+            *c -= 1;
+            IntrinsicOutcome::value(1i64).with_cost(200).with_serialized(5)
+        } else {
+            IntrinsicOutcome::value(0i64)
+        }
+    });
+    r.register("publish", |world, args| {
+        world.get_mut::<Sink>("sink").published.push(args[0].as_int());
+        IntrinsicOutcome::unit()
+    });
+    r.register("logit", |world, args| {
+        world.get_mut::<Sink>("sink").logged.push(args[0].as_int());
+        IntrinsicOutcome::unit()
+    });
+    r.register("release", |world, args| {
+        let s = world.get_mut::<Sink>("sink");
+        assert!(s.counters.remove(&args[0].as_int()).is_some(), "double release");
+        IntrinsicOutcome::unit()
+    });
+    r
+}
+
+fn world() -> World {
+    let mut w = World::new();
+    w.install("sink", Sink::default());
+    w
+}
+
+fn compiler() -> Compiler {
+    Compiler::new(intrinsics()).with_irrevocable(&["OUT", "LOGC"])
+}
+
+fn sorted(mut v: Vec<i64>) -> Vec<i64> {
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn kitchen_sink_analysis_relaxes_everything() {
+    let c = compiler();
+    let a = c.analyze(KITCHEN_SINK).unwrap();
+    assert!(a.relaxed_edges > 0);
+    assert!(a.doall_legal(), "{}", a.pdg_dump());
+    let schemes = c.applicable_schemes(&a, 8);
+    assert!(schemes.contains(&Scheme::Doall));
+    assert!(schemes.contains(&Scheme::PsDswp));
+}
+
+#[test]
+fn every_scheme_and_sync_mode_computes_the_same_multiset() {
+    let c = compiler();
+    let a = c.analyze(KITCHEN_SINK).unwrap();
+    let cm = CostModel::default();
+    let seq_module = c.compile_sequential(&a).unwrap();
+    let mut seq_world = world();
+    run_sequential(&seq_module, &registry(), &mut seq_world, &cm, "main");
+    let expected = sorted(seq_world.get::<Sink>("sink").published.clone());
+    assert_eq!(expected.len(), ITEMS as usize);
+
+    for scheme in [Scheme::Doall, Scheme::Dswp, Scheme::PsDswp] {
+        for sync in [SyncMode::Lib, SyncMode::Spin, SyncMode::Mutex] {
+            for threads in [2, 4, 8] {
+                let Ok((module, plan)) = c.compile(&a, scheme, threads, sync) else {
+                    continue;
+                };
+                let mut w = world();
+                run_simulated(&module, &registry(), &[plan], &mut w, &cm);
+                let sink = w.get::<Sink>("sink");
+                assert_eq!(
+                    sorted(sink.published.clone()),
+                    expected,
+                    "{scheme} {sync} x{threads} published"
+                );
+                assert_eq!(
+                    sorted(sink.logged.clone()),
+                    expected,
+                    "{scheme} {sync} x{threads} logged"
+                );
+                assert!(sink.counters.is_empty(), "all items released");
+            }
+        }
+    }
+}
+
+#[test]
+fn thread_executor_agrees_with_simulated() {
+    let c = compiler();
+    let a = c.analyze(KITCHEN_SINK).unwrap();
+    let cm = CostModel::default();
+    let seq_module = c.compile_sequential(&a).unwrap();
+    let mut seq_world = world();
+    run_sequential(&seq_module, &registry(), &mut seq_world, &cm, "main");
+    let expected = sorted(seq_world.get::<Sink>("sink").published.clone());
+
+    for (scheme, sync) in [
+        (Scheme::Doall, SyncMode::Spin),
+        (Scheme::Doall, SyncMode::Mutex),
+        (Scheme::PsDswp, SyncMode::Lib),
+    ] {
+        let (module, plan) = c.compile(&a, scheme, 4, sync).unwrap();
+        let out = run_threaded(&module, &registry(), &[plan], world());
+        let sink = out.world.get::<Sink>("sink");
+        assert_eq!(
+            sorted(sink.published.clone()),
+            expected,
+            "{scheme} {sync} on real threads"
+        );
+        assert!(sink.counters.is_empty());
+    }
+}
+
+#[test]
+fn nosync_set_is_never_locked_but_others_are() {
+    let c = compiler();
+    let a = c.analyze(KITCHEN_SINK).unwrap();
+    let (_, plan) = c.compile(&a, Scheme::Doall, 4, SyncMode::Spin).unwrap();
+    assert!(!plan.locks.iter().any(|l| l.set == "LOG"));
+    assert!(plan.locks.iter().any(|l| l.set == "FSET"));
+    assert!(plan.locks.iter().any(|l| l.set == "SSET"));
+}
+
+#[test]
+fn tm_mode_is_rejected_for_irrevocable_channels_here() {
+    let c = compiler();
+    let a = c.analyze(KITCHEN_SINK).unwrap();
+    let err = c.compile(&a, Scheme::Doall, 4, SyncMode::Tm).unwrap_err();
+    assert!(err.message.contains("irrevocable"), "{err}");
+}
+
+#[test]
+fn plain_program_does_not_parallelize() {
+    let c = compiler();
+    let plain = commset_workloads::strip_pragmas(KITCHEN_SINK);
+    let a = c.analyze(&plain).unwrap();
+    assert!(!a.doall_legal());
+    assert!(c.compile(&a, Scheme::Doall, 4, SyncMode::Spin).is_err());
+    assert!(!a.explain_inhibitors().is_empty());
+}

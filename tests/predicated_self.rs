@@ -1,0 +1,256 @@
+//! End-to-end coverage of *predicated Self sets* (paper §4.4): a single
+//! function whose invocations commute only when the declared predicate
+//! holds on their instance arguments, proven symbolically under the
+//! induction-variable assertion — plus `CommSetNoSync` lifting the lock
+//! when disjointness makes the member naturally race-free.
+
+use commset::{Compiler, Scheme, SyncMode};
+use commset_interp::{run_sequential, run_simulated, run_threaded};
+use commset_ir::IntrinsicTable;
+use commset_lang::ast::Type;
+use commset_runtime::intrinsics::IntrinsicOutcome;
+use commset_runtime::{Registry, World};
+use commset_sim::CostModel;
+
+const N: i64 = 40;
+
+fn setup() -> (IntrinsicTable, Registry) {
+    let mut t = IntrinsicTable::new();
+    t.register("work", vec![Type::Int], Type::Int, &[], &[], 300);
+    t.register(
+        "put",
+        vec![Type::Int, Type::Int],
+        Type::Void,
+        &[],
+        &["TABLE"],
+        20,
+    );
+    let mut r = Registry::new();
+    r.register("work", |_, args| {
+        let x = args[0].as_int();
+        IntrinsicOutcome::value(x * 7 + 3)
+    });
+    r.register("put", |world, args| {
+        let t = world.get_mut::<Vec<i64>>("table");
+        t[args[0].as_int() as usize] = args[1].as_int();
+        IntrinsicOutcome::unit()
+    });
+    (t, r)
+}
+
+fn fresh_world() -> World {
+    let mut w = World::new();
+    w.install("table", vec![0i64; N as usize]);
+    w
+}
+
+/// A keyed-put loop: the predicate proves distinct iterations touch
+/// distinct keys, so the carried TABLE dependence relaxes.
+fn source(nosync: bool, key: &str) -> String {
+    let nosync_line = if nosync {
+        "#pragma CommSetNoSync(TSET)"
+    } else {
+        ""
+    };
+    format!(
+        r#"
+        #pragma CommSetDecl(TSET, Self)
+        #pragma CommSetPredicate(TSET, (k1), (k2), k1 != k2)
+        {nosync_line}
+        extern int work(int x);
+        extern void put(int k, int v);
+        int main() {{
+            int n = {N};
+            for (int i = 0; i < n; i = i + 1) {{
+                int v = work(i);
+                #pragma CommSet(TSET({key}))
+                {{ put({key}, v); }}
+            }}
+            return 0;
+        }}
+        "#
+    )
+}
+
+#[test]
+fn proven_predicate_relaxes_the_carried_self_dependence() {
+    let (table, _) = setup();
+    let c = Compiler::new(table);
+    let a = c.analyze(&source(true, "i")).unwrap();
+    assert!(a.relaxed_edges > 0);
+    assert!(a.doall_legal(), "{}", a.pdg_dump());
+}
+
+#[test]
+fn unprovable_instance_expression_relaxes_nothing() {
+    let (table, _) = setup();
+    let c = Compiler::new(table);
+    // `k` is data-dependent: the symbolic prover cannot establish
+    // k1 != k2 across iterations, so the dependence must survive.
+    let src = r#"
+        #pragma CommSetDecl(TSET, Self)
+        #pragma CommSetPredicate(TSET, (k1), (k2), k1 != k2)
+        #pragma CommSetNoSync(TSET)
+        extern int work(int x);
+        extern void put(int k, int v);
+        int main() {
+            int n = 40;
+            for (int i = 0; i < n; i = i + 1) {
+                int v = work(i);
+                int k = v - v / 4 * 4;
+                #pragma CommSet(TSET(k))
+                { put(k, v); }
+            }
+            return 0;
+        }
+    "#;
+    let a = c.analyze(src).unwrap();
+    assert!(
+        !a.doall_legal(),
+        "data-dependent keys may collide: {}",
+        a.pdg_dump()
+    );
+}
+
+#[test]
+fn nosync_elides_the_lock_and_plain_self_keeps_it() {
+    let (table, _) = setup();
+    let c = Compiler::new(table);
+
+    let a = c.analyze(&source(true, "i")).unwrap();
+    let (_, plan) = c.compile(&a, Scheme::Doall, 4, SyncMode::Spin).unwrap();
+    assert!(
+        plan.locks.iter().all(|l| l.set != "TSET"),
+        "NoSync set must not be locked: {:?}",
+        plan.locks
+    );
+
+    let b = c.analyze(&source(false, "i")).unwrap();
+    let (_, plan) = c.compile(&b, Scheme::Doall, 4, SyncMode::Spin).unwrap();
+    assert!(
+        plan.locks.iter().any(|l| l.set == "TSET"),
+        "without NoSync the set synchronizes: {:?}",
+        plan.locks
+    );
+}
+
+#[test]
+fn keyed_puts_match_sequential_on_both_executors() {
+    let (table, registry) = setup();
+    let c = Compiler::new(table);
+    let a = c.analyze(&source(true, "i")).unwrap();
+    let cm = CostModel::default();
+
+    let seq_module = c.compile_sequential(&a).unwrap();
+    let mut seq_world = fresh_world();
+    run_sequential(&seq_module, &registry, &mut seq_world, &cm, "main");
+    let expected = seq_world.get::<Vec<i64>>("table").clone();
+
+    for scheme in [Scheme::Doall, Scheme::PsDswp] {
+        for threads in [2, 4, 8] {
+            let (module, plan) = c.compile(&a, scheme, threads, SyncMode::Lib).unwrap();
+            let mut world = fresh_world();
+            run_simulated(&module, &registry, std::slice::from_ref(&plan), &mut world, &cm);
+            assert_eq!(
+                world.get::<Vec<i64>>("table"),
+                &expected,
+                "{scheme} x{threads} simulated"
+            );
+
+            let out = run_threaded(&module, &registry, std::slice::from_ref(&plan), fresh_world());
+            assert_eq!(
+                out.world.get::<Vec<i64>>("table"),
+                &expected,
+                "{scheme} x{threads} real threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn invariant_key_refutes_the_predicate_across_iterations() {
+    let (table, _) = setup();
+    let c = Compiler::new(table);
+    // Every iteration uses key 7: k1 != k2 is false, nothing relaxes.
+    let src = r#"
+        #pragma CommSetDecl(TSET, Self)
+        #pragma CommSetPredicate(TSET, (k1), (k2), k1 != k2)
+        extern int work(int x);
+        extern void put(int k, int v);
+        int main() {
+            int n = 40;
+            int key = 7;
+            for (int i = 0; i < n; i = i + 1) {
+                int v = work(i);
+                #pragma CommSet(TSET(key))
+                { put(key, v); }
+            }
+            return 0;
+        }
+    "#;
+    let a = c.analyze(src).unwrap();
+    assert_eq!(a.relaxed_edges, 0, "{}", a.pdg_dump());
+    assert!(!a.doall_legal());
+}
+
+#[test]
+fn affine_key_offsets_still_prove_disjointness() {
+    let (table, _) = setup();
+    let c = Compiler::new(table);
+    // Interface-level membership: `put_keyed`'s commutativity is predicated
+    // on its first parameter; the call site binds it to `i + 1`, distinct
+    // across iterations because `i` is.
+    let src = r#"
+        #pragma CommSetDecl(TSET, Self)
+        #pragma CommSetPredicate(TSET, (k1), (k2), k1 != k2)
+        #pragma CommSetNoSync(TSET)
+        extern int work(int x);
+        extern void put(int k, int v);
+        #pragma CommSet(TSET(k))
+        void put_keyed(int k, int v) { put(k, v); }
+        int main() {
+            int n = 40;
+            for (int i = 0; i < n; i = i + 1) {
+                int v = work(i);
+                put_keyed(i + 1, v);
+            }
+            return 0;
+        }
+    "#;
+    let a = c.analyze(src).unwrap();
+    assert!(a.relaxed_edges > 0, "{}", a.pdg_dump());
+    assert!(a.doall_legal(), "{}", a.pdg_dump());
+}
+
+#[test]
+fn mismatched_affine_offsets_stay_conservative() {
+    let (table, _) = setup();
+    let c = Compiler::new(table);
+    // Two sites keyed `i` and `i + 1`: iteration j's second put and
+    // iteration j+1's first put share a key, so nothing may relax between
+    // them (i1 + 1 vs i2 with i1 != i2 is not decidable).
+    let src = r#"
+        #pragma CommSetDecl(TSET, Self)
+        #pragma CommSetPredicate(TSET, (k1), (k2), k1 != k2)
+        #pragma CommSetNoSync(TSET)
+        extern int work(int x);
+        extern void put(int k, int v);
+        #pragma CommSet(TSET(k))
+        void put_keyed(int k, int v) { put(k, v); }
+        int main() {
+            int n = 40;
+            for (int i = 0; i < n; i = i + 1) {
+                int v = work(i);
+                put_keyed(i, v);
+                put_keyed(i + 1, v);
+            }
+            return 0;
+        }
+    "#;
+    let a = c.analyze(src).unwrap();
+    assert!(
+        !a.doall_legal(),
+        "cross-site key collisions must survive: {}",
+        a.pdg_dump()
+    );
+}

@@ -1,0 +1,200 @@
+//! The `CommSetReduction` extension (paper §6: IPOT's reduction annotation
+//! "can be easily integrated with COMMSET"): accumulators privatize per
+//! context and merge at the join, lifting the live-out restriction.
+
+use commset::{Compiler, Scheme, SyncMode};
+use commset_interp::{run_sequential, run_simulated};
+use commset_ir::IntrinsicTable;
+use commset_lang::ast::Type;
+use commset_runtime::intrinsics::IntrinsicOutcome;
+use commset_runtime::{Registry, World};
+use commset_sim::CostModel;
+
+fn setup() -> (IntrinsicTable, Registry) {
+    let mut t = IntrinsicTable::new();
+    t.register("score", vec![Type::Int], Type::Int, &[], &[], 450);
+    let mut r = Registry::new();
+    r.register("score", |_, args| {
+        let x = args[0].as_int();
+        IntrinsicOutcome::value((x * 37 + 11) % 101)
+    });
+    (t, r)
+}
+
+const SUM_AND_MAX: &str = r#"
+    extern int score(int x);
+    int main() {
+        int n = 256;
+        int total = 0;
+        int best = -1000000;
+        #pragma CommSetReduction(total, +)
+        #pragma CommSetReduction(best, max)
+        for (int i = 0; i < n; i = i + 1) {
+            int s = score(i);
+            total += s;
+            if (s > best) { best = s; }
+        }
+        return total + best;
+    }
+"#;
+
+fn expected() -> i64 {
+    let mut total = 0i64;
+    let mut best = i64::MIN;
+    for i in 0..256 {
+        let s = (i * 37 + 11) % 101;
+        total += s;
+        best = best.max(s);
+    }
+    total + best
+}
+
+#[test]
+fn reductions_enable_doall_on_an_accumulating_loop() {
+    let (table, registry) = setup();
+    let compiler = Compiler::new(table);
+    let a = compiler.analyze(SUM_AND_MAX).unwrap();
+    assert!(
+        a.doall_legal(),
+        "reduction privatization removes the carried cycles: {}",
+        a.pdg_dump()
+    );
+    let cm = CostModel::default();
+    let seq_module = compiler.compile_sequential(&a).unwrap();
+    let mut w = World::new();
+    let seq = run_sequential(&seq_module, &registry, &mut w, &cm, "main");
+    assert_eq!(seq.result.unwrap().as_int(), expected());
+
+    for threads in [2, 4, 8] {
+        for sync in [SyncMode::Lib, SyncMode::Spin] {
+            let (module, plan) = compiler
+                .compile(&a, Scheme::Doall, threads, sync)
+                .unwrap();
+            assert!(plan.locks.iter().any(|l| l.set == "__reduction"));
+            let mut w = World::new();
+            let out = run_simulated(&module, &registry, &[plan], &mut w, &cm);
+            assert_eq!(
+                out.result.unwrap().as_int(),
+                expected(),
+                "DOALL x{threads} {sync}: merged total + best"
+            );
+        }
+    }
+}
+
+#[test]
+fn reductions_work_under_pipelines_too() {
+    let (table, registry) = setup();
+    let compiler = Compiler::new(table);
+    let a = compiler.analyze(SUM_AND_MAX).unwrap();
+    let cm = CostModel::default();
+    for scheme in [Scheme::Dswp, Scheme::PsDswp] {
+        let Ok((module, plan)) = compiler.compile(&a, scheme, 4, SyncMode::Lib) else {
+            continue;
+        };
+        let mut w = World::new();
+        let out = run_simulated(&module, &registry, &[plan], &mut w, &cm);
+        assert_eq!(out.result.unwrap().as_int(), expected(), "{scheme}");
+    }
+}
+
+#[test]
+fn reduction_speedup_scales() {
+    let (table, registry) = setup();
+    let compiler = Compiler::new(table);
+    let a = compiler.analyze(SUM_AND_MAX).unwrap();
+    let cm = CostModel::default();
+    let seq_module = compiler.compile_sequential(&a).unwrap();
+    let mut w = World::new();
+    let seq = run_sequential(&seq_module, &registry, &mut w, &cm, "main");
+    let (module, plan) = compiler.compile(&a, Scheme::Doall, 8, SyncMode::Lib).unwrap();
+    let mut w = World::new();
+    let par = run_simulated(&module, &registry, &[plan], &mut w, &cm);
+    let speedup = seq.sim_time as f64 / par.sim_time as f64;
+    assert!(speedup > 4.0, "got {speedup:.2}");
+}
+
+#[test]
+fn mismatched_update_forms_are_rejected() {
+    let (table, _) = setup();
+    let compiler = Compiler::new(table);
+    // `total -= s` does not match the declared `+` reduction.
+    let src = SUM_AND_MAX.replace("total += s;", "total -= s;");
+    let err = compiler.analyze(&src).unwrap_err();
+    assert!(err.message.contains("does not match"), "{err}");
+}
+
+#[test]
+fn observing_partial_sums_is_rejected() {
+    let (table, _) = setup();
+    let compiler = Compiler::new(table);
+    let src = SUM_AND_MAX.replace(
+        "if (s > best) { best = s; }",
+        "if (s > best) { best = s; }\n            int peek = total + 1;",
+    );
+    let err = compiler.analyze(&src).unwrap_err();
+    assert!(err.message.contains("partial sums"), "{err}");
+}
+
+#[test]
+fn reduction_on_non_loop_is_rejected() {
+    let (table, _) = setup();
+    let compiler = Compiler::new(table);
+    let src = r#"
+        int main() {
+            int total = 0;
+            #pragma CommSetReduction(total, +)
+            { total += 1; }
+            return total;
+        }
+    "#;
+    assert!(compiler.analyze(src).is_err());
+}
+
+#[test]
+fn undeclared_reduction_variable_is_rejected() {
+    let (table, _) = setup();
+    let compiler = Compiler::new(table);
+    let src = r#"
+        extern int score(int x);
+        int main() {
+            #pragma CommSetReduction(nope, +)
+            for (int i = 0; i < 4; i = i + 1) {
+                int s = score(i);
+            }
+            return 0;
+        }
+    "#;
+    assert!(compiler.analyze(src).is_err());
+}
+
+#[test]
+fn float_product_reduction() {
+    let mut t = IntrinsicTable::new();
+    t.register("factor", vec![Type::Int], Type::Float, &[], &[], 100);
+    let mut r = Registry::new();
+    r.register("factor", |_, args| {
+        IntrinsicOutcome::value(1.0 + (args[0].as_int() % 3) as f64 * 0.001)
+    });
+    let compiler = Compiler::new(t);
+    let src = r#"
+        extern float factor(int x);
+        int main() {
+            float p = 1.0;
+            #pragma CommSetReduction(p, *)
+            for (int i = 0; i < 16; i = i + 1) {
+                float f = factor(i);
+                p *= f;
+            }
+            if (p > 1.0) { return 1; }
+            return 0;
+        }
+    "#;
+    let a = compiler.analyze(src).unwrap();
+    assert!(a.doall_legal(), "{}", a.pdg_dump());
+    let cm = CostModel::default();
+    let (module, plan) = compiler.compile(&a, Scheme::Doall, 4, SyncMode::Lib).unwrap();
+    let mut w = World::new();
+    let out = run_simulated(&module, &r, &[plan], &mut w, &cm);
+    assert_eq!(out.result.unwrap().as_int(), 1, "product of >1 factors is >1");
+}

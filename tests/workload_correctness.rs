@@ -1,0 +1,105 @@
+//! Every workload × every scheme series × several thread counts must
+//! produce semantically valid results (each workload's validator runs
+//! inside `Workload::speedup`).
+
+use commset_sim::CostModel;
+use commset_workloads::all;
+
+#[test]
+fn all_workloads_validate_across_schemes_and_threads() {
+    let cm = CostModel::default();
+    for w in all() {
+        for spec in &w.schemes {
+            for threads in [2, 5, 8] {
+                // `speedup` panics if validation fails; `None` just means
+                // the scheme does not apply at this thread count.
+                let s = w.speedup(spec, threads, &cm);
+                if let Some(s) = s {
+                    assert!(
+                        s > 0.05,
+                        "{} {} x{threads}: implausible speedup {s}",
+                        w.name,
+                        spec.label
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_workload_beats_its_non_commset_baseline_at_eight_threads() {
+    let cm = CostModel::default();
+    for w in all() {
+        let (best, label) = w
+            .best_commset(8, &cm)
+            .unwrap_or_else(|| panic!("{}: no applicable COMMSET scheme", w.name));
+        let (noncomm, _) = w.best_noncomm(8, &cm);
+        assert!(
+            best > noncomm + 0.5,
+            "{}: COMMSET {best:.2} ({label}) must clearly beat non-COMMSET {noncomm:.2}",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn best_schemes_land_in_the_paper_ballpark() {
+    // The substrate is a simulator, not the authors' Xeon; we require the
+    // headline numbers to land within a generous band and the *winner* to
+    // be a sensible scheme.
+    let cm = CostModel::default();
+    for w in all() {
+        let (best, label) = w.best_commset(8, &cm).unwrap();
+        let paper = w.paper.best_speedup;
+        assert!(
+            best > paper * 0.55 && best < paper * 1.6,
+            "{}: best {best:.2} ({label}) vs paper {paper}",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn geomean_matches_the_headline_result() {
+    let cm = CostModel::default();
+    let mut geo = 1.0f64;
+    let mut geo_non = 1.0f64;
+    let mut n = 0u32;
+    for w in all() {
+        geo *= w.best_commset(8, &cm).unwrap().0;
+        geo_non *= w.best_noncomm(8, &cm).0;
+        n += 1;
+    }
+    let geo = geo.powf(1.0 / f64::from(n));
+    let geo_non = geo_non.powf(1.0 / f64::from(n));
+    assert!(
+        (4.5..7.2).contains(&geo),
+        "geomean {geo:.2} should reproduce the paper's 5.7x"
+    );
+    assert!(
+        geo_non < 2.0,
+        "non-COMMSET geomean {geo_non:.2} should reproduce the paper's 1.49x"
+    );
+}
+
+#[test]
+fn workload_metadata_is_consistent() {
+    for w in all() {
+        assert!(w.annotation_count() > 0, "{}", w.name);
+        assert!(w.sloc() > 10, "{}", w.name);
+        assert!(!w.variants.is_empty());
+        assert!(!w.schemes.is_empty());
+        // Primary variants must analyze cleanly.
+        for v in 0..w.variants.len() {
+            w.analyze(v)
+                .unwrap_or_else(|e| panic!("{} variant {v}: {e}", w.name));
+        }
+        // The stripped source is pragma-free and still analyzes.
+        let plain = w.plain_source();
+        assert!(!plain.contains("#pragma"));
+        w.compiler()
+            .analyze(&plain)
+            .unwrap_or_else(|e| panic!("{} plain: {e}", w.name));
+    }
+}
