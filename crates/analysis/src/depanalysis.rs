@@ -106,9 +106,7 @@ pub fn analyze_commutativity(pdg: &mut Pdg, managed: &ManagedUnit, hot: &HotLoop
                 (Some(CommAnnotation::Uco), _) => Some(CommAnnotation::Uco),
                 (None, a) => a,
                 (b, None) => b,
-                (Some(CommAnnotation::Ico), Some(CommAnnotation::Ico)) => {
-                    Some(CommAnnotation::Ico)
-                }
+                (Some(CommAnnotation::Ico), Some(CommAnnotation::Ico)) => Some(CommAnnotation::Ico),
             };
             if best == Some(CommAnnotation::Uco) {
                 break;
@@ -347,15 +345,30 @@ mod tests {
         let written: BTreeSet<&String> = BTreeSet::new();
         let iv = Some("i");
         // Same iv + same offset: distinct across iterations.
-        assert_eq!(relation(&e("i + 1"), &e("i + 1"), true, iv, &written), Rel::Ne);
-        assert_eq!(relation(&e("i - 2"), &e("i - 2"), true, iv, &written), Rel::Ne);
-        assert_eq!(relation(&e("1 + i"), &e("i + 1"), true, iv, &written), Rel::Ne);
+        assert_eq!(
+            relation(&e("i + 1"), &e("i + 1"), true, iv, &written),
+            Rel::Ne
+        );
+        assert_eq!(
+            relation(&e("i - 2"), &e("i - 2"), true, iv, &written),
+            Rel::Ne
+        );
+        assert_eq!(
+            relation(&e("1 + i"), &e("i + 1"), true, iv, &written),
+            Rel::Ne
+        );
         // Same iv + different offsets, carried: may collide across
         // iterations (i1 + 1 == i2 when i2 = i1 + 1).
-        assert_eq!(relation(&e("i"), &e("i + 1"), true, iv, &written), Rel::Unknown);
+        assert_eq!(
+            relation(&e("i"), &e("i + 1"), true, iv, &written),
+            Rel::Unknown
+        );
         // ... but within one iteration the offset decides.
         assert_eq!(relation(&e("i"), &e("i + 1"), false, iv, &written), Rel::Ne);
-        assert_eq!(relation(&e("i + 3"), &e("i + 3"), false, iv, &written), Rel::Eq);
+        assert_eq!(
+            relation(&e("i + 3"), &e("i + 3"), false, iv, &written),
+            Rel::Eq
+        );
         // Loop-invariant base: fixed value, offsets decide in all cases.
         let k = "k".to_string();
         let inv: BTreeSet<&String> = BTreeSet::new();
@@ -363,18 +376,42 @@ mod tests {
         assert_eq!(relation(&e("k + 2"), &e("k + 2"), true, iv, &inv), Rel::Eq);
         // Rewritten base: nothing is known.
         let w: BTreeSet<&String> = [&k].into_iter().collect();
-        assert_eq!(relation(&e("k + 1"), &e("k + 1"), false, iv, &w), Rel::Unknown);
+        assert_eq!(
+            relation(&e("k + 1"), &e("k + 1"), false, iv, &w),
+            Rel::Unknown
+        );
         // Literals.
         assert_eq!(relation(&e("3"), &e("4"), true, iv, &written), Rel::Ne);
         assert_eq!(relation(&e("5"), &e("5"), true, iv, &written), Rel::Eq);
         // Non-affine forms stay unknown.
-        assert_eq!(relation(&e("i * 2"), &e("i * 2"), true, iv, &written), Rel::Unknown);
+        assert_eq!(
+            relation(&e("i * 2"), &e("i * 2"), true, iv, &written),
+            Rel::Unknown
+        );
     }
 
     mod relation_soundness {
         use super::super::*;
         use commset_lang::ast::Expr;
-        use proptest::prelude::*;
+
+        /// Minimal SplitMix64 (the analysis crate has no runtime dep, so the
+        /// generator is inlined — 10 lines beats a dependency edge).
+        struct Rng(u64);
+        impl Rng {
+            fn next_u64(&mut self) -> u64 {
+                self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = self.0;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            }
+            fn below(&mut self, n: u64) -> u64 {
+                self.next_u64() % n
+            }
+            fn irange(&mut self, lo: i64, hi: i64) -> i64 {
+                lo + self.below((hi - lo) as u64) as i64
+            }
+        }
 
         #[derive(Debug, Clone, Copy)]
         enum Base {
@@ -414,26 +451,28 @@ mod tests {
             }
         }
 
-        fn arb_base() -> impl Strategy<Value = Base> {
-            prop_oneof![
-                Just(Base::Iv),
-                Just(Base::Inv),
-                (0i64..20).prop_map(Base::Lit),
-            ]
+        fn arb_base(g: &mut Rng) -> Base {
+            match g.below(3) {
+                0 => Base::Iv,
+                1 => Base::Inv,
+                _ => Base::Lit(g.irange(0, 20)),
+            }
         }
 
-        proptest! {
-            /// `relation()`'s `Eq`/`Ne` claims must hold for every concrete
-            /// valuation consistent with the edge: loop-invariant `k` and
-            /// same-iteration `i` agree across both bindings; carried edges
-            /// bind `i` to two *different* iterations.
-            #[test]
-            fn claims_hold_on_concrete_valuations(
-                base_a in arb_base(), off_a in -5i64..6,
-                base_b in arb_base(), off_b in -5i64..6,
-                carried in any::<bool>(),
-                i1 in -50i64..50, delta in 1i64..100, k in -50i64..50,
-            ) {
+        /// `relation()`'s `Eq`/`Ne` claims must hold for every concrete
+        /// valuation consistent with the edge: loop-invariant `k` and
+        /// same-iteration `i` agree across both bindings; carried edges
+        /// bind `i` to two *different* iterations.
+        #[test]
+        fn claims_hold_on_concrete_valuations() {
+            let mut g = Rng(0x00ce_55e7_0009);
+            for _ in 0..512 {
+                let (base_a, off_a) = (arb_base(&mut g), g.irange(-5, 6));
+                let (base_b, off_b) = (arb_base(&mut g), g.irange(-5, 6));
+                let carried = g.below(2) == 1;
+                let i1 = g.irange(-50, 50);
+                let delta = g.irange(1, 100);
+                let k = g.irange(-50, 50);
                 let ea = expr_of(base_a, off_a);
                 let eb = expr_of(base_b, off_b);
                 let written: BTreeSet<&String> = BTreeSet::new();
@@ -442,8 +481,12 @@ mod tests {
                 let va = value_of(base_a, off_a, i1, k);
                 let vb = value_of(base_b, off_b, i2, k);
                 match rel {
-                    Rel::Eq => prop_assert_eq!(va, vb, "claimed Eq"),
-                    Rel::Ne => prop_assert_ne!(va, vb, "claimed Ne"),
+                    Rel::Eq => {
+                        assert_eq!(va, vb, "claimed Eq: {ea:?} vs {eb:?} (carried={carried})")
+                    }
+                    Rel::Ne => {
+                        assert_ne!(va, vb, "claimed Ne: {ea:?} vs {eb:?} (carried={carried})")
+                    }
                     Rel::Unknown => {}
                 }
             }

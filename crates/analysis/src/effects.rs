@@ -5,8 +5,8 @@
 //! direct global accesses, its intrinsics' declared channels, and its
 //! callees' footprints — a simple fixpoint over the call graph.
 
-use commset_lang::ast::*;
 use commset_ir::IntrinsicTable;
+use commset_lang::ast::*;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// An abstract memory location visible across function boundaries.
@@ -61,10 +61,7 @@ impl FuncEffects {
 ///
 /// Unknown callees (neither program functions nor registered intrinsics)
 /// are treated as touching the conservative `WORLD` channel.
-pub fn summarize(
-    program: &Program,
-    intrinsics: &IntrinsicTable,
-) -> HashMap<String, FuncEffects> {
+pub fn summarize(program: &Program, intrinsics: &IntrinsicTable) -> HashMap<String, FuncEffects> {
     let globals: HashMap<String, bool> = program
         .items
         .iter()
@@ -111,14 +108,12 @@ pub fn summarize(
             }
             stmt_exprs(s, &mut |e| {
                 walk_expr(e, &mut |x| match &x.kind {
-                    ExprKind::Var(n)
-                        if !locals.contains(n) && globals.contains_key(n) => {
-                            fx.reads.insert(Location::Global(n.clone()));
-                        }
-                    ExprKind::Index(n, _)
-                        if !locals.contains(n) && globals.contains_key(n) => {
-                            fx.reads.insert(Location::GlobalArray(n.clone()));
-                        }
+                    ExprKind::Var(n) if !locals.contains(n) && globals.contains_key(n) => {
+                        fx.reads.insert(Location::Global(n.clone()));
+                    }
+                    ExprKind::Index(n, _) if !locals.contains(n) && globals.contains_key(n) => {
+                        fx.reads.insert(Location::GlobalArray(n.clone()));
+                    }
                     ExprKind::Call(n, _) => {
                         callees.insert(n.clone());
                     }
@@ -247,7 +242,8 @@ fn var_only_assigned_fresh(
     walk_stmts(&f.body, &mut |s| match &s.kind {
         StmtKind::Assign { target, value, .. } if target.name() == v => {
             writes += 1;
-            all_fresh &= matches!(&value.kind, ExprKind::Call(n, _) if call_is_fresh(n, intrinsics, fresh));
+            all_fresh &=
+                matches!(&value.kind, ExprKind::Call(n, _) if call_is_fresh(n, intrinsics, fresh));
         }
         StmtKind::VarDecl {
             name,
@@ -255,7 +251,8 @@ fn var_only_assigned_fresh(
             ..
         } if name == v => {
             writes += 1;
-            all_fresh &= matches!(&init.kind, ExprKind::Call(n, _) if call_is_fresh(n, intrinsics, fresh));
+            all_fresh &=
+                matches!(&init.kind, ExprKind::Call(n, _) if call_is_fresh(n, intrinsics, fresh));
         }
         _ => {}
     });
@@ -289,14 +286,24 @@ mod tests {
         assert!(fresh.contains("wrap"));
         assert!(fresh.contains("wrap2"), "fixpoint through wrappers");
         assert!(!fresh.contains("not_fresh"));
-        assert!(!fresh.contains("mixed"), "a non-fresh assignment disqualifies");
+        assert!(
+            !fresh.contains("mixed"),
+            "a non-fresh assignment disqualifies"
+        );
         assert!(!fresh.contains("main"));
     }
 
     fn table() -> IntrinsicTable {
         let mut t = IntrinsicTable::new();
         t.register("rng_next", vec![], Type::Int, &["SEED"], &["SEED"], 10);
-        t.register("print_val", vec![Type::Int], Type::Void, &[], &["CONSOLE"], 5);
+        t.register(
+            "print_val",
+            vec![Type::Int],
+            Type::Void,
+            &[],
+            &["CONSOLE"],
+            5,
+        );
         t
     }
 
@@ -324,7 +331,9 @@ mod tests {
         let s = summ(
             "extern int rng_next(); int helper() { return rng_next(); } int main() { return helper(); }",
         );
-        assert!(s["helper"].writes.contains(&Location::Channel("SEED".into())));
+        assert!(s["helper"]
+            .writes
+            .contains(&Location::Channel("SEED".into())));
         assert!(s["main"].writes.contains(&Location::Channel("SEED".into())));
     }
 
@@ -340,13 +349,17 @@ mod tests {
     #[test]
     fn unregistered_extern_is_conservative() {
         let s = summ("extern void mystery(); int main() { mystery(); return 0; }");
-        assert!(s["main"].writes.contains(&Location::Channel("WORLD".into())));
+        assert!(s["main"]
+            .writes
+            .contains(&Location::Channel("WORLD".into())));
     }
 
     #[test]
     fn global_arrays_are_one_location() {
         let s = summ("int a[8]; int main() { a[0] = 1; return a[1]; }");
-        assert!(s["main"].writes.contains(&Location::GlobalArray("a".into())));
+        assert!(s["main"]
+            .writes
+            .contains(&Location::GlobalArray("a".into())));
         assert!(s["main"].reads.contains(&Location::GlobalArray("a".into())));
     }
 }

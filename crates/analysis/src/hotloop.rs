@@ -176,7 +176,10 @@ pub fn find_hot_loop(
             _ => None,
         })
         .ok_or_else(|| {
-            Diagnostic::global(Phase::Commset, format!("no function `{func}` to parallelize"))
+            Diagnostic::global(
+                Phase::Commset,
+                format!("no function `{func}` to parallelize"),
+            )
         })?;
     let loop_stmt = f
         .body
@@ -309,20 +312,31 @@ pub fn find_hot_loop(
                 StmtKind::Assign {
                     target: LValue::Var(name, _),
                     op: AssignOp::Set,
-                    value: Expr { kind: ExprKind::Call(f, _), .. },
+                    value:
+                        Expr {
+                            kind: ExprKind::Call(f, _),
+                            ..
+                        },
                 } if name == v => is_fresh_call(f),
                 StmtKind::VarDecl {
                     name,
-                    init: Some(Expr { kind: ExprKind::Call(f, _), .. }),
+                    init:
+                        Some(Expr {
+                            kind: ExprKind::Call(f, _),
+                            ..
+                        }),
                     ..
                 } if name == v => is_fresh_call(f),
                 _ => false,
             };
-            handle_writers.entry(v.clone()).or_default().push(HandleWrite {
-                pos,
-                fresh,
-                must: body[pos].must_writes.contains(v),
-            });
+            handle_writers
+                .entry(v.clone())
+                .or_default()
+                .push(HandleWrite {
+                    pos,
+                    fresh,
+                    must: body[pos].must_writes.contains(v),
+                });
         }
     }
 
@@ -331,7 +345,10 @@ pub fn find_hot_loop(
     for r in &loop_stmt.reductions {
         if cond_reads.contains(&r.var) {
             return Err(err(
-                format!("reduction variable `{}` cannot steer the loop condition", r.var),
+                format!(
+                    "reduction variable `{}` cannot steer the loop condition",
+                    r.var
+                ),
                 r.span,
             ));
         }
@@ -385,27 +402,56 @@ fn is_reduction_update(s: &Stmt, var: &str, op: ReductionOp) -> bool {
         !reads.contains(var)
     };
     match (&s.kind, op) {
-        (StmtKind::Assign { target: LValue::Var(v, _), op: AssignOp::Add, value }, ReductionOp::Add)
-            if v == var => rhs_avoids_var(value),
-        (StmtKind::Assign { target: LValue::Var(v, _), op: AssignOp::Mul, value }, ReductionOp::Mul)
-            if v == var => rhs_avoids_var(value),
-        (StmtKind::Assign { target: LValue::Var(v, _), op: AssignOp::Set, value }, ReductionOp::Add)
-            if v == var =>
-        {
+        (
+            StmtKind::Assign {
+                target: LValue::Var(v, _),
+                op: AssignOp::Add,
+                value,
+            },
+            ReductionOp::Add,
+        ) if v == var => rhs_avoids_var(value),
+        (
+            StmtKind::Assign {
+                target: LValue::Var(v, _),
+                op: AssignOp::Mul,
+                value,
+            },
+            ReductionOp::Mul,
+        ) if v == var => rhs_avoids_var(value),
+        (
+            StmtKind::Assign {
+                target: LValue::Var(v, _),
+                op: AssignOp::Set,
+                value,
+            },
+            ReductionOp::Add,
+        ) if v == var => {
             matches!(&value.kind,
                 ExprKind::Binary(BinOp::Add, a, b)
                     if (matches!(&a.kind, ExprKind::Var(x) if x == var) && rhs_avoids_var(b))
                         || (matches!(&b.kind, ExprKind::Var(x) if x == var) && rhs_avoids_var(a)))
         }
-        (StmtKind::Assign { target: LValue::Var(v, _), op: AssignOp::Set, value }, ReductionOp::Mul)
-            if v == var =>
-        {
+        (
+            StmtKind::Assign {
+                target: LValue::Var(v, _),
+                op: AssignOp::Set,
+                value,
+            },
+            ReductionOp::Mul,
+        ) if v == var => {
             matches!(&value.kind,
                 ExprKind::Binary(BinOp::Mul, a, b)
                     if (matches!(&a.kind, ExprKind::Var(x) if x == var) && rhs_avoids_var(b))
                         || (matches!(&b.kind, ExprKind::Var(x) if x == var) && rhs_avoids_var(a)))
         }
-        (StmtKind::If { cond, then_branch, else_branch: None }, ReductionOp::Max | ReductionOp::Min) => {
+        (
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch: None,
+            },
+            ReductionOp::Max | ReductionOp::Min,
+        ) => {
             let guard_ok = match (&cond.kind, op) {
                 (ExprKind::Binary(BinOp::Gt, a, b), ReductionOp::Max)
                 | (ExprKind::Binary(BinOp::Lt, a, b), ReductionOp::Min) => {
@@ -461,7 +507,10 @@ fn classify_for(
     let ExprKind::Binary(cmp, lhs, rhs) = &cond.kind else {
         return None;
     };
-    if !matches!(cmp, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Ne) {
+    if !matches!(
+        cmp,
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Ne
+    ) {
         return None;
     }
     let (cmp, bound) = match (&lhs.kind, &rhs.kind) {
@@ -474,17 +523,29 @@ fn classify_for(
         StmtKind::Assign {
             target: LValue::Var(n, _),
             op: AssignOp::Add,
-            value: Expr { kind: ExprKind::IntLit(c), .. },
+            value:
+                Expr {
+                    kind: ExprKind::IntLit(c),
+                    ..
+                },
         } if *n == iv => *c,
         StmtKind::Assign {
             target: LValue::Var(n, _),
             op: AssignOp::Sub,
-            value: Expr { kind: ExprKind::IntLit(c), .. },
+            value:
+                Expr {
+                    kind: ExprKind::IntLit(c),
+                    ..
+                },
         } if *n == iv => -*c,
         StmtKind::Assign {
             target: LValue::Var(n, _),
             op: AssignOp::Set,
-            value: Expr { kind: ExprKind::Binary(op, a, b), .. },
+            value:
+                Expr {
+                    kind: ExprKind::Binary(op, a, b),
+                    ..
+                },
         } if *n == iv => match (op, &a.kind, &b.kind) {
             (BinOp::Add, ExprKind::Var(v), ExprKind::IntLit(c)) if *v == iv => *c,
             (BinOp::Add, ExprKind::IntLit(c), ExprKind::Var(v)) if *v == iv => *c,
@@ -540,10 +601,9 @@ fn flip(op: BinOp) -> BinOp {
 
 fn check_ctl(s: &Stmt, depth: &mut u32, bad: &mut Option<Span>) {
     match &s.kind {
-        StmtKind::Break | StmtKind::Continue
-            if *depth == 0 && bad.is_none() => {
-                *bad = Some(s.span);
-            }
+        StmtKind::Break | StmtKind::Continue if *depth == 0 && bad.is_none() => {
+            *bad = Some(s.span);
+        }
         StmtKind::While { body, .. } => {
             *depth += 1;
             check_ctl(body, depth, bad);
@@ -646,7 +706,8 @@ fn analyze_stmt(
     if let StmtKind::VarDecl { name, .. } = &s.kind {
         declared.remove(name);
     }
-    let is_scalar_local = |n: &str| !globals.contains_key(n) && !body_arrays.contains(n) && !outer_arrays.contains(n);
+    let is_scalar_local =
+        |n: &str| !globals.contains_key(n) && !body_arrays.contains(n) && !outer_arrays.contains(n);
 
     // Statement-private handle aliases (e.g. an inlined callee's renamed
     // parameter `handle __inl0_fp = fp;`): resolve instance attribution
@@ -656,16 +717,19 @@ fn analyze_stmt(
     walk_sub(s, &mut |x| match &x.kind {
         StmtKind::VarDecl {
             name,
-            init: Some(Expr { kind: ExprKind::Var(src), .. }),
+            init:
+                Some(Expr {
+                    kind: ExprKind::Var(src),
+                    ..
+                }),
             ..
         } if declared.contains(name) => {
             alias.insert(name.clone(), src.clone());
             *private_write_counts.entry(name.clone()).or_insert(0) += 1;
         }
-        StmtKind::VarDecl { name, init, .. } if declared.contains(name)
-            && init.is_some() => {
-                *private_write_counts.entry(name.clone()).or_insert(0) += 1;
-            }
+        StmtKind::VarDecl { name, init, .. } if declared.contains(name) && init.is_some() => {
+            *private_write_counts.entry(name.clone()).or_insert(0) += 1;
+        }
         StmtKind::Assign { target, .. } if declared.contains(target.name()) => {
             *private_write_counts
                 .entry(target.name().to_string())
@@ -690,7 +754,12 @@ fn analyze_stmt(
     let mut must_writes = BTreeSet::new();
     let mut mem: Vec<MemAccess> = Vec::new();
     let mut weight: u64 = 0;
-    if let StmtKind::VarDecl { name, init: Some(_), .. } = &s.kind {
+    if let StmtKind::VarDecl {
+        name,
+        init: Some(_),
+        ..
+    } = &s.kind
+    {
         if is_scalar_local(name) {
             reg_writes.insert(name.clone());
         }
@@ -699,10 +768,15 @@ fn analyze_stmt(
     // Direct must-writes: unconditional top-level assignment.
     match &s.kind {
         StmtKind::Assign { target, .. }
-            if is_scalar_local(target.name()) && matches!(target, LValue::Var(..)) => {
-                must_writes.insert(target.name().to_string());
-            }
-        StmtKind::VarDecl { name, init: Some(_), .. } => {
+            if is_scalar_local(target.name()) && matches!(target, LValue::Var(..)) =>
+        {
+            must_writes.insert(target.name().to_string());
+        }
+        StmtKind::VarDecl {
+            name,
+            init: Some(_),
+            ..
+        } => {
             must_writes.insert(name.clone());
         }
         StmtKind::Block(b) => {
@@ -794,17 +868,16 @@ fn analyze_stmt(
                         reg_reads.insert(n.clone());
                     }
                 }
-                ExprKind::Index(n, _)
-                    if !declared.contains(n) => {
-                        let (loc, priv_) = array_loc(n, globals, body_arrays);
-                        mem.push(MemAccess {
-                            loc,
-                            write: false,
-                            via: None,
-                            iter_private: priv_,
-                            instance: None,
-                        });
-                    }
+                ExprKind::Index(n, _) if !declared.contains(n) => {
+                    let (loc, priv_) = array_loc(n, globals, body_arrays);
+                    mem.push(MemAccess {
+                        loc,
+                        write: false,
+                        via: None,
+                        iter_private: priv_,
+                        instance: None,
+                    });
+                }
                 ExprKind::Call(name, args) => {
                     let call = CallRef {
                         callee: name.clone(),
@@ -815,9 +888,8 @@ fn analyze_stmt(
                     // variable does this call target? Attribution follows
                     // the callee's first handle-typed parameter (regions
                     // and intrinsics alike pass the instance there).
-                    let handle_param_pos = |param_tys: &[Type]| {
-                        param_tys.iter().position(|t| *t == Type::Handle)
-                    };
+                    let handle_param_pos =
+                        |param_tys: &[Type]| param_tys.iter().position(|t| *t == Type::Handle);
                     let instance_of = |pos: Option<usize>| -> Option<String> {
                         let p = pos?;
                         match args.get(p).map(|a| &a.kind) {
@@ -827,12 +899,9 @@ fn analyze_stmt(
                     };
                     if let Some(fx) = summaries.get(name) {
                         weight += 20;
-                        let inst = instance_of(
-                            sigs.get(name)
-                                .and_then(|s| handle_param_pos(
-                                    &s.params.iter().map(|(_, t)| *t).collect::<Vec<_>>()
-                                )),
-                        );
+                        let inst = instance_of(sigs.get(name).and_then(|s| {
+                            handle_param_pos(&s.params.iter().map(|(_, t)| *t).collect::<Vec<_>>())
+                        }));
                         let instance_for = |loc: &Location| -> Option<String> {
                             match loc {
                                 Location::Channel(c) if intrinsics.is_per_instance_name(c) => {
@@ -937,10 +1006,7 @@ fn array_loc(
     if globals.contains_key(n) {
         (Location::GlobalArray(n.to_string()), false)
     } else {
-        (
-            Location::LocalArray(n.to_string()),
-            body_arrays.contains(n),
-        )
+        (Location::LocalArray(n.to_string()), body_arrays.contains(n))
     }
 }
 
@@ -970,7 +1036,14 @@ mod tests {
             &["CONSOLE"],
             40,
         );
-        table.register("ll_next", vec![Type::Handle], Type::Handle, &["GRAPH"], &[], 10);
+        table.register(
+            "ll_next",
+            vec![Type::Handle],
+            Type::Handle,
+            &["GRAPH"],
+            &[],
+            10,
+        );
         let unit = commset_lang::compile_unit(src).unwrap();
         let managed = manage(unit).unwrap();
         let summaries = crate::effects::summarize(&managed.program, &table);
@@ -1013,10 +1086,7 @@ mod tests {
             .mem
             .iter()
             .any(|a| a.loc == Location::Channel("FS".into()) && a.write));
-        assert_eq!(
-            open.mem[0].via.as_ref().unwrap().callee,
-            "fs_open"
-        );
+        assert_eq!(open.mem[0].via.as_ref().unwrap().callee, "fs_open");
         assert!(open.reg_writes.contains("fp"));
         let digest = &hot.body[2];
         assert!(digest.reg_reads.contains("d"));

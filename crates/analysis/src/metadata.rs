@@ -319,7 +319,10 @@ impl Manager {
             self.outline_stmt(stmt, scopes, in_func, new_funcs, next_stmt_id)?;
             // Record declarations so later siblings see them.
             if let StmtKind::VarDecl {
-                name, ty, array_len, ..
+                name,
+                ty,
+                array_len,
+                ..
             } = &stmt.kind
             {
                 scopes
@@ -362,7 +365,10 @@ impl Manager {
                 scopes.push(HashMap::new());
                 if let Some(i) = init {
                     if let StmtKind::VarDecl {
-                        name, ty, array_len, ..
+                        name,
+                        ty,
+                        array_len,
+                        ..
                     } = &i.kind
                     {
                         scopes
@@ -553,7 +559,9 @@ impl Manager {
         let mut out = Vec::new();
         for inst in &stmt.instances {
             let set = match &inst.set {
-                SetRef::SelfImplicit => self.fresh_self_set(&format!("clone_{}", stmt.id.0), inst.span),
+                SetRef::SelfImplicit => {
+                    self.fresh_self_set(&format!("clone_{}", stmt.id.0), inst.span)
+                }
                 SetRef::Named(n) => self
                     .commsets
                     .iter()
@@ -602,10 +610,9 @@ impl Manager {
                 if s1 == s2 {
                     continue;
                 }
-                let reach = m1s.iter().any(|a| {
-                    m2s.iter()
-                        .any(|b| cg.calls_transitively(&a.func, &b.func))
-                });
+                let reach = m1s
+                    .iter()
+                    .any(|a| m2s.iter().any(|b| cg.calls_transitively(&a.func, &b.func)));
                 if reach {
                     entry.insert(self.commsets[s2.0 as usize].name.clone());
                 }
@@ -751,14 +758,25 @@ fn inline_in_one(
 fn stmt_calls(stmt: &Stmt, name: &str) -> bool {
     match &stmt.kind {
         StmtKind::VarDecl {
-            init: Some(Expr { kind: ExprKind::Call(n, _), .. }),
+            init:
+                Some(Expr {
+                    kind: ExprKind::Call(n, _),
+                    ..
+                }),
             ..
         } => n == name,
         StmtKind::Assign {
-            value: Expr { kind: ExprKind::Call(n, _), .. },
+            value:
+                Expr {
+                    kind: ExprKind::Call(n, _),
+                    ..
+                },
             ..
         } => n == name,
-        StmtKind::ExprStmt(Expr { kind: ExprKind::Call(n, _), .. }) => n == name,
+        StmtKind::ExprStmt(Expr {
+            kind: ExprKind::Call(n, _),
+            ..
+        }) => n == name,
         _ => false,
     }
 }
@@ -892,7 +910,10 @@ fn inline_call_stmt(
     if let Some((name, ty, is_decl)) = binding {
         let e = ret_expr.ok_or_else(|| {
             err(
-                format!("`{}` must end with `return` to be inlined here", callee.name),
+                format!(
+                    "`{}` must end with `return` to be inlined here",
+                    callee.name
+                ),
                 add.span,
             )
         })?;
@@ -1120,14 +1141,12 @@ fn free_vars(block: &Block) -> (BTreeSet<String>, BTreeSet<String>, BTreeSet<Str
             }
             stmt_exprs(x, &mut |e| {
                 walk_expr(e, &mut |y| match &y.kind {
-                    ExprKind::Var(n)
-                        if !declared.contains(n) => {
-                            reads.insert(n.clone());
-                        }
-                    ExprKind::Index(n, _)
-                        if !declared.contains(n) => {
-                            arrays.insert(n.clone());
-                        }
+                    ExprKind::Var(n) if !declared.contains(n) => {
+                        reads.insert(n.clone());
+                    }
+                    ExprKind::Index(n, _) if !declared.contains(n) => {
+                        arrays.insert(n.clone());
+                    }
                     _ => {}
                 });
             });

@@ -270,9 +270,7 @@ impl Pdg {
                         // (including self loops), unless the location is
                         // iteration-private (body-local array or fresh
                         // per-iteration instance).
-                        if a <= b
-                            && !(acc_a.iter_private || acc_b.iter_private)
-                            && !instance_fresh
+                        if a <= b && !(acc_a.iter_private || acc_b.iter_private) && !instance_fresh
                         {
                             edges.push(PdgEdge {
                                 src: NodeId(b + 1),
@@ -332,7 +330,10 @@ impl Pdg {
     /// Loop-carried edges still effective after relaxation, for the
     /// "explain what inhibits parallelism" diagnostics.
     pub fn inhibitors(&self) -> Vec<&PdgEdge> {
-        self.edges.iter().filter(|e| e.effective_carried()).collect()
+        self.edges
+            .iter()
+            .filter(|e| e.effective_carried())
+            .collect()
     }
 
     /// A compact multi-line dump used in tests and diagnostics.
@@ -478,11 +479,15 @@ mod tests {
         // v's first write feeds w's stmt (S0 -> S1) but NOT z's stmt (S3):
         // S2 must-writes v in between.
         let s0_to_s1 = pdg.edges.iter().any(|e| {
-            e.src == NodeId(1) && e.dst == NodeId(2) && !e.carried
+            e.src == NodeId(1)
+                && e.dst == NodeId(2)
+                && !e.carried
                 && matches!(&e.kind, DepKind::RegFlow(v) if v == "v")
         });
         let s0_to_s3 = pdg.edges.iter().any(|e| {
-            e.src == NodeId(1) && e.dst == NodeId(4) && !e.carried
+            e.src == NodeId(1)
+                && e.dst == NodeId(4)
+                && !e.carried
                 && matches!(&e.kind, DepKind::RegFlow(v) if v == "v")
         });
         assert!(s0_to_s1, "{}", pdg.dump());
@@ -567,7 +572,14 @@ mod tests {
         let mut table = IntrinsicTable::new();
         table.register("alloc", vec![Type::Int], Type::Handle, &[], &["META"], 20);
         table.mark_fresh_handle("alloc");
-        table.register("use_obj", vec![Type::Handle], Type::Int, &["DATA"], &["DATA"], 100);
+        table.register(
+            "use_obj",
+            vec![Type::Handle],
+            Type::Int,
+            &["DATA"],
+            &["DATA"],
+            100,
+        );
         table.mark_per_instance("DATA");
         let unit = commset_lang::compile_unit(
             r#"
@@ -593,7 +605,11 @@ mod tests {
             e.carried
                 && matches!(&e.kind, DepKind::Memory { loc: Location::Channel(c), .. } if c == "DATA")
         });
-        assert!(carried_data, "conditional rebinding keeps the conflict: {}", pdg.dump());
+        assert!(
+            carried_data,
+            "conditional rebinding keeps the conflict: {}",
+            pdg.dump()
+        );
     }
 
     #[test]

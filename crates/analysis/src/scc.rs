@@ -192,7 +192,10 @@ mod tests {
 
     #[test]
     fn cycle_collapses_into_one_component() {
-        let pdg = mk_pdg(4, &[(0, 1, false), (1, 2, false), (2, 1, true), (2, 3, false)]);
+        let pdg = mk_pdg(
+            4,
+            &[(0, 1, false), (1, 2, false), (2, 1, true), (2, 3, false)],
+        );
         let dag = dag_scc(&pdg);
         assert_eq!(dag.len(), 3);
         let c1 = dag.comp_of[1];

@@ -147,7 +147,11 @@ fn eval_bool(e: &Expr, env: &HashMap<&str, SVal>, rels: &[Rel]) -> Tri {
         ExprKind::Unary(UnOp::Not, a) => eval_bool(a, env, rels).not(),
         ExprKind::Binary(BinOp::And, a, b) => eval_bool(a, env, rels).and(eval_bool(b, env, rels)),
         ExprKind::Binary(BinOp::Or, a, b) => eval_bool(a, env, rels).or(eval_bool(b, env, rels)),
-        ExprKind::Binary(op @ (BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge), a, b) => {
+        ExprKind::Binary(
+            op @ (BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge),
+            a,
+            b,
+        ) => {
             let va = eval_val(a, env, rels);
             let vb = eval_val(b, env, rels);
             compare(*op, va, vb, rels)

@@ -1,49 +1,48 @@
-//! Criterion benches of the compiler itself: front end, full analysis
-//! (metadata manager + PDG + Algorithm 1), and each transform, measured on
-//! the md5sum workload source.
+//! Benches of the compiler itself: front end, full analysis (metadata
+//! manager + PDG + Algorithm 1), and each transform, measured on the
+//! md5sum workload source. Self-harnessed (no external bench crates).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use commset_bench::timing::bench;
 use std::hint::black_box;
 
-fn bench_phases(c: &mut Criterion) {
+fn main() {
     let w = commset_workloads::md5sum::workload();
     let src = w.variants[0].clone();
     let compiler = w.compiler();
 
-    c.bench_function("frontend_parse_and_check", |b| {
-        b.iter(|| commset_lang::compile_unit(black_box(&src)).unwrap())
+    bench("frontend_parse_and_check", 3, 20, || {
+        commset_lang::compile_unit(black_box(&src)).unwrap()
     });
 
-    c.bench_function("analysis_full_pipeline", |b| {
-        b.iter(|| compiler.analyze(black_box(&src)).unwrap())
+    bench("analysis_full_pipeline", 3, 20, || {
+        compiler.analyze(black_box(&src)).unwrap()
     });
 
     let analysis = compiler.analyze(&src).unwrap();
-    c.bench_function("transform_doall_x8", |b| {
-        b.iter(|| {
-            compiler
-                .compile(black_box(&analysis), commset::Scheme::Doall, 8, commset::SyncMode::Lib)
-                .unwrap()
-        })
+    bench("transform_doall_x8", 3, 20, || {
+        compiler
+            .compile(
+                black_box(&analysis),
+                commset::Scheme::Doall,
+                8,
+                commset::SyncMode::Lib,
+            )
+            .unwrap()
     });
 
     let det = compiler.analyze(&w.variants[1]).unwrap();
-    c.bench_function("transform_ps_dswp_x8", |b| {
-        b.iter(|| {
-            compiler
-                .compile(black_box(&det), commset::Scheme::PsDswp, 8, commset::SyncMode::Lib)
-                .unwrap()
-        })
+    bench("transform_ps_dswp_x8", 3, 20, || {
+        compiler
+            .compile(
+                black_box(&det),
+                commset::Scheme::PsDswp,
+                8,
+                commset::SyncMode::Lib,
+            )
+            .unwrap()
     });
 
-    c.bench_function("lower_sequential", |b| {
-        b.iter(|| compiler.compile_sequential(black_box(&analysis)).unwrap())
+    bench("lower_sequential", 3, 20, || {
+        compiler.compile_sequential(black_box(&analysis)).unwrap()
     });
 }
-
-criterion_group! {
-    name = phases;
-    config = Criterion::default().sample_size(20);
-    targets = bench_phases
-}
-criterion_main!(phases);

@@ -1,30 +1,29 @@
-//! Criterion benches regenerating each evaluation artifact's key data
-//! point: the sequential baseline and the best parallel schedule of every
-//! Table 2 / Figure 6 program, plus the Figure 3 schedules.
+//! Benches regenerating each evaluation artifact's key data point: the
+//! sequential baseline and the best parallel schedule of every Table 2 /
+//! Figure 6 program, plus the Figure 3 schedules. Self-harnessed (no
+//! external bench crates).
 
+use commset_bench::timing::bench;
 use commset_sim::CostModel;
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn bench_workloads(c: &mut Criterion) {
-    let cm = CostModel::default();
+fn bench_workloads(cm: &CostModel) {
     for w in commset_workloads::all() {
-        let mut group = c.benchmark_group(format!("figure6/{}", w.name));
-        group.sample_size(10);
-        group.bench_function("sequential", |b| {
-            b.iter(|| black_box(w.run_sequential(&cm)))
+        bench(&format!("figure6/{}/sequential", w.name), 1, 10, || {
+            black_box(w.run_sequential(cm))
         });
         // The workload's first scheme series is its headline schedule.
         let spec = &w.schemes[0];
-        group.bench_function(format!("{}@8", spec.label), |b| {
-            b.iter(|| black_box(w.run_scheme(spec, 8, &cm).expect("applies")))
-        });
-        group.finish();
+        bench(
+            &format!("figure6/{}/{}@8", w.name, spec.label),
+            1,
+            10,
+            || black_box(w.run_scheme(spec, 8, cm).expect("applies")),
+        );
     }
 }
 
-fn bench_figure3(c: &mut Criterion) {
-    let cm = CostModel::default();
+fn bench_figure3(cm: &CostModel) {
     let w = commset_workloads::md5sum::workload();
     let compiler = w.compiler();
     let full = compiler.analyze(&w.variants[0]).unwrap();
@@ -35,38 +34,36 @@ fn bench_figure3(c: &mut Criterion) {
     let (ps_m, ps_p) = compiler
         .compile(&det, commset::Scheme::PsDswp, 8, commset::SyncMode::Lib)
         .unwrap();
-    let mut group = c.benchmark_group("figure3/md5sum");
-    group.sample_size(10);
-    group.bench_function("doall_x8", |b| {
-        b.iter(|| {
-            let mut world = (w.make_world)();
-            black_box(commset_interp::run_simulated(
+    bench("figure3/md5sum/doall_x8", 1, 10, || {
+        let mut world = (w.make_world)();
+        black_box(
+            commset_interp::run_simulated(
                 &doall_m,
                 &w.registry,
                 std::slice::from_ref(&doall_p),
                 &mut world,
-                &cm,
-            ))
-        })
+                cm,
+            )
+            .expect("doall schedule runs"),
+        )
     });
-    group.bench_function("ps_dswp_x8", |b| {
-        b.iter(|| {
-            let mut world = (w.make_world)();
-            black_box(commset_interp::run_simulated(
+    bench("figure3/md5sum/ps_dswp_x8", 1, 10, || {
+        let mut world = (w.make_world)();
+        black_box(
+            commset_interp::run_simulated(
                 &ps_m,
                 &w.registry,
                 std::slice::from_ref(&ps_p),
                 &mut world,
-                &cm,
-            ))
-        })
+                cm,
+            )
+            .expect("ps-dswp schedule runs"),
+        )
     });
-    group.finish();
 }
 
-criterion_group! {
-    name = figures;
-    config = Criterion::default();
-    targets = bench_workloads, bench_figure3
+fn main() {
+    let cm = CostModel::default();
+    bench_workloads(&cm);
+    bench_figure3(&cm);
 }
-criterion_main!(figures);

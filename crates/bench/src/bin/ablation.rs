@@ -58,7 +58,7 @@ fn schedule_ablation() {
     let seq_module = compiler.compile_sequential(&a).unwrap();
     let mut w = World::new();
     w.install("acc", 0i64);
-    let seq = run_sequential(&seq_module, &registry, &mut w, &cm, "main");
+    let seq = run_sequential(&seq_module, &registry, &mut w, &cm, "main").expect("baseline runs");
     println!("   threads   cyclic  blocked");
     for threads in [2, 4, 8] {
         let mut row = format!("   {threads:>7}");
@@ -79,9 +79,13 @@ fn schedule_ablation() {
                 commset_ir::lower_program(&pp.program, compiler.intrinsics.clone()).unwrap();
             let mut w = World::new();
             w.install("acc", 0i64);
-            let out = run_simulated(&module, &registry, &[pp.plan], &mut w, &cm);
+            let out =
+                run_simulated(&module, &registry, &[pp.plan], &mut w, &cm).expect("schedule runs");
             assert_eq!(*w.get::<i64>("acc"), 64, "all iterations ran");
-            row.push_str(&format!("  {:6.2}", seq.sim_time as f64 / out.sim_time as f64));
+            row.push_str(&format!(
+                "  {:6.2}",
+                seq.sim_time as f64 / out.sim_time as f64
+            ));
         }
         println!("{row}");
     }
@@ -105,7 +109,14 @@ fn estimator_ablation() {
         let mut simulated: Vec<(String, u64)> = Vec::new();
         for (scheme, sync, module, plan) in &ranked {
             let mut world = (w.make_world)();
-            let out = run_simulated(module, &w.registry, std::slice::from_ref(plan), &mut world, &cm);
+            let out = run_simulated(
+                module,
+                &w.registry,
+                std::slice::from_ref(plan),
+                &mut world,
+                &cm,
+            )
+            .expect("ranked schedule runs");
             simulated.push((format!("{scheme}+{sync}"), out.sim_time));
         }
         let est_pick = &simulated[0].0;

@@ -21,7 +21,10 @@ fn main() {
     let scale = seq_time / 60 + 1;
 
     println!("Figure 3: md5sum schedule timelines (8 simulated cores)\n");
-    println!("Sequential            |{}| {seq_time}", bar(seq_time, scale));
+    println!(
+        "Sequential            |{}| {seq_time}",
+        bar(seq_time, scale)
+    );
 
     // PS-DSWP on the deterministic variant (one less SELF annotation).
     let det = compiler.analyze(&w.variants[1]).expect("analyzes");
@@ -30,7 +33,8 @@ fn main() {
         .expect("PS-DSWP applies");
     let stages = plan.stage_desc.clone();
     let mut world = (w.make_world)();
-    let ps = run_simulated(&module, &w.registry, &[plan], &mut world, &cm);
+    let ps = run_simulated(&module, &w.registry, &[plan], &mut world, &cm)
+        .expect("PS-DSWP schedule runs");
     println!(
         "PS-DSWP (deterministic)|{}| {} -> {:.2}x (paper: 5.8x)",
         bar(ps.sim_time, scale),
@@ -47,7 +51,8 @@ fn main() {
         .compile(&full, Scheme::Doall, 8, SyncMode::Lib)
         .expect("DOALL applies");
     let mut world = (w.make_world)();
-    let doall = run_simulated(&module, &w.registry, &[plan], &mut world, &cm);
+    let doall =
+        run_simulated(&module, &w.registry, &[plan], &mut world, &cm).expect("DOALL schedule runs");
     println!(
         "DOALL (out-of-order)   |{}| {} -> {:.2}x (paper: 7.6x)",
         bar(doall.sim_time, scale),

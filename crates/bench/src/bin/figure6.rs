@@ -37,12 +37,6 @@ fn main() {
         noncomm.push(panel.noncomm8);
     }
     println!("Figure 6i: geomean across the eight programs");
-    println!(
-        "  COMMSET:     {:.2}x  (paper: 5.7x)",
-        geomean(&best)
-    );
-    println!(
-        "  non-COMMSET: {:.2}x  (paper: 1.49x)",
-        geomean(&noncomm)
-    );
+    println!("  COMMSET:     {:.2}x  (paper: 5.7x)", geomean(&best));
+    println!("  non-COMMSET: {:.2}x  (paper: 1.49x)", geomean(&noncomm));
 }

@@ -10,10 +10,12 @@
 //! | Figure 3 | `figure3` | md5sum schedule timelines (Seq / PS-DSWP / DOALL) |
 //! | Figure 6 | `figure6` | speedup-vs-threads series per program + geomean |
 //!
-//! Criterion benches (`cargo bench`) measure the compiler itself
-//! (`compiler_phases`) and the per-figure regeneration cost (`figures`).
+//! Benches (`cargo bench`, self-harnessed — the workspace carries no
+//! external dependencies) measure the compiler itself (`compiler_phases`)
+//! and the per-figure regeneration cost (`figures`).
 
 pub mod table1;
+pub mod timing;
 
 use commset_sim::CostModel;
 use commset_workloads::Workload;

@@ -1,0 +1,45 @@
+//! A minimal self-contained benchmark harness.
+//!
+//! The workspace builds on air-gapped hosts with no external crates, so
+//! `cargo bench` targets use this instead of criterion: warm up, time a
+//! fixed number of iterations, report min/median/mean wall-clock per
+//! iteration. Numbers are indicative, not statistically rigorous — the
+//! evaluation artifacts themselves come from the deterministic simulator,
+//! not from these wall-clock measurements.
+
+use std::time::{Duration, Instant};
+
+/// Times `iters` runs of `f` after `warmup` unmeasured runs and prints a
+/// one-line summary under `name`.
+pub fn bench<R>(name: &str, warmup: u32, iters: u32, mut f: impl FnMut() -> R) {
+    for _ in 0..warmup {
+        std::hint::black_box(f());
+    }
+    let mut samples: Vec<Duration> = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        samples.push(t0.elapsed());
+    }
+    samples.sort();
+    let min = samples.first().copied().unwrap_or_default();
+    let median = samples.get(samples.len() / 2).copied().unwrap_or_default();
+    let total: Duration = samples.iter().sum();
+    let mean = total.checked_div(iters.max(1)).unwrap_or_default();
+    println!(
+        "{name:<40} min {:>10.1?}  median {:>10.1?}  mean {:>10.1?}  ({iters} iters)",
+        min, median, mean
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_counts() {
+        let mut calls = 0u32;
+        bench("noop", 2, 5, || calls += 1);
+        assert_eq!(calls, 7);
+    }
+}

@@ -45,6 +45,7 @@ fn usage() -> ExitCode {
     ExitCode::from(2)
 }
 
+#[derive(Debug)]
 struct Args {
     command: String,
     file: String,
@@ -59,6 +60,9 @@ struct Args {
 fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
     argv.next(); // program name
     let command = argv.next().ok_or("missing command")?;
+    if !matches!(command.as_str(), "analyze" | "schedules" | "emit") {
+        return Err(format!("unknown command `{command}`"));
+    }
     let file = argv.next().ok_or("missing input file")?;
     let mut args = Args {
         command,
@@ -105,12 +109,10 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
 }
 
 fn run(args: &Args) -> Result<(), String> {
-    let source = std::fs::read_to_string(&args.file)
-        .map_err(|e| format!("{}: {e}", args.file))?;
+    let source = std::fs::read_to_string(&args.file).map_err(|e| format!("{}: {e}", args.file))?;
     let spec = match &args.effects {
         Some(path) => {
-            let text =
-                std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
             parse_effects(&text)?
         }
         None => EffectsSpec::default(),
@@ -225,9 +227,7 @@ mod tests {
     use super::*;
 
     fn args(v: &[&str]) -> Result<Args, String> {
-        parse_args(
-            std::iter::once("commsetc".to_string()).chain(v.iter().map(|s| s.to_string())),
-        )
+        parse_args(std::iter::once("commsetc".to_string()).chain(v.iter().map(|s| s.to_string())))
     }
 
     #[test]
@@ -241,8 +241,19 @@ mod tests {
         assert!(a.scheme.is_none());
 
         let a = args(&[
-            "emit", "p.cmm", "--scheme", "ps-dswp", "--threads", "4", "--sync", "lib",
-            "--effects", "p.fx", "--pdg", "--hot-func", "work",
+            "emit",
+            "p.cmm",
+            "--scheme",
+            "ps-dswp",
+            "--threads",
+            "4",
+            "--sync",
+            "lib",
+            "--effects",
+            "p.fx",
+            "--pdg",
+            "--hot-func",
+            "work",
         ])
         .unwrap();
         assert_eq!(a.scheme, Some(Scheme::PsDswp));
@@ -260,8 +271,14 @@ mod tests {
         assert!(args(&["emit", "f.cmm", "--scheme", "magic"]).is_err());
         assert!(args(&["emit", "f.cmm", "--sync", "rcu"]).is_err());
         assert!(args(&["emit", "f.cmm", "--threads", "many"]).is_err());
-        assert!(args(&["emit", "f.cmm", "--threads"]).is_err(), "value missing");
+        assert!(
+            args(&["emit", "f.cmm", "--threads"]).is_err(),
+            "value missing"
+        );
         assert!(args(&["analyze", "f.cmm", "--frobnicate"]).is_err());
+        // Unknown commands are rejected before any file is touched.
+        let err = args(&["bogus", "f.cmm"]).unwrap_err();
+        assert!(err.contains("unknown command"), "{err}");
     }
 
     #[test]

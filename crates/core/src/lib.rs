@@ -434,8 +434,10 @@ mod tests {
         // Omitting SELF on the emit block (deterministic output, §2) must
         // forbid DOALL but keep PS-DSWP — the md5sum Figure 3 story.
         let c = compiler();
-        let det = ANNOTATED.replace("#pragma CommSet(SELF, FSET(i))\n                { emit(d); }",
-                                    "#pragma CommSet(FSET(i))\n                { emit(d); }");
+        let det = ANNOTATED.replace(
+            "#pragma CommSet(SELF, FSET(i))\n                { emit(d); }",
+            "#pragma CommSet(FSET(i))\n                { emit(d); }",
+        );
         let a = c.analyze(&det).unwrap();
         assert!(!a.doall_legal(), "{}", a.pdg_dump());
         let schemes = c.applicable_schemes(&a, 8);

@@ -90,9 +90,9 @@ pub fn parse_effects(text: &str) -> Result<EffectsSpec, String> {
                 .collect()
         };
         if head == "irrevocable" {
-            let chans = parts
-                .next()
-                .ok_or_else(|| format!("line {}: `irrevocable` needs a channel list", lineno + 1))?;
+            let chans = parts.next().ok_or_else(|| {
+                format!("line {}: `irrevocable` needs a channel list", lineno + 1)
+            })?;
             spec.irrevocable.extend(list(chans));
             continue;
         }
@@ -216,10 +216,7 @@ mod tests {
 
     #[test]
     fn fresh_and_per_instance_marks_apply() {
-        let spec = parse_effects(
-            "alloc writes=HEAP cost=40 fresh\nper_instance HEAP\n",
-        )
-        .unwrap();
+        let spec = parse_effects("alloc writes=HEAP cost=40 fresh\nper_instance HEAP\n").unwrap();
         let table = build_table(
             "extern handle alloc(int n);\nint main() { return 0; }",
             &spec,

@@ -1,0 +1,59 @@
+//! Executor configuration: fault injection, STM retry discipline and the
+//! waits-for watchdog.
+
+use commset_runtime::{BackoffPolicy, FaultPlan};
+
+/// Knobs shared by the simulated and real-thread executors.
+///
+/// The default configuration injects no faults, uses the default
+/// [`BackoffPolicy`] for transactional retries, and keeps the watchdog on
+/// (its overhead is one mutexed map update per blocking lock event).
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Adversarial schedule to inject; `FaultPlan::none()` by default.
+    pub fault: FaultPlan,
+    /// Transactional retry discipline (backoff + starvation fallback
+    /// threshold). The simulated executor uses `max_aborts` to decide when
+    /// a modeled transaction escalates to the rank-0 global lock.
+    pub backoff: BackoffPolicy,
+    /// Run the waits-for-graph watchdog; on by default.
+    pub watchdog: bool,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            fault: FaultPlan::none(),
+            backoff: BackoffPolicy::default(),
+            watchdog: true,
+        }
+    }
+}
+
+impl ExecConfig {
+    /// The default configuration (no faults, watchdog on).
+    pub fn new() -> Self {
+        ExecConfig::default()
+    }
+
+    /// A configuration injecting `fault`, watchdog on.
+    pub fn with_fault(fault: FaultPlan) -> Self {
+        ExecConfig {
+            fault,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_quiet_and_watched() {
+        let c = ExecConfig::new();
+        assert!(c.fault.is_none());
+        assert!(c.watchdog);
+        assert!(c.backoff.max_aborts > 0);
+    }
+}

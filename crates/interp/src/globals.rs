@@ -1,6 +1,6 @@
 //! Global-memory backends.
 
-use crate::vm::GlobalMem;
+use crate::vm::{GlobalMem, OobError};
 use commset_ir::{GlobalId, Module};
 use commset_lang::ast::Type;
 use commset_runtime::Value;
@@ -60,17 +60,28 @@ impl GlobalMem for PlainGlobals {
         self.scalars[g.0 as usize] = v;
     }
 
-    fn load_elem(&mut self, g: GlobalId, idx: i64) -> Value {
+    fn load_elem(&mut self, g: GlobalId, idx: i64) -> Result<Value, OobError> {
         let arr = &self.arrays[g.0 as usize];
-        *arr.get(idx as usize)
-            .unwrap_or_else(|| panic!("global array index {idx} out of bounds ({})", arr.len()))
+        usize::try_from(idx)
+            .ok()
+            .and_then(|i| arr.get(i))
+            .copied()
+            .ok_or(OobError {
+                index: idx,
+                len: arr.len(),
+            })
     }
 
-    fn store_elem(&mut self, g: GlobalId, idx: i64, v: Value) {
+    fn store_elem(&mut self, g: GlobalId, idx: i64, v: Value) -> Result<(), OobError> {
         let arr = &mut self.arrays[g.0 as usize];
         let len = arr.len();
-        *arr.get_mut(idx as usize)
-            .unwrap_or_else(|| panic!("global array index {idx} out of bounds ({len})")) = v;
+        match usize::try_from(idx).ok().and_then(|i| arr.get_mut(i)) {
+            Some(slot) => {
+                *slot = v;
+                Ok(())
+            }
+            None => Err(OobError { index: idx, len }),
+        }
     }
 }
 
@@ -146,21 +157,33 @@ impl GlobalMem for SharedGlobals {
         self.inner.scalars[g.0 as usize].store(v.to_bits(), Ordering::SeqCst);
     }
 
-    fn load_elem(&mut self, g: GlobalId, idx: i64) -> Value {
+    fn load_elem(&mut self, g: GlobalId, idx: i64) -> Result<Value, OobError> {
         let i = g.0 as usize;
         let arr = &self.inner.arrays[i];
-        let cell = arr
-            .get(idx as usize)
-            .unwrap_or_else(|| panic!("global array index {idx} out of bounds ({})", arr.len()));
-        Value::from_bits(cell.load(Ordering::SeqCst), self.inner.is_float[i])
+        let cell = usize::try_from(idx)
+            .ok()
+            .and_then(|ix| arr.get(ix))
+            .ok_or(OobError {
+                index: idx,
+                len: arr.len(),
+            })?;
+        Ok(Value::from_bits(
+            cell.load(Ordering::SeqCst),
+            self.inner.is_float[i],
+        ))
     }
 
-    fn store_elem(&mut self, g: GlobalId, idx: i64, v: Value) {
+    fn store_elem(&mut self, g: GlobalId, idx: i64, v: Value) -> Result<(), OobError> {
         let arr = &self.inner.arrays[g.0 as usize];
-        let cell = arr
-            .get(idx as usize)
-            .unwrap_or_else(|| panic!("global array index {idx} out of bounds ({})", arr.len()));
+        let cell = usize::try_from(idx)
+            .ok()
+            .and_then(|ix| arr.get(ix))
+            .ok_or(OobError {
+                index: idx,
+                len: arr.len(),
+            })?;
         cell.store(v.to_bits(), Ordering::SeqCst);
+        Ok(())
     }
 }
 
@@ -181,9 +204,13 @@ mod tests {
         assert_eq!(pg.load(m.global_id("g").unwrap()), Value::Int(7));
         assert_eq!(pg.load(m.global_id("f").unwrap()), Value::Float(1.5));
         let a = m.global_id("a").unwrap();
-        assert_eq!(pg.load_elem(a, 2), Value::Int(0));
-        pg.store_elem(a, 2, Value::Int(9));
-        assert_eq!(pg.load_elem(a, 2), Value::Int(9));
+        assert_eq!(pg.load_elem(a, 2).unwrap(), Value::Int(0));
+        pg.store_elem(a, 2, Value::Int(9)).unwrap();
+        assert_eq!(pg.load_elem(a, 2).unwrap(), Value::Int(9));
+        let oob = pg.load_elem(a, 5).unwrap_err();
+        assert_eq!((oob.index, oob.len), (5, 3));
+        let oob = pg.store_elem(a, -1, Value::Int(1)).unwrap_err();
+        assert_eq!((oob.index, oob.len), (-1, 3));
     }
 
     #[test]

@@ -15,14 +15,23 @@
 //!   a single-core host.
 //! * [`thread_exec`] — the real-thread executor (OS threads, the runtime's
 //!   lock-free queues and raw locks), used by the correctness tests.
+//! * [`error`] — structured [`error::ExecError`] diagnostics: dynamic
+//!   errors, executor-contract violations and parallel-runtime failures
+//!   surface as `Result::Err`, never as panics.
+//! * [`config`] — the shared [`config::ExecConfig`] knob set (fault
+//!   injection, STM retry discipline, waits-for watchdog).
 
+pub mod config;
+pub mod error;
 pub mod globals;
 pub mod seq;
 pub mod sim_exec;
 pub mod thread_exec;
 pub mod vm;
 
+pub use config::ExecConfig;
+pub use error::ExecError;
 pub use seq::run_sequential;
-pub use sim_exec::{run_simulated, SimOutcome};
-pub use thread_exec::run_threaded;
-pub use vm::{StepOutcome, Vm};
+pub use sim_exec::{run_simulated, run_simulated_with, SimOutcome, SimStats};
+pub use thread_exec::{run_threaded, run_threaded_with};
+pub use vm::{OobError, StepOutcome, Vm};

@@ -1,5 +1,6 @@
 //! The sequential executor — the evaluation baseline.
 
+use crate::error::ExecError;
 use crate::globals::PlainGlobals;
 use crate::vm::{StepOutcome, Vm};
 use commset_ir::Module;
@@ -19,47 +20,51 @@ pub struct SeqOutcome {
 
 /// Runs `entry` to completion on one simulated core.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the program executes parallel-runtime intrinsics
-/// (`__par_invoke` etc.) — sequential programs must be untransformed — or
-/// on dynamic errors (see [`Vm::step`]).
+/// Returns [`ExecError::ParallelIntrinsicInSequential`] if the program
+/// executes parallel-runtime intrinsics (`__par_invoke` etc.) — sequential
+/// programs must be untransformed — and propagates any dynamic error from
+/// [`Vm::step`] (division by zero, out-of-bounds indexing, ...).
 pub fn run_sequential(
     module: &Module,
     registry: &Registry,
     world: &mut World,
     cm: &CostModel,
     entry: &str,
-) -> SeqOutcome {
+) -> Result<SeqOutcome, ExecError> {
     let mut globals = PlainGlobals::new(module);
-    let mut vm = Vm::for_name(module, entry, &[]);
+    let mut vm = Vm::for_name(module, entry, &[])?;
     let mut sim_time: u64 = 0;
     let mut insts: u64 = 0;
     loop {
-        match vm.step(&mut globals) {
+        match vm.step(&mut globals)? {
             StepOutcome::Ran { cost } => {
                 sim_time += cost * cm.inst;
                 insts += 1;
             }
             StepOutcome::Special(p) => {
                 let name = module.intrinsics.name(p.intrinsic.0 as usize);
-                assert!(
-                    !name.starts_with("__par") && !name.starts_with("__q_")
-                        && !name.starts_with("__lock")
-                        && !name.starts_with("__tx"),
-                    "sequential program called parallel intrinsic `{name}`"
-                );
+                if name.starts_with("__par")
+                    || name.starts_with("__q_")
+                    || name.starts_with("__lock")
+                    || name.starts_with("__tx")
+                {
+                    return Err(ExecError::ParallelIntrinsicInSequential {
+                        name: name.to_string(),
+                    });
+                }
                 let base = module.intrinsics.sig(p.intrinsic.0 as usize).base_cost;
                 let out = registry.call(name, world, &p.args);
                 sim_time += base + out.extra_cost;
                 vm.resolve_special(out.value);
             }
             StepOutcome::Finished(result) => {
-                return SeqOutcome {
+                return Ok(SeqOutcome {
                     result,
                     sim_time,
                     insts,
-                }
+                })
             }
         }
     }
@@ -89,11 +94,63 @@ mod tests {
         });
         let mut world = World::new();
         world.install("ctr", 0i64);
-        let out = run_sequential(&module, &registry, &mut world, &CostModel::default(), "main");
+        let out = run_sequential(
+            &module,
+            &registry,
+            &mut world,
+            &CostModel::default(),
+            "main",
+        )
+        .unwrap();
         assert_eq!(out.result, Some(Value::Int(10)));
         assert_eq!(*world.get::<i64>("ctr"), 10);
         // 5 calls x (50 base + 7 extra) plus instruction time.
         assert!(out.sim_time >= 5 * 57);
         assert!(out.insts > 20);
+    }
+
+    #[test]
+    fn dynamic_error_surfaces_not_panics() {
+        let unit = commset_lang::compile_unit("int main() { int x = 1; int y = 0; return x / y; }")
+            .unwrap();
+        let module = lower_program(&unit.program, IntrinsicTable::new()).unwrap();
+        let registry = Registry::new();
+        let mut world = World::new();
+        let err = run_sequential(
+            &module,
+            &registry,
+            &mut world,
+            &CostModel::default(),
+            "main",
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::DivisionByZero {
+                func: "main".into()
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_entry_is_an_error() {
+        let unit = commset_lang::compile_unit("int main() { return 0; }").unwrap();
+        let module = lower_program(&unit.program, IntrinsicTable::new()).unwrap();
+        let registry = Registry::new();
+        let mut world = World::new();
+        let err = run_sequential(
+            &module,
+            &registry,
+            &mut world,
+            &CostModel::default(),
+            "nope",
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::UnknownFunction {
+                name: "nope".into()
+            }
+        );
     }
 }

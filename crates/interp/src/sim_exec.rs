@@ -8,11 +8,20 @@
 //! state mutates in simulated-time order and the whole run is
 //! deterministic. Speedups reported by the benchmark harness are ratios of
 //! the `sim_time` produced here.
+//!
+//! Robustness: every dynamic error and contract violation surfaces as an
+//! [`ExecError`] (no panics); [`run_simulated_with`] additionally injects
+//! an adversarial [`FaultPlan`](commset_runtime::FaultPlan) schedule and
+//! runs the waits-for watchdog, whose report lands in [`SimStats`].
 
+use crate::config::ExecConfig;
+use crate::error::ExecError;
 use crate::globals::PlainGlobals;
 use crate::vm::{PendingSpecial, StepOutcome, Vm};
 use commset_ir::Module;
-use commset_runtime::{Registry, Value, World};
+use commset_runtime::{
+    FaultInjector, FaultStats, Registry, Value, Watchdog, WatchdogReport, World,
+};
 use commset_sim::lock::AcquireOutcome;
 use commset_sim::{
     pick_min_clock, CostModel, PopOutcome, PushOutcome, SimLock, SimLockKind, SimQueue, TmModel,
@@ -29,10 +38,17 @@ pub struct SimStats {
     pub tm_commits: u64,
     /// Transactions aborted.
     pub tm_aborts: u64,
+    /// Transactions that escalated to the modeled rank-0 global lock
+    /// after exhausting their optimistic retry budget.
+    pub tm_fallbacks: u64,
     /// Total queue pushes.
     pub queue_pushes: u64,
     /// Pops that found an empty queue (pipeline stall indicator).
     pub queue_stalls: u64,
+    /// Faults delivered by the injection plan.
+    pub fault: FaultStats,
+    /// Waits-for watchdog findings (merged over all sections).
+    pub watchdog: WatchdogReport,
 }
 
 /// Result of a simulated run.
@@ -55,28 +71,49 @@ enum WStatus {
     Done,
 }
 
-/// Runs the transformed program under the DES.
+/// Runs the transformed program under the DES with the default
+/// configuration (no faults, watchdog on).
 ///
 /// `plans` must contain one plan per `__par_invoke` section in the
 /// program, keyed by its `section` field.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on executor-contract violations (unknown section, deadlock,
-/// nested parallel sections) and on VM dynamic errors.
+/// Returns an [`ExecError`] on executor-contract violations (unknown
+/// section or queue, deadlock, nested parallel sections) and on VM
+/// dynamic errors; worker errors are wrapped as
+/// [`ExecError::WorkerFailed`] naming the stage function.
 pub fn run_simulated(
     module: &Module,
     registry: &Registry,
     plans: &[ParallelPlan],
     world: &mut World,
     cm: &CostModel,
-) -> SimOutcome {
+) -> Result<SimOutcome, ExecError> {
+    run_simulated_with(module, registry, plans, world, cm, &ExecConfig::default())
+}
+
+/// [`run_simulated`] with explicit fault-injection, backoff and watchdog
+/// configuration.
+///
+/// # Errors
+///
+/// As [`run_simulated`].
+pub fn run_simulated_with(
+    module: &Module,
+    registry: &Registry,
+    plans: &[ParallelPlan],
+    world: &mut World,
+    cm: &CostModel,
+    cfg: &ExecConfig,
+) -> Result<SimOutcome, ExecError> {
+    let injector = FaultInjector::new(cfg.fault.clone());
     let mut globals = PlainGlobals::new(module);
-    let mut vm = Vm::for_name(module, "main", &[]);
+    let mut vm = Vm::for_name(module, "main", &[])?;
     let mut sim_time: u64 = 0;
     let mut stats = SimStats::default();
     loop {
-        match vm.step(&mut globals) {
+        match vm.step(&mut globals)? {
             StepOutcome::Ran { cost } => sim_time += cost * cm.inst,
             StepOutcome::Special(p) => {
                 let name = module.intrinsics.name(p.intrinsic.0 as usize);
@@ -85,7 +122,7 @@ pub fn run_simulated(
                     let plan = plans
                         .iter()
                         .find(|pl| pl.section == section)
-                        .unwrap_or_else(|| panic!("no plan for section {section}"));
+                        .ok_or(ExecError::UnknownSection { section })?;
                     let (end, section_stats) = run_section(
                         module,
                         registry,
@@ -94,7 +131,9 @@ pub fn run_simulated(
                         &mut globals,
                         sim_time,
                         cm,
-                    );
+                        cfg,
+                        &injector,
+                    )?;
                     sim_time = end;
                     merge_stats(&mut stats, section_stats);
                     vm.resolve_special(Value::Int(0));
@@ -106,11 +145,12 @@ pub fn run_simulated(
                 }
             }
             StepOutcome::Finished(result) => {
-                return SimOutcome {
+                stats.fault = injector.stats();
+                return Ok(SimOutcome {
                     result,
                     sim_time,
                     stats,
-                }
+                });
             }
         }
     }
@@ -120,8 +160,25 @@ fn merge_stats(into: &mut SimStats, from: SimStats) {
     into.lock_contention.extend(from.lock_contention);
     into.tm_commits += from.tm_commits;
     into.tm_aborts += from.tm_aborts;
+    into.tm_fallbacks += from.tm_fallbacks;
     into.queue_pushes += from.queue_pushes;
     into.queue_stalls += from.queue_stalls;
+    merge_watchdog(&mut into.watchdog, from.watchdog);
+}
+
+fn merge_watchdog(into: &mut WatchdogReport, from: WatchdogReport) {
+    into.checks += from.checks;
+    for c in from.cycles {
+        if !into.cycles.contains(&c) {
+            into.cycles.push(c);
+        }
+    }
+    for v in from.rank_violations {
+        if !into.rank_violations.contains(&v) {
+            into.rank_violations.push(v);
+        }
+    }
+    into.max_blocked = into.max_blocked.max(from.max_blocked);
 }
 
 struct Worker<'m> {
@@ -129,12 +186,16 @@ struct Worker<'m> {
     clock: u64,
     status: WStatus,
     tx: Option<commset_sim::tm::TxRecord>,
+    /// Modeled optimistic aborts of the in-flight transaction (drives the
+    /// starvation fallback to the rank-0 global lock).
+    tx_aborts: u64,
     /// True when retrying a lock acquisition after having blocked on it
     /// (pays the contention penalty).
     lock_retry: bool,
 }
 
 /// Executes one parallel section; returns (end time, stats).
+#[allow(clippy::too_many_arguments)]
 fn run_section(
     module: &Module,
     registry: &Registry,
@@ -143,7 +204,9 @@ fn run_section(
     globals: &mut PlainGlobals,
     start: u64,
     cm: &CostModel,
-) -> (u64, SimStats) {
+    cfg: &ExecConfig,
+    injector: &FaultInjector,
+) -> Result<(u64, SimStats), ExecError> {
     let lock_kind = match plan.sync {
         SyncMode::Spin => SimLockKind::Spin,
         _ => SimLockKind::Mutex,
@@ -162,49 +225,59 @@ fn run_section(
     let mut queues: Vec<SimQueue> = Vec::new();
     for q in &plan.queues {
         queue_index.insert(q.id, queues.len());
-        queues.push(SimQueue::new(q.capacity));
+        queues.push(SimQueue::new(injector.clamp_capacity(q.capacity)));
     }
     let mut tm = TmModel::new();
+    let watchdog = cfg.watchdog.then(Watchdog::new);
     // The virtual world is internally thread-safe (the paper's "Lib"
     // discipline): each intrinsic execution serializes on the channels it
     // writes, and readers wait for in-flight writers. This is what makes
     // I/O-channel saturation emerge at high thread counts.
     let mut channel_free: HashMap<u32, u64> = HashMap::new();
 
-    let mut workers: Vec<Worker<'_>> = plan
-        .workers
-        .iter()
-        .map(|w| Worker {
-            vm: Vm::for_name(module, &w.func, &[Value::Int(w.tid), Value::Int(w.nt)]),
+    let mut workers: Vec<Worker<'_>> = Vec::with_capacity(plan.workers.len());
+    for w in &plan.workers {
+        workers.push(Worker {
+            vm: Vm::for_name(module, &w.func, &[Value::Int(w.tid), Value::Int(w.nt)])?,
             clock: start + cm.par_spawn,
             status: WStatus::Ready,
             tx: None,
+            tx_aborts: 0,
             lock_retry: false,
-        })
-        .collect();
+        });
+    }
 
     loop {
         let clocks: Vec<u64> = workers.iter().map(|w| w.clock).collect();
-        let runnable: Vec<bool> = workers
-            .iter()
-            .map(|w| w.status == WStatus::Ready)
-            .collect();
+        let runnable: Vec<bool> = workers.iter().map(|w| w.status == WStatus::Ready).collect();
         let Some(i) = pick_min_clock(&clocks, &runnable) else {
             if workers.iter().all(|w| w.status == WStatus::Done) {
                 break;
             }
-            panic!(
-                "simulated deadlock in section {}: workers {:?}",
-                plan.section,
-                workers
+            return Err(ExecError::Deadlock {
+                section: plan.section,
+                waiting: workers
                     .iter()
                     .enumerate()
-                    .map(|(k, w)| format!("{k}:{:?}@{}({})", w.status, w.clock, w.vm.current_function()))
-                    .collect::<Vec<_>>()
-            );
+                    .map(|(k, w)| {
+                        format!(
+                            "{k}:{:?}@{}({})",
+                            w.status,
+                            w.clock,
+                            w.vm.current_function()
+                        )
+                    })
+                    .collect(),
+            });
         };
         // Step worker i until it blocks, finishes, or completes one special.
-        let step = workers[i].vm.step(globals);
+        let step = workers[i]
+            .vm
+            .step(globals)
+            .map_err(|e| ExecError::WorkerFailed {
+                stage: plan.workers[i].func.clone(),
+                cause: e.to_string(),
+            })?;
         match step {
             StepOutcome::Ran { cost } => {
                 workers[i].clock += cost * cm.inst;
@@ -214,9 +287,23 @@ fn run_section(
             }
             StepOutcome::Special(p) => {
                 handle_special(
-                    module, registry, world, plan, &mut workers, i, &p, &mut locks,
-                    &mut queues, &queue_index, &mut tm, &mut channel_free, cm,
-                );
+                    module,
+                    registry,
+                    world,
+                    plan,
+                    &mut workers,
+                    i,
+                    &p,
+                    &mut locks,
+                    &mut queues,
+                    &queue_index,
+                    &mut tm,
+                    &mut channel_free,
+                    cm,
+                    cfg,
+                    injector,
+                    watchdog.as_ref(),
+                )?;
             }
         }
     }
@@ -237,10 +324,13 @@ fn run_section(
             .collect(),
         tm_commits: tm.commits,
         tm_aborts: tm.aborts,
+        tm_fallbacks: tm.fallbacks,
         queue_pushes: queues.iter().map(|q| q.pushes).sum(),
         queue_stalls: queues.iter().map(|q| q.empty_pops).sum(),
+        fault: FaultStats::default(),
+        watchdog: watchdog.map(|wd| wd.report()).unwrap_or_default(),
     };
-    (end, stats)
+    Ok((end, stats))
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -258,26 +348,39 @@ fn handle_special(
     tm: &mut TmModel,
     channel_free: &mut HashMap<u32, u64>,
     cm: &CostModel,
-) {
+    cfg: &ExecConfig,
+    injector: &FaultInjector,
+    watchdog: Option<&Watchdog>,
+) -> Result<(), ExecError> {
     let name = module.intrinsics.name(p.intrinsic.0 as usize).to_string();
-    let qidx = |args: &[Value]| -> usize {
+    let qidx = |args: &[Value]| -> Result<usize, ExecError> {
         let id = args[0].as_int();
-        *queue_index
+        queue_index
             .get(&id)
-            .unwrap_or_else(|| panic!("unknown queue id {id}"))
+            .copied()
+            .ok_or(ExecError::UnknownQueue { id })
     };
+    // A stalled worker pauses at its synchronization events.
+    let stall = injector.worker_stall(plan.workers[i].tid);
+    workers[i].clock += stall;
     match name.as_str() {
         "__lock_acquire" => {
             let l = p.args[0].as_int() as usize;
             let t = workers[i].clock;
             let was_blocked = workers[i].lock_retry;
+            if let Some(wd) = watchdog {
+                wd.acquiring(i, l);
+            }
             match locks[l].try_acquire(t, was_blocked, cm) {
                 AcquireOutcome::Granted(grant) => {
                     if was_blocked {
                         locks[l].pending = locks[l].pending.saturating_sub(1);
                         workers[i].lock_retry = false;
                     }
-                    workers[i].clock = grant;
+                    if let Some(wd) = watchdog {
+                        wd.acquired(i, l);
+                    }
+                    workers[i].clock = grant + injector.lock_grant_delay();
                     workers[i].vm.resolve_special(Value::Int(0));
                 }
                 AcquireOutcome::Held => {
@@ -294,6 +397,9 @@ fn handle_special(
             let l = p.args[0].as_int() as usize;
             let t = workers[i].clock;
             workers[i].clock = locks[l].release(t, cm);
+            if let Some(wd) = watchdog {
+                wd.released(i, l);
+            }
             workers[i].vm.resolve_special(Value::Int(0));
             // Wake the blocked requesters; the scheduler grants in clock
             // order, the rest re-block.
@@ -304,7 +410,7 @@ fn handle_special(
             }
         }
         "__q_push" | "__q_push_f" => {
-            let q = qidx(&p.args);
+            let q = qidx(&p.args)?;
             let bits = p.args[1].to_bits();
             match queues[q].push(workers[i].clock, bits, cm) {
                 PushOutcome::Pushed(t) => {
@@ -324,7 +430,7 @@ fn handle_special(
             }
         }
         "__q_pop" | "__q_pop_f" => {
-            let q = qidx(&p.args);
+            let q = qidx(&p.args)?;
             match queues[q].pop(workers[i].clock, cm) {
                 PopOutcome::Popped(bits, t) => {
                     workers[i].clock = t;
@@ -346,30 +452,47 @@ fn handle_special(
             let t = workers[i].clock;
             workers[i].clock = t + cm.tx_begin;
             workers[i].tx = Some(tm.begin(t, cm));
+            workers[i].tx_aborts = 0;
             workers[i].vm.resolve_special(Value::Int(0));
         }
         "__tx_commit" => {
             let mut tx = workers[i]
                 .tx
                 .take()
-                .expect("__tx_commit without __tx_begin");
+                .ok_or(ExecError::TxCommitWithoutBegin)?;
             loop {
                 let t = workers[i].clock;
-                match tm.commit(&tx, t, cm) {
+                // A starving transaction escalates to the modeled rank-0
+                // global lock: pessimistic but guaranteed to commit.
+                if workers[i].tx_aborts > u64::from(cfg.backoff.max_aborts) {
+                    workers[i].clock = tm.commit_pessimistic(&tx, t, cm);
+                    break;
+                }
+                let outcome = if injector.force_stm_abort() {
+                    Err(tm.forced_abort(&tx, t, cm))
+                } else {
+                    tm.commit(&tx, t, cm)
+                };
+                match outcome {
                     Ok(done) => {
                         workers[i].clock = done;
                         break;
                     }
                     Err(wasted) => {
-                        // Redo the transaction's work after the wasted time.
-                        workers[i].clock = t + wasted + tx.work;
+                        workers[i].tx_aborts += 1;
+                        // Back off (modeled as spin cycles), then redo the
+                        // transaction's work after the wasted time.
+                        let backoff =
+                            u64::from(cfg.backoff.base_spins) << workers[i].tx_aborts.min(8);
+                        workers[i].clock = t + wasted + backoff + tx.work;
                         tx.start = workers[i].clock;
                     }
                 }
             }
+            workers[i].tx_aborts = 0;
             workers[i].vm.resolve_special(Value::Int(0));
         }
-        "__par_invoke" => panic!("nested parallel sections are not supported"),
+        "__par_invoke" => return Err(ExecError::NestedParallelSection),
         _ => {
             // Ordinary world intrinsic: readers wait for in-flight writers
             // of their channels, and the execution holds its write channels
@@ -417,7 +540,7 @@ fn handle_special(
             workers[i].vm.resolve_special(out.value);
         }
     }
-    let _ = plan;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -432,6 +555,7 @@ mod tests {
     use commset_ir::{lower_program, IntrinsicTable};
     use commset_lang::ast::Type;
     use commset_runtime::intrinsics::IntrinsicOutcome;
+    use commset_runtime::FaultPlan;
     use commset_transform::{doall, dswp};
     use std::collections::BTreeSet;
 
@@ -453,7 +577,9 @@ mod tests {
             world.get_mut::<Vec<i64>>("out").push(args[0].as_int());
             IntrinsicOutcome::unit()
         });
-        r.register("heavy", |_, args| IntrinsicOutcome::value(args[0].as_int() * 2));
+        r.register("heavy", |_, args| {
+            IntrinsicOutcome::value(args[0].as_int() * 2)
+        });
         r
     }
 
@@ -506,13 +632,14 @@ mod tests {
         let mut world = World::new();
         world.install("acc", 0i64);
         let cm = CostModel::default();
-        let seq = crate::seq::run_sequential(&seq_module, &registry(), &mut world, &cm, "main");
+        let seq =
+            crate::seq::run_sequential(&seq_module, &registry(), &mut world, &cm, "main").unwrap();
         assert_eq!(*world.get::<i64>("acc"), (0..64).sum::<i64>());
         // Parallel on 4 virtual cores.
         let (module, plan) = compile_doall(4, SyncMode::Spin);
         let mut world4 = World::new();
         world4.install("acc", 0i64);
-        let par = run_simulated(&module, &registry(), &[plan], &mut world4, &cm);
+        let par = run_simulated(&module, &registry(), &[plan], &mut world4, &cm).unwrap();
         assert_eq!(*world4.get::<i64>("acc"), (0..64).sum::<i64>());
         let speedup = seq.sim_time as f64 / par.sim_time as f64;
         assert!(
@@ -521,6 +648,7 @@ mod tests {
             seq.sim_time,
             par.sim_time
         );
+        assert!(par.stats.watchdog.is_clean(), "{:?}", par.stats.watchdog);
         let _ = par.result;
     }
 
@@ -531,10 +659,102 @@ mod tests {
         let run = || {
             let mut world = World::new();
             world.install("acc", 0i64);
-            let out = run_simulated(&module, &registry(), std::slice::from_ref(&plan), &mut world, &cm);
+            let out = run_simulated(
+                &module,
+                &registry(),
+                std::slice::from_ref(&plan),
+                &mut world,
+                &cm,
+            )
+            .unwrap();
             (out.sim_time, *world.get::<i64>("acc"))
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn missing_plan_is_an_unknown_section_error() {
+        let cm = CostModel::default();
+        let (module, plan) = compile_doall(2, SyncMode::Spin);
+        let mut world = World::new();
+        world.install("acc", 0i64);
+        let err = run_simulated(&module, &registry(), &[], &mut world, &cm).unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::UnknownSection {
+                section: plan.section
+            }
+        );
+    }
+
+    #[test]
+    fn abort_storm_drives_fallbacks_yet_preserves_output() {
+        let cm = CostModel::default();
+        let (module, plan) = compile_doall(4, SyncMode::Tm);
+        let run = |cfg: &ExecConfig| {
+            let mut world = World::new();
+            world.install("acc", 0i64);
+            let out = run_simulated_with(
+                &module,
+                &registry(),
+                std::slice::from_ref(&plan),
+                &mut world,
+                &cm,
+                cfg,
+            )
+            .unwrap();
+            (*world.get::<i64>("acc"), out.stats)
+        };
+        let (quiet_acc, quiet) = run(&ExecConfig::default());
+        assert_eq!(quiet_acc, (0..64).sum::<i64>());
+        assert_eq!(quiet.fault.stm_aborts, 0, "no faults without a plan");
+        assert_eq!(quiet.tm_fallbacks, 0, "no starvation without a storm");
+        // Every commit attempt is forced to abort: only the rank-0
+        // fallback lets transactions through, and the answer still holds.
+        let mut cfg = ExecConfig::with_fault(FaultPlan {
+            stm_abort_every: 1,
+            ..FaultPlan::abort_storm(11)
+        });
+        cfg.backoff.max_aborts = 3;
+        let (storm_acc, storm) = run(&cfg);
+        assert_eq!(storm_acc, quiet_acc);
+        assert!(storm.fault.stm_aborts > 0, "{:?}", storm.fault);
+        assert!(storm.tm_fallbacks > 0, "{storm:?}");
+        assert!(storm.watchdog.is_clean(), "{:?}", storm.watchdog);
+    }
+
+    #[test]
+    fn lock_delay_and_stall_preserve_output_and_determinism() {
+        let cm = CostModel::default();
+        let (module, plan) = compile_doall(3, SyncMode::Mutex);
+        let run = |cfg: &ExecConfig| {
+            let mut world = World::new();
+            world.install("acc", 0i64);
+            let out = run_simulated_with(
+                &module,
+                &registry(),
+                std::slice::from_ref(&plan),
+                &mut world,
+                &cm,
+                cfg,
+            )
+            .unwrap();
+            (*world.get::<i64>("acc"), out.sim_time, out.stats.fault)
+        };
+        for fault in [
+            FaultPlan::lock_delay(5, 800),
+            FaultPlan::worker_stall(5, 1, 1200),
+        ] {
+            let cfg = ExecConfig::with_fault(fault);
+            let (acc, time, stats) = run(&cfg);
+            assert_eq!(acc, (0..64).sum::<i64>());
+            assert_eq!(
+                run(&cfg),
+                (acc, time, stats),
+                "fault runs are deterministic"
+            );
+            assert!(stats.lock_delays + stats.stalls > 0, "{stats:?}");
+        }
     }
 
     const PIPE_SRC: &str = r#"
@@ -550,8 +770,7 @@ mod tests {
         }
     "#;
 
-    #[test]
-    fn ps_dswp_preserves_output_order() {
+    fn compile_pipeline(nthreads: usize) -> (Module, ParallelPlan) {
         let table = table();
         let unit = commset_lang::compile_unit(PIPE_SRC).unwrap();
         let managed = manage(unit).unwrap();
@@ -567,16 +786,22 @@ mod tests {
             &dag,
             &summaries,
             &["OUT".to_string()].into(),
-            5,
+            nthreads,
             SyncMode::Lib,
             0,
         )
         .unwrap();
         let module = lower_program(&pp.program, table).unwrap();
+        (module, pp.plan)
+    }
+
+    #[test]
+    fn ps_dswp_preserves_output_order() {
+        let (module, plan) = compile_pipeline(5);
         let mut world = World::new();
         world.install("out", Vec::<i64>::new());
         let cm = CostModel::default();
-        let out = run_simulated(&module, &registry(), &[pp.plan], &mut world, &cm);
+        let out = run_simulated(&module, &registry(), &[plan], &mut world, &cm).unwrap();
         let produced = world.get::<Vec<i64>>("out");
         let expected: Vec<i64> = (0..40).map(|i| i * 2).collect();
         assert_eq!(
@@ -584,5 +809,20 @@ mod tests {
             "sequential output stage preserves order"
         );
         assert!(out.stats.queue_pushes > 0);
+    }
+
+    #[test]
+    fn queue_pushback_preserves_pipeline_order() {
+        let (module, plan) = compile_pipeline(4);
+        let cm = CostModel::default();
+        let mut world = World::new();
+        world.install("out", Vec::<i64>::new());
+        let cfg = ExecConfig::with_fault(FaultPlan::queue_pushback(3));
+        let out = run_simulated_with(&module, &registry(), &[plan], &mut world, &cm, &cfg).unwrap();
+        let expected: Vec<i64> = (0..40).map(|i| i * 2).collect();
+        assert_eq!(world.get::<Vec<i64>>("out"), &expected);
+        // Capacity-1 queues force the producer into the full-queue path.
+        assert!(out.stats.queue_pushes >= 40);
+        assert!(out.stats.watchdog.is_clean());
     }
 }

@@ -7,17 +7,41 @@
 //! compiled parallel code computes the same results under genuinely
 //! concurrent execution. TM mode falls back to a single global mutex here
 //! (pessimistic but correct); the simulated executor models optimism.
+//!
+//! Robustness: a worker that hits a dynamic error — or *panics* inside a
+//! registry intrinsic — no longer takes the process down. The failure is
+//! contained (`catch_unwind` plus join-handle inspection), a shared cancel
+//! flag unblocks every sibling parked in a queue or lock wait, the SPSC
+//! queues are drained, and the run reports
+//! [`ExecError::WorkerFailed`] naming the stage and cause.
 
+use crate::config::ExecConfig;
+use crate::error::ExecError;
 use crate::globals::{AtomicGlobals, SharedGlobals};
 use crate::vm::{StepOutcome, Vm};
 use commset_ir::Module;
 use commset_runtime::lock::{LockKind, RawLock};
-use commset_runtime::{Registry, SpscQueue, Value, World};
+use commset_runtime::sync::Mutex;
+use commset_runtime::{
+    FaultInjector, FaultStats, Registry, SpscQueue, Value, Watchdog, WatchdogReport, World,
+};
 use commset_transform::{ParallelPlan, SyncMode};
-use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Runtime statistics of a threaded run.
+#[derive(Debug, Clone, Default)]
+pub struct ThreadStats {
+    /// Faults delivered by the injection plan.
+    pub fault: FaultStats,
+    /// Waits-for watchdog findings (merged over all sections).
+    pub watchdog: WatchdogReport,
+    /// Values drained from pipeline queues during teardown (non-zero only
+    /// after a failure cut a pipeline short).
+    pub queue_drained: u64,
+}
 
 /// Result of a threaded run.
 #[derive(Debug)]
@@ -28,27 +52,51 @@ pub struct ThreadOutcome {
     pub wall: Duration,
     /// The world after execution.
     pub world: World,
+    /// Fault/watchdog statistics.
+    pub stats: ThreadStats,
 }
 
-/// Runs the transformed program on real threads.
+/// Runs the transformed program on real threads with the default
+/// configuration (no faults, watchdog on).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on executor-contract violations (unknown section id) and on VM
-/// dynamic errors in any worker.
+/// Returns an [`ExecError`] on executor-contract violations (unknown
+/// section or queue, nested sections) and on any worker failure — a VM
+/// dynamic error or a panic inside an intrinsic handler — as
+/// [`ExecError::WorkerFailed`]. Siblings of a failed worker are canceled
+/// and report nothing; the process survives.
 pub fn run_threaded(
     module: &Module,
     registry: &Registry,
     plans: &[ParallelPlan],
     world: World,
-) -> ThreadOutcome {
+) -> Result<ThreadOutcome, ExecError> {
+    run_threaded_with(module, registry, plans, world, &ExecConfig::default())
+}
+
+/// [`run_threaded`] with explicit fault-injection and watchdog
+/// configuration (delays and stalls are realized as microsecond sleeps).
+///
+/// # Errors
+///
+/// As [`run_threaded`].
+pub fn run_threaded_with(
+    module: &Module,
+    registry: &Registry,
+    plans: &[ParallelPlan],
+    world: World,
+    cfg: &ExecConfig,
+) -> Result<ThreadOutcome, ExecError> {
     let start = Instant::now();
+    let injector = FaultInjector::new(cfg.fault.clone());
     let shared_globals = AtomicGlobals::new(module);
-    let world = Arc::new(Mutex::new(world));
+    let world = Mutex::new(world);
     let mut globals = SharedGlobals::new(Arc::clone(&shared_globals));
-    let mut vm = Vm::for_name(module, "main", &[]);
+    let mut vm = Vm::for_name(module, "main", &[])?;
+    let mut stats = ThreadStats::default();
     let result = loop {
-        match vm.step(&mut globals) {
+        match vm.step(&mut globals)? {
             StepOutcome::Ran { .. } => {}
             StepOutcome::Special(p) => {
                 let name = module.intrinsics.name(p.intrinsic.0 as usize);
@@ -57,9 +105,28 @@ pub fn run_threaded(
                     let plan = plans
                         .iter()
                         .find(|pl| pl.section == section)
-                        .unwrap_or_else(|| panic!("no plan for section {section}"));
-                    run_section(module, registry, plan, &shared_globals, &world);
+                        .ok_or(ExecError::UnknownSection { section })?;
+                    let (report, drained) = run_section(
+                        module,
+                        registry,
+                        plan,
+                        &shared_globals,
+                        &world,
+                        cfg,
+                        &injector,
+                    )?;
+                    merge_watchdog(&mut stats.watchdog, report);
+                    stats.queue_drained += drained;
                     vm.resolve_special(Value::Int(0));
+                } else if name.starts_with("__lock")
+                    || name.starts_with("__q_")
+                    || name.starts_with("__tx")
+                {
+                    // Synchronization intrinsics outside a section are a
+                    // transform bug, not something to forward to the world.
+                    return Err(ExecError::ParallelIntrinsicInSequential {
+                        name: name.to_string(),
+                    });
                 } else {
                     let out = registry.call(name, &mut world.lock(), &p.args);
                     vm.resolve_special(out.value);
@@ -68,107 +135,272 @@ pub fn run_threaded(
             StepOutcome::Finished(v) => break v,
         }
     };
-    let world = Arc::try_unwrap(world)
-        .expect("all workers joined")
-        .into_inner();
-    ThreadOutcome {
+    stats.fault = injector.stats();
+    Ok(ThreadOutcome {
         result,
         wall: start.elapsed(),
-        world,
-    }
+        world: world.into_inner(),
+        stats,
+    })
 }
 
+fn merge_watchdog(into: &mut WatchdogReport, from: WatchdogReport) {
+    into.checks += from.checks;
+    for c in from.cycles {
+        if !into.cycles.contains(&c) {
+            into.cycles.push(c);
+        }
+    }
+    for v in from.rank_violations {
+        if !into.rank_violations.contains(&v) {
+            into.rank_violations.push(v);
+        }
+    }
+    into.max_blocked = into.max_blocked.max(from.max_blocked);
+}
+
+/// Shared, immutable context for one section's worker threads.
+struct SectionCtx<'a> {
+    module: &'a Module,
+    registry: &'a Registry,
+    world: &'a Mutex<World>,
+    locks: &'a [RawLock],
+    tm_lock: &'a RawLock,
+    queues: &'a [SpscQueue<u64>],
+    queue_index: &'a HashMap<i64, usize>,
+    cancel: &'a AtomicBool,
+    injector: &'a FaultInjector,
+    watchdog: Option<&'a Watchdog>,
+}
+
+/// Executes one parallel section; returns the watchdog report and the
+/// number of queue slots drained during teardown.
 fn run_section(
     module: &Module,
     registry: &Registry,
     plan: &ParallelPlan,
     shared_globals: &Arc<AtomicGlobals>,
-    world: &Arc<Mutex<World>>,
-) {
+    world: &Mutex<World>,
+    cfg: &ExecConfig,
+    injector: &FaultInjector,
+) -> Result<(WatchdogReport, u64), ExecError> {
     let lock_kind = match plan.sync {
         SyncMode::Spin => LockKind::Spin,
         _ => LockKind::Mutex,
     };
-    let locks: Arc<Vec<RawLock>> =
-        Arc::new(plan.locks.iter().map(|_| RawLock::new(lock_kind)).collect());
+    let locks: Vec<RawLock> = plan.locks.iter().map(|_| RawLock::new(lock_kind)).collect();
     // TM fallback: one global pessimistic lock.
-    let tm_lock = Arc::new(RawLock::new(LockKind::Mutex));
+    let tm_lock = RawLock::new(LockKind::Mutex);
     let mut queue_index: HashMap<i64, usize> = HashMap::new();
-    let mut queue_vec: Vec<SpscQueue<u64>> = Vec::new();
+    let mut queues: Vec<SpscQueue<u64>> = Vec::new();
     for q in &plan.queues {
-        queue_index.insert(q.id, queue_vec.len());
-        queue_vec.push(SpscQueue::new(q.capacity));
+        queue_index.insert(q.id, queues.len());
+        queues.push(SpscQueue::new(injector.clamp_capacity(q.capacity)));
     }
-    let queues = Arc::new(queue_vec);
-    let queue_index = Arc::new(queue_index);
+    let cancel = AtomicBool::new(false);
+    let watchdog = cfg.watchdog.then(Watchdog::new);
+    let ctx = SectionCtx {
+        module,
+        registry,
+        world,
+        locks: &locks,
+        tm_lock: &tm_lock,
+        queues: &queues,
+        queue_index: &queue_index,
+        cancel: &cancel,
+        injector,
+        watchdog: watchdog.as_ref(),
+    };
 
-    crossbeam::thread::scope(|scope| {
-        for w in &plan.workers {
-            let locks = Arc::clone(&locks);
-            let tm_lock = Arc::clone(&tm_lock);
-            let queues = Arc::clone(&queues);
-            let queue_index = Arc::clone(&queue_index);
-            let world = Arc::clone(world);
-            let shared_globals = Arc::clone(shared_globals);
-            scope.spawn(move |_| {
-                let mut globals = SharedGlobals::new(shared_globals);
-                let mut vm =
-                    Vm::for_name(module, &w.func, &[Value::Int(w.tid), Value::Int(w.nt)]);
-                loop {
-                    match vm.step(&mut globals) {
-                        StepOutcome::Ran { .. } => {}
-                        StepOutcome::Finished(_) => break,
-                        StepOutcome::Special(p) => {
-                            let name =
-                                module.intrinsics.name(p.intrinsic.0 as usize);
-                            match name {
-                                "__lock_acquire" => {
-                                    locks[p.args[0].as_int() as usize].acquire();
-                                    vm.resolve_special(Value::Int(0));
-                                }
-                                "__lock_release" => {
-                                    locks[p.args[0].as_int() as usize].release();
-                                    vm.resolve_special(Value::Int(0));
-                                }
-                                "__q_push" | "__q_push_f" => {
-                                    let q = queue_index[&p.args[0].as_int()];
-                                    queues[q].push_blocking(p.args[1].to_bits());
-                                    vm.resolve_special(Value::Int(0));
-                                }
-                                "__q_pop" | "__q_pop_f" => {
-                                    let q = queue_index[&p.args[0].as_int()];
-                                    let bits = queues[q].pop_blocking();
-                                    vm.resolve_special(Value::from_bits(
-                                        bits,
-                                        name == "__q_pop_f",
-                                    ));
-                                }
-                                "__tx_begin" => {
-                                    tm_lock.acquire();
-                                    vm.resolve_special(Value::Int(0));
-                                }
-                                "__tx_commit" => {
-                                    tm_lock.release();
-                                    vm.resolve_special(Value::Int(0));
-                                }
-                                "__par_invoke" => {
-                                    panic!("nested parallel sections are not supported")
-                                }
-                                _ => {
-                                    let out = {
-                                        let mut w = world.lock();
-                                        registry.call(name, &mut w, &p.args)
-                                    };
-                                    vm.resolve_special(out.value);
-                                }
-                            }
+    let results: Vec<Result<(), ExecError>> = std::thread::scope(|scope| {
+        let ctx = &ctx;
+        let handles: Vec<_> = plan
+            .workers
+            .iter()
+            .enumerate()
+            .map(|(widx, w)| {
+                let globals = SharedGlobals::new(Arc::clone(shared_globals));
+                let func = w.func.clone();
+                let (tid, nt) = (w.tid, w.nt);
+                scope.spawn(move || {
+                    let body = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        worker_loop(ctx, widx, &func, tid, nt, globals)
+                    }));
+                    let outcome = match body {
+                        Ok(r) => r,
+                        Err(payload) => Err(ExecError::WorkerFailed {
+                            stage: func.clone(),
+                            cause: panic_message(&*payload),
+                        }),
+                    };
+                    if outcome.is_err() {
+                        // Unblock every sibling parked in a queue or lock.
+                        ctx.cancel.store(true, Ordering::SeqCst);
+                    }
+                    outcome
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                // catch_unwind already contained worker panics; this arm
+                // only fires for panics outside it (defensive).
+                Err(payload) => Err(ExecError::WorkerFailed {
+                    stage: "<worker>".into(),
+                    cause: panic_message(&*payload),
+                }),
+            })
+            .collect()
+    });
+
+    // All workers are joined: drain abandoned pipeline values so a failed
+    // run does not leak queue slots.
+    let drained: u64 = queues.iter().map(|q| q.drain() as u64).sum();
+
+    // Report the most informative failure: a real WorkerFailed beats the
+    // Canceled noise of its siblings.
+    let mut first: Option<ExecError> = None;
+    for (w, r) in plan.workers.iter().zip(results) {
+        let Err(e) = r else { continue };
+        let wrapped = match e {
+            ExecError::WorkerFailed { .. } | ExecError::Canceled { .. } => e,
+            other => ExecError::WorkerFailed {
+                stage: w.func.clone(),
+                cause: other.to_string(),
+            },
+        };
+        match (&first, &wrapped) {
+            (None, _) => first = Some(wrapped),
+            (Some(ExecError::Canceled { .. }), ExecError::WorkerFailed { .. }) => {
+                first = Some(wrapped)
+            }
+            _ => {}
+        }
+    }
+    if let Some(e) = first {
+        return Err(e);
+    }
+    Ok((watchdog.map(|wd| wd.report()).unwrap_or_default(), drained))
+}
+
+/// One worker's execution; every failure mode returns an error.
+fn worker_loop(
+    ctx: &SectionCtx<'_>,
+    widx: usize,
+    func: &str,
+    tid: i64,
+    nt: i64,
+    mut globals: SharedGlobals,
+) -> Result<(), ExecError> {
+    let canceled = || ExecError::Canceled { stage: func.into() };
+    let mut vm = Vm::for_name(ctx.module, func, &[Value::Int(tid), Value::Int(nt)])?;
+    let mut in_tx = false;
+    loop {
+        if ctx.cancel.load(Ordering::Relaxed) {
+            return Err(canceled());
+        }
+        match vm.step(&mut globals)? {
+            StepOutcome::Ran { .. } => {}
+            StepOutcome::Finished(_) => return Ok(()),
+            StepOutcome::Special(p) => {
+                let name = ctx.module.intrinsics.name(p.intrinsic.0 as usize);
+                let stall = ctx.injector.worker_stall(tid);
+                if stall > 0 {
+                    std::thread::sleep(Duration::from_micros(stall));
+                }
+                match name {
+                    "__lock_acquire" => {
+                        let l = p.args[0].as_int() as usize;
+                        if let Some(wd) = ctx.watchdog {
+                            wd.acquiring(widx, l);
                         }
+                        if !ctx.locks[l].acquire_canceling(ctx.cancel) {
+                            if let Some(wd) = ctx.watchdog {
+                                wd.wait_abandoned(widx);
+                            }
+                            return Err(canceled());
+                        }
+                        if let Some(wd) = ctx.watchdog {
+                            wd.acquired(widx, l);
+                        }
+                        let delay = ctx.injector.lock_grant_delay();
+                        if delay > 0 {
+                            std::thread::sleep(Duration::from_micros(delay));
+                        }
+                        vm.resolve_special(Value::Int(0));
+                    }
+                    "__lock_release" => {
+                        let l = p.args[0].as_int() as usize;
+                        ctx.locks[l].release();
+                        if let Some(wd) = ctx.watchdog {
+                            wd.released(widx, l);
+                        }
+                        vm.resolve_special(Value::Int(0));
+                    }
+                    "__q_push" | "__q_push_f" => {
+                        let id = p.args[0].as_int();
+                        let q = *ctx
+                            .queue_index
+                            .get(&id)
+                            .ok_or(ExecError::UnknownQueue { id })?;
+                        if ctx.queues[q]
+                            .push_canceling(p.args[1].to_bits(), ctx.cancel)
+                            .is_err()
+                        {
+                            return Err(canceled());
+                        }
+                        vm.resolve_special(Value::Int(0));
+                    }
+                    "__q_pop" | "__q_pop_f" => {
+                        let id = p.args[0].as_int();
+                        let q = *ctx
+                            .queue_index
+                            .get(&id)
+                            .ok_or(ExecError::UnknownQueue { id })?;
+                        let Some(bits) = ctx.queues[q].pop_canceling(ctx.cancel) else {
+                            return Err(canceled());
+                        };
+                        vm.resolve_special(Value::from_bits(bits, name == "__q_pop_f"));
+                    }
+                    "__tx_begin" => {
+                        if !ctx.tm_lock.acquire_canceling(ctx.cancel) {
+                            return Err(canceled());
+                        }
+                        in_tx = true;
+                        vm.resolve_special(Value::Int(0));
+                    }
+                    "__tx_commit" => {
+                        if !in_tx {
+                            return Err(ExecError::TxCommitWithoutBegin);
+                        }
+                        ctx.tm_lock.release();
+                        in_tx = false;
+                        vm.resolve_special(Value::Int(0));
+                    }
+                    "__par_invoke" => return Err(ExecError::NestedParallelSection),
+                    _ => {
+                        let out = {
+                            let mut w = ctx.world.lock();
+                            ctx.registry.call(name, &mut w, &p.args)
+                        };
+                        vm.resolve_special(out.value);
                     }
                 }
-            });
+            }
         }
-    })
-    .expect("worker panicked");
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked (non-string payload)".into()
+    }
 }
 
 #[cfg(test)]
@@ -183,6 +415,7 @@ mod tests {
     use commset_ir::{lower_program, IntrinsicTable};
     use commset_lang::ast::Type;
     use commset_runtime::intrinsics::IntrinsicOutcome;
+    use commset_runtime::FaultPlan;
     use commset_transform::{doall, dswp};
     use std::collections::BTreeSet;
 
@@ -210,19 +443,7 @@ mod tests {
         r
     }
 
-    #[test]
-    fn threaded_doall_sums_correctly() {
-        let src = r#"
-            extern void add_acc(int v);
-            int main() {
-                int n = 200;
-                for (int i = 0; i < n; i = i + 1) {
-                    #pragma CommSet(SELF)
-                    { add_acc(i); }
-                }
-                return 0;
-            }
-        "#;
+    fn compile_doall(src: &str, nthreads: usize, sync: SyncMode) -> (Module, ParallelPlan) {
         let table = table();
         let unit = commset_lang::compile_unit(src).unwrap();
         let managed = manage(unit).unwrap();
@@ -236,16 +457,35 @@ mod tests {
             &pdg,
             &summaries,
             &BTreeSet::new(),
-            4,
-            SyncMode::Spin,
+            nthreads,
+            sync,
             0,
         )
         .unwrap();
         let module = lower_program(&pp.program, table).unwrap();
+        (module, pp.plan)
+    }
+
+    const SUM_SRC: &str = r#"
+        extern void add_acc(int v);
+        int main() {
+            int n = 200;
+            for (int i = 0; i < n; i = i + 1) {
+                #pragma CommSet(SELF)
+                { add_acc(i); }
+            }
+            return 0;
+        }
+    "#;
+
+    #[test]
+    fn threaded_doall_sums_correctly() {
+        let (module, plan) = compile_doall(SUM_SRC, 4, SyncMode::Spin);
         let mut world = World::new();
         world.install("acc", 0i64);
-        let out = run_threaded(&module, &registry(), &[pp.plan], world);
+        let out = run_threaded(&module, &registry(), &[plan], world).unwrap();
         assert_eq!(*out.world.get::<i64>("acc"), (0..200).sum::<i64>());
+        assert!(out.stats.watchdog.is_clean(), "{:?}", out.stats.watchdog);
     }
 
     #[test]
@@ -285,9 +525,119 @@ mod tests {
         let module = lower_program(&pp.program, table).unwrap();
         let mut world = World::new();
         world.install("out", Vec::<i64>::new());
-        let out = run_threaded(&module, &registry(), &[pp.plan], world);
+        let out = run_threaded(&module, &registry(), &[pp.plan], world).unwrap();
         let produced = out.world.get::<Vec<i64>>("out");
         let expected: Vec<i64> = (0..100).map(|i| i * 2).collect();
         assert_eq!(produced, &expected);
+    }
+
+    #[test]
+    fn worker_dynamic_error_is_contained_and_named() {
+        // Division by zero at i == 50 inside one worker's slice.
+        let src = r#"
+            extern void add_acc(int v);
+            int main() {
+                int n = 200;
+                for (int i = 0; i < n; i = i + 1) {
+                    int z = 100 / (50 - i);
+                    #pragma CommSet(SELF)
+                    { add_acc(z); }
+                }
+                return 0;
+            }
+        "#;
+        let (module, plan) = compile_doall(src, 4, SyncMode::Spin);
+        let mut world = World::new();
+        world.install("acc", 0i64);
+        let err = run_threaded(&module, &registry(), &[plan], world).unwrap_err();
+        match err {
+            ExecError::WorkerFailed { stage, cause } => {
+                assert!(stage.starts_with("__par"), "stage: {stage}");
+                assert!(cause.contains("division by zero"), "cause: {cause}");
+            }
+            other => panic!("expected WorkerFailed, got {other}"),
+        }
+    }
+
+    #[test]
+    fn intrinsic_panic_is_contained_and_siblings_cancel() {
+        // The panicking intrinsic fires mid-pipeline, leaving the consumer
+        // blocked on its queue: cancellation must unblock it and the run
+        // must report the panic message, not abort the process.
+        let src = r#"
+            extern int double(int x);
+            extern void emit(int y);
+            int main() {
+                int n = 100;
+                for (int i = 0; i < n; i = i + 1) {
+                    int y = double(i);
+                    emit(y);
+                }
+                return 0;
+            }
+        "#;
+        let table = table();
+        let unit = commset_lang::compile_unit(src).unwrap();
+        let managed = manage(unit).unwrap();
+        let summaries = summarize(&managed.program, &table);
+        let hot = find_hot_loop(&managed, &summaries, &table, "main").unwrap();
+        let mut pdg = Pdg::build(&hot);
+        analyze_commutativity(&mut pdg, &managed, &hot);
+        let dag = dag_scc(&pdg);
+        let pp = dswp::apply_ps_dswp(
+            &managed,
+            &hot,
+            &pdg,
+            &dag,
+            &summaries,
+            &["OUT".to_string()].into(),
+            4,
+            SyncMode::Lib,
+            0,
+        )
+        .unwrap();
+        let module = lower_program(&pp.program, table).unwrap();
+        let mut reg = Registry::new();
+        reg.register("double", |_, args| {
+            let x = args[0].as_int();
+            if x == 30 {
+                panic!("intrinsic blew up at 30");
+            }
+            IntrinsicOutcome::value(x * 2)
+        });
+        reg.register("emit", |world, args| {
+            world.get_mut::<Vec<i64>>("out").push(args[0].as_int());
+            IntrinsicOutcome::unit()
+        });
+        let mut world = World::new();
+        world.install("out", Vec::<i64>::new());
+        let err = run_threaded(&module, &reg, &[pp.plan], world).unwrap_err();
+        match err {
+            ExecError::WorkerFailed { cause, .. } => {
+                assert!(cause.contains("intrinsic blew up at 30"), "cause: {cause}");
+            }
+            other => panic!("expected WorkerFailed, got {other}"),
+        }
+    }
+
+    #[test]
+    fn fault_plans_leave_threaded_results_intact() {
+        for fault in [
+            FaultPlan::lock_delay(9, 40),
+            FaultPlan::worker_stall(9, 1, 60),
+            FaultPlan::queue_pushback(9),
+        ] {
+            let (module, plan) = compile_doall(SUM_SRC, 3, SyncMode::Mutex);
+            let mut world = World::new();
+            world.install("acc", 0i64);
+            let cfg = ExecConfig::with_fault(fault.clone());
+            let out = run_threaded_with(&module, &registry(), &[plan], world, &cfg).unwrap();
+            assert_eq!(
+                *out.world.get::<i64>("acc"),
+                (0..200).sum::<i64>(),
+                "fault {fault:?} must not change results"
+            );
+            assert!(out.stats.watchdog.is_clean(), "{:?}", out.stats.watchdog);
+        }
     }
 }

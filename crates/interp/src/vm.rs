@@ -8,13 +8,30 @@
 //! the discrete-event executor interleave many machines deterministically
 //! and lets the thread executor block on real primitives, with one VM
 //! implementation.
+//!
+//! Dynamic errors the type system cannot rule out — division by zero,
+//! out-of-bounds indexing, mixed-type operations — surface as
+//! [`ExecError`] values carrying the current function as source context;
+//! the machine never panics on program input.
 
+use crate::error::ExecError;
 use commset_ir::repr::{
-    ArrRef, Arg, Block, Callee, Const, FuncId, Function, Inst, IntrinsicId, Module, Slot,
+    Arg, ArrRef, Block, Callee, Const, FuncId, Function, Inst, IntrinsicId, Module, Slot,
     Terminator,
 };
 use commset_lang::ast::{BinOp, Type, UnOp};
 use commset_runtime::Value;
+
+/// An out-of-bounds global-array access, reported by a [`GlobalMem`]
+/// backend; the VM attaches function context and converts it to
+/// [`ExecError::IndexOutOfBounds`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OobError {
+    /// The offending index.
+    pub index: i64,
+    /// The array's length.
+    pub len: usize,
+}
 
 /// Global-memory backend used by a VM.
 pub trait GlobalMem {
@@ -23,9 +40,17 @@ pub trait GlobalMem {
     /// Writes a scalar global.
     fn store(&mut self, g: commset_ir::GlobalId, v: Value);
     /// Reads a global array element.
-    fn load_elem(&mut self, g: commset_ir::GlobalId, idx: i64) -> Value;
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OobError`] when `idx` is outside the array.
+    fn load_elem(&mut self, g: commset_ir::GlobalId, idx: i64) -> Result<Value, OobError>;
     /// Writes a global array element.
-    fn store_elem(&mut self, g: commset_ir::GlobalId, idx: i64, v: Value);
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OobError`] when `idx` is outside the array.
+    fn store_elem(&mut self, g: commset_ir::GlobalId, idx: i64, v: Value) -> Result<(), OobError>;
 }
 
 /// One activation record.
@@ -93,13 +118,19 @@ fn zero_of(ty: Type) -> Value {
     }
 }
 
-fn new_frame(f: &Function, func: FuncId, args: &[Value], ret_dst: Option<Slot>) -> Frame {
-    assert_eq!(
-        args.len(),
-        f.param_count,
-        "arity mismatch calling `{}`",
-        f.name
-    );
+fn new_frame(
+    f: &Function,
+    func: FuncId,
+    args: &[Value],
+    ret_dst: Option<Slot>,
+) -> Result<Frame, ExecError> {
+    if args.len() != f.param_count {
+        return Err(ExecError::ArityMismatch {
+            func: f.name.clone(),
+            expected: f.param_count,
+            got: args.len(),
+        });
+    }
     let mut slots: Vec<Value> = f.slots.iter().map(|s| zero_of(s.ty)).collect();
     slots[..args.len()].copy_from_slice(args);
     let arrays = f
@@ -107,41 +138,45 @@ fn new_frame(f: &Function, func: FuncId, args: &[Value], ret_dst: Option<Slot>) 
         .iter()
         .map(|a| vec![zero_of(a.ty); a.len])
         .collect();
-    Frame {
+    Ok(Frame {
         func,
         block: 0,
         idx: 0,
         slots,
         arrays,
         ret_dst,
-    }
+    })
 }
 
 impl<'m> Vm<'m> {
     /// Creates a machine poised to run `func(args...)`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on arity mismatch.
-    pub fn new(module: &'m Module, func: FuncId, args: &[Value]) -> Self {
+    /// Returns [`ExecError::ArityMismatch`] when `args` does not match the
+    /// function's parameter count.
+    pub fn new(module: &'m Module, func: FuncId, args: &[Value]) -> Result<Self, ExecError> {
         let f = module.func(func);
-        Vm {
+        Ok(Vm {
             module,
-            frames: vec![new_frame(f, func, args, None)],
+            frames: vec![new_frame(f, func, args, None)?],
             pending: false,
             finished: false,
-        }
+        })
     }
 
     /// Convenience: machine for a function by name.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the function does not exist.
-    pub fn for_name(module: &'m Module, name: &str, args: &[Value]) -> Self {
+    /// Returns [`ExecError::UnknownFunction`] when the function does not
+    /// exist and [`ExecError::ArityMismatch`] on a bad argument count.
+    pub fn for_name(module: &'m Module, name: &str, args: &[Value]) -> Result<Self, ExecError> {
         let id = module
             .func_id(name)
-            .unwrap_or_else(|| panic!("no function `{name}`"));
+            .ok_or_else(|| ExecError::UnknownFunction {
+                name: name.to_string(),
+            })?;
         Vm::new(module, id, args)
     }
 
@@ -162,7 +197,8 @@ impl<'m> Vm<'m> {
     ///
     /// # Panics
     ///
-    /// Panics if no special is pending.
+    /// Panics if no special is pending — an executor bug, unreachable from
+    /// program input.
     pub fn resolve_special(&mut self, value: Value) {
         assert!(self.pending, "no pending special");
         self.pending = false;
@@ -183,17 +219,23 @@ impl<'m> Vm<'m> {
 
     /// Executes one instruction or terminator.
     ///
+    /// # Errors
+    ///
+    /// Returns an [`ExecError`] on dynamic errors the type system does not
+    /// rule out (array index out of bounds, division by zero, mixed
+    /// operand types), with the current function as source context.
+    ///
     /// # Panics
     ///
-    /// Panics on dynamic errors our type system does not rule out
-    /// (array index out of bounds, division by zero) and on stepping a
-    /// finished or pending machine.
-    pub fn step(&mut self, globals: &mut dyn GlobalMem) -> StepOutcome {
+    /// Panics when stepping a finished or pending machine — executor
+    /// contract violations, unreachable from program input.
+    pub fn step(&mut self, globals: &mut dyn GlobalMem) -> Result<StepOutcome, ExecError> {
         assert!(!self.pending, "resolve the pending special first");
         assert!(!self.finished, "machine already finished");
         let module = self.module;
         let fr = self.frames.last_mut().expect("frame");
         let func = module.func(fr.func);
+        let fname = &func.name;
         let block: &Block = &func.blocks[fr.block];
         if fr.idx >= block.insts.len() {
             // Terminator.
@@ -208,7 +250,11 @@ impl<'m> Vm<'m> {
                     else_bb,
                 } => {
                     let taken = fr.slots[cond.0 as usize].is_true();
-                    fr.block = if taken { then_bb.0 as usize } else { else_bb.0 as usize };
+                    fr.block = if taken {
+                        then_bb.0 as usize
+                    } else {
+                        else_bb.0 as usize
+                    };
                     fr.idx = 0;
                 }
                 Terminator::Ret(v) => {
@@ -224,12 +270,12 @@ impl<'m> Vm<'m> {
                         }
                         None => {
                             self.finished = true;
-                            return StepOutcome::Finished(value);
+                            return Ok(StepOutcome::Finished(value));
                         }
                     }
                 }
             }
-            return StepOutcome::Ran { cost: 1 };
+            return Ok(StepOutcome::Ran { cost: 1 });
         }
         let inst = &block.insts[fr.idx].inst;
         match inst {
@@ -244,12 +290,12 @@ impl<'m> Vm<'m> {
             }
             Inst::Un { dst, op, src } => {
                 let v = fr.slots[src.0 as usize];
-                fr.slots[dst.0 as usize] = eval_un(*op, v);
+                fr.slots[dst.0 as usize] = eval_un(*op, v, fname)?;
             }
             Inst::Bin { dst, op, lhs, rhs } => {
                 let a = fr.slots[lhs.0 as usize];
                 let b = fr.slots[rhs.0 as usize];
-                fr.slots[dst.0 as usize] = eval_bin(*op, a, b);
+                fr.slots[dst.0 as usize] = eval_bin(*op, a, b, fname)?;
             }
             Inst::Cast { dst, ty, src } => {
                 let v = fr.slots[src.0 as usize];
@@ -270,11 +316,28 @@ impl<'m> Vm<'m> {
                 fr.slots[dst.0 as usize] = match arr {
                     ArrRef::Local(a) => {
                         let arr = &fr.arrays[a.0 as usize];
-                        *arr.get(i as usize).unwrap_or_else(|| {
-                            panic!("array index {i} out of bounds (len {})", arr.len())
-                        })
+                        match usize::try_from(i).ok().and_then(|i| arr.get(i)) {
+                            Some(v) => *v,
+                            None => {
+                                return Err(ExecError::IndexOutOfBounds {
+                                    func: fname.clone(),
+                                    index: i,
+                                    len: arr.len(),
+                                    global: false,
+                                })
+                            }
+                        }
                     }
-                    ArrRef::Global(g) => globals.load_elem(*g, i),
+                    ArrRef::Global(g) => {
+                        globals
+                            .load_elem(*g, i)
+                            .map_err(|e| ExecError::IndexOutOfBounds {
+                                func: fname.clone(),
+                                index: e.index,
+                                len: e.len,
+                                global: true,
+                            })?
+                    }
                 };
             }
             Inst::StoreElem { arr, idx, src } => {
@@ -284,11 +347,28 @@ impl<'m> Vm<'m> {
                     ArrRef::Local(a) => {
                         let arr = &mut fr.arrays[a.0 as usize];
                         let len = arr.len();
-                        *arr.get_mut(i as usize).unwrap_or_else(|| {
-                            panic!("array index {i} out of bounds (len {len})")
-                        }) = v;
+                        match usize::try_from(i).ok().and_then(|i| arr.get_mut(i)) {
+                            Some(slot) => *slot = v,
+                            None => {
+                                return Err(ExecError::IndexOutOfBounds {
+                                    func: fname.clone(),
+                                    index: i,
+                                    len,
+                                    global: false,
+                                })
+                            }
+                        }
                     }
-                    ArrRef::Global(g) => globals.store_elem(*g, i, v),
+                    ArrRef::Global(g) => {
+                        globals
+                            .store_elem(*g, i, v)
+                            .map_err(|e| ExecError::IndexOutOfBounds {
+                                func: fname.clone(),
+                                index: e.index,
+                                len: e.len,
+                                global: true,
+                            })?
+                    }
                 }
             }
             Inst::Call { dst, callee, args } => {
@@ -306,52 +386,65 @@ impl<'m> Vm<'m> {
                 match callee {
                     Callee::Func(fid) => {
                         let callee_fn = module.func(*fid);
-                        let frame = new_frame(callee_fn, *fid, &vals, *dst);
+                        let frame = new_frame(callee_fn, *fid, &vals, *dst)?;
                         self.frames.push(frame);
-                        return StepOutcome::Ran { cost: 3 };
+                        return Ok(StepOutcome::Ran { cost: 3 });
                     }
                     Callee::Intrinsic(iid) => {
                         // `dst` is re-read from the instruction when the
                         // executor resolves the call.
                         let _ = dst;
                         self.pending = true;
-                        return StepOutcome::Special(PendingSpecial {
+                        return Ok(StepOutcome::Special(PendingSpecial {
                             intrinsic: *iid,
                             args: vals,
                             str_args,
-                        });
+                        }));
                     }
                 }
             }
         }
         fr.idx += 1;
-        StepOutcome::Ran { cost: 1 }
+        Ok(StepOutcome::Ran { cost: 1 })
     }
 }
 
-fn eval_un(op: UnOp, v: Value) -> Value {
-    match (op, v) {
+fn eval_un(op: UnOp, v: Value, func: &str) -> Result<Value, ExecError> {
+    Ok(match (op, v) {
         (UnOp::Neg, Value::Int(i)) => Value::Int(i.wrapping_neg()),
         (UnOp::Neg, Value::Float(f)) => Value::Float(-f),
         (UnOp::Not, v) => Value::from(!v.is_true()),
         (UnOp::BitNot, Value::Int(i)) => Value::Int(!i),
-        (UnOp::BitNot, Value::Float(_)) => panic!("bitwise not on float"),
-    }
+        (UnOp::BitNot, Value::Float(_)) => {
+            return Err(ExecError::TypeError {
+                func: func.to_string(),
+                detail: "bitwise not on float".to_string(),
+            })
+        }
+    })
 }
 
-fn eval_bin(op: BinOp, a: Value, b: Value) -> Value {
+fn eval_bin(op: BinOp, a: Value, b: Value, func: &str) -> Result<Value, ExecError> {
     use BinOp::*;
-    match (a, b) {
+    Ok(match (a, b) {
         (Value::Int(x), Value::Int(y)) => match op {
             Add => Value::Int(x.wrapping_add(y)),
             Sub => Value::Int(x.wrapping_sub(y)),
             Mul => Value::Int(x.wrapping_mul(y)),
             Div => {
-                assert!(y != 0, "division by zero");
+                if y == 0 {
+                    return Err(ExecError::DivisionByZero {
+                        func: func.to_string(),
+                    });
+                }
                 Value::Int(x.wrapping_div(y))
             }
             Rem => {
-                assert!(y != 0, "remainder by zero");
+                if y == 0 {
+                    return Err(ExecError::RemainderByZero {
+                        func: func.to_string(),
+                    });
+                }
                 Value::Int(x.wrapping_rem(y))
             }
             Shl => Value::Int(x.wrapping_shl(y as u32)),
@@ -379,10 +472,20 @@ fn eval_bin(op: BinOp, a: Value, b: Value) -> Value {
             Ge => Value::from(x >= y),
             Eq => Value::from(x == y),
             Ne => Value::from(x != y),
-            other => panic!("operator {} on floats", other.as_str()),
+            other => {
+                return Err(ExecError::TypeError {
+                    func: func.to_string(),
+                    detail: format!("operator {} on floats", other.as_str()),
+                })
+            }
         },
-        (a, b) => panic!("mixed operand types: {a} {} {b}", op.as_str()),
-    }
+        (a, b) => {
+            return Err(ExecError::TypeError {
+                func: func.to_string(),
+                detail: format!("mixed operand types: {a} {} {b}", op.as_str()),
+            })
+        }
+    })
 }
 
 #[cfg(test)]
@@ -396,17 +499,21 @@ mod tests {
         lower_program(&unit.program, IntrinsicTable::new()).unwrap()
     }
 
-    fn run_main(src: &str) -> Option<Value> {
+    fn try_main(src: &str) -> Result<Option<Value>, ExecError> {
         let m = module(src);
         let mut globals = PlainGlobals::new(&m);
-        let mut vm = Vm::for_name(&m, "main", &[]);
+        let mut vm = Vm::for_name(&m, "main", &[])?;
         loop {
-            match vm.step(&mut globals) {
+            match vm.step(&mut globals)? {
                 StepOutcome::Ran { .. } => {}
-                StepOutcome::Finished(v) => return v,
+                StepOutcome::Finished(v) => return Ok(v),
                 StepOutcome::Special(_) => panic!("unexpected intrinsic"),
             }
         }
+    }
+
+    fn run_main(src: &str) -> Option<Value> {
+        try_main(src).expect("program must run")
     }
 
     #[test]
@@ -462,9 +569,9 @@ mod tests {
     fn intrinsic_pauses_machine() {
         let m = module("extern int ask(int x); int main() { return ask(21) * 2; }");
         let mut globals = PlainGlobals::new(&m);
-        let mut vm = Vm::for_name(&m, "main", &[]);
+        let mut vm = Vm::for_name(&m, "main", &[]).unwrap();
         loop {
-            match vm.step(&mut globals) {
+            match vm.step(&mut globals).unwrap() {
                 StepOutcome::Ran { .. } => {}
                 StepOutcome::Special(p) => {
                     assert_eq!(p.args, vec![Value::Int(21)]);
@@ -479,14 +586,92 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "division by zero")]
-    fn division_by_zero_panics() {
-        run_main("int main() { int z = 0; return 1 / z; }");
+    fn division_by_zero_is_an_error_not_a_panic() {
+        let err = try_main("int main() { int z = 0; return 1 / z; }").unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::DivisionByZero {
+                func: "main".into()
+            }
+        );
     }
 
     #[test]
-    #[should_panic(expected = "out of bounds")]
-    fn array_bounds_checked() {
-        run_main("int main() { int a[2]; a[5] = 1; return 0; }");
+    fn remainder_by_zero_is_an_error() {
+        let err = try_main("int main() { int z = 0; return 1 % z; }").unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::RemainderByZero {
+                func: "main".into()
+            }
+        );
+    }
+
+    #[test]
+    fn array_bounds_are_an_error_with_context() {
+        let err = try_main("int main() { int a[2]; a[5] = 1; return 0; }").unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::IndexOutOfBounds {
+                func: "main".into(),
+                index: 5,
+                len: 2,
+                global: false,
+            }
+        );
+    }
+
+    #[test]
+    fn negative_index_is_an_error() {
+        let err = try_main("int main() { int a[2]; int i = 0 - 1; return a[i]; }").unwrap_err();
+        assert!(
+            matches!(err, ExecError::IndexOutOfBounds { index: -1, .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn global_array_bounds_carry_context() {
+        let err =
+            try_main("int g[3]; int helper() { return g[7]; } int main() { return helper(); }")
+                .unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::IndexOutOfBounds {
+                func: "helper".into(),
+                index: 7,
+                len: 3,
+                global: true,
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_entry_function_is_an_error() {
+        let m = module("int main() { return 0; }");
+        let err = Vm::for_name(&m, "nonexistent", &[]).err().unwrap();
+        assert_eq!(
+            err,
+            ExecError::UnknownFunction {
+                name: "nonexistent".into()
+            }
+        );
+    }
+
+    #[test]
+    fn entry_arity_mismatch_is_an_error() {
+        let m = module("int main() { return 0; }");
+        let err = Vm::for_name(&m, "main", &[Value::Int(1)]).err().unwrap();
+        assert!(
+            matches!(
+                err,
+                ExecError::ArityMismatch {
+                    expected: 0,
+                    got: 1,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
     }
 }

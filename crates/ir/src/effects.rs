@@ -95,9 +95,10 @@ impl EffectSig {
     /// True if two signatures may conflict on some channel (at least one of
     /// the accesses being a write).
     pub fn conflicts_with(&self, other: &EffectSig) -> bool {
-        let w_r = self.writes.iter().any(|c| {
-            other.reads.contains(c) || other.writes.contains(c)
-        });
+        let w_r = self
+            .writes
+            .iter()
+            .any(|c| other.reads.contains(c) || other.writes.contains(c));
         let r_w = self.reads.iter().any(|c| other.writes.contains(c));
         w_r || r_w
     }

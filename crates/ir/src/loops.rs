@@ -83,10 +83,7 @@ impl LoopForest {
         // loop's header.
         let headers: Vec<BlockId> = loops.iter().map(|l| l.header).collect();
         for (i, h) in headers.iter().enumerate() {
-            let depth = loops
-                .iter()
-                .filter(|l| l.blocks.contains(h))
-                .count() as u32;
+            let depth = loops.iter().filter(|l| l.blocks.contains(h)).count() as u32;
             loops[i].depth = depth;
         }
         loops.sort_by_key(|l| (l.depth, l.header));
@@ -199,29 +196,25 @@ pub fn loop_bound(f: &Function, l: &NaturalLoop, ivs: &[InductionVar]) -> Option
         _ => None,
     })?;
     let (op, lhs, rhs) = def;
-    if !matches!(op, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Ne) {
+    if !matches!(
+        op,
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Ne
+    ) {
         return None;
     }
     let defined_in_loop = |s: Slot| {
-        l.blocks.iter().any(|&b| {
-            f.block(b)
-                .insts
-                .iter()
-                .any(|n| n.inst.def() == Some(s))
-        })
+        l.blocks
+            .iter()
+            .any(|&b| f.block(b).insts.iter().any(|n| n.inst.def() == Some(s)))
     };
     // Either side may hold the IV; the other must be invariant. The header
     // recomputes the bound if it was lowered as a load — accept a bound
     // slot whose only in-loop defs are in the header itself (recomputed
     // invariantly each iteration).
     let invariant_enough = |s: Slot| {
-        !l.blocks.iter().any(|&b| {
-            b != l.header
-                && f.block(b)
-                    .insts
-                    .iter()
-                    .any(|n| n.inst.def() == Some(s))
-        })
+        !l.blocks
+            .iter()
+            .any(|&b| b != l.header && f.block(b).insts.iter().any(|n| n.inst.def() == Some(s)))
     };
     for iv in ivs {
         if lhs == iv.slot && invariant_enough(rhs) {

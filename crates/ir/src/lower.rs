@@ -209,7 +209,10 @@ impl FuncLower<'_> {
                     }
                     None => Binding::Scalar(self.builder.new_slot(name.clone(), *ty)),
                 };
-                self.scopes.last_mut().unwrap().insert(name.clone(), binding);
+                self.scopes
+                    .last_mut()
+                    .unwrap()
+                    .insert(name.clone(), binding);
                 if let (Some(init), Binding::Scalar(slot)) = (init, binding) {
                     let v = self.lower_expr(init)?;
                     self.builder.push(Inst::Copy { dst: slot, src: v });
@@ -234,7 +237,10 @@ impl FuncLower<'_> {
                                 rhs
                             } else {
                                 let cur = self.builder.new_temp(self.module.global(g).ty);
-                                self.builder.push(Inst::LoadG { dst: cur, global: g });
+                                self.builder.push(Inst::LoadG {
+                                    dst: cur,
+                                    global: g,
+                                });
                                 self.compound_bin(*op, cur, rhs)
                             };
                             self.builder.push(Inst::StoreG { global: g, src: v });
@@ -246,17 +252,11 @@ impl FuncLower<'_> {
                         let idx = self.lower_expr(idx)?;
                         self.builder.set_stmt(s.id);
                         let (arr, elem_ty) = match self.resolve(name, *span)? {
-                            Resolved::LocalArray(a) => {
-                                (ArrRef::Local(a), self.array_ty(a))
-                            }
+                            Resolved::LocalArray(a) => (ArrRef::Local(a), self.array_ty(a)),
                             Resolved::GlobalArray(g) => {
                                 (ArrRef::Global(g), self.module.global(g).ty)
                             }
-                            _ => {
-                                return Err(
-                                    self.err(format!("`{name}` is not an array"), *span)
-                                )
-                            }
+                            _ => return Err(self.err(format!("`{name}` is not an array"), *span)),
                         };
                         let v = if *op == AssignOp::Set {
                             rhs
@@ -484,7 +484,11 @@ impl FuncLower<'_> {
                     UnOp::Not | UnOp::BitNot => Type::Int,
                 };
                 let dst = self.builder.new_temp(ty);
-                self.builder.push(Inst::Un { dst, op: *op, src: v });
+                self.builder.push(Inst::Un {
+                    dst,
+                    op: *op,
+                    src: v,
+                });
                 Ok(dst)
             }
             ExprKind::Binary(op @ (BinOp::And | BinOp::Or), a, b) => {
@@ -506,10 +510,9 @@ impl FuncLower<'_> {
                 });
                 Ok(dst)
             }
-            ExprKind::Call(name, args) => {
-                self.lower_call(name, args, e.span, true)?
-                    .ok_or_else(|| self.err(format!("void call `{name}` used as a value"), e.span))
-            }
+            ExprKind::Call(name, args) => self
+                .lower_call(name, args, e.span, true)?
+                .ok_or_else(|| self.err(format!("void call `{name}` used as a value"), e.span)),
             ExprKind::Index(name, idx) => {
                 let idx = self.lower_expr(idx)?;
                 let (arr, ty) = match self.resolve(name, e.span)? {
@@ -652,7 +655,9 @@ mod tests {
 
     #[test]
     fn lowers_for_loop_with_recognizable_shape() {
-        let m = lower_src("int main() { int s = 0; for (int i = 0; i < 10; i = i + 1) { s += i; } return s; }");
+        let m = lower_src(
+            "int main() { int s = 0; for (int i = 0; i < 10; i = i + 1) { s += i; } return s; }",
+        );
         let f = m.func(m.func_id("main").unwrap());
         // entry, head, body, step, exit at least.
         assert!(f.blocks.len() >= 5, "blocks = {}", f.blocks.len());
@@ -704,10 +709,9 @@ mod tests {
     fn extern_calls_resolve_to_intrinsics() {
         let mut table = IntrinsicTable::new();
         table.register("rng_next", vec![], Type::Int, &["SEED"], &["SEED"], 10);
-        let unit = commset_lang::compile_unit(
-            "extern int rng_next(); int main() { return rng_next(); }",
-        )
-        .unwrap();
+        let unit =
+            commset_lang::compile_unit("extern int rng_next(); int main() { return rng_next(); }")
+                .unwrap();
         let m = lower_program(&unit.program, table).unwrap();
         let f = m.func(m.func_id("main").unwrap());
         let call = f
@@ -734,9 +738,8 @@ mod tests {
     fn extern_signature_mismatch_is_error() {
         let mut table = IntrinsicTable::new();
         table.register("op", vec![Type::Int], Type::Void, &[], &["A"], 1);
-        let unit =
-            commset_lang::compile_unit("extern int op(int x); int main() { return op(1); }")
-                .unwrap();
+        let unit = commset_lang::compile_unit("extern int op(int x); int main() { return op(1); }")
+            .unwrap();
         assert!(lower_program(&unit.program, table).is_err());
     }
 
@@ -752,11 +755,7 @@ mod tests {
             .blocks
             .iter()
             .enumerate()
-            .filter(|(_, b)| {
-                b.insts
-                    .iter()
-                    .any(|n| matches!(n.inst, Inst::Call { .. }))
-            })
+            .filter(|(_, b)| b.insts.iter().any(|n| matches!(n.inst, Inst::Call { .. })))
             .map(|(i, _)| i)
             .collect();
         assert_eq!(call_blocks.len(), 2);

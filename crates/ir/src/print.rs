@@ -36,7 +36,13 @@ pub fn print_function(m: &Module, f: &Function) -> String {
         .enumerate()
         .map(|(i, s)| format!("%{i}:{}", s.ty))
         .collect();
-    let _ = writeln!(out, "func {}({}) -> {} {{", f.name, params.join(", "), f.ret);
+    let _ = writeln!(
+        out,
+        "func {}({}) -> {} {{",
+        f.name,
+        params.join(", "),
+        f.ret
+    );
     for (i, a) in f.arrays.iter().enumerate() {
         let _ = writeln!(out, "  array a{i} {}[{}]  ; {}", a.ty, a.len, a.name);
     }

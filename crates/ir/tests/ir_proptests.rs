@@ -1,6 +1,7 @@
 //! Property tests of the IR analyses: the CHK dominator tree against a
 //! naive reachability-based definition, and loop detection invariants,
-//! over randomly generated CFGs.
+//! over randomly generated CFGs. Driven by a seeded SplitMix64 (the
+//! workspace carries no external dependencies).
 
 use commset_ir::builder::FunctionBuilder;
 use commset_ir::cfg::Cfg;
@@ -8,11 +9,32 @@ use commset_ir::dom::DomTree;
 use commset_ir::loops::LoopForest;
 use commset_ir::repr::{BlockId, Const, Function, Inst, Terminator};
 use commset_lang::ast::Type;
-use proptest::prelude::*;
 
-/// Builds a function whose CFG has `n` blocks with the given terminator
-/// choices: for each block, `(a, b)` — `a == b` means an unconditional
-/// jump, distinct values a conditional branch; the last block returns.
+/// Minimal SplitMix64 — enough structure for CFG-shape generation.
+struct Rng(u64);
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Draws a random CFG shape: `n` blocks, each with successor indices
+/// `(a, b)` — `a == b` means an unconditional jump, distinct values a
+/// conditional branch; the last block returns.
+fn arb_shape(g: &mut Rng) -> (usize, Vec<(usize, usize)>) {
+    let n = 2 + g.below(8);
+    let succs = (0..n).map(|_| (g.below(10), g.below(10))).collect();
+    (n, succs)
+}
+
+/// Builds a function with the given CFG shape.
 fn build_cfg(n: usize, succs: &[(usize, usize)]) -> Function {
     let mut b = FunctionBuilder::new("f", &[], Type::Void);
     let blocks: Vec<BlockId> = std::iter::once(b.current_block())
@@ -66,18 +88,13 @@ fn naive_dominates(f: &Function, cfg: &Cfg, a: BlockId, b: BlockId) -> bool {
     !seen[b.0 as usize]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// The iterative dominator tree agrees with the naive definition on
-    /// every reachable block pair.
-    #[test]
-    fn dominators_match_naive_definition(
-        n in 2usize..10,
-        raw in proptest::collection::vec((0usize..10, 0usize..10), 10)
-    ) {
-        let succs: Vec<(usize, usize)> = raw.into_iter().take(n).collect();
-        prop_assume!(succs.len() == n);
+/// The iterative dominator tree agrees with the naive definition on
+/// every reachable block pair.
+#[test]
+fn dominators_match_naive_definition() {
+    let mut g = Rng(0x00ce_55e7_000a);
+    for _ in 0..128 {
+        let (n, succs) = arb_shape(&mut g);
         let f = build_cfg(n, &succs);
         let cfg = Cfg::new(&f);
         let dom = DomTree::new(&f, &cfg);
@@ -87,40 +104,40 @@ proptest! {
                 if !cfg.is_reachable(ab) || !cfg.is_reachable(bb) {
                     continue;
                 }
-                prop_assert_eq!(
+                assert_eq!(
                     dom.dominates(ab, bb),
                     naive_dominates(&f, &cfg, ab, bb),
-                    "dominates({}, {}) over {} blocks",
-                    a, b, n
+                    "dominates({a}, {b}) over {n} blocks"
                 );
             }
         }
     }
+}
 
-    /// Natural-loop invariants: headers dominate every block of their
-    /// loop, and every latch is inside the loop.
-    #[test]
-    fn natural_loops_are_dominated_by_their_headers(
-        n in 2usize..10,
-        raw in proptest::collection::vec((0usize..10, 0usize..10), 10)
-    ) {
-        let succs: Vec<(usize, usize)> = raw.into_iter().take(n).collect();
-        prop_assume!(succs.len() == n);
+/// Natural-loop invariants: headers dominate every block of their
+/// loop, and every latch is inside the loop.
+#[test]
+fn natural_loops_are_dominated_by_their_headers() {
+    let mut g = Rng(0x00ce_55e7_000b);
+    for _ in 0..128 {
+        let (n, succs) = arb_shape(&mut g);
         let f = build_cfg(n, &succs);
         let cfg = Cfg::new(&f);
         let dom = DomTree::new(&f, &cfg);
         let forest = LoopForest::new(&f, &cfg, &dom);
         for l in &forest.loops {
             for &b in &l.blocks {
-                prop_assert!(
+                assert!(
                     dom.dominates(l.header, b),
-                    "header {} must dominate member {}", l.header, b
+                    "header {} must dominate member {}",
+                    l.header,
+                    b
                 );
             }
             for latch in &l.latches {
-                prop_assert!(l.contains(*latch));
+                assert!(l.contains(*latch));
             }
-            prop_assert!(l.contains(l.header));
+            assert!(l.contains(l.header));
         }
     }
 }

@@ -654,9 +654,7 @@ pub fn stmt_exprs<'a>(stmt: &'a Stmt, visit: &mut dyn FnMut(&'a Expr)) {
 pub fn walk_expr<'a>(expr: &'a Expr, visit: &mut dyn FnMut(&'a Expr)) {
     visit(expr);
     match &expr.kind {
-        ExprKind::Unary(_, e) | ExprKind::Index(_, e) | ExprKind::Cast(_, e) => {
-            walk_expr(e, visit)
-        }
+        ExprKind::Unary(_, e) | ExprKind::Index(_, e) | ExprKind::Cast(_, e) => walk_expr(e, visit),
         ExprKind::Binary(_, a, b) => {
             walk_expr(a, visit);
             walk_expr(b, visit);

@@ -56,7 +56,11 @@ impl<'src> Lexer<'src> {
     }
 
     fn error(&self, msg: impl Into<String>, start: usize, line: u32) -> Diagnostic {
-        Diagnostic::new(Phase::Lex, msg, Span::new(start, self.pos.max(start + 1), line))
+        Diagnostic::new(
+            Phase::Lex,
+            msg,
+            Span::new(start, self.pos.max(start + 1), line),
+        )
     }
 
     fn run(mut self) -> Result<Vec<Token>, Diagnostic> {
@@ -80,7 +84,8 @@ impl<'src> Lexer<'src> {
                 b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.lex_ident(),
                 _ => self.lex_operator(start, line)?,
             };
-            self.tokens.push(Token::new(kind, self.span_from(start, line)));
+            self.tokens
+                .push(Token::new(kind, self.span_from(start, line)));
         }
     }
 

@@ -655,10 +655,7 @@ impl Parser {
                     Keyword::Float => Type::Float,
                     _ => Type::Handle,
                 };
-                Ok(Expr::new(
-                    ExprKind::Cast(ty, Box::new(e)),
-                    span.merge(end),
-                ))
+                Ok(Expr::new(ExprKind::Cast(ty, Box::new(e)), span.merge(end)))
             }
             TokenKind::Ident(name) => {
                 self.bump();
@@ -708,9 +705,9 @@ fn parse_pragma(body: &str, span: Span) -> Result<ParsedPragma, Diagnostic> {
     let tokens = lexer::lex(body)
         .map_err(|e| Diagnostic::new(Phase::Parse, format!("in pragma: {}", e.message), span))?;
     let mut p = Parser::new(tokens);
-    let (head, _) = p.ident().map_err(|_| {
-        Diagnostic::new(Phase::Parse, "expected COMMSET directive name", span)
-    })?;
+    let (head, _) = p
+        .ident()
+        .map_err(|_| Diagnostic::new(Phase::Parse, "expected COMMSET directive name", span))?;
     let fail = |msg: &str| Diagnostic::new(Phase::Parse, msg.to_string(), span);
     let out = match head.as_str() {
         "CommSetDecl" => {
@@ -737,7 +734,9 @@ fn parse_pragma(body: &str, span: Span) -> Result<ParsedPragma, Diagnostic> {
             let pred = p.expr(0).map_err(reloc(span))?;
             p.expect(&TokenKind::RParen).map_err(reloc(span))?;
             if params1.len() != params2.len() {
-                return Err(fail("CommSetPredicate parameter lists must have equal length"));
+                return Err(fail(
+                    "CommSetPredicate parameter lists must have equal length",
+                ));
             }
             ParsedPragma::Global(GlobalPragma::Predicate {
                 set,
@@ -939,7 +938,10 @@ mod tests {
         let Item::Func(f) = &p.items[1] else { panic!() };
         assert!(matches!(
             f.body.stmts[0].kind,
-            StmtKind::Assign { target: LValue::Index(..), .. }
+            StmtKind::Assign {
+                target: LValue::Index(..),
+                ..
+            }
         ));
     }
 
@@ -982,7 +984,9 @@ mod tests {
         let StmtKind::For { body, .. } = &f.body.stmts[0].kind else {
             panic!()
         };
-        let StmtKind::Block(b) = &body.kind else { panic!() };
+        let StmtKind::Block(b) = &body.kind else {
+            panic!()
+        };
         let annotated = &b.stmts[0];
         assert_eq!(annotated.instances.len(), 2);
         assert!(matches!(annotated.instances[0].set, SetRef::SelfImplicit));

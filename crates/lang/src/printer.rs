@@ -134,7 +134,12 @@ fn print_stmt(s: &Stmt, out: &mut String, level: usize) {
     }
     for r in &s.reductions {
         indent(out, level);
-        let _ = writeln!(out, "#pragma CommSetReduction({}, {})", r.var, r.op.as_str());
+        let _ = writeln!(
+            out,
+            "#pragma CommSetReduction({}, {})",
+            r.var,
+            r.op.as_str()
+        );
     }
     indent(out, level);
     print_stmt_kind(&s.kind, out, level);

@@ -217,7 +217,9 @@ impl Analyzer {
         let mut next_stmt_id = 0u32;
         for item in &program.items {
             if let Item::Func(f) = item {
-                walk_stmts(&f.body, &mut |s| next_stmt_id = next_stmt_id.max(s.id.0 + 1));
+                walk_stmts(&f.body, &mut |s| {
+                    next_stmt_id = next_stmt_id.max(s.id.0 + 1)
+                });
             }
         }
         let pred_funcs = self.finalize_predicates(&mut next_stmt_id)?;
@@ -253,7 +255,10 @@ impl Analyzer {
                         is_extern: true,
                     };
                     if self.sigs.insert(e.name.clone(), sig).is_some() {
-                        return Err(err(format!("duplicate declaration of `{}`", e.name), e.span));
+                        return Err(err(
+                            format!("duplicate declaration of `{}`", e.name),
+                            e.span,
+                        ));
                     }
                 }
                 Item::Func(f) => {
@@ -268,7 +273,10 @@ impl Analyzer {
                         is_extern: false,
                     };
                     if self.sigs.insert(f.name.clone(), sig).is_some() {
-                        return Err(err(format!("duplicate declaration of `{}`", f.name), f.span));
+                        return Err(err(
+                            format!("duplicate declaration of `{}`", f.name),
+                            f.span,
+                        ));
                     }
                 }
                 Item::Global(g) => {
@@ -331,11 +339,17 @@ impl Analyzer {
                     span,
                 } => {
                     let Some(&id) = self.set_ids.get(set) else {
-                        return Err(err(format!("CommSetPredicate for undeclared set `{set}`"), *span));
+                        return Err(err(
+                            format!("CommSetPredicate for undeclared set `{set}`"),
+                            *span,
+                        ));
                     };
                     let def = &mut self.sets[id.0 as usize];
                     if def.predicate.is_some() {
-                        return Err(err(format!("duplicate CommSetPredicate for `{set}`"), *span));
+                        return Err(err(
+                            format!("duplicate CommSetPredicate for `{set}`"),
+                            *span,
+                        ));
                     }
                     let mut seen: HashSet<&str> = HashSet::new();
                     for n in params1.iter().chain(params2) {
@@ -357,7 +371,10 @@ impl Analyzer {
                 }
                 GlobalPragma::NoSync { set, span } => {
                     let Some(&id) = self.set_ids.get(set) else {
-                        return Err(err(format!("CommSetNoSync for undeclared set `{set}`"), *span));
+                        return Err(err(
+                            format!("CommSetNoSync for undeclared set `{set}`"),
+                            *span,
+                        ));
                     };
                     self.sets[id.0 as usize].nosync = true;
                 }
@@ -436,7 +453,10 @@ impl Analyzer {
             None => {
                 if !inst.args.is_empty() {
                     return Err(err(
-                        format!("set `{}` is not predicated but arguments were supplied", def.name),
+                        format!(
+                            "set `{}` is not predicated but arguments were supplied",
+                            def.name
+                        ),
                         inst.span,
                     ));
                 }
@@ -485,7 +505,11 @@ impl Analyzer {
                         a.span,
                     ));
                 };
-                let Some((_, ty)) = f.params.iter().map(|p| (&p.name, p.ty)).find(|(n, _)| *n == name)
+                let Some((_, ty)) = f
+                    .params
+                    .iter()
+                    .map(|p| (&p.name, p.ty))
+                    .find(|(n, _)| *n == name)
                 else {
                     return Err(err(
                         format!("`{name}` is not a parameter of `{}`", f.name),
@@ -571,7 +595,9 @@ impl Analyzer {
     fn finalize_predicates(&mut self, next_stmt_id: &mut u32) -> Result<Vec<FuncDecl>, Diagnostic> {
         let mut out = Vec::new();
         for set in &mut self.sets {
-            let Some(pred) = &mut set.predicate else { continue };
+            let Some(pred) = &mut set.predicate else {
+                continue;
+            };
             let obs = self.pred_arg_tys.get(&set.id).cloned().unwrap_or_default();
             if obs.is_empty() {
                 return Err(err(
@@ -672,18 +698,20 @@ fn check_predicate_purity(
                 ))
             }
             ExprKind::Index(..) => {
-                bad = Some(err("predicate must be pure: array access is not allowed", e.span))
+                bad = Some(err(
+                    "predicate must be pure: array access is not allowed",
+                    e.span,
+                ))
             }
             ExprKind::StrLit(_) => {
                 bad = Some(err("string literals are not allowed in predicates", e.span))
             }
-            ExprKind::Var(n)
-                if !params1.contains(n) && !params2.contains(n) => {
-                    bad = Some(err(
-                        format!("predicate refers to `{n}`, which is not a predicate parameter"),
-                        e.span,
-                    ));
-                }
+            ExprKind::Var(n) if !params1.contains(n) && !params2.contains(n) => {
+                bad = Some(err(
+                    format!("predicate refers to `{n}`, which is not a predicate parameter"),
+                    e.span,
+                ));
+            }
             _ => {}
         }
     });
@@ -764,9 +792,12 @@ impl FuncChecker<'_> {
             }
             StmtKind::Assign { target, op, value } => {
                 let vty = self.expr_ty(value)?;
-                let (tty, arr) = self
-                    .lookup(target.name())
-                    .ok_or_else(|| err(format!("undeclared variable `{}`", target.name()), target.span()))?;
+                let (tty, arr) = self.lookup(target.name()).ok_or_else(|| {
+                    err(
+                        format!("undeclared variable `{}`", target.name()),
+                        target.span(),
+                    )
+                })?;
                 match target {
                     LValue::Var(..) => {
                         if arr.is_some() {
@@ -847,31 +878,29 @@ impl FuncChecker<'_> {
                 self.scopes.pop();
                 r
             }
-            StmtKind::Return(v) => {
-                match (v, self.func.ret) {
-                    (None, Type::Void) => Ok(()),
-                    (None, ret) => Err(err(
-                        format!("`{}` must return a `{ret}` value", self.func.name),
-                        s.span,
-                    )),
-                    (Some(e), ret) => {
-                        let ty = self.expr_ty(e)?;
-                        if ret == Type::Void {
-                            Err(err(
-                                format!("void function `{}` cannot return a value", self.func.name),
-                                e.span,
-                            ))
-                        } else if ty != ret {
-                            Err(err(
-                                format!("return type mismatch: expected `{ret}`, found `{ty}`"),
-                                e.span,
-                            ))
-                        } else {
-                            Ok(())
-                        }
+            StmtKind::Return(v) => match (v, self.func.ret) {
+                (None, Type::Void) => Ok(()),
+                (None, ret) => Err(err(
+                    format!("`{}` must return a `{ret}` value", self.func.name),
+                    s.span,
+                )),
+                (Some(e), ret) => {
+                    let ty = self.expr_ty(e)?;
+                    if ret == Type::Void {
+                        Err(err(
+                            format!("void function `{}` cannot return a value", self.func.name),
+                            e.span,
+                        ))
+                    } else if ty != ret {
+                        Err(err(
+                            format!("return type mismatch: expected `{ret}`, found `{ty}`"),
+                            e.span,
+                        ))
+                    } else {
+                        Ok(())
                     }
                 }
-            }
+            },
             StmtKind::Break | StmtKind::Continue => {
                 if self.loop_depth == 0 {
                     Err(err("`break`/`continue` outside of a loop", s.span))
@@ -901,7 +930,10 @@ impl FuncChecker<'_> {
                 Some((Type::Int | Type::Float, None)) => {}
                 Some(_) => {
                     return Err(err(
-                        format!("reduction variable `{}` must be a scalar int or float", r.var),
+                        format!(
+                            "reduction variable `{}` must be a scalar int or float",
+                            r.var
+                        ),
                         r.span,
                     ))
                 }
@@ -971,11 +1003,7 @@ impl FuncChecker<'_> {
             for add in s.named_arg_adds.clone() {
                 let Some(callee) = callees
                     .iter()
-                    .find(|c| {
-                        self.analyzer
-                            .sigs
-                            .contains_key(*c)
-                    })
+                    .find(|c| self.analyzer.sigs.contains_key(*c))
                     .cloned()
                 else {
                     return Err(err(
@@ -1170,7 +1198,10 @@ fn type_of_expr_scoped(
                     if ta == tb && matches!(ta, Type::Int | Type::Float) {
                         Ok(Type::Int)
                     } else {
-                        Err(err("comparison requires matching int or float operands", e.span))
+                        Err(err(
+                            "comparison requires matching int or float operands",
+                            e.span,
+                        ))
                     }
                 }
                 Eq | Ne => {
@@ -1289,10 +1320,10 @@ mod tests {
     fn casts_are_checked() {
         assert!(compile_unit("int main() { float f = float(3); return int(f); }").is_ok());
         assert!(compile_unit("int main() { handle h = handle(3); return int(h); }").is_ok());
-        assert!(compile_unit(
-            "int main() { handle h = handle(3); float f = float(h); return 0; }"
-        )
-        .is_err());
+        assert!(
+            compile_unit("int main() { handle h = handle(3); float f = float(h); return 0; }")
+                .is_err()
+        );
     }
 
     fn md5_like() -> &'static str {
@@ -1472,10 +1503,7 @@ mod tests {
         int main() { return f(1); }
         "#;
         let unit = compile_unit(ok).unwrap();
-        assert_eq!(
-            unit.members[0].member,
-            MemberRef::Func("f".to_string())
-        );
+        assert_eq!(unit.members[0].member, MemberRef::Func("f".to_string()));
     }
 
     #[test]

@@ -1,0 +1,297 @@
+//! Fault injection for the parallel runtime.
+//!
+//! A [`FaultPlan`] describes an adversarial schedule: forced STM/TM
+//! aborts, delayed lock grants, stalled workers and bounded-queue
+//! pushback. Both executors (the real-thread executor and the
+//! discrete-event simulator) consult a shared [`FaultInjector`] at each
+//! synchronization point, so the same plan torments either executor and
+//! the torture suite can assert that parallel output stays identical to
+//! sequential output under every plan.
+//!
+//! Injection is *deterministic*: decisions derive from atomic event
+//! counters and a [`SplitMix64`] stream seeded from the plan, never from
+//! wall-clock time.
+
+use crate::rng::SplitMix64;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Stall specification for one worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerStall {
+    /// Worker thread id (`tid`) to stall; `None` stalls every worker.
+    pub tid: Option<i64>,
+    /// Stall on every `every`-th synchronization event of that worker
+    /// (1 = every event). Must be ≥ 1 to have any effect.
+    pub every: u64,
+    /// Stall magnitude: simulated cycles for the DES, microseconds for
+    /// the thread executor.
+    pub cost: u64,
+}
+
+/// An adversarial schedule for one run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for all injection randomness.
+    pub seed: u64,
+    /// Force an abort on every `n`-th transactional commit attempt
+    /// (0 = never). An "abort storm" uses a small `n`.
+    pub stm_abort_every: u64,
+    /// Delay every `n`-th lock grant (0 = never).
+    pub lock_delay_every: u64,
+    /// Delay magnitude (simulated cycles / real microseconds).
+    pub lock_delay_cost: u64,
+    /// Stall workers at synchronization events.
+    pub stall: Option<WorkerStall>,
+    /// Clamp every queue capacity to at most this bound (pushback);
+    /// `None` leaves plan capacities untouched.
+    pub queue_capacity_clamp: Option<usize>,
+}
+
+impl FaultPlan {
+    /// No faults (the identity plan).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// STM-abort storm: every other commit attempt is forced to abort,
+    /// driving transactions into backoff and the rank-0 fallback.
+    pub fn abort_storm(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            stm_abort_every: 2,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Delayed lock grants: every third grant stalls, widening critical
+    /// sections and windows for rank-order violations.
+    pub fn lock_delay(seed: u64, cost: u64) -> Self {
+        FaultPlan {
+            seed,
+            lock_delay_every: 3,
+            lock_delay_cost: cost,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// One slow worker: `tid` pauses at every fourth synchronization
+    /// event, skewing progress across the section.
+    pub fn worker_stall(seed: u64, tid: i64, cost: u64) -> Self {
+        FaultPlan {
+            seed,
+            stall: Some(WorkerStall {
+                tid: Some(tid),
+                every: 4,
+                cost,
+            }),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Bounded-queue pushback: clamp every pipeline queue to capacity 1 so
+    /// producers constantly hit the full-queue path.
+    pub fn queue_pushback(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            queue_capacity_clamp: Some(1),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_none(&self) -> bool {
+        self.stm_abort_every == 0
+            && self.lock_delay_every == 0
+            && self.stall.is_none()
+            && self.queue_capacity_clamp.is_none()
+    }
+}
+
+/// Cumulative injection counters (snapshot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultStats {
+    /// Forced transactional aborts delivered.
+    pub stm_aborts: u64,
+    /// Lock grants delayed.
+    pub lock_delays: u64,
+    /// Worker stalls delivered.
+    pub stalls: u64,
+}
+
+/// Shared, thread-safe decision engine for one run of a [`FaultPlan`].
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    commit_events: AtomicU64,
+    lock_events: AtomicU64,
+    stall_events: AtomicU64,
+    delivered_aborts: AtomicU64,
+    delivered_delays: AtomicU64,
+    delivered_stalls: AtomicU64,
+    rng: Mutex<SplitMix64>,
+}
+
+impl FaultInjector {
+    /// Creates the injector for `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        let rng = Mutex::new(SplitMix64::new(plan.seed ^ 0xfa17_1a9e_u64));
+        FaultInjector {
+            plan,
+            commit_events: AtomicU64::new(0),
+            lock_events: AtomicU64::new(0),
+            stall_events: AtomicU64::new(0),
+            delivered_aborts: AtomicU64::new(0),
+            delivered_delays: AtomicU64::new(0),
+            delivered_stalls: AtomicU64::new(0),
+            rng,
+        }
+    }
+
+    /// The plan driving this injector.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Should this commit attempt be forced to abort?
+    pub fn force_stm_abort(&self) -> bool {
+        if self.plan.stm_abort_every == 0 {
+            return false;
+        }
+        let n = self.commit_events.fetch_add(1, Ordering::Relaxed) + 1;
+        let hit = n.is_multiple_of(self.plan.stm_abort_every);
+        if hit {
+            self.delivered_aborts.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Extra delay (cycles / µs) to impose on this lock grant; 0 = none.
+    pub fn lock_grant_delay(&self) -> u64 {
+        if self.plan.lock_delay_every == 0 {
+            return 0;
+        }
+        let n = self.lock_events.fetch_add(1, Ordering::Relaxed) + 1;
+        if n.is_multiple_of(self.plan.lock_delay_every) {
+            self.delivered_delays.fetch_add(1, Ordering::Relaxed);
+            // Jitter the delay ±50% so grants don't re-synchronize.
+            let jitter = self
+                .rng
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .next_u64();
+            let base = self.plan.lock_delay_cost.max(1);
+            base / 2 + jitter % (base / 2 + 1)
+        } else {
+            0
+        }
+    }
+
+    /// Stall to impose on worker `tid`'s current synchronization event;
+    /// 0 = none.
+    pub fn worker_stall(&self, tid: i64) -> u64 {
+        let Some(stall) = self.plan.stall else {
+            return 0;
+        };
+        if let Some(t) = stall.tid {
+            if t != tid {
+                return 0;
+            }
+        }
+        if stall.every == 0 {
+            return 0;
+        }
+        let n = self.stall_events.fetch_add(1, Ordering::Relaxed) + 1;
+        if n.is_multiple_of(stall.every) {
+            self.delivered_stalls.fetch_add(1, Ordering::Relaxed);
+            stall.cost
+        } else {
+            0
+        }
+    }
+
+    /// Applies the plan's queue clamp to a planned capacity.
+    pub fn clamp_capacity(&self, capacity: usize) -> usize {
+        match self.plan.queue_capacity_clamp {
+            Some(c) => capacity.min(c.max(1)),
+            None => capacity,
+        }
+    }
+
+    /// Snapshot of delivered-fault counters.
+    pub fn stats(&self) -> FaultStats {
+        FaultStats {
+            stm_aborts: self.delivered_aborts.load(Ordering::Relaxed),
+            lock_delays: self.delivered_delays.load(Ordering::Relaxed),
+            stalls: self.delivered_stalls.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_plan_injects_nothing() {
+        let inj = FaultInjector::new(FaultPlan::none());
+        for _ in 0..100 {
+            assert!(!inj.force_stm_abort());
+            assert_eq!(inj.lock_grant_delay(), 0);
+            assert_eq!(inj.worker_stall(0), 0);
+        }
+        assert_eq!(inj.clamp_capacity(64), 64);
+        assert_eq!(inj.stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn abort_storm_hits_every_other_commit() {
+        let inj = FaultInjector::new(FaultPlan::abort_storm(7));
+        let hits: Vec<bool> = (0..10).map(|_| inj.force_stm_abort()).collect();
+        assert_eq!(hits.iter().filter(|h| **h).count(), 5);
+        assert_eq!(inj.stats().stm_aborts, 5);
+    }
+
+    #[test]
+    fn lock_delay_is_periodic_and_bounded() {
+        let plan = FaultPlan::lock_delay(3, 100);
+        let inj = FaultInjector::new(plan);
+        let mut delayed = 0;
+        for i in 1..=12u64 {
+            let d = inj.lock_grant_delay();
+            if i % 3 == 0 {
+                assert!((50..=100).contains(&d), "delay {d} out of jitter range");
+                delayed += 1;
+            } else {
+                assert_eq!(d, 0);
+            }
+        }
+        assert_eq!(delayed, 4);
+    }
+
+    #[test]
+    fn stall_targets_one_worker() {
+        let inj = FaultInjector::new(FaultPlan::worker_stall(1, 2, 500));
+        for _ in 0..8 {
+            assert_eq!(inj.worker_stall(0), 0, "other workers untouched");
+        }
+        let stalls: Vec<u64> = (0..8).map(|_| inj.worker_stall(2)).collect();
+        assert_eq!(stalls.iter().filter(|s| **s > 0).count(), 2, "{stalls:?}");
+    }
+
+    #[test]
+    fn queue_clamp_bounds_capacity() {
+        let inj = FaultInjector::new(FaultPlan::queue_pushback(0));
+        assert_eq!(inj.clamp_capacity(64), 1);
+        assert_eq!(inj.clamp_capacity(1), 1);
+    }
+
+    #[test]
+    fn decisions_are_deterministic_across_runs() {
+        let run = || {
+            let inj = FaultInjector::new(FaultPlan::lock_delay(42, 80));
+            (0..20).map(|_| inj.lock_grant_delay()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -18,16 +18,28 @@
 //! * [`intrinsics`] — the registry binding `extern` intrinsic names to
 //!   effect signatures and executable handlers.
 //! * [`rng`] — the deterministic RNG algorithms used by workloads.
+//! * [`sync`] — std-backed, poison-recovering mutex/condvar/rwlock shims
+//!   (the workspace builds with zero external dependencies).
+//! * [`fault`] — deterministic fault injection ([`FaultPlan`]) consulted
+//!   by both executors at every synchronization point.
+//! * [`watchdog`] — the waits-for-graph watchdog validating the
+//!   rank-ordered deadlock-freedom claim at runtime.
 
+pub mod fault;
 pub mod intrinsics;
 pub mod lock;
 pub mod queue;
 pub mod rng;
 pub mod stm;
+pub mod sync;
 pub mod value;
+pub mod watchdog;
 pub mod world;
 
+pub use fault::{FaultInjector, FaultPlan, FaultStats, WorkerStall};
 pub use intrinsics::{IntrinsicOutcome, Registry};
 pub use queue::SpscQueue;
+pub use stm::{BackoffPolicy, StmStats};
 pub use value::Value;
+pub use watchdog::{Watchdog, WatchdogReport};
 pub use world::World;

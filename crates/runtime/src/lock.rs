@@ -1,8 +1,9 @@
 //! Raw locks with explicit acquire/release, matching the sync engine's
 //! paired `__lock_acquire` / `__lock_release` operations (paper §4.6).
 
-use parking_lot::{Condvar, Mutex};
+use crate::sync::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
 
 /// Which lock implementation a [`RawLock`] uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,6 +89,49 @@ impl RawLock {
         }
     }
 
+    /// Acquires the lock unless `cancel` becomes true first.
+    ///
+    /// Returns `false` (without holding the lock) when canceled. This is
+    /// the containment path: when a sibling worker fails, the executor
+    /// raises the cancel flag and every worker blocked on a lock unwinds
+    /// cleanly instead of waiting on a grant that may never come.
+    pub fn acquire_canceling(&self, cancel: &AtomicBool) -> bool {
+        match self.kind {
+            LockKind::Spin => {
+                let mut spins = 0u32;
+                while self
+                    .spin
+                    .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+                    .is_err()
+                {
+                    if cancel.load(Ordering::Relaxed) {
+                        return false;
+                    }
+                    spins += 1;
+                    if spins < 64 {
+                        std::hint::spin_loop();
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+                true
+            }
+            LockKind::Mutex => {
+                let mut held = self.mutex.lock();
+                while *held {
+                    if cancel.load(Ordering::Relaxed) {
+                        return false;
+                    }
+                    // Bounded waits so the cancel flag is observed even if
+                    // the holder died without releasing.
+                    self.cv.wait_timeout(&mut held, Duration::from_millis(2));
+                }
+                *held = true;
+                true
+            }
+        }
+    }
+
     /// Attempts to acquire without waiting.
     pub fn try_acquire(&self) -> bool {
         match self.kind {
@@ -145,6 +189,30 @@ mod tests {
     #[test]
     fn mutex_mutual_exclusion() {
         hammer(LockKind::Mutex);
+    }
+
+    #[test]
+    fn acquire_canceling_unblocks_on_cancel() {
+        for kind in [LockKind::Spin, LockKind::Mutex] {
+            let lock = Arc::new(RawLock::new(kind));
+            let cancel = Arc::new(AtomicBool::new(false));
+            lock.acquire(); // hold it so the worker must block
+            let t = {
+                let lock = Arc::clone(&lock);
+                let cancel = Arc::clone(&cancel);
+                std::thread::spawn(move || lock.acquire_canceling(&cancel))
+            };
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            cancel.store(true, Ordering::Relaxed);
+            assert!(!t.join().unwrap(), "canceled acquire must report failure");
+            lock.release();
+            // And the fast path still works when the lock is free.
+            assert!(
+                lock.acquire_canceling(&cancel),
+                "free lock acquires even when canceled later"
+            );
+            lock.release();
+        }
     }
 
     #[test]

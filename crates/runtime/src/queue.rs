@@ -122,6 +122,57 @@ impl<T: Copy> SpscQueue<T> {
             backoff(&mut spins);
         }
     }
+
+    /// Pushes, spinning while full, unless `cancel` becomes true.
+    ///
+    /// Returns `Err(v)` with the unsent value when canceled — the
+    /// containment path for a producer whose consumer died.
+    pub fn push_canceling(&self, v: T, cancel: &std::sync::atomic::AtomicBool) -> Result<(), T> {
+        use std::sync::atomic::Ordering;
+        let mut v = v;
+        let mut spins = 0u32;
+        loop {
+            match self.try_push(v) {
+                Ok(()) => return Ok(()),
+                Err(back) => {
+                    if cancel.load(Ordering::Relaxed) {
+                        return Err(back);
+                    }
+                    v = back;
+                    backoff(&mut spins);
+                }
+            }
+        }
+    }
+
+    /// Pops, spinning while empty, unless `cancel` becomes true.
+    ///
+    /// Returns `None` when canceled — the containment path for a consumer
+    /// whose producer died.
+    pub fn pop_canceling(&self, cancel: &std::sync::atomic::AtomicBool) -> Option<T> {
+        use std::sync::atomic::Ordering;
+        let mut spins = 0u32;
+        loop {
+            if let Some(v) = self.try_pop() {
+                return Some(v);
+            }
+            if cancel.load(Ordering::Relaxed) {
+                return None;
+            }
+            backoff(&mut spins);
+        }
+    }
+
+    /// Pops everything currently queued (consumer side only), returning
+    /// the number of elements discarded. Used when tearing down a failed
+    /// parallel section so producers blocked on a full queue can finish.
+    pub fn drain(&self) -> usize {
+        let mut n = 0;
+        while self.try_pop().is_some() {
+            n += 1;
+        }
+        n
+    }
 }
 
 fn backoff(spins: &mut u32) {
@@ -196,5 +247,34 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         let _ = SpscQueue::<u64>::new(0);
+    }
+
+    #[test]
+    fn canceling_ops_unblock_and_report() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let q = Arc::new(SpscQueue::<u64>::new(2));
+        let cancel = Arc::new(AtomicBool::new(false));
+        // Fill the queue so the producer must block.
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            let cancel = Arc::clone(&cancel);
+            std::thread::spawn(move || q.push_canceling(3, &cancel))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        cancel.store(true, Ordering::Relaxed);
+        assert_eq!(
+            producer.join().unwrap(),
+            Err(3),
+            "canceled push returns the value"
+        );
+        // Consumer side: empty queue + cancel → None.
+        assert_eq!(q.drain(), 2);
+        assert_eq!(q.pop_canceling(&cancel), None);
+        // Uncanceled fast paths still work.
+        cancel.store(false, Ordering::Relaxed);
+        q.push_canceling(9, &cancel).unwrap();
+        assert_eq!(q.pop_canceling(&cancel), Some(9));
     }
 }

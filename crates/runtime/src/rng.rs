@@ -21,10 +21,7 @@ impl Lcg {
 
     /// Next pseudo-random value in `0..=32767`.
     pub fn next_i32(&mut self) -> i64 {
-        self.seed = self
-            .seed
-            .wrapping_mul(1_103_515_245)
-            .wrapping_add(12_345);
+        self.seed = self.seed.wrapping_mul(1_103_515_245).wrapping_add(12_345);
         ((self.seed >> 16) & 0x7fff) as i64
     }
 

@@ -80,7 +80,9 @@ impl World {
 
 impl std::fmt::Debug for World {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("World").field("slots", &self.names()).finish()
+        f.debug_struct("World")
+            .field("slots", &self.names())
+            .finish()
     }
 }
 

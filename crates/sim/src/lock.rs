@@ -160,9 +160,6 @@ mod tests {
         let base1 = g1;
         l.pending = 5;
         let g2 = grant(l.try_acquire(2, true, &cm));
-        assert!(
-            g2 - l.free_at > base1 - 100,
-            "more waiters, slower handoff"
-        );
+        assert!(g2 - l.free_at > base1 - 100, "more waiters, slower handoff");
     }
 }

@@ -18,6 +18,9 @@ pub struct TmModel {
     pub commits: u64,
     /// Total aborts (statistics).
     pub aborts: u64,
+    /// Commits that escalated to the modeled rank-0 global lock after
+    /// repeated aborts (the starvation fallback, statistics).
+    pub fallbacks: u64,
 }
 
 /// An in-flight modeled transaction.
@@ -76,6 +79,28 @@ impl TmModel {
         Ok(done)
     }
 
+    /// Commits unconditionally at `t` under the modeled rank-0 global
+    /// lock — the starvation fallback a transaction escalates to after
+    /// exhausting its optimistic retry budget. Charges the global lock's
+    /// acquire/release plus the commit validation, always succeeds, and
+    /// bumps the `fallbacks` counter.
+    pub fn commit_pessimistic(&mut self, tx: &TxRecord, t: u64, cm: &CostModel) -> u64 {
+        self.fallbacks += 1;
+        self.commits += 1;
+        let done = t + cm.lock_acquire + cm.tx_commit + cm.lock_release;
+        for c in &tx.writes {
+            self.last_write.insert(c.clone(), done);
+        }
+        done
+    }
+
+    /// Records an injected (forced) abort at time `t`: charges the same
+    /// wasted work a real conflict would and bumps the abort counter.
+    pub fn forced_abort(&mut self, tx: &TxRecord, t: u64, cm: &CostModel) -> u64 {
+        self.aborts += 1;
+        (t.saturating_sub(tx.start)) + cm.tx_commit
+    }
+
     /// Abort ratio so far.
     pub fn abort_ratio(&self) -> f64 {
         let total = self.commits + self.aborts;
@@ -121,6 +146,34 @@ mod tests {
         let wasted = r.unwrap_err();
         assert!(wasted >= 1000 - reader.start);
         assert!(tm.abort_ratio() > 0.0);
+    }
+
+    #[test]
+    fn pessimistic_commit_always_succeeds_and_counts() {
+        let cm = CostModel::default();
+        let mut tm = TmModel::new();
+        // A writer commits to A after the victim began — an optimistic
+        // commit would abort forever under a steady conflict stream.
+        let mut victim = tm.begin(0, &cm);
+        victim.reads.insert("A".into());
+        let mut writer = tm.begin(10, &cm);
+        writer.writes.insert("A".into());
+        tm.commit(&writer, 500, &cm).unwrap();
+        assert!(tm.commit(&victim, 1000, &cm).is_err());
+        let done = tm.commit_pessimistic(&victim, 2000, &cm);
+        assert!(done > 2000);
+        assert_eq!(tm.fallbacks, 1);
+        assert_eq!(tm.commits, 2);
+    }
+
+    #[test]
+    fn forced_abort_charges_wasted_work() {
+        let cm = CostModel::default();
+        let mut tm = TmModel::new();
+        let tx = tm.begin(0, &cm);
+        let wasted = tm.forced_abort(&tx, 100, &cm);
+        assert!(wasted >= 100 - tx.start);
+        assert_eq!(tm.aborts, 1);
     }
 
     #[test]

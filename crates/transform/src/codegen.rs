@@ -2,8 +2,8 @@
 
 use commset_analysis::hotloop::HotLoop;
 use commset_analysis::metadata::ManagedUnit;
-use commset_lang::ast::*;
 use commset_lang::ast::ReductionOp;
+use commset_lang::ast::*;
 use commset_lang::diag::{Diagnostic, Phase};
 use commset_lang::token::Span;
 use std::collections::{BTreeMap, BTreeSet};
@@ -52,7 +52,10 @@ pub fn e_call(name: impl Into<String>, args: Vec<Expr>) -> Expr {
 
 /// Binary operation.
 pub fn e_bin(op: BinOp, a: Expr, b: Expr) -> Expr {
-    Expr::new(ExprKind::Binary(op, Box::new(a), Box::new(b)), Span::default())
+    Expr::new(
+        ExprKind::Binary(op, Box::new(a), Box::new(b)),
+        Span::default(),
+    )
 }
 
 /// Cast.
@@ -212,8 +215,7 @@ pub fn ensure_runtime_externs(program: &mut Program) {
             continue;
         }
         let tokens = commset_lang::lexer::lex(decl).expect("static extern decl lexes");
-        let parsed =
-            commset_lang::parser::parse(tokens, decl).expect("static extern decl parses");
+        let parsed = commset_lang::parser::parse(tokens, decl).expect("static extern decl parses");
         program.items.extend(parsed.items);
     }
 }
@@ -490,7 +492,11 @@ pub fn publish_environment(
     replacement.push(s_expr(ids, e_call("__par_invoke", vec![e_int(section)])));
     // Reduction accumulators flow back into the sequential continuation.
     for r in &hot.reductions {
-        replacement.push(s_assign(ids, r.var.clone(), e_var(env_global(section, &r.var))));
+        replacement.push(s_assign(
+            ids,
+            r.var.clone(),
+            e_var(env_global(section, &r.var)),
+        ));
     }
     f.body.stmts.splice(pos..=pos, replacement);
     let _ = managed;
@@ -509,11 +515,9 @@ pub fn live_in_loads(
 ) -> Vec<Stmt> {
     live.iter()
         .filter(|(v, _)| needed.contains(v))
-        .map(|(v, ty)| {
-            match reductions.iter().find(|r| &r.var == v) {
-                Some(r) => s_decl(ids, v.clone(), *ty, Some(reduction_identity(r.op, *ty))),
-                None => s_decl(ids, v.clone(), *ty, Some(e_var(env_global(section, v)))),
-            }
+        .map(|(v, ty)| match reductions.iter().find(|r| &r.var == v) {
+            Some(r) => s_decl(ids, v.clone(), *ty, Some(reduction_identity(r.op, *ty))),
+            None => s_decl(ids, v.clone(), *ty, Some(e_var(env_global(section, v)))),
         })
         .collect()
 }
@@ -578,7 +582,8 @@ mod tests {
         let mut program = managed.program.clone();
         let var_types = hot_var_types(&managed, "main").unwrap();
         let mut ids = IdGen::new(managed.next_stmt_id);
-        let live = publish_environment(&mut program, &managed, &hot, &var_types, 0, &mut ids).unwrap();
+        let live =
+            publish_environment(&mut program, &managed, &hot, &var_types, 0, &mut ids).unwrap();
         assert_eq!(live, vec![("n".to_string(), Type::Int)]);
         let printed = commset_lang::printer::print_program(&program);
         assert!(printed.contains("__env0_n = n"), "{printed}");

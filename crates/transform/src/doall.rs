@@ -86,7 +86,12 @@ pub fn apply_doall_scheduled(
         let inhibitors: Vec<String> = pdg
             .inhibitors()
             .iter()
-            .map(|e| format!("{} -> {}", pdg.nodes[e.src.0].label, pdg.nodes[e.dst.0].label))
+            .map(|e| {
+                format!(
+                    "{} -> {}",
+                    pdg.nodes[e.src.0].label, pdg.nodes[e.dst.0].label
+                )
+            })
             .collect();
         return Err(err(format!(
             "DOALL illegal: loop-carried dependences remain ({})",
@@ -227,7 +232,13 @@ pub fn apply_doall_scheduled(
     // dedicated reduction lock (appended after the sync engine's locks).
     let reduction_lock = engine.locks.len() as i64;
     for r in &hot.reductions {
-        stmts.extend(reduction_merge(&mut ids, r.op, &r.var, section, reduction_lock));
+        stmts.extend(reduction_merge(
+            &mut ids,
+            r.op,
+            &r.var,
+            section,
+            reduction_lock,
+        ));
     }
     program.items.push(Item::Func(FuncDecl {
         name: worker_name.clone(),
@@ -339,7 +350,10 @@ mod tests {
         assert_eq!(pp.plan.workers.len(), 4);
         assert_eq!(pp.plan.locks.len(), 2, "two SELF sets synchronized");
         let printed = print_program(&pp.program);
-        assert!(printed.contains("void __par0_doall(int __tid, int __nt)"), "{printed}");
+        assert!(
+            printed.contains("void __par0_doall(int __tid, int __nt)"),
+            "{printed}"
+        );
         assert!(printed.contains("__par_invoke(0)"), "{printed}");
         assert!(
             printed.contains("(0 + (__tid * 1))"),
@@ -412,7 +426,11 @@ mod tests {
         let printed = print_program(&pp.program);
         assert!(printed.contains("__chunk"), "{printed}");
         assert!(printed.contains("__total"), "{printed}");
-        assert!(pp.plan.stage_desc[0].contains("blocked"), "{:?}", pp.plan.stage_desc);
+        assert!(
+            pp.plan.stage_desc[0].contains("blocked"),
+            "{:?}",
+            pp.plan.stage_desc
+        );
     }
 
     #[test]

@@ -65,7 +65,16 @@ pub fn apply_pipeline(
 ) -> Result<ParallelProgram, Diagnostic> {
     let replicate = false;
     build_pipeline(
-        managed, hot, pdg, dag, summaries, irrevocable, nthreads, sync, section, replicate,
+        managed,
+        hot,
+        pdg,
+        dag,
+        summaries,
+        irrevocable,
+        nthreads,
+        sync,
+        section,
+        replicate,
     )
 }
 
@@ -83,7 +92,16 @@ pub fn apply_ps_dswp(
     section: i64,
 ) -> Result<ParallelProgram, Diagnostic> {
     build_pipeline(
-        managed, hot, pdg, dag, summaries, irrevocable, nthreads, sync, section, true,
+        managed,
+        hot,
+        pdg,
+        dag,
+        summaries,
+        irrevocable,
+        nthreads,
+        sync,
+        section,
+        true,
     )
 }
 
@@ -166,9 +184,8 @@ fn build_pipeline(
             v
         })
         .collect();
-    let stage_of_stmt = |i: usize| -> usize {
-        part.stage_of(i + 1).expect("every stmt is assigned")
-    };
+    let stage_of_stmt =
+        |i: usize| -> usize { part.stage_of(i + 1).expect("every stmt is assigned") };
 
     // -- communications -----------------------------------------------------
     let mut queues: Vec<QueueSpec> = Vec::new();
@@ -341,14 +358,15 @@ fn build_pipeline(
 
     let stage_weights: Vec<f64> = stage_stmts
         .iter()
-        .map(|idx| idx.iter().map(|&i| hot.body[i].weight as f64).sum::<f64>().max(1.0))
+        .map(|idx| {
+            idx.iter()
+                .map(|&i| hot.body[i].weight as f64)
+                .sum::<f64>()
+                .max(1.0)
+        })
         .collect();
-    let estimated_cost = estimate::pipeline_cost(
-        &stage_weights,
-        part.parallel_stage,
-        replicas,
-        queues.len(),
-    );
+    let estimated_cost =
+        estimate::pipeline_cost(&stage_weights, part.parallel_stage, replicas, queues.len());
     let scheme = if part.parallel_stage.is_some() {
         Scheme::PsDswp
     } else {
@@ -536,9 +554,7 @@ fn gen_stage(g: GenStage<'_>, ids: &mut IdGen) -> Result<FuncDecl, Diagnostic> {
         && (comms
             .iter()
             .any(|c| (c.to == stage || c.from == stage) && c.instances > 1)
-            || (!countable
-                && stage == 0
-                && ctl_bases.values().any(|&(_, inst)| inst > 1)));
+            || (!countable && stage == 0 && ctl_bases.values().any(|&(_, inst)| inst > 1)));
     if needs_j {
         iter_body.push(Stmt::plain(
             ids.fresh(),
@@ -622,11 +638,7 @@ fn gen_stage(g: GenStage<'_>, ids: &mut IdGen) -> Result<FuncDecl, Diagnostic> {
                 } else {
                     e_bin(BinOp::Add, e_int(base), e_var("__tid"))
                 };
-                func_body.push(s_while(
-                    ids,
-                    e_call("__q_pop", vec![ctl]),
-                    iter_body,
-                ));
+                func_body.push(s_while(ids, e_call("__q_pop", vec![ctl]), iter_body));
             }
         }
     }
@@ -682,17 +694,20 @@ mod tests {
         t.register("produce", vec![Type::Int], Type::Int, &["IN"], &["IN"], 20);
         t.register("heavy", vec![Type::Int], Type::Int, &[], &[], 800);
         t.register("emit", vec![Type::Int], Type::Void, &[], &["OUT"], 30);
-        t.register("ll_next", vec![Type::Handle], Type::Handle, &["LL"], &["LL"], 15);
+        t.register(
+            "ll_next",
+            vec![Type::Handle],
+            Type::Handle,
+            &["LL"],
+            &["LL"],
+            15,
+        );
         t.register("rngf", vec![], Type::Float, &["SEED"], &["SEED"], 12);
         t.register("use_f", vec![Type::Float], Type::Void, &[], &[], 40);
         t
     }
 
-    fn run(
-        src: &str,
-        nthreads: usize,
-        replicate: bool,
-    ) -> Result<ParallelProgram, Diagnostic> {
+    fn run(src: &str, nthreads: usize, replicate: bool) -> Result<ParallelProgram, Diagnostic> {
         let table = table();
         let unit = commset_lang::compile_unit(src).unwrap();
         let managed = manage(unit).unwrap();
@@ -704,11 +719,27 @@ mod tests {
         let irrevocable: BTreeSet<String> = ["OUT".to_string(), "IN".to_string()].into();
         if replicate {
             apply_ps_dswp(
-                &managed, &hot, &pdg, &dag, &summaries, &irrevocable, nthreads, SyncMode::Lib, 0,
+                &managed,
+                &hot,
+                &pdg,
+                &dag,
+                &summaries,
+                &irrevocable,
+                nthreads,
+                SyncMode::Lib,
+                0,
             )
         } else {
             apply_pipeline(
-                &managed, &hot, &pdg, &dag, &summaries, &irrevocable, nthreads, SyncMode::Lib, 0,
+                &managed,
+                &hot,
+                &pdg,
+                &dag,
+                &summaries,
+                &irrevocable,
+                nthreads,
+                SyncMode::Lib,
+                0,
             )
         }
     }

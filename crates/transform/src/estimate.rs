@@ -20,7 +20,11 @@ pub mod costs {
 
 /// Sequential per-iteration cost.
 pub fn seq_iter_cost(hot: &HotLoop) -> f64 {
-    hot.body.iter().map(|s| s.weight as f64).sum::<f64>().max(1.0)
+    hot.body
+        .iter()
+        .map(|s| s.weight as f64)
+        .sum::<f64>()
+        .max(1.0)
 }
 
 /// Estimated per-iteration cost of a DOALL schedule.
@@ -29,7 +33,9 @@ pub fn doall_cost(hot: &HotLoop, nthreads: usize, sync: SyncMode, locks: usize) 
     let sync_cost = match sync {
         SyncMode::Lib => 0.0,
         SyncMode::Spin => locks as f64 * costs::LOCK,
-        SyncMode::Mutex => locks as f64 * (costs::LOCK + costs::MUTEX_WAKEUP / nthreads.max(1) as f64),
+        SyncMode::Mutex => {
+            locks as f64 * (costs::LOCK + costs::MUTEX_WAKEUP / nthreads.max(1) as f64)
+        }
         SyncMode::Tm => locks as f64 * costs::TX,
     };
     base + sync_cost

@@ -146,7 +146,10 @@ pub fn units(pdg: &Pdg, dag: &DagScc, hot: &HotLoop) -> Vec<Unit> {
     for (i, s) in hot.body.iter().enumerate() {
         for a in &s.mem {
             if let commset_analysis::pdg::Location::LocalArray(name) = &a.loc {
-                array_users.entry(name).or_default().push(dag.comp_of[i + 1]);
+                array_users
+                    .entry(name)
+                    .or_default()
+                    .push(dag.comp_of[i + 1]);
             }
         }
     }
@@ -211,7 +214,8 @@ pub fn units(pdg: &Pdg, dag: &DagScc, hot: &HotLoop) -> Vec<Unit> {
         if e.comm.is_some() || e.induction || !e.carried {
             continue;
         }
-        if matches!(e.kind, DepKind::RegFlow(_)) && roots[dag.comp_of[e.src.0]] != roots[dag.comp_of[e.dst.0]]
+        if matches!(e.kind, DepKind::RegFlow(_))
+            && roots[dag.comp_of[e.src.0]] != roots[dag.comp_of[e.dst.0]]
         {
             for u in &mut out {
                 if u.nodes.contains(&e.src.0) {
@@ -254,10 +258,7 @@ pub fn units(pdg: &Pdg, dag: &DagScc, hot: &HotLoop) -> Vec<Unit> {
 }
 
 /// Finds one cycle among union-find roots, as a node sequence.
-fn find_root_cycle(
-    roots: &[usize],
-    edges: &BTreeSet<(usize, usize)>,
-) -> Option<Vec<usize>> {
+fn find_root_cycle(roots: &[usize], edges: &BTreeSet<(usize, usize)>) -> Option<Vec<usize>> {
     let nodes: BTreeSet<usize> = roots.iter().copied().collect();
     let mut adj: std::collections::BTreeMap<usize, Vec<usize>> = std::collections::BTreeMap::new();
     for &(a, b) in edges {
@@ -329,7 +330,7 @@ pub fn partition_dswp(units: &[Unit], max_stages: usize) -> Partition {
         prefix[i + 1] = prefix[i] + u.weight;
     }
     let range_w = |a: usize, b: usize| prefix[b] - prefix[a]; // units[a..b]
-    // dp[j][i] = minimal max-stage-weight splitting units[..i] into j stages.
+                                                              // dp[j][i] = minimal max-stage-weight splitting units[..i] into j stages.
     let inf = u64::MAX;
     let mut dp = vec![vec![inf; n + 1]; k + 1];
     let mut cut = vec![vec![0usize; n + 1]; k + 1];

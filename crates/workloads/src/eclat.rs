@@ -178,7 +178,14 @@ pub fn table() -> IntrinsicTable {
         &["LISTS"],
         35,
     );
-    t.register("stat_count", vec![Type::Int], Type::Void, &[], &["STATS"], 10);
+    t.register(
+        "stat_count",
+        vec![Type::Int],
+        Type::Void,
+        &[],
+        &["STATS"],
+        10,
+    );
     t.register("stat_max", vec![Type::Int], Type::Void, &[], &["STATS"], 10);
     t.register(
         "obj_del",
@@ -195,7 +202,9 @@ pub fn table() -> IntrinsicTable {
 /// Intrinsic handlers.
 pub fn registry() -> Registry {
     let mut r = Registry::new();
-    r.register("num_cands", |_, _| IntrinsicOutcome::value(NUM_CANDS as i64));
+    r.register("num_cands", |_, _| {
+        IntrinsicOutcome::value(NUM_CANDS as i64)
+    });
     r.register("db_read", |world, args| {
         let db = world.get_mut::<Eclat>("eclat");
         db.cursor += 1; // the shared-descriptor mutation
@@ -212,7 +221,9 @@ pub fn registry() -> Registry {
         let c = args[1].as_int() as usize;
         let sup = db.intersect(c);
         let work = (db.tidlists[c].len() + db.prev.len()) as u64 * 12;
-        IntrinsicOutcome::value(sup).with_cost(work).with_serialized(0)
+        IntrinsicOutcome::value(sup)
+            .with_cost(work)
+            .with_serialized(0)
     });
     r.register("lists_insert", |world, args| {
         let db = world.get_mut::<Eclat>("eclat");
@@ -275,10 +286,22 @@ pub fn workload() -> Workload {
         exec_fraction: "97%",
         variants: vec![annotated_source(), no_dbread_source()],
         schemes: vec![
-            SchemeSpec::new("Comm-DOALL (Mutex)", 0, Scheme::Doall, SyncMode::Mutex, true),
+            SchemeSpec::new(
+                "Comm-DOALL (Mutex)",
+                0,
+                Scheme::Doall,
+                SyncMode::Mutex,
+                true,
+            ),
             SchemeSpec::new("Comm-DOALL (Spin)", 0, Scheme::Doall, SyncMode::Spin, true),
             SchemeSpec::new("Comm-PS-DSWP (Lib)", 0, Scheme::PsDswp, SyncMode::Lib, true),
-            SchemeSpec::new("Comm-DSWP (no db-read)", 1, Scheme::PsDswp, SyncMode::Lib, true),
+            SchemeSpec::new(
+                "Comm-DSWP (no db-read)",
+                1,
+                Scheme::PsDswp,
+                SyncMode::Lib,
+                true,
+            ),
         ],
         table: table(),
         registry: registry(),
@@ -311,7 +334,10 @@ mod tests {
             .collect();
         assert_eq!(db.lists, expect);
         assert_eq!(db.stat_count, NUM_CANDS as i64);
-        assert_eq!(db.stat_max, reference_supports().iter().copied().max().unwrap());
+        assert_eq!(
+            db.stat_max,
+            reference_supports().iter().copied().max().unwrap()
+        );
     }
 
     #[test]
@@ -328,7 +354,10 @@ mod tests {
         let w = workload();
         let cm = CostModel::default();
         let m8 = w.speedup(&w.schemes[0], 8, &cm).unwrap();
-        assert!(m8 > 5.0, "paper: 7.5 with mutex (low contention), got {m8:.2}");
+        assert!(
+            m8 > 5.0,
+            "paper: 7.5 with mutex (low contention), got {m8:.2}"
+        );
     }
 
     #[test]

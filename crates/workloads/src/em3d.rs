@@ -114,8 +114,22 @@ pub fn annotated_source() -> String {
 pub fn table() -> IntrinsicTable {
     let mut t = IntrinsicTable::new();
     t.register("graph_first", vec![], Type::Handle, &["GRAPH_META"], &[], 8);
-    t.register("ll_next", vec![Type::Handle], Type::Handle, &["GRAPH_META"], &[], 70);
-    t.register("node_degree", vec![Type::Handle], Type::Int, &["GRAPH_META"], &[], 8);
+    t.register(
+        "ll_next",
+        vec![Type::Handle],
+        Type::Handle,
+        &["GRAPH_META"],
+        &[],
+        70,
+    );
+    t.register(
+        "node_degree",
+        vec![Type::Handle],
+        Type::Int,
+        &["GRAPH_META"],
+        &[],
+        8,
+    );
     t.register("rng_coarse", vec![], Type::Int, &["SEED"], &["SEED"], 14);
     t.register("rng_fine", vec![], Type::Int, &["SEED"], &["SEED"], 14);
     t.register(
@@ -201,7 +215,13 @@ pub fn workload() -> Workload {
         variants: vec![annotated_source()],
         schemes: vec![
             SchemeSpec::new("Comm-PS-DSWP (Lib)", 0, Scheme::PsDswp, SyncMode::Lib, true),
-            SchemeSpec::new("Comm-PS-DSWP (Spin)", 0, Scheme::PsDswp, SyncMode::Spin, true),
+            SchemeSpec::new(
+                "Comm-PS-DSWP (Spin)",
+                0,
+                Scheme::PsDswp,
+                SyncMode::Spin,
+                true,
+            ),
             SchemeSpec::new("DSWP (no CommSet)", 0, Scheme::Dswp, SyncMode::Lib, false),
         ],
         table: table(),

@@ -3,6 +3,7 @@
 //! Table 2 and Figure 6.
 
 use commset::{Analysis, Compiler, Scheme, SyncMode};
+use commset_interp::ExecError;
 use commset_ir::IntrinsicTable;
 use commset_lang::diag::Diagnostic;
 use commset_runtime::{Registry, World};
@@ -27,13 +28,7 @@ pub struct SchemeSpec {
 
 impl SchemeSpec {
     /// Creates a spec.
-    pub fn new(
-        label: &str,
-        variant: usize,
-        scheme: Scheme,
-        sync: SyncMode,
-        commset: bool,
-    ) -> Self {
+    pub fn new(label: &str, variant: usize, scheme: Scheme, sync: SyncMode, commset: bool) -> Self {
         SchemeSpec {
             label: label.to_string(),
             variant,
@@ -162,7 +157,8 @@ impl Workload {
             .compile_sequential(&analysis)
             .unwrap_or_else(|e| panic!("{}: baseline lowering failed: {e}", self.name));
         let mut world = (self.make_world)();
-        let out = commset_interp::run_sequential(&module, &self.registry, &mut world, cm, "main");
+        let out = commset_interp::run_sequential(&module, &self.registry, &mut world, cm, "main")
+            .unwrap_or_else(|e| panic!("{}: baseline execution failed: {e}", self.name));
         (out.sim_time, world)
     }
 
@@ -189,14 +185,63 @@ impl Workload {
             let module = compiler.compile_sequential(&analysis)?;
             let mut world = (self.make_world)();
             let out =
-                commset_interp::run_sequential(&module, &self.registry, &mut world, cm, "main");
+                commset_interp::run_sequential(&module, &self.registry, &mut world, cm, "main")
+                    .unwrap_or_else(|e| {
+                        panic!("{}: sequential scheme execution failed: {e}", self.name)
+                    });
             return Ok((out.sim_time, world));
         }
         let (module, plan) = compiler.compile(&analysis, spec.scheme, nthreads, spec.sync)?;
         let mut world = (self.make_world)();
-        let out =
-            commset_interp::run_simulated(&module, &self.registry, &[plan], &mut world, cm);
+        let out = commset_interp::run_simulated(&module, &self.registry, &[plan], &mut world, cm)
+            .unwrap_or_else(|e| {
+                panic!(
+                    "{}: simulated execution failed for {}: {e}",
+                    self.name, spec.label
+                )
+            });
         Ok((out.sim_time, world))
+    }
+
+    /// Runs one scheme at `nthreads` under an explicit executor
+    /// configuration (fault plan, backoff, watchdog) — the entry point of
+    /// the torture harness. Unlike [`Workload::run_scheme`], executor
+    /// errors are returned, not panicked: a fault plan is *supposed* to be
+    /// able to break a run, and the caller decides what is acceptable.
+    ///
+    /// # Errors
+    ///
+    /// `Err(Ok(diag))` when the scheme does not apply; `Err(Err(e))` when
+    /// the executor reports a structured failure under the fault plan.
+    #[allow(clippy::type_complexity)]
+    pub fn run_scheme_with(
+        &self,
+        spec: &SchemeSpec,
+        nthreads: usize,
+        cm: &CostModel,
+        cfg: &commset_interp::ExecConfig,
+    ) -> Result<(u64, World, commset_interp::SimStats), Result<Diagnostic, ExecError>> {
+        let compiler = self.compiler();
+        let source: String = if spec.commset {
+            self.variants[spec.variant].clone()
+        } else {
+            self.plain_source()
+        };
+        let analysis = compiler.analyze(&source).map_err(Ok)?;
+        let (module, plan) = compiler
+            .compile(&analysis, spec.scheme, nthreads, spec.sync)
+            .map_err(Ok)?;
+        let mut world = (self.make_world)();
+        let out = commset_interp::run_simulated_with(
+            &module,
+            &self.registry,
+            &[plan],
+            &mut world,
+            cm,
+            cfg,
+        )
+        .map_err(Err)?;
+        Ok((out.sim_time, world, out.stats))
     }
 
     /// Speedup of `spec` at `nthreads` over the sequential baseline,

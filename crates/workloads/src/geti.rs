@@ -169,7 +169,14 @@ pub fn table() -> IntrinsicTable {
     t.register("iset_new", vec![], Type::Handle, &[], &["ISET_TABLE"], 40);
     t.mark_fresh_handle("iset_new");
     t.register("trans_len", vec![Type::Int], Type::Int, &[], &[], 8);
-    t.register("trans_item", vec![Type::Int, Type::Int], Type::Int, &[], &[], 8);
+    t.register(
+        "trans_item",
+        vec![Type::Int, Type::Int],
+        Type::Int,
+        &[],
+        &[],
+        8,
+    );
     t.register(
         "set_bit",
         vec![Type::Handle, Type::Int],
@@ -212,7 +219,9 @@ pub fn table() -> IntrinsicTable {
 /// Intrinsic handlers.
 pub fn registry() -> Registry {
     let mut r = Registry::new();
-    r.register("num_trans", |_, _| IntrinsicOutcome::value(NUM_TRANS as i64));
+    r.register("num_trans", |_, _| {
+        IntrinsicOutcome::value(NUM_TRANS as i64)
+    });
     r.register("iset_new", |world, _| {
         let h = world.get_mut::<ItemsetStore>("isets").new_set();
         IntrinsicOutcome::value(h).with_serialized(12)
@@ -248,7 +257,9 @@ pub fn registry() -> Registry {
         IntrinsicOutcome::unit()
     });
     r.register("iset_free", |world, args| {
-        world.get_mut::<ItemsetStore>("isets").free(args[0].as_int());
+        world
+            .get_mut::<ItemsetStore>("isets")
+            .free(args[0].as_int());
         IntrinsicOutcome::unit().with_serialized(10)
     });
     r
@@ -288,7 +299,13 @@ pub fn workload() -> Workload {
         schemes: vec![
             SchemeSpec::new("Comm-PS-DSWP (Lib)", 1, Scheme::PsDswp, SyncMode::Lib, true),
             SchemeSpec::new("Comm-DOALL (Spin)", 0, Scheme::Doall, SyncMode::Spin, true),
-            SchemeSpec::new("Comm-DOALL (Mutex)", 0, Scheme::Doall, SyncMode::Mutex, true),
+            SchemeSpec::new(
+                "Comm-DOALL (Mutex)",
+                0,
+                Scheme::Doall,
+                SyncMode::Mutex,
+                true,
+            ),
         ],
         table: table(),
         registry: registry(),

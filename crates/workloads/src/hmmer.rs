@@ -144,7 +144,14 @@ pub fn table() -> IntrinsicTable {
     let mut t = IntrinsicTable::new();
     t.register("num_seqs", vec![], Type::Int, &[], &[], 5);
     t.register("rng_gen_seq", vec![], Type::Int, &["SEED"], &["SEED"], 15);
-    t.register("mat_alloc", vec![Type::Int], Type::Handle, &[], &["MAT"], 25);
+    t.register(
+        "mat_alloc",
+        vec![Type::Int],
+        Type::Handle,
+        &[],
+        &["MAT"],
+        25,
+    );
     // The matrix *contents* are instance-partitioned: scoring reads the
     // matrix allocated this iteration, freeing invalidates it. The fresh
     // allocation each iteration makes the conflicts iteration-private
@@ -248,7 +255,13 @@ pub fn workload() -> Workload {
         variants: vec![annotated_source(), pipeline_source()],
         schemes: vec![
             SchemeSpec::new("Comm-DOALL (Spin)", 0, Scheme::Doall, SyncMode::Spin, true),
-            SchemeSpec::new("Comm-DOALL (Mutex)", 0, Scheme::Doall, SyncMode::Mutex, true),
+            SchemeSpec::new(
+                "Comm-DOALL (Mutex)",
+                0,
+                Scheme::Doall,
+                SyncMode::Mutex,
+                true,
+            ),
             SchemeSpec::new("Comm-DOALL (TM)", 0, Scheme::Doall, SyncMode::Tm, true),
             SchemeSpec::new("Comm-PS-DSWP (Lib)", 1, Scheme::PsDswp, SyncMode::Lib, true),
         ],

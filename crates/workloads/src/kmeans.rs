@@ -70,11 +70,7 @@ impl Clustering {
         let mut best = 0;
         let mut best_d = i64::MAX;
         for (c, center) in self.centers.iter().enumerate() {
-            let d: i64 = p
-                .iter()
-                .zip(center)
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum();
+            let d: i64 = p.iter().zip(center).map(|(a, b)| (a - b) * (a - b)).sum();
             if d < best_d {
                 best_d = d;
                 best = c;
@@ -131,7 +127,9 @@ pub fn table() -> IntrinsicTable {
 /// Intrinsic handlers.
 pub fn registry() -> Registry {
     let mut r = Registry::new();
-    r.register("num_points", |_, _| IntrinsicOutcome::value(NUM_POINTS as i64));
+    r.register("num_points", |_, _| {
+        IntrinsicOutcome::value(NUM_POINTS as i64)
+    });
     r.register("nearest_center", |world, args| {
         let cl = world.get::<Clustering>("clustering");
         let i = args[0].as_int() as usize;
@@ -169,7 +167,10 @@ fn validate(seq: &World, par: &World) -> Result<(), String> {
     let s = seq.get::<Clustering>("clustering");
     let p = par.get::<Clustering>("clustering");
     if s.counts != p.counts {
-        return Err(format!("membership counts differ: {:?} vs {:?}", s.counts, p.counts));
+        return Err(format!(
+            "membership counts differ: {:?} vs {:?}",
+            s.counts, p.counts
+        ));
     }
     if s.sums != p.sums {
         return Err("center accumulators differ".into());
@@ -187,7 +188,13 @@ pub fn workload() -> Workload {
         schemes: vec![
             SchemeSpec::new("Comm-PS-DSWP (Lib)", 0, Scheme::PsDswp, SyncMode::Lib, true),
             SchemeSpec::new("Comm-DOALL (Spin)", 0, Scheme::Doall, SyncMode::Spin, true),
-            SchemeSpec::new("Comm-DOALL (Mutex)", 0, Scheme::Doall, SyncMode::Mutex, true),
+            SchemeSpec::new(
+                "Comm-DOALL (Mutex)",
+                0,
+                Scheme::Doall,
+                SyncMode::Mutex,
+                true,
+            ),
             SchemeSpec::new("Comm-DOALL (TM)", 0, Scheme::Doall, SyncMode::Tm, true),
         ],
         table: table(),

@@ -17,7 +17,7 @@
 //! Digests are real MD5 values (folded to `i64`), validated against a
 //! native Rust reference.
 
-use crate::framework::{SchemeSpec, PaperRow, Workload};
+use crate::framework::{PaperRow, SchemeSpec, Workload};
 use crate::md5;
 use crate::worldlib::{Console, VirtualFs};
 use commset::{Scheme, SyncMode};
@@ -48,7 +48,11 @@ pub fn deterministic_source() -> String {
 }
 
 fn source(print_self: bool) -> String {
-    let print_instances = if print_self { "SELF, FSET(i)" } else { "FSET(i)" };
+    let print_instances = if print_self {
+        "SELF, FSET(i)"
+    } else {
+        "FSET(i)"
+    };
     format!(
         r#"
 #pragma CommSetDecl(FSET, Group)
@@ -100,7 +104,14 @@ int main() {{
 pub fn table() -> IntrinsicTable {
     let mut t = IntrinsicTable::new();
     t.register("file_count", vec![], Type::Int, &[], &[], 5);
-    t.register("fs_open", vec![Type::Int], Type::Handle, &[], &["FS_TABLE"], 40);
+    t.register(
+        "fs_open",
+        vec![Type::Int],
+        Type::Handle,
+        &[],
+        &["FS_TABLE"],
+        40,
+    );
     t.mark_fresh_handle("fs_open");
     t.register(
         "fs_read_block",
@@ -110,8 +121,22 @@ pub fn table() -> IntrinsicTable {
         &["FS_DATA"],
         60,
     );
-    t.register("md5_chunk", vec![Type::Handle], Type::Void, &["FS_DATA"], &["FS_DATA"], 20);
-    t.register("fs_digest", vec![Type::Handle], Type::Int, &["FS_DATA"], &[], 30);
+    t.register(
+        "md5_chunk",
+        vec![Type::Handle],
+        Type::Void,
+        &["FS_DATA"],
+        &["FS_DATA"],
+        20,
+    );
+    t.register(
+        "fs_digest",
+        vec![Type::Handle],
+        Type::Int,
+        &["FS_DATA"],
+        &[],
+        30,
+    );
     t.register(
         "fs_close",
         vec![Type::Handle],
@@ -121,7 +146,14 @@ pub fn table() -> IntrinsicTable {
         25,
     );
     t.mark_per_instance("FS_DATA");
-    t.register("print_digest", vec![Type::Int], Type::Void, &[], &["CONSOLE"], 15);
+    t.register(
+        "print_digest",
+        vec![Type::Int],
+        Type::Void,
+        &[],
+        &["CONSOLE"],
+        15,
+    );
     t
 }
 
@@ -132,7 +164,9 @@ pub fn registry() -> Registry {
         IntrinsicOutcome::value(world.get::<VirtualFs>("fs").files.len() as i64)
     });
     r.register("fs_open", |world, args| {
-        let h = world.get_mut::<VirtualFs>("fs").open(args[0].as_int() as usize);
+        let h = world
+            .get_mut::<VirtualFs>("fs")
+            .open(args[0].as_int() as usize);
         IntrinsicOutcome::value(h).with_serialized(8)
     });
     r.register("fs_read_block", |world, args| {
@@ -148,7 +182,9 @@ pub fn registry() -> Registry {
         // critical section, exactly like md5_update in the real program.
         let fs = world.get_mut::<VirtualFs>("fs");
         let taken = fs.hash_staged(args[0].as_int());
-        IntrinsicOutcome::unit().with_cost(taken as u64).with_serialized(0)
+        IntrinsicOutcome::unit()
+            .with_cost(taken as u64)
+            .with_serialized(0)
     });
     r.register("fs_digest", |world, args| {
         let fs = world.get::<VirtualFs>("fs");
@@ -210,7 +246,13 @@ pub fn workload() -> Workload {
         schemes: vec![
             SchemeSpec::new("Comm-DOALL (Lib)", 0, Scheme::Doall, SyncMode::Lib, true),
             SchemeSpec::new("Comm-DOALL (Spin)", 0, Scheme::Doall, SyncMode::Spin, true),
-            SchemeSpec::new("Comm-DOALL (Mutex)", 0, Scheme::Doall, SyncMode::Mutex, true),
+            SchemeSpec::new(
+                "Comm-DOALL (Mutex)",
+                0,
+                Scheme::Doall,
+                SyncMode::Mutex,
+                true,
+            ),
             SchemeSpec::new("Comm-PS-DSWP (Lib)", 1, Scheme::PsDswp, SyncMode::Lib, true),
             SchemeSpec::new("DSWP (no CommSet)", 0, Scheme::Dswp, SyncMode::Lib, false),
         ],
@@ -236,7 +278,11 @@ mod tests {
     #[test]
     fn annotation_count_matches_table2() {
         let w = workload();
-        assert_eq!(w.annotation_count(), 10, "Table 2: md5sum has 10 annotations");
+        assert_eq!(
+            w.annotation_count(),
+            10,
+            "Table 2: md5sum has 10 annotations"
+        );
     }
 
     #[test]

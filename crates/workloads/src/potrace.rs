@@ -96,7 +96,9 @@ impl Tracer {
     fn generate(seed: u64) -> Self {
         let mut rng = SplitMix64::new(seed);
         Tracer {
-            bitmaps: (0..NUM_BITMAPS).map(|_| Bitmap::generate(&mut rng)).collect(),
+            bitmaps: (0..NUM_BITMAPS)
+                .map(|_| Bitmap::generate(&mut rng))
+                .collect(),
             ..Default::default()
         }
     }
@@ -104,11 +106,19 @@ impl Tracer {
 
 /// Native reference path signatures.
 pub fn reference_paths() -> Vec<i64> {
-    Tracer::generate(SEED).bitmaps.iter().map(Bitmap::trace).collect()
+    Tracer::generate(SEED)
+        .bitmaps
+        .iter()
+        .map(Bitmap::trace)
+        .collect()
 }
 
 fn source(write_self: bool) -> String {
-    let wr = if write_self { "SELF, PSET(i)" } else { "PSET(i)" };
+    let wr = if write_self {
+        "SELF, PSET(i)"
+    } else {
+        "PSET(i)"
+    };
     format!(
         r#"
 #pragma CommSetDecl(PSET, Group)
@@ -152,7 +162,14 @@ pub fn single_file_source() -> String {
 pub fn table() -> IntrinsicTable {
     let mut t = IntrinsicTable::new();
     t.register("num_bitmaps", vec![], Type::Int, &[], &[], 5);
-    t.register("bmp_load", vec![Type::Int], Type::Handle, &[], &["BMP_TABLE"], 50);
+    t.register(
+        "bmp_load",
+        vec![Type::Int],
+        Type::Handle,
+        &[],
+        &["BMP_TABLE"],
+        50,
+    );
     t.mark_fresh_handle("bmp_load");
     // Tracing reads the loaded pixels; freeing invalidates them — the
     // per-instance BMP_DATA conflict keeps trace-before-free within an
@@ -188,7 +205,9 @@ pub fn table() -> IntrinsicTable {
 /// Intrinsic handlers.
 pub fn registry() -> Registry {
     let mut r = Registry::new();
-    r.register("num_bitmaps", |_, _| IntrinsicOutcome::value(NUM_BITMAPS as i64));
+    r.register("num_bitmaps", |_, _| {
+        IntrinsicOutcome::value(NUM_BITMAPS as i64)
+    });
     r.register("bmp_load", |world, args| {
         let tr = world.get_mut::<Tracer>("tracer");
         tr.next += 1;

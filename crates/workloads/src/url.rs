@@ -43,7 +43,9 @@ impl Switch {
     fn generate(seed: u64) -> Self {
         let mut rng = SplitMix64::new(seed);
         fn word(rng: &mut SplitMix64, len: u64) -> Vec<u8> {
-            (0..len).map(|_| b'a' + (rng.next_u64() % 26) as u8).collect()
+            (0..len)
+                .map(|_| b'a' + (rng.next_u64() % 26) as u8)
+                .collect()
         }
         let patterns: Vec<Vec<u8>> = (0..NUM_PATTERNS).map(|_| word(&mut rng, 4)).collect();
         let mut pool = VecDeque::new();
@@ -122,7 +124,14 @@ pub fn pipeline_source() -> String {
 pub fn table() -> IntrinsicTable {
     let mut t = IntrinsicTable::new();
     t.register("num_pkts", vec![], Type::Int, &[], &[], 5);
-    t.register("pkt_dequeue", vec![], Type::Handle, &["POOL"], &["POOL"], 15);
+    t.register(
+        "pkt_dequeue",
+        vec![],
+        Type::Handle,
+        &["POOL"],
+        &["POOL"],
+        15,
+    );
     t.register("url_match", vec![Type::Handle], Type::Int, &[], &[], 60);
     t.register(
         "log_pkt",
@@ -199,7 +208,13 @@ pub fn workload() -> Workload {
         variants: vec![annotated_source(), pipeline_source()],
         schemes: vec![
             SchemeSpec::new("Comm-DOALL (Spin)", 0, Scheme::Doall, SyncMode::Spin, true),
-            SchemeSpec::new("Comm-DOALL (Mutex)", 0, Scheme::Doall, SyncMode::Mutex, true),
+            SchemeSpec::new(
+                "Comm-DOALL (Mutex)",
+                0,
+                Scheme::Doall,
+                SyncMode::Mutex,
+                true,
+            ),
             SchemeSpec::new("Comm-PS-DSWP (Lib)", 1, Scheme::PsDswp, SyncMode::Lib, true),
         ],
         table: table(),

@@ -92,7 +92,14 @@ fn intrinsics() -> IntrinsicTable {
         &["STORE"],
         30,
     );
-    t.register("tally", vec![Type::Int], Type::Void, &["HIST"], &["HIST"], 10);
+    t.register(
+        "tally",
+        vec![Type::Int],
+        Type::Void,
+        &["HIST"],
+        &["HIST"],
+        10,
+    );
     t
 }
 
@@ -137,7 +144,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Sequential reference.
     let seq_module = compiler.compile_sequential(&analysis)?;
     let mut seq_world = fresh_world();
-    let seq = run_sequential(&seq_module, &registry(), &mut seq_world, &cm, "main");
+    let seq = run_sequential(&seq_module, &registry(), &mut seq_world, &cm, "main")
+        .expect("sequential run succeeds");
 
     // Rank every applicable schedule at 8 threads by the static estimate,
     // then measure each one for comparison.
@@ -149,7 +157,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for (scheme, sync, module, plan) in &candidates {
         let mut world = fresh_world();
-        let out = run_simulated(module, &registry(), std::slice::from_ref(plan), &mut world, &cm);
+        let out = run_simulated(
+            module,
+            &registry(),
+            std::slice::from_ref(plan),
+            &mut world,
+            &cm,
+        )
+        .expect("simulated run succeeds");
         assert_eq!(
             world.get::<LogDb>("db"),
             seq_world.get::<LogDb>("db"),
@@ -175,7 +190,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "predicate-proven disjoint writes must not synchronize"
     );
     let mut world = fresh_world();
-    let out = run_simulated(&module, &registry(), &[plan], &mut world, &cm);
+    let out = run_simulated(&module, &registry(), &[plan], &mut world, &cm)
+        .expect("simulated run succeeds");
     println!(
         "\nestimator picked {scheme} + {sync}: {:.2}x over sequential",
         seq.sim_time as f64 / out.sim_time as f64

@@ -54,7 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seq_time as f64 / t as f64,
         lines == seq_lines
     );
-    assert_eq!(lines, seq_lines, "the sequential output stage preserves order");
+    assert_eq!(
+        lines, seq_lines,
+        "the sequential output stage preserves order"
+    );
 
     println!("\nSame program, same annotations elsewhere — the semantic choice");
     println!("(does print commute with itself?) selected the strategy.");

@@ -17,7 +17,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let plain_src = strip_pragmas(&w.variants[0]);
     let plain = compiler.analyze(&plain_src)?;
     println!("=== em3d, no annotations ===");
-    println!("countable loop? {} (pointer chasing)", plain.hot.shape.is_countable());
+    println!(
+        "countable loop? {} (pointer chasing)",
+        plain.hot.shape.is_countable()
+    );
     println!("parallelism-inhibiting dependences:");
     for line in plain.explain_inhibitors() {
         println!("  {line}");

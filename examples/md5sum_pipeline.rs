@@ -38,14 +38,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {d}");
     }
     let mut world = (w.make_world)();
-    let out = run_simulated(&module, &w.registry, &[plan], &mut world, &cm);
+    let out = run_simulated(&module, &w.registry, &[plan], &mut world, &cm)
+        .expect("simulated run succeeds");
     println!(
         "  time {} -> speedup {:.2}x (paper: 7.6x)",
         out.sim_time,
         seq_time as f64 / out.sim_time as f64
     );
-    let ordered = world.get::<Console>("console").lines
-        == seq_world.get::<Console>("console").lines;
+    let ordered =
+        world.get::<Console>("console").lines == seq_world.get::<Console>("console").lines;
     println!("  output order preserved? {ordered} (out-of-order digests are allowed)");
 
     // PS-DSWP on the deterministic variant — one less SELF annotation.
@@ -64,14 +65,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .join(", ")
     );
     let mut world = (w.make_world)();
-    let out = run_simulated(&module, &w.registry, &[plan], &mut world, &cm);
+    let out = run_simulated(&module, &w.registry, &[plan], &mut world, &cm)
+        .expect("simulated run succeeds");
     println!(
         "  time {} -> speedup {:.2}x (paper: 5.8x)",
         out.sim_time,
         seq_time as f64 / out.sim_time as f64
     );
-    let ordered = world.get::<Console>("console").lines
-        == seq_world.get::<Console>("console").lines;
+    let ordered =
+        world.get::<Console>("console").lines == seq_world.get::<Console>("console").lines;
     println!("  output order preserved? {ordered} (sequential print stage)");
     assert!(ordered, "PS-DSWP must keep digests in order");
     Ok(())

@@ -91,11 +91,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Sequential baseline vs DOALL x8 on the simulated machine.
     let seq_module = compiler.compile_sequential(&annotated)?;
     let mut seq_world = fresh_world();
-    let seq = run_sequential(&seq_module, &registry(), &mut seq_world, &cm, "main");
+    let seq = run_sequential(&seq_module, &registry(), &mut seq_world, &cm, "main")
+        .expect("sequential run succeeds");
 
     let (module, plan) = compiler.compile(&annotated, Scheme::Doall, 8, SyncMode::Spin)?;
     let mut par_world = fresh_world();
-    let par = run_simulated(&module, &registry(), &[plan], &mut par_world, &cm);
+    let par = run_simulated(&module, &registry(), &[plan], &mut par_world, &cm)
+        .expect("simulated run succeeds");
 
     let mut seq_results = seq_world.get::<Vec<i64>>("results").clone();
     let mut par_results = par_world.get::<Vec<i64>>("results").clone();

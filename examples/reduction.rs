@@ -58,13 +58,22 @@ fn score_of(i: i64) -> i64 {
 fn intrinsics() -> IntrinsicTable {
     let mut t = IntrinsicTable::new();
     t.register("score", vec![Type::Int], Type::Int, &[], &[], 450);
-    t.register("acc_add", vec![Type::Int], Type::Void, &["ACC"], &["ACC"], 8);
+    t.register(
+        "acc_add",
+        vec![Type::Int],
+        Type::Void,
+        &["ACC"],
+        &["ACC"],
+        8,
+    );
     t
 }
 
 fn registry() -> Registry {
     let mut r = Registry::new();
-    r.register("score", |_, args| IntrinsicOutcome::value(score_of(args[0].as_int())));
+    r.register("score", |_, args| {
+        IntrinsicOutcome::value(score_of(args[0].as_int()))
+    });
     r.register("acc_add", |world, args| {
         *world.get_mut::<i64>("acc") += args[0].as_int();
         IntrinsicOutcome::unit()
@@ -86,13 +95,15 @@ fn measure(compiler: &Compiler, src: &str, threads: usize, sync: SyncMode) -> (f
 
     let seq_module = compiler.compile_sequential(&a).expect("lowering");
     let mut seq_world = fresh_world();
-    let seq = run_sequential(&seq_module, &registry(), &mut seq_world, &cm, "main");
+    let seq = run_sequential(&seq_module, &registry(), &mut seq_world, &cm, "main")
+        .expect("sequential run succeeds");
 
     let (module, plan) = compiler
         .compile(&a, Scheme::Doall, threads, sync)
         .expect("DOALL applies");
     let mut world = fresh_world();
-    let par = run_simulated(&module, &registry(), &[plan], &mut world, &cm);
+    let par = run_simulated(&module, &registry(), &[plan], &mut world, &cm)
+        .expect("simulated run succeeds");
 
     // The sum lives in the world for LOCKED and in main's return value for
     // REDUCED; take whichever is nonzero.

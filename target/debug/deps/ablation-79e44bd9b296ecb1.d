@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-79e44bd9b296ecb1.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-79e44bd9b296ecb1: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-db87c5ac63553077.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-db87c5ac63553077: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

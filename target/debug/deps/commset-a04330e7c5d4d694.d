@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/commset-a04330e7c5d4d694.d: crates/core/src/lib.rs crates/core/src/spec.rs
+
+/root/repo/target/debug/deps/commset-a04330e7c5d4d694: crates/core/src/lib.rs crates/core/src/spec.rs
+
+crates/core/src/lib.rs:
+crates/core/src/spec.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/commset-bf33ce4cb44a2db6.d: crates/core/src/lib.rs crates/core/src/spec.rs
+
+/root/repo/target/debug/deps/libcommset-bf33ce4cb44a2db6.rlib: crates/core/src/lib.rs crates/core/src/spec.rs
+
+/root/repo/target/debug/deps/libcommset-bf33ce4cb44a2db6.rmeta: crates/core/src/lib.rs crates/core/src/spec.rs
+
+crates/core/src/lib.rs:
+crates/core/src/spec.rs:

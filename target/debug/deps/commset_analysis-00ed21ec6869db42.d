@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/commset_analysis-00ed21ec6869db42.d: crates/analysis/src/lib.rs crates/analysis/src/callgraph.rs crates/analysis/src/depanalysis.rs crates/analysis/src/effects.rs crates/analysis/src/hotloop.rs crates/analysis/src/metadata.rs crates/analysis/src/pdg.rs crates/analysis/src/scc.rs crates/analysis/src/symex.rs
+
+/root/repo/target/debug/deps/commset_analysis-00ed21ec6869db42: crates/analysis/src/lib.rs crates/analysis/src/callgraph.rs crates/analysis/src/depanalysis.rs crates/analysis/src/effects.rs crates/analysis/src/hotloop.rs crates/analysis/src/metadata.rs crates/analysis/src/pdg.rs crates/analysis/src/scc.rs crates/analysis/src/symex.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/callgraph.rs:
+crates/analysis/src/depanalysis.rs:
+crates/analysis/src/effects.rs:
+crates/analysis/src/hotloop.rs:
+crates/analysis/src/metadata.rs:
+crates/analysis/src/pdg.rs:
+crates/analysis/src/scc.rs:
+crates/analysis/src/symex.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/commset_analysis-7a58c2797838ada8.d: crates/analysis/src/lib.rs crates/analysis/src/callgraph.rs crates/analysis/src/depanalysis.rs crates/analysis/src/effects.rs crates/analysis/src/hotloop.rs crates/analysis/src/metadata.rs crates/analysis/src/pdg.rs crates/analysis/src/scc.rs crates/analysis/src/symex.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcommset_analysis-7a58c2797838ada8.rmeta: crates/analysis/src/lib.rs crates/analysis/src/callgraph.rs crates/analysis/src/depanalysis.rs crates/analysis/src/effects.rs crates/analysis/src/hotloop.rs crates/analysis/src/metadata.rs crates/analysis/src/pdg.rs crates/analysis/src/scc.rs crates/analysis/src/symex.rs Cargo.toml
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/callgraph.rs:
+crates/analysis/src/depanalysis.rs:
+crates/analysis/src/effects.rs:
+crates/analysis/src/hotloop.rs:
+crates/analysis/src/metadata.rs:
+crates/analysis/src/pdg.rs:
+crates/analysis/src/scc.rs:
+crates/analysis/src/symex.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/commset_analysis-88b09df0f8af749d.d: crates/analysis/src/lib.rs crates/analysis/src/callgraph.rs crates/analysis/src/depanalysis.rs crates/analysis/src/effects.rs crates/analysis/src/hotloop.rs crates/analysis/src/metadata.rs crates/analysis/src/pdg.rs crates/analysis/src/scc.rs crates/analysis/src/symex.rs
+
+/root/repo/target/debug/deps/libcommset_analysis-88b09df0f8af749d.rlib: crates/analysis/src/lib.rs crates/analysis/src/callgraph.rs crates/analysis/src/depanalysis.rs crates/analysis/src/effects.rs crates/analysis/src/hotloop.rs crates/analysis/src/metadata.rs crates/analysis/src/pdg.rs crates/analysis/src/scc.rs crates/analysis/src/symex.rs
+
+/root/repo/target/debug/deps/libcommset_analysis-88b09df0f8af749d.rmeta: crates/analysis/src/lib.rs crates/analysis/src/callgraph.rs crates/analysis/src/depanalysis.rs crates/analysis/src/effects.rs crates/analysis/src/hotloop.rs crates/analysis/src/metadata.rs crates/analysis/src/pdg.rs crates/analysis/src/scc.rs crates/analysis/src/symex.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/callgraph.rs:
+crates/analysis/src/depanalysis.rs:
+crates/analysis/src/effects.rs:
+crates/analysis/src/hotloop.rs:
+crates/analysis/src/metadata.rs:
+crates/analysis/src/pdg.rs:
+crates/analysis/src/scc.rs:
+crates/analysis/src/symex.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/commset_bench-399c67616f2e283d.d: crates/bench/src/lib.rs crates/bench/src/table1.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/commset_bench-399c67616f2e283d: crates/bench/src/lib.rs crates/bench/src/table1.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/table1.rs:
+crates/bench/src/timing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/commset_bench-b48e38a88d461810.d: crates/bench/src/lib.rs crates/bench/src/table1.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libcommset_bench-b48e38a88d461810.rlib: crates/bench/src/lib.rs crates/bench/src/table1.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libcommset_bench-b48e38a88d461810.rmeta: crates/bench/src/lib.rs crates/bench/src/table1.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/table1.rs:
+crates/bench/src/timing.rs:

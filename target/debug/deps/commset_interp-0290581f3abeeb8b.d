@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/commset_interp-0290581f3abeeb8b.d: crates/interp/src/lib.rs crates/interp/src/config.rs crates/interp/src/error.rs crates/interp/src/globals.rs crates/interp/src/seq.rs crates/interp/src/sim_exec.rs crates/interp/src/thread_exec.rs crates/interp/src/vm.rs
+
+/root/repo/target/debug/deps/commset_interp-0290581f3abeeb8b: crates/interp/src/lib.rs crates/interp/src/config.rs crates/interp/src/error.rs crates/interp/src/globals.rs crates/interp/src/seq.rs crates/interp/src/sim_exec.rs crates/interp/src/thread_exec.rs crates/interp/src/vm.rs
+
+crates/interp/src/lib.rs:
+crates/interp/src/config.rs:
+crates/interp/src/error.rs:
+crates/interp/src/globals.rs:
+crates/interp/src/seq.rs:
+crates/interp/src/sim_exec.rs:
+crates/interp/src/thread_exec.rs:
+crates/interp/src/vm.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/commset_interp-ade26fb2a628dfe6.d: crates/interp/src/lib.rs crates/interp/src/config.rs crates/interp/src/error.rs crates/interp/src/globals.rs crates/interp/src/seq.rs crates/interp/src/sim_exec.rs crates/interp/src/thread_exec.rs crates/interp/src/vm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcommset_interp-ade26fb2a628dfe6.rmeta: crates/interp/src/lib.rs crates/interp/src/config.rs crates/interp/src/error.rs crates/interp/src/globals.rs crates/interp/src/seq.rs crates/interp/src/sim_exec.rs crates/interp/src/thread_exec.rs crates/interp/src/vm.rs Cargo.toml
+
+crates/interp/src/lib.rs:
+crates/interp/src/config.rs:
+crates/interp/src/error.rs:
+crates/interp/src/globals.rs:
+crates/interp/src/seq.rs:
+crates/interp/src/sim_exec.rs:
+crates/interp/src/thread_exec.rs:
+crates/interp/src/vm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/commset_interp-bb2a731b4265f2a7.d: crates/interp/src/lib.rs crates/interp/src/config.rs crates/interp/src/error.rs crates/interp/src/globals.rs crates/interp/src/seq.rs crates/interp/src/sim_exec.rs crates/interp/src/thread_exec.rs crates/interp/src/vm.rs
+
+/root/repo/target/debug/deps/libcommset_interp-bb2a731b4265f2a7.rlib: crates/interp/src/lib.rs crates/interp/src/config.rs crates/interp/src/error.rs crates/interp/src/globals.rs crates/interp/src/seq.rs crates/interp/src/sim_exec.rs crates/interp/src/thread_exec.rs crates/interp/src/vm.rs
+
+/root/repo/target/debug/deps/libcommset_interp-bb2a731b4265f2a7.rmeta: crates/interp/src/lib.rs crates/interp/src/config.rs crates/interp/src/error.rs crates/interp/src/globals.rs crates/interp/src/seq.rs crates/interp/src/sim_exec.rs crates/interp/src/thread_exec.rs crates/interp/src/vm.rs
+
+crates/interp/src/lib.rs:
+crates/interp/src/config.rs:
+crates/interp/src/error.rs:
+crates/interp/src/globals.rs:
+crates/interp/src/seq.rs:
+crates/interp/src/sim_exec.rs:
+crates/interp/src/thread_exec.rs:
+crates/interp/src/vm.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/commset_ir-be814af16861eb04.d: crates/ir/src/lib.rs crates/ir/src/builder.rs crates/ir/src/cfg.rs crates/ir/src/dom.rs crates/ir/src/effects.rs crates/ir/src/loops.rs crates/ir/src/lower.rs crates/ir/src/print.rs crates/ir/src/repr.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcommset_ir-be814af16861eb04.rmeta: crates/ir/src/lib.rs crates/ir/src/builder.rs crates/ir/src/cfg.rs crates/ir/src/dom.rs crates/ir/src/effects.rs crates/ir/src/loops.rs crates/ir/src/lower.rs crates/ir/src/print.rs crates/ir/src/repr.rs Cargo.toml
+
+crates/ir/src/lib.rs:
+crates/ir/src/builder.rs:
+crates/ir/src/cfg.rs:
+crates/ir/src/dom.rs:
+crates/ir/src/effects.rs:
+crates/ir/src/loops.rs:
+crates/ir/src/lower.rs:
+crates/ir/src/print.rs:
+crates/ir/src/repr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/commset_ir-ecd8e03d9803150c.d: crates/ir/src/lib.rs crates/ir/src/builder.rs crates/ir/src/cfg.rs crates/ir/src/dom.rs crates/ir/src/effects.rs crates/ir/src/loops.rs crates/ir/src/lower.rs crates/ir/src/print.rs crates/ir/src/repr.rs
+
+/root/repo/target/debug/deps/libcommset_ir-ecd8e03d9803150c.rlib: crates/ir/src/lib.rs crates/ir/src/builder.rs crates/ir/src/cfg.rs crates/ir/src/dom.rs crates/ir/src/effects.rs crates/ir/src/loops.rs crates/ir/src/lower.rs crates/ir/src/print.rs crates/ir/src/repr.rs
+
+/root/repo/target/debug/deps/libcommset_ir-ecd8e03d9803150c.rmeta: crates/ir/src/lib.rs crates/ir/src/builder.rs crates/ir/src/cfg.rs crates/ir/src/dom.rs crates/ir/src/effects.rs crates/ir/src/loops.rs crates/ir/src/lower.rs crates/ir/src/print.rs crates/ir/src/repr.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/builder.rs:
+crates/ir/src/cfg.rs:
+crates/ir/src/dom.rs:
+crates/ir/src/effects.rs:
+crates/ir/src/loops.rs:
+crates/ir/src/lower.rs:
+crates/ir/src/print.rs:
+crates/ir/src/repr.rs:

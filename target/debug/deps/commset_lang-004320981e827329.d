@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/commset_lang-004320981e827329.d: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/diag.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/printer.rs crates/lang/src/sema.rs crates/lang/src/token.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcommset_lang-004320981e827329.rmeta: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/diag.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/printer.rs crates/lang/src/sema.rs crates/lang/src/token.rs Cargo.toml
+
+crates/lang/src/lib.rs:
+crates/lang/src/ast.rs:
+crates/lang/src/diag.rs:
+crates/lang/src/lexer.rs:
+crates/lang/src/parser.rs:
+crates/lang/src/printer.rs:
+crates/lang/src/sema.rs:
+crates/lang/src/token.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

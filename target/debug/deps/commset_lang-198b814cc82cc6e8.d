@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/commset_lang-198b814cc82cc6e8.d: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/diag.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/printer.rs crates/lang/src/sema.rs crates/lang/src/token.rs
+
+/root/repo/target/debug/deps/commset_lang-198b814cc82cc6e8: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/diag.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/printer.rs crates/lang/src/sema.rs crates/lang/src/token.rs
+
+crates/lang/src/lib.rs:
+crates/lang/src/ast.rs:
+crates/lang/src/diag.rs:
+crates/lang/src/lexer.rs:
+crates/lang/src/parser.rs:
+crates/lang/src/printer.rs:
+crates/lang/src/sema.rs:
+crates/lang/src/token.rs:

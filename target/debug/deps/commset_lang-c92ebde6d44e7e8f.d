@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/commset_lang-c92ebde6d44e7e8f.d: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/diag.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/printer.rs crates/lang/src/sema.rs crates/lang/src/token.rs
+
+/root/repo/target/debug/deps/libcommset_lang-c92ebde6d44e7e8f.rlib: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/diag.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/printer.rs crates/lang/src/sema.rs crates/lang/src/token.rs
+
+/root/repo/target/debug/deps/libcommset_lang-c92ebde6d44e7e8f.rmeta: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/diag.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/printer.rs crates/lang/src/sema.rs crates/lang/src/token.rs
+
+crates/lang/src/lib.rs:
+crates/lang/src/ast.rs:
+crates/lang/src/diag.rs:
+crates/lang/src/lexer.rs:
+crates/lang/src/parser.rs:
+crates/lang/src/printer.rs:
+crates/lang/src/sema.rs:
+crates/lang/src/token.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/commset_runtime-98c07f4cbd263c2a.d: crates/runtime/src/lib.rs crates/runtime/src/fault.rs crates/runtime/src/intrinsics.rs crates/runtime/src/lock.rs crates/runtime/src/queue.rs crates/runtime/src/rng.rs crates/runtime/src/stm.rs crates/runtime/src/sync.rs crates/runtime/src/value.rs crates/runtime/src/watchdog.rs crates/runtime/src/world.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcommset_runtime-98c07f4cbd263c2a.rmeta: crates/runtime/src/lib.rs crates/runtime/src/fault.rs crates/runtime/src/intrinsics.rs crates/runtime/src/lock.rs crates/runtime/src/queue.rs crates/runtime/src/rng.rs crates/runtime/src/stm.rs crates/runtime/src/sync.rs crates/runtime/src/value.rs crates/runtime/src/watchdog.rs crates/runtime/src/world.rs Cargo.toml
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/fault.rs:
+crates/runtime/src/intrinsics.rs:
+crates/runtime/src/lock.rs:
+crates/runtime/src/queue.rs:
+crates/runtime/src/rng.rs:
+crates/runtime/src/stm.rs:
+crates/runtime/src/sync.rs:
+crates/runtime/src/value.rs:
+crates/runtime/src/watchdog.rs:
+crates/runtime/src/world.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

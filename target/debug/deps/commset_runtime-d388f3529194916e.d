@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/commset_runtime-d388f3529194916e.d: crates/runtime/src/lib.rs crates/runtime/src/fault.rs crates/runtime/src/intrinsics.rs crates/runtime/src/lock.rs crates/runtime/src/queue.rs crates/runtime/src/rng.rs crates/runtime/src/stm.rs crates/runtime/src/sync.rs crates/runtime/src/value.rs crates/runtime/src/watchdog.rs crates/runtime/src/world.rs
+
+/root/repo/target/debug/deps/libcommset_runtime-d388f3529194916e.rlib: crates/runtime/src/lib.rs crates/runtime/src/fault.rs crates/runtime/src/intrinsics.rs crates/runtime/src/lock.rs crates/runtime/src/queue.rs crates/runtime/src/rng.rs crates/runtime/src/stm.rs crates/runtime/src/sync.rs crates/runtime/src/value.rs crates/runtime/src/watchdog.rs crates/runtime/src/world.rs
+
+/root/repo/target/debug/deps/libcommset_runtime-d388f3529194916e.rmeta: crates/runtime/src/lib.rs crates/runtime/src/fault.rs crates/runtime/src/intrinsics.rs crates/runtime/src/lock.rs crates/runtime/src/queue.rs crates/runtime/src/rng.rs crates/runtime/src/stm.rs crates/runtime/src/sync.rs crates/runtime/src/value.rs crates/runtime/src/watchdog.rs crates/runtime/src/world.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/fault.rs:
+crates/runtime/src/intrinsics.rs:
+crates/runtime/src/lock.rs:
+crates/runtime/src/queue.rs:
+crates/runtime/src/rng.rs:
+crates/runtime/src/stm.rs:
+crates/runtime/src/sync.rs:
+crates/runtime/src/value.rs:
+crates/runtime/src/watchdog.rs:
+crates/runtime/src/world.rs:

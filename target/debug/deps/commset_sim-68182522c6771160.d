@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/commset_sim-68182522c6771160.d: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/lock.rs crates/sim/src/queue.rs crates/sim/src/sched.rs crates/sim/src/tm.rs
+
+/root/repo/target/debug/deps/commset_sim-68182522c6771160: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/lock.rs crates/sim/src/queue.rs crates/sim/src/sched.rs crates/sim/src/tm.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/lock.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/sched.rs:
+crates/sim/src/tm.rs:

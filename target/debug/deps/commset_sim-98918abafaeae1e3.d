@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/commset_sim-98918abafaeae1e3.d: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/lock.rs crates/sim/src/queue.rs crates/sim/src/sched.rs crates/sim/src/tm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcommset_sim-98918abafaeae1e3.rmeta: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/lock.rs crates/sim/src/queue.rs crates/sim/src/sched.rs crates/sim/src/tm.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/lock.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/sched.rs:
+crates/sim/src/tm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/commset_sim-b9053df7a6c1fc27.d: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/lock.rs crates/sim/src/queue.rs crates/sim/src/sched.rs crates/sim/src/tm.rs
+
+/root/repo/target/debug/deps/libcommset_sim-b9053df7a6c1fc27.rlib: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/lock.rs crates/sim/src/queue.rs crates/sim/src/sched.rs crates/sim/src/tm.rs
+
+/root/repo/target/debug/deps/libcommset_sim-b9053df7a6c1fc27.rmeta: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/lock.rs crates/sim/src/queue.rs crates/sim/src/sched.rs crates/sim/src/tm.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/lock.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/sched.rs:
+crates/sim/src/tm.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/commset_transform-3e280fe4060b9931.d: crates/transform/src/lib.rs crates/transform/src/codegen.rs crates/transform/src/doall.rs crates/transform/src/dswp.rs crates/transform/src/estimate.rs crates/transform/src/partition.rs crates/transform/src/plan.rs crates/transform/src/sync.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcommset_transform-3e280fe4060b9931.rmeta: crates/transform/src/lib.rs crates/transform/src/codegen.rs crates/transform/src/doall.rs crates/transform/src/dswp.rs crates/transform/src/estimate.rs crates/transform/src/partition.rs crates/transform/src/plan.rs crates/transform/src/sync.rs Cargo.toml
+
+crates/transform/src/lib.rs:
+crates/transform/src/codegen.rs:
+crates/transform/src/doall.rs:
+crates/transform/src/dswp.rs:
+crates/transform/src/estimate.rs:
+crates/transform/src/partition.rs:
+crates/transform/src/plan.rs:
+crates/transform/src/sync.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/commset_transform-58d1eb6f07b57c11.d: crates/transform/src/lib.rs crates/transform/src/codegen.rs crates/transform/src/doall.rs crates/transform/src/dswp.rs crates/transform/src/estimate.rs crates/transform/src/partition.rs crates/transform/src/plan.rs crates/transform/src/sync.rs
+
+/root/repo/target/debug/deps/libcommset_transform-58d1eb6f07b57c11.rlib: crates/transform/src/lib.rs crates/transform/src/codegen.rs crates/transform/src/doall.rs crates/transform/src/dswp.rs crates/transform/src/estimate.rs crates/transform/src/partition.rs crates/transform/src/plan.rs crates/transform/src/sync.rs
+
+/root/repo/target/debug/deps/libcommset_transform-58d1eb6f07b57c11.rmeta: crates/transform/src/lib.rs crates/transform/src/codegen.rs crates/transform/src/doall.rs crates/transform/src/dswp.rs crates/transform/src/estimate.rs crates/transform/src/partition.rs crates/transform/src/plan.rs crates/transform/src/sync.rs
+
+crates/transform/src/lib.rs:
+crates/transform/src/codegen.rs:
+crates/transform/src/doall.rs:
+crates/transform/src/dswp.rs:
+crates/transform/src/estimate.rs:
+crates/transform/src/partition.rs:
+crates/transform/src/plan.rs:
+crates/transform/src/sync.rs:

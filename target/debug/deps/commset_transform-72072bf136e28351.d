@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/commset_transform-72072bf136e28351.d: crates/transform/src/lib.rs crates/transform/src/codegen.rs crates/transform/src/doall.rs crates/transform/src/dswp.rs crates/transform/src/estimate.rs crates/transform/src/partition.rs crates/transform/src/plan.rs crates/transform/src/sync.rs
+
+/root/repo/target/debug/deps/commset_transform-72072bf136e28351: crates/transform/src/lib.rs crates/transform/src/codegen.rs crates/transform/src/doall.rs crates/transform/src/dswp.rs crates/transform/src/estimate.rs crates/transform/src/partition.rs crates/transform/src/plan.rs crates/transform/src/sync.rs
+
+crates/transform/src/lib.rs:
+crates/transform/src/codegen.rs:
+crates/transform/src/doall.rs:
+crates/transform/src/dswp.rs:
+crates/transform/src/estimate.rs:
+crates/transform/src/partition.rs:
+crates/transform/src/plan.rs:
+crates/transform/src/sync.rs:

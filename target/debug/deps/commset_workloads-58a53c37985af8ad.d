@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/commset_workloads-58a53c37985af8ad.d: crates/workloads/src/lib.rs crates/workloads/src/eclat.rs crates/workloads/src/em3d.rs crates/workloads/src/framework.rs crates/workloads/src/geti.rs crates/workloads/src/hmmer.rs crates/workloads/src/kmeans.rs crates/workloads/src/md5.rs crates/workloads/src/md5sum.rs crates/workloads/src/potrace.rs crates/workloads/src/url.rs crates/workloads/src/worldlib.rs
+
+/root/repo/target/debug/deps/commset_workloads-58a53c37985af8ad: crates/workloads/src/lib.rs crates/workloads/src/eclat.rs crates/workloads/src/em3d.rs crates/workloads/src/framework.rs crates/workloads/src/geti.rs crates/workloads/src/hmmer.rs crates/workloads/src/kmeans.rs crates/workloads/src/md5.rs crates/workloads/src/md5sum.rs crates/workloads/src/potrace.rs crates/workloads/src/url.rs crates/workloads/src/worldlib.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/eclat.rs:
+crates/workloads/src/em3d.rs:
+crates/workloads/src/framework.rs:
+crates/workloads/src/geti.rs:
+crates/workloads/src/hmmer.rs:
+crates/workloads/src/kmeans.rs:
+crates/workloads/src/md5.rs:
+crates/workloads/src/md5sum.rs:
+crates/workloads/src/potrace.rs:
+crates/workloads/src/url.rs:
+crates/workloads/src/worldlib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/commsetc-095e4a0ce16d1195.d: crates/core/src/bin/commsetc.rs
+
+/root/repo/target/debug/deps/commsetc-095e4a0ce16d1195: crates/core/src/bin/commsetc.rs
+
+crates/core/src/bin/commsetc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/commsetc-f89cbd92e9869c87.d: crates/core/src/bin/commsetc.rs
+
+/root/repo/target/debug/deps/commsetc-f89cbd92e9869c87: crates/core/src/bin/commsetc.rs
+
+crates/core/src/bin/commsetc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compiler_phases-9bd9df0a3ee48db7.d: crates/bench/benches/compiler_phases.rs
+
+/root/repo/target/debug/deps/compiler_phases-9bd9df0a3ee48db7: crates/bench/benches/compiler_phases.rs
+
+crates/bench/benches/compiler_phases.rs:

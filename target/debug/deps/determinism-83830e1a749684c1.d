@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-83830e1a749684c1.d: crates/core/../../tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-83830e1a749684c1: crates/core/../../tests/determinism.rs
+
+crates/core/../../tests/determinism.rs:

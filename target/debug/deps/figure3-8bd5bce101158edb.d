@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure3-8bd5bce101158edb.d: crates/bench/src/bin/figure3.rs
+
+/root/repo/target/debug/deps/figure3-8bd5bce101158edb: crates/bench/src/bin/figure3.rs
+
+crates/bench/src/bin/figure3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure3-8e54065e51ebf28f.d: crates/bench/src/bin/figure3.rs
+
+/root/repo/target/debug/deps/figure3-8e54065e51ebf28f: crates/bench/src/bin/figure3.rs
+
+crates/bench/src/bin/figure3.rs:

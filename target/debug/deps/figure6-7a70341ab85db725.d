@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure6-7a70341ab85db725.d: crates/bench/src/bin/figure6.rs
+
+/root/repo/target/debug/deps/figure6-7a70341ab85db725: crates/bench/src/bin/figure6.rs
+
+crates/bench/src/bin/figure6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure6-a197046232cce8c6.d: crates/bench/src/bin/figure6.rs
+
+/root/repo/target/debug/deps/figure6-a197046232cce8c6: crates/bench/src/bin/figure6.rs
+
+crates/bench/src/bin/figure6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-0e160ffd293ebd4d.d: crates/bench/benches/figures.rs
+
+/root/repo/target/debug/deps/figures-0e160ffd293ebd4d: crates/bench/benches/figures.rs
+
+crates/bench/benches/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ir_proptests-7d7ccf9f137bd280.d: crates/ir/tests/ir_proptests.rs
+
+/root/repo/target/debug/deps/ir_proptests-7d7ccf9f137bd280: crates/ir/tests/ir_proptests.rs
+
+crates/ir/tests/ir_proptests.rs:

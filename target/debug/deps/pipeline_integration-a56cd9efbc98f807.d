@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_integration-a56cd9efbc98f807.d: crates/core/../../tests/pipeline_integration.rs
+
+/root/repo/target/debug/deps/pipeline_integration-a56cd9efbc98f807: crates/core/../../tests/pipeline_integration.rs
+
+crates/core/../../tests/pipeline_integration.rs:

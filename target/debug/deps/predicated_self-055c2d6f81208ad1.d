@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/predicated_self-055c2d6f81208ad1.d: crates/core/../../tests/predicated_self.rs
+
+/root/repo/target/debug/deps/predicated_self-055c2d6f81208ad1: crates/core/../../tests/predicated_self.rs
+
+crates/core/../../tests/predicated_self.rs:

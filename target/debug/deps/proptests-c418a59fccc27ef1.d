@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-c418a59fccc27ef1.d: crates/core/../../tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-c418a59fccc27ef1: crates/core/../../tests/proptests.rs
+
+crates/core/../../tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reductions-5810ffe76280cc3e.d: crates/core/../../tests/reductions.rs
+
+/root/repo/target/debug/deps/reductions-5810ffe76280cc3e: crates/core/../../tests/reductions.rs
+
+crates/core/../../tests/reductions.rs:

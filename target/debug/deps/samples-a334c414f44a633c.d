@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/samples-a334c414f44a633c.d: crates/core/../../tests/samples.rs
+
+/root/repo/target/debug/deps/samples-a334c414f44a633c: crates/core/../../tests/samples.rs
+
+crates/core/../../tests/samples.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/core

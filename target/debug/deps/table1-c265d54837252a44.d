@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-c265d54837252a44.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-c265d54837252a44: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-c53515a3dc682d59.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-c53515a3dc682d59: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-5b2ae440b6234656.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-5b2ae440b6234656: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

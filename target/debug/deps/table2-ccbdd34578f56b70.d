@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-ccbdd34578f56b70.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-ccbdd34578f56b70: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

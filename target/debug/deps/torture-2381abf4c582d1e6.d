@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/torture-2381abf4c582d1e6.d: crates/core/../../tests/torture.rs
+
+/root/repo/target/debug/deps/torture-2381abf4c582d1e6: crates/core/../../tests/torture.rs
+
+crates/core/../../tests/torture.rs:

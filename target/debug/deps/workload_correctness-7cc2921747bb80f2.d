@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workload_correctness-7cc2921747bb80f2.d: crates/core/../../tests/workload_correctness.rs
+
+/root/repo/target/debug/deps/workload_correctness-7cc2921747bb80f2: crates/core/../../tests/workload_correctness.rs
+
+crates/core/../../tests/workload_correctness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_workload-92908cb72fa58cff.d: crates/core/../../examples/custom_workload.rs
+
+/root/repo/target/debug/examples/custom_workload-92908cb72fa58cff: crates/core/../../examples/custom_workload.rs
+
+crates/core/../../examples/custom_workload.rs:

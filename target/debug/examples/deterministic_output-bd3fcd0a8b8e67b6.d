@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/deterministic_output-bd3fcd0a8b8e67b6.d: crates/core/../../examples/deterministic_output.rs
+
+/root/repo/target/debug/examples/deterministic_output-bd3fcd0a8b8e67b6: crates/core/../../examples/deterministic_output.rs
+
+crates/core/../../examples/deterministic_output.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/explain_deps-08bde834799465f9.d: crates/core/../../examples/explain_deps.rs
+
+/root/repo/target/debug/examples/explain_deps-08bde834799465f9: crates/core/../../examples/explain_deps.rs
+
+crates/core/../../examples/explain_deps.rs:

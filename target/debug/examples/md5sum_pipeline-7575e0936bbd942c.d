@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/md5sum_pipeline-7575e0936bbd942c.d: crates/core/../../examples/md5sum_pipeline.rs
+
+/root/repo/target/debug/examples/md5sum_pipeline-7575e0936bbd942c: crates/core/../../examples/md5sum_pipeline.rs
+
+crates/core/../../examples/md5sum_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-07b0af3f7e4d7943.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-07b0af3f7e4d7943: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/reduction-59284bd79b5d8d0a.d: crates/core/../../examples/reduction.rs
+
+/root/repo/target/debug/examples/reduction-59284bd79b5d8d0a: crates/core/../../examples/reduction.rs
+
+crates/core/../../examples/reduction.rs:

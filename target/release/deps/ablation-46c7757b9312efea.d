@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-46c7757b9312efea.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-46c7757b9312efea: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

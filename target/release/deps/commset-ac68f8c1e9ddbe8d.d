@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/commset-ac68f8c1e9ddbe8d.d: crates/core/src/lib.rs crates/core/src/spec.rs
+
+/root/repo/target/release/deps/libcommset-ac68f8c1e9ddbe8d.rlib: crates/core/src/lib.rs crates/core/src/spec.rs
+
+/root/repo/target/release/deps/libcommset-ac68f8c1e9ddbe8d.rmeta: crates/core/src/lib.rs crates/core/src/spec.rs
+
+crates/core/src/lib.rs:
+crates/core/src/spec.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/commset_analysis-700e4ba8076e89dc.d: crates/analysis/src/lib.rs crates/analysis/src/callgraph.rs crates/analysis/src/depanalysis.rs crates/analysis/src/effects.rs crates/analysis/src/hotloop.rs crates/analysis/src/metadata.rs crates/analysis/src/pdg.rs crates/analysis/src/scc.rs crates/analysis/src/symex.rs
+
+/root/repo/target/release/deps/libcommset_analysis-700e4ba8076e89dc.rlib: crates/analysis/src/lib.rs crates/analysis/src/callgraph.rs crates/analysis/src/depanalysis.rs crates/analysis/src/effects.rs crates/analysis/src/hotloop.rs crates/analysis/src/metadata.rs crates/analysis/src/pdg.rs crates/analysis/src/scc.rs crates/analysis/src/symex.rs
+
+/root/repo/target/release/deps/libcommset_analysis-700e4ba8076e89dc.rmeta: crates/analysis/src/lib.rs crates/analysis/src/callgraph.rs crates/analysis/src/depanalysis.rs crates/analysis/src/effects.rs crates/analysis/src/hotloop.rs crates/analysis/src/metadata.rs crates/analysis/src/pdg.rs crates/analysis/src/scc.rs crates/analysis/src/symex.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/callgraph.rs:
+crates/analysis/src/depanalysis.rs:
+crates/analysis/src/effects.rs:
+crates/analysis/src/hotloop.rs:
+crates/analysis/src/metadata.rs:
+crates/analysis/src/pdg.rs:
+crates/analysis/src/scc.rs:
+crates/analysis/src/symex.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/commset_bench-dfabdea90f68cdf7.d: crates/bench/src/lib.rs crates/bench/src/table1.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/libcommset_bench-dfabdea90f68cdf7.rlib: crates/bench/src/lib.rs crates/bench/src/table1.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/libcommset_bench-dfabdea90f68cdf7.rmeta: crates/bench/src/lib.rs crates/bench/src/table1.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/table1.rs:
+crates/bench/src/timing.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/commset_interp-7b9b9d0c43802fdf.d: crates/interp/src/lib.rs crates/interp/src/config.rs crates/interp/src/error.rs crates/interp/src/globals.rs crates/interp/src/seq.rs crates/interp/src/sim_exec.rs crates/interp/src/thread_exec.rs crates/interp/src/vm.rs
+
+/root/repo/target/release/deps/libcommset_interp-7b9b9d0c43802fdf.rlib: crates/interp/src/lib.rs crates/interp/src/config.rs crates/interp/src/error.rs crates/interp/src/globals.rs crates/interp/src/seq.rs crates/interp/src/sim_exec.rs crates/interp/src/thread_exec.rs crates/interp/src/vm.rs
+
+/root/repo/target/release/deps/libcommset_interp-7b9b9d0c43802fdf.rmeta: crates/interp/src/lib.rs crates/interp/src/config.rs crates/interp/src/error.rs crates/interp/src/globals.rs crates/interp/src/seq.rs crates/interp/src/sim_exec.rs crates/interp/src/thread_exec.rs crates/interp/src/vm.rs
+
+crates/interp/src/lib.rs:
+crates/interp/src/config.rs:
+crates/interp/src/error.rs:
+crates/interp/src/globals.rs:
+crates/interp/src/seq.rs:
+crates/interp/src/sim_exec.rs:
+crates/interp/src/thread_exec.rs:
+crates/interp/src/vm.rs:

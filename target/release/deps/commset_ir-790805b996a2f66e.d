@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/commset_ir-790805b996a2f66e.d: crates/ir/src/lib.rs crates/ir/src/builder.rs crates/ir/src/cfg.rs crates/ir/src/dom.rs crates/ir/src/effects.rs crates/ir/src/loops.rs crates/ir/src/lower.rs crates/ir/src/print.rs crates/ir/src/repr.rs
+
+/root/repo/target/release/deps/libcommset_ir-790805b996a2f66e.rlib: crates/ir/src/lib.rs crates/ir/src/builder.rs crates/ir/src/cfg.rs crates/ir/src/dom.rs crates/ir/src/effects.rs crates/ir/src/loops.rs crates/ir/src/lower.rs crates/ir/src/print.rs crates/ir/src/repr.rs
+
+/root/repo/target/release/deps/libcommset_ir-790805b996a2f66e.rmeta: crates/ir/src/lib.rs crates/ir/src/builder.rs crates/ir/src/cfg.rs crates/ir/src/dom.rs crates/ir/src/effects.rs crates/ir/src/loops.rs crates/ir/src/lower.rs crates/ir/src/print.rs crates/ir/src/repr.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/builder.rs:
+crates/ir/src/cfg.rs:
+crates/ir/src/dom.rs:
+crates/ir/src/effects.rs:
+crates/ir/src/loops.rs:
+crates/ir/src/lower.rs:
+crates/ir/src/print.rs:
+crates/ir/src/repr.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/commset_lang-9c14f49c651d9a9b.d: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/diag.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/printer.rs crates/lang/src/sema.rs crates/lang/src/token.rs
+
+/root/repo/target/release/deps/libcommset_lang-9c14f49c651d9a9b.rlib: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/diag.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/printer.rs crates/lang/src/sema.rs crates/lang/src/token.rs
+
+/root/repo/target/release/deps/libcommset_lang-9c14f49c651d9a9b.rmeta: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/diag.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/printer.rs crates/lang/src/sema.rs crates/lang/src/token.rs
+
+crates/lang/src/lib.rs:
+crates/lang/src/ast.rs:
+crates/lang/src/diag.rs:
+crates/lang/src/lexer.rs:
+crates/lang/src/parser.rs:
+crates/lang/src/printer.rs:
+crates/lang/src/sema.rs:
+crates/lang/src/token.rs:

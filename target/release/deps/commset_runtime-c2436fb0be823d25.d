@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/commset_runtime-c2436fb0be823d25.d: crates/runtime/src/lib.rs crates/runtime/src/fault.rs crates/runtime/src/intrinsics.rs crates/runtime/src/lock.rs crates/runtime/src/queue.rs crates/runtime/src/rng.rs crates/runtime/src/stm.rs crates/runtime/src/sync.rs crates/runtime/src/value.rs crates/runtime/src/watchdog.rs crates/runtime/src/world.rs
+
+/root/repo/target/release/deps/libcommset_runtime-c2436fb0be823d25.rlib: crates/runtime/src/lib.rs crates/runtime/src/fault.rs crates/runtime/src/intrinsics.rs crates/runtime/src/lock.rs crates/runtime/src/queue.rs crates/runtime/src/rng.rs crates/runtime/src/stm.rs crates/runtime/src/sync.rs crates/runtime/src/value.rs crates/runtime/src/watchdog.rs crates/runtime/src/world.rs
+
+/root/repo/target/release/deps/libcommset_runtime-c2436fb0be823d25.rmeta: crates/runtime/src/lib.rs crates/runtime/src/fault.rs crates/runtime/src/intrinsics.rs crates/runtime/src/lock.rs crates/runtime/src/queue.rs crates/runtime/src/rng.rs crates/runtime/src/stm.rs crates/runtime/src/sync.rs crates/runtime/src/value.rs crates/runtime/src/watchdog.rs crates/runtime/src/world.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/fault.rs:
+crates/runtime/src/intrinsics.rs:
+crates/runtime/src/lock.rs:
+crates/runtime/src/queue.rs:
+crates/runtime/src/rng.rs:
+crates/runtime/src/stm.rs:
+crates/runtime/src/sync.rs:
+crates/runtime/src/value.rs:
+crates/runtime/src/watchdog.rs:
+crates/runtime/src/world.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/commset_sim-1498756eb376a222.d: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/lock.rs crates/sim/src/queue.rs crates/sim/src/sched.rs crates/sim/src/tm.rs
+
+/root/repo/target/release/deps/libcommset_sim-1498756eb376a222.rlib: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/lock.rs crates/sim/src/queue.rs crates/sim/src/sched.rs crates/sim/src/tm.rs
+
+/root/repo/target/release/deps/libcommset_sim-1498756eb376a222.rmeta: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/lock.rs crates/sim/src/queue.rs crates/sim/src/sched.rs crates/sim/src/tm.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/lock.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/sched.rs:
+crates/sim/src/tm.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/commset_transform-745821bf950fe707.d: crates/transform/src/lib.rs crates/transform/src/codegen.rs crates/transform/src/doall.rs crates/transform/src/dswp.rs crates/transform/src/estimate.rs crates/transform/src/partition.rs crates/transform/src/plan.rs crates/transform/src/sync.rs
+
+/root/repo/target/release/deps/libcommset_transform-745821bf950fe707.rlib: crates/transform/src/lib.rs crates/transform/src/codegen.rs crates/transform/src/doall.rs crates/transform/src/dswp.rs crates/transform/src/estimate.rs crates/transform/src/partition.rs crates/transform/src/plan.rs crates/transform/src/sync.rs
+
+/root/repo/target/release/deps/libcommset_transform-745821bf950fe707.rmeta: crates/transform/src/lib.rs crates/transform/src/codegen.rs crates/transform/src/doall.rs crates/transform/src/dswp.rs crates/transform/src/estimate.rs crates/transform/src/partition.rs crates/transform/src/plan.rs crates/transform/src/sync.rs
+
+crates/transform/src/lib.rs:
+crates/transform/src/codegen.rs:
+crates/transform/src/doall.rs:
+crates/transform/src/dswp.rs:
+crates/transform/src/estimate.rs:
+crates/transform/src/partition.rs:
+crates/transform/src/plan.rs:
+crates/transform/src/sync.rs:

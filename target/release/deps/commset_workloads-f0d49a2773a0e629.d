@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/commset_workloads-f0d49a2773a0e629.d: crates/workloads/src/lib.rs crates/workloads/src/eclat.rs crates/workloads/src/em3d.rs crates/workloads/src/framework.rs crates/workloads/src/geti.rs crates/workloads/src/hmmer.rs crates/workloads/src/kmeans.rs crates/workloads/src/md5.rs crates/workloads/src/md5sum.rs crates/workloads/src/potrace.rs crates/workloads/src/url.rs crates/workloads/src/worldlib.rs
+
+/root/repo/target/release/deps/libcommset_workloads-f0d49a2773a0e629.rlib: crates/workloads/src/lib.rs crates/workloads/src/eclat.rs crates/workloads/src/em3d.rs crates/workloads/src/framework.rs crates/workloads/src/geti.rs crates/workloads/src/hmmer.rs crates/workloads/src/kmeans.rs crates/workloads/src/md5.rs crates/workloads/src/md5sum.rs crates/workloads/src/potrace.rs crates/workloads/src/url.rs crates/workloads/src/worldlib.rs
+
+/root/repo/target/release/deps/libcommset_workloads-f0d49a2773a0e629.rmeta: crates/workloads/src/lib.rs crates/workloads/src/eclat.rs crates/workloads/src/em3d.rs crates/workloads/src/framework.rs crates/workloads/src/geti.rs crates/workloads/src/hmmer.rs crates/workloads/src/kmeans.rs crates/workloads/src/md5.rs crates/workloads/src/md5sum.rs crates/workloads/src/potrace.rs crates/workloads/src/url.rs crates/workloads/src/worldlib.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/eclat.rs:
+crates/workloads/src/em3d.rs:
+crates/workloads/src/framework.rs:
+crates/workloads/src/geti.rs:
+crates/workloads/src/hmmer.rs:
+crates/workloads/src/kmeans.rs:
+crates/workloads/src/md5.rs:
+crates/workloads/src/md5sum.rs:
+crates/workloads/src/potrace.rs:
+crates/workloads/src/url.rs:
+crates/workloads/src/worldlib.rs:

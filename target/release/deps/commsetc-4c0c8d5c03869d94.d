@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/commsetc-4c0c8d5c03869d94.d: crates/core/src/bin/commsetc.rs
+
+/root/repo/target/release/deps/commsetc-4c0c8d5c03869d94: crates/core/src/bin/commsetc.rs
+
+crates/core/src/bin/commsetc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure3-4bc6b9808bb22eb1.d: crates/bench/src/bin/figure3.rs
+
+/root/repo/target/release/deps/figure3-4bc6b9808bb22eb1: crates/bench/src/bin/figure3.rs
+
+crates/bench/src/bin/figure3.rs:

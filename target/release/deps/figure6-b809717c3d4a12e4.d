@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure6-b809717c3d4a12e4.d: crates/bench/src/bin/figure6.rs
+
+/root/repo/target/release/deps/figure6-b809717c3d4a12e4: crates/bench/src/bin/figure6.rs
+
+crates/bench/src/bin/figure6.rs:

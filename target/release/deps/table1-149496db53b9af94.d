@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-149496db53b9af94.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-149496db53b9af94: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-ef4bf32480c5a020.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-ef4bf32480c5a020: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

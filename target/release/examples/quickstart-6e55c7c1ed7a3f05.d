@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-6e55c7c1ed7a3f05.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-6e55c7c1ed7a3f05: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -23,11 +23,15 @@ fn simulated_runs_are_bit_for_bit_repeatable() {
         };
         let run = || {
             let mut world = (w.make_world)();
-            let out = run_simulated(&module, &w.registry, std::slice::from_ref(&plan), &mut world, &cm);
-            (
-                out.sim_time,
-                world.get::<Console>("console").lines.clone(),
+            let out = run_simulated(
+                &module,
+                &w.registry,
+                std::slice::from_ref(&plan),
+                &mut world,
+                &cm,
             )
+            .unwrap();
+            (out.sim_time, world.get::<Console>("console").lines.clone())
         };
         let a1 = run();
         let a2 = run();
@@ -43,9 +47,11 @@ fn ps_dswp_sequential_output_stage_preserves_order_at_every_width() {
     let cm = CostModel::default();
     let reference = md5sum::reference_digests();
     for threads in 3..=8 {
-        let (module, plan) = c.compile(&det, Scheme::PsDswp, threads, SyncMode::Lib).unwrap();
+        let (module, plan) = c
+            .compile(&det, Scheme::PsDswp, threads, SyncMode::Lib)
+            .unwrap();
         let mut world = (w.make_world)();
-        run_simulated(&module, &w.registry, &[plan], &mut world, &cm);
+        run_simulated(&module, &w.registry, &[plan], &mut world, &cm).unwrap();
         assert_eq!(
             world.get::<Console>("console").lines,
             reference,
@@ -67,7 +73,11 @@ fn doall_reorders_but_never_loses_output() {
     let (_, seq_world) = w.run_sequential(&cm);
     let par = world.get::<Console>("console");
     let seq = seq_world.get::<Console>("console");
-    assert_eq!(par.multiset(), seq.multiset(), "no lost or duplicated emits");
+    assert_eq!(
+        par.multiset(),
+        seq.multiset(),
+        "no lost or duplicated emits"
+    );
     // Reordering is *allowed* under the annotation, not required: with
     // perfectly uniform iterations the simulated workers can stay in
     // lockstep and emit in source order, which is also legal.

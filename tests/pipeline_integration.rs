@@ -64,10 +64,31 @@ const ITEMS: i64 = 40;
 fn intrinsics() -> IntrinsicTable {
     let mut t = IntrinsicTable::new();
     t.register("item_count", vec![], Type::Int, &[], &[], 5);
-    t.register("acquire", vec![Type::Int], Type::Handle, &[], &["TABLE"], 30);
-    t.register("step_work", vec![Type::Handle], Type::Int, &["TABLE"], &["DATA"], 30);
+    t.register(
+        "acquire",
+        vec![Type::Int],
+        Type::Handle,
+        &[],
+        &["TABLE"],
+        30,
+    );
+    t.register(
+        "step_work",
+        vec![Type::Handle],
+        Type::Int,
+        &["TABLE"],
+        &["DATA"],
+        30,
+    );
     t.register("publish", vec![Type::Int], Type::Void, &[], &["OUT"], 20);
-    t.register("release", vec![Type::Handle], Type::Void, &[], &["TABLE"], 15);
+    t.register(
+        "release",
+        vec![Type::Handle],
+        Type::Void,
+        &[],
+        &["TABLE"],
+        15,
+    );
     t.register("logit", vec![Type::Int], Type::Void, &[], &["LOGC"], 10);
     t
 }
@@ -96,13 +117,18 @@ fn registry() -> Registry {
         let c = s.counters.get_mut(&args[0].as_int()).expect("live item");
         if *c > 0 {
             *c -= 1;
-            IntrinsicOutcome::value(1i64).with_cost(200).with_serialized(5)
+            IntrinsicOutcome::value(1i64)
+                .with_cost(200)
+                .with_serialized(5)
         } else {
             IntrinsicOutcome::value(0i64)
         }
     });
     r.register("publish", |world, args| {
-        world.get_mut::<Sink>("sink").published.push(args[0].as_int());
+        world
+            .get_mut::<Sink>("sink")
+            .published
+            .push(args[0].as_int());
         IntrinsicOutcome::unit()
     });
     r.register("logit", |world, args| {
@@ -111,7 +137,10 @@ fn registry() -> Registry {
     });
     r.register("release", |world, args| {
         let s = world.get_mut::<Sink>("sink");
-        assert!(s.counters.remove(&args[0].as_int()).is_some(), "double release");
+        assert!(
+            s.counters.remove(&args[0].as_int()).is_some(),
+            "double release"
+        );
         IntrinsicOutcome::unit()
     });
     r
@@ -150,7 +179,7 @@ fn every_scheme_and_sync_mode_computes_the_same_multiset() {
     let cm = CostModel::default();
     let seq_module = c.compile_sequential(&a).unwrap();
     let mut seq_world = world();
-    run_sequential(&seq_module, &registry(), &mut seq_world, &cm, "main");
+    run_sequential(&seq_module, &registry(), &mut seq_world, &cm, "main").unwrap();
     let expected = sorted(seq_world.get::<Sink>("sink").published.clone());
     assert_eq!(expected.len(), ITEMS as usize);
 
@@ -161,7 +190,7 @@ fn every_scheme_and_sync_mode_computes_the_same_multiset() {
                     continue;
                 };
                 let mut w = world();
-                run_simulated(&module, &registry(), &[plan], &mut w, &cm);
+                run_simulated(&module, &registry(), &[plan], &mut w, &cm).unwrap();
                 let sink = w.get::<Sink>("sink");
                 assert_eq!(
                     sorted(sink.published.clone()),
@@ -186,7 +215,7 @@ fn thread_executor_agrees_with_simulated() {
     let cm = CostModel::default();
     let seq_module = c.compile_sequential(&a).unwrap();
     let mut seq_world = world();
-    run_sequential(&seq_module, &registry(), &mut seq_world, &cm, "main");
+    run_sequential(&seq_module, &registry(), &mut seq_world, &cm, "main").unwrap();
     let expected = sorted(seq_world.get::<Sink>("sink").published.clone());
 
     for (scheme, sync) in [
@@ -195,7 +224,7 @@ fn thread_executor_agrees_with_simulated() {
         (Scheme::PsDswp, SyncMode::Lib),
     ] {
         let (module, plan) = c.compile(&a, scheme, 4, sync).unwrap();
-        let out = run_threaded(&module, &registry(), &[plan], world());
+        let out = run_threaded(&module, &registry(), &[plan], world()).unwrap();
         let sink = out.world.get::<Sink>("sink");
         assert_eq!(
             sorted(sink.published.clone()),

@@ -143,21 +143,34 @@ fn keyed_puts_match_sequential_on_both_executors() {
 
     let seq_module = c.compile_sequential(&a).unwrap();
     let mut seq_world = fresh_world();
-    run_sequential(&seq_module, &registry, &mut seq_world, &cm, "main");
+    run_sequential(&seq_module, &registry, &mut seq_world, &cm, "main").unwrap();
     let expected = seq_world.get::<Vec<i64>>("table").clone();
 
     for scheme in [Scheme::Doall, Scheme::PsDswp] {
         for threads in [2, 4, 8] {
             let (module, plan) = c.compile(&a, scheme, threads, SyncMode::Lib).unwrap();
             let mut world = fresh_world();
-            run_simulated(&module, &registry, std::slice::from_ref(&plan), &mut world, &cm);
+            run_simulated(
+                &module,
+                &registry,
+                std::slice::from_ref(&plan),
+                &mut world,
+                &cm,
+            )
+            .unwrap();
             assert_eq!(
                 world.get::<Vec<i64>>("table"),
                 &expected,
                 "{scheme} x{threads} simulated"
             );
 
-            let out = run_threaded(&module, &registry, std::slice::from_ref(&plan), fresh_world());
+            let out = run_threaded(
+                &module,
+                &registry,
+                std::slice::from_ref(&plan),
+                fresh_world(),
+            )
+            .unwrap();
             assert_eq!(
                 out.world.get::<Vec<i64>>("table"),
                 &expected,

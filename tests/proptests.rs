@@ -1,5 +1,10 @@
-//! Property-based tests over the front end, the symbolic interpreter, the
-//! runtime queue and the full compile-and-run pipeline.
+//! Randomized property tests over the front end, the symbolic
+//! interpreter, the runtime queue and the full compile-and-run pipeline.
+//!
+//! The workspace carries no external dependencies, so these are driven by
+//! the runtime's own deterministic [`SplitMix64`] stream instead of a
+//! property-testing crate: every test draws a fixed number of random cases
+//! from a fixed seed, so failures reproduce exactly.
 
 use commset::{Compiler, Scheme, SyncMode};
 use commset_interp::{run_sequential, run_simulated};
@@ -9,81 +14,108 @@ use commset_lang::parser::parse_expr;
 use commset_lang::printer::print_expr;
 use commset_lang::sema::PredicateDef;
 use commset_runtime::intrinsics::IntrinsicOutcome;
+use commset_runtime::rng::SplitMix64;
 use commset_runtime::{Registry, SpscQueue, World};
 use commset_sim::CostModel;
-use proptest::prelude::*;
+
+/// Test-local generator facade over the deterministic stream.
+struct Gen(SplitMix64);
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen(SplitMix64::new(seed))
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.0.next_below(hi - lo)
+    }
+
+    fn irange(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + self.0.next_below((hi - lo) as u64) as i64
+    }
+
+    fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.0.next_below(items.len() as u64) as usize]
+    }
+
+    fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.0.next_below(den) < num
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Expression printer round-trip
 // ---------------------------------------------------------------------------
 
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (0i64..1000).prop_map(Expr::int), // Cmm has no negative literals; negation is a unary op
-        prop_oneof![Just("a"), Just("b"), Just("x1"), Just("y2")]
-            .prop_map(|n| Expr::var(n.to_string())),
-    ];
-    leaf.prop_recursive(4, 64, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone(), arb_binop()).prop_map(|(l, r, op)| Expr::new(
+fn arb_expr(g: &mut Gen, depth: u32) -> Expr {
+    if depth == 0 || g.chance(1, 3) {
+        // Leaf: literal or variable. Cmm has no negative literals;
+        // negation is a unary op.
+        return if g.chance(1, 2) {
+            Expr::int(g.irange(0, 1000))
+        } else {
+            Expr::var((*g.pick(&["a", "b", "x1", "y2"])).to_string())
+        };
+    }
+    match g.range(0, 4) {
+        0 => {
+            let op = *g.pick(&[
+                BinOp::Add,
+                BinOp::Sub,
+                BinOp::Mul,
+                BinOp::Div,
+                BinOp::Rem,
+                BinOp::Shl,
+                BinOp::Shr,
+                BinOp::Lt,
+                BinOp::Le,
+                BinOp::Gt,
+                BinOp::Ge,
+                BinOp::Eq,
+                BinOp::Ne,
+                BinOp::BitAnd,
+                BinOp::BitOr,
+                BinOp::BitXor,
+                BinOp::And,
+                BinOp::Or,
+            ]);
+            let l = arb_expr(g, depth - 1);
+            let r = arb_expr(g, depth - 1);
+            Expr::new(
                 ExprKind::Binary(op, Box::new(l), Box::new(r)),
-                Default::default()
-            )),
-            (inner.clone(), arb_unop()).prop_map(|(e, op)| Expr::new(
-                ExprKind::Unary(op, Box::new(e)),
-                Default::default()
-            )),
-            inner.clone().prop_map(|e| Expr::new(
-                ExprKind::Cast(Type::Int, Box::new(e)),
-                Default::default()
-            )),
-            (inner, proptest::collection::vec(Just(()), 0..3)).prop_map(|(e, extra)| {
-                let mut args = vec![e];
-                for _ in extra {
-                    args.push(Expr::int(1));
-                }
-                Expr::new(ExprKind::Call("f".into(), args), Default::default())
-            }),
-        ]
-    })
+                Default::default(),
+            )
+        }
+        1 => {
+            let op = *g.pick(&[UnOp::Neg, UnOp::Not, UnOp::BitNot]);
+            let e = arb_expr(g, depth - 1);
+            Expr::new(ExprKind::Unary(op, Box::new(e)), Default::default())
+        }
+        2 => {
+            let e = arb_expr(g, depth - 1);
+            Expr::new(ExprKind::Cast(Type::Int, Box::new(e)), Default::default())
+        }
+        _ => {
+            let mut args = vec![arb_expr(g, depth - 1)];
+            for _ in 0..g.range(0, 3) {
+                args.push(Expr::int(1));
+            }
+            Expr::new(ExprKind::Call("f".into(), args), Default::default())
+        }
+    }
 }
 
-fn arb_binop() -> impl Strategy<Value = BinOp> {
-    prop_oneof![
-        Just(BinOp::Add),
-        Just(BinOp::Sub),
-        Just(BinOp::Mul),
-        Just(BinOp::Div),
-        Just(BinOp::Rem),
-        Just(BinOp::Shl),
-        Just(BinOp::Shr),
-        Just(BinOp::Lt),
-        Just(BinOp::Le),
-        Just(BinOp::Gt),
-        Just(BinOp::Ge),
-        Just(BinOp::Eq),
-        Just(BinOp::Ne),
-        Just(BinOp::BitAnd),
-        Just(BinOp::BitOr),
-        Just(BinOp::BitXor),
-        Just(BinOp::And),
-        Just(BinOp::Or),
-    ]
-}
-
-fn arb_unop() -> impl Strategy<Value = UnOp> {
-    prop_oneof![Just(UnOp::Neg), Just(UnOp::Not), Just(UnOp::BitNot)]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// print -> parse -> print is a fixed point for arbitrary expressions.
-    #[test]
-    fn expr_print_parse_round_trip(e in arb_expr()) {
+/// print -> parse -> print is a fixed point for arbitrary expressions.
+#[test]
+fn expr_print_parse_round_trip() {
+    let mut g = Gen::new(0x00ce_55e7_0001);
+    for case in 0..256 {
+        let e = arb_expr(&mut g, 4);
         let printed = print_expr(&e);
-        let reparsed = parse_expr(&printed).expect("printed expression parses");
-        prop_assert_eq!(print_expr(&reparsed), printed);
+        let reparsed = parse_expr(&printed)
+            .unwrap_or_else(|d| panic!("case {case}: `{printed}` fails to parse: {d}"));
+        assert_eq!(print_expr(&reparsed), printed, "case {case}");
     }
 }
 
@@ -93,58 +125,57 @@ proptest! {
 
 /// Predicates over one parameter pair (a, b), in the fragment the prover
 /// understands plus opaque arithmetic it must treat as Unknown.
-fn arb_pred_expr() -> impl Strategy<Value = Expr> {
-    let atom = prop_oneof![
-        Just(("a", 0i64)),
-        Just(("b", 0)),
-        Just(("a", 1)),
-        Just(("b", -1)),
-        Just(("a", 3)),
-    ]
-    .prop_map(|(v, off)| {
-        if off == 0 {
-            Expr::var(v)
-        } else {
+fn arb_pred_atom(g: &mut Gen) -> Expr {
+    let (v, off) = *g.pick(&[("a", 0i64), ("b", 0), ("a", 1), ("b", -1), ("a", 3)]);
+    if off == 0 {
+        Expr::var(v)
+    } else {
+        Expr::new(
+            ExprKind::Binary(BinOp::Add, Box::new(Expr::var(v)), Box::new(Expr::int(off))),
+            Default::default(),
+        )
+    }
+}
+
+fn arb_pred_expr(g: &mut Gen, depth: u32) -> Expr {
+    if depth == 0 || g.chance(1, 2) {
+        let op = *g.pick(&[
+            BinOp::Eq,
+            BinOp::Ne,
+            BinOp::Lt,
+            BinOp::Le,
+            BinOp::Gt,
+            BinOp::Ge,
+        ]);
+        let l = arb_pred_atom(g);
+        let r = arb_pred_atom(g);
+        return Expr::new(
+            ExprKind::Binary(op, Box::new(l), Box::new(r)),
+            Default::default(),
+        );
+    }
+    match g.range(0, 3) {
+        0 => {
+            let l = arb_pred_expr(g, depth - 1);
+            let r = arb_pred_expr(g, depth - 1);
             Expr::new(
-                ExprKind::Binary(
-                    BinOp::Add,
-                    Box::new(Expr::var(v)),
-                    Box::new(Expr::int(off)),
-                ),
+                ExprKind::Binary(BinOp::And, Box::new(l), Box::new(r)),
                 Default::default(),
             )
         }
-    });
-    let cmp = (atom.clone(), atom, arb_cmp()).prop_map(|(l, r, op)| {
-        Expr::new(ExprKind::Binary(op, Box::new(l), Box::new(r)), Default::default())
-    });
-    cmp.prop_recursive(3, 24, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::new(
-                ExprKind::Binary(BinOp::And, Box::new(l), Box::new(r)),
-                Default::default()
-            )),
-            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::new(
+        1 => {
+            let l = arb_pred_expr(g, depth - 1);
+            let r = arb_pred_expr(g, depth - 1);
+            Expr::new(
                 ExprKind::Binary(BinOp::Or, Box::new(l), Box::new(r)),
-                Default::default()
-            )),
-            inner.prop_map(|e| Expr::new(
-                ExprKind::Unary(UnOp::Not, Box::new(e)),
-                Default::default()
-            )),
-        ]
-    })
-}
-
-fn arb_cmp() -> impl Strategy<Value = BinOp> {
-    prop_oneof![
-        Just(BinOp::Eq),
-        Just(BinOp::Ne),
-        Just(BinOp::Lt),
-        Just(BinOp::Le),
-        Just(BinOp::Gt),
-        Just(BinOp::Ge),
-    ]
+                Default::default(),
+            )
+        }
+        _ => {
+            let e = arb_pred_expr(g, depth - 1);
+            Expr::new(ExprKind::Unary(UnOp::Not, Box::new(e)), Default::default())
+        }
+    }
 }
 
 /// Concrete evaluation of a predicate expression.
@@ -178,57 +209,64 @@ fn eval_concrete(e: &Expr, a: i64, b: i64) -> i64 {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn pred_of(body: &Expr) -> PredicateDef {
+    PredicateDef {
+        func_name: "__pred_T".into(),
+        params1: vec!["a".into()],
+        params2: vec!["b".into()],
+        param_tys: vec![Type::Int],
+        body: body.clone(),
+    }
+}
 
-    /// If the prover says True under `a != b`, every distinct concrete pair
-    /// satisfies the predicate; if it says False, none does. (Unknown makes
-    /// no claim.)
-    #[test]
-    fn symbolic_prover_is_sound_under_ne(
-        body in arb_pred_expr(),
-        samples in proptest::collection::vec((-50i64..50, -50i64..50), 16)
-    ) {
-        use commset_analysis::symex::{prove, Rel, Tri};
-        let pred = PredicateDef {
-            func_name: "__pred_T".into(),
-            params1: vec!["a".into()],
-            params2: vec!["b".into()],
-            param_tys: vec![Type::Int],
-            body: body.clone(),
-        };
-        let verdict = prove(&pred, &[Rel::Ne]);
-        for (a, b) in samples {
-            let (a, b) = if a == b { (a, b + 1) } else { (a, b) };
+/// If the prover says True under `a != b`, every distinct concrete pair
+/// satisfies the predicate; if it says False, none does. (Unknown makes
+/// no claim.)
+#[test]
+fn symbolic_prover_is_sound_under_ne() {
+    use commset_analysis::symex::{prove, Rel, Tri};
+    let mut g = Gen::new(0x00ce_55e7_0002);
+    for case in 0..256 {
+        let body = arb_pred_expr(&mut g, 3);
+        let verdict = prove(&pred_of(&body), &[Rel::Ne]);
+        for _ in 0..16 {
+            let a = g.irange(-50, 50);
+            let mut b = g.irange(-50, 50);
+            if a == b {
+                b += 1;
+            }
             let concrete = eval_concrete(&body, a, b) != 0;
             match verdict {
-                Tri::True => prop_assert!(concrete, "prover said True but ({a},{b}) fails"),
-                Tri::False => prop_assert!(!concrete, "prover said False but ({a},{b}) holds"),
+                Tri::True => assert!(
+                    concrete,
+                    "case {case}: prover said True but ({a},{b}) fails"
+                ),
+                Tri::False => {
+                    assert!(
+                        !concrete,
+                        "case {case}: prover said False but ({a},{b}) holds"
+                    )
+                }
                 Tri::Unknown => {}
             }
         }
     }
+}
 
-    /// Same soundness statement under the equality assertion.
-    #[test]
-    fn symbolic_prover_is_sound_under_eq(
-        body in arb_pred_expr(),
-        samples in proptest::collection::vec(-50i64..50, 16)
-    ) {
-        use commset_analysis::symex::{prove, Rel, Tri};
-        let pred = PredicateDef {
-            func_name: "__pred_T".into(),
-            params1: vec!["a".into()],
-            params2: vec!["b".into()],
-            param_tys: vec![Type::Int],
-            body: body.clone(),
-        };
-        let verdict = prove(&pred, &[Rel::Eq]);
-        for v in samples {
+/// Same soundness statement under the equality assertion.
+#[test]
+fn symbolic_prover_is_sound_under_eq() {
+    use commset_analysis::symex::{prove, Rel, Tri};
+    let mut g = Gen::new(0x00ce_55e7_0003);
+    for case in 0..256 {
+        let body = arb_pred_expr(&mut g, 3);
+        let verdict = prove(&pred_of(&body), &[Rel::Eq]);
+        for _ in 0..16 {
+            let v = g.irange(-50, 50);
             let concrete = eval_concrete(&body, v, v) != 0;
             match verdict {
-                Tri::True => prop_assert!(concrete),
-                Tri::False => prop_assert!(!concrete),
+                Tri::True => assert!(concrete, "case {case}: ({v},{v})"),
+                Tri::False => assert!(!concrete, "case {case}: ({v},{v})"),
                 Tri::Unknown => {}
             }
         }
@@ -239,36 +277,29 @@ proptest! {
 // SPSC queue model check
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Against a VecDeque model under arbitrary single-threaded op mixes.
-    #[test]
-    fn spsc_queue_matches_fifo_model(
-        cap in 1usize..16,
-        ops in proptest::collection::vec(prop_oneof![
-            (0u64..1000).prop_map(Some),
-            Just(None)
-        ], 0..200)
-    ) {
+/// Against a VecDeque model under arbitrary single-threaded op mixes.
+#[test]
+fn spsc_queue_matches_fifo_model() {
+    let mut g = Gen::new(0x00ce_55e7_0004);
+    for case in 0..128 {
+        let cap = g.range(1, 16) as usize;
+        let n_ops = g.range(0, 200);
         let q = SpscQueue::new(cap);
         let mut model = std::collections::VecDeque::new();
-        for op in ops {
-            match op {
-                Some(v) => {
-                    let pushed = q.try_push(v).is_ok();
-                    let model_pushed = model.len() < cap;
-                    prop_assert_eq!(pushed, model_pushed);
-                    if model_pushed {
-                        model.push_back(v);
-                    }
+        for _ in 0..n_ops {
+            if g.chance(1, 2) {
+                let v = g.range(0, 1000);
+                let pushed = q.try_push(v).is_ok();
+                let model_pushed = model.len() < cap;
+                assert_eq!(pushed, model_pushed, "case {case}");
+                if model_pushed {
+                    model.push_back(v);
                 }
-                None => {
-                    let got = q.try_pop();
-                    prop_assert_eq!(got, model.pop_front());
-                }
+            } else {
+                let got = q.try_pop();
+                assert_eq!(got, model.pop_front(), "case {case}");
             }
-            prop_assert_eq!(q.len(), model.len());
+            assert_eq!(q.len(), model.len(), "case {case}");
         }
     }
 }
@@ -316,6 +347,50 @@ fn reduction_setup() -> (IntrinsicTable, Registry) {
     (t, r)
 }
 
+/// Any generated commutative-reduction loop produces the sequential sum
+/// under DOALL and PS-DSWP at any thread count.
+#[test]
+fn generated_reductions_parallelize_correctly() {
+    let mut g = Gen::new(0x00ce_55e7_0005);
+    for case in 0..24 {
+        let n_iters = g.range(1, 24) as u32;
+        let ops = g.range(1, 4) as u32;
+        let threads = g.range(2, 8) as usize;
+        let sync = *g.pick(&[SyncMode::Lib, SyncMode::Spin, SyncMode::Mutex]);
+
+        let src = reduction_program(n_iters, ops);
+        let (table, registry) = reduction_setup();
+        let compiler = Compiler::new(table);
+        let analysis = compiler.analyze(&src).expect("generated program analyzes");
+        assert!(
+            analysis.doall_legal(),
+            "case {case}: {}",
+            analysis.pdg_dump()
+        );
+        let cm = CostModel::default();
+
+        let seq_module = compiler.compile_sequential(&analysis).unwrap();
+        let mut seq_world = World::new();
+        seq_world.install("acc", 0i64);
+        run_sequential(&seq_module, &registry, &mut seq_world, &cm, "main").unwrap();
+        let expected = *seq_world.get::<i64>("acc");
+
+        for scheme in [Scheme::Doall, Scheme::PsDswp] {
+            let Ok((module, plan)) = compiler.compile(&analysis, scheme, threads, sync) else {
+                continue;
+            };
+            let mut world = World::new();
+            world.install("acc", 0i64);
+            run_simulated(&module, &registry, &[plan], &mut world, &cm).unwrap();
+            assert_eq!(
+                *world.get::<i64>("acc"),
+                expected,
+                "case {case}: {scheme} x{threads} {sync} on {n_iters} iters x {ops} ops"
+            );
+        }
+    }
+}
+
 /// A generated loop with the alloc/use/free pattern over an
 /// instance-partitioned channel (the hmmer/potrace shape).
 fn object_program(n_iters: u32) -> String {
@@ -348,8 +423,22 @@ fn object_setup() -> (IntrinsicTable, Registry) {
     let mut t = IntrinsicTable::new();
     t.register("obj_new", vec![Type::Int], Type::Handle, &[], &["OBJ"], 25);
     t.mark_fresh_handle("obj_new");
-    t.register("obj_use", vec![Type::Handle], Type::Int, &["OBJ_DATA"], &["OBJ_DATA"], 120);
-    t.register("obj_free", vec![Type::Handle], Type::Void, &[], &["OBJ", "OBJ_DATA"], 15);
+    t.register(
+        "obj_use",
+        vec![Type::Handle],
+        Type::Int,
+        &["OBJ_DATA"],
+        &["OBJ_DATA"],
+        120,
+    );
+    t.register(
+        "obj_free",
+        vec![Type::Handle],
+        Type::Void,
+        &[],
+        &["OBJ", "OBJ_DATA"],
+        15,
+    );
     t.mark_per_instance("OBJ_DATA");
     t.register("accumulate", vec![Type::Int], Type::Void, &[], &["ACC"], 15);
     let mut r = Registry::new();
@@ -378,6 +467,63 @@ fn object_setup() -> (IntrinsicTable, Registry) {
         IntrinsicOutcome::unit()
     });
     (t, r)
+}
+
+/// The alloc/use/free pattern over instance-partitioned channels never
+/// uses a freed object and computes the sequential sum, under every
+/// applicable scheme, sync mode and thread count.
+#[test]
+fn generated_object_loops_never_use_freed_objects() {
+    let mut g = Gen::new(0x00ce_55e7_0006);
+    for case in 0..24 {
+        let n_iters = g.range(1, 32) as u32;
+        let threads = g.range(2, 8) as usize;
+        let sync = *g.pick(&[SyncMode::Lib, SyncMode::Spin, SyncMode::Mutex]);
+
+        let src = object_program(n_iters);
+        let (table, registry) = object_setup();
+        let compiler = Compiler::new(table);
+        let analysis = compiler.analyze(&src).expect("generated program analyzes");
+        assert!(
+            analysis.doall_legal(),
+            "case {case}: {}",
+            analysis.pdg_dump()
+        );
+        let cm = CostModel::default();
+
+        let fresh_world = || {
+            let mut w = World::new();
+            w.install("acc", 0i64);
+            w.install("objs", commset_workloads::worldlib::AllocTable::default());
+            w
+        };
+        let seq_module = compiler.compile_sequential(&analysis).unwrap();
+        let mut seq_world = fresh_world();
+        run_sequential(&seq_module, &registry, &mut seq_world, &cm, "main").unwrap();
+        let expected = *seq_world.get::<i64>("acc");
+
+        for scheme in [Scheme::Doall, Scheme::Dswp, Scheme::PsDswp] {
+            let Ok((module, plan)) = compiler.compile(&analysis, scheme, threads, sync) else {
+                continue;
+            };
+            let mut world = fresh_world();
+            // `obj_use` panics on a freed handle, so finishing at all
+            // proves the schedule preserved the use-before-free order.
+            run_simulated(&module, &registry, &[plan], &mut world, &cm).unwrap();
+            assert_eq!(
+                *world.get::<i64>("acc"),
+                expected,
+                "case {case}: {scheme} x{threads}"
+            );
+            assert_eq!(
+                world
+                    .get::<commset_workloads::worldlib::AllocTable>("objs")
+                    .live_count(),
+                0,
+                "case {case}: no leaks under {scheme}"
+            );
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -435,144 +581,70 @@ fn keyed_setup(slots: usize) -> (IntrinsicTable, Registry, impl Fn() -> World) {
     (t, r, fresh)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Affine keys `i + off` through a predicated Self set stay lock-free
+/// and produce the sequential table under every generated schedule.
+#[test]
+fn generated_keyed_loops_parallelize_correctly() {
+    let mut g = Gen::new(0x00ce_55e7_0007);
+    for case in 0..24 {
+        let n_iters = g.range(1, 28) as u32;
+        let off = g.range(0, 5) as u32;
+        let threads = g.range(2, 8) as usize;
 
-    /// Any generated commutative-reduction loop produces the sequential sum
-    /// under DOALL and PS-DSWP at any thread count.
-    #[test]
-    fn generated_reductions_parallelize_correctly(
-        n_iters in 1u32..24,
-        ops in 1u32..4,
-        threads in 2usize..8,
-        sync in prop_oneof![Just(SyncMode::Lib), Just(SyncMode::Spin), Just(SyncMode::Mutex)],
-    ) {
-        let src = reduction_program(n_iters, ops);
-        let (table, registry) = reduction_setup();
+        let src = keyed_program(n_iters, off);
+        let (table, registry, fresh) = keyed_setup((n_iters + off) as usize);
         let compiler = Compiler::new(table);
         let analysis = compiler.analyze(&src).expect("generated program analyzes");
-        prop_assert!(analysis.doall_legal(), "{}", analysis.pdg_dump());
+        assert!(
+            analysis.doall_legal(),
+            "case {case}: {}",
+            analysis.pdg_dump()
+        );
         let cm = CostModel::default();
 
         let seq_module = compiler.compile_sequential(&analysis).unwrap();
-        let mut seq_world = World::new();
-        seq_world.install("acc", 0i64);
-        run_sequential(&seq_module, &registry, &mut seq_world, &cm, "main");
-        let expected = *seq_world.get::<i64>("acc");
+        let mut seq_world = fresh();
+        run_sequential(&seq_module, &registry, &mut seq_world, &cm, "main").unwrap();
+        let expected = seq_world.get::<Vec<i64>>("table").clone();
 
         for scheme in [Scheme::Doall, Scheme::PsDswp] {
-            let Ok((module, plan)) = compiler.compile(&analysis, scheme, threads, sync) else {
+            let Ok((module, plan)) = compiler.compile(&analysis, scheme, threads, SyncMode::Spin)
+            else {
                 continue;
             };
-            let mut world = World::new();
-            world.install("acc", 0i64);
-            run_simulated(&module, &registry, &[plan], &mut world, &cm);
-            prop_assert_eq!(
-                *world.get::<i64>("acc"),
-                expected,
-                "{} x{} {} on {} iters x {} ops",
-                scheme, threads, sync, n_iters, ops
+            assert!(
+                plan.locks.iter().all(|l| l.set != "KSET"),
+                "case {case}: NoSync keyed set must stay lock-free: {:?}",
+                plan.locks
             );
-        }
-    }
-
-    /// The alloc/use/free pattern over instance-partitioned channels never
-    /// uses a freed object and computes the sequential sum, under every
-    /// applicable scheme, sync mode and thread count.
-    #[test]
-    fn generated_object_loops_never_use_freed_objects(
-        n_iters in 1u32..32,
-        threads in 2usize..8,
-        sync in prop_oneof![Just(SyncMode::Lib), Just(SyncMode::Spin), Just(SyncMode::Mutex)],
-    ) {
-        let src = object_program(n_iters);
-        let (table, registry) = object_setup();
-        let compiler = Compiler::new(table);
-        let analysis = compiler.analyze(&src).expect("generated program analyzes");
-        prop_assert!(analysis.doall_legal(), "{}", analysis.pdg_dump());
-        let cm = CostModel::default();
-
-        let fresh_world = || {
-            let mut w = World::new();
-            w.install("acc", 0i64);
-            w.install("objs", commset_workloads::worldlib::AllocTable::default());
-            w
-        };
-        let seq_module = compiler.compile_sequential(&analysis).unwrap();
-        let mut seq_world = fresh_world();
-        run_sequential(&seq_module, &registry, &mut seq_world, &cm, "main");
-        let expected = *seq_world.get::<i64>("acc");
-
-        for scheme in [Scheme::Doall, Scheme::Dswp, Scheme::PsDswp] {
-            let Ok((module, plan)) = compiler.compile(&analysis, scheme, threads, sync) else {
-                continue;
-            };
-            let mut world = fresh_world();
-            // `obj_use` panics on a freed handle, so finishing at all
-            // proves the schedule preserved the use-before-free order.
-            run_simulated(&module, &registry, &[plan], &mut world, &cm);
-            prop_assert_eq!(*world.get::<i64>("acc"), expected, "{} x{}", scheme, threads);
-            prop_assert_eq!(
-                world
-                    .get::<commset_workloads::worldlib::AllocTable>("objs")
-                    .live_count(),
-                0,
-                "no leaks under {}", scheme
+            let mut world = fresh();
+            run_simulated(&module, &registry, &[plan], &mut world, &cm).unwrap();
+            assert_eq!(
+                world.get::<Vec<i64>>("table"),
+                &expected,
+                "case {case}: {scheme} x{threads} off={off}"
             );
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Affine keys `i + off` through a predicated Self set stay lock-free
-    /// and produce the sequential table under every generated schedule.
-    #[test]
-    fn generated_keyed_loops_parallelize_correctly(
-        n_iters in 1u32..28,
-        off in 0u32..5,
-        threads in 2usize..8,
-    ) {
-        let src = keyed_program(n_iters, off);
-        let (table, registry, fresh) = keyed_setup((n_iters + off) as usize);
-        let compiler = Compiler::new(table);
-        let analysis = compiler.analyze(&src).expect("generated program analyzes");
-        prop_assert!(analysis.doall_legal(), "{}", analysis.pdg_dump());
-        let cm = CostModel::default();
-
-        let seq_module = compiler.compile_sequential(&analysis).unwrap();
-        let mut seq_world = fresh();
-        run_sequential(&seq_module, &registry, &mut seq_world, &cm, "main");
-        let expected = seq_world.get::<Vec<i64>>("table").clone();
-
-        for scheme in [Scheme::Doall, Scheme::PsDswp] {
-            let Ok((module, plan)) = compiler.compile(&analysis, scheme, threads, SyncMode::Spin) else {
-                continue;
-            };
-            prop_assert!(
-                plan.locks.iter().all(|l| l.set != "KSET"),
-                "NoSync keyed set must stay lock-free: {:?}", plan.locks
-            );
-            let mut world = fresh();
-            run_simulated(&module, &registry, &[plan], &mut world, &cm);
-            prop_assert_eq!(
-                world.get::<Vec<i64>>("table"),
-                &expected,
-                "{} x{} off={}", scheme, threads, off
-            );
-        }
-    }
-
-    /// A loop-invariant key refutes the predicate: the write must stay a
-    /// carried dependence no matter the generated shape.
-    #[test]
-    fn generated_constant_key_loops_stay_sequential(n_iters in 2u32..28, key in 0u32..4) {
+/// A loop-invariant key refutes the predicate: the write must stay a
+/// carried dependence no matter the generated shape.
+#[test]
+fn generated_constant_key_loops_stay_sequential() {
+    let mut g = Gen::new(0x00ce_55e7_0008);
+    for case in 0..24 {
+        let n_iters = g.range(2, 28) as u32;
+        let key = g.range(0, 4) as u32;
         let src = keyed_program(n_iters, 0)
             .replace("put_keyed(i + 0, v);", &format!("put_keyed({key}, v);"));
         let (table, _, _) = keyed_setup(8);
         let compiler = Compiler::new(table);
         let analysis = compiler.analyze(&src).expect("analyzes");
-        prop_assert!(!analysis.doall_legal(), "{}", analysis.pdg_dump());
+        assert!(
+            !analysis.doall_legal(),
+            "case {case}: {}",
+            analysis.pdg_dump()
+        );
     }
 }

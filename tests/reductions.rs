@@ -62,17 +62,15 @@ fn reductions_enable_doall_on_an_accumulating_loop() {
     let cm = CostModel::default();
     let seq_module = compiler.compile_sequential(&a).unwrap();
     let mut w = World::new();
-    let seq = run_sequential(&seq_module, &registry, &mut w, &cm, "main");
+    let seq = run_sequential(&seq_module, &registry, &mut w, &cm, "main").unwrap();
     assert_eq!(seq.result.unwrap().as_int(), expected());
 
     for threads in [2, 4, 8] {
         for sync in [SyncMode::Lib, SyncMode::Spin] {
-            let (module, plan) = compiler
-                .compile(&a, Scheme::Doall, threads, sync)
-                .unwrap();
+            let (module, plan) = compiler.compile(&a, Scheme::Doall, threads, sync).unwrap();
             assert!(plan.locks.iter().any(|l| l.set == "__reduction"));
             let mut w = World::new();
-            let out = run_simulated(&module, &registry, &[plan], &mut w, &cm);
+            let out = run_simulated(&module, &registry, &[plan], &mut w, &cm).unwrap();
             assert_eq!(
                 out.result.unwrap().as_int(),
                 expected(),
@@ -93,7 +91,7 @@ fn reductions_work_under_pipelines_too() {
             continue;
         };
         let mut w = World::new();
-        let out = run_simulated(&module, &registry, &[plan], &mut w, &cm);
+        let out = run_simulated(&module, &registry, &[plan], &mut w, &cm).unwrap();
         assert_eq!(out.result.unwrap().as_int(), expected(), "{scheme}");
     }
 }
@@ -106,10 +104,12 @@ fn reduction_speedup_scales() {
     let cm = CostModel::default();
     let seq_module = compiler.compile_sequential(&a).unwrap();
     let mut w = World::new();
-    let seq = run_sequential(&seq_module, &registry, &mut w, &cm, "main");
-    let (module, plan) = compiler.compile(&a, Scheme::Doall, 8, SyncMode::Lib).unwrap();
+    let seq = run_sequential(&seq_module, &registry, &mut w, &cm, "main").unwrap();
+    let (module, plan) = compiler
+        .compile(&a, Scheme::Doall, 8, SyncMode::Lib)
+        .unwrap();
     let mut w = World::new();
-    let par = run_simulated(&module, &registry, &[plan], &mut w, &cm);
+    let par = run_simulated(&module, &registry, &[plan], &mut w, &cm).unwrap();
     let speedup = seq.sim_time as f64 / par.sim_time as f64;
     assert!(speedup > 4.0, "got {speedup:.2}");
 }
@@ -193,8 +193,14 @@ fn float_product_reduction() {
     let a = compiler.analyze(src).unwrap();
     assert!(a.doall_legal(), "{}", a.pdg_dump());
     let cm = CostModel::default();
-    let (module, plan) = compiler.compile(&a, Scheme::Doall, 4, SyncMode::Lib).unwrap();
+    let (module, plan) = compiler
+        .compile(&a, Scheme::Doall, 4, SyncMode::Lib)
+        .unwrap();
     let mut w = World::new();
-    let out = run_simulated(&module, &r, &[plan], &mut w, &cm);
-    assert_eq!(out.result.unwrap().as_int(), 1, "product of >1 factors is >1");
+    let out = run_simulated(&module, &r, &[plan], &mut w, &cm).unwrap();
+    assert_eq!(
+        out.result.unwrap().as_int(),
+        1,
+        "product of >1 factors is >1"
+    );
 }

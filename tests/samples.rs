@@ -40,7 +40,10 @@ fn md5sum_sample_analyzes_and_schedules() {
         .expect("DOALL emits");
     let printed = commset_lang::printer::print_program(&pp.program);
     assert!(printed.contains("__lock_acquire"), "sync engine ran");
-    assert!(printed.contains("__par_invoke"), "main dispatches the section");
+    assert!(
+        printed.contains("__par_invoke"),
+        "main dispatches the section"
+    );
 }
 
 #[test]
