@@ -22,10 +22,13 @@
 //!   unconditionally (`uco`) or inter-iteration (`ico`) commutative.
 //! * [`scc`] — Tarjan SCCs over the (relaxed) PDG and the DAG-SCC used by
 //!   the DSWP transform family.
+//! * [`export`] — the flat region/predicate catalog consumed by the
+//!   dynamic commutativity checker and `commsetc check`.
 
 pub mod callgraph;
 pub mod depanalysis;
 pub mod effects;
+pub mod export;
 pub mod hotloop;
 pub mod metadata;
 pub mod pdg;
@@ -33,6 +36,7 @@ pub mod scc;
 pub mod symex;
 
 pub use depanalysis::{analyze_commutativity, CommAnnotation};
+pub use export::{region_catalog, RegionInfo};
 pub use hotloop::{HotLoop, LoopShape};
 pub use metadata::{manage, ManagedUnit};
 pub use pdg::{DepKind, Location, NodeId, Pdg, PdgEdge};

@@ -1,0 +1,582 @@
+//! The controlled (schedule-driven) executor.
+//!
+//! Replays a *transformed* parallel program with the scheduling decisions
+//! taken by an explicit [`Scheduler`] instead of a clock or the OS: each
+//! worker runs until its next **visible event** — the entry of an outlined
+//! commutative region (`__commset_region_*`) or a blocking queue pop —
+//! and the scheduler picks which paused worker executes next. A chosen
+//! region runs *atomically* (the paper's synchronization already
+//! guarantees mutual exclusion of same-set members; the checker varies
+//! only their *order*). Lock and transaction intrinsics are therefore
+//! no-ops here; pipeline queues are real FIFOs.
+//!
+//! The run is a pure function of `(module, plan, scheduler, model config)`
+//! — same inputs, same interleaving, same final world.
+
+use crate::model::{ModelConfig, ModelWorld};
+use commset_interp::globals::PlainGlobals;
+use commset_interp::vm::GlobalMem;
+use commset_interp::{ExecError, StepOutcome, Vm};
+use commset_ir::Module;
+use commset_runtime::rng::SplitMix64;
+use commset_runtime::Value;
+use commset_transform::ParallelPlan;
+use std::collections::{HashMap, VecDeque};
+
+/// A failure of a controlled run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckError {
+    /// The VM reported a dynamic error.
+    Exec(String),
+    /// No worker can advance but not all are done.
+    Deadlock {
+        /// Human-readable per-worker states.
+        states: Vec<String>,
+    },
+    /// The step budget was exhausted (runaway schedule).
+    BudgetExhausted,
+    /// A queue pop blocked *inside* a commutative region — the controlled
+    /// executor cannot keep the region atomic.
+    PopInsideRegion {
+        /// The region function.
+        func: String,
+    },
+    /// The program shape is unsupported (nested sections, unknown queue).
+    Unsupported(String),
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckError::Exec(e) => write!(f, "execution error: {e}"),
+            CheckError::Deadlock { states } => {
+                write!(f, "schedule deadlocked: [{}]", states.join(", "))
+            }
+            CheckError::BudgetExhausted => write!(f, "step budget exhausted"),
+            CheckError::PopInsideRegion { func } => {
+                write!(f, "queue pop blocked inside region {func}")
+            }
+            CheckError::Unsupported(s) => write!(f, "unsupported: {s}"),
+        }
+    }
+}
+
+impl From<ExecError> for CheckError {
+    fn from(e: ExecError) -> Self {
+        CheckError::Exec(e.to_string())
+    }
+}
+
+/// One scheduled region execution (the interleaving log's unit).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionExec {
+    /// Worker index within the section.
+    pub worker: usize,
+    /// The region function.
+    pub func: String,
+    /// The region instance arguments.
+    pub args: Vec<Value>,
+}
+
+impl std::fmt::Display for RegionExec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let args = self
+            .args
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        write!(f, "[w{}] {}({args})", self.worker, self.func)
+    }
+}
+
+/// Renders an interleaving, one region per line.
+pub fn render_interleaving(log: &[RegionExec]) -> String {
+    log.iter().map(|r| format!("  {r}\n")).collect()
+}
+
+/// Final state of a controlled run.
+#[derive(Debug, Clone)]
+pub struct ControlledOutcome {
+    /// The abstract world after execution.
+    pub world: ModelWorld,
+    /// Final scalar globals (name, value), `__`-prefixed names excluded.
+    pub globals: Vec<(String, Value)>,
+    /// The region interleaving that was executed.
+    pub log: Vec<RegionExec>,
+}
+
+/// A schedule: picks which paused worker advances next.
+pub trait Scheduler {
+    /// The schedule's stable, human-readable name.
+    fn name(&self) -> String;
+    /// Picks one element of `ready` (worker ids, ascending). The default
+    /// contract: must return a member of `ready`.
+    fn pick(&mut self, ready: &[usize]) -> usize;
+}
+
+/// Always the lowest-numbered ready worker (runs whole workers in order).
+pub struct Canonical;
+impl Scheduler for Canonical {
+    fn name(&self) -> String {
+        "canonical".into()
+    }
+    fn pick(&mut self, ready: &[usize]) -> usize {
+        ready[0]
+    }
+}
+
+/// Always the highest-numbered ready worker.
+pub struct Reverse;
+impl Scheduler for Reverse {
+    fn name(&self) -> String {
+        "reverse".into()
+    }
+    fn pick(&mut self, ready: &[usize]) -> usize {
+        *ready.last().expect("nonempty ready set")
+    }
+}
+
+/// Cycles through workers, one region each.
+pub struct RoundRobin {
+    next: usize,
+}
+impl RoundRobin {
+    /// Starts at worker 0.
+    pub fn new() -> Self {
+        RoundRobin { next: 0 }
+    }
+}
+impl Default for RoundRobin {
+    fn default() -> Self {
+        RoundRobin::new()
+    }
+}
+impl Scheduler for RoundRobin {
+    fn name(&self) -> String {
+        "round-robin".into()
+    }
+    fn pick(&mut self, ready: &[usize]) -> usize {
+        let w = ready
+            .iter()
+            .copied()
+            .find(|w| *w >= self.next)
+            .unwrap_or(ready[0]);
+        self.next = w + 1;
+        w
+    }
+}
+
+/// Holds back one worker until the others have executed `hold` regions —
+/// the systematic pair-flip: it reorders the victim's k-th same-set
+/// instance after its neighbors'.
+pub struct Delay {
+    victim: usize,
+    hold: usize,
+    executed_others: usize,
+}
+impl Delay {
+    /// Delay `victim`'s first region until `hold` other regions ran.
+    pub fn new(victim: usize, hold: usize) -> Self {
+        Delay {
+            victim,
+            hold,
+            executed_others: 0,
+        }
+    }
+}
+impl Scheduler for Delay {
+    fn name(&self) -> String {
+        format!("delay(w{},{})", self.victim, self.hold)
+    }
+    fn pick(&mut self, ready: &[usize]) -> usize {
+        let non_victim = ready.iter().copied().find(|w| *w != self.victim);
+        match non_victim {
+            Some(w) if self.executed_others < self.hold => {
+                self.executed_others += 1;
+                w
+            }
+            _ => {
+                if ready.contains(&self.victim) {
+                    self.victim
+                } else {
+                    ready[0]
+                }
+            }
+        }
+    }
+}
+
+/// Seeded random choice — the bounded "everything else" of the budget.
+pub struct Chaos {
+    rng: SplitMix64,
+    seed: u64,
+}
+impl Chaos {
+    /// A chaos schedule with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Chaos {
+            rng: SplitMix64::new(seed),
+            seed,
+        }
+    }
+}
+impl Scheduler for Chaos {
+    fn name(&self) -> String {
+        format!("chaos({:#x})", self.seed)
+    }
+    fn pick(&mut self, ready: &[usize]) -> usize {
+        ready[self.rng.next_below(ready.len() as u64) as usize]
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum WState {
+    /// Paused at the entry of a region (frame pushed, body unexecuted).
+    AtRegion {
+        func: String,
+        args: Vec<Value>,
+    },
+    /// Blocked popping queue `q` (by plan index).
+    BlockedPop(usize),
+    Done,
+}
+
+struct CWorker<'m> {
+    vm: Vm<'m>,
+    state: WState,
+}
+
+struct Machine<'m> {
+    module: &'m Module,
+    world: ModelWorld,
+    budget: u64,
+    queues: Vec<VecDeque<u64>>,
+    queue_index: HashMap<i64, usize>,
+}
+
+impl<'m> Machine<'m> {
+    fn spend(&mut self) -> Result<(), CheckError> {
+        if self.budget == 0 {
+            return Err(CheckError::BudgetExhausted);
+        }
+        self.budget -= 1;
+        Ok(())
+    }
+
+    /// Steps `vm` until its next pause point. `in_region` makes queue-pop
+    /// blocking an error (regions must stay atomic) and returns at region
+    /// *exit* instead of entry.
+    fn run_vm(
+        &mut self,
+        vm: &mut Vm<'m>,
+        globals: &mut PlainGlobals,
+        in_region: bool,
+        region_func: &str,
+    ) -> Result<WState, CheckError> {
+        loop {
+            self.spend()?;
+            match vm.step(globals)? {
+                StepOutcome::Ran { .. } => {
+                    for ev in vm.drain_call_events() {
+                        if !in_region && ev.enter && ev.depth == 1 {
+                            return Ok(WState::AtRegion {
+                                func: ev.func,
+                                args: ev.args,
+                            });
+                        }
+                    }
+                    if in_region && vm.watched_depth() == 0 {
+                        return Ok(WState::AtRegion {
+                            // Placeholder — caller continues to next pause.
+                            func: String::new(),
+                            args: Vec::new(),
+                        });
+                    }
+                }
+                StepOutcome::Finished(_) => return Ok(WState::Done),
+                StepOutcome::Special(p) => {
+                    let name = self
+                        .module
+                        .intrinsics
+                        .name(p.intrinsic.0 as usize)
+                        .to_string();
+                    match name.as_str() {
+                        "__lock_acquire" | "__lock_release" | "__tx_begin" | "__tx_commit" => {
+                            // Regions execute atomically: synchronization
+                            // is vacuous under the controlled scheduler.
+                            vm.resolve_special(Value::Int(0));
+                        }
+                        "__q_push" | "__q_push_f" => {
+                            let q = self.qidx(p.args[0].as_int())?;
+                            self.queues[q].push_back(p.args[1].to_bits());
+                            vm.resolve_special(Value::Int(0));
+                        }
+                        "__q_pop" | "__q_pop_f" => {
+                            let q = self.qidx(p.args[0].as_int())?;
+                            match self.queues[q].pop_front() {
+                                Some(bits) => {
+                                    vm.resolve_special(Value::from_bits(bits, name == "__q_pop_f"));
+                                }
+                                None => {
+                                    if in_region {
+                                        return Err(CheckError::PopInsideRegion {
+                                            func: region_func.to_string(),
+                                        });
+                                    }
+                                    vm.retry_special_later();
+                                    return Ok(WState::BlockedPop(q));
+                                }
+                            }
+                        }
+                        "__par_invoke" => {
+                            return Err(CheckError::Unsupported("nested parallel section".into()))
+                        }
+                        _ => {
+                            let v = self.world.call(&self.module.intrinsics, &name, &p.args);
+                            vm.resolve_special(v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn qidx(&self, id: i64) -> Result<usize, CheckError> {
+        self.queue_index
+            .get(&id)
+            .copied()
+            .ok_or(CheckError::Unsupported(format!("unknown queue {id}")))
+    }
+}
+
+/// Runs the transformed `module` under `plan`, scheduling same-section
+/// region instances with `sched`.
+///
+/// # Errors
+///
+/// Returns a [`CheckError`] on dynamic errors, deadlock, budget
+/// exhaustion or unsupported program shapes.
+pub fn run_controlled(
+    module: &Module,
+    plan: &ParallelPlan,
+    model_cfg: &ModelConfig,
+    sched: &mut dyn Scheduler,
+    step_budget: u64,
+) -> Result<ControlledOutcome, CheckError> {
+    let mut machine = Machine {
+        module,
+        world: ModelWorld::new(model_cfg.clone()),
+        budget: step_budget,
+        queues: plan.queues.iter().map(|_| VecDeque::new()).collect(),
+        queue_index: plan
+            .queues
+            .iter()
+            .enumerate()
+            .map(|(i, q)| (q.id, i))
+            .collect(),
+    };
+    let mut globals = PlainGlobals::new(module);
+    let mut main = Vm::for_name(module, "main", &[])?;
+    let mut log: Vec<RegionExec> = Vec::new();
+
+    loop {
+        machine.spend()?;
+        match main.step(&mut globals)? {
+            StepOutcome::Ran { .. } => {}
+            StepOutcome::Finished(_) => break,
+            StepOutcome::Special(p) => {
+                let name = module.intrinsics.name(p.intrinsic.0 as usize).to_string();
+                if name == "__par_invoke" {
+                    let section = p.args[0].as_int();
+                    if section != plan.section {
+                        return Err(CheckError::Unsupported(format!(
+                            "section {section} has no plan"
+                        )));
+                    }
+                    run_section(&mut machine, plan, &mut globals, sched, &mut log)?;
+                    main.resolve_special(Value::Int(0));
+                } else if name.starts_with("__") {
+                    return Err(CheckError::Unsupported(format!(
+                        "synchronization intrinsic {name} outside a section"
+                    )));
+                } else {
+                    let v = machine.world.call(&module.intrinsics, &name, &p.args);
+                    main.resolve_special(v);
+                }
+            }
+        }
+    }
+
+    Ok(ControlledOutcome {
+        world: machine.world,
+        globals: snapshot_globals(module, &mut globals),
+        log,
+    })
+}
+
+/// Final scalar globals (name, value), transform-introduced `__`-prefixed
+/// names and arrays excluded, sorted by name.
+fn snapshot_globals(module: &Module, globals: &mut PlainGlobals) -> Vec<(String, Value)> {
+    let mut finals: Vec<(String, Value)> = Vec::new();
+    for g in &module.globals {
+        if g.name.starts_with("__") || g.len.is_some() {
+            continue;
+        }
+        if let Some(id) = module.global_id(&g.name) {
+            finals.push((g.name.clone(), globals.load(id)));
+        }
+    }
+    finals.sort_by(|a, b| a.0.cmp(&b.0));
+    finals
+}
+
+/// Runs the *sequential* (untransformed) `module` against a fresh model
+/// world — the oracle every controlled schedule is compared to.
+///
+/// # Errors
+///
+/// Returns a [`CheckError`] on dynamic errors, budget exhaustion, or if a
+/// synchronization intrinsic appears (the module was not sequential).
+pub fn run_sequential_model(
+    module: &Module,
+    model_cfg: &ModelConfig,
+    step_budget: u64,
+) -> Result<ControlledOutcome, CheckError> {
+    let mut world = ModelWorld::new(model_cfg.clone());
+    let mut globals = PlainGlobals::new(module);
+    let mut vm = Vm::for_name(module, "main", &[])?;
+    let mut budget = step_budget;
+    loop {
+        if budget == 0 {
+            return Err(CheckError::BudgetExhausted);
+        }
+        budget -= 1;
+        match vm.step(&mut globals)? {
+            StepOutcome::Ran { .. } => {}
+            StepOutcome::Finished(_) => break,
+            StepOutcome::Special(p) => {
+                let name = module.intrinsics.name(p.intrinsic.0 as usize).to_string();
+                if name.starts_with("__") {
+                    return Err(CheckError::Unsupported(format!(
+                        "synchronization intrinsic {name} in the sequential oracle"
+                    )));
+                }
+                let v = world.call(&module.intrinsics, &name, &p.args);
+                vm.resolve_special(v);
+            }
+        }
+    }
+    Ok(ControlledOutcome {
+        world,
+        globals: snapshot_globals(module, &mut globals),
+        log: Vec::new(),
+    })
+}
+
+fn run_section<'m>(
+    machine: &mut Machine<'m>,
+    plan: &ParallelPlan,
+    globals: &mut PlainGlobals,
+    sched: &mut dyn Scheduler,
+    log: &mut Vec<RegionExec>,
+) -> Result<(), CheckError> {
+    let mut workers: Vec<CWorker<'m>> = Vec::with_capacity(plan.workers.len());
+    for w in &plan.workers {
+        let mut vm = Vm::for_name(
+            machine.module,
+            &w.func,
+            &[Value::Int(w.tid), Value::Int(w.nt)],
+        )?;
+        vm.watch_calls_matching("__commset_region_");
+        // Run the pre-region prefix (private computation) eagerly, in
+        // worker order — deterministic and schedule-irrelevant.
+        let state = machine.run_vm(&mut vm, globals, false, &w.func)?;
+        workers.push(CWorker { vm, state });
+    }
+
+    loop {
+        // Re-arm blocked pops whose queue has data.
+        let ready: Vec<usize> = workers
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| match &w.state {
+                WState::AtRegion { .. } => true,
+                WState::BlockedPop(q) => !machine.queues[*q].is_empty(),
+                WState::Done => false,
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if ready.is_empty() {
+            if workers.iter().all(|w| w.state == WState::Done) {
+                return Ok(());
+            }
+            return Err(CheckError::Deadlock {
+                states: workers
+                    .iter()
+                    .enumerate()
+                    .map(|(i, w)| format!("w{i}:{:?}", w.state))
+                    .collect(),
+            });
+        }
+        let chosen = sched.pick(&ready);
+        debug_assert!(ready.contains(&chosen), "scheduler returned non-ready");
+        let w = &mut workers[chosen];
+        match w.state.clone() {
+            WState::AtRegion { func, args } => {
+                log.push(RegionExec {
+                    worker: chosen,
+                    func: func.clone(),
+                    args,
+                });
+                // Execute the region body atomically...
+                let after = machine.run_vm(&mut w.vm, globals, true, &func)?;
+                w.state = match after {
+                    WState::Done => WState::Done,
+                    // ...then run to the next pause point.
+                    _ => machine.run_vm(&mut w.vm, globals, false, &func)?,
+                };
+            }
+            WState::BlockedPop(_) => {
+                w.state = machine.run_vm(&mut w.vm, globals, false, "")?;
+            }
+            WState::Done => unreachable!("done workers are not ready"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedulers_respect_the_ready_set() {
+        let ready = vec![0, 2, 3];
+        assert_eq!(Canonical.pick(&ready), 0);
+        assert_eq!(Reverse.pick(&ready), 3);
+        let mut rr = RoundRobin::new();
+        assert_eq!(rr.pick(&ready), 0);
+        assert_eq!(rr.pick(&ready), 2);
+        assert_eq!(rr.pick(&ready), 3);
+        assert_eq!(rr.pick(&ready), 0);
+        let mut d = Delay::new(0, 2);
+        assert_eq!(d.pick(&ready), 2);
+        assert_eq!(d.pick(&ready), 2);
+        assert_eq!(d.pick(&ready), 0, "victim released after hold");
+        let mut c = Chaos::new(7);
+        for _ in 0..20 {
+            assert!(ready.contains(&c.pick(&ready)));
+        }
+    }
+
+    #[test]
+    fn chaos_is_deterministic_per_seed() {
+        let ready = vec![0, 1, 2, 3];
+        let run = |seed| {
+            let mut c = Chaos::new(seed);
+            (0..32).map(|_| c.pick(&ready)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12), "different seeds explore differently");
+    }
+}

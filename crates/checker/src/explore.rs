@@ -1,0 +1,391 @@
+//! The schedule explorer — a DPOR-lite commutativity checker.
+//!
+//! [`check_source`] compiles an annotated program through the full
+//! COMMSET pipeline, runs the *sequential* program once against the
+//! abstract [`crate::model::ModelWorld`] (the oracle), then replays the
+//! *transformed* program under a budgeted family of schedules that
+//! systematically permute the order of same-CommSet region instances:
+//!
+//! 1. `canonical` / `reverse` / `round-robin` — the coarse corners;
+//! 2. a `delay(w,k)` grid — hold one worker back `k` regions, the
+//!    systematic pair-flip that exposes same-instance races;
+//! 3. seeded `chaos` schedules up to the budget.
+//!
+//! Every schedule's final world (channel histories + scalar globals) is
+//! compared against the oracle; the first mismatch yields a
+//! [`Verdict::Fail`] with both interleavings and the suspect region pair.
+//! The whole campaign is a pure function of `(source, table, config)` —
+//! same seed, same explored schedules, same verdict.
+
+use crate::exec::{
+    render_interleaving, run_controlled, run_sequential_model, Canonical, Chaos, ControlledOutcome,
+    Delay, RegionExec, Reverse, RoundRobin, Scheduler,
+};
+use crate::model::ModelConfig;
+use crate::report::{CheckFailure, CheckReport, Verdict};
+use commset_analysis::depanalysis::analyze_commutativity;
+use commset_analysis::effects::summarize;
+use commset_analysis::hotloop::find_hot_loop;
+use commset_analysis::metadata::manage;
+use commset_analysis::pdg::Pdg;
+use commset_analysis::scc::dag_scc;
+use commset_analysis::{region_catalog, RegionInfo};
+use commset_ir::{lower_program, IntrinsicTable, Module};
+use commset_lang::diag::Diagnostic;
+use commset_transform::{doall, dswp, ParallelPlan, SyncMode};
+use std::collections::BTreeSet;
+
+/// Campaign knobs. Everything is deterministic: two runs with equal
+/// configs explore the same schedules and reach the same verdict.
+#[derive(Debug, Clone)]
+pub struct CheckConfig {
+    /// Workers in the transformed program.
+    pub nthreads: usize,
+    /// Total number of schedules to explore (≥ 1; the canonical schedule
+    /// always runs first).
+    pub budget: usize,
+    /// VM step budget per schedule (guards against runaway loops).
+    pub step_budget: u64,
+    /// Seed for the chaos schedules.
+    pub seed: u64,
+    /// The abstract world's knobs (loop bound, stream length, commutative
+    /// channels).
+    pub model: ModelConfig,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            nthreads: 2,
+            budget: 24,
+            step_budget: 2_000_000,
+            seed: 0x5eed_c0de,
+            model: ModelConfig::default(),
+        }
+    }
+}
+
+impl CheckConfig {
+    /// A config whose model treats `chans` as commutative channels.
+    pub fn with_commutative<'a>(chans: impl IntoIterator<Item = &'a str>) -> Self {
+        CheckConfig {
+            model: ModelConfig::with_commutative(chans),
+            ..CheckConfig::default()
+        }
+    }
+}
+
+/// The deterministic schedule family for a config.
+fn schedule_family(cfg: &CheckConfig) -> Vec<Box<dyn Scheduler>> {
+    let mut fam: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(Canonical),
+        Box::new(Reverse),
+        Box::new(RoundRobin::new()),
+    ];
+    for victim in 0..cfg.nthreads {
+        for hold in [1usize, 2, 4] {
+            fam.push(Box::new(Delay::new(victim, hold)));
+        }
+    }
+    let mut k = 0u64;
+    while fam.len() < cfg.budget {
+        fam.push(Box::new(Chaos::new(cfg.seed.wrapping_add(k))));
+        k += 1;
+    }
+    fam.truncate(cfg.budget.max(1));
+    fam
+}
+
+/// The transformed module, its plan, and the scheme label.
+fn pick_transform(
+    analysis: &PipelineOut,
+    table: &IntrinsicTable,
+    nthreads: usize,
+) -> Result<(Module, ParallelPlan, String), Diagnostic> {
+    let no_irrevocable = BTreeSet::new();
+    let first_err = match doall::apply_doall(
+        &analysis.managed,
+        &analysis.hot,
+        &analysis.pdg,
+        &analysis.summaries,
+        &no_irrevocable,
+        nthreads,
+        SyncMode::Lib,
+        0,
+    ) {
+        Ok(pp) => {
+            let module = lower_program(&pp.program, table.clone())?;
+            return Ok((module, pp.plan, "DOALL".to_string()));
+        }
+        Err(e) => e,
+    };
+    if let Ok(pp) = dswp::apply_ps_dswp(
+        &analysis.managed,
+        &analysis.hot,
+        &analysis.pdg,
+        &analysis.dag,
+        &analysis.summaries,
+        &no_irrevocable,
+        nthreads,
+        SyncMode::Lib,
+        0,
+    ) {
+        let module = lower_program(&pp.program, table.clone())?;
+        return Ok((module, pp.plan, "PS-DSWP".to_string()));
+    }
+    match dswp::apply_pipeline(
+        &analysis.managed,
+        &analysis.hot,
+        &analysis.pdg,
+        &analysis.dag,
+        &analysis.summaries,
+        &no_irrevocable,
+        nthreads,
+        SyncMode::Lib,
+        0,
+    ) {
+        Ok(pp) => {
+            let module = lower_program(&pp.program, table.clone())?;
+            Ok((module, pp.plan, "DSWP".to_string()))
+        }
+        // Report the DOALL inhibitor: it names the loop-carried dependence
+        // and is the most actionable of the three diagnostics.
+        Err(_) => Err(first_err),
+    }
+}
+
+struct PipelineOut {
+    managed: commset_analysis::ManagedUnit,
+    hot: commset_analysis::HotLoop,
+    pdg: Pdg,
+    dag: commset_analysis::scc::DagScc,
+    summaries: std::collections::HashMap<String, commset_analysis::effects::FuncEffects>,
+}
+
+fn run_pipeline(source: &str, table: &IntrinsicTable) -> Result<PipelineOut, Diagnostic> {
+    let unit = commset_lang::compile_unit(source)?;
+    let managed = manage(unit)?;
+    let summaries = summarize(&managed.program, table);
+    let hot = find_hot_loop(&managed, &summaries, table, "main")?;
+    let mut pdg = Pdg::build(&hot);
+    analyze_commutativity(&mut pdg, &managed, &hot);
+    let dag = dag_scc(&pdg);
+    Ok(PipelineOut {
+        managed,
+        hot,
+        pdg,
+        dag,
+        summaries,
+    })
+}
+
+/// Differences between `outcome` and `oracle`: world channel diffs plus
+/// scalar-global mismatches.
+fn outcome_diffs(oracle: &ControlledOutcome, outcome: &ControlledOutcome) -> Vec<String> {
+    let mut diffs = oracle.world.diff(&outcome.world);
+    for (name, oracle_v) in &oracle.globals {
+        match outcome.globals.iter().find(|(n, _)| n == name) {
+            Some((_, v)) if v == oracle_v => {}
+            Some((_, v)) => diffs.push(format!(
+                "global {name}: oracle {oracle_v}, schedule computed {v}"
+            )),
+            None => diffs.push(format!("global {name}: missing in transformed program")),
+        }
+    }
+    diffs
+}
+
+fn first_divergence(a: &[RegionExec], b: &[RegionExec]) -> Option<(usize, RegionExec, RegionExec)> {
+    a.iter()
+        .zip(b.iter())
+        .position(|(x, y)| x != y)
+        .map(|i| (i, a[i].clone(), b[i].clone()))
+}
+
+/// Runs the full checking campaign on `source`.
+///
+/// # Errors
+///
+/// Returns the front-end / metadata-manager / hot-loop diagnostic if the
+/// program does not even compile; transform inapplicability is *not* an
+/// error (it yields [`Verdict::Skipped`]).
+pub fn check_source(
+    source: &str,
+    table: &IntrinsicTable,
+    cfg: &CheckConfig,
+) -> Result<CheckReport, Diagnostic> {
+    let analysis = run_pipeline(source, table)?;
+    let regions: Vec<RegionInfo> = region_catalog(&analysis.managed);
+
+    // The sequential oracle (the untransformed program).
+    let seq_module = lower_program(&analysis.managed.program, table.clone())?;
+    let oracle = match run_sequential_model(&seq_module, &cfg.model, cfg.step_budget) {
+        Ok(o) => o,
+        Err(e) => {
+            return Ok(CheckReport {
+                verdict: Verdict::Skipped {
+                    reason: format!("sequential oracle failed: {e}"),
+                },
+                regions,
+                explored: Vec::new(),
+            })
+        }
+    };
+
+    // The transform under test.
+    let (module, plan, scheme) = match pick_transform(&analysis, table, cfg.nthreads) {
+        Ok(t) => t,
+        Err(d) => {
+            return Ok(CheckReport {
+                verdict: Verdict::Skipped {
+                    reason: d.message.clone(),
+                },
+                regions,
+                explored: Vec::new(),
+            })
+        }
+    };
+
+    let mut explored: Vec<String> = Vec::new();
+    let mut canonical_log: Vec<RegionExec> = Vec::new();
+    for mut sched in schedule_family(cfg) {
+        let name = sched.name();
+        explored.push(name.clone());
+        let outcome = run_controlled(&module, &plan, &cfg.model, sched.as_mut(), cfg.step_budget);
+        match outcome {
+            Err(e) => {
+                return Ok(CheckReport {
+                    verdict: Verdict::Fail(Box::new(CheckFailure {
+                        scheme,
+                        schedule: name,
+                        diffs: Vec::new(),
+                        canonical: render_interleaving(&canonical_log),
+                        failing: String::new(),
+                        suspect: None,
+                        error: Some(e.to_string()),
+                    })),
+                    regions,
+                    explored,
+                })
+            }
+            Ok(outcome) => {
+                let diffs = outcome_diffs(&oracle, &outcome);
+                if !diffs.is_empty() {
+                    let suspect = first_divergence(&canonical_log, &outcome.log);
+                    return Ok(CheckReport {
+                        verdict: Verdict::Fail(Box::new(CheckFailure {
+                            scheme,
+                            schedule: name,
+                            diffs,
+                            canonical: render_interleaving(&canonical_log),
+                            failing: render_interleaving(&outcome.log),
+                            suspect,
+                            error: None,
+                        })),
+                        regions,
+                        explored,
+                    });
+                }
+                if canonical_log.is_empty() {
+                    canonical_log = outcome.log;
+                }
+            }
+        }
+    }
+
+    Ok(CheckReport {
+        verdict: Verdict::Pass {
+            scheme,
+            schedules: explored.len(),
+        },
+        regions,
+        explored,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commset_lang::ast::Type;
+
+    fn table() -> IntrinsicTable {
+        let mut t = IntrinsicTable::new();
+        t.register("io_read", vec![Type::Int], Type::Int, &["FS"], &["FS"], 10);
+        t.register("emit", vec![Type::Int], Type::Void, &[], &["OUT"], 5);
+        t.mark_per_instance("FS");
+        t
+    }
+
+    const SOUND: &str = r#"
+        #pragma CommSetDecl(FSET, Group)
+        #pragma CommSetPredicate(FSET, (i1), (i2), i1 != i2)
+        extern int io_read(int i);
+        extern void emit(int d);
+        int main() {
+            int n = 6;
+            for (int i = 0; i < n; i = i + 1) {
+                int x = 0;
+                #pragma CommSet(SELF, FSET(i))
+                { x = io_read(i); }
+                #pragma CommSet(SELF, FSET(i))
+                { emit(x + i); }
+            }
+            return 0;
+        }
+    "#;
+
+    #[test]
+    fn sound_program_passes_every_schedule() {
+        let cfg = CheckConfig::with_commutative(["OUT"]);
+        let report = check_source(SOUND, &table(), &cfg).expect("compiles");
+        assert!(report.is_pass(), "{report}");
+        assert!(report.explored.len() >= 4, "{:?}", report.explored);
+        assert_eq!(report.explored[0], "canonical");
+    }
+
+    #[test]
+    fn ordered_output_annotated_self_is_flagged() {
+        // Claiming SELF on emit while OUT is order-sensitive: the DOALL
+        // reorders emits, the ordered channel sees it.
+        let cfg = CheckConfig::default(); // OUT stays ordered
+        let report = check_source(SOUND, &table(), &cfg).expect("compiles");
+        assert!(report.is_fail(), "{report}");
+        let Verdict::Fail(fail) = &report.verdict else {
+            unreachable!()
+        };
+        assert!(
+            fail.diffs.iter().any(|d| d.contains("OUT")),
+            "{:?}",
+            fail.diffs
+        );
+    }
+
+    #[test]
+    fn campaign_is_deterministic_for_a_seed() {
+        let cfg = CheckConfig::default();
+        let a = check_source(SOUND, &table(), &cfg).expect("compiles");
+        let b = check_source(SOUND, &table(), &cfg).expect("compiles");
+        assert_eq!(a.explored, b.explored);
+        assert_eq!(a.to_string(), b.to_string());
+    }
+
+    #[test]
+    fn unannotated_program_is_skipped() {
+        let src = r#"
+            extern int io_read(int i);
+            int main() {
+                int n = 6;
+                int acc = 0;
+                for (int i = 0; i < n; i = i + 1) {
+                    acc = acc + io_read(i);
+                }
+                return 0;
+            }
+        "#;
+        let report = check_source(src, &table(), &CheckConfig::default()).expect("compiles");
+        assert!(
+            matches!(report.verdict, Verdict::Skipped { .. }),
+            "{report}"
+        );
+    }
+}

@@ -1,0 +1,310 @@
+//! The annotation-soundness fuzzer.
+//!
+//! A regression oracle for CommSetDepAnalysis: take a program whose
+//! annotations the checker accepts, *weaken* them one mutation at a time,
+//! and assert the checker flags every weakened variant. Three mutation
+//! operators mirror the paper's annotation semantics:
+//!
+//! * **drop-predicate** — delete a `CommSetPredicate` line: a predicated
+//!   Group set becomes unconditionally commutative, so region instances
+//!   the predicate used to order (e.g. same-key pairs) may now be
+//!   reordered. *Weakening* — the checker must catch it.
+//! * **widen-self** — insert `SELF` into a `CommSet(SET(..))` pragma that
+//!   lacks it: the member additionally commutes with itself, unlocking
+//!   DOALL on programs whose output order mattered. *Weakening*.
+//! * **strip-nosync** — delete a `CommSetNoSync` line: the runtime adds
+//!   synchronization it previously elided. Strictly *conservative* — the
+//!   checker must **not** flag it (a false positive here means the
+//!   checker conflates sync strategy with commutativity).
+
+use crate::explore::{check_source, CheckConfig};
+use crate::report::Verdict;
+use commset_ir::IntrinsicTable;
+use commset_lang::diag::Diagnostic;
+
+/// One pragma mutation, identified by operator and source line (0-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Mutation {
+    /// Delete a `#pragma CommSetPredicate(SET, ...)` line.
+    DropPredicate {
+        /// The predicated set's name.
+        set: String,
+        /// 0-based source line of the pragma.
+        line: usize,
+    },
+    /// Insert `SELF, ` into a `#pragma CommSet(SET(..))` lacking `SELF`.
+    WidenSelf {
+        /// 0-based source line of the pragma.
+        line: usize,
+    },
+    /// Delete a `#pragma CommSetNoSync(SET)` line.
+    StripNoSync {
+        /// The set's name.
+        set: String,
+        /// 0-based source line of the pragma.
+        line: usize,
+    },
+}
+
+impl Mutation {
+    /// True if the mutation *weakens* the annotations (claims more
+    /// commutativity) — the checker is expected to flag these. A
+    /// non-weakening mutation must stay unflagged.
+    pub fn weakens(&self) -> bool {
+        !matches!(self, Mutation::StripNoSync { .. })
+    }
+
+    /// Applies the mutation to `source`.
+    pub fn apply(&self, source: &str) -> String {
+        let lines: Vec<&str> = source.lines().collect();
+        let mut out: Vec<String> = Vec::with_capacity(lines.len());
+        for (i, l) in lines.iter().enumerate() {
+            match self {
+                Mutation::DropPredicate { line, .. } | Mutation::StripNoSync { line, .. }
+                    if i == *line => {}
+                Mutation::WidenSelf { line } if i == *line => {
+                    out.push(l.replacen("CommSet(", "CommSet(SELF, ", 1));
+                }
+                _ => out.push((*l).to_string()),
+            }
+        }
+        out.join("\n")
+    }
+}
+
+impl std::fmt::Display for Mutation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Mutation::DropPredicate { set, line } => {
+                write!(f, "drop-predicate({set}) at line {}", line + 1)
+            }
+            Mutation::WidenSelf { line } => write!(f, "widen-self at line {}", line + 1),
+            Mutation::StripNoSync { set, line } => {
+                write!(f, "strip-nosync({set}) at line {}", line + 1)
+            }
+        }
+    }
+}
+
+/// Extracts `NAME` from `#pragma CommSetXxx(NAME, ...)` / `(NAME)`.
+fn pragma_set_name(line: &str) -> Option<String> {
+    let open = line.find('(')?;
+    let rest = &line[open + 1..];
+    let end = rest.find([',', ')'])?;
+    let name = rest[..end].trim();
+    (!name.is_empty()).then(|| name.to_string())
+}
+
+/// Enumerates every applicable mutation of `source`, in line order.
+pub fn mutations(source: &str) -> Vec<Mutation> {
+    let mut out = Vec::new();
+    for (i, l) in source.lines().enumerate() {
+        let t = l.trim_start();
+        if t.starts_with("#pragma CommSetPredicate(") {
+            if let Some(set) = pragma_set_name(t) {
+                out.push(Mutation::DropPredicate { set, line: i });
+            }
+        } else if t.starts_with("#pragma CommSetNoSync(") {
+            if let Some(set) = pragma_set_name(t) {
+                out.push(Mutation::StripNoSync { set, line: i });
+            }
+        } else if t.starts_with("#pragma CommSet(") && !t.contains("SELF") {
+            out.push(Mutation::WidenSelf { line: i });
+        }
+    }
+    out
+}
+
+/// One mutant's fate under the checker.
+#[derive(Debug, Clone)]
+pub struct FuzzOutcome {
+    /// The mutation applied.
+    pub mutation: Mutation,
+    /// True if the checker flagged the mutant (`Verdict::Fail`).
+    pub flagged: bool,
+    /// True if the mutant no longer compiled (front-end diagnostic) —
+    /// counted as *caught* for weakening mutations: the toolchain
+    /// rejected the unsound annotation statically.
+    pub rejected: bool,
+    /// One-line human summary (verdict head or diagnostic).
+    pub summary: String,
+}
+
+impl FuzzOutcome {
+    /// True if a weakening mutant was caught (dynamically flagged or
+    /// statically rejected).
+    pub fn caught(&self) -> bool {
+        self.flagged || self.rejected
+    }
+}
+
+/// The full fuzzing campaign result.
+#[derive(Debug, Clone)]
+pub struct FuzzReport {
+    /// The unmutated program was *flagged* — the annotations are already
+    /// unsound, so fuzzing them is meaningless.
+    pub baseline_flagged: bool,
+    /// One-line summary of the baseline verdict.
+    pub baseline_summary: String,
+    /// One outcome per mutation, in line order.
+    pub outcomes: Vec<FuzzOutcome>,
+}
+
+impl FuzzReport {
+    /// The checker is *sound on this program*: the baseline is clean
+    /// (`Pass`, or a conservative `Skipped`), at least one weakening
+    /// mutation existed, every weakening mutant was caught, and no
+    /// conservative mutant was flagged.
+    ///
+    /// Note this is a *per-fixture* criterion: a weakening mutation whose
+    /// unsoundness is never dynamically exercised (e.g. dropping a
+    /// predicate over keys that never collide) will not be caught by any
+    /// dynamic checker — pick fuzz fixtures whose mutants misbehave.
+    pub fn sound(&self) -> bool {
+        let weakening: Vec<_> = self
+            .outcomes
+            .iter()
+            .filter(|o| o.mutation.weakens())
+            .collect();
+        !self.baseline_flagged
+            && !weakening.is_empty()
+            && weakening.iter().all(|o| o.caught())
+            && self
+                .outcomes
+                .iter()
+                .filter(|o| !o.mutation.weakens())
+                .all(|o| !o.flagged)
+    }
+}
+
+impl std::fmt::Display for FuzzReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "baseline: {} — {}",
+            if self.baseline_flagged {
+                "FLAGGED"
+            } else {
+                "clean"
+            },
+            self.baseline_summary
+        )?;
+        for o in &self.outcomes {
+            let fate = if o.rejected {
+                "rejected"
+            } else if o.flagged {
+                "flagged"
+            } else {
+                "passed"
+            };
+            let want = if o.mutation.weakens() {
+                "expect caught"
+            } else {
+                "expect clean"
+            };
+            writeln!(f, "  {}: {fate} ({want}) — {}", o.mutation, o.summary)?;
+        }
+        writeln!(
+            f,
+            "fuzz verdict: {}",
+            if self.sound() { "SOUND" } else { "UNSOUND" }
+        )
+    }
+}
+
+/// Runs the fuzzing campaign: checks `source` unmutated, then every
+/// mutant, under the same `cfg`.
+///
+/// # Errors
+///
+/// Returns the diagnostic if the *baseline* program does not compile
+/// (mutant compile failures are recorded, not propagated).
+pub fn fuzz_annotations(
+    source: &str,
+    table: &IntrinsicTable,
+    cfg: &CheckConfig,
+) -> Result<FuzzReport, Diagnostic> {
+    let baseline = check_source(source, table, cfg)?;
+    let baseline_flagged = baseline.is_fail();
+    let baseline_summary = match &baseline.verdict {
+        Verdict::Pass { scheme, schedules } => format!("pass ({scheme}, {schedules} schedules)"),
+        Verdict::Fail(fail) => format!("fail under `{}` ({})", fail.schedule, fail.scheme),
+        Verdict::Skipped { reason } => format!("skipped: {reason}"),
+    };
+    let mut outcomes = Vec::new();
+    for m in mutations(source) {
+        let mutated = m.apply(source);
+        let outcome = match check_source(&mutated, table, cfg) {
+            Ok(report) => FuzzOutcome {
+                flagged: report.is_fail(),
+                rejected: false,
+                summary: match &report.verdict {
+                    Verdict::Pass { scheme, schedules } => {
+                        format!("pass ({scheme}, {schedules} schedules)")
+                    }
+                    Verdict::Fail(fail) => {
+                        format!("fail under `{}` ({})", fail.schedule, fail.scheme)
+                    }
+                    Verdict::Skipped { reason } => format!("skipped: {reason}"),
+                },
+                mutation: m,
+            },
+            Err(d) => FuzzOutcome {
+                flagged: false,
+                rejected: true,
+                summary: format!("rejected: {}", d.message),
+                mutation: m,
+            },
+        };
+        outcomes.push(outcome);
+    }
+    Ok(FuzzReport {
+        baseline_flagged,
+        baseline_summary,
+        outcomes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "\
+#pragma CommSetDecl(FSET, Group)
+#pragma CommSetPredicate(FSET, (i1), (i2), i1 != i2)
+#pragma CommSetNoSync(FSET)
+extern int io_read(int i);
+int main() {
+    int n = 4;
+    for (int i = 0; i < n; i = i + 1) {
+        int x = 0;
+        #pragma CommSet(FSET(i))
+        { x = io_read(i); }
+    }
+    return 0;
+}
+";
+
+    #[test]
+    fn mutation_enumeration_finds_all_three_operators() {
+        let ms = mutations(SRC);
+        assert_eq!(ms.len(), 3, "{ms:?}");
+        assert!(matches!(&ms[0], Mutation::DropPredicate { set, line: 1 } if set == "FSET"));
+        assert!(matches!(&ms[1], Mutation::StripNoSync { set, line: 2 } if set == "FSET"));
+        assert!(matches!(&ms[2], Mutation::WidenSelf { line: 8 }));
+        assert!(ms[0].weakens() && ms[2].weakens() && !ms[1].weakens());
+    }
+
+    #[test]
+    fn mutations_apply_textually() {
+        let ms = mutations(SRC);
+        let dropped = ms[0].apply(SRC);
+        assert!(!dropped.contains("CommSetPredicate"), "{dropped}");
+        let stripped = ms[1].apply(SRC);
+        assert!(!stripped.contains("CommSetNoSync"), "{stripped}");
+        let widened = ms[2].apply(SRC);
+        assert!(widened.contains("CommSet(SELF, FSET(i))"), "{widened}");
+        // Idempotent on unrelated lines.
+        assert_eq!(SRC.lines().count() - 1, dropped.lines().count());
+    }
+}

@@ -1,0 +1,40 @@
+//! # commset-checker
+//!
+//! The dynamic commutativity checker (the testing-oracle side of the
+//! COMMSET reproduction): given an annotated program, it answers *"do the
+//! annotations claim more commutativity than the program's observable
+//! semantics allow?"* by replaying the transformed program under
+//! systematically permuted region schedules and comparing every outcome
+//! against the sequential oracle.
+//!
+//! * [`model`] — the deterministic abstract world: ordered, commutative
+//!   and per-instance effect channels with multiset/sequence comparison.
+//! * [`exec`] — the controlled executor: workers pause at commutative
+//!   region entries; an explicit [`exec::Scheduler`] picks the next
+//!   region; regions run atomically.
+//! * [`explore`] — the DPOR-lite campaign driver: canonical / reverse /
+//!   round-robin / delay-grid / seeded-chaos schedules up to a budget,
+//!   first divergence reported with both interleavings.
+//! * [`report`] — verdict types and their rendering.
+//! * [`fuzz`] — the annotation-soundness fuzzer: mutates the pragmas
+//!   (drop a predicate, widen a set with `SELF`, strip `NoSync`) and
+//!   asserts the checker flags the weakened variants.
+//!
+//! Everything is deterministic: a `(source, table, config)` triple always
+//! explores the same schedules and reaches the same verdict, so checker
+//! failures reproduce exactly.
+
+pub mod exec;
+pub mod explore;
+pub mod fuzz;
+pub mod model;
+pub mod report;
+
+pub use exec::{
+    render_interleaving, run_controlled, run_sequential_model, Canonical, Chaos, CheckError,
+    ControlledOutcome, Delay, RegionExec, Reverse, RoundRobin, Scheduler,
+};
+pub use explore::{check_source, CheckConfig};
+pub use fuzz::{fuzz_annotations, FuzzOutcome, FuzzReport, Mutation};
+pub use model::{ModelConfig, ModelWorld};
+pub use report::{CheckFailure, CheckReport, Verdict};

@@ -1,0 +1,368 @@
+//! The checker's abstract world model.
+//!
+//! The dynamic checker replays a program under many schedules and compares
+//! the *observable effect history* against the sequential oracle. For that
+//! it needs a world whose intrinsic semantics are (a) deterministic, (b)
+//! cheap, and (c) *order-sensitive exactly where the paper's semantics say
+//! order matters*:
+//!
+//! * an **ordered** shared channel (the default — e.g. `CONSOLE` for a
+//!   deterministic-output program) compares its write log as a sequence;
+//! * a **commutative** channel (declared via the effects sidecar's
+//!   `commutative` directive, or [`ModelConfig::commutative`]) compares
+//!   its write log as a multiset — the paper's "any order of digests is a
+//!   correct output" contract;
+//! * a **per-instance** channel (the intrinsic table's `per_instance`
+//!   marking) keeps one ordered log per instance key — operations on
+//!   *different* instances commute, operations on the *same* instance do
+//!   not.
+//!
+//! Return values are pure functions of `(intrinsic, args)` — plus a
+//! bounded per-instance *stream countdown* for read-loop intrinsics, so
+//! `while (more)` loops terminate identically under every schedule unless
+//! two loop bodies were (unsoundly) allowed to share an instance.
+
+use commset_ir::{EffectSig, IntrinsicTable};
+use commset_lang::ast::Type;
+use commset_runtime::Value;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Splittable 64-bit mixer (same finalizer as `SplitMix64`).
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn hash_call(name: &str, args: &[Value]) -> u64 {
+    let mut h: u64 = 0x9e37_79b9_7f4a_7c15;
+    for b in name.bytes() {
+        h = mix64(h ^ u64::from(b));
+    }
+    for a in args {
+        let bits = match a {
+            Value::Int(i) => *i as u64,
+            Value::Float(f) => f.to_bits(),
+        };
+        h = mix64(h ^ bits);
+    }
+    h
+}
+
+/// Tuning knobs of the model world.
+#[derive(Debug, Clone)]
+pub struct ModelConfig {
+    /// Value returned by *size queries* (argument-less, effect-free,
+    /// int-returning intrinsics such as `file_count()`): the checker's
+    /// loop-bound. Small by design — schedule exploration is exponential
+    /// in instances, not in data.
+    pub size: i64,
+    /// Per-instance stream length: int-returning intrinsics that *write*
+    /// a per-instance channel return `1` this many times per instance key,
+    /// then `0` — the model of `fread`-style "more data?" loops.
+    pub stream_len: i64,
+    /// Channels compared as multisets instead of sequences.
+    pub commutative: BTreeSet<String>,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig {
+            size: 6,
+            stream_len: 3,
+            commutative: BTreeSet::new(),
+        }
+    }
+}
+
+impl ModelConfig {
+    /// A config with the given commutative channel names.
+    pub fn with_commutative<'a>(chans: impl IntoIterator<Item = &'a str>) -> Self {
+        ModelConfig {
+            commutative: chans.into_iter().map(str::to_string).collect(),
+            ..ModelConfig::default()
+        }
+    }
+}
+
+/// One recorded effect: the hash of `(intrinsic, args, stream state)`.
+type Record = u64;
+
+/// The deterministic abstract world.
+#[derive(Debug, Clone, Default)]
+pub struct ModelWorld {
+    cfg: ModelConfig,
+    /// Shared ordered channels: append-only write logs.
+    ordered: BTreeMap<String, Vec<Record>>,
+    /// Commutative channels: write logs compared as multisets.
+    commutative: BTreeMap<String, Vec<Record>>,
+    /// Per-instance channels: one ordered log per instance key.
+    per_instance: BTreeMap<String, BTreeMap<i64, Vec<Record>>>,
+    /// Stream countdowns, keyed by (channel, instance key).
+    streams: BTreeMap<(String, i64), i64>,
+}
+
+impl ModelWorld {
+    /// A fresh world under `cfg`.
+    pub fn new(cfg: ModelConfig) -> Self {
+        ModelWorld {
+            cfg,
+            ..Default::default()
+        }
+    }
+
+    /// Executes one intrinsic call: records its writes into the channel
+    /// logs and returns its modeled value.
+    ///
+    /// Unknown intrinsics behave as pure hash functions (no channels).
+    pub fn call(&mut self, table: &IntrinsicTable, name: &str, args: &[Value]) -> Value {
+        let Some((_, sig)) = table.lookup(name) else {
+            return Value::Int((hash_call(name, args) % 1009) as i64);
+        };
+        let sig = sig.clone();
+        let key = args.first().map(|v| v.as_int()).unwrap_or(0);
+        // Stream countdown: int-returning writer of a per-instance channel.
+        let stream_chan = (sig.ret == Type::Int && !args.is_empty())
+            .then(|| {
+                sig.writes
+                    .iter()
+                    .find(|c| table.is_per_instance(**c))
+                    .map(|c| table.channels.name(*c).to_string())
+            })
+            .flatten();
+        let stream_state = stream_chan.as_ref().map(|chan| {
+            let remaining = self
+                .streams
+                .entry((chan.clone(), key))
+                .or_insert(self.cfg.stream_len);
+            let state = *remaining;
+            if *remaining > 0 {
+                *remaining -= 1;
+            }
+            state
+        });
+        // Record the write: per-instance logs fold in the stream state so
+        // same-instance interleavings are visible in the history.
+        let rec = mix64(hash_call(name, args) ^ (stream_state.unwrap_or(0) as u64));
+        for c in &sig.writes {
+            let chan = table.channels.name(*c).to_string();
+            if table.is_per_instance(*c) {
+                self.per_instance
+                    .entry(chan)
+                    .or_default()
+                    .entry(key)
+                    .or_default()
+                    .push(rec);
+            } else if self.cfg.commutative.contains(&chan) {
+                self.commutative.entry(chan).or_default().push(rec);
+            } else {
+                self.ordered.entry(chan).or_default().push(rec);
+            }
+        }
+        self.model_return(table, name, args, &sig, stream_state)
+    }
+
+    fn model_return(
+        &mut self,
+        table: &IntrinsicTable,
+        name: &str,
+        args: &[Value],
+        sig: &EffectSig,
+        stream_state: Option<i64>,
+    ) -> Value {
+        match sig.ret {
+            Type::Void => Value::Int(0),
+            Type::Float => Value::Float((hash_call(name, args) % 1000) as f64),
+            _ if table.is_fresh_handle(name) => {
+                // A deterministic fresh handle per (intrinsic, args).
+                Value::Int((hash_call(name, args) & 0x3fff_ffff) as i64 | 1)
+            }
+            Type::Int if args.is_empty() && sig.writes.is_empty() => {
+                // Size query: the model's loop bound.
+                Value::Int(self.cfg.size)
+            }
+            Type::Int if stream_state.is_some() => {
+                // "More data?" loop: 1 while the per-instance stream has
+                // elements left, then 0.
+                Value::Int(i64::from(stream_state.unwrap_or(0) > 0))
+            }
+            _ => Value::Int((hash_call(name, args) % 1009) as i64),
+        }
+    }
+
+    /// Differences between this world and `other`, rendered as one line
+    /// per divergent channel; empty means observationally equal.
+    pub fn diff(&self, other: &ModelWorld) -> Vec<String> {
+        let mut out = Vec::new();
+        diff_ordered(&self.ordered, &other.ordered, &mut out);
+        // Commutative channels: multiset compare.
+        for name in keys_union(&self.commutative, &other.commutative) {
+            let mut a = self.commutative.get(&name).cloned().unwrap_or_default();
+            let mut b = other.commutative.get(&name).cloned().unwrap_or_default();
+            a.sort_unstable();
+            b.sort_unstable();
+            if a != b {
+                out.push(format!(
+                    "channel {name}: write multisets differ ({} vs {} records)",
+                    a.len(),
+                    b.len()
+                ));
+            }
+        }
+        // Per-instance channels: ordered compare per key.
+        for name in keys_union(&self.per_instance, &other.per_instance) {
+            let empty = BTreeMap::new();
+            let a = self.per_instance.get(&name).unwrap_or(&empty);
+            let b = other.per_instance.get(&name).unwrap_or(&empty);
+            for key in a.keys().chain(b.keys()).collect::<BTreeSet<_>>() {
+                let la = a.get(key).cloned().unwrap_or_default();
+                let lb = b.get(key).cloned().unwrap_or_default();
+                if la != lb {
+                    out.push(format!(
+                        "channel {name}[{key}]: per-instance histories differ \
+                         ({} vs {} records{})",
+                        la.len(),
+                        lb.len(),
+                        first_divergence(&la, &lb)
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn keys_union<V>(a: &BTreeMap<String, V>, b: &BTreeMap<String, V>) -> Vec<String> {
+    a.keys()
+        .chain(b.keys())
+        .cloned()
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect()
+}
+
+fn diff_ordered(
+    a: &BTreeMap<String, Vec<Record>>,
+    b: &BTreeMap<String, Vec<Record>>,
+    out: &mut Vec<String>,
+) {
+    for name in keys_union(a, b) {
+        let la = a.get(&name).cloned().unwrap_or_default();
+        let lb = b.get(&name).cloned().unwrap_or_default();
+        if la != lb {
+            let mut sa = la.clone();
+            let mut sb = lb.clone();
+            sa.sort_unstable();
+            sb.sort_unstable();
+            let kind = if sa == sb {
+                "same writes, different order"
+            } else {
+                "different writes"
+            };
+            out.push(format!(
+                "channel {name}: ordered histories differ ({kind}{})",
+                first_divergence(&la, &lb)
+            ));
+        }
+    }
+}
+
+fn first_divergence(a: &[Record], b: &[Record]) -> String {
+    match a.iter().zip(b.iter()).position(|(x, y)| x != y) {
+        Some(i) => format!(", first divergence at record #{i}"),
+        None => format!(", prefix of length {} agrees", a.len().min(b.len())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> IntrinsicTable {
+        let mut t = IntrinsicTable::new();
+        t.register("file_count", vec![], Type::Int, &[], &[], 1);
+        t.register("fs_open", vec![Type::Int], Type::Handle, &[], &["FS"], 1);
+        t.mark_fresh_handle("fs_open");
+        t.register(
+            "fs_read",
+            vec![Type::Handle],
+            Type::Int,
+            &["FS"],
+            &["FS"],
+            1,
+        );
+        t.register("print", vec![Type::Int], Type::Void, &[], &["CONSOLE"], 1);
+        t.mark_per_instance("FS");
+        t
+    }
+
+    #[test]
+    fn size_queries_and_fresh_handles_are_deterministic() {
+        let t = table();
+        let mut w = ModelWorld::new(ModelConfig::default());
+        assert_eq!(w.call(&t, "file_count", &[]), Value::Int(6));
+        let h1 = w.call(&t, "fs_open", &[Value::Int(0)]);
+        let h2 = w.call(&t, "fs_open", &[Value::Int(1)]);
+        assert_ne!(h1, h2, "distinct args yield distinct handles");
+        let mut w2 = ModelWorld::new(ModelConfig::default());
+        assert_eq!(w2.call(&t, "fs_open", &[Value::Int(0)]), h1);
+    }
+
+    #[test]
+    fn streams_count_down_per_instance() {
+        let t = table();
+        let mut w = ModelWorld::new(ModelConfig::default());
+        let h = Value::Int(42);
+        for _ in 0..3 {
+            assert_eq!(w.call(&t, "fs_read", &[h]), Value::Int(1));
+        }
+        assert_eq!(w.call(&t, "fs_read", &[h]), Value::Int(0));
+        // A different instance has its own stream.
+        assert_eq!(w.call(&t, "fs_read", &[Value::Int(7)]), Value::Int(1));
+    }
+
+    #[test]
+    fn ordered_channel_detects_reordering_but_commutative_does_not() {
+        let t = table();
+        let run = |order: &[i64], commutative: bool| {
+            let cfg = if commutative {
+                ModelConfig::with_commutative(["CONSOLE"])
+            } else {
+                ModelConfig::default()
+            };
+            let mut w = ModelWorld::new(cfg);
+            for &d in order {
+                w.call(&t, "print", &[Value::Int(d)]);
+            }
+            w
+        };
+        let fwd = run(&[1, 2, 3], false);
+        let rev = run(&[3, 2, 1], false);
+        let d = fwd.diff(&rev);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].contains("same writes, different order"), "{d:?}");
+        let fwd_c = run(&[1, 2, 3], true);
+        let rev_c = run(&[3, 2, 1], true);
+        assert!(fwd_c.diff(&rev_c).is_empty());
+    }
+
+    #[test]
+    fn per_instance_histories_are_keyed() {
+        let t = table();
+        let mut a = ModelWorld::new(ModelConfig::default());
+        let mut b = ModelWorld::new(ModelConfig::default());
+        // Interleaving reads of *different* instances commutes...
+        a.call(&t, "fs_read", &[Value::Int(1)]);
+        a.call(&t, "fs_read", &[Value::Int(2)]);
+        b.call(&t, "fs_read", &[Value::Int(2)]);
+        b.call(&t, "fs_read", &[Value::Int(1)]);
+        assert!(a.diff(&b).is_empty(), "{:?}", a.diff(&b));
+        // ...but an extra read of the *same* instance shows up.
+        a.call(&t, "fs_read", &[Value::Int(1)]);
+        let d = a.diff(&b);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].contains("FS[1]"), "{d:?}");
+    }
+}

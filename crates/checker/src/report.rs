@@ -1,0 +1,224 @@
+//! Checker verdicts and their rendering.
+//!
+//! The explorer condenses a whole schedule campaign into a
+//! [`CheckReport`]: the verdict, the commutative-region catalog the
+//! analysis exported, and the (deterministic) list of explored schedules.
+//! A failure pinpoints the first schedule whose observable history
+//! diverged from the sequential oracle and pretty-prints both
+//! interleavings plus the first divergent region pair — the paper's
+//! "which two members did not commute" feedback.
+
+use crate::exec::RegionExec;
+use commset_analysis::RegionInfo;
+
+/// Why a schedule's outcome differed from the oracle.
+#[derive(Debug, Clone)]
+pub struct CheckFailure {
+    /// The parallelization scheme under test (e.g. `DOALL`).
+    pub scheme: String,
+    /// The offending schedule's name (e.g. `delay(w1,2)`).
+    pub schedule: String,
+    /// Channel-by-channel (and global-by-global) differences vs. the
+    /// sequential oracle; empty iff `error` is set.
+    pub diffs: Vec<String>,
+    /// The canonical schedule's region interleaving, rendered.
+    pub canonical: String,
+    /// The failing schedule's region interleaving, rendered.
+    pub failing: String,
+    /// The first position where the two interleavings diverge, with the
+    /// region instances on each side — the non-commuting suspect pair.
+    pub suspect: Option<(usize, RegionExec, RegionExec)>,
+    /// Set if the schedule aborted (deadlock, budget, dynamic error)
+    /// rather than completing with a different history.
+    pub error: Option<String>,
+}
+
+/// The explorer's overall verdict.
+#[derive(Debug, Clone)]
+pub enum Verdict {
+    /// Every explored schedule reproduced the sequential history.
+    Pass {
+        /// The scheme that was explored.
+        scheme: String,
+        /// How many schedules were run.
+        schedules: usize,
+    },
+    /// Some schedule diverged (or crashed).
+    Fail(Box<CheckFailure>),
+    /// No parallelizing transform applies — nothing to check.
+    Skipped {
+        /// The transform's applicability diagnostic.
+        reason: String,
+    },
+}
+
+/// The full campaign result.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// The verdict.
+    pub verdict: Verdict,
+    /// The commutative-region catalog (one row per set membership).
+    pub regions: Vec<RegionInfo>,
+    /// Names of the schedules explored, in execution order.
+    pub explored: Vec<String>,
+}
+
+impl CheckReport {
+    /// True if the verdict is [`Verdict::Pass`].
+    pub fn is_pass(&self) -> bool {
+        matches!(self.verdict, Verdict::Pass { .. })
+    }
+
+    /// True if the verdict is [`Verdict::Fail`].
+    pub fn is_fail(&self) -> bool {
+        matches!(self.verdict, Verdict::Fail(_))
+    }
+
+    /// The set a region function belongs to, per the catalog.
+    fn set_of(&self, func: &str) -> Option<&RegionInfo> {
+        self.regions.iter().find(|r| r.func == func)
+    }
+}
+
+impl std::fmt::Display for CheckReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.verdict {
+            Verdict::Pass { scheme, schedules } => {
+                writeln!(
+                    f,
+                    "PASS: {schedules} schedules of the {scheme} transform \
+                     reproduce the sequential history"
+                )?;
+            }
+            Verdict::Skipped { reason } => {
+                writeln!(f, "SKIPPED: no parallelizing transform applies")?;
+                writeln!(f, "  {reason}")?;
+            }
+            Verdict::Fail(fail) => {
+                writeln!(
+                    f,
+                    "FAIL: schedule `{}` of the {} transform diverges from \
+                     the sequential oracle",
+                    fail.schedule, fail.scheme
+                )?;
+                if let Some(err) = &fail.error {
+                    writeln!(f, "  schedule aborted: {err}")?;
+                }
+                for d in &fail.diffs {
+                    writeln!(f, "  {d}")?;
+                }
+                if let Some((pos, a, b)) = &fail.suspect {
+                    writeln!(f, "suspect pair (first divergence, position #{pos}):")?;
+                    for (side, r) in [("canonical", a), ("failing  ", b)] {
+                        match self.set_of(&r.func) {
+                            Some(info) => writeln!(
+                                f,
+                                "  {side}: {r}   [set {} at line {}]",
+                                info.set_name, info.origin_line
+                            )?,
+                            None => writeln!(f, "  {side}: {r}")?,
+                        }
+                    }
+                }
+                if !fail.canonical.is_empty() {
+                    writeln!(f, "canonical interleaving:")?;
+                    f.write_str(&fail.canonical)?;
+                }
+                if !fail.failing.is_empty() {
+                    writeln!(f, "failing interleaving ({}):", fail.schedule)?;
+                    f.write_str(&fail.failing)?;
+                }
+            }
+        }
+        if !self.regions.is_empty() {
+            writeln!(f, "regions under test:")?;
+            for r in &self.regions {
+                writeln!(
+                    f,
+                    "  {} in {} ({}{}{}) line {}",
+                    r.func,
+                    r.set_name,
+                    r.kind,
+                    if r.predicated { ", predicated" } else { "" },
+                    if r.nosync { ", nosync" } else { "" },
+                    r.origin_line
+                )?;
+            }
+        }
+        writeln!(f, "explored: {}", self.explored.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commset_runtime::Value;
+
+    fn region(worker: usize, func: &str, arg: i64) -> RegionExec {
+        RegionExec {
+            worker,
+            func: func.to_string(),
+            args: vec![Value::Int(arg)],
+        }
+    }
+
+    #[test]
+    fn fail_report_renders_suspect_pair_and_interleavings() {
+        let report = CheckReport {
+            verdict: Verdict::Fail(Box::new(CheckFailure {
+                scheme: "DOALL".into(),
+                schedule: "reverse".into(),
+                diffs: vec!["channel CONSOLE: ordered histories differ".into()],
+                canonical: "  [w0] __commset_region_0(0)\n".into(),
+                failing: "  [w1] __commset_region_0(1)\n".into(),
+                suspect: Some((
+                    0,
+                    region(0, "__commset_region_0", 0),
+                    region(1, "__commset_region_0", 1),
+                )),
+                error: None,
+            })),
+            regions: vec![RegionInfo {
+                func: "__commset_region_0".into(),
+                set_name: "FSET".into(),
+                kind: "Group",
+                predicated: true,
+                predicate_func: Some("__pred_FSET".into()),
+                arg_params: vec![0],
+                nosync: false,
+                origin_line: 7,
+            }],
+            explored: vec!["canonical".into(), "reverse".into()],
+        };
+        assert!(report.is_fail());
+        let text = report.to_string();
+        assert!(text.contains("FAIL"), "{text}");
+        assert!(text.contains("suspect pair"), "{text}");
+        assert!(text.contains("set FSET at line 7"), "{text}");
+        assert!(text.contains("canonical interleaving"), "{text}");
+        assert!(text.contains("explored: canonical, reverse"), "{text}");
+    }
+
+    #[test]
+    fn pass_and_skip_render_one_line_verdicts() {
+        let pass = CheckReport {
+            verdict: Verdict::Pass {
+                scheme: "PS-DSWP".into(),
+                schedules: 24,
+            },
+            regions: vec![],
+            explored: vec!["canonical".into()],
+        };
+        assert!(pass.is_pass());
+        assert!(pass.to_string().starts_with("PASS: 24 schedules"));
+        let skip = CheckReport {
+            verdict: Verdict::Skipped {
+                reason: "DOALL illegal".into(),
+            },
+            regions: vec![],
+            explored: vec![],
+        };
+        assert!(!skip.is_pass() && !skip.is_fail());
+        assert!(skip.to_string().contains("SKIPPED"));
+    }
+}

@@ -1,0 +1,223 @@
+//! Checker self-tests: the negative fixtures must be flagged, the
+//! positive fixtures must pass (or conservatively skip), and the whole
+//! campaign must be deterministic per seed. These run as part of plain
+//! `cargo test`, so any regression in CommSetDepAnalysis or the
+//! transforms that silently legalizes an unsound schedule fails CI.
+
+use commset_checker::{check_source, fuzz_annotations, CheckConfig, ModelConfig, Verdict};
+use commset_ir::IntrinsicTable;
+use commset_lang::ast::Type;
+use std::collections::BTreeSet;
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+/// The md5sum world: per-file data streams, a file table, a console.
+fn md5_table() -> IntrinsicTable {
+    let mut t = IntrinsicTable::new();
+    t.register("file_count", vec![], Type::Int, &[], &[], 5);
+    t.register(
+        "fs_open",
+        vec![Type::Int],
+        Type::Handle,
+        &[],
+        &["FS_TABLE"],
+        40,
+    );
+    t.mark_fresh_handle("fs_open");
+    t.register(
+        "fs_read_block",
+        vec![Type::Handle],
+        Type::Int,
+        &["FS_TABLE"],
+        &["FS_DATA"],
+        60,
+    );
+    t.register(
+        "md5_chunk",
+        vec![Type::Handle],
+        Type::Void,
+        &["FS_DATA"],
+        &["FS_DATA"],
+        20,
+    );
+    t.register(
+        "fs_digest",
+        vec![Type::Handle],
+        Type::Int,
+        &["FS_DATA"],
+        &[],
+        30,
+    );
+    t.register(
+        "fs_close",
+        vec![Type::Handle],
+        Type::Void,
+        &[],
+        &["FS_TABLE", "FS_DATA"],
+        25,
+    );
+    t.register(
+        "print_digest",
+        vec![Type::Int],
+        Type::Void,
+        &[],
+        &["CONSOLE"],
+        15,
+    );
+    t.mark_per_instance("FS_DATA");
+    t
+}
+
+/// The eclat world: per-key item streams plus an order-insensitive sink.
+fn eclat_table() -> IntrinsicTable {
+    let mut t = IntrinsicTable::new();
+    t.register("item_count", vec![], Type::Int, &[], &[], 5);
+    t.register("bump", vec![Type::Int], Type::Int, &[], &["ITEMS"], 50);
+    t.register("bump2", vec![Type::Int], Type::Int, &[], &["ITEMS"], 50);
+    t.register("sink", vec![Type::Int], Type::Void, &[], &["OUT"], 10);
+    t.mark_per_instance("ITEMS");
+    t
+}
+
+fn eclat_cfg() -> CheckConfig {
+    CheckConfig {
+        model: ModelConfig {
+            stream_len: 1,
+            commutative: ["OUT"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<BTreeSet<_>>(),
+            ..ModelConfig::default()
+        },
+        ..CheckConfig::default()
+    }
+}
+
+// ---------------------------------------------------------------- positive
+
+#[test]
+fn md5sum_ok_passes_out_of_order_contract() {
+    let cfg = CheckConfig::with_commutative(["FS_TABLE", "CONSOLE"]);
+    let report = check_source(&fixture("md5sum_ok.cmm"), &md5_table(), &cfg).expect("compiles");
+    assert!(report.is_pass(), "{report}");
+    assert!(
+        report.regions.iter().any(|r| r.set_name == "FSET"),
+        "{report}"
+    );
+}
+
+#[test]
+fn md5sum_det_passes_deterministic_contract() {
+    // CONSOLE stays ordered; the honest annotation (no SELF on print)
+    // forces a pipeline that preserves output order.
+    let cfg = CheckConfig::with_commutative(["FS_TABLE"]);
+    let report = check_source(&fixture("md5sum_det.cmm"), &md5_table(), &cfg).expect("compiles");
+    assert!(!report.is_fail(), "{report}");
+}
+
+#[test]
+fn accumulate_ok_passes() {
+    let mut t = IntrinsicTable::new();
+    t.register("item_count", vec![], Type::Int, &[], &[], 5);
+    t.register("add_acc", vec![Type::Int], Type::Void, &[], &["ACC"], 10);
+    let cfg = CheckConfig::with_commutative(["ACC"]);
+    let report = check_source(&fixture("accumulate_ok.cmm"), &t, &cfg).expect("compiles");
+    assert!(report.is_pass(), "{report}");
+}
+
+#[test]
+fn eclat_pred_is_conservatively_clean() {
+    let report =
+        check_source(&fixture("eclat_pred.cmm"), &eclat_table(), &eclat_cfg()).expect("compiles");
+    assert!(!report.is_fail(), "{report}");
+}
+
+// ---------------------------------------------------------------- negative
+
+#[test]
+fn md5sum_selfprint_is_flagged_on_ordered_console() {
+    // Same source as md5sum_ok; the contract says CONSOLE is ordered.
+    let cfg = CheckConfig::with_commutative(["FS_TABLE"]);
+    let report =
+        check_source(&fixture("md5sum_selfprint.cmm"), &md5_table(), &cfg).expect("compiles");
+    assert!(report.is_fail(), "{report}");
+    let Verdict::Fail(fail) = &report.verdict else {
+        unreachable!()
+    };
+    assert!(
+        fail.diffs.iter().any(|d| d.contains("CONSOLE")),
+        "{:?}",
+        fail.diffs
+    );
+    assert!(!fail.failing.is_empty(), "failing interleaving rendered");
+}
+
+#[test]
+fn eclat_overwide_is_flagged_on_same_key_flip() {
+    let report = check_source(&fixture("eclat_overwide.cmm"), &eclat_table(), &eclat_cfg())
+        .expect("compiles");
+    assert!(report.is_fail(), "{report}");
+    let Verdict::Fail(fail) = &report.verdict else {
+        unreachable!()
+    };
+    assert!(
+        fail.diffs.iter().any(|d| d.contains("OUT")),
+        "the divergence shows in the sink tags: {:?}",
+        fail.diffs
+    );
+}
+
+// ------------------------------------------------------------- determinism
+
+#[test]
+fn verdicts_are_deterministic_per_seed() {
+    let cfg = eclat_cfg();
+    let a = check_source(&fixture("eclat_overwide.cmm"), &eclat_table(), &cfg).expect("compiles");
+    let b = check_source(&fixture("eclat_overwide.cmm"), &eclat_table(), &cfg).expect("compiles");
+    assert_eq!(a.explored, b.explored);
+    assert_eq!(a.to_string(), b.to_string());
+    // A different seed may explore different chaos schedules but must
+    // still reach a Fail verdict for the unsound fixture.
+    let other = CheckConfig {
+        seed: 0xdead_beef,
+        ..eclat_cfg()
+    };
+    let c = check_source(&fixture("eclat_overwide.cmm"), &eclat_table(), &other).expect("compiles");
+    assert!(c.is_fail(), "{c}");
+}
+
+// ------------------------------------------------------------------- fuzz
+
+#[test]
+fn fuzz_eclat_pred_catches_drop_predicate_and_keeps_nosync_clean() {
+    let report = fuzz_annotations(&fixture("eclat_pred.cmm"), &eclat_table(), &eclat_cfg())
+        .expect("baseline compiles");
+    assert!(report.sound(), "{report}");
+    // Dropping the predicate leaves `ISET(k)` memberships on an
+    // unpredicated set — sema rejects that statically, which counts as
+    // caught (the toolchain refused the weakened annotation).
+    assert!(
+        report
+            .outcomes
+            .iter()
+            .any(|o| o.mutation.weakens() && o.caught()),
+        "drop-predicate caught: {report}"
+    );
+}
+
+#[test]
+fn fuzz_md5sum_det_catches_widen_self() {
+    let cfg = CheckConfig::with_commutative(["FS_TABLE"]);
+    let report = fuzz_annotations(&fixture("md5sum_det.cmm"), &md5_table(), &cfg)
+        .expect("baseline compiles");
+    assert!(!report.baseline_flagged, "{report}");
+    let widened = report
+        .outcomes
+        .iter()
+        .find(|o| matches!(o.mutation, commset_checker::Mutation::WidenSelf { .. }))
+        .expect("the print pragma lacks SELF, so a widen-self mutant exists");
+    assert!(widened.caught(), "{report}");
+}

@@ -9,7 +9,18 @@
 //! commsetc schedules prog.cmm [--effects prog.effects] [--threads N]
 //! commsetc emit     prog.cmm --scheme doall [--sync spin] [--threads N]
 //!                            [--effects prog.effects]
+//! commsetc check    prog.cmm [--effects prog.effects] [--threads N]
+//!                            [--budget N] [--seed N] [--fuzz]
 //! ```
+//!
+//! `check` runs the dynamic commutativity checker: it replays the
+//! transformed program under a budget of systematically permuted region
+//! schedules and compares every outcome against the sequential oracle;
+//! `--fuzz` additionally mutates the annotations (drop a predicate, widen
+//! a set with `SELF`, strip `NoSync`) and asserts the weakened variants
+//! are caught. The sidecar's `commutative CHANS` and `model size= stream=`
+//! directives configure the checker's abstract world. Exit status: 0 if
+//! the verdict is clean, 1 otherwise.
 //!
 //! Intrinsic *types* come from the source's `extern` declarations. Their
 //! *effects* come from an optional sidecar file (`--effects`), one line
@@ -32,15 +43,16 @@
 
 use commset::spec::{build_table, parse_effects, EffectsSpec};
 use commset::{Compiler, Scheme, SyncMode};
+use commset_checker::{check_source, fuzz_annotations, CheckConfig, ModelConfig};
 use commset_lang::printer::print_program;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: commsetc <analyze|schedules|emit> <file.cmm> \
+        "usage: commsetc <analyze|schedules|emit|check> <file.cmm> \
          [--effects <file>] [--pdg] [--threads N] \
          [--scheme doall|dswp|ps-dswp] [--sync spin|mutex|tm|lib] \
-         [--hot-func NAME]"
+         [--hot-func NAME] [--budget N] [--seed N] [--fuzz]"
     );
     ExitCode::from(2)
 }
@@ -55,12 +67,15 @@ struct Args {
     scheme: Option<Scheme>,
     sync: SyncMode,
     hot_func: Option<String>,
+    budget: Option<usize>,
+    seed: Option<u64>,
+    fuzz: bool,
 }
 
 fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
     argv.next(); // program name
     let command = argv.next().ok_or("missing command")?;
-    if !matches!(command.as_str(), "analyze" | "schedules" | "emit") {
+    if !matches!(command.as_str(), "analyze" | "schedules" | "emit" | "check") {
         return Err(format!("unknown command `{command}`"));
     }
     let file = argv.next().ok_or("missing input file")?;
@@ -73,6 +88,9 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         scheme: None,
         sync: SyncMode::Spin,
         hot_func: None,
+        budget: None,
+        seed: None,
+        fuzz: false,
     };
     while let Some(flag) = argv.next() {
         let mut value = || argv.next().ok_or(format!("{flag} needs a value"));
@@ -102,6 +120,21 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
                 }
             }
             "--hot-func" => args.hot_func = Some(value()?),
+            "--budget" => {
+                args.budget = Some(
+                    value()?
+                        .parse()
+                        .map_err(|_| "--budget needs a number".to_string())?,
+                )
+            }
+            "--seed" => {
+                args.seed = Some(
+                    value()?
+                        .parse()
+                        .map_err(|_| "--seed needs a number".to_string())?,
+                )
+            }
+            "--fuzz" => args.fuzz = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -170,6 +203,46 @@ fn run(args: &Args) -> Result<(), String> {
                 );
             }
             Ok(())
+        }
+        "check" => {
+            let mut model =
+                ModelConfig::with_commutative(spec.commutative.iter().map(String::as_str));
+            if let Some(v) = spec.model_size {
+                model.size = v;
+            }
+            if let Some(v) = spec.model_stream {
+                model.stream_len = v;
+            }
+            let mut cfg = CheckConfig {
+                model,
+                nthreads: args.threads,
+                ..CheckConfig::default()
+            };
+            if let Some(b) = args.budget {
+                cfg.budget = b;
+            }
+            if let Some(s) = args.seed {
+                cfg.seed = s;
+            }
+            if args.fuzz {
+                let report = fuzz_annotations(&source, &compiler.intrinsics, &cfg)
+                    .map_err(|d| d.to_string())?;
+                print!("{report}");
+                if report.sound() {
+                    Ok(())
+                } else {
+                    Err("annotation fuzzing found a weakness the checker missed".to_string())
+                }
+            } else {
+                let report =
+                    check_source(&source, &compiler.intrinsics, &cfg).map_err(|d| d.to_string())?;
+                print!("{report}");
+                if report.is_fail() {
+                    Err("commutativity check failed".to_string())
+                } else {
+                    Ok(())
+                }
+            }
         }
         "emit" => {
             let scheme = args
@@ -262,6 +335,24 @@ mod tests {
         assert_eq!(a.effects.as_deref(), Some("p.fx"));
         assert!(a.pdg);
         assert_eq!(a.hot_func.as_deref(), Some("work"));
+
+        let a = args(&[
+            "check",
+            "p.cmm",
+            "--threads",
+            "2",
+            "--budget",
+            "12",
+            "--seed",
+            "7",
+            "--fuzz",
+        ])
+        .unwrap();
+        assert_eq!(a.command, "check");
+        assert_eq!(a.threads, 2);
+        assert_eq!(a.budget, Some(12));
+        assert_eq!(a.seed, Some(7));
+        assert!(a.fuzz);
     }
 
     #[test]
@@ -276,6 +367,8 @@ mod tests {
             "value missing"
         );
         assert!(args(&["analyze", "f.cmm", "--frobnicate"]).is_err());
+        assert!(args(&["check", "f.cmm", "--budget", "lots"]).is_err());
+        assert!(args(&["check", "f.cmm", "--seed", "entropy"]).is_err());
         // Unknown commands are rejected before any file is touched.
         let err = args(&["bogus", "f.cmm"]).unwrap_err();
         assert!(err.contains("unknown command"), "{err}");

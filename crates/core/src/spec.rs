@@ -21,7 +21,13 @@
 //!   instance (enables the per-instance dependence refinement);
 //! * `irrevocable CHANS` — channels whose effects cannot be rolled back;
 //!   members touching them reject the TM sync mode;
-//! * `per_instance CHANS` — channels partitioned by handle argument.
+//! * `per_instance CHANS` — channels partitioned by handle argument;
+//! * `commutative CHANS` — channels whose write history is a *multiset*
+//!   (order-free) under the program's output contract; the dynamic
+//!   checker (`commsetc check`) compares them order-insensitively;
+//! * `model size=N stream=N` — the checker's abstract-world knobs: the
+//!   value of size queries (loop bound) and the per-instance stream
+//!   length.
 //!
 //! Externs absent from the sidecar default to pure compute with cost 100.
 //! Parameter and return *types* always come from the source's `extern`
@@ -41,6 +47,12 @@ pub struct EffectsSpec {
     pub irrevocable: Vec<String>,
     /// Channels partitioned per handle instance.
     pub per_instance: Vec<String>,
+    /// Channels compared as multisets by the dynamic checker.
+    pub commutative: Vec<String>,
+    /// Checker model: value returned by size queries (loop bound).
+    pub model_size: Option<i64>,
+    /// Checker model: per-instance stream length.
+    pub model_stream: Option<i64>,
 }
 
 /// One extern's effects.
@@ -101,6 +113,32 @@ pub fn parse_effects(text: &str) -> Result<EffectsSpec, String> {
                 format!("line {}: `per_instance` needs a channel list", lineno + 1)
             })?;
             spec.per_instance.extend(list(chans));
+            continue;
+        }
+        if head == "commutative" {
+            let chans = parts.next().ok_or_else(|| {
+                format!("line {}: `commutative` needs a channel list", lineno + 1)
+            })?;
+            spec.commutative.extend(list(chans));
+            continue;
+        }
+        if head == "model" {
+            for tok in parts {
+                let parse = |v: &str| -> Result<i64, String> {
+                    v.parse()
+                        .map_err(|_| format!("line {}: bad model value `{v}`", lineno + 1))
+                };
+                if let Some(v) = tok.strip_prefix("size=") {
+                    spec.model_size = Some(parse(v)?);
+                } else if let Some(v) = tok.strip_prefix("stream=") {
+                    spec.model_stream = Some(parse(v)?);
+                } else {
+                    return Err(format!(
+                        "line {}: unknown model attribute `{tok}`",
+                        lineno + 1
+                    ));
+                }
+            }
             continue;
         }
         let mut row = EffectRow::default();
@@ -194,6 +232,22 @@ mod tests {
         assert!(parse_effects("f cost=abc").is_err());
         assert!(parse_effects("f sideways=FS").is_err());
         assert!(parse_effects("irrevocable").is_err());
+        assert!(parse_effects("commutative").is_err());
+        assert!(parse_effects("model size=big").is_err());
+        assert!(parse_effects("model speed=9").is_err());
+    }
+
+    #[test]
+    fn checker_directives_parse() {
+        let spec = parse_effects(
+            "sink writes=OUT cost=10\n\
+             commutative OUT,ACC\n\
+             model size=6 stream=1\n",
+        )
+        .unwrap();
+        assert_eq!(spec.commutative, ["OUT", "ACC"]);
+        assert_eq!(spec.model_size, Some(6));
+        assert_eq!(spec.model_stream, Some(1));
     }
 
     #[test]

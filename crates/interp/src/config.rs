@@ -1,6 +1,7 @@
-//! Executor configuration: fault injection, STM retry discipline and the
-//! waits-for watchdog.
+//! Executor configuration: fault injection, STM retry discipline, the
+//! waits-for watchdog and trace recording.
 
+use crate::trace::TraceSink;
 use commset_runtime::{BackoffPolicy, FaultPlan};
 
 /// Knobs shared by the simulated and real-thread executors.
@@ -18,6 +19,10 @@ pub struct ExecConfig {
     pub backoff: BackoffPolicy,
     /// Run the waits-for-graph watchdog; on by default.
     pub watchdog: bool,
+    /// When set, the executors record commutative-region entries/exits,
+    /// lock and queue events and world-intrinsic calls into this sink
+    /// (see [`crate::trace`]); off (`None`) by default.
+    pub trace: Option<TraceSink>,
 }
 
 impl Default for ExecConfig {
@@ -26,6 +31,7 @@ impl Default for ExecConfig {
             fault: FaultPlan::none(),
             backoff: BackoffPolicy::default(),
             watchdog: true,
+            trace: None,
         }
     }
 }
@@ -40,6 +46,14 @@ impl ExecConfig {
     pub fn with_fault(fault: FaultPlan) -> Self {
         ExecConfig {
             fault,
+            ..Default::default()
+        }
+    }
+
+    /// A configuration recording into `trace`, no faults, watchdog on.
+    pub fn with_trace(trace: TraceSink) -> Self {
+        ExecConfig {
+            trace: Some(trace),
             ..Default::default()
         }
     }

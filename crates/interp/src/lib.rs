@@ -19,7 +19,11 @@
 //!   errors, executor-contract violations and parallel-runtime failures
 //!   surface as `Result::Err`, never as panics.
 //! * [`config`] — the shared [`config::ExecConfig`] knob set (fault
-//!   injection, STM retry discipline, waits-for watchdog).
+//!   injection, STM retry discipline, waits-for watchdog, trace sink).
+//! * [`trace`] — deterministic execution-trace recording
+//!   ([`trace::TraceSink`]): region entries/exits, lock ranks, queue
+//!   operations and world-intrinsic calls, consumed by the
+//!   commutativity checker and the differential tests.
 
 pub mod config;
 pub mod error;
@@ -27,6 +31,7 @@ pub mod globals;
 pub mod seq;
 pub mod sim_exec;
 pub mod thread_exec;
+pub mod trace;
 pub mod vm;
 
 pub use config::ExecConfig;
@@ -34,4 +39,5 @@ pub use error::ExecError;
 pub use seq::run_sequential;
 pub use sim_exec::{run_simulated, run_simulated_with, SimOutcome, SimStats};
 pub use thread_exec::{run_threaded, run_threaded_with};
-pub use vm::{OobError, StepOutcome, Vm};
+pub use trace::{TraceEvent, TraceRecord, TraceSink};
+pub use vm::{CallEvent, OobError, StepOutcome, Vm};

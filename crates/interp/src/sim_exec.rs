@@ -17,6 +17,7 @@
 use crate::config::ExecConfig;
 use crate::error::ExecError;
 use crate::globals::PlainGlobals;
+use crate::trace::{TraceEvent, TraceSink};
 use crate::vm::{PendingSpecial, StepOutcome, Vm};
 use commset_ir::Module;
 use commset_runtime::{
@@ -237,8 +238,12 @@ fn run_section(
 
     let mut workers: Vec<Worker<'_>> = Vec::with_capacity(plan.workers.len());
     for w in &plan.workers {
+        let mut vm = Vm::for_name(module, &w.func, &[Value::Int(w.tid), Value::Int(w.nt)])?;
+        if cfg.trace.is_some() {
+            vm.watch_calls_matching("__commset_region_");
+        }
         workers.push(Worker {
-            vm: Vm::for_name(module, &w.func, &[Value::Int(w.tid), Value::Int(w.nt)])?,
+            vm,
             clock: start + cm.par_spawn,
             status: WStatus::Ready,
             tx: None,
@@ -306,6 +311,9 @@ fn run_section(
                 )?;
             }
         }
+        if let Some(tr) = &cfg.trace {
+            drain_region_events(tr, i, &mut workers[i]);
+        }
     }
 
     let end = workers
@@ -331,6 +339,23 @@ fn run_section(
         watchdog: watchdog.map(|wd| wd.report()).unwrap_or_default(),
     };
     Ok((end, stats))
+}
+
+/// Converts a worker VM's buffered call-boundary events into trace
+/// records at the worker's current clock.
+fn drain_region_events(trace: &TraceSink, i: usize, w: &mut Worker<'_>) {
+    let clock = w.clock;
+    for ev in w.vm.drain_call_events() {
+        let event = if ev.enter {
+            TraceEvent::RegionEnter {
+                func: ev.func,
+                args: ev.args,
+            }
+        } else {
+            TraceEvent::RegionExit { func: ev.func }
+        };
+        trace.record(i, clock, event);
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -382,6 +407,9 @@ fn handle_special(
                     }
                     workers[i].clock = grant + injector.lock_grant_delay();
                     workers[i].vm.resolve_special(Value::Int(0));
+                    if let Some(tr) = &cfg.trace {
+                        tr.record(i, workers[i].clock, TraceEvent::LockAcquire { lock: l });
+                    }
                 }
                 AcquireOutcome::Held => {
                     if !was_blocked {
@@ -401,6 +429,9 @@ fn handle_special(
                 wd.released(i, l);
             }
             workers[i].vm.resolve_special(Value::Int(0));
+            if let Some(tr) = &cfg.trace {
+                tr.record(i, workers[i].clock, TraceEvent::LockRelease { lock: l });
+            }
             // Wake the blocked requesters; the scheduler grants in clock
             // order, the rest re-block.
             for w in workers.iter_mut() {
@@ -416,6 +447,15 @@ fn handle_special(
                 PushOutcome::Pushed(t) => {
                     workers[i].clock = t;
                     workers[i].vm.resolve_special(Value::Int(0));
+                    if let Some(tr) = &cfg.trace {
+                        tr.record(
+                            i,
+                            workers[i].clock,
+                            TraceEvent::QueuePush {
+                                queue: p.args[0].as_int(),
+                            },
+                        );
+                    }
                     // Wake a consumer blocked on this queue.
                     for w in workers.iter_mut() {
                         if w.status == WStatus::BlockedPop(q) {
@@ -436,6 +476,15 @@ fn handle_special(
                     workers[i].clock = t;
                     let v = Value::from_bits(bits, name == "__q_pop_f");
                     workers[i].vm.resolve_special(v);
+                    if let Some(tr) = &cfg.trace {
+                        tr.record(
+                            i,
+                            workers[i].clock,
+                            TraceEvent::QueuePop {
+                                queue: p.args[0].as_int(),
+                            },
+                        );
+                    }
                     for w in workers.iter_mut() {
                         if w.status == WStatus::BlockedPush(q) {
                             w.status = WStatus::Ready;
@@ -526,6 +575,16 @@ fn handle_special(
                 }
             }
             workers[i].clock = done;
+            if let Some(tr) = &cfg.trace {
+                tr.record(
+                    i,
+                    done,
+                    TraceEvent::WorldCall {
+                        intrinsic: name.clone(),
+                        args: p.args.clone(),
+                    },
+                );
+            }
             if let Some(tx) = &mut workers[i].tx {
                 tx.work += cost;
                 for c in &sig.reads {
@@ -755,6 +814,60 @@ mod tests {
             );
             assert!(stats.lock_delays + stats.stalls > 0, "{stats:?}");
         }
+    }
+
+    #[test]
+    fn trace_records_regions_locks_and_world_calls_deterministically() {
+        let cm = CostModel::default();
+        let (module, plan) = compile_doall(2, SyncMode::Spin);
+        let run = || {
+            let sink = crate::trace::TraceSink::new();
+            let cfg = ExecConfig::with_trace(sink.clone());
+            let mut world = World::new();
+            world.install("acc", 0i64);
+            run_simulated_with(
+                &module,
+                &registry(),
+                std::slice::from_ref(&plan),
+                &mut world,
+                &cm,
+                &cfg,
+            )
+            .unwrap();
+            sink.take()
+        };
+        let recs = run();
+        let enters = recs
+            .iter()
+            .filter(|r| matches!(r.event, TraceEvent::RegionEnter { .. }))
+            .count();
+        let exits = recs
+            .iter()
+            .filter(|r| matches!(r.event, TraceEvent::RegionExit { .. }))
+            .count();
+        assert_eq!(enters, 64, "one region instance per iteration");
+        assert_eq!(exits, 64);
+        assert!(
+            recs.iter()
+                .any(|r| matches!(r.event, TraceEvent::LockAcquire { .. })),
+            "spin mode rank locks must appear"
+        );
+        assert!(recs.iter().any(
+            |r| matches!(&r.event, TraceEvent::WorldCall { intrinsic, .. } if intrinsic == "add_acc")
+        ));
+        // Region enters carry the instance arguments.
+        let args: Vec<i64> = recs
+            .iter()
+            .filter_map(|r| match &r.event {
+                TraceEvent::RegionEnter { args, .. } => Some(args[0].as_int()),
+                _ => None,
+            })
+            .collect();
+        let mut sorted = args.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<i64>>());
+        // The DES trace is fully deterministic.
+        assert_eq!(recs, run());
     }
 
     const PIPE_SRC: &str = r#"

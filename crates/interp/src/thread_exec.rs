@@ -18,6 +18,7 @@
 use crate::config::ExecConfig;
 use crate::error::ExecError;
 use crate::globals::{AtomicGlobals, SharedGlobals};
+use crate::trace::{TraceEvent, TraceSink};
 use crate::vm::{StepOutcome, Vm};
 use commset_ir::Module;
 use commset_runtime::lock::{LockKind, RawLock};
@@ -171,6 +172,7 @@ struct SectionCtx<'a> {
     cancel: &'a AtomicBool,
     injector: &'a FaultInjector,
     watchdog: Option<&'a Watchdog>,
+    trace: Option<&'a TraceSink>,
 }
 
 /// Executes one parallel section; returns the watchdog report and the
@@ -210,6 +212,7 @@ fn run_section(
         cancel: &cancel,
         injector,
         watchdog: watchdog.as_ref(),
+        trace: cfg.trace.as_ref(),
     };
 
     let results: Vec<Result<(), ExecError>> = std::thread::scope(|scope| {
@@ -296,12 +299,32 @@ fn worker_loop(
 ) -> Result<(), ExecError> {
     let canceled = || ExecError::Canceled { stage: func.into() };
     let mut vm = Vm::for_name(ctx.module, func, &[Value::Int(tid), Value::Int(nt)])?;
+    if ctx.trace.is_some() {
+        vm.watch_calls_matching("__commset_region_");
+    }
     let mut in_tx = false;
+    // Worker-local logical time for trace records: one tick per VM step.
+    let mut ops: u64 = 0;
     loop {
         if ctx.cancel.load(Ordering::Relaxed) {
             return Err(canceled());
         }
-        match vm.step(&mut globals)? {
+        let step = vm.step(&mut globals)?;
+        ops += 1;
+        if let Some(tr) = ctx.trace {
+            for ev in vm.drain_call_events() {
+                let event = if ev.enter {
+                    TraceEvent::RegionEnter {
+                        func: ev.func,
+                        args: ev.args,
+                    }
+                } else {
+                    TraceEvent::RegionExit { func: ev.func }
+                };
+                tr.record(widx, ops, event);
+            }
+        }
+        match step {
             StepOutcome::Ran { .. } => {}
             StepOutcome::Finished(_) => return Ok(()),
             StepOutcome::Special(p) => {
@@ -330,6 +353,9 @@ fn worker_loop(
                             std::thread::sleep(Duration::from_micros(delay));
                         }
                         vm.resolve_special(Value::Int(0));
+                        if let Some(tr) = ctx.trace {
+                            tr.record(widx, ops, TraceEvent::LockAcquire { lock: l });
+                        }
                     }
                     "__lock_release" => {
                         let l = p.args[0].as_int() as usize;
@@ -338,6 +364,9 @@ fn worker_loop(
                             wd.released(widx, l);
                         }
                         vm.resolve_special(Value::Int(0));
+                        if let Some(tr) = ctx.trace {
+                            tr.record(widx, ops, TraceEvent::LockRelease { lock: l });
+                        }
                     }
                     "__q_push" | "__q_push_f" => {
                         let id = p.args[0].as_int();
@@ -352,6 +381,9 @@ fn worker_loop(
                             return Err(canceled());
                         }
                         vm.resolve_special(Value::Int(0));
+                        if let Some(tr) = ctx.trace {
+                            tr.record(widx, ops, TraceEvent::QueuePush { queue: id });
+                        }
                     }
                     "__q_pop" | "__q_pop_f" => {
                         let id = p.args[0].as_int();
@@ -363,6 +395,9 @@ fn worker_loop(
                             return Err(canceled());
                         };
                         vm.resolve_special(Value::from_bits(bits, name == "__q_pop_f"));
+                        if let Some(tr) = ctx.trace {
+                            tr.record(widx, ops, TraceEvent::QueuePop { queue: id });
+                        }
                     }
                     "__tx_begin" => {
                         if !ctx.tm_lock.acquire_canceling(ctx.cancel) {
@@ -386,6 +421,16 @@ fn worker_loop(
                             ctx.registry.call(name, &mut w, &p.args)
                         };
                         vm.resolve_special(out.value);
+                        if let Some(tr) = ctx.trace {
+                            tr.record(
+                                widx,
+                                ops,
+                                TraceEvent::WorldCall {
+                                    intrinsic: name.to_string(),
+                                    args: p.args.clone(),
+                                },
+                            );
+                        }
                     }
                 }
             }
@@ -529,6 +574,39 @@ mod tests {
         let produced = out.world.get::<Vec<i64>>("out");
         let expected: Vec<i64> = (0..100).map(|i| i * 2).collect();
         assert_eq!(produced, &expected);
+    }
+
+    #[test]
+    fn threaded_trace_observes_every_region_instance() {
+        let (module, plan) = compile_doall(SUM_SRC, 3, SyncMode::Spin);
+        let mut world = World::new();
+        world.install("acc", 0i64);
+        let sink = crate::trace::TraceSink::new();
+        let cfg = ExecConfig::with_trace(sink.clone());
+        let out = run_threaded_with(&module, &registry(), &[plan], world, &cfg).unwrap();
+        assert_eq!(*out.world.get::<i64>("acc"), (0..200).sum::<i64>());
+        let recs = sink.take();
+        let enters: Vec<&crate::trace::TraceRecord> = recs
+            .iter()
+            .filter(|r| matches!(r.event, TraceEvent::RegionEnter { .. }))
+            .collect();
+        assert_eq!(enters.len(), 200, "one region instance per iteration");
+        // Per-worker times strictly increase: the per-worker subsequence
+        // is a valid logical order.
+        for w in 0..3 {
+            let times: Vec<u64> = recs
+                .iter()
+                .filter(|r| r.worker == w)
+                .map(|r| r.time)
+                .collect();
+            assert!(
+                times.windows(2).all(|p| p[0] <= p[1]),
+                "worker {w}: {times:?}"
+            );
+        }
+        assert!(recs
+            .iter()
+            .any(|r| matches!(r.event, TraceEvent::LockAcquire { .. })));
     }
 
     #[test]

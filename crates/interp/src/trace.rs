@@ -1,0 +1,238 @@
+//! Deterministic execution-trace recording.
+//!
+//! The checker (`commset-checker`) and the test suites need to *observe*
+//! what a parallel run did: which commutative-region instances entered and
+//! exited on which worker, which locks were taken at which rank, which
+//! queue operations moved pipeline values, and which world intrinsics
+//! fired. A [`TraceSink`] is a cloneable, thread-safe event log the
+//! executors append to when [`crate::ExecConfig::trace`] is set; the cost
+//! when unset is a single `Option` check per event site.
+//!
+//! Records carry a global sequence number (allocation order), the worker
+//! index and the worker-local logical time: the simulated executor uses
+//! its deterministic clocks, the thread executor a per-worker operation
+//! counter. Under the DES the full record stream is deterministic; under
+//! real threads the *per-worker* subsequences are.
+
+use commset_runtime::sync::Mutex;
+use commset_runtime::Value;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One observable event of a parallel execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A watched (commutative-region) function was entered.
+    RegionEnter {
+        /// The outlined region function, e.g. `__commset_region_1`.
+        func: String,
+        /// The region instance arguments (the CommSet instance key).
+        args: Vec<Value>,
+    },
+    /// A watched function returned.
+    RegionExit {
+        /// The outlined region function.
+        func: String,
+    },
+    /// A rank-ordered lock was acquired.
+    LockAcquire {
+        /// Lock index (== rank in the section's plan).
+        lock: usize,
+    },
+    /// A rank-ordered lock was released.
+    LockRelease {
+        /// Lock index.
+        lock: usize,
+    },
+    /// A pipeline queue push completed.
+    QueuePush {
+        /// Queue id from the parallel plan.
+        queue: i64,
+    },
+    /// A pipeline queue pop completed.
+    QueuePop {
+        /// Queue id from the parallel plan.
+        queue: i64,
+    },
+    /// A world intrinsic executed.
+    WorldCall {
+        /// Intrinsic name.
+        intrinsic: String,
+        /// Evaluated arguments.
+        args: Vec<Value>,
+    },
+}
+
+impl std::fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fn args_str(args: &[Value]) -> String {
+            args.iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        }
+        match self {
+            TraceEvent::RegionEnter { func, args } => {
+                write!(f, "enter {func}({})", args_str(args))
+            }
+            TraceEvent::RegionExit { func } => write!(f, "exit  {func}"),
+            TraceEvent::LockAcquire { lock } => write!(f, "lock+ #{lock}"),
+            TraceEvent::LockRelease { lock } => write!(f, "lock- #{lock}"),
+            TraceEvent::QueuePush { queue } => write!(f, "push  q{queue}"),
+            TraceEvent::QueuePop { queue } => write!(f, "pop   q{queue}"),
+            TraceEvent::WorldCall { intrinsic, args } => {
+                write!(f, "call  {intrinsic}({})", args_str(args))
+            }
+        }
+    }
+}
+
+/// One timestamped trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Global allocation order (unique over the sink's lifetime).
+    pub seq: u64,
+    /// Worker index within the section (`usize::MAX` for the main thread).
+    pub worker: usize,
+    /// Worker-local logical time (simulated clock or operation count).
+    pub time: u64,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+/// A cloneable, thread-safe event log shared between an executor and its
+/// observer. Clones share the same underlying buffer.
+#[derive(Clone, Default)]
+pub struct TraceSink {
+    records: Arc<Mutex<Vec<TraceRecord>>>,
+    seq: Arc<AtomicU64>,
+}
+
+impl std::fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceSink")
+            .field("records", &self.len())
+            .finish()
+    }
+}
+
+impl TraceSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        TraceSink::default()
+    }
+
+    /// Appends one record, stamping the next sequence number.
+    pub fn record(&self, worker: usize, time: u64, event: TraceEvent) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.records.lock().push(TraceRecord {
+            seq,
+            worker,
+            time,
+            event,
+        });
+    }
+
+    /// Number of records currently buffered.
+    pub fn len(&self) -> usize {
+        self.records.lock().len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes and returns all buffered records in sequence order.
+    pub fn take(&self) -> Vec<TraceRecord> {
+        let mut out = std::mem::take(&mut *self.records.lock());
+        out.sort_by_key(|r| r.seq);
+        out
+    }
+
+    /// A snapshot of the buffered records in sequence order.
+    pub fn snapshot(&self) -> Vec<TraceRecord> {
+        let mut out = self.records.lock().clone();
+        out.sort_by_key(|r| r.seq);
+        out
+    }
+}
+
+/// Pretty-prints a record stream, one event per line, for failure reports.
+pub fn render(records: &[TraceRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        let worker = if r.worker == usize::MAX {
+            "main".to_string()
+        } else {
+            format!("w{}", r.worker)
+        };
+        out.push_str(&format!(
+            "  [{seq:>4}] {worker:<5} t={time:<8} {event}\n",
+            seq = r.seq,
+            worker = worker,
+            time = r.time,
+            event = r.event
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_are_sequenced_and_takeable() {
+        let sink = TraceSink::new();
+        sink.record(0, 10, TraceEvent::LockAcquire { lock: 1 });
+        sink.record(1, 20, TraceEvent::LockRelease { lock: 1 });
+        assert_eq!(sink.len(), 2);
+        let recs = sink.take();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].seq, 0);
+        assert_eq!(recs[1].seq, 1);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn clones_share_the_buffer() {
+        let a = TraceSink::new();
+        let b = a.clone();
+        b.record(
+            2,
+            5,
+            TraceEvent::WorldCall {
+                intrinsic: "emit".into(),
+                args: vec![Value::Int(7)],
+            },
+        );
+        assert_eq!(a.len(), 1);
+        let r = a.snapshot();
+        assert_eq!(r[0].worker, 2);
+        assert_eq!(r[0].event.to_string(), "call  emit(7)");
+    }
+
+    #[test]
+    fn render_is_stable() {
+        let sink = TraceSink::new();
+        sink.record(
+            0,
+            0,
+            TraceEvent::RegionEnter {
+                func: "__commset_region_1".into(),
+                args: vec![Value::Int(3)],
+            },
+        );
+        sink.record(
+            0,
+            4,
+            TraceEvent::RegionExit {
+                func: "__commset_region_1".into(),
+            },
+        );
+        let text = render(&sink.snapshot());
+        assert!(text.contains("enter __commset_region_1(3)"), "{text}");
+        assert!(text.contains("exit  __commset_region_1"), "{text}");
+    }
+}

@@ -63,6 +63,32 @@ struct Frame {
     arrays: Vec<Vec<Value>>,
     /// Where the caller wants this frame's return value.
     ret_dst: Option<Slot>,
+    /// True when this frame belongs to a watched function (call-event
+    /// recording, see [`Vm::watch_calls`]).
+    watched: bool,
+}
+
+/// A call-boundary event of a *watched* function (see
+/// [`Vm::watch_calls`]): the trace recorder uses these to observe
+/// commutative-region entries and exits, which are ordinary program-function
+/// calls invisible to the driving executor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CallEvent {
+    /// True for an entry (frame push), false for an exit (frame pop).
+    pub enter: bool,
+    /// The watched function's name.
+    pub func: String,
+    /// Argument values at entry (empty for exits).
+    pub args: Vec<Value>,
+    /// Number of watched frames on the stack *after* the event.
+    pub depth: usize,
+}
+
+#[derive(Debug, Default)]
+struct WatchState {
+    set: std::collections::BTreeSet<FuncId>,
+    events: Vec<CallEvent>,
+    depth: usize,
 }
 
 /// A pending intrinsic call awaiting its result.
@@ -99,6 +125,7 @@ pub struct Vm<'m> {
     frames: Vec<Frame>,
     pending: bool,
     finished: bool,
+    watch: Option<WatchState>,
 }
 
 impl std::fmt::Debug for Vm<'_> {
@@ -145,6 +172,7 @@ fn new_frame(
         slots,
         arrays,
         ret_dst,
+        watched: false,
     })
 }
 
@@ -162,6 +190,7 @@ impl<'m> Vm<'m> {
             frames: vec![new_frame(f, func, args, None)?],
             pending: false,
             finished: false,
+            watch: None,
         })
     }
 
@@ -183,6 +212,47 @@ impl<'m> Vm<'m> {
     /// True once the entry function has returned.
     pub fn is_finished(&self) -> bool {
         self.finished
+    }
+
+    /// Starts recording [`CallEvent`]s for calls to the given functions.
+    /// Unknown names are ignored. Calling again replaces the watch set but
+    /// keeps undrained events.
+    pub fn watch_calls<'a>(&mut self, funcs: impl IntoIterator<Item = &'a str>) {
+        let mut set = std::collections::BTreeSet::new();
+        for name in funcs {
+            if let Some(id) = self.module.func_id(name) {
+                set.insert(id);
+            }
+        }
+        let st = self.watch.get_or_insert_with(WatchState::default);
+        st.set = set;
+    }
+
+    /// Watches every module function whose name starts with `prefix` —
+    /// the outlined commutative regions are `__commset_region_*`.
+    pub fn watch_calls_matching(&mut self, prefix: &str) {
+        let names: Vec<String> = self
+            .module
+            .funcs
+            .iter()
+            .filter(|f| f.name.starts_with(prefix))
+            .map(|f| f.name.clone())
+            .collect();
+        self.watch_calls(names.iter().map(String::as_str));
+    }
+
+    /// Removes and returns the recorded call-boundary events.
+    pub fn drain_call_events(&mut self) -> Vec<CallEvent> {
+        match &mut self.watch {
+            Some(st) => std::mem::take(&mut st.events),
+            None => Vec::new(),
+        }
+    }
+
+    /// Number of watched frames currently on the stack (`> 0` means the
+    /// machine is inside a commutative region).
+    pub fn watched_depth(&self) -> usize {
+        self.watch.as_ref().map_or(0, |st| st.depth)
     }
 
     /// Name of the function currently on top of the stack (diagnostics).
@@ -260,7 +330,18 @@ impl<'m> Vm<'m> {
                 Terminator::Ret(v) => {
                     let value = v.map(|s| fr.slots[s.0 as usize]);
                     let ret_dst = fr.ret_dst;
-                    self.frames.pop();
+                    let popped = self.frames.pop().expect("frame");
+                    if popped.watched {
+                        if let Some(st) = &mut self.watch {
+                            st.depth = st.depth.saturating_sub(1);
+                            st.events.push(CallEvent {
+                                enter: false,
+                                func: module.func(popped.func).name.clone(),
+                                args: Vec::new(),
+                                depth: st.depth,
+                            });
+                        }
+                    }
                     match self.frames.last_mut() {
                         Some(caller) => {
                             if let (Some(d), Some(v)) = (ret_dst, value) {
@@ -386,7 +467,19 @@ impl<'m> Vm<'m> {
                 match callee {
                     Callee::Func(fid) => {
                         let callee_fn = module.func(*fid);
-                        let frame = new_frame(callee_fn, *fid, &vals, *dst)?;
+                        let mut frame = new_frame(callee_fn, *fid, &vals, *dst)?;
+                        if let Some(st) = &mut self.watch {
+                            if st.set.contains(fid) {
+                                frame.watched = true;
+                                st.depth += 1;
+                                st.events.push(CallEvent {
+                                    enter: true,
+                                    func: callee_fn.name.clone(),
+                                    args: vals.clone(),
+                                    depth: st.depth,
+                                });
+                            }
+                        }
                         self.frames.push(frame);
                         return Ok(StepOutcome::Ran { cost: 3 });
                     }
@@ -644,6 +737,62 @@ mod tests {
                 global: true,
             }
         );
+    }
+
+    #[test]
+    fn watched_calls_record_entries_and_exits() {
+        let m = module(
+            "int helper(int x) { return x + 1; } int main() { int a = helper(1); return helper(a); }",
+        );
+        let mut globals = PlainGlobals::new(&m);
+        let mut vm = Vm::for_name(&m, "main", &[]).unwrap();
+        vm.watch_calls(["helper"]);
+        assert_eq!(vm.watched_depth(), 0);
+        let mut events = Vec::new();
+        let mut max_depth = 0;
+        loop {
+            match vm.step(&mut globals).unwrap() {
+                StepOutcome::Ran { .. } => {
+                    max_depth = max_depth.max(vm.watched_depth());
+                    events.extend(vm.drain_call_events());
+                }
+                StepOutcome::Finished(v) => {
+                    assert_eq!(v, Some(Value::Int(3)));
+                    break;
+                }
+                StepOutcome::Special(_) => panic!("unexpected intrinsic"),
+            }
+        }
+        events.extend(vm.drain_call_events());
+        assert_eq!(max_depth, 1, "helper frames are watched while active");
+        assert_eq!(vm.watched_depth(), 0);
+        let shape: Vec<(bool, &str)> = events.iter().map(|e| (e.enter, e.func.as_str())).collect();
+        assert_eq!(
+            shape,
+            vec![
+                (true, "helper"),
+                (false, "helper"),
+                (true, "helper"),
+                (false, "helper"),
+            ]
+        );
+        assert_eq!(events[0].args, vec![Value::Int(1)]);
+        assert_eq!(events[2].args, vec![Value::Int(2)]);
+    }
+
+    #[test]
+    fn unwatched_vm_records_nothing() {
+        let m = module("int helper(int x) { return x; } int main() { return helper(4); }");
+        let mut globals = PlainGlobals::new(&m);
+        let mut vm = Vm::for_name(&m, "main", &[]).unwrap();
+        loop {
+            match vm.step(&mut globals).unwrap() {
+                StepOutcome::Ran { .. } => {}
+                StepOutcome::Finished(_) => break,
+                StepOutcome::Special(_) => panic!("unexpected intrinsic"),
+            }
+        }
+        assert!(vm.drain_call_events().is_empty());
     }
 
     #[test]

@@ -1,0 +1,75 @@
+//! Golden-file diagnostics: each `samples/diag/*.cmm` fixture is an
+//! intentionally ill-formed program, and the compiler's rendered
+//! diagnostic must match the sibling `.expected` file byte for byte.
+//! This pins the exact wording and source locations users see — any
+//! front-end change that shifts a message shows up as a readable diff
+//! against the golden file, not as a silent rewording.
+//!
+//! To refresh a golden after an intentional change, rerun with
+//! `DIAG_GOLDEN_REGEN=1` and review the resulting diff.
+
+use commset::Compiler;
+use commset_ir::IntrinsicTable;
+
+fn diag_dir() -> &'static str {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../samples/diag")
+}
+
+fn rendered_diagnostic(name: &str) -> String {
+    let path = format!("{}/{name}.cmm", diag_dir());
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let err = Compiler::new(IntrinsicTable::new())
+        .analyze(&src)
+        .expect_err("diag fixtures must fail to analyze");
+    format!("{err}\n")
+}
+
+fn check_golden(name: &str) {
+    let path = format!("{}/{name}.expected", diag_dir());
+    let got = rendered_diagnostic(name);
+    if std::env::var_os("DIAG_GOLDEN_REGEN").is_some() {
+        std::fs::write(&path, &got).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    assert_eq!(
+        got, want,
+        "{name}: rendered diagnostic drifted from its golden file"
+    );
+}
+
+#[test]
+fn commset_graph_cycle_is_reported() {
+    check_golden("cycle");
+}
+
+#[test]
+fn same_set_transitive_call_is_reported_with_both_members() {
+    check_golden("same_set_call");
+}
+
+#[test]
+fn bad_predicate_arity_is_reported_with_counts() {
+    check_golden("bad_arity");
+}
+
+/// Every fixture has a golden and every golden has a fixture — no
+/// orphans in either direction.
+#[test]
+fn fixtures_and_goldens_pair_up() {
+    let mut cmm = Vec::new();
+    let mut expected = Vec::new();
+    for entry in std::fs::read_dir(diag_dir()).expect("samples/diag exists") {
+        let name = entry.expect("dir entry").file_name();
+        let name = name.to_string_lossy().into_owned();
+        if let Some(stem) = name.strip_suffix(".cmm") {
+            cmm.push(stem.to_string());
+        } else if let Some(stem) = name.strip_suffix(".expected") {
+            expected.push(stem.to_string());
+        }
+    }
+    cmm.sort();
+    expected.sort();
+    assert_eq!(cmm, expected, "each .cmm needs a matching .expected");
+    assert!(!cmm.is_empty(), "the golden corpus must not be empty");
+}

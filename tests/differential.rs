@@ -1,0 +1,135 @@
+//! Differential testing: every workload, every applicable scheme, must
+//! produce a world the workload's own validator accepts under *both*
+//! executors (the deterministic simulator and real OS threads), at
+//! several thread counts, against the same sequential oracle.
+//!
+//! This is the cross-executor counterpart of the schedule-exploring
+//! checker: the checker permutes region orderings in a model world,
+//! while this suite drives the real worlds through independent
+//! execution substrates and demands agreement.
+
+use commset::{Scheme, SyncMode};
+use commset_interp::run_threaded;
+use commset_sim::CostModel;
+use commset_workloads::all;
+
+const THREAD_COUNTS: [usize; 3] = [2, 4, 8];
+
+/// Simulator vs sequential oracle: each workload's validator must
+/// accept the simulated world for every applicable (scheme, threads)
+/// pair. `run_scheme` returning a diagnostic means the scheme does not
+/// apply there — that is fine, but must be consistent across reruns.
+#[test]
+fn simulator_agrees_with_sequential_oracle() {
+    let cm = CostModel::default();
+    for w in all() {
+        let (_, seq_world) = w.run_sequential(&cm);
+        for spec in &w.schemes {
+            if spec.scheme == Scheme::Sequential {
+                continue;
+            }
+            for threads in THREAD_COUNTS {
+                let Ok((_, par_world)) = w.run_scheme(spec, threads, &cm) else {
+                    continue; // inapplicable at this width
+                };
+                (w.validate)(&seq_world, &par_world)
+                    .unwrap_or_else(|e| panic!("{} {} x{threads} (sim): {e}", w.name, spec.label));
+            }
+        }
+    }
+}
+
+/// Real threads vs sequential oracle: the same matrix through the OS
+/// thread executor. TM sync is skipped (the threaded substrate runs
+/// Lib/Spin); watchdogs must come back clean — a quiet deadlock that
+/// the watchdog had to break is a failure even if the world validates.
+#[test]
+fn threads_agree_with_sequential_oracle() {
+    let cm = CostModel::default();
+    for w in all() {
+        let (_, seq_world) = w.run_sequential(&cm);
+        for spec in &w.schemes {
+            if spec.scheme == Scheme::Sequential || spec.sync == SyncMode::Tm {
+                continue;
+            }
+            for threads in THREAD_COUNTS {
+                let compiler = w.compiler();
+                let source = if spec.commset {
+                    w.variants[spec.variant].clone()
+                } else {
+                    w.plain_source()
+                };
+                let analysis = compiler
+                    .analyze(&source)
+                    .unwrap_or_else(|e| panic!("{} {}: analysis failed: {e}", w.name, spec.label));
+                let Ok((module, plan)) =
+                    compiler.compile(&analysis, spec.scheme, threads, spec.sync)
+                else {
+                    continue; // inapplicable at this width
+                };
+                let out = run_threaded(&module, &w.registry, &[plan], (w.make_world)())
+                    .unwrap_or_else(|e| {
+                        panic!("{} {} x{threads} (threads): {e}", w.name, spec.label)
+                    });
+                (w.validate)(&seq_world, &out.world).unwrap_or_else(|e| {
+                    panic!("{} {} x{threads} (threads): {e}", w.name, spec.label)
+                });
+                assert!(
+                    out.stats.watchdog.is_clean(),
+                    "{} {} x{threads}: watchdog flagged {:?} / {:?}",
+                    w.name,
+                    spec.label,
+                    out.stats.watchdog.cycles,
+                    out.stats.watchdog.rank_violations
+                );
+            }
+        }
+    }
+}
+
+/// Simulator vs real threads, directly: where both substrates run the
+/// same (scheme, threads) pair, their final worlds must agree with each
+/// other (via the validator in both directions), not merely each be
+/// individually plausible.
+#[test]
+fn simulator_and_threads_agree_with_each_other() {
+    let cm = CostModel::default();
+    for w in all() {
+        for spec in &w.schemes {
+            if spec.scheme == Scheme::Sequential || spec.sync == SyncMode::Tm {
+                continue;
+            }
+            for threads in THREAD_COUNTS {
+                let Ok((_, sim_world)) = w.run_scheme(spec, threads, &cm) else {
+                    continue;
+                };
+                let compiler = w.compiler();
+                let source = if spec.commset {
+                    w.variants[spec.variant].clone()
+                } else {
+                    w.plain_source()
+                };
+                let analysis = compiler.analyze(&source).expect("analyzed above");
+                let Ok((module, plan)) =
+                    compiler.compile(&analysis, spec.scheme, threads, spec.sync)
+                else {
+                    continue;
+                };
+                let out = run_threaded(&module, &w.registry, &[plan], (w.make_world)())
+                    .unwrap_or_else(|e| panic!("{} {} x{threads}: {e}", w.name, spec.label));
+                (w.validate)(&sim_world, &out.world).unwrap_or_else(|e| {
+                    panic!(
+                        "{} {} x{threads}: sim vs threads disagree: {e}",
+                        w.name, spec.label
+                    )
+                });
+                (w.validate)(&out.world, &sim_world).unwrap_or_else(|e| {
+                    panic!(
+                        "{} {} x{threads}: threads vs sim disagree: {e}",
+                        w.name, spec.label
+                    )
+                });
+            }
+        }
+    }
+}

@@ -192,8 +192,9 @@ fn threaded_reduction_survives_every_fault_plan() {
             let cfg = ExecConfig::with_fault(fault);
             let mut world = World::new();
             world.install("acc", 0i64);
-            let out = run_threaded_with(&module, &registry, &[plan.clone()], world, &cfg)
-                .unwrap_or_else(|e| panic!("{sync} under {label}: {e}"));
+            let out =
+                run_threaded_with(&module, &registry, std::slice::from_ref(&plan), world, &cfg)
+                    .unwrap_or_else(|e| panic!("{sync} under {label}: {e}"));
             assert_eq!(
                 *out.world.get::<i64>("acc"),
                 expected,
@@ -220,7 +221,7 @@ fn threaded_pipeline_survives_every_fault_plan() {
         let cfg = ExecConfig::with_fault(fault);
         let mut world = World::new();
         world.install("sink", Vec::<i64>::new());
-        let out = run_threaded_with(&module, &registry, &[plan.clone()], world, &cfg)
+        let out = run_threaded_with(&module, &registry, std::slice::from_ref(&plan), world, &cfg)
             .unwrap_or_else(|e| panic!("pipeline under {label}: {e}"));
         let mut got = out.world.get::<Vec<i64>>("sink").clone();
         got.sort_unstable();
@@ -255,7 +256,7 @@ fn worker_panic_containment_holds_under_fault_injection() {
         let cfg = ExecConfig::with_fault(fault);
         let mut world = World::new();
         world.install("acc", 0i64);
-        let err = run_threaded_with(&module, &r, &[plan.clone()], world, &cfg)
+        let err = run_threaded_with(&module, &r, std::slice::from_ref(&plan), world, &cfg)
             .expect_err("the poisoned iteration must surface");
         match err {
             ExecError::WorkerFailed { stage, cause } => {
