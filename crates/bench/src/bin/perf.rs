@@ -1,0 +1,267 @@
+//! Wall-clock benchmark harness on **real OS threads**.
+//!
+//! Unlike `figure6` (which regenerates the paper's plots from the
+//! discrete-event simulator), `perf` measures actual elapsed time of the
+//! real-thread executor, comparing the historical single-mutex world
+//! against the rank-ordered sharded world on every workload, scheme and
+//! thread count, and reporting the shard/queue contention counters next
+//! to each number.
+//!
+//! Run: `cargo run --release -p commset-bench --bin perf`
+//!
+//! Flags:
+//!
+//! * `--quick` — 1 iteration, 2 threads only (the CI smoke mode);
+//! * `--iters K` — median-of-K iterations (default 3);
+//! * `--out PATH` — output path (default `BENCH_PARALLEL.json`).
+//!
+//! The output is a machine-readable JSON report (written without any
+//! external serialization dependency): one entry per
+//! `workload x scheme x thread-count`, with wall-clock microseconds and
+//! contention counters for both world modes, the sharded-over-single
+//! ratio, and per-mode speedups over the same scheme at one thread.
+//! Every measured run is validated against the sequential oracle — a
+//! benchmark that computes the wrong answer aborts.
+
+use commset::Scheme;
+use commset_interp::{ExecConfig, ThreadOutcome, WorldMode};
+use commset_runtime::ShardStatsSnapshot;
+use commset_sim::CostModel;
+use commset_workloads::{SchemeSpec, Workload};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One measured cell: the median run of a (workload, scheme, threads,
+/// world-mode) configuration.
+struct Cell {
+    wall_us: u128,
+    shard: ShardStatsSnapshot,
+    queue_full_spins: u64,
+    queue_empty_spins: u64,
+}
+
+struct Row {
+    workload: String,
+    scheme: String,
+    threads: usize,
+    single: Cell,
+    /// `None` when the workload's registry declares no slot bindings —
+    /// `WorldMode::Auto` would never shard it, so forcing the sharded
+    /// world would only measure the whole-world slow path.
+    sharded: Option<Cell>,
+}
+
+fn median(mut xs: Vec<u128>) -> u128 {
+    xs.sort_unstable();
+    xs[xs.len() / 2]
+}
+
+/// Runs one configuration `iters` times, validating every run, and
+/// returns the median-wall cell.
+fn measure(
+    w: &Workload,
+    spec: &SchemeSpec,
+    threads: usize,
+    mode: WorldMode,
+    iters: usize,
+    seq_world: &commset_runtime::World,
+) -> Option<Cell> {
+    let cfg = ExecConfig {
+        world: mode,
+        ..ExecConfig::default()
+    };
+    let mut walls = Vec::with_capacity(iters);
+    let mut last: Option<ThreadOutcome> = None;
+    for _ in 0..iters {
+        match w.run_scheme_threaded(spec, threads, &cfg) {
+            Ok(out) => {
+                (w.validate)(seq_world, &out.world).unwrap_or_else(|e| {
+                    panic!(
+                        "{}: {} x{threads} ({mode:?}) computed a wrong answer: {e}",
+                        w.name, spec.label
+                    )
+                });
+                assert!(
+                    out.stats.watchdog.is_clean(),
+                    "{}: {} x{threads} ({mode:?}): watchdog {:?}",
+                    w.name,
+                    spec.label,
+                    out.stats.watchdog
+                );
+                walls.push(out.wall.as_micros());
+                last = Some(out);
+            }
+            Err(Ok(_diag)) => return None, // scheme inapplicable
+            Err(Err(e)) => panic!(
+                "{}: {} x{threads} ({mode:?}): executor failed: {e}",
+                w.name, spec.label
+            ),
+        }
+    }
+    let last = last?;
+    Some(Cell {
+        wall_us: median(walls),
+        shard: last.stats.shard,
+        queue_full_spins: last.stats.queue_full_spins,
+        queue_empty_spins: last.stats.queue_empty_spins,
+    })
+}
+
+fn cell_json(c: &Cell) -> String {
+    format!(
+        "{{\"wall_us\": {}, \"shard\": {{\"fast_acquires\": {}, \"fast_waits\": {}, \
+         \"multi_acquires\": {}, \"whole_acquires\": {}}}, \
+         \"queue_full_spins\": {}, \"queue_empty_spins\": {}}}",
+        c.wall_us,
+        c.shard.fast_acquires,
+        c.shard.fast_waits,
+        c.shard.multi_acquires,
+        c.shard.whole_acquires,
+        c.queue_full_spins,
+        c.queue_empty_spins
+    )
+}
+
+fn main() {
+    let mut quick = false;
+    let mut iters = 3usize;
+    let mut out_path = "BENCH_PARALLEL.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--iters" => {
+                iters = args.next().and_then(|v| v.parse().ok()).expect("--iters K");
+            }
+            "--out" => out_path = args.next().expect("--out PATH"),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    if quick {
+        iters = 1;
+    }
+    let threads: Vec<usize> = if quick { vec![2] } else { vec![1, 2, 4, 8] };
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let cm = CostModel::default();
+
+    let mut rows: Vec<Row> = Vec::new();
+    for w in commset_workloads::all() {
+        let (_, seq_world) = w.run_sequential(&cm);
+        for spec in &w.schemes {
+            if spec.scheme == Scheme::Sequential {
+                continue;
+            }
+            for &t in &threads {
+                let Some(single) = measure(&w, spec, t, WorldMode::SingleLock, iters, &seq_world)
+                else {
+                    continue;
+                };
+                let sharded = if w.registry.has_bindings() {
+                    measure(&w, spec, t, WorldMode::Sharded, iters, &seq_world)
+                } else {
+                    None
+                };
+                match &sharded {
+                    Some(sh) => eprintln!(
+                        "{:<8} {:<26} x{t}: single {:>8}us  sharded {:>8}us  (ratio {:.2})",
+                        w.name,
+                        spec.label,
+                        single.wall_us,
+                        sh.wall_us,
+                        single.wall_us as f64 / sh.wall_us.max(1) as f64
+                    ),
+                    None => eprintln!(
+                        "{:<8} {:<26} x{t}: single {:>8}us  (no slot bindings)",
+                        w.name, spec.label, single.wall_us
+                    ),
+                }
+                rows.push(Row {
+                    workload: w.name.to_string(),
+                    scheme: spec.label.clone(),
+                    threads: t,
+                    single,
+                    sharded,
+                });
+            }
+        }
+    }
+
+    // Wall at one thread per (workload, scheme, mode), for speedups.
+    let mut base: BTreeMap<(String, String), (u128, Option<u128>)> = BTreeMap::new();
+    for r in &rows {
+        if r.threads == 1 {
+            base.insert(
+                (r.workload.clone(), r.scheme.clone()),
+                (r.single.wall_us, r.sharded.as_ref().map(|c| c.wall_us)),
+            );
+        }
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"generated_by\": \"commset-bench perf\",");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"iterations\": {iters},");
+    let _ = writeln!(json, "  \"host_threads\": {host_threads},");
+    let _ = writeln!(
+        json,
+        "  \"threads\": [{}],",
+        threads
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let key = (r.workload.clone(), r.scheme.clone());
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"workload\": \"{}\",", r.workload);
+        let _ = writeln!(json, "      \"scheme\": \"{}\",", r.scheme);
+        let _ = writeln!(json, "      \"threads\": {},", r.threads);
+        let _ = writeln!(json, "      \"single_lock\": {},", cell_json(&r.single));
+        match &r.sharded {
+            Some(sh) => {
+                let ratio = r.single.wall_us as f64 / sh.wall_us.max(1) as f64;
+                let _ = writeln!(json, "      \"sharded\": {},", cell_json(sh));
+                let _ = writeln!(json, "      \"sharded_over_single\": {ratio:.4},");
+            }
+            None => {
+                let _ = writeln!(json, "      \"sharded\": null,");
+                let _ = writeln!(json, "      \"sharded_over_single\": null,");
+            }
+        }
+        match base.get(&key) {
+            Some(&(single1, sharded1)) => {
+                let ss = single1 as f64 / r.single.wall_us.max(1) as f64;
+                let _ = writeln!(json, "      \"speedup_single\": {ss:.4},");
+                match (sharded1, &r.sharded) {
+                    (Some(b), Some(sh)) => {
+                        let v = b as f64 / sh.wall_us.max(1) as f64;
+                        let _ = writeln!(json, "      \"speedup_sharded\": {v:.4}");
+                    }
+                    _ => {
+                        let _ = writeln!(json, "      \"speedup_sharded\": null");
+                    }
+                }
+            }
+            None => {
+                let _ = writeln!(json, "      \"speedup_single\": null,");
+                let _ = writeln!(json, "      \"speedup_sharded\": null");
+            }
+        }
+        let _ = writeln!(json, "    }}{}", if i + 1 < rows.len() { "," } else { "" });
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("writing {out_path} failed: {e}"));
+    eprintln!(
+        "wrote {out_path} ({} configurations, {} iteration(s), host has {} hardware thread(s))",
+        rows.len(),
+        iters,
+        host_threads
+    );
+}

@@ -3,8 +3,11 @@
 //! Replays a *transformed* parallel program with the scheduling decisions
 //! taken by an explicit [`Scheduler`] instead of a clock or the OS: each
 //! worker runs until its next **visible event** — the entry of an outlined
-//! commutative region (`__commset_region_*`) or a blocking queue pop —
-//! and the scheduler picks which paused worker executes next. A chosen
+//! commutative region (`__commset_region_*`), a blocking queue pop, or
+//! (under [`ModelConfig::pause_at_world_calls`]) a bare world-intrinsic
+//! call, the schedule-space analogue of a shard acquisition in the real
+//! runtime's sharded world — and the scheduler picks which paused worker
+//! executes next. A chosen
 //! region runs *atomically* (the paper's synchronization already
 //! guarantees mutual exclusion of same-set members; the checker varies
 //! only their *order*). Lock and transaction intrinsics are therefore
@@ -237,6 +240,12 @@ enum WState {
         func: String,
         args: Vec<Value>,
     },
+    /// Paused at a bare world-intrinsic call (shard-acquisition point);
+    /// only reachable under [`ModelConfig::pause_at_world_calls`].
+    AtWorldCall {
+        name: String,
+        args: Vec<Value>,
+    },
     /// Blocked popping queue `q` (by plan index).
     BlockedPop(usize),
     Done,
@@ -253,6 +262,8 @@ struct Machine<'m> {
     budget: u64,
     queues: Vec<VecDeque<u64>>,
     queue_index: HashMap<i64, usize>,
+    /// Pause workers at bare world calls (shard-acquisition points).
+    pause_world: bool,
 }
 
 impl<'m> Machine<'m> {
@@ -333,6 +344,16 @@ impl<'m> Machine<'m> {
                             return Err(CheckError::Unsupported("nested parallel section".into()))
                         }
                         _ => {
+                            if self.pause_world && !in_region {
+                                // A bare world call is a shard-acquisition
+                                // point: surface it to the scheduler. The
+                                // special stays pending; the section loop
+                                // executes it when this worker is picked.
+                                return Ok(WState::AtWorldCall {
+                                    name,
+                                    args: p.args.clone(),
+                                });
+                            }
                             let v = self.world.call(&self.module.intrinsics, &name, &p.args);
                             vm.resolve_special(v);
                         }
@@ -375,6 +396,7 @@ pub fn run_controlled(
             .enumerate()
             .map(|(i, q)| (q.id, i))
             .collect(),
+        pause_world: model_cfg.pause_at_world_calls,
     };
     let mut globals = PlainGlobals::new(module);
     let mut main = Vm::for_name(module, "main", &[])?;
@@ -501,7 +523,7 @@ fn run_section<'m>(
             .iter()
             .enumerate()
             .filter(|(_, w)| match &w.state {
-                WState::AtRegion { .. } => true,
+                WState::AtRegion { .. } | WState::AtWorldCall { .. } => true,
                 WState::BlockedPop(q) => !machine.queues[*q].is_empty(),
                 WState::Done => false,
             })
@@ -536,6 +558,13 @@ fn run_section<'m>(
                     // ...then run to the next pause point.
                     _ => machine.run_vm(&mut w.vm, globals, false, &func)?,
                 };
+            }
+            WState::AtWorldCall { name, args } => {
+                // Execute the pending world call (the shard acquisition
+                // the worker paused at), then run to the next pause.
+                let v = machine.world.call(&machine.module.intrinsics, &name, &args);
+                w.vm.resolve_special(v);
+                w.state = machine.run_vm(&mut w.vm, globals, false, "")?;
             }
             WState::BlockedPop(_) => {
                 w.state = machine.run_vm(&mut w.vm, globals, false, "")?;

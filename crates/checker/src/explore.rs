@@ -360,6 +360,85 @@ mod tests {
         );
     }
 
+    /// A pipeline-shaped program: `produce` is a bare world call in its
+    /// stage worker (no pragma), `consume` is a SELF region — the shape
+    /// where world-call pausing adds scheduling points.
+    const PIPE: &str = r#"
+        extern int produce(int i);
+        extern void consume(int v);
+        int main() {
+            int n = 6;
+            for (int i = 0; i < n; i = i + 1) {
+                int v = produce(i);
+                #pragma CommSet(SELF)
+                { consume(v); }
+            }
+            return 0;
+        }
+    "#;
+
+    fn pipe_table() -> IntrinsicTable {
+        let mut t = IntrinsicTable::new();
+        t.register("produce", vec![Type::Int], Type::Int, &["SRC"], &["SRC"], 8);
+        t.register("consume", vec![Type::Int], Type::Void, &[], &["SINK"], 6);
+        t
+    }
+
+    #[test]
+    fn world_call_pauses_keep_sound_programs_passing() {
+        let mut cfg = CheckConfig::with_commutative(["OUT"]);
+        cfg.model.pause_at_world_calls = true;
+        let report = check_source(SOUND, &table(), &cfg).expect("compiles");
+        assert!(report.is_pass(), "{report}");
+        let mut pipe_cfg = CheckConfig::with_commutative(["SINK"]);
+        pipe_cfg.model.pause_at_world_calls = true;
+        let report = check_source(PIPE, &pipe_table(), &pipe_cfg).expect("compiles");
+        assert!(report.is_pass(), "{report}");
+    }
+
+    #[test]
+    fn world_call_pauses_still_flag_ordered_output() {
+        let mut cfg = CheckConfig::default(); // OUT stays ordered
+        cfg.model.pause_at_world_calls = true;
+        let report = check_source(SOUND, &table(), &cfg).expect("compiles");
+        assert!(report.is_fail(), "{report}");
+    }
+
+    /// With pausing on, bare world calls become scheduling points: the
+    /// scheduler is consulted strictly more often on a pipeline whose
+    /// producer stage calls the world outside any region.
+    #[test]
+    fn world_call_pauses_expose_more_scheduling_points() {
+        struct Counting {
+            picks: usize,
+        }
+        impl Scheduler for Counting {
+            fn name(&self) -> String {
+                "counting".into()
+            }
+            fn pick(&mut self, ready: &[usize]) -> usize {
+                self.picks += 1;
+                ready[0]
+            }
+        }
+        let table = pipe_table();
+        let analysis = run_pipeline(PIPE, &table).expect("compiles");
+        let (module, plan, _) = pick_transform(&analysis, &table, 2).expect("transforms");
+        let base = ModelConfig::with_commutative(["SINK"]);
+        let mut paused = base.clone();
+        paused.pause_at_world_calls = true;
+        let mut without = Counting { picks: 0 };
+        run_controlled(&module, &plan, &base, &mut without, 2_000_000).expect("runs");
+        let mut with = Counting { picks: 0 };
+        run_controlled(&module, &plan, &paused, &mut with, 2_000_000).expect("runs");
+        assert!(
+            with.picks > without.picks,
+            "pausing must add scheduling points ({} vs {})",
+            with.picks,
+            without.picks
+        );
+    }
+
     #[test]
     fn campaign_is_deterministic_for_a_seed() {
         let cfg = CheckConfig::default();

@@ -65,6 +65,14 @@ pub struct ModelConfig {
     pub stream_len: i64,
     /// Channels compared as multisets instead of sequences.
     pub commutative: BTreeSet<String>,
+    /// Make *bare* world-intrinsic calls (outside commutative regions)
+    /// visible scheduling events in the controlled executor. This models
+    /// the sharded world's shard-acquisition points: with it on, the
+    /// scheduler can hold one worker *at* a world call while others run —
+    /// the schedule-space analogue of the torture suite's delay-inside-a
+    /// -shard-hold fault plan. Off by default (region-only scheduling,
+    /// the paper's granularity).
+    pub pause_at_world_calls: bool,
 }
 
 impl Default for ModelConfig {
@@ -73,6 +81,7 @@ impl Default for ModelConfig {
             size: 6,
             stream_len: 3,
             commutative: BTreeSet::new(),
+            pause_at_world_calls: false,
         }
     }
 }

@@ -4,6 +4,22 @@
 use crate::trace::TraceSink;
 use commset_runtime::{BackoffPolicy, FaultPlan};
 
+/// Which shared-world implementation the real-thread executor uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WorldMode {
+    /// Sharded when the registry declares slot bindings (the workloads
+    /// that describe their footprints get the scalable world), single
+    /// mutex otherwise. The default.
+    #[default]
+    Auto,
+    /// Always the single `Mutex<World>` — the historical behavior, kept
+    /// as the baseline the bench harness compares against.
+    SingleLock,
+    /// Always the sharded world; unbound intrinsics take the whole-world
+    /// slow path.
+    Sharded,
+}
+
 /// Knobs shared by the simulated and real-thread executors.
 ///
 /// The default configuration injects no faults, uses the default
@@ -23,6 +39,15 @@ pub struct ExecConfig {
     /// lock and queue events and world-intrinsic calls into this sink
     /// (see [`crate::trace`]); off (`None`) by default.
     pub trace: Option<TraceSink>,
+    /// Shared-world implementation for the real-thread executor
+    /// ([`WorldMode::Auto`] by default).
+    pub world: WorldMode,
+    /// Batch size for the DSWP queue staging buffers in the real-thread
+    /// executor: a producer stage publishes up to this many queued values
+    /// with one release store, and a consumer refills its local buffer
+    /// with up to this many per shared-queue access. `1` disables
+    /// batching; default 8.
+    pub queue_batch: usize,
 }
 
 impl Default for ExecConfig {
@@ -32,6 +57,8 @@ impl Default for ExecConfig {
             backoff: BackoffPolicy::default(),
             watchdog: true,
             trace: None,
+            world: WorldMode::Auto,
+            queue_batch: 8,
         }
     }
 }
@@ -69,5 +96,7 @@ mod tests {
         assert!(c.fault.is_none());
         assert!(c.watchdog);
         assert!(c.backoff.max_aborts > 0);
+        assert_eq!(c.world, WorldMode::Auto);
+        assert!(c.queue_batch >= 1);
     }
 }

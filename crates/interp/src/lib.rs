@@ -34,10 +34,10 @@ pub mod thread_exec;
 pub mod trace;
 pub mod vm;
 
-pub use config::ExecConfig;
+pub use config::{ExecConfig, WorldMode};
 pub use error::ExecError;
 pub use seq::run_sequential;
 pub use sim_exec::{run_simulated, run_simulated_with, SimOutcome, SimStats};
-pub use thread_exec::{run_threaded, run_threaded_with};
+pub use thread_exec::{run_threaded, run_threaded_with, ThreadOutcome, ThreadStats};
 pub use trace::{TraceEvent, TraceRecord, TraceSink};
 pub use vm::{CallEvent, OobError, StepOutcome, Vm};

@@ -15,19 +15,22 @@
 //! queues are drained, and the run reports
 //! [`ExecError::WorkerFailed`] naming the stage and cause.
 
-use crate::config::ExecConfig;
+use crate::config::{ExecConfig, WorldMode};
 use crate::error::ExecError;
 use crate::globals::{AtomicGlobals, SharedGlobals};
 use crate::trace::{TraceEvent, TraceSink};
 use crate::vm::{StepOutcome, Vm};
 use commset_ir::Module;
+use commset_runtime::intrinsics::IntrinsicOutcome;
 use commset_runtime::lock::{LockKind, RawLock};
+use commset_runtime::sharded::{ShardObserver, ShardStatsSnapshot, ShardedWorld, WORLD_STRIPES};
 use commset_runtime::sync::Mutex;
+use commset_runtime::world::SlotError;
 use commset_runtime::{
     FaultInjector, FaultStats, Registry, SpscQueue, Value, Watchdog, WatchdogReport, World,
 };
 use commset_transform::{ParallelPlan, SyncMode};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -42,6 +45,64 @@ pub struct ThreadStats {
     /// Values drained from pipeline queues during teardown (non-zero only
     /// after a failure cut a pipeline short).
     pub queue_drained: u64,
+    /// Shard-lock contention counters (all zero under the single-lock
+    /// world).
+    pub shard: ShardStatsSnapshot,
+    /// Pushes that found a pipeline queue full (producer-side pressure).
+    pub queue_full_spins: u64,
+    /// Pops that found a pipeline queue empty (consumer-side starvation).
+    pub queue_empty_spins: u64,
+}
+
+/// The shared world behind one of the two locking disciplines the
+/// executor supports: the historical whole-world mutex, or the
+/// rank-ordered sharded world routed by the registry's slot bindings.
+enum WorldStore {
+    Single(Mutex<World>),
+    Sharded(ShardedWorld),
+}
+
+impl WorldStore {
+    fn new(world: World, mode: WorldMode, registry: &Registry) -> Self {
+        let sharded = match mode {
+            WorldMode::SingleLock => false,
+            WorldMode::Sharded => true,
+            WorldMode::Auto => registry.has_bindings(),
+        };
+        if sharded {
+            WorldStore::Sharded(ShardedWorld::partition(world, WORLD_STRIPES))
+        } else {
+            WorldStore::Single(Mutex::new(world))
+        }
+    }
+
+    /// Executes one world intrinsic under the store's locking discipline.
+    fn call(
+        &self,
+        registry: &Registry,
+        name: &str,
+        args: &[Value],
+        obs: &ShardObserver<'_>,
+    ) -> IntrinsicOutcome {
+        match self {
+            WorldStore::Single(m) => registry.call(name, &mut m.lock(), args),
+            WorldStore::Sharded(s) => s.call(registry, name, args, obs),
+        }
+    }
+
+    fn snapshot(&self) -> ShardStatsSnapshot {
+        match self {
+            WorldStore::Single(_) => ShardStatsSnapshot::default(),
+            WorldStore::Sharded(s) => s.stats(),
+        }
+    }
+
+    fn into_world(self) -> World {
+        match self {
+            WorldStore::Single(m) => m.into_inner(),
+            WorldStore::Sharded(s) => s.into_world(),
+        }
+    }
 }
 
 /// Result of a threaded run.
@@ -92,7 +153,7 @@ pub fn run_threaded_with(
     let start = Instant::now();
     let injector = FaultInjector::new(cfg.fault.clone());
     let shared_globals = AtomicGlobals::new(module);
-    let world = Mutex::new(world);
+    let world = WorldStore::new(world, cfg.world, registry);
     let mut globals = SharedGlobals::new(Arc::clone(&shared_globals));
     let mut vm = Vm::for_name(module, "main", &[])?;
     let mut stats = ThreadStats::default();
@@ -107,7 +168,7 @@ pub fn run_threaded_with(
                         .iter()
                         .find(|pl| pl.section == section)
                         .ok_or(ExecError::UnknownSection { section })?;
-                    let (report, drained) = run_section(
+                    let section_out = run_section(
                         module,
                         registry,
                         plan,
@@ -116,8 +177,10 @@ pub fn run_threaded_with(
                         cfg,
                         &injector,
                     )?;
-                    merge_watchdog(&mut stats.watchdog, report);
-                    stats.queue_drained += drained;
+                    merge_watchdog(&mut stats.watchdog, section_out.watchdog);
+                    stats.queue_drained += section_out.drained;
+                    stats.queue_full_spins += section_out.full_spins;
+                    stats.queue_empty_spins += section_out.empty_spins;
                     vm.resolve_special(Value::Int(0));
                 } else if name.starts_with("__lock")
                     || name.starts_with("__q_")
@@ -129,7 +192,16 @@ pub fn run_threaded_with(
                         name: name.to_string(),
                     });
                 } else {
-                    let out = registry.call(name, &mut world.lock(), &p.args);
+                    // A bad intrinsic on the main thread (wrong slot type,
+                    // missing slot, handler bug) is contained exactly like
+                    // a worker failure instead of aborting the process.
+                    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        world.call(registry, name, &p.args, &ShardObserver::silent())
+                    }))
+                    .map_err(|payload| ExecError::WorkerFailed {
+                        stage: "main".into(),
+                        cause: panic_message(&*payload),
+                    })?;
                     vm.resolve_special(out.value);
                 }
             }
@@ -137,10 +209,11 @@ pub fn run_threaded_with(
         }
     };
     stats.fault = injector.stats();
+    stats.shard = world.snapshot();
     Ok(ThreadOutcome {
         result,
         wall: start.elapsed(),
-        world: world.into_inner(),
+        world: world.into_world(),
         stats,
     })
 }
@@ -164,7 +237,7 @@ fn merge_watchdog(into: &mut WatchdogReport, from: WatchdogReport) {
 struct SectionCtx<'a> {
     module: &'a Module,
     registry: &'a Registry,
-    world: &'a Mutex<World>,
+    world: &'a WorldStore,
     locks: &'a [RawLock],
     tm_lock: &'a RawLock,
     queues: &'a [SpscQueue<u64>],
@@ -173,19 +246,31 @@ struct SectionCtx<'a> {
     injector: &'a FaultInjector,
     watchdog: Option<&'a Watchdog>,
     trace: Option<&'a TraceSink>,
+    queue_batch: usize,
 }
 
-/// Executes one parallel section; returns the watchdog report and the
-/// number of queue slots drained during teardown.
+/// What one parallel section reports back to the run.
+struct SectionOutcome {
+    watchdog: WatchdogReport,
+    /// Queue slots drained during teardown.
+    drained: u64,
+    /// Pushes that found a queue full.
+    full_spins: u64,
+    /// Pops that found a queue empty.
+    empty_spins: u64,
+}
+
+/// Executes one parallel section; returns the watchdog report, teardown
+/// drain count and queue contention counters.
 fn run_section(
     module: &Module,
     registry: &Registry,
     plan: &ParallelPlan,
     shared_globals: &Arc<AtomicGlobals>,
-    world: &Mutex<World>,
+    world: &WorldStore,
     cfg: &ExecConfig,
     injector: &FaultInjector,
-) -> Result<(WatchdogReport, u64), ExecError> {
+) -> Result<SectionOutcome, ExecError> {
     let lock_kind = match plan.sync {
         SyncMode::Spin => LockKind::Spin,
         _ => LockKind::Mutex,
@@ -213,6 +298,7 @@ fn run_section(
         injector,
         watchdog: watchdog.as_ref(),
         trace: cfg.trace.as_ref(),
+        queue_batch: cfg.queue_batch.max(1),
     };
 
     let results: Vec<Result<(), ExecError>> = std::thread::scope(|scope| {
@@ -258,8 +344,15 @@ fn run_section(
             .collect()
     });
 
-    // All workers are joined: drain abandoned pipeline values so a failed
-    // run does not leak queue slots.
+    // All workers are joined: snapshot the contention counters (before
+    // the teardown drain perturbs them), then drain abandoned pipeline
+    // values so a failed run does not leak queue slots.
+    let (mut full_spins, mut empty_spins) = (0u64, 0u64);
+    for q in &queues {
+        let (f, e) = q.contention();
+        full_spins += f;
+        empty_spins += e;
+    }
     let drained: u64 = queues.iter().map(|q| q.drain() as u64).sum();
 
     // Report the most informative failure: a real WorkerFailed beats the
@@ -285,7 +378,40 @@ fn run_section(
     if let Some(e) = first {
         return Err(e);
     }
-    Ok((watchdog.map(|wd| wd.report()).unwrap_or_default(), drained))
+    Ok(SectionOutcome {
+        watchdog: watchdog.map(|wd| wd.report()).unwrap_or_default(),
+        drained,
+        full_spins,
+        empty_spins,
+    })
+}
+
+/// Round-robin flush of every staged queue push. Never parks on one full
+/// queue while another staged queue could make progress (a consumer
+/// blocked on queue B must not be starved by our full queue A), so the
+/// staging layer cannot introduce cross-queue deadlocks. Returns `false`
+/// when the section was canceled mid-flush.
+fn flush_staged(ctx: &SectionCtx<'_>, staged: &mut [Vec<u64>]) -> bool {
+    loop {
+        let mut remaining = false;
+        for (q, buf) in staged.iter_mut().enumerate() {
+            if buf.is_empty() {
+                continue;
+            }
+            let sent = ctx.queues[q].push_n(buf);
+            if sent > 0 {
+                buf.drain(..sent);
+            }
+            remaining |= !buf.is_empty();
+        }
+        if !remaining {
+            return true;
+        }
+        if ctx.cancel.load(Ordering::Relaxed) {
+            return false;
+        }
+        std::thread::yield_now();
+    }
 }
 
 /// One worker's execution; every failure mode returns an error.
@@ -303,6 +429,16 @@ fn worker_loop(
         vm.watch_calls_matching("__commset_region_");
     }
     let mut in_tx = false;
+    // DSWP queue batching: producer-side staging buffers (published with
+    // one `push_n` per batch) and consumer-side refill buffers (refilled
+    // with one `pop_n` per batch). Invariant: *all* staged pushes are
+    // flushed before this worker enters any blocking wait — a lock
+    // acquisition, a TM begin, a blocking pop, or its own exit — so no
+    // sibling can wait forever on a value parked in our staging buffer.
+    let batch = ctx.queue_batch;
+    let mut staged: Vec<Vec<u64>> = (0..ctx.queues.len()).map(|_| Vec::new()).collect();
+    let mut refill: Vec<VecDeque<u64>> = (0..ctx.queues.len()).map(|_| VecDeque::new()).collect();
+    let mut scratch: Vec<u64> = Vec::new();
     // Worker-local logical time for trace records: one tick per VM step.
     let mut ops: u64 = 0;
     loop {
@@ -326,7 +462,13 @@ fn worker_loop(
         }
         match step {
             StepOutcome::Ran { .. } => {}
-            StepOutcome::Finished(_) => return Ok(()),
+            StepOutcome::Finished(_) => {
+                // Publish any staged queue values before exiting.
+                if !flush_staged(ctx, &mut staged) {
+                    return Err(canceled());
+                }
+                return Ok(());
+            }
             StepOutcome::Special(p) => {
                 let name = ctx.module.intrinsics.name(p.intrinsic.0 as usize);
                 let stall = ctx.injector.worker_stall(tid);
@@ -336,6 +478,10 @@ fn worker_loop(
                 match name {
                     "__lock_acquire" => {
                         let l = p.args[0].as_int() as usize;
+                        // Blocking wait ahead: publish staged values first.
+                        if !flush_staged(ctx, &mut staged) {
+                            return Err(canceled());
+                        }
                         if let Some(wd) = ctx.watchdog {
                             wd.acquiring(widx, l);
                         }
@@ -374,10 +520,8 @@ fn worker_loop(
                             .queue_index
                             .get(&id)
                             .ok_or(ExecError::UnknownQueue { id })?;
-                        if ctx.queues[q]
-                            .push_canceling(p.args[1].to_bits(), ctx.cancel)
-                            .is_err()
-                        {
+                        staged[q].push(p.args[1].to_bits());
+                        if staged[q].len() >= batch && !flush_staged(ctx, &mut staged) {
                             return Err(canceled());
                         }
                         vm.resolve_special(Value::Int(0));
@@ -391,8 +535,26 @@ fn worker_loop(
                             .queue_index
                             .get(&id)
                             .ok_or(ExecError::UnknownQueue { id })?;
-                        let Some(bits) = ctx.queues[q].pop_canceling(ctx.cancel) else {
-                            return Err(canceled());
+                        let bits = match refill[q].pop_front() {
+                            Some(b) => b,
+                            None => {
+                                // Blocking wait ahead: publish staged
+                                // values first, then take one value
+                                // (blocking) and opportunistically batch
+                                // up whatever else is already there.
+                                if !flush_staged(ctx, &mut staged) {
+                                    return Err(canceled());
+                                }
+                                let Some(first) = ctx.queues[q].pop_canceling(ctx.cancel) else {
+                                    return Err(canceled());
+                                };
+                                if batch > 1 {
+                                    scratch.clear();
+                                    ctx.queues[q].pop_n(&mut scratch, batch - 1);
+                                    refill[q].extend(scratch.drain(..));
+                                }
+                                first
+                            }
                         };
                         vm.resolve_special(Value::from_bits(bits, name == "__q_pop_f"));
                         if let Some(tr) = ctx.trace {
@@ -400,6 +562,10 @@ fn worker_loop(
                         }
                     }
                     "__tx_begin" => {
+                        // Blocking wait ahead: publish staged values first.
+                        if !flush_staged(ctx, &mut staged) {
+                            return Err(canceled());
+                        }
                         if !ctx.tm_lock.acquire_canceling(ctx.cancel) {
                             return Err(canceled());
                         }
@@ -416,10 +582,18 @@ fn worker_loop(
                     }
                     "__par_invoke" => return Err(ExecError::NestedParallelSection),
                     _ => {
-                        let out = {
-                            let mut w = ctx.world.lock();
-                            ctx.registry.call(name, &mut w, &p.args)
+                        // World calls never wait on queues (handlers only
+                        // touch world slots), so staged pushes can stay
+                        // parked across them: shard/world locks are leaf
+                        // locks and cannot be held by a sibling that is
+                        // blocked on one of our queues.
+                        let obs = ShardObserver {
+                            watchdog: ctx.watchdog,
+                            worker: widx,
+                            rank_base: ctx.locks.len(),
+                            injector: Some(ctx.injector),
                         };
+                        let out = ctx.world.call(ctx.registry, name, &p.args, &obs);
                         vm.resolve_special(out.value);
                         if let Some(tr) = ctx.trace {
                             tr.record(
@@ -443,6 +617,10 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
         s.clone()
+    } else if let Some(e) = payload.downcast_ref::<SlotError>() {
+        // World wiring bugs unwind with a typed payload (see
+        // `commset_runtime::world`): surface the structured message.
+        e.to_string()
     } else {
         "worker panicked (non-string payload)".into()
     }
@@ -695,6 +873,157 @@ mod tests {
                 assert!(cause.contains("intrinsic blew up at 30"), "cause: {cause}");
             }
             other => panic!("expected WorkerFailed, got {other}"),
+        }
+    }
+
+    #[test]
+    fn missing_world_slot_maps_to_worker_failed_not_abort() {
+        // The registry expects "acc" but the world never installs it: the
+        // SlotError panic must surface as a structured WorkerFailed from
+        // the failing stage, with the slot named in the cause.
+        let (module, plan) = compile_doall(SUM_SRC, 2, SyncMode::Spin);
+        let err = run_threaded(&module, &registry(), &[plan], World::new()).unwrap_err();
+        match err {
+            ExecError::WorkerFailed { cause, .. } => {
+                assert!(
+                    cause.contains("world slot `acc` is not installed"),
+                    "cause: {cause}"
+                );
+            }
+            other => panic!("expected WorkerFailed, got {other}"),
+        }
+    }
+
+    #[test]
+    fn main_thread_slot_error_maps_to_worker_failed() {
+        // A sequential (outside-section) intrinsic with a bad slot must be
+        // contained on the main thread too.
+        let src = r#"
+            extern void add_acc(int v);
+            int main() {
+                add_acc(1);
+                return 0;
+            }
+        "#;
+        let table = table();
+        let unit = commset_lang::compile_unit(src).unwrap();
+        let managed = manage(unit).unwrap();
+        let module = lower_program(&managed.program, table).unwrap();
+        // Wrong type: "acc" holds a String, the handler wants i64.
+        let mut world = World::new();
+        world.install("acc", String::from("oops"));
+        let err = run_threaded(&module, &registry(), &[], world).unwrap_err();
+        match err {
+            ExecError::WorkerFailed { stage, cause } => {
+                assert_eq!(stage, "main");
+                assert!(
+                    cause.contains("world slot `acc` has an unexpected type"),
+                    "cause: {cause}"
+                );
+            }
+            other => panic!("expected WorkerFailed, got {other}"),
+        }
+    }
+
+    #[test]
+    fn sharded_world_matches_single_lock_results() {
+        use commset_runtime::SlotBinding;
+        for mode in [WorldMode::SingleLock, WorldMode::Sharded] {
+            let (module, plan) = compile_doall(SUM_SRC, 4, SyncMode::Spin);
+            let mut reg = registry();
+            reg.bind("add_acc", vec![SlotBinding::Fixed("acc".into())]);
+            let mut world = World::new();
+            world.install("acc", 0i64);
+            let cfg = ExecConfig {
+                world: mode,
+                ..ExecConfig::default()
+            };
+            let out = run_threaded_with(&module, &reg, &[plan], world, &cfg).unwrap();
+            assert_eq!(
+                *out.world.get::<i64>("acc"),
+                (0..200).sum::<i64>(),
+                "{mode:?}"
+            );
+            assert!(out.stats.watchdog.is_clean(), "{:?}", out.stats.watchdog);
+            match mode {
+                WorldMode::Sharded => assert!(
+                    out.stats.shard.fast_acquires > 0,
+                    "bound intrinsic must use the fast path: {:?}",
+                    out.stats.shard
+                ),
+                _ => assert_eq!(out.stats.shard, ShardStatsSnapshot::default()),
+            }
+        }
+    }
+
+    #[test]
+    fn auto_mode_picks_sharded_when_bindings_exist() {
+        use commset_runtime::SlotBinding;
+        let (module, plan) = compile_doall(SUM_SRC, 3, SyncMode::Spin);
+        let mut reg = registry();
+        reg.bind("add_acc", vec![SlotBinding::Fixed("acc".into())]);
+        let mut world = World::new();
+        world.install("acc", 0i64);
+        let out = run_threaded(&module, &reg, &[plan], world).unwrap();
+        assert_eq!(*out.world.get::<i64>("acc"), (0..200).sum::<i64>());
+        assert!(out.stats.shard.fast_acquires > 0, "{:?}", out.stats.shard);
+        // Without bindings, Auto stays on the single lock.
+        let (module2, plan2) = compile_doall(SUM_SRC, 3, SyncMode::Spin);
+        let mut world2 = World::new();
+        world2.install("acc", 0i64);
+        let out2 = run_threaded(&module2, &registry(), &[plan2], world2).unwrap();
+        assert_eq!(out2.stats.shard, ShardStatsSnapshot::default());
+    }
+
+    #[test]
+    fn pipeline_results_hold_across_queue_batch_sizes() {
+        let src = r#"
+            extern int double(int x);
+            extern void emit(int y);
+            int main() {
+                int n = 100;
+                for (int i = 0; i < n; i = i + 1) {
+                    int y = double(i);
+                    emit(y);
+                }
+                return 0;
+            }
+        "#;
+        let expected: Vec<i64> = (0..100).map(|i| i * 2).collect();
+        for qb in [1usize, 2, 8, 64] {
+            let table = table();
+            let unit = commset_lang::compile_unit(src).unwrap();
+            let managed = manage(unit).unwrap();
+            let summaries = summarize(&managed.program, &table);
+            let hot = find_hot_loop(&managed, &summaries, &table, "main").unwrap();
+            let mut pdg = Pdg::build(&hot);
+            analyze_commutativity(&mut pdg, &managed, &hot);
+            let dag = dag_scc(&pdg);
+            let pp = dswp::apply_ps_dswp(
+                &managed,
+                &hot,
+                &pdg,
+                &dag,
+                &summaries,
+                &["OUT".to_string()].into(),
+                4,
+                SyncMode::Lib,
+                0,
+            )
+            .unwrap();
+            let module = lower_program(&pp.program, table).unwrap();
+            let mut world = World::new();
+            world.install("out", Vec::<i64>::new());
+            let cfg = ExecConfig {
+                queue_batch: qb,
+                ..ExecConfig::default()
+            };
+            let out = run_threaded_with(&module, &registry(), &[pp.plan], world, &cfg).unwrap();
+            assert_eq!(
+                out.world.get::<Vec<i64>>("out"),
+                &expected,
+                "queue_batch = {qb}"
+            );
         }
     }
 

@@ -46,6 +46,13 @@ pub struct FaultPlan {
     /// Clamp every queue capacity to at most this bound (pushback);
     /// `None` leaves plan capacities untouched.
     pub queue_capacity_clamp: Option<usize>,
+    /// Delay every `n`-th multi-shard world hold *while the shards are
+    /// held* (0 = never) — widens the window in which a second worker
+    /// could attempt a conflicting acquisition, stressing the rank-order
+    /// argument of the sharded world.
+    pub shard_hold_every: u64,
+    /// Shard-hold delay magnitude (simulated cycles / real microseconds).
+    pub shard_hold_cost: u64,
 }
 
 impl FaultPlan {
@@ -99,12 +106,25 @@ impl FaultPlan {
         }
     }
 
+    /// Shard-hold torture: every third multi-shard hold of the sharded
+    /// world is stretched by `cost`, exercising the deadlock-freedom
+    /// argument while shard sets are held.
+    pub fn shard_hold(seed: u64, cost: u64) -> Self {
+        FaultPlan {
+            seed,
+            shard_hold_every: 3,
+            shard_hold_cost: cost,
+            ..FaultPlan::default()
+        }
+    }
+
     /// True when the plan injects nothing.
     pub fn is_none(&self) -> bool {
         self.stm_abort_every == 0
             && self.lock_delay_every == 0
             && self.stall.is_none()
             && self.queue_capacity_clamp.is_none()
+            && self.shard_hold_every == 0
     }
 }
 
@@ -117,6 +137,8 @@ pub struct FaultStats {
     pub lock_delays: u64,
     /// Worker stalls delivered.
     pub stalls: u64,
+    /// Multi-shard holds stretched.
+    pub shard_holds: u64,
 }
 
 /// Shared, thread-safe decision engine for one run of a [`FaultPlan`].
@@ -126,9 +148,11 @@ pub struct FaultInjector {
     commit_events: AtomicU64,
     lock_events: AtomicU64,
     stall_events: AtomicU64,
+    shard_events: AtomicU64,
     delivered_aborts: AtomicU64,
     delivered_delays: AtomicU64,
     delivered_stalls: AtomicU64,
+    delivered_shard_holds: AtomicU64,
     rng: Mutex<SplitMix64>,
 }
 
@@ -141,9 +165,11 @@ impl FaultInjector {
             commit_events: AtomicU64::new(0),
             lock_events: AtomicU64::new(0),
             stall_events: AtomicU64::new(0),
+            shard_events: AtomicU64::new(0),
             delivered_aborts: AtomicU64::new(0),
             delivered_delays: AtomicU64::new(0),
             delivered_stalls: AtomicU64::new(0),
+            delivered_shard_holds: AtomicU64::new(0),
             rng,
         }
     }
@@ -210,6 +236,28 @@ impl FaultInjector {
         }
     }
 
+    /// Extra delay (cycles / µs) to impose *inside* this multi-shard
+    /// world hold; 0 = none.
+    pub fn shard_hold_delay(&self) -> u64 {
+        if self.plan.shard_hold_every == 0 {
+            return 0;
+        }
+        let n = self.shard_events.fetch_add(1, Ordering::Relaxed) + 1;
+        if n.is_multiple_of(self.plan.shard_hold_every) {
+            self.delivered_shard_holds.fetch_add(1, Ordering::Relaxed);
+            // Same ±50% jitter as lock grants so holds don't resonate.
+            let jitter = self
+                .rng
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .next_u64();
+            let base = self.plan.shard_hold_cost.max(1);
+            base / 2 + jitter % (base / 2 + 1)
+        } else {
+            0
+        }
+    }
+
     /// Applies the plan's queue clamp to a planned capacity.
     pub fn clamp_capacity(&self, capacity: usize) -> usize {
         match self.plan.queue_capacity_clamp {
@@ -224,6 +272,7 @@ impl FaultInjector {
             stm_aborts: self.delivered_aborts.load(Ordering::Relaxed),
             lock_delays: self.delivered_delays.load(Ordering::Relaxed),
             stalls: self.delivered_stalls.load(Ordering::Relaxed),
+            shard_holds: self.delivered_shard_holds.load(Ordering::Relaxed),
         }
     }
 }
@@ -239,6 +288,7 @@ mod tests {
             assert!(!inj.force_stm_abort());
             assert_eq!(inj.lock_grant_delay(), 0);
             assert_eq!(inj.worker_stall(0), 0);
+            assert_eq!(inj.shard_hold_delay(), 0);
         }
         assert_eq!(inj.clamp_capacity(64), 64);
         assert_eq!(inj.stats(), FaultStats::default());
@@ -277,6 +327,24 @@ mod tests {
         }
         let stalls: Vec<u64> = (0..8).map(|_| inj.worker_stall(2)).collect();
         assert_eq!(stalls.iter().filter(|s| **s > 0).count(), 2, "{stalls:?}");
+    }
+
+    #[test]
+    fn shard_hold_is_periodic_jittered_and_counted() {
+        let inj = FaultInjector::new(FaultPlan::shard_hold(9, 600));
+        assert!(!FaultPlan::shard_hold(9, 600).is_none());
+        let mut hit = 0;
+        for i in 1..=9u64 {
+            let d = inj.shard_hold_delay();
+            if i % 3 == 0 {
+                assert!((300..=600).contains(&d), "delay {d} out of jitter range");
+                hit += 1;
+            } else {
+                assert_eq!(d, 0);
+            }
+        }
+        assert_eq!(hit, 3);
+        assert_eq!(inj.stats().shard_holds, 3);
     }
 
     #[test]

@@ -60,10 +60,47 @@ impl IntrinsicOutcome {
 /// An intrinsic handler.
 pub type Handler = Arc<dyn Fn(&mut World, &[Value]) -> IntrinsicOutcome + Send + Sync>;
 
+/// How one intrinsic touches world slots — the workload-declared static
+/// footprint the sharded world uses to route a call to its shard set
+/// without holding the whole world.
+///
+/// These bindings mirror the CommSet structure the transform's sync
+/// engine computes: a `Fixed` binding is a group-level (shared instance)
+/// slot, a `Striped` binding is a per-instance family of slots
+/// partitioned by one integer argument (handles, indices).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SlotBinding {
+    /// The call always touches exactly this slot.
+    Fixed(String),
+    /// The call touches `"{base}#{k}"` where
+    /// `k = args[arg] mod stripes` (see [`crate::sharded::stripe_of`]).
+    Striped {
+        /// Slot-family base name.
+        base: String,
+        /// Number of stripes the family is split into.
+        stripes: usize,
+        /// Index of the integer argument selecting the stripe.
+        arg: usize,
+    },
+}
+
+/// Where a call must execute, as resolved from its bindings and actual
+/// arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Route {
+    /// No binding declared: the call may touch anything, so the whole
+    /// world must be held (the conservative slow path).
+    Whole,
+    /// The call touches exactly these slots (possibly none, for pure
+    /// intrinsics) — only their home shards need to be held.
+    Slots(Vec<String>),
+}
+
 /// Name-keyed handler registry.
 #[derive(Default, Clone)]
 pub struct Registry {
     handlers: HashMap<String, Handler>,
+    bindings: HashMap<String, Vec<SlotBinding>>,
 }
 
 impl Registry {
@@ -88,6 +125,46 @@ impl Registry {
     /// Looks up a handler.
     pub fn get(&self, name: &str) -> Option<&Handler> {
         self.handlers.get(name)
+    }
+
+    /// Declares the world-slot footprint of intrinsic `name`.
+    ///
+    /// An empty binding list marks the intrinsic *pure* with respect to
+    /// the world (it still runs, but no shard lock is needed). Intrinsics
+    /// without any declared binding route to the whole world.
+    pub fn bind(&mut self, name: &str, bindings: Vec<SlotBinding>) {
+        self.bindings.insert(name.to_string(), bindings);
+    }
+
+    /// True when at least one intrinsic has a declared slot footprint —
+    /// the signal the executor uses to pick the sharded world by default.
+    pub fn has_bindings(&self) -> bool {
+        !self.bindings.is_empty()
+    }
+
+    /// Resolves the shard route for a call of `name` with `args`.
+    pub fn route(&self, name: &str, args: &[Value]) -> Route {
+        match self.bindings.get(name) {
+            None => Route::Whole,
+            Some(bs) => {
+                let mut slots = Vec::with_capacity(bs.len());
+                for b in bs {
+                    match b {
+                        SlotBinding::Fixed(s) => slots.push(s.clone()),
+                        SlotBinding::Striped { base, stripes, arg } => {
+                            let Some(v) = args.get(*arg) else {
+                                return Route::Whole; // malformed call: be safe
+                            };
+                            let k = crate::sharded::stripe_of(v.as_int(), *stripes);
+                            slots.push(crate::sharded::stripe_slot(base, k));
+                        }
+                    }
+                }
+                slots.sort_unstable();
+                slots.dedup();
+                Route::Slots(slots)
+            }
+        }
     }
 
     /// Invokes the handler for `name`.
@@ -142,6 +219,52 @@ mod tests {
     #[should_panic(expected = "no handler")]
     fn missing_handler_panics() {
         Registry::new().call("nope", &mut World::new(), &[]);
+    }
+
+    #[test]
+    fn routes_resolve_from_bindings() {
+        let mut reg = Registry::new();
+        assert!(!reg.has_bindings());
+        assert_eq!(reg.route("anything", &[]), Route::Whole);
+        reg.bind("pure", vec![]);
+        reg.bind("fixed", vec![SlotBinding::Fixed("console".into())]);
+        reg.bind(
+            "striped",
+            vec![SlotBinding::Striped {
+                base: "fs".into(),
+                stripes: 8,
+                arg: 0,
+            }],
+        );
+        reg.bind(
+            "both",
+            vec![
+                SlotBinding::Fixed("console".into()),
+                SlotBinding::Striped {
+                    base: "fs".into(),
+                    stripes: 8,
+                    arg: 1,
+                },
+            ],
+        );
+        assert!(reg.has_bindings());
+        assert_eq!(reg.route("pure", &[]), Route::Slots(vec![]));
+        assert_eq!(
+            reg.route("fixed", &[]),
+            Route::Slots(vec!["console".into()])
+        );
+        assert_eq!(
+            reg.route("striped", &[Value::Int(11)]),
+            Route::Slots(vec!["fs#3".into()])
+        );
+        assert_eq!(
+            reg.route("both", &[Value::Int(0), Value::Int(9)]),
+            Route::Slots(vec!["console".into(), "fs#1".into()])
+        );
+        // Missing stripe argument degrades to the safe whole-world route.
+        assert_eq!(reg.route("striped", &[]), Route::Whole);
+        // Unbound names stay on the whole-world route.
+        assert_eq!(reg.route("unbound", &[]), Route::Whole);
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod intrinsics;
 pub mod lock;
 pub mod queue;
 pub mod rng;
+pub mod sharded;
 pub mod stm;
 pub mod sync;
 pub mod value;
@@ -37,9 +38,13 @@ pub mod watchdog;
 pub mod world;
 
 pub use fault::{FaultInjector, FaultPlan, FaultStats, WorkerStall};
-pub use intrinsics::{IntrinsicOutcome, Registry};
+pub use intrinsics::{IntrinsicOutcome, Registry, Route, SlotBinding};
 pub use queue::SpscQueue;
+pub use sharded::{
+    shard_of_slot, stripe_of, stripe_slot, ShardObserver, ShardStatsSnapshot, ShardedWorld,
+    WORLD_STRIPES,
+};
 pub use stm::{BackoffPolicy, StmStats};
 pub use value::Value;
 pub use watchdog::{Watchdog, WatchdogReport};
-pub use world::World;
+pub use world::{SlotError, SlotErrorKind, World};

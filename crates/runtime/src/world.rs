@@ -10,6 +10,53 @@
 use std::any::Any;
 use std::collections::BTreeMap;
 
+/// Why a world slot access failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotErrorKind {
+    /// No slot of that name is installed.
+    Missing,
+    /// The slot exists but holds a different type.
+    WrongType,
+}
+
+/// Structured payload carried by the panics of [`World::get`] and
+/// [`World::get_mut`].
+///
+/// Slot wiring bugs are still programming errors, but they unwind with a
+/// *typed* payload (via [`std::panic::panic_any`]) instead of a bare
+/// string, so the thread executor's containment layer can map a bad
+/// intrinsic to a structured `ExecError::WorkerFailed` naming the slot,
+/// rather than letting an opaque panic kill the run's diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotError {
+    /// The slot name the access used.
+    pub slot: String,
+    /// What went wrong.
+    pub kind: SlotErrorKind,
+}
+
+impl std::fmt::Display for SlotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.kind {
+            SlotErrorKind::Missing => {
+                write!(f, "world slot `{}` is not installed", self.slot)
+            }
+            SlotErrorKind::WrongType => {
+                write!(f, "world slot `{}` has an unexpected type", self.slot)
+            }
+        }
+    }
+}
+
+impl std::error::Error for SlotError {}
+
+fn slot_panic(slot: &str, kind: SlotErrorKind) -> ! {
+    std::panic::panic_any(SlotError {
+        slot: slot.to_string(),
+        kind,
+    })
+}
+
 /// The world: a registry of named state objects.
 #[derive(Default)]
 pub struct World {
@@ -49,9 +96,9 @@ impl World {
     pub fn get<T: Any + Send>(&self, name: &str) -> &T {
         self.slots
             .get(name)
-            .unwrap_or_else(|| panic!("world slot `{name}` is not installed"))
+            .unwrap_or_else(|| slot_panic(name, SlotErrorKind::Missing))
             .downcast_ref::<T>()
-            .unwrap_or_else(|| panic!("world slot `{name}` has an unexpected type"))
+            .unwrap_or_else(|| slot_panic(name, SlotErrorKind::WrongType))
     }
 
     /// Mutable access to the state object under `name`.
@@ -62,9 +109,9 @@ impl World {
     pub fn get_mut<T: Any + Send>(&mut self, name: &str) -> &mut T {
         self.slots
             .get_mut(name)
-            .unwrap_or_else(|| panic!("world slot `{name}` is not installed"))
+            .unwrap_or_else(|| slot_panic(name, SlotErrorKind::Missing))
             .downcast_mut::<T>()
-            .unwrap_or_else(|| panic!("world slot `{name}` has an unexpected type"))
+            .unwrap_or_else(|| slot_panic(name, SlotErrorKind::WrongType))
     }
 
     /// True if a slot named `name` exists.
@@ -75,6 +122,40 @@ impl World {
     /// Installed slot names, sorted.
     pub fn names(&self) -> Vec<&str> {
         self.slots.keys().map(String::as_str).collect()
+    }
+
+    /// Number of installed slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no slot is installed.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    // --- raw slot movement (the sharding layer's gather/scatter path) ---
+
+    /// Installs a type-erased slot without unboxing it.
+    pub fn install_boxed(&mut self, name: String, state: Box<dyn Any + Send>) {
+        self.slots.insert(name, state);
+    }
+
+    /// Removes and returns a slot without downcasting it.
+    pub fn take_boxed(&mut self, name: &str) -> Option<Box<dyn Any + Send>> {
+        self.slots.remove(name)
+    }
+
+    /// Removes and returns every slot (name order), leaving the world
+    /// empty. Used to partition a world into shards and to gather shard
+    /// contents into a scratch world for a multi-shard intrinsic.
+    pub fn drain_boxed(&mut self) -> Vec<(String, Box<dyn Any + Send>)> {
+        std::mem::take(&mut self.slots).into_iter().collect()
+    }
+
+    /// Moves every slot of `other` into `self` (replacing collisions).
+    pub fn absorb(&mut self, mut other: World) {
+        self.slots.append(&mut other.slots);
     }
 }
 
@@ -110,8 +191,51 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not installed")]
-    fn missing_slot_panics() {
-        World::new().get::<u64>("nope");
+    fn missing_slot_panics_with_structured_payload() {
+        let payload = std::panic::catch_unwind(|| *World::new().get::<u64>("nope"))
+            .expect_err("missing slot must panic");
+        let err = payload
+            .downcast_ref::<SlotError>()
+            .expect("payload is a SlotError");
+        assert_eq!(err.slot, "nope");
+        assert_eq!(err.kind, SlotErrorKind::Missing);
+        assert!(err.to_string().contains("not installed"));
+    }
+
+    #[test]
+    fn wrong_type_panics_with_structured_payload() {
+        let payload = std::panic::catch_unwind(|| {
+            let mut w = World::new();
+            w.install("x", String::from("hello"));
+            *w.get::<u64>("x")
+        })
+        .expect_err("wrong type must panic");
+        let err = payload
+            .downcast_ref::<SlotError>()
+            .expect("payload is a SlotError");
+        assert_eq!(err.kind, SlotErrorKind::WrongType);
+        assert!(err.to_string().contains("unexpected type"));
+    }
+
+    #[test]
+    fn boxed_movement_round_trips() {
+        let mut w = World::new();
+        w.install("a", 1u64);
+        w.install("b", 2u64);
+        let boxed = w.take_boxed("a").expect("present");
+        assert!(!w.contains("a"));
+        let mut other = World::new();
+        other.install_boxed("a".to_string(), boxed);
+        assert_eq!(*other.get::<u64>("a"), 1);
+        let drained = other.drain_boxed();
+        assert_eq!(drained.len(), 1);
+        assert!(other.is_empty());
+        for (name, b) in drained {
+            w.install_boxed(name, b);
+        }
+        let mut merged = World::new();
+        merged.absorb(w);
+        assert_eq!(merged.names(), vec!["a", "b"]);
+        assert_eq!(merged.len(), 2);
     }
 }

@@ -24,7 +24,7 @@ use commset_ir::IntrinsicTable;
 use commset_lang::ast::Type;
 use commset_runtime::intrinsics::IntrinsicOutcome;
 use commset_runtime::rng::SplitMix64;
-use commset_runtime::{Registry, World};
+use commset_runtime::{stripe_of, stripe_slot, Registry, SlotBinding, World, WORLD_STRIPES};
 use std::sync::Arc;
 
 /// Candidate itemsets processed.
@@ -35,24 +35,19 @@ pub const NUM_TIDS: usize = 4096;
 pub const TIDS_PER_LIST: usize = 160;
 const SEED: u64 = 0x5eed_0004;
 
-/// The vertical database plus mining outputs.
-#[derive(Debug, Clone, Default)]
-pub struct Eclat {
+/// The immutable vertical database: tid-lists plus the previous level's
+/// frequent set. Shared (`Arc`) between the mutable mining state and the
+/// per-stripe object shards, so the heavy intersection kernel can run
+/// against a stripe-local slot without touching the shared `eclat` slot.
+#[derive(Debug, Default)]
+pub struct EclatDb {
     /// Sorted tid-lists per candidate.
     pub tidlists: Vec<Vec<i64>>,
     /// The previous level's frequent itemset tid-list (intersection rhs).
     pub prev: Vec<i64>,
-    /// Shared read cursor (the paper's mutated file descriptor).
-    pub cursor: i64,
-    /// Output list with set semantics: (candidate, support) pairs.
-    pub lists: Vec<(i64, i64)>,
-    /// Statistics: processed count.
-    pub stat_count: i64,
-    /// Statistics: maximum support.
-    pub stat_max: i64,
 }
 
-impl Eclat {
+impl EclatDb {
     fn generate(seed: u64) -> Self {
         let mut rng = SplitMix64::new(seed);
         let mut list = |avg: usize| -> Vec<i64> {
@@ -66,11 +61,7 @@ impl Eclat {
         };
         let tidlists = (0..NUM_CANDS).map(|_| list(TIDS_PER_LIST)).collect();
         let prev = list(TIDS_PER_LIST * 4);
-        Eclat {
-            tidlists,
-            prev,
-            ..Default::default()
-        }
+        EclatDb { tidlists, prev }
     }
 
     /// Sorted-list intersection size — the mining kernel.
@@ -93,9 +84,43 @@ impl Eclat {
     }
 }
 
+/// The mutable mining state (outputs + shared cursor) over the shared
+/// database.
+#[derive(Debug, Clone, Default)]
+pub struct Eclat {
+    /// The shared vertical database.
+    pub db: Arc<EclatDb>,
+    /// Shared read cursor (the paper's mutated file descriptor).
+    pub cursor: i64,
+    /// Output list with set semantics: (candidate, support) pairs.
+    pub lists: Vec<(i64, i64)>,
+    /// Statistics: processed count.
+    pub stat_count: i64,
+    /// Statistics: maximum support.
+    pub stat_max: i64,
+}
+
+impl Eclat {
+    /// Sorted-list intersection size (delegates to the shared database).
+    pub fn intersect(&self, c: usize) -> i64 {
+        self.db.intersect(c)
+    }
+}
+
+/// One stripe of the itemset-object table: a stride-aligned
+/// [`AllocTable`] plus its own reference to the shared database, so
+/// `intersect_lists` runs entirely inside the stripe's shard.
+#[derive(Debug)]
+pub struct ObjShard {
+    /// Live itemset objects homed in this stripe.
+    pub table: AllocTable,
+    /// The shared vertical database (read-only here).
+    pub db: Arc<EclatDb>,
+}
+
 /// Native reference supports per candidate.
 pub fn reference_supports() -> Vec<i64> {
-    let db = Eclat::generate(SEED);
+    let db = EclatDb::generate(SEED);
     (0..NUM_CANDS).map(|c| db.intersect(c)).collect()
 }
 
@@ -199,7 +224,17 @@ pub fn table() -> IntrinsicTable {
     t
 }
 
-/// Intrinsic handlers.
+/// The stripe slot an itemset object (candidate index or handle) lives
+/// in. `obj_new(c)` allocates from stripe `c mod 8`, whose stride-aligned
+/// table hands out handles with `handle mod 8 == c mod 8`, so per-handle
+/// calls route back to the allocating stripe.
+fn objs_slot(key: i64) -> String {
+    stripe_slot("objs", stripe_of(key, WORLD_STRIPES))
+}
+
+/// Intrinsic handlers, with slot bindings declaring each intrinsic's
+/// world footprint: group-level state (`eclat`) is a fixed slot, the
+/// per-instance object table is striped.
 pub fn registry() -> Registry {
     let mut r = Registry::new();
     r.register("num_cands", |_, _| {
@@ -211,16 +246,20 @@ pub fn registry() -> Registry {
         IntrinsicOutcome::value(args[0].as_int()).with_serialized(25)
     });
     r.register("obj_new", |world, args| {
-        let h = world.get_mut::<AllocTable>("objs").alloc(args[0].as_int());
+        let c = args[0].as_int();
+        let h = world.get_mut::<ObjShard>(&objs_slot(c)).table.alloc(c);
         IntrinsicOutcome::value(h).with_serialized(10)
     });
     r.register("intersect_lists", |world, args| {
-        // The object must still be live while intersecting.
-        let _payload = world.get::<AllocTable>("objs").payload(args[0].as_int());
-        let db = world.get::<Eclat>("eclat");
+        // The object must still be live while intersecting; the heavy
+        // kernel reads only the stripe's shared-database reference, so it
+        // runs without touching the group-level `eclat` slot.
+        let h = args[0].as_int();
+        let shard = world.get::<ObjShard>(&objs_slot(h));
+        let _payload = shard.table.payload(h);
         let c = args[1].as_int() as usize;
-        let sup = db.intersect(c);
-        let work = (db.tidlists[c].len() + db.prev.len()) as u64 * 12;
+        let sup = shard.db.intersect(c);
+        let work = (shard.db.tidlists[c].len() + shard.db.prev.len()) as u64 * 12;
         IntrinsicOutcome::value(sup)
             .with_cost(work)
             .with_serialized(0)
@@ -241,17 +280,49 @@ pub fn registry() -> Registry {
         IntrinsicOutcome::unit()
     });
     r.register("obj_del", |world, args| {
-        world.get_mut::<AllocTable>("objs").free(args[0].as_int());
+        let h = args[0].as_int();
+        world.get_mut::<ObjShard>(&objs_slot(h)).table.free(h);
         IntrinsicOutcome::unit().with_serialized(8)
     });
+    let objs_by_arg0 = || {
+        vec![SlotBinding::Striped {
+            base: "objs".into(),
+            stripes: WORLD_STRIPES,
+            arg: 0,
+        }]
+    };
+    r.bind("num_cands", vec![]); // pure: touches no world slot
+    r.bind("db_read", vec![SlotBinding::Fixed("eclat".into())]);
+    r.bind("obj_new", objs_by_arg0());
+    r.bind("intersect_lists", objs_by_arg0());
+    r.bind("lists_insert", vec![SlotBinding::Fixed("eclat".into())]);
+    r.bind("stat_count", vec![SlotBinding::Fixed("eclat".into())]);
+    r.bind("stat_max", vec![SlotBinding::Fixed("eclat".into())]);
+    r.bind("obj_del", objs_by_arg0());
     r
 }
 
-/// Fresh input world.
+/// Fresh input world: the shared mining state plus [`WORLD_STRIPES`]
+/// object-table stripes (`objs#0` … `objs#7`) sharing the database.
 pub fn make_world() -> World {
     let mut w = World::new();
-    w.install("eclat", Eclat::generate(SEED));
-    w.install("objs", AllocTable::default());
+    let db = Arc::new(EclatDb::generate(SEED));
+    w.install(
+        "eclat",
+        Eclat {
+            db: Arc::clone(&db),
+            ..Eclat::default()
+        },
+    );
+    for k in 0..WORLD_STRIPES {
+        w.install(
+            &stripe_slot("objs", k),
+            ObjShard {
+                table: AllocTable::with_stride(k, WORLD_STRIPES),
+                db: Arc::clone(&db),
+            },
+        );
+    }
     w
 }
 
@@ -272,7 +343,14 @@ fn validate(seq: &World, par: &World) -> Result<(), String> {
     if s.cursor != p.cursor {
         return Err("database cursor differs".into());
     }
-    if par.get::<AllocTable>("objs").live_count() != 0 {
+    let live: usize = (0..WORLD_STRIPES)
+        .map(|k| {
+            par.get::<ObjShard>(&stripe_slot("objs", k))
+                .table
+                .live_count()
+        })
+        .sum();
+    if live != 0 {
         return Err("leaked itemset objects".into());
     }
     Ok(())

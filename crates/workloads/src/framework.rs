@@ -244,6 +244,43 @@ impl Workload {
         Ok((out.sim_time, world, out.stats))
     }
 
+    /// Runs one scheme at `nthreads` on **real OS threads** under `cfg`
+    /// — the entry point of the wall-clock bench harness and of the
+    /// sharded-world equivalence suite. The executor's `cfg.world` knob
+    /// selects the locking discipline (single mutex vs sharded).
+    ///
+    /// # Errors
+    ///
+    /// `Err(Ok(diag))` when the scheme does not apply; `Err(Err(e))` when
+    /// the real-thread executor reports a structured failure.
+    #[allow(clippy::type_complexity)]
+    pub fn run_scheme_threaded(
+        &self,
+        spec: &SchemeSpec,
+        nthreads: usize,
+        cfg: &commset_interp::ExecConfig,
+    ) -> Result<commset_interp::ThreadOutcome, Result<Diagnostic, ExecError>> {
+        let compiler = self.compiler();
+        let source: String = if spec.commset {
+            self.variants[spec.variant].clone()
+        } else {
+            self.plain_source()
+        };
+        let analysis = compiler.analyze(&source).map_err(Ok)?;
+        let (module, plan) = compiler
+            .compile(&analysis, spec.scheme, nthreads, spec.sync)
+            .map_err(Ok)?;
+        let world = (self.make_world)();
+        commset_interp::run_threaded_with(
+            &module,
+            &self.registry,
+            std::slice::from_ref(&plan),
+            world,
+            cfg,
+        )
+        .map_err(Err)
+    }
+
     /// Speedup of `spec` at `nthreads` over the sequential baseline,
     /// validating the parallel world. `None` when inapplicable.
     ///

@@ -19,12 +19,12 @@
 
 use crate::framework::{PaperRow, SchemeSpec, Workload};
 use crate::md5;
-use crate::worldlib::{Console, VirtualFs};
+use crate::worldlib::{Console, FsShard, VirtualFs};
 use commset::{Scheme, SyncMode};
 use commset_ir::IntrinsicTable;
 use commset_lang::ast::Type;
 use commset_runtime::intrinsics::IntrinsicOutcome;
-use commset_runtime::{Registry, World};
+use commset_runtime::{stripe_of, stripe_slot, Registry, SlotBinding, World, WORLD_STRIPES};
 use std::sync::Arc;
 
 /// Number of input files.
@@ -157,55 +157,88 @@ pub fn table() -> IntrinsicTable {
     t
 }
 
-/// Intrinsic handlers over the virtual filesystem and console.
+/// The stripe slot a file index or stream handle belongs to. The two key
+/// kinds agree by construction: `fs_open(i)` runs in stripe `i mod 8` and
+/// that stripe's [`FsShard`] hands out handles with
+/// `handle mod 8 == i mod 8`, so every later per-handle call routes back
+/// to the stripe that opened the stream.
+fn fs_slot(key: i64) -> String {
+    stripe_slot("fs", stripe_of(key, WORLD_STRIPES))
+}
+
+/// Intrinsic handlers over the striped virtual filesystem and console,
+/// with slot bindings declaring each intrinsic's world footprint (the
+/// sharded world's routing map).
 pub fn registry() -> Registry {
     let mut r = Registry::new();
     r.register("file_count", |world, _| {
-        IntrinsicOutcome::value(world.get::<VirtualFs>("fs").files.len() as i64)
+        IntrinsicOutcome::value(world.get::<FsShard>(&fs_slot(0)).files.len() as i64)
     });
     r.register("fs_open", |world, args| {
-        let h = world
-            .get_mut::<VirtualFs>("fs")
-            .open(args[0].as_int() as usize);
+        let idx = args[0].as_int();
+        let h = world.get_mut::<FsShard>(&fs_slot(idx)).open(idx as usize);
         IntrinsicOutcome::value(h).with_serialized(8)
     });
     r.register("fs_read_block", |world, args| {
         // I/O only: stages the next block for hashing. The disk/page-cache
         // transfer mostly overlaps; stream bookkeeping serializes.
-        let fs = world.get_mut::<VirtualFs>("fs");
         let h = args[0].as_int();
+        let fs = world.get_mut::<FsShard>(&fs_slot(h));
         let taken = fs.stage_block(h, BLOCK);
         IntrinsicOutcome::value(i64::from(taken > 0)).with_serialized(6)
     });
     r.register("md5_chunk", |world, args| {
         // Hashing is private compute on the staged block: never inside a
         // critical section, exactly like md5_update in the real program.
-        let fs = world.get_mut::<VirtualFs>("fs");
-        let taken = fs.hash_staged(args[0].as_int());
+        let h = args[0].as_int();
+        let taken = world.get_mut::<FsShard>(&fs_slot(h)).hash_staged(h);
         IntrinsicOutcome::unit()
             .with_cost(taken as u64)
             .with_serialized(0)
     });
     r.register("fs_digest", |world, args| {
-        let fs = world.get::<VirtualFs>("fs");
-        let d = md5::digest_i64(&fs.digest(args[0].as_int()));
+        let h = args[0].as_int();
+        let d = md5::digest_i64(&world.get::<FsShard>(&fs_slot(h)).digest(h));
         IntrinsicOutcome::value(d).with_serialized(0)
     });
     r.register("fs_close", |world, args| {
-        world.get_mut::<VirtualFs>("fs").close(args[0].as_int());
+        let h = args[0].as_int();
+        world.get_mut::<FsShard>(&fs_slot(h)).close(h);
         IntrinsicOutcome::unit().with_serialized(8)
     });
     r.register("print_digest", |world, args| {
         world.get_mut::<Console>("console").print(args[0].as_int());
         IntrinsicOutcome::unit()
     });
+    let fs_by_arg0 = || {
+        vec![SlotBinding::Striped {
+            base: "fs".into(),
+            stripes: WORLD_STRIPES,
+            arg: 0,
+        }]
+    };
+    r.bind("file_count", vec![SlotBinding::Fixed(stripe_slot("fs", 0))]);
+    r.bind("fs_open", fs_by_arg0());
+    r.bind("fs_read_block", fs_by_arg0());
+    r.bind("md5_chunk", fs_by_arg0());
+    r.bind("fs_digest", fs_by_arg0());
+    r.bind("fs_close", fs_by_arg0());
+    r.bind("print_digest", vec![SlotBinding::Fixed("console".into())]);
     r
 }
 
-/// Fresh input world: the virtual files plus an empty console.
+/// Fresh input world: the virtual files striped into [`WORLD_STRIPES`]
+/// shard slots (`fs#0` … `fs#7`, sharing the file contents) plus an
+/// empty console.
 pub fn make_world() -> World {
     let mut w = World::new();
-    w.install("fs", VirtualFs::generate(FILE_COUNT, 4, 4, SEED));
+    let files = Arc::new(VirtualFs::generate(FILE_COUNT, 4, 4, SEED).files);
+    for k in 0..WORLD_STRIPES {
+        w.install(
+            &stripe_slot("fs", k),
+            FsShard::new(Arc::clone(&files), k, WORLD_STRIPES),
+        );
+    }
     w.install("console", Console::default());
     w
 }
@@ -229,9 +262,11 @@ fn validate(seq: &World, par: &World) -> Result<(), String> {
             p.lines.len()
         ));
     }
-    // No stream leaks.
-    if !par.get::<VirtualFs>("fs").streams.is_empty() {
-        return Err("leaked open streams".to_string());
+    // No stream leaks in any stripe.
+    for k in 0..WORLD_STRIPES {
+        if !par.get::<FsShard>(&fs_slot(k as i64)).streams.is_empty() {
+            return Err(format!("leaked open streams in stripe {k}"));
+        }
     }
     Ok(())
 }

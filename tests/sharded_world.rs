@@ -1,0 +1,178 @@
+//! Sharded-world equivalence regression suite.
+//!
+//! The sharded world (`commset-runtime`'s `ShardedWorld`) must be
+//! *observationally indistinguishable* from the historical single
+//! `Mutex<World>`: for every workload, every applicable scheme, and
+//! every thread count, the final worlds of a single-lock run and a
+//! sharded run must both validate against the sequential oracle, and
+//! their watchdog reports must stay clean. Workloads whose registries
+//! declare slot bindings additionally have to *use* the sharded fast
+//! path (otherwise the suite would be vacuous for them).
+
+use commset::Scheme;
+use commset_interp::{ExecConfig, ThreadOutcome, WorldMode};
+use commset_sim::CostModel;
+use commset_workloads::{all, SchemeSpec, Workload};
+
+const THREADS: [usize; 3] = [2, 4, 8];
+
+/// Runs one scheme on real threads under `mode`; `None` when the scheme
+/// does not apply, panic on executor failure (these runs are fault-free).
+fn run(w: &Workload, spec: &SchemeSpec, threads: usize, mode: WorldMode) -> Option<ThreadOutcome> {
+    let cfg = ExecConfig {
+        world: mode,
+        ..ExecConfig::default()
+    };
+    match w.run_scheme_threaded(spec, threads, &cfg) {
+        Ok(out) => Some(out),
+        Err(Ok(_diag)) => None,
+        Err(Err(e)) => panic!(
+            "{}: {} x{threads} ({mode:?}): executor failed: {e}",
+            w.name, spec.label
+        ),
+    }
+}
+
+/// Every workload x applicable scheme x {2,4,8} threads: the sharded
+/// world and the single-lock world both validate against the sequential
+/// oracle, with clean watchdogs.
+#[test]
+fn sharded_and_single_lock_worlds_agree_with_the_sequential_oracle() {
+    let cm = CostModel::default();
+    let mut compared = 0u32;
+    for w in all() {
+        let (_, seq_world) = w.run_sequential(&cm);
+        for spec in &w.schemes {
+            if spec.scheme == Scheme::Sequential {
+                continue;
+            }
+            for threads in THREADS {
+                let Some(single) = run(&w, spec, threads, WorldMode::SingleLock) else {
+                    continue;
+                };
+                let sharded = run(&w, spec, threads, WorldMode::Sharded)
+                    .expect("sharded applicability must match single-lock");
+                for (label, out) in [("single-lock", &single), ("sharded", &sharded)] {
+                    (w.validate)(&seq_world, &out.world).unwrap_or_else(|e| {
+                        panic!("{}: {} x{threads} ({label}): {e}", w.name, spec.label)
+                    });
+                    assert!(
+                        out.stats.watchdog.is_clean(),
+                        "{}: {} x{threads} ({label}): watchdog {:?}",
+                        w.name,
+                        spec.label,
+                        out.stats.watchdog
+                    );
+                }
+                // The single-lock run must never touch shard counters.
+                assert_eq!(
+                    single.stats.shard,
+                    Default::default(),
+                    "{}: {} x{threads}: single-lock run bumped shard stats",
+                    w.name,
+                    spec.label
+                );
+                compared += 1;
+            }
+        }
+    }
+    assert!(compared >= 60, "matrix too small: only {compared} runs");
+}
+
+/// Workloads with declared slot bindings must exercise the sharded fast
+/// path — single-slot footprints routed to one shard lock — not just
+/// fall through to the whole-world gather.
+#[test]
+fn bound_workloads_use_the_sharded_fast_path() {
+    let mut bound = 0u32;
+    for w in all() {
+        if !w.registry.has_bindings() {
+            continue;
+        }
+        bound += 1;
+        let spec = w
+            .schemes
+            .iter()
+            .find(|s| s.scheme != Scheme::Sequential)
+            .expect("bound workloads have a parallel scheme");
+        let out = run(&w, spec, 4, WorldMode::Sharded).expect("bound scheme applies");
+        assert!(
+            out.stats.shard.fast_acquires > 0,
+            "{}: {}: no fast-path acquisitions: {:?}",
+            w.name,
+            spec.label,
+            out.stats.shard
+        );
+        assert!(
+            out.stats.shard.fast_acquires > out.stats.shard.whole_acquires,
+            "{}: {}: the whole-world slow path dominates: {:?}",
+            w.name,
+            spec.label,
+            out.stats.shard
+        );
+    }
+    assert!(bound >= 2, "md5sum and ECLAT must declare bindings");
+}
+
+/// `WorldMode::Auto` equals the explicit modes it resolves to: sharded
+/// for bound registries, single-lock otherwise — same final world either
+/// way (validated against the oracle), and the shard counters reveal
+/// which implementation ran.
+#[test]
+fn auto_mode_resolves_by_bindings_and_stays_equivalent() {
+    let cm = CostModel::default();
+    for w in all() {
+        let (_, seq_world) = w.run_sequential(&cm);
+        let Some(spec) = w.schemes.iter().find(|s| s.scheme != Scheme::Sequential) else {
+            continue;
+        };
+        let Some(auto) = run(&w, spec, 4, WorldMode::Auto) else {
+            continue;
+        };
+        (w.validate)(&seq_world, &auto.world)
+            .unwrap_or_else(|e| panic!("{}: {} (auto): {e}", w.name, spec.label));
+        let used_shards = auto.stats.shard != Default::default();
+        assert_eq!(
+            used_shards,
+            w.registry.has_bindings(),
+            "{}: auto mode resolved against the registry's bindings",
+            w.name
+        );
+    }
+}
+
+/// The DSWP queue batching knob must not change results: the md5sum
+/// pipeline's world is identical across batch sizes (including 1, which
+/// disables batching), under both world modes.
+#[test]
+fn queue_batch_sizes_do_not_change_pipeline_results() {
+    let cm = CostModel::default();
+    let workloads = all();
+    let w = workloads
+        .iter()
+        .find(|w| w.name == "md5sum")
+        .expect("md5sum exists");
+    let spec = w
+        .schemes
+        .iter()
+        .find(|s| s.scheme == Scheme::PsDswp)
+        .expect("md5sum has a PS-DSWP scheme");
+    let (_, seq_world) = w.run_sequential(&cm);
+    for mode in [WorldMode::SingleLock, WorldMode::Sharded] {
+        for batch in [1usize, 2, 8, 64] {
+            let cfg = ExecConfig {
+                world: mode,
+                queue_batch: batch,
+                ..ExecConfig::default()
+            };
+            let out = w
+                .run_scheme_threaded(spec, 4, &cfg)
+                .unwrap_or_else(|e| match e {
+                    Ok(d) => panic!("md5sum PS-DSWP inapplicable: {d}"),
+                    Err(e) => panic!("md5sum PS-DSWP (batch {batch}, {mode:?}): {e}"),
+                });
+            (w.validate)(&seq_world, &out.world)
+                .unwrap_or_else(|e| panic!("batch {batch} ({mode:?}): {e}"));
+        }
+    }
+}

@@ -13,7 +13,7 @@ use commset_interp::{run_threaded_with, ExecConfig, ExecError};
 use commset_ir::IntrinsicTable;
 use commset_lang::ast::Type;
 use commset_runtime::intrinsics::IntrinsicOutcome;
-use commset_runtime::{FaultPlan, Registry, WorkerStall, World};
+use commset_runtime::{FaultPlan, Registry, SlotBinding, WorkerStall, World};
 use commset_sim::CostModel;
 use commset_workloads::all;
 
@@ -26,6 +26,7 @@ fn plans() -> Vec<(&'static str, FaultPlan)> {
         ("lock_delay", FaultPlan::lock_delay(0x1D, 900)),
         ("worker_stall", FaultPlan::worker_stall(0x57, 1, 1500)),
         ("queue_pushback", FaultPlan::queue_pushback(0x9B)),
+        ("shard_hold", FaultPlan::shard_hold(0x5D, 800)),
         (
             "everything_at_once",
             FaultPlan {
@@ -39,6 +40,8 @@ fn plans() -> Vec<(&'static str, FaultPlan)> {
                     cost: 1100,
                 }),
                 queue_capacity_clamp: Some(1),
+                shard_hold_every: 3,
+                shard_hold_cost: 500,
             },
         ),
     ]
@@ -163,6 +166,9 @@ fn reduction_setup() -> (Compiler, Registry) {
         *world.get_mut::<i64>("acc") += args[0].as_int();
         IntrinsicOutcome::unit().with_cost(6).with_serialized(2)
     });
+    // A declared footprint routes `add` through the sharded world's
+    // single-shard fast path when the executor picks `WorldMode::Auto`.
+    r.bind("add", vec![SlotBinding::Fixed("acc".into())]);
     (Compiler::new(t), r)
 }
 
@@ -178,6 +184,8 @@ fn pipeline_setup() -> (Compiler, Registry) {
         world.get_mut::<Vec<i64>>("sink").push(args[0].as_int());
         IntrinsicOutcome::unit().with_cost(6).with_serialized(2)
     });
+    r.bind("produce", vec![]); // pure: locks nothing
+    r.bind("consume", vec![SlotBinding::Fixed("sink".into())]);
     (Compiler::new(t), r)
 }
 
@@ -231,6 +239,70 @@ fn threaded_pipeline_survives_every_fault_plan() {
             "pipeline under {label}: {:?}",
             out.stats.watchdog
         );
+    }
+}
+
+/// Multi-shard footprints under shard-hold faults: an intrinsic whose
+/// declared footprint spans two stripes forces the sharded world's
+/// gather/scatter path on every call, while the fault plan sleeps
+/// *inside* the multi-shard hold. The run must stay exact, the
+/// watchdog clean (shard ranks are totally ordered above the CommSet
+/// locks), and the plan must actually have fired.
+#[test]
+fn multi_shard_holds_survive_shard_fault_plans_on_real_threads() {
+    let mut t = IntrinsicTable::new();
+    t.register("add", vec![Type::Int], Type::Void, &[], &["ACC"], 6);
+    let mut r = Registry::new();
+    r.register("add", |world, args| {
+        let v = args[0].as_int();
+        *world.get_mut::<i64>("acc#1") += v;
+        *world.get_mut::<i64>("acc#6") += v;
+        IntrinsicOutcome::unit().with_cost(6).with_serialized(2)
+    });
+    // Two striped slots on different shards: every call is a
+    // multi-shard acquisition (indices 1 and 6, taken ascending).
+    r.bind(
+        "add",
+        vec![
+            SlotBinding::Fixed("acc#1".into()),
+            SlotBinding::Fixed("acc#6".into()),
+        ],
+    );
+    let c = Compiler::new(t);
+    let a = c.analyze(REDUCTION).expect("analyzes");
+    let expected: i64 = (0..96).sum();
+    let (module, plan) = c
+        .compile(&a, Scheme::Doall, 4, SyncMode::Mutex)
+        .expect("applies");
+    for (label, fault) in [
+        ("shard_hold", FaultPlan::shard_hold(0x5D, 800)),
+        ("none", FaultPlan::none()),
+    ] {
+        let cfg = ExecConfig::with_fault(fault);
+        let mut world = World::new();
+        world.install("acc#1", 0i64);
+        world.install("acc#6", 0i64);
+        let out = run_threaded_with(&module, &r, std::slice::from_ref(&plan), world, &cfg)
+            .unwrap_or_else(|e| panic!("multi-shard under {label}: {e}"));
+        assert_eq!(*out.world.get::<i64>("acc#1"), expected, "{label}");
+        assert_eq!(*out.world.get::<i64>("acc#6"), expected, "{label}");
+        assert!(
+            out.stats.watchdog.is_clean(),
+            "{label}: {:?}",
+            out.stats.watchdog
+        );
+        assert!(
+            out.stats.shard.multi_acquires > 0,
+            "{label}: footprint never took the multi-shard path: {:?}",
+            out.stats.shard
+        );
+        if label == "shard_hold" {
+            assert!(
+                out.stats.fault.shard_holds > 0,
+                "shard-hold plan never fired: {:?}",
+                out.stats.fault
+            );
+        }
     }
 }
 
