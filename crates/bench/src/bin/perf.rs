@@ -19,7 +19,9 @@
 //! external serialization dependency): one entry per
 //! `workload x scheme x thread-count`, with wall-clock microseconds and
 //! contention counters for both world modes, the sharded-over-single
-//! ratio, and per-mode speedups over the same scheme at one thread.
+//! ratio, per-mode speedups over the same scheme at one thread, and a
+//! full telemetry `RunReport` (stage balance, lock contention by rank,
+//! queue traffic) captured by one extra untimed instrumented run.
 //! Every measured run is validated against the sequential oracle — a
 //! benchmark that computes the wrong answer aborts.
 
@@ -27,6 +29,7 @@ use commset::Scheme;
 use commset_interp::{ExecConfig, ThreadOutcome, WorldMode};
 use commset_runtime::ShardStatsSnapshot;
 use commset_sim::CostModel;
+use commset_telemetry::RunReport;
 use commset_workloads::{SchemeSpec, Workload};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -38,6 +41,9 @@ struct Cell {
     shard: ShardStatsSnapshot,
     queue_full_spins: u64,
     queue_empty_spins: u64,
+    /// The unified profiling report from one extra, *untimed* run with
+    /// telemetry on (so the measured iterations stay instrumentation-free).
+    telemetry: Option<RunReport>,
 }
 
 struct Row {
@@ -99,11 +105,22 @@ fn measure(
         }
     }
     let last = last?;
+    // One extra run with telemetry on, outside the timed loop: the report
+    // rides along in the JSON without perturbing the wall-clock numbers.
+    let telem_cfg = ExecConfig {
+        telemetry: true,
+        ..cfg
+    };
+    let telemetry = w
+        .run_scheme_threaded(spec, threads, &telem_cfg)
+        .ok()
+        .and_then(|out| out.telemetry);
     Some(Cell {
         wall_us: median(walls),
         shard: last.stats.shard,
         queue_full_spins: last.stats.queue_full_spins,
         queue_empty_spins: last.stats.queue_empty_spins,
+        telemetry,
     })
 }
 
@@ -111,14 +128,18 @@ fn cell_json(c: &Cell) -> String {
     format!(
         "{{\"wall_us\": {}, \"shard\": {{\"fast_acquires\": {}, \"fast_waits\": {}, \
          \"multi_acquires\": {}, \"whole_acquires\": {}}}, \
-         \"queue_full_spins\": {}, \"queue_empty_spins\": {}}}",
+         \"queue_full_spins\": {}, \"queue_empty_spins\": {}, \"telemetry\": {}}}",
         c.wall_us,
         c.shard.fast_acquires,
         c.shard.fast_waits,
         c.shard.multi_acquires,
         c.shard.whole_acquires,
         c.queue_full_spins,
-        c.queue_empty_spins
+        c.queue_empty_spins,
+        c.telemetry
+            .as_ref()
+            .map(|r| r.to_json())
+            .unwrap_or_else(|| "null".to_string())
     )
 }
 

@@ -261,6 +261,8 @@ pub fn check_source(
                         diffs: Vec::new(),
                         canonical: render_interleaving(&canonical_log),
                         failing: String::new(),
+                        canonical_log: canonical_log.clone(),
+                        failing_log: Vec::new(),
                         suspect: None,
                         error: Some(e.to_string()),
                     })),
@@ -279,6 +281,8 @@ pub fn check_source(
                             diffs,
                             canonical: render_interleaving(&canonical_log),
                             failing: render_interleaving(&outcome.log),
+                            canonical_log: canonical_log.clone(),
+                            failing_log: outcome.log.clone(),
                             suspect,
                             error: None,
                         })),

@@ -10,6 +10,7 @@
 
 use crate::exec::RegionExec;
 use commset_analysis::RegionInfo;
+use commset_telemetry::ChromeTraceBuilder;
 
 /// Why a schedule's outcome differed from the oracle.
 #[derive(Debug, Clone)]
@@ -25,12 +26,59 @@ pub struct CheckFailure {
     pub canonical: String,
     /// The failing schedule's region interleaving, rendered.
     pub failing: String,
+    /// The canonical interleaving's raw region log (position order).
+    pub canonical_log: Vec<RegionExec>,
+    /// The failing interleaving's raw region log (position order).
+    pub failing_log: Vec<RegionExec>,
     /// The first position where the two interleavings diverge, with the
     /// region instances on each side — the non-commuting suspect pair.
     pub suspect: Option<(usize, RegionExec, RegionExec)>,
     /// Set if the schedule aborted (deadlock, budget, dynamic error)
     /// rather than completing with a different history.
     pub error: Option<String>,
+}
+
+impl CheckFailure {
+    /// Exports the two interleavings as one Chrome trace-event JSON
+    /// document (loadable in `chrome://tracing` or
+    /// <https://ui.perfetto.dev>): process 0 is the canonical schedule,
+    /// process 1 the failing one, each worker a thread, and each region
+    /// instance a unit-duration slice at its position index — so the two
+    /// timelines line up and the divergence is visible at a glance.
+    pub fn chrome_trace_json(&self) -> String {
+        let mut b = ChromeTraceBuilder::new();
+        let failing = format!("failing schedule `{}`", self.schedule);
+        let sides = [
+            (0u64, "canonical schedule", &self.canonical_log),
+            (1u64, failing.as_str(), &self.failing_log),
+        ];
+        for (pid, name, log) in &sides {
+            b.meta_process_name(*pid, name);
+            let workers: std::collections::BTreeSet<usize> = log.iter().map(|r| r.worker).collect();
+            for w in workers {
+                b.meta_thread_name(*pid, w as u64, &format!("worker {w}"));
+            }
+        }
+        for (pid, _, log) in &sides {
+            for (pos, r) in log.iter().enumerate() {
+                let args = r
+                    .args
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                b.complete(
+                    *pid,
+                    r.worker as u64,
+                    &format!("{}({args})", r.func),
+                    "region",
+                    pos as f64,
+                    1.0,
+                );
+            }
+        }
+        b.finish()
+    }
 }
 
 /// The explorer's overall verdict.
@@ -171,6 +219,8 @@ mod tests {
                 diffs: vec!["channel CONSOLE: ordered histories differ".into()],
                 canonical: "  [w0] __commset_region_0(0)\n".into(),
                 failing: "  [w1] __commset_region_0(1)\n".into(),
+                canonical_log: vec![region(0, "__commset_region_0", 0)],
+                failing_log: vec![region(1, "__commset_region_0", 1)],
                 suspect: Some((
                     0,
                     region(0, "__commset_region_0", 0),
@@ -197,6 +247,36 @@ mod tests {
         assert!(text.contains("set FSET at line 7"), "{text}");
         assert!(text.contains("canonical interleaving"), "{text}");
         assert!(text.contains("explored: canonical, reverse"), "{text}");
+    }
+
+    #[test]
+    fn failure_exports_both_interleavings_as_chrome_trace() {
+        let fail = CheckFailure {
+            scheme: "DOALL".into(),
+            schedule: "reverse".into(),
+            diffs: vec![],
+            canonical: String::new(),
+            failing: String::new(),
+            canonical_log: vec![
+                region(0, "__commset_region_0", 0),
+                region(1, "__commset_region_0", 1),
+            ],
+            failing_log: vec![
+                region(1, "__commset_region_0", 1),
+                region(0, "__commset_region_0", 0),
+            ],
+            suspect: None,
+            error: None,
+        };
+        let doc = fail.chrome_trace_json();
+        assert!(doc.starts_with("{\"traceEvents\": ["), "{doc}");
+        assert!(doc.contains("\"canonical schedule\""), "{doc}");
+        assert!(doc.contains("failing schedule `reverse`"), "{doc}");
+        // Two sides x two regions = four complete events, plus metadata.
+        let slices = doc.lines().filter(|l| l.contains("\"ph\": \"X\"")).count();
+        assert_eq!(slices, 4, "{doc}");
+        assert!(doc.contains("\"pid\": 1"), "{doc}");
+        assert!(doc.contains("__commset_region_0(1)"), "{doc}");
     }
 
     #[test]

@@ -11,6 +11,10 @@
 //!                            [--effects prog.effects]
 //! commsetc check    prog.cmm [--effects prog.effects] [--threads N]
 //!                            [--budget N] [--seed N] [--fuzz]
+//!                            [--trace-out fail.json]
+//! commsetc profile  prog.cmm --scheme dswp [--sync spin] [--threads N]
+//!                            [--effects prog.effects] [--real]
+//!                            [--trace-out run.json]
 //! ```
 //!
 //! `check` runs the dynamic commutativity checker: it replays the
@@ -20,7 +24,18 @@
 //! a set with `SELF`, strip `NoSync`) and asserts the weakened variants
 //! are caught. The sidecar's `commutative CHANS` and `model size= stream=`
 //! directives configure the checker's abstract world. Exit status: 0 if
-//! the verdict is clean, 1 otherwise.
+//! the verdict is clean, 1 otherwise. With `--trace-out`, a failing check
+//! additionally writes the canonical and failing interleavings as one
+//! Chrome trace-event JSON file.
+//!
+//! `profile` executes one run of the chosen schedule against a synthetic
+//! deterministic world (the checker's model semantics, costs from the
+//! sidecar) with telemetry on, and prints the unified run profile: stage
+//! balance, lock contention by rank, queue traffic and runtime counters.
+//! The default backend is the discrete-event simulator (bit-deterministic
+//! profiles); `--real` uses OS threads and monotonic clocks instead.
+//! `--trace-out FILE` also writes the span timeline as Chrome trace-event
+//! JSON, loadable in `chrome://tracing` or <https://ui.perfetto.dev>.
 //!
 //! Intrinsic *types* come from the source's `extern` declarations. Their
 //! *effects* come from an optional sidecar file (`--effects`), one line
@@ -41,18 +56,21 @@
 //! touching those channels. Externs absent from the sidecar default to
 //! pure compute with cost 100.
 
+use commset::profile::run_profile;
 use commset::spec::{build_table, parse_effects, EffectsSpec};
 use commset::{Compiler, Scheme, SyncMode};
 use commset_checker::{check_source, fuzz_annotations, CheckConfig, ModelConfig};
 use commset_lang::printer::print_program;
+use commset_telemetry::chrome_trace_json;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: commsetc <analyze|schedules|emit|check> <file.cmm> \
+        "usage: commsetc <analyze|schedules|emit|check|profile> <file.cmm> \
          [--effects <file>] [--pdg] [--threads N] \
          [--scheme doall|dswp|ps-dswp] [--sync spin|mutex|tm|lib] \
-         [--hot-func NAME] [--budget N] [--seed N] [--fuzz]"
+         [--hot-func NAME] [--budget N] [--seed N] [--fuzz] \
+         [--trace-out <file.json>] [--real]"
     );
     ExitCode::from(2)
 }
@@ -70,12 +88,17 @@ struct Args {
     budget: Option<usize>,
     seed: Option<u64>,
     fuzz: bool,
+    trace_out: Option<String>,
+    real: bool,
 }
 
 fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
     argv.next(); // program name
     let command = argv.next().ok_or("missing command")?;
-    if !matches!(command.as_str(), "analyze" | "schedules" | "emit" | "check") {
+    if !matches!(
+        command.as_str(),
+        "analyze" | "schedules" | "emit" | "check" | "profile"
+    ) {
         return Err(format!("unknown command `{command}`"));
     }
     let file = argv.next().ok_or("missing input file")?;
@@ -91,6 +114,8 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         budget: None,
         seed: None,
         fuzz: false,
+        trace_out: None,
+        real: false,
     };
     while let Some(flag) = argv.next() {
         let mut value = || argv.next().ok_or(format!("{flag} needs a value"));
@@ -135,6 +160,8 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
                 )
             }
             "--fuzz" => args.fuzz = true,
+            "--trace-out" => args.trace_out = Some(value()?),
+            "--real" => args.real = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -237,12 +264,48 @@ fn run(args: &Args) -> Result<(), String> {
                 let report =
                     check_source(&source, &compiler.intrinsics, &cfg).map_err(|d| d.to_string())?;
                 print!("{report}");
+                if let commset_checker::Verdict::Fail(fail) = &report.verdict {
+                    // A failing check exports both interleavings as a
+                    // Chrome trace so the divergence can be eyeballed.
+                    if let Some(path) = &args.trace_out {
+                        std::fs::write(path, fail.chrome_trace_json())
+                            .map_err(|e| format!("{path}: {e}"))?;
+                        eprintln!("wrote schedule trace to {path}");
+                    }
+                }
                 if report.is_fail() {
                     Err("commutativity check failed".to_string())
                 } else {
                     Ok(())
                 }
             }
+        }
+        "profile" => {
+            let scheme = args
+                .scheme
+                .ok_or("profile needs --scheme doall|dswp|ps-dswp")?;
+            let out = run_profile(
+                &compiler,
+                &analysis,
+                &spec,
+                scheme,
+                args.threads,
+                args.sync,
+                args.real,
+            )?;
+            print!("{}", out.report.render_text());
+            if let Some(t) = out.sim_time {
+                println!("total simulated time: {t} ticks");
+            }
+            if let Some(path) = &args.trace_out {
+                std::fs::write(path, chrome_trace_json(&out.report))
+                    .map_err(|e| format!("{path}: {e}"))?;
+                eprintln!(
+                    "wrote Chrome trace to {path} \
+                     (load in chrome://tracing or ui.perfetto.dev)"
+                );
+            }
+            Ok(())
         }
         "emit" => {
             let scheme = args
@@ -353,6 +416,27 @@ mod tests {
         assert_eq!(a.budget, Some(12));
         assert_eq!(a.seed, Some(7));
         assert!(a.fuzz);
+
+        let a = args(&[
+            "profile",
+            "p.cmm",
+            "--scheme",
+            "dswp",
+            "--threads",
+            "4",
+            "--trace-out",
+            "run.json",
+            "--real",
+        ])
+        .unwrap();
+        assert_eq!(a.command, "profile");
+        assert_eq!(a.scheme, Some(Scheme::Dswp));
+        assert_eq!(a.trace_out.as_deref(), Some("run.json"));
+        assert!(a.real);
+        // Defaults: DES backend, no trace export.
+        let a = args(&["profile", "p.cmm", "--scheme", "doall"]).unwrap();
+        assert!(!a.real);
+        assert!(a.trace_out.is_none());
     }
 
     #[test]
@@ -369,9 +453,30 @@ mod tests {
         assert!(args(&["analyze", "f.cmm", "--frobnicate"]).is_err());
         assert!(args(&["check", "f.cmm", "--budget", "lots"]).is_err());
         assert!(args(&["check", "f.cmm", "--seed", "entropy"]).is_err());
+        assert!(
+            args(&["profile", "f.cmm", "--trace-out"]).is_err(),
+            "value missing"
+        );
         // Unknown commands are rejected before any file is touched.
         let err = args(&["bogus", "f.cmm"]).unwrap_err();
         assert!(err.contains("unknown command"), "{err}");
+    }
+
+    #[test]
+    fn profile_without_scheme_is_a_run_error() {
+        let dir = std::env::temp_dir().join("commsetc_profile_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("p.cmm");
+        std::fs::write(
+            &file,
+            "int main() {\n    int n = 4;\n    int s = 0;\n    \
+             for (int i = 0; i < n; i = i + 1) { s = s + i; }\n    \
+             return s;\n}\n",
+        )
+        .unwrap();
+        let a = args(&["profile", file.to_str().unwrap()]).unwrap();
+        let err = run(&a).unwrap_err();
+        assert!(err.contains("--scheme"), "{err}");
     }
 
     #[test]

@@ -48,6 +48,12 @@ pub struct ExecConfig {
     /// with up to this many per shared-queue access. `1` disables
     /// batching; default 8.
     pub queue_batch: usize,
+    /// Collect span-based telemetry (region timings, lock waits vs holds
+    /// keyed by rank, queue blocking, STM windows) and attach a built
+    /// `commset_telemetry::RunReport` to the outcome. Off by default; when
+    /// off the executors consult only this flag, so runs pay no telemetry
+    /// cost.
+    pub telemetry: bool,
 }
 
 impl Default for ExecConfig {
@@ -59,6 +65,7 @@ impl Default for ExecConfig {
             trace: None,
             world: WorldMode::Auto,
             queue_batch: 8,
+            telemetry: false,
         }
     }
 }
@@ -98,5 +105,6 @@ mod tests {
         assert!(c.backoff.max_aborts > 0);
         assert_eq!(c.world, WorldMode::Auto);
         assert!(c.queue_batch >= 1);
+        assert!(!c.telemetry, "telemetry must be opt-in");
     }
 }

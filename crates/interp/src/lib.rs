@@ -19,11 +19,18 @@
 //!   errors, executor-contract violations and parallel-runtime failures
 //!   surface as `Result::Err`, never as panics.
 //! * [`config`] — the shared [`config::ExecConfig`] knob set (fault
-//!   injection, STM retry discipline, waits-for watchdog, trace sink).
+//!   injection, STM retry discipline, waits-for watchdog, trace sink,
+//!   telemetry).
 //! * [`trace`] — deterministic execution-trace recording
 //!   ([`trace::TraceSink`]): region entries/exits, lock ranks, queue
 //!   operations and world-intrinsic calls, consumed by the
 //!   commutativity checker and the differential tests.
+//!
+//! Both parallel executors also support span-based profiling: with
+//! `ExecConfig::telemetry` on, the outcome carries a
+//! [`commset_telemetry::RunReport`] (stage balance, lock contention by
+//! rank, queue traffic, unified counters) built from monotonic-nanosecond
+//! spans on real threads and deterministic ticks under the DES.
 
 pub mod config;
 pub mod error;

@@ -27,6 +27,9 @@ use commset_sim::lock::AcquireOutcome;
 use commset_sim::{
     pick_min_clock, CostModel, PopOutcome, PushOutcome, SimLock, SimLockKind, SimQueue, TmModel,
 };
+use commset_telemetry::{
+    ClockUnit, RunCounters, RunReport, SectionMeta, SpanKind, SpanRecord, TelemetrySink,
+};
 use commset_transform::{ParallelPlan, SyncMode};
 use std::collections::HashMap;
 
@@ -61,6 +64,32 @@ pub struct SimOutcome {
     pub sim_time: u64,
     /// Statistics from the parallel sections.
     pub stats: SimStats,
+    /// The unified profiling report, present iff [`ExecConfig::telemetry`]
+    /// was on. Timestamps are deterministic logical ticks, so the report
+    /// is bit-identical across runs.
+    pub telemetry: Option<RunReport>,
+}
+
+/// Per-section span collection: a no-op (one bool check per call) when
+/// telemetry is off.
+struct SectionTelemetry {
+    on: bool,
+    sec: usize,
+    spans: Vec<SpanRecord>,
+}
+
+impl SectionTelemetry {
+    fn span(&mut self, worker: usize, start: u64, end: u64, kind: SpanKind) {
+        if self.on {
+            self.spans.push(SpanRecord {
+                section: self.sec,
+                worker,
+                start,
+                end,
+                kind,
+            });
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -113,6 +142,9 @@ pub fn run_simulated_with(
     let mut vm = Vm::for_name(module, "main", &[])?;
     let mut sim_time: u64 = 0;
     let mut stats = SimStats::default();
+    let sink = cfg.telemetry.then(TelemetrySink::new);
+    let mut metas: Vec<SectionMeta> = Vec::new();
+    let mut next_ord = 0usize;
     loop {
         match vm.step(&mut globals)? {
             StepOutcome::Ran { cost } => sim_time += cost * cm.inst,
@@ -124,7 +156,13 @@ pub fn run_simulated_with(
                         .iter()
                         .find(|pl| pl.section == section)
                         .ok_or(ExecError::UnknownSection { section })?;
-                    let (end, section_stats) = run_section(
+                    let mut telem = SectionTelemetry {
+                        on: sink.is_some(),
+                        sec: next_ord,
+                        spans: Vec::new(),
+                    };
+                    next_ord += 1;
+                    let (end, section_stats, meta) = run_section(
                         module,
                         registry,
                         plan,
@@ -134,9 +172,14 @@ pub fn run_simulated_with(
                         cm,
                         cfg,
                         &injector,
+                        &mut telem,
                     )?;
                     sim_time = end;
                     merge_stats(&mut stats, section_stats);
+                    if let (Some(s), Some(m)) = (sink.as_ref(), meta) {
+                        s.record_batch(telem.spans);
+                        metas.push(m);
+                    }
                     vm.resolve_special(Value::Int(0));
                 } else {
                     let base = module.intrinsics.sig(p.intrinsic.0 as usize).base_cost;
@@ -147,10 +190,29 @@ pub fn run_simulated_with(
             }
             StepOutcome::Finished(result) => {
                 stats.fault = injector.stats();
+                let telemetry = sink.map(|s| {
+                    let counters = RunCounters {
+                        fault: stats.fault,
+                        watchdog_checks: stats.watchdog.checks,
+                        watchdog_clean: stats.watchdog.is_clean(),
+                        max_blocked: stats.watchdog.max_blocked,
+                        // The DES has no sharded world and no SPSC rings:
+                        // empty-pop counts stand in for empty spins.
+                        shard: Default::default(),
+                        tm_commits: stats.tm_commits,
+                        tm_aborts: stats.tm_aborts,
+                        tm_fallbacks: stats.tm_fallbacks,
+                        queue_full_spins: 0,
+                        queue_empty_spins: stats.queue_stalls,
+                        queue_drained: 0,
+                    };
+                    RunReport::build(ClockUnit::Ticks, s.take(), metas, counters)
+                });
                 return Ok(SimOutcome {
                     result,
                     sim_time,
                     stats,
+                    telemetry,
                 });
             }
         }
@@ -193,9 +255,20 @@ struct Worker<'m> {
     /// True when retrying a lock acquisition after having blocked on it
     /// (pays the contention penalty).
     lock_retry: bool,
+    /// Telemetry: clock at which the current blocking wait began (a worker
+    /// blocks on at most one lock or queue endpoint at a time).
+    block_start: Option<u64>,
+    /// Telemetry: lock rank -> grant tick of the currently held lock.
+    lock_held: HashMap<usize, u64>,
+    /// Telemetry: tick at which the in-flight transaction began.
+    tx_begin_t: u64,
+    /// Telemetry: open commutative-region instances (enter seen, exit
+    /// pending), as (func, enter tick).
+    region_stack: Vec<(String, u64)>,
 }
 
-/// Executes one parallel section; returns (end time, stats).
+/// Executes one parallel section; returns (end time, stats, telemetry
+/// metadata).
 #[allow(clippy::too_many_arguments)]
 fn run_section(
     module: &Module,
@@ -207,7 +280,8 @@ fn run_section(
     cm: &CostModel,
     cfg: &ExecConfig,
     injector: &FaultInjector,
-) -> Result<(u64, SimStats), ExecError> {
+    telem: &mut SectionTelemetry,
+) -> Result<(u64, SimStats, Option<SectionMeta>), ExecError> {
     let lock_kind = match plan.sync {
         SyncMode::Spin => SimLockKind::Spin,
         _ => SimLockKind::Mutex,
@@ -236,19 +310,24 @@ fn run_section(
     // I/O-channel saturation emerge at high thread counts.
     let mut channel_free: HashMap<u32, u64> = HashMap::new();
 
+    let spawn_t = start + cm.par_spawn;
     let mut workers: Vec<Worker<'_>> = Vec::with_capacity(plan.workers.len());
     for w in &plan.workers {
         let mut vm = Vm::for_name(module, &w.func, &[Value::Int(w.tid), Value::Int(w.nt)])?;
-        if cfg.trace.is_some() {
+        if cfg.trace.is_some() || telem.on {
             vm.watch_calls_matching("__commset_region_");
         }
         workers.push(Worker {
             vm,
-            clock: start + cm.par_spawn,
+            clock: spawn_t,
             status: WStatus::Ready,
             tx: None,
             tx_aborts: 0,
             lock_retry: false,
+            block_start: None,
+            lock_held: HashMap::new(),
+            tx_begin_t: 0,
+            region_stack: Vec::new(),
         });
     }
 
@@ -308,11 +387,12 @@ fn run_section(
                     cfg,
                     injector,
                     watchdog.as_ref(),
+                    telem,
                 )?;
             }
         }
-        if let Some(tr) = &cfg.trace {
-            drain_region_events(tr, i, &mut workers[i]);
+        if cfg.trace.is_some() || telem.on {
+            drain_region_events(cfg.trace.as_ref(), telem, i, &mut workers[i]);
         }
     }
 
@@ -323,6 +403,24 @@ fn run_section(
         .unwrap_or(start)
         .max(start)
         + cm.par_spawn;
+    let meta = if telem.on {
+        for (k, w) in workers.iter().enumerate() {
+            telem.span(k, spawn_t, w.clock, SpanKind::Worker);
+        }
+        Some(SectionMeta {
+            section: telem.sec,
+            stage_desc: plan.stage_desc.clone(),
+            worker_stage: plan.workers.iter().map(|w| w.stage).collect(),
+            locks: plan.locks.iter().map(|l| l.set.clone()).collect(),
+            queues: plan.queues.iter().map(|q| (q.id, q.what.clone())).collect(),
+            // The DES has no SPSC rings: empty-pop counts stand in for
+            // empty spins, the full side has no modeled counter.
+            queue_spins: queues.iter().map(|q| (0, q.empty_pops)).collect(),
+            span: (start, end),
+        })
+    } else {
+        None
+    };
     let stats = SimStats {
         lock_contention: plan
             .locks
@@ -338,23 +436,37 @@ fn run_section(
         fault: FaultStats::default(),
         watchdog: watchdog.map(|wd| wd.report()).unwrap_or_default(),
     };
-    Ok((end, stats))
+    Ok((end, stats, meta))
 }
 
 /// Converts a worker VM's buffered call-boundary events into trace
-/// records at the worker's current clock.
-fn drain_region_events(trace: &TraceSink, i: usize, w: &mut Worker<'_>) {
+/// records and telemetry region spans at the worker's current clock.
+fn drain_region_events(
+    trace: Option<&TraceSink>,
+    telem: &mut SectionTelemetry,
+    i: usize,
+    w: &mut Worker<'_>,
+) {
     let clock = w.clock;
     for ev in w.vm.drain_call_events() {
-        let event = if ev.enter {
-            TraceEvent::RegionEnter {
-                func: ev.func,
-                args: ev.args,
+        if telem.on {
+            if ev.enter {
+                w.region_stack.push((ev.func.clone(), clock));
+            } else if let Some((f, t0)) = w.region_stack.pop() {
+                telem.span(i, t0, clock, SpanKind::Region { func: f });
             }
-        } else {
-            TraceEvent::RegionExit { func: ev.func }
-        };
-        trace.record(i, clock, event);
+        }
+        if let Some(tr) = trace {
+            let event = if ev.enter {
+                TraceEvent::RegionEnter {
+                    func: ev.func,
+                    args: ev.args,
+                }
+            } else {
+                TraceEvent::RegionExit { func: ev.func }
+            };
+            tr.record(i, clock, event);
+        }
     }
 }
 
@@ -376,6 +488,7 @@ fn handle_special(
     cfg: &ExecConfig,
     injector: &FaultInjector,
     watchdog: Option<&Watchdog>,
+    telem: &mut SectionTelemetry,
 ) -> Result<(), ExecError> {
     let name = module.intrinsics.name(p.intrinsic.0 as usize).to_string();
     let qidx = |args: &[Value]| -> Result<usize, ExecError> {
@@ -405,7 +518,17 @@ fn handle_special(
                     if let Some(wd) = watchdog {
                         wd.acquired(i, l);
                     }
+                    if telem.on {
+                        let wait_from = workers[i].block_start.take().unwrap_or(t);
+                        if grant > wait_from {
+                            telem.span(i, wait_from, grant, SpanKind::LockWait { rank: l });
+                        }
+                    }
                     workers[i].clock = grant + injector.lock_grant_delay();
+                    if telem.on {
+                        let held_from = workers[i].clock;
+                        workers[i].lock_held.insert(l, held_from);
+                    }
                     workers[i].vm.resolve_special(Value::Int(0));
                     if let Some(tr) = &cfg.trace {
                         tr.record(i, workers[i].clock, TraceEvent::LockAcquire { lock: l });
@@ -415,6 +538,9 @@ fn handle_special(
                     if !was_blocked {
                         locks[l].pending += 1;
                         workers[i].lock_retry = true;
+                        if telem.on {
+                            workers[i].block_start = Some(t);
+                        }
                     }
                     workers[i].vm.retry_special_later();
                     workers[i].status = WStatus::BlockedLock(l);
@@ -424,6 +550,11 @@ fn handle_special(
         "__lock_release" => {
             let l = p.args[0].as_int() as usize;
             let t = workers[i].clock;
+            if telem.on {
+                if let Some(t0) = workers[i].lock_held.remove(&l) {
+                    telem.span(i, t0, t, SpanKind::LockHold { rank: l });
+                }
+            }
             workers[i].clock = locks[l].release(t, cm);
             if let Some(wd) = watchdog {
                 wd.released(i, l);
@@ -443,9 +574,17 @@ fn handle_special(
         "__q_push" | "__q_push_f" => {
             let q = qidx(&p.args)?;
             let bits = p.args[1].to_bits();
+            let attempt = workers[i].clock;
             match queues[q].push(workers[i].clock, bits, cm) {
                 PushOutcome::Pushed(t) => {
                     workers[i].clock = t;
+                    if telem.on {
+                        let qid = p.args[0].as_int();
+                        if let Some(bs) = workers[i].block_start.take() {
+                            telem.span(i, bs, attempt, SpanKind::QueuePushWait { queue: qid });
+                        }
+                        telem.span(i, t, t, SpanKind::QueuePush { queue: qid });
+                    }
                     workers[i].vm.resolve_special(Value::Int(0));
                     if let Some(tr) = &cfg.trace {
                         tr.record(
@@ -464,6 +603,9 @@ fn handle_special(
                     }
                 }
                 PushOutcome::Full => {
+                    if telem.on && workers[i].block_start.is_none() {
+                        workers[i].block_start = Some(attempt);
+                    }
                     workers[i].vm.retry_special_later();
                     workers[i].status = WStatus::BlockedPush(q);
                 }
@@ -471,9 +613,17 @@ fn handle_special(
         }
         "__q_pop" | "__q_pop_f" => {
             let q = qidx(&p.args)?;
+            let attempt = workers[i].clock;
             match queues[q].pop(workers[i].clock, cm) {
                 PopOutcome::Popped(bits, t) => {
                     workers[i].clock = t;
+                    if telem.on {
+                        let qid = p.args[0].as_int();
+                        if let Some(bs) = workers[i].block_start.take() {
+                            telem.span(i, bs, attempt, SpanKind::QueuePopWait { queue: qid });
+                        }
+                        telem.span(i, t, t, SpanKind::QueuePop { queue: qid });
+                    }
                     let v = Value::from_bits(bits, name == "__q_pop_f");
                     workers[i].vm.resolve_special(v);
                     if let Some(tr) = &cfg.trace {
@@ -492,6 +642,9 @@ fn handle_special(
                     }
                 }
                 PopOutcome::Empty => {
+                    if telem.on && workers[i].block_start.is_none() {
+                        workers[i].block_start = Some(attempt);
+                    }
                     workers[i].vm.retry_special_later();
                     workers[i].status = WStatus::BlockedPop(q);
                 }
@@ -502,6 +655,7 @@ fn handle_special(
             workers[i].clock = t + cm.tx_begin;
             workers[i].tx = Some(tm.begin(t, cm));
             workers[i].tx_aborts = 0;
+            workers[i].tx_begin_t = t;
             workers[i].vm.resolve_special(Value::Int(0));
         }
         "__tx_commit" => {
@@ -538,6 +692,12 @@ fn handle_special(
                     }
                 }
             }
+            if telem.on {
+                let aborts = workers[i].tx_aborts;
+                let t0 = workers[i].tx_begin_t;
+                let t1 = workers[i].clock;
+                telem.span(i, t0, t1, SpanKind::Tx { aborts });
+            }
             workers[i].tx_aborts = 0;
             workers[i].vm.resolve_special(Value::Int(0));
         }
@@ -573,6 +733,16 @@ fn handle_special(
                     }
                     channel_free.insert(c.0, done);
                 }
+            }
+            if telem.on {
+                telem.span(
+                    i,
+                    workers[i].clock,
+                    done,
+                    SpanKind::WorldCall {
+                        intrinsic: name.clone(),
+                    },
+                );
             }
             workers[i].clock = done;
             if let Some(tr) = &cfg.trace {
@@ -922,6 +1092,49 @@ mod tests {
             "sequential output stage preserves order"
         );
         assert!(out.stats.queue_pushes > 0);
+    }
+
+    #[test]
+    fn telemetry_is_deterministic_and_does_not_perturb_the_model() {
+        let cm = CostModel::default();
+        let (module, plan) = compile_pipeline(4);
+        let run = |telemetry: bool| {
+            let mut world = World::new();
+            world.install("out", Vec::<i64>::new());
+            let cfg = ExecConfig {
+                telemetry,
+                ..ExecConfig::default()
+            };
+            run_simulated_with(
+                &module,
+                &registry(),
+                std::slice::from_ref(&plan),
+                &mut world,
+                &cm,
+                &cfg,
+            )
+            .unwrap()
+        };
+        let off = run(false);
+        assert!(off.telemetry.is_none(), "telemetry must be opt-in");
+        let on = run(true);
+        assert_eq!(
+            on.sim_time, off.sim_time,
+            "telemetry must not change simulated time"
+        );
+        let report = on.telemetry.unwrap();
+        assert_eq!(report.sections.len(), 1);
+        let s = &report.sections[0];
+        assert!(s.stages.len() >= 2, "pipeline has >= 2 stages: {s:?}");
+        assert!(s.queues.iter().any(|q| q.pushes > 0), "{:?}", s.queues);
+        assert!(s.workers.iter().any(|w| w.blocked > 0 || w.idle > 0));
+        // Tick-based reports are bit-identical across runs.
+        let again = run(true).telemetry.unwrap();
+        assert_eq!(report.render_text(), again.render_text());
+        assert_eq!(
+            commset_telemetry::chrome_trace_json(&report),
+            commset_telemetry::chrome_trace_json(&again)
+        );
     }
 
     #[test]

@@ -29,6 +29,9 @@ use commset_runtime::world::SlotError;
 use commset_runtime::{
     FaultInjector, FaultStats, Registry, SpscQueue, Value, Watchdog, WatchdogReport, World,
 };
+use commset_telemetry::{
+    ClockUnit, RunCounters, RunReport, SectionMeta, SpanKind, SpanRecord, TelemetrySink,
+};
 use commset_transform::{ParallelPlan, SyncMode};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -116,6 +119,9 @@ pub struct ThreadOutcome {
     pub world: World,
     /// Fault/watchdog statistics.
     pub stats: ThreadStats,
+    /// The unified profiling report, present iff [`ExecConfig::telemetry`]
+    /// was on. Timestamps are monotonic nanoseconds since the run's start.
+    pub telemetry: Option<RunReport>,
 }
 
 /// Runs the transformed program on real threads with the default
@@ -157,6 +163,9 @@ pub fn run_threaded_with(
     let mut globals = SharedGlobals::new(Arc::clone(&shared_globals));
     let mut vm = Vm::for_name(module, "main", &[])?;
     let mut stats = ThreadStats::default();
+    let sink = cfg.telemetry.then(TelemetrySink::new);
+    let mut metas: Vec<SectionMeta> = Vec::new();
+    let mut next_ord = 0usize;
     let result = loop {
         match vm.step(&mut globals)? {
             StepOutcome::Ran { .. } => {}
@@ -168,6 +177,8 @@ pub fn run_threaded_with(
                         .iter()
                         .find(|pl| pl.section == section)
                         .ok_or(ExecError::UnknownSection { section })?;
+                    let ord = next_ord;
+                    next_ord += 1;
                     let section_out = run_section(
                         module,
                         registry,
@@ -176,11 +187,17 @@ pub fn run_threaded_with(
                         &world,
                         cfg,
                         &injector,
+                        sink.as_ref(),
+                        start,
+                        ord,
                     )?;
                     merge_watchdog(&mut stats.watchdog, section_out.watchdog);
                     stats.queue_drained += section_out.drained;
                     stats.queue_full_spins += section_out.full_spins;
                     stats.queue_empty_spins += section_out.empty_spins;
+                    if let Some(m) = section_out.meta {
+                        metas.push(m);
+                    }
                     vm.resolve_special(Value::Int(0));
                 } else if name.starts_with("__lock")
                     || name.starts_with("__q_")
@@ -210,11 +227,35 @@ pub fn run_threaded_with(
     };
     stats.fault = injector.stats();
     stats.shard = world.snapshot();
+    let telemetry = sink.map(|s| {
+        let spans = s.take();
+        // The thread executor's TM mode is pessimistic (one global lock):
+        // every Tx span is a commit, no optimistic aborts exist here.
+        let tm_commits = spans
+            .iter()
+            .filter(|sp| matches!(sp.kind, SpanKind::Tx { .. }))
+            .count() as u64;
+        let counters = RunCounters {
+            fault: stats.fault,
+            watchdog_checks: stats.watchdog.checks,
+            watchdog_clean: stats.watchdog.is_clean(),
+            max_blocked: stats.watchdog.max_blocked,
+            shard: stats.shard,
+            tm_commits,
+            tm_aborts: 0,
+            tm_fallbacks: 0,
+            queue_full_spins: stats.queue_full_spins,
+            queue_empty_spins: stats.queue_empty_spins,
+            queue_drained: stats.queue_drained,
+        };
+        RunReport::build(ClockUnit::Nanos, spans, metas, counters)
+    });
     Ok(ThreadOutcome {
         result,
         wall: start.elapsed(),
         world: world.into_world(),
         stats,
+        telemetry,
     })
 }
 
@@ -247,6 +288,14 @@ struct SectionCtx<'a> {
     watchdog: Option<&'a Watchdog>,
     trace: Option<&'a TraceSink>,
     queue_batch: usize,
+    /// Span sink when [`ExecConfig::telemetry`] is on.
+    telemetry: Option<&'a TelemetrySink>,
+    /// The run's epoch: span and trace timestamps are nanoseconds since
+    /// this instant.
+    epoch: Instant,
+    /// Ordinal of this section within the run (execution order) — the
+    /// span/report section key.
+    section_ord: usize,
 }
 
 /// What one parallel section reports back to the run.
@@ -258,10 +307,14 @@ struct SectionOutcome {
     full_spins: u64,
     /// Pops that found a queue empty.
     empty_spins: u64,
+    /// Plan-derived naming + per-queue spins for the report builder
+    /// (present iff telemetry is on).
+    meta: Option<SectionMeta>,
 }
 
 /// Executes one parallel section; returns the watchdog report, teardown
 /// drain count and queue contention counters.
+#[allow(clippy::too_many_arguments)]
 fn run_section(
     module: &Module,
     registry: &Registry,
@@ -270,7 +323,11 @@ fn run_section(
     world: &WorldStore,
     cfg: &ExecConfig,
     injector: &FaultInjector,
+    sink: Option<&TelemetrySink>,
+    epoch: Instant,
+    section_ord: usize,
 ) -> Result<SectionOutcome, ExecError> {
+    let sec_start = epoch.elapsed().as_nanos() as u64;
     let lock_kind = match plan.sync {
         SyncMode::Spin => LockKind::Spin,
         _ => LockKind::Mutex,
@@ -299,6 +356,9 @@ fn run_section(
         watchdog: watchdog.as_ref(),
         trace: cfg.trace.as_ref(),
         queue_batch: cfg.queue_batch.max(1),
+        telemetry: sink,
+        epoch,
+        section_ord,
     };
 
     let results: Vec<Result<(), ExecError>> = std::thread::scope(|scope| {
@@ -312,9 +372,24 @@ fn run_section(
                 let func = w.func.clone();
                 let (tid, nt) = (w.tid, w.nt);
                 scope.spawn(move || {
+                    let w_start = ctx.epoch.elapsed().as_nanos() as u64;
+                    let mut spans: Vec<SpanRecord> = Vec::new();
                     let body = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        worker_loop(ctx, widx, &func, tid, nt, globals)
+                        worker_loop(ctx, widx, &func, tid, nt, globals, &mut spans)
                     }));
+                    if let Some(sink) = ctx.telemetry {
+                        // The lifetime span is recorded here (not inside the
+                        // loop) so spans of panicked/failed workers still
+                        // reach the sink.
+                        spans.push(SpanRecord {
+                            section: ctx.section_ord,
+                            worker: widx,
+                            start: w_start,
+                            end: ctx.epoch.elapsed().as_nanos() as u64,
+                            kind: SpanKind::Worker,
+                        });
+                        sink.record_batch(std::mem::take(&mut spans));
+                    }
                     let outcome = match body {
                         Ok(r) => r,
                         Err(payload) => Err(ExecError::WorkerFailed {
@@ -348,10 +423,12 @@ fn run_section(
     // the teardown drain perturbs them), then drain abandoned pipeline
     // values so a failed run does not leak queue slots.
     let (mut full_spins, mut empty_spins) = (0u64, 0u64);
+    let mut queue_spins: Vec<(u64, u64)> = Vec::with_capacity(queues.len());
     for q in &queues {
         let (f, e) = q.contention();
         full_spins += f;
         empty_spins += e;
+        queue_spins.push((f, e));
     }
     let drained: u64 = queues.iter().map(|q| q.drain() as u64).sum();
 
@@ -378,11 +455,21 @@ fn run_section(
     if let Some(e) = first {
         return Err(e);
     }
+    let meta = sink.map(|_| SectionMeta {
+        section: section_ord,
+        stage_desc: plan.stage_desc.clone(),
+        worker_stage: plan.workers.iter().map(|w| w.stage).collect(),
+        locks: plan.locks.iter().map(|l| l.set.clone()).collect(),
+        queues: plan.queues.iter().map(|q| (q.id, q.what.clone())).collect(),
+        queue_spins,
+        span: (sec_start, epoch.elapsed().as_nanos() as u64),
+    });
     Ok(SectionOutcome {
         watchdog: watchdog.map(|wd| wd.report()).unwrap_or_default(),
         drained,
         full_spins,
         empty_spins,
+        meta,
     })
 }
 
@@ -415,6 +502,11 @@ fn flush_staged(ctx: &SectionCtx<'_>, staged: &mut [Vec<u64>]) -> bool {
 }
 
 /// One worker's execution; every failure mode returns an error.
+///
+/// When telemetry is on, timed spans accumulate into the caller-owned
+/// `spans` buffer (published by the spawn wrapper with one batch, even
+/// when this loop errors or panics).
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     ctx: &SectionCtx<'_>,
     widx: usize,
@@ -422,12 +514,33 @@ fn worker_loop(
     tid: i64,
     nt: i64,
     mut globals: SharedGlobals,
+    spans: &mut Vec<SpanRecord>,
 ) -> Result<(), ExecError> {
     let canceled = || ExecError::Canceled { stage: func.into() };
     let mut vm = Vm::for_name(ctx.module, func, &[Value::Int(tid), Value::Int(nt)])?;
-    if ctx.trace.is_some() {
+    let telemetry_on = ctx.telemetry.is_some();
+    if ctx.trace.is_some() || telemetry_on {
         vm.watch_calls_matching("__commset_region_");
     }
+    // Monotonic timestamps for trace records and telemetry spans:
+    // nanoseconds since the run's epoch. Only evaluated at event sites,
+    // and only when tracing or telemetry is on.
+    let now = || ctx.epoch.elapsed().as_nanos() as u64;
+    let sec = ctx.section_ord;
+    let span = |worker_spans: &mut Vec<SpanRecord>, start: u64, end: u64, kind: SpanKind| {
+        worker_spans.push(SpanRecord {
+            section: sec,
+            worker: widx,
+            start,
+            end,
+            kind,
+        });
+    };
+    // Open commutative-region instances (enter seen, exit pending).
+    let mut region_stack: Vec<(String, u64)> = Vec::new();
+    // Lock rank -> grant timestamp of the currently held lock.
+    let mut lock_held: HashMap<usize, u64> = HashMap::new();
+    let mut tx_start: u64 = 0;
     let mut in_tx = false;
     // DSWP queue batching: producer-side staging buffers (published with
     // one `push_n` per batch) and consumer-side refill buffers (refilled
@@ -439,25 +552,38 @@ fn worker_loop(
     let mut staged: Vec<Vec<u64>> = (0..ctx.queues.len()).map(|_| Vec::new()).collect();
     let mut refill: Vec<VecDeque<u64>> = (0..ctx.queues.len()).map(|_| VecDeque::new()).collect();
     let mut scratch: Vec<u64> = Vec::new();
-    // Worker-local logical time for trace records: one tick per VM step.
-    let mut ops: u64 = 0;
     loop {
         if ctx.cancel.load(Ordering::Relaxed) {
             return Err(canceled());
         }
         let step = vm.step(&mut globals)?;
-        ops += 1;
-        if let Some(tr) = ctx.trace {
+        if ctx.trace.is_some() || telemetry_on {
             for ev in vm.drain_call_events() {
-                let event = if ev.enter {
-                    TraceEvent::RegionEnter {
-                        func: ev.func,
-                        args: ev.args,
+                let t = now();
+                if ev.enter {
+                    if telemetry_on {
+                        region_stack.push((ev.func.clone(), t));
+                    }
+                    if let Some(tr) = ctx.trace {
+                        tr.record(
+                            widx,
+                            t,
+                            TraceEvent::RegionEnter {
+                                func: ev.func,
+                                args: ev.args,
+                            },
+                        );
                     }
                 } else {
-                    TraceEvent::RegionExit { func: ev.func }
-                };
-                tr.record(widx, ops, event);
+                    if telemetry_on {
+                        if let Some((f, t0)) = region_stack.pop() {
+                            span(spans, t0, t, SpanKind::Region { func: f });
+                        }
+                    }
+                    if let Some(tr) = ctx.trace {
+                        tr.record(widx, t, TraceEvent::RegionExit { func: ev.func });
+                    }
+                }
             }
         }
         match step {
@@ -485,11 +611,15 @@ fn worker_loop(
                         if let Some(wd) = ctx.watchdog {
                             wd.acquiring(widx, l);
                         }
+                        let t0 = if telemetry_on { now() } else { 0 };
                         if !ctx.locks[l].acquire_canceling(ctx.cancel) {
                             if let Some(wd) = ctx.watchdog {
                                 wd.wait_abandoned(widx);
                             }
                             return Err(canceled());
+                        }
+                        if telemetry_on {
+                            span(spans, t0, now(), SpanKind::LockWait { rank: l });
                         }
                         if let Some(wd) = ctx.watchdog {
                             wd.acquired(widx, l);
@@ -498,20 +628,28 @@ fn worker_loop(
                         if delay > 0 {
                             std::thread::sleep(Duration::from_micros(delay));
                         }
+                        if telemetry_on {
+                            lock_held.insert(l, now());
+                        }
                         vm.resolve_special(Value::Int(0));
                         if let Some(tr) = ctx.trace {
-                            tr.record(widx, ops, TraceEvent::LockAcquire { lock: l });
+                            tr.record(widx, now(), TraceEvent::LockAcquire { lock: l });
                         }
                     }
                     "__lock_release" => {
                         let l = p.args[0].as_int() as usize;
+                        if telemetry_on {
+                            if let Some(t0) = lock_held.remove(&l) {
+                                span(spans, t0, now(), SpanKind::LockHold { rank: l });
+                            }
+                        }
                         ctx.locks[l].release();
                         if let Some(wd) = ctx.watchdog {
                             wd.released(widx, l);
                         }
                         vm.resolve_special(Value::Int(0));
                         if let Some(tr) = ctx.trace {
-                            tr.record(widx, ops, TraceEvent::LockRelease { lock: l });
+                            tr.record(widx, now(), TraceEvent::LockRelease { lock: l });
                         }
                     }
                     "__q_push" | "__q_push_f" => {
@@ -521,12 +659,25 @@ fn worker_loop(
                             .get(&id)
                             .ok_or(ExecError::UnknownQueue { id })?;
                         staged[q].push(p.args[1].to_bits());
-                        if staged[q].len() >= batch && !flush_staged(ctx, &mut staged) {
-                            return Err(canceled());
+                        if staged[q].len() >= batch {
+                            let t0 = if telemetry_on { now() } else { 0 };
+                            if !flush_staged(ctx, &mut staged) {
+                                return Err(canceled());
+                            }
+                            if telemetry_on {
+                                let t1 = now();
+                                if t1 > t0 {
+                                    span(spans, t0, t1, SpanKind::QueuePushWait { queue: id });
+                                }
+                            }
+                        }
+                        if telemetry_on {
+                            let t = now();
+                            span(spans, t, t, SpanKind::QueuePush { queue: id });
                         }
                         vm.resolve_special(Value::Int(0));
                         if let Some(tr) = ctx.trace {
-                            tr.record(widx, ops, TraceEvent::QueuePush { queue: id });
+                            tr.record(widx, now(), TraceEvent::QueuePush { queue: id });
                         }
                     }
                     "__q_pop" | "__q_pop_f" => {
@@ -542,12 +693,19 @@ fn worker_loop(
                                 // values first, then take one value
                                 // (blocking) and opportunistically batch
                                 // up whatever else is already there.
+                                let t0 = if telemetry_on { now() } else { 0 };
                                 if !flush_staged(ctx, &mut staged) {
                                     return Err(canceled());
                                 }
                                 let Some(first) = ctx.queues[q].pop_canceling(ctx.cancel) else {
                                     return Err(canceled());
                                 };
+                                if telemetry_on {
+                                    let t1 = now();
+                                    if t1 > t0 {
+                                        span(spans, t0, t1, SpanKind::QueuePopWait { queue: id });
+                                    }
+                                }
                                 if batch > 1 {
                                     scratch.clear();
                                     ctx.queues[q].pop_n(&mut scratch, batch - 1);
@@ -556,9 +714,13 @@ fn worker_loop(
                                 first
                             }
                         };
+                        if telemetry_on {
+                            let t = now();
+                            span(spans, t, t, SpanKind::QueuePop { queue: id });
+                        }
                         vm.resolve_special(Value::from_bits(bits, name == "__q_pop_f"));
                         if let Some(tr) = ctx.trace {
-                            tr.record(widx, ops, TraceEvent::QueuePop { queue: id });
+                            tr.record(widx, now(), TraceEvent::QueuePop { queue: id });
                         }
                     }
                     "__tx_begin" => {
@@ -569,12 +731,19 @@ fn worker_loop(
                         if !ctx.tm_lock.acquire_canceling(ctx.cancel) {
                             return Err(canceled());
                         }
+                        if telemetry_on {
+                            tx_start = now();
+                        }
                         in_tx = true;
                         vm.resolve_special(Value::Int(0));
                     }
                     "__tx_commit" => {
                         if !in_tx {
                             return Err(ExecError::TxCommitWithoutBegin);
+                        }
+                        if telemetry_on {
+                            // Pessimistic TM: the window commits, no aborts.
+                            span(spans, tx_start, now(), SpanKind::Tx { aborts: 0 });
                         }
                         ctx.tm_lock.release();
                         in_tx = false;
@@ -593,12 +762,23 @@ fn worker_loop(
                             rank_base: ctx.locks.len(),
                             injector: Some(ctx.injector),
                         };
+                        let t0 = if telemetry_on { now() } else { 0 };
                         let out = ctx.world.call(ctx.registry, name, &p.args, &obs);
+                        if telemetry_on {
+                            span(
+                                spans,
+                                t0,
+                                now(),
+                                SpanKind::WorldCall {
+                                    intrinsic: name.to_string(),
+                                },
+                            );
+                        }
                         vm.resolve_special(out.value);
                         if let Some(tr) = ctx.trace {
                             tr.record(
                                 widx,
-                                ops,
+                                now(),
                                 TraceEvent::WorldCall {
                                     intrinsic: name.to_string(),
                                     args: p.args.clone(),
@@ -785,6 +965,36 @@ mod tests {
         assert!(recs
             .iter()
             .any(|r| matches!(r.event, TraceEvent::LockAcquire { .. })));
+    }
+
+    #[test]
+    fn telemetry_attaches_report_and_stays_opt_in() {
+        let (module, plan) = compile_doall(SUM_SRC, 3, SyncMode::Spin);
+        let mut world = World::new();
+        world.install("acc", 0i64);
+        let cfg = ExecConfig {
+            telemetry: true,
+            ..ExecConfig::default()
+        };
+        let out = run_threaded_with(&module, &registry(), &[plan], world, &cfg).unwrap();
+        assert_eq!(*out.world.get::<i64>("acc"), (0..200).sum::<i64>());
+        let report = out.telemetry.expect("telemetry on must attach a report");
+        assert_eq!(report.sections.len(), 1);
+        let s = &report.sections[0];
+        assert_eq!(s.workers.len(), 3);
+        assert_eq!(
+            s.workers.iter().map(|w| w.regions).sum::<u64>(),
+            200,
+            "every region instance must be spanned"
+        );
+        assert!(s.locks[0].acquires > 0, "{:?}", s.locks);
+        assert!(s.workers.iter().all(|w| w.total > 0));
+        // Off by default: no report, no span cost.
+        let (module2, plan2) = compile_doall(SUM_SRC, 3, SyncMode::Spin);
+        let mut world2 = World::new();
+        world2.install("acc", 0i64);
+        let out2 = run_threaded(&module2, &registry(), &[plan2], world2).unwrap();
+        assert!(out2.telemetry.is_none());
     }
 
     #[test]

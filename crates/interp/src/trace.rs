@@ -9,10 +9,12 @@
 //! when unset is a single `Option` check per event site.
 //!
 //! Records carry a global sequence number (allocation order), the worker
-//! index and the worker-local logical time: the simulated executor uses
-//! its deterministic clocks, the thread executor a per-worker operation
-//! counter. Under the DES the full record stream is deterministic; under
-//! real threads the *per-worker* subsequences are.
+//! index and a timestamp: the simulated executor uses its deterministic
+//! logical clocks, the thread executor monotonic nanoseconds since the
+//! run's start (the same epoch its telemetry spans use, so traces and
+//! profiles align). Under the DES the full record stream is
+//! deterministic; under real threads the *per-worker* subsequences are
+//! monotonic.
 
 use commset_runtime::sync::Mutex;
 use commset_runtime::Value;

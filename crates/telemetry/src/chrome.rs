@@ -1,0 +1,203 @@
+//! Chrome trace-event / Perfetto JSON export.
+//!
+//! Emits the JSON object format of the Chrome trace-event spec
+//! (`{"traceEvents": [...]}`), loadable in `chrome://tracing` and
+//! <https://ui.perfetto.dev>. Only three event types are used:
+//!
+//! * `"X"` — complete events (a named interval with `ts` + `dur`),
+//! * `"i"` — instant events (queue pushes/pops),
+//! * `"M"` — metadata events naming processes and threads.
+//!
+//! [`ChromeTraceBuilder`] is deliberately generic — it knows nothing
+//! about spans — so other crates (e.g. the schedule checker, which wants
+//! to export a failing interleaving next to the canonical one) can build
+//! timelines from their own event streams without depending on the
+//! executors. [`chrome_trace_json`] is the canonical mapping from a
+//! [`RunReport`]: sections become processes, workers become threads.
+//!
+//! Every event is written on its own line, which keeps the output
+//! greppable and lets tests validate the shape line by line.
+
+use crate::json;
+use crate::report::RunReport;
+use crate::span::SpanKind;
+
+/// Incrementally builds a Chrome trace-event JSON document.
+#[derive(Debug, Default)]
+pub struct ChromeTraceBuilder {
+    events: Vec<String>,
+}
+
+impl ChromeTraceBuilder {
+    /// An empty trace.
+    pub fn new() -> Self {
+        ChromeTraceBuilder::default()
+    }
+
+    /// Names a process (`pid`) in the trace viewer.
+    pub fn meta_process_name(&mut self, pid: u64, name: &str) {
+        self.events.push(format!(
+            "{{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": {pid}, \"tid\": 0, \
+             \"args\": {{\"name\": \"{}\"}}}}",
+            json::escape(name)
+        ));
+    }
+
+    /// Names a thread (`pid`, `tid`) in the trace viewer.
+    pub fn meta_thread_name(&mut self, pid: u64, tid: u64, name: &str) {
+        self.events.push(format!(
+            "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": {pid}, \"tid\": {tid}, \
+             \"args\": {{\"name\": \"{}\"}}}}",
+            json::escape(name)
+        ));
+    }
+
+    /// Adds a complete (`"X"`) event: a named interval.
+    pub fn complete(&mut self, pid: u64, tid: u64, name: &str, cat: &str, ts_us: f64, dur_us: f64) {
+        self.events.push(format!(
+            "{{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"X\", \"pid\": {pid}, \
+             \"tid\": {tid}, \"ts\": {}, \"dur\": {}}}",
+            json::escape(name),
+            json::escape(cat),
+            json::num(ts_us),
+            json::num(dur_us.max(0.0))
+        ));
+    }
+
+    /// Adds an instant (`"i"`) event, thread-scoped.
+    pub fn instant(&mut self, pid: u64, tid: u64, name: &str, cat: &str, ts_us: f64) {
+        self.events.push(format!(
+            "{{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"i\", \"s\": \"t\", \
+             \"pid\": {pid}, \"tid\": {tid}, \"ts\": {}}}",
+            json::escape(name),
+            json::escape(cat),
+            json::num(ts_us)
+        ));
+    }
+
+    /// Number of events added so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no event was added.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Finishes the document: one event per line inside `traceEvents`.
+    pub fn finish(self) -> String {
+        let mut out = String::from("{\"traceEvents\": [\n");
+        for (i, e) in self.events.iter().enumerate() {
+            out.push_str(e);
+            if i + 1 < self.events.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("]}\n");
+        out
+    }
+}
+
+/// The canonical [`RunReport`] → Chrome trace mapping: each parallel
+/// section is a process (`pid` = section ordinal), each worker a thread
+/// (`tid` = worker index). Interval spans become `"X"` events, queue
+/// pushes/pops become `"i"` instants.
+pub fn chrome_trace_json(report: &RunReport) -> String {
+    let mut b = ChromeTraceBuilder::new();
+    for s in &report.sections {
+        let pid = s.section as u64;
+        b.meta_process_name(pid, &format!("section {}", s.section));
+        for w in &s.workers {
+            let stage = w.stage;
+            b.meta_thread_name(
+                pid,
+                w.worker as u64,
+                &format!("worker {} (stage {stage})", w.worker),
+            );
+        }
+    }
+    for sp in &report.spans {
+        let pid = sp.section as u64;
+        let tid = sp.worker as u64;
+        let ts = report.clock.to_chrome_us(sp.start);
+        let name = sp.kind.label();
+        let cat = sp.kind.category();
+        match sp.kind {
+            SpanKind::QueuePush { .. } | SpanKind::QueuePop { .. } => {
+                b.instant(pid, tid, &name, cat, ts);
+            }
+            _ => {
+                let dur = report.clock.to_chrome_us(sp.end) - ts;
+                b.complete(pid, tid, &name, cat, ts, dur);
+            }
+        }
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{ClockUnit, RunCounters, SectionMeta};
+    use crate::span::SpanRecord;
+
+    #[test]
+    fn builder_emits_one_event_per_line() {
+        let mut b = ChromeTraceBuilder::new();
+        b.meta_process_name(0, "section 0");
+        b.complete(0, 1, "lock-wait #0", "lock", 10.0, 5.0);
+        b.instant(0, 1, "push q0", "queue", 12.0);
+        assert_eq!(b.len(), 3);
+        let doc = b.finish();
+        assert!(doc.starts_with("{\"traceEvents\": [\n"), "{doc}");
+        assert!(doc.trim_end().ends_with("]}"), "{doc}");
+        let events: Vec<&str> = doc.lines().filter(|l| l.contains("\"ph\":")).collect();
+        assert_eq!(events.len(), 3);
+        assert!(events[1].contains("\"ph\": \"X\""));
+        assert!(events[1].contains("\"dur\": 5.0000"));
+        assert!(events[2].contains("\"ph\": \"i\""));
+        // All but the last event line end with a comma.
+        assert!(events[0].ends_with(','));
+        assert!(!doc.contains("},\n]"), "trailing comma before close");
+    }
+
+    #[test]
+    fn report_mapping_scales_nanos_to_microseconds() {
+        let spans = vec![
+            SpanRecord {
+                section: 0,
+                worker: 0,
+                start: 2_000,
+                end: 5_000,
+                kind: SpanKind::Worker,
+            },
+            SpanRecord {
+                section: 0,
+                worker: 0,
+                start: 3_000,
+                end: 3_000,
+                kind: SpanKind::QueuePush { queue: 4 },
+            },
+        ];
+        let report = RunReport::build(
+            ClockUnit::Nanos,
+            spans,
+            vec![SectionMeta {
+                section: 0,
+                worker_stage: vec![0],
+                span: (0, 6_000),
+                ..SectionMeta::default()
+            }],
+            RunCounters::default(),
+        );
+        let doc = chrome_trace_json(&report);
+        assert!(doc.contains("\"name\": \"worker\""), "{doc}");
+        assert!(doc.contains("\"ts\": 2.0000"), "ns -> us: {doc}");
+        assert!(doc.contains("\"dur\": 3.0000"), "{doc}");
+        assert!(doc.contains("\"name\": \"push q4\""), "{doc}");
+        assert!(doc.contains("\"process_name\""), "{doc}");
+        assert!(doc.contains("\"thread_name\""), "{doc}");
+    }
+}

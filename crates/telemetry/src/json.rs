@@ -1,0 +1,55 @@
+//! Minimal JSON-writing helpers.
+//!
+//! The workspace is intentionally dependency-free, so the exporters
+//! hand-write their JSON. These helpers keep string escaping and float
+//! formatting in one audited place.
+
+/// Escapes a string for inclusion inside a JSON string literal
+/// (quotes, backslashes and control characters).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a float as a JSON number (never NaN/Inf — those become 0).
+pub fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "0".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_quotes_backslashes_and_controls() {
+        assert_eq!(escape("a\"b"), "a\\\"b");
+        assert_eq!(escape("a\\b"), "a\\\\b");
+        assert_eq!(escape("a\nb\tc"), "a\\nb\\tc");
+        assert_eq!(escape("x\u{1}y"), "x\\u0001y");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn nonfinite_numbers_degrade_to_zero() {
+        assert_eq!(num(f64::NAN), "0");
+        assert_eq!(num(f64::INFINITY), "0");
+        assert_eq!(num(1.5), "1.5000");
+    }
+}

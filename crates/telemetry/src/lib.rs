@@ -1,0 +1,37 @@
+//! # commset-telemetry
+//!
+//! The observability layer of the COMMSET reproduction: one place where
+//! every runtime counter and every timed span of a parallel run lands, so
+//! benchmark deltas become *attributable* instead of anecdotal.
+//!
+//! * [`span`] — the span model: a [`span::TelemetrySink`] the executors
+//!   append [`span::SpanRecord`]s to (commutative-region execution, lock
+//!   waits vs. holds keyed by CommSet lock rank, queue push/pop blocking,
+//!   STM windows, world-intrinsic calls), in monotonic nanoseconds on
+//!   real threads and deterministic logical ticks under the simulator.
+//! * [`report`] — the [`report::RunReport`]: per-worker and per-DSWP-stage
+//!   busy/blocked/idle utilization (the stage-balance quantity that
+//!   predicts PS-DSWP scalability), a lock-contention profile, per-queue
+//!   traffic, and every existing counter snapshot (fault, watchdog,
+//!   shard, STM, SPSC spins) unified into one serializable structure with
+//!   a human-readable text rendering and a dependency-free JSON encoding.
+//! * [`chrome`] — a Chrome trace-event / Perfetto JSON exporter: any run
+//!   (or any checker interleaving) becomes a timeline you can open in
+//!   `chrome://tracing` or <https://ui.perfetto.dev>.
+//! * [`json`] — the tiny shared JSON-writing helpers (the workspace has
+//!   no serialization dependency by design).
+//!
+//! Telemetry is zero-cost when off: executors consult one `bool` knob
+//! (`ExecConfig::telemetry` in `commset-interp`) and touch nothing else.
+
+pub mod chrome;
+pub mod json;
+pub mod report;
+pub mod span;
+
+pub use chrome::{chrome_trace_json, ChromeTraceBuilder};
+pub use report::{
+    ClockUnit, LockReport, QueueReport, RunCounters, RunReport, SectionMeta, SectionProfile,
+    StageReport, WorkerReport,
+};
+pub use span::{SpanKind, SpanRecord, TelemetrySink};

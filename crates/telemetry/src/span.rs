@@ -1,0 +1,252 @@
+//! Span recording: the executors' side of the telemetry layer.
+//!
+//! A [`SpanRecord`] is one timed interval (or instant, when
+//! `start == end`) of one worker's execution inside one parallel section.
+//! The real-thread executor stamps spans in monotonic nanoseconds since
+//! the run's epoch; the simulated executor stamps them in its
+//! deterministic logical ticks — the sink itself is clock-agnostic and
+//! the [`crate::report::RunReport`] records which unit applies.
+//!
+//! Workers batch spans locally and publish them with one
+//! [`TelemetrySink::record_batch`] per worker, so the profiling layer
+//! does not itself serialize the workers it is measuring.
+
+use commset_runtime::sync::Mutex;
+use std::sync::Arc;
+
+/// What one span measures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpanKind {
+    /// One worker's whole lifetime inside a section (spawn to exit).
+    Worker,
+    /// One commutative-region instance execution.
+    Region {
+        /// The outlined region function, e.g. `__commset_region_1`.
+        func: String,
+    },
+    /// Time spent *waiting* to acquire a CommSet lock.
+    LockWait {
+        /// Lock index == rank in the section's plan.
+        rank: usize,
+    },
+    /// Time the lock was *held* (acquire grant to release).
+    LockHold {
+        /// Lock index == rank in the section's plan.
+        rank: usize,
+    },
+    /// Producer blocked publishing to a full pipeline queue.
+    QueuePushWait {
+        /// Queue id from the parallel plan.
+        queue: i64,
+    },
+    /// Consumer blocked on an empty pipeline queue.
+    QueuePopWait {
+        /// Queue id from the parallel plan.
+        queue: i64,
+    },
+    /// One completed queue push (an instant: `start == end`).
+    QueuePush {
+        /// Queue id from the parallel plan.
+        queue: i64,
+    },
+    /// One completed queue pop (an instant: `start == end`).
+    QueuePop {
+        /// Queue id from the parallel plan.
+        queue: i64,
+    },
+    /// One transaction window, begin to commit completion.
+    Tx {
+        /// Optimistic aborts suffered before this commit resolved.
+        aborts: u64,
+    },
+    /// One world-intrinsic execution.
+    WorldCall {
+        /// Intrinsic name.
+        intrinsic: String,
+    },
+}
+
+impl SpanKind {
+    /// Stable short label (Chrome event name / report row key).
+    pub fn label(&self) -> String {
+        match self {
+            SpanKind::Worker => "worker".to_string(),
+            SpanKind::Region { func } => func.clone(),
+            SpanKind::LockWait { rank } => format!("lock-wait #{rank}"),
+            SpanKind::LockHold { rank } => format!("lock-hold #{rank}"),
+            SpanKind::QueuePushWait { queue } => format!("push-wait q{queue}"),
+            SpanKind::QueuePopWait { queue } => format!("pop-wait q{queue}"),
+            SpanKind::QueuePush { queue } => format!("push q{queue}"),
+            SpanKind::QueuePop { queue } => format!("pop q{queue}"),
+            SpanKind::Tx { aborts } => format!("tx (aborts={aborts})"),
+            SpanKind::WorldCall { intrinsic } => format!("call {intrinsic}"),
+        }
+    }
+
+    /// Chrome trace category for this span.
+    pub fn category(&self) -> &'static str {
+        match self {
+            SpanKind::Worker => "worker",
+            SpanKind::Region { .. } => "region",
+            SpanKind::LockWait { .. } | SpanKind::LockHold { .. } => "lock",
+            SpanKind::QueuePushWait { .. }
+            | SpanKind::QueuePopWait { .. }
+            | SpanKind::QueuePush { .. }
+            | SpanKind::QueuePop { .. } => "queue",
+            SpanKind::Tx { .. } => "stm",
+            SpanKind::WorldCall { .. } => "world",
+        }
+    }
+
+    /// True when the span counts toward a worker's *blocked* time.
+    pub fn is_blocking(&self) -> bool {
+        matches!(
+            self,
+            SpanKind::LockWait { .. }
+                | SpanKind::QueuePushWait { .. }
+                | SpanKind::QueuePopWait { .. }
+        )
+    }
+}
+
+/// One timed interval of one worker inside one section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Ordinal of the parallel section within the run (execution order).
+    pub section: usize,
+    /// Worker index within the section.
+    pub worker: usize,
+    /// Start timestamp (nanoseconds or logical ticks).
+    pub start: u64,
+    /// End timestamp; `start == end` marks an instant event.
+    pub end: u64,
+    /// What was measured.
+    pub kind: SpanKind,
+}
+
+impl SpanRecord {
+    /// The span's duration in its clock unit.
+    pub fn dur(&self) -> u64 {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// A cloneable, thread-safe span log shared between an executor and the
+/// report builder. Clones share the same underlying buffer.
+#[derive(Clone, Default)]
+pub struct TelemetrySink {
+    spans: Arc<Mutex<Vec<SpanRecord>>>,
+}
+
+impl std::fmt::Debug for TelemetrySink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TelemetrySink")
+            .field("spans", &self.len())
+            .finish()
+    }
+}
+
+impl TelemetrySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        TelemetrySink::default()
+    }
+
+    /// Appends one span.
+    pub fn record(&self, span: SpanRecord) {
+        self.spans.lock().push(span);
+    }
+
+    /// Appends a worker's whole local buffer with one lock acquisition.
+    pub fn record_batch(&self, spans: Vec<SpanRecord>) {
+        if spans.is_empty() {
+            return;
+        }
+        self.spans.lock().extend(spans);
+    }
+
+    /// Number of spans currently buffered.
+    pub fn len(&self) -> usize {
+        self.spans.lock().len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes and returns all buffered spans, ordered by
+    /// `(section, worker, start, end)` so reports built from the same
+    /// events are identical however worker batches interleaved.
+    pub fn take(&self) -> Vec<SpanRecord> {
+        let mut out = std::mem::take(&mut *self.spans.lock());
+        out.sort_by(|a, b| {
+            (a.section, a.worker, a.start, a.end).cmp(&(b.section, b.worker, b.start, b.end))
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_merge_and_take_orders_canonically() {
+        let sink = TelemetrySink::new();
+        let other = sink.clone();
+        other.record_batch(vec![
+            SpanRecord {
+                section: 0,
+                worker: 1,
+                start: 5,
+                end: 9,
+                kind: SpanKind::Worker,
+            },
+            SpanRecord {
+                section: 0,
+                worker: 0,
+                start: 2,
+                end: 3,
+                kind: SpanKind::LockWait { rank: 0 },
+            },
+        ]);
+        sink.record(SpanRecord {
+            section: 0,
+            worker: 0,
+            start: 0,
+            end: 1,
+            kind: SpanKind::Region {
+                func: "__commset_region_0".into(),
+            },
+        });
+        assert_eq!(sink.len(), 3);
+        let spans = sink.take();
+        assert!(sink.is_empty());
+        assert_eq!(spans[0].worker, 0);
+        assert_eq!(spans[0].start, 0);
+        assert_eq!(spans[2].worker, 1);
+    }
+
+    #[test]
+    fn kind_labels_and_blocking_classification() {
+        assert_eq!(SpanKind::LockWait { rank: 2 }.label(), "lock-wait #2");
+        assert_eq!(SpanKind::QueuePop { queue: 7 }.label(), "pop q7");
+        assert!(SpanKind::QueuePushWait { queue: 1 }.is_blocking());
+        assert!(!SpanKind::LockHold { rank: 1 }.is_blocking());
+        assert!(!SpanKind::Worker.is_blocking());
+        assert_eq!(SpanKind::Tx { aborts: 3 }.category(), "stm");
+    }
+
+    #[test]
+    fn instant_spans_have_zero_duration() {
+        let s = SpanRecord {
+            section: 0,
+            worker: 0,
+            start: 10,
+            end: 10,
+            kind: SpanKind::QueuePush { queue: 0 },
+        };
+        assert_eq!(s.dur(), 0);
+    }
+}
