@@ -26,10 +26,10 @@
 //! benchmark that computes the wrong answer aborts.
 
 use commset::Scheme;
-use commset_interp::{ExecConfig, ThreadOutcome, WorldMode};
+use commset_interp::{Backend, ExecConfig, RecoveryPolicy, ThreadOutcome, WorldMode};
 use commset_runtime::ShardStatsSnapshot;
 use commset_sim::CostModel;
-use commset_telemetry::RunReport;
+use commset_telemetry::{RecoveryReport, RunReport};
 use commset_workloads::{SchemeSpec, Workload};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -44,6 +44,10 @@ struct Cell {
     /// The unified profiling report from one extra, *untimed* run with
     /// telemetry on (so the measured iterations stay instrumentation-free).
     telemetry: Option<RunReport>,
+    /// The execution supervisor's account of that instrumented run:
+    /// retries taken, ladder rungs walked, final mode. `is_clean()` for a
+    /// healthy cell.
+    recovery: Option<RecoveryReport>,
 }
 
 struct Row {
@@ -107,20 +111,30 @@ fn measure(
     let last = last?;
     // One extra run with telemetry on, outside the timed loop: the report
     // rides along in the JSON without perturbing the wall-clock numbers.
+    // It goes through the execution supervisor, so every cell also
+    // records a RecoveryReport — clean on a healthy host, and an explicit
+    // account of retries/degradation if the instrumented run hiccups.
     let telem_cfg = ExecConfig {
         telemetry: true,
         ..cfg
     };
-    let telemetry = w
-        .run_scheme_threaded(spec, threads, &telem_cfg)
-        .ok()
-        .and_then(|out| out.telemetry);
+    let policy = RecoveryPolicy {
+        max_retries: 1,
+        ..RecoveryPolicy::default()
+    };
+    let (telemetry, recovery) =
+        match w.run_scheme_supervised(spec, threads, Backend::Threads, &telem_cfg, &policy) {
+            Ok(out) => (out.telemetry, Some(out.recovery)),
+            Err(Ok(_diag)) => (None, None),
+            Err(Err(fail)) => (None, Some(fail.recovery)),
+        };
     Some(Cell {
         wall_us: median(walls),
         shard: last.stats.shard,
         queue_full_spins: last.stats.queue_full_spins,
         queue_empty_spins: last.stats.queue_empty_spins,
         telemetry,
+        recovery,
     })
 }
 
@@ -128,7 +142,8 @@ fn cell_json(c: &Cell) -> String {
     format!(
         "{{\"wall_us\": {}, \"shard\": {{\"fast_acquires\": {}, \"fast_waits\": {}, \
          \"multi_acquires\": {}, \"whole_acquires\": {}}}, \
-         \"queue_full_spins\": {}, \"queue_empty_spins\": {}, \"telemetry\": {}}}",
+         \"queue_full_spins\": {}, \"queue_empty_spins\": {}, \"telemetry\": {}, \
+         \"recovery\": {}}}",
         c.wall_us,
         c.shard.fast_acquires,
         c.shard.fast_waits,
@@ -137,6 +152,10 @@ fn cell_json(c: &Cell) -> String {
         c.queue_full_spins,
         c.queue_empty_spins,
         c.telemetry
+            .as_ref()
+            .map(|r| r.to_json())
+            .unwrap_or_else(|| "null".to_string()),
+        c.recovery
             .as_ref()
             .map(|r| r.to_json())
             .unwrap_or_else(|| "null".to_string())

@@ -57,9 +57,11 @@
 //! pure compute with cost 100.
 
 use commset::profile::run_profile;
+use commset::replay::{replay_bundle, run_profile_supervised, SyntheticSource};
 use commset::spec::{build_table, parse_effects, EffectsSpec};
 use commset::{Compiler, Scheme, SyncMode};
 use commset_checker::{check_source, fuzz_annotations, CheckConfig, ModelConfig};
+use commset_interp::{ExecConfig, FailureBundle, RecoveryPolicy};
 use commset_lang::printer::print_program;
 use commset_telemetry::chrome_trace_json;
 use std::process::ExitCode;
@@ -70,7 +72,9 @@ fn usage() -> ExitCode {
          [--effects <file>] [--pdg] [--threads N] \
          [--scheme doall|dswp|ps-dswp] [--sync spin|mutex|tm|lib] \
          [--hot-func NAME] [--budget N] [--seed N] [--fuzz] \
-         [--trace-out <file.json>] [--real]"
+         [--trace-out <file.json>] [--real] \
+         [--recover] [--deadline-ms N] [--max-retries N] [--repro-dir DIR]\n\
+         \u{20}      commsetc replay <bundle.repro.json>"
     );
     ExitCode::from(2)
 }
@@ -90,6 +94,10 @@ struct Args {
     fuzz: bool,
     trace_out: Option<String>,
     real: bool,
+    recover: bool,
+    deadline_ms: Option<u64>,
+    max_retries: Option<u32>,
+    repro_dir: Option<String>,
 }
 
 fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -97,7 +105,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
     let command = argv.next().ok_or("missing command")?;
     if !matches!(
         command.as_str(),
-        "analyze" | "schedules" | "emit" | "check" | "profile"
+        "analyze" | "schedules" | "emit" | "check" | "profile" | "replay"
     ) {
         return Err(format!("unknown command `{command}`"));
     }
@@ -116,6 +124,10 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         fuzz: false,
         trace_out: None,
         real: false,
+        recover: false,
+        deadline_ms: None,
+        max_retries: None,
+        repro_dir: None,
     };
     while let Some(flag) = argv.next() {
         let mut value = || argv.next().ok_or(format!("{flag} needs a value"));
@@ -146,11 +158,13 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
             }
             "--hot-func" => args.hot_func = Some(value()?),
             "--budget" => {
-                args.budget = Some(
-                    value()?
-                        .parse()
-                        .map_err(|_| "--budget needs a number".to_string())?,
-                )
+                let b: usize = value()?
+                    .parse()
+                    .map_err(|_| "--budget needs a number".to_string())?;
+                if b == 0 {
+                    return Err("--budget must be at least 1 (0 explores no schedules)".into());
+                }
+                args.budget = Some(b);
             }
             "--seed" => {
                 args.seed = Some(
@@ -162,6 +176,22 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
             "--fuzz" => args.fuzz = true,
             "--trace-out" => args.trace_out = Some(value()?),
             "--real" => args.real = true,
+            "--recover" => args.recover = true,
+            "--deadline-ms" => {
+                args.deadline_ms = Some(
+                    value()?
+                        .parse()
+                        .map_err(|_| "--deadline-ms needs a number".to_string())?,
+                )
+            }
+            "--max-retries" => {
+                args.max_retries = Some(
+                    value()?
+                        .parse()
+                        .map_err(|_| "--max-retries needs a number".to_string())?,
+                )
+            }
+            "--repro-dir" => args.repro_dir = Some(value()?),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -284,28 +314,88 @@ fn run(args: &Args) -> Result<(), String> {
             let scheme = args
                 .scheme
                 .ok_or("profile needs --scheme doall|dswp|ps-dswp")?;
-            let out = run_profile(
-                &compiler,
-                &analysis,
-                &spec,
-                scheme,
-                args.threads,
-                args.sync,
-                args.real,
-            )?;
-            print!("{}", out.report.render_text());
-            if let Some(t) = out.sim_time {
-                println!("total simulated time: {t} ticks");
+            if args.recover {
+                // Supervised profile: deadlines, transient retries, the
+                // degradation ladder, and failure-bundle capture.
+                let effects_text = match &args.effects {
+                    Some(path) => {
+                        std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?
+                    }
+                    None => String::new(),
+                };
+                let src =
+                    SyntheticSource::new(&args.file, &source, &effects_text, scheme, args.sync)?;
+                let cfg = ExecConfig {
+                    telemetry: true,
+                    ..ExecConfig::default()
+                };
+                let mut policy = RecoveryPolicy {
+                    deadline_ms: args.deadline_ms,
+                    bundle_dir: Some(
+                        args.repro_dir
+                            .clone()
+                            .unwrap_or_else(|| "target/repro".to_string())
+                            .into(),
+                    ),
+                    ..RecoveryPolicy::default()
+                };
+                if let Some(r) = args.max_retries {
+                    policy.max_retries = r;
+                }
+                match run_profile_supervised(&src, args.real, args.threads, &cfg, &policy) {
+                    Ok(out) => {
+                        match &out.telemetry {
+                            Some(report) => {
+                                print!("{}", report.render_text());
+                                if let Some(path) = &args.trace_out {
+                                    std::fs::write(path, chrome_trace_json(report))
+                                        .map_err(|e| format!("{path}: {e}"))?;
+                                    eprintln!("wrote Chrome trace to {path}");
+                                }
+                            }
+                            None => {
+                                println!("(no telemetry: run completed on the sequential fallback)")
+                            }
+                        }
+                        if out.recovery.is_clean() {
+                            println!(
+                                "recovery: clean ({} attempt, no retries, no degradation)",
+                                out.recovery.attempts
+                            );
+                        } else {
+                            print!("{}", out.recovery.render_text());
+                        }
+                        Ok(())
+                    }
+                    Err(fail) => {
+                        print!("{}", fail.recovery.render_text());
+                        Err(format!("supervised run failed terminally: {}", fail.error))
+                    }
+                }
+            } else {
+                let out = run_profile(
+                    &compiler,
+                    &analysis,
+                    &spec,
+                    scheme,
+                    args.threads,
+                    args.sync,
+                    args.real,
+                )?;
+                print!("{}", out.report.render_text());
+                if let Some(t) = out.sim_time {
+                    println!("total simulated time: {t} ticks");
+                }
+                if let Some(path) = &args.trace_out {
+                    std::fs::write(path, chrome_trace_json(&out.report))
+                        .map_err(|e| format!("{path}: {e}"))?;
+                    eprintln!(
+                        "wrote Chrome trace to {path} \
+                         (load in chrome://tracing or ui.perfetto.dev)"
+                    );
+                }
+                Ok(())
             }
-            if let Some(path) = &args.trace_out {
-                std::fs::write(path, chrome_trace_json(&out.report))
-                    .map_err(|e| format!("{path}: {e}"))?;
-                eprintln!(
-                    "wrote Chrome trace to {path} \
-                     (load in chrome://tracing or ui.perfetto.dev)"
-                );
-            }
-            Ok(())
         }
         "emit" => {
             let scheme = args
@@ -341,6 +431,31 @@ fn run(args: &Args) -> Result<(), String> {
     }
 }
 
+/// Replays a failure bundle; returns whether the recorded failure
+/// reproduced. A missing or corrupt bundle is a *usage* error (`Err`),
+/// handled in `main` with exit status 2.
+fn run_replay(args: &Args) -> Result<bool, String> {
+    let bundle = FailureBundle::load(std::path::Path::new(&args.file))?;
+    let out = replay_bundle(&bundle)?;
+    println!("bundle:   {}", args.file);
+    println!("program:  {}", bundle.program_path);
+    println!("rung:     {}", out.rung);
+    println!("expected: {}", out.expected);
+    match &out.observed {
+        Some(e) => println!("observed: {e}"),
+        None => println!("observed: (run succeeded)"),
+    }
+    println!(
+        "verdict:  {}",
+        if out.reproduced {
+            "REPRODUCED"
+        } else {
+            "NOT REPRODUCED"
+        }
+    );
+    Ok(out.reproduced)
+}
+
 fn main() -> ExitCode {
     let args = match parse_args(std::env::args()) {
         Ok(a) => a,
@@ -349,6 +464,18 @@ fn main() -> ExitCode {
             return usage();
         }
     };
+    if args.command == "replay" {
+        // Bundle problems (missing file, corrupt JSON, unknown knobs) are
+        // usage errors: exit 2 with the usage message, never a panic.
+        return match run_replay(&args) {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::FAILURE,
+            Err(e) => {
+                eprintln!("error: {e}");
+                usage()
+            }
+        };
+    }
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -460,6 +587,58 @@ mod tests {
         // Unknown commands are rejected before any file is touched.
         let err = args(&["bogus", "f.cmm"]).unwrap_err();
         assert!(err.contains("unknown command"), "{err}");
+        // A zero schedule budget explores nothing: rejected at parse time
+        // so the CLI exits 2 with the usage message instead of running a
+        // vacuous check (or worse, panicking downstream).
+        let err = args(&["check", "f.cmm", "--budget", "0"]).unwrap_err();
+        assert!(err.contains("--budget"), "{err}");
+        assert!(args(&["profile", "f.cmm", "--deadline-ms", "soon"]).is_err());
+        assert!(args(&["profile", "f.cmm", "--max-retries", "lots"]).is_err());
+        assert!(
+            args(&["profile", "f.cmm", "--repro-dir"]).is_err(),
+            "value missing"
+        );
+    }
+
+    #[test]
+    fn recovery_flags_parse() {
+        let a = args(&[
+            "profile",
+            "p.cmm",
+            "--scheme",
+            "doall",
+            "--recover",
+            "--deadline-ms",
+            "250",
+            "--max-retries",
+            "5",
+            "--repro-dir",
+            "out/repro",
+        ])
+        .unwrap();
+        assert!(a.recover);
+        assert_eq!(a.deadline_ms, Some(250));
+        assert_eq!(a.max_retries, Some(5));
+        assert_eq!(a.repro_dir.as_deref(), Some("out/repro"));
+        // Recovery is opt-in.
+        let a = args(&["profile", "p.cmm", "--scheme", "doall"]).unwrap();
+        assert!(!a.recover);
+        assert!(a.deadline_ms.is_none());
+    }
+
+    #[test]
+    fn replay_with_missing_or_corrupt_bundle_is_a_usage_error() {
+        let a = args(&["replay", "/nonexistent/x.repro.json"]).unwrap();
+        let err = run_replay(&a).unwrap_err();
+        assert!(err.contains("cannot read bundle"), "{err}");
+
+        let dir = std::env::temp_dir().join("commsetc_replay_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.repro.json");
+        std::fs::write(&bad, "{ this is not json").unwrap();
+        let a = args(&["replay", bad.to_str().unwrap()]).unwrap();
+        let err = run_replay(&a).unwrap_err();
+        assert!(err.contains("corrupt bundle"), "{err}");
     }
 
     #[test]

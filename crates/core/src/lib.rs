@@ -62,6 +62,7 @@ use std::collections::{BTreeSet, HashMap};
 pub use commset_transform::{ParallelPlan, ParallelProgram, Scheme, SyncMode};
 
 pub mod profile;
+pub mod replay;
 pub mod spec;
 
 /// The result of the analysis half of the pipeline: everything the

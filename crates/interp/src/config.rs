@@ -54,6 +54,13 @@ pub struct ExecConfig {
     /// off the executors consult only this flag, so runs pay no telemetry
     /// cost.
     pub telemetry: bool,
+    /// Per-section deadline in milliseconds; `None` (the default) runs
+    /// unbounded. In the real-thread executor a monitor waits out the
+    /// deadline, escalates to the watchdog for a diagnosis, then trips the
+    /// cooperative cancel flag; the section reports
+    /// [`crate::ExecError::DeadlineExceeded`]. In the simulated executor
+    /// the deadline is a deterministic tick budget (1 ms = 1000 ticks).
+    pub deadline_ms: Option<u64>,
 }
 
 impl Default for ExecConfig {
@@ -66,6 +73,7 @@ impl Default for ExecConfig {
             world: WorldMode::Auto,
             queue_batch: 8,
             telemetry: false,
+            deadline_ms: None,
         }
     }
 }
@@ -106,5 +114,6 @@ mod tests {
         assert_eq!(c.world, WorldMode::Auto);
         assert!(c.queue_batch >= 1);
         assert!(!c.telemetry, "telemetry must be opt-in");
+        assert!(c.deadline_ms.is_none(), "deadlines must be opt-in");
     }
 }

@@ -99,6 +99,54 @@ pub enum ExecError {
         /// What the watchdog saw.
         detail: String,
     },
+    /// A parallel section overran its configured deadline and was
+    /// cooperatively canceled (watchdog escalation first, then the shared
+    /// cancel flag). In the simulated executor the deadline is a
+    /// deterministic tick budget (1 ms = 1000 ticks).
+    DeadlineExceeded {
+        /// The section id.
+        section: i64,
+        /// The configured deadline in milliseconds.
+        deadline_ms: u64,
+    },
+}
+
+impl ExecError {
+    /// True for failure modes that depend on scheduling/timing — a
+    /// different interleaving (or a lower rung of the degradation ladder)
+    /// may succeed, so the supervisor retries them. Deterministic errors
+    /// (dynamic errors the program will hit under *any* schedule) are not
+    /// retried at the same rung.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            ExecError::Deadlock { .. }
+            | ExecError::WatchdogViolation { .. }
+            | ExecError::DeadlineExceeded { .. }
+            | ExecError::Canceled { .. } => true,
+            ExecError::WorkerFailed { cause, .. } => !Self::deterministic_cause(cause),
+            _ => false,
+        }
+    }
+
+    /// Does a `WorkerFailed` cause string render a deterministic dynamic
+    /// error (as produced by [`ExecError`]'s `Display` or a typed
+    /// `SlotError` payload), rather than a raw panic?
+    fn deterministic_cause(cause: &str) -> bool {
+        const DETERMINISTIC: &[&str] = &[
+            "division by zero",
+            "remainder by zero",
+            "out of bounds",
+            "type error in",
+            "no function `",
+            "arity mismatch",
+            "unknown queue id",
+            "no parallel plan for section",
+            "nested parallel sections",
+            "__tx_commit without",
+            "world slot `",
+        ];
+        DETERMINISTIC.iter().any(|m| cause.contains(m))
+    }
 }
 
 impl std::fmt::Display for ExecError {
@@ -161,6 +209,15 @@ impl std::fmt::Display for ExecError {
             ExecError::WatchdogViolation { section, detail } => {
                 write!(f, "watchdog violation in section {section}: {detail}")
             }
+            ExecError::DeadlineExceeded {
+                section,
+                deadline_ms,
+            } => {
+                write!(
+                    f,
+                    "section {section} exceeded its {deadline_ms} ms deadline and was canceled"
+                )
+            }
         }
     }
 }
@@ -196,5 +253,44 @@ mod tests {
     fn error_trait_is_implemented() {
         let e: Box<dyn std::error::Error> = Box::new(ExecError::NestedParallelSection);
         assert!(e.to_string().contains("nested"));
+    }
+
+    #[test]
+    fn transient_classification_separates_schedule_from_program_errors() {
+        // Schedule-dependent: retryable.
+        assert!(ExecError::Deadlock {
+            section: 0,
+            waiting: vec![]
+        }
+        .is_transient());
+        assert!(ExecError::DeadlineExceeded {
+            section: 0,
+            deadline_ms: 5
+        }
+        .is_transient());
+        assert!(ExecError::Canceled { stage: "w".into() }.is_transient());
+        assert!(ExecError::WatchdogViolation {
+            section: 1,
+            detail: "cycle".into()
+        }
+        .is_transient());
+        // A contained raw panic could be schedule-dependent: retryable.
+        assert!(ExecError::WorkerFailed {
+            stage: "w".into(),
+            cause: "injected shard poison (fault plan)".into()
+        }
+        .is_transient());
+        // Deterministic dynamic errors: not retryable at the same rung.
+        assert!(!ExecError::DivisionByZero { func: "f".into() }.is_transient());
+        assert!(!ExecError::WorkerFailed {
+            stage: "w".into(),
+            cause: "division by zero in `f`".into()
+        }
+        .is_transient());
+        assert!(!ExecError::WorkerFailed {
+            stage: "w".into(),
+            cause: "world slot `acc` is not installed".into()
+        }
+        .is_transient());
     }
 }

@@ -21,6 +21,12 @@
 //! * [`config`] — the shared [`config::ExecConfig`] knob set (fault
 //!   injection, STM retry discipline, waits-for watchdog, trace sink,
 //!   telemetry).
+//! * [`supervise`] — the self-healing execution supervisor: per-section
+//!   deadlines, transient-failure retry with backoff, a degradation ladder
+//!   (sharded → single lock → thread halving → sequential) with
+//!   oracle-validated degraded results, and replayable failure bundles.
+//! * [`bundle`] — the `.repro.json` failure-bundle format (and the small
+//!   JSON reader it needs), consumed by `commsetc replay`.
 //! * [`trace`] — deterministic execution-trace recording
 //!   ([`trace::TraceSink`]): region entries/exits, lock ranks, queue
 //!   operations and world-intrinsic calls, consumed by the
@@ -32,19 +38,26 @@
 //! rank, queue traffic, unified counters) built from monotonic-nanosecond
 //! spans on real threads and deterministic ticks under the DES.
 
+pub mod bundle;
 pub mod config;
 pub mod error;
 pub mod globals;
 pub mod seq;
 pub mod sim_exec;
+pub mod supervise;
 pub mod thread_exec;
 pub mod trace;
 pub mod vm;
 
+pub use bundle::FailureBundle;
 pub use config::{ExecConfig, WorldMode};
 pub use error::ExecError;
 pub use seq::run_sequential;
 pub use sim_exec::{run_simulated, run_simulated_with, SimOutcome, SimStats};
+pub use supervise::{
+    run_supervised, Backend, CompiledProgram, ProgramDesc, ProgramSource, RecoveryPolicy,
+    SupervisedFailure, SupervisedOutcome, Validator,
+};
 pub use thread_exec::{run_threaded, run_threaded_with, ThreadOutcome, ThreadStats};
 pub use trace::{TraceEvent, TraceRecord, TraceSink};
 pub use vm::{CallEvent, OobError, StepOutcome, Vm};

@@ -92,6 +92,11 @@ impl SectionTelemetry {
     }
 }
 
+/// Deadline conversion for the DES: [`ExecConfig::deadline_ms`] becomes a
+/// deterministic tick budget (1 ms = 1000 ticks, matching the thread
+/// executor's microsecond-denominated injection costs).
+const TICKS_PER_MS: u64 = 1000;
+
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum WStatus {
     Ready,
@@ -354,6 +359,18 @@ fn run_section(
                     .collect(),
             });
         };
+        // Deterministic deadline: once the earliest runnable worker's
+        // clock is past the section's tick budget, the section has
+        // overrun under *every* schedule of the model — report the
+        // overrun instead of scheduling further work.
+        if let Some(ms) = cfg.deadline_ms {
+            if workers[i].clock.saturating_sub(start) > ms.saturating_mul(TICKS_PER_MS) {
+                return Err(ExecError::DeadlineExceeded {
+                    section: plan.section,
+                    deadline_ms: ms,
+                });
+            }
+        }
         // Step worker i until it blocks, finishes, or completes one special.
         let step = workers[i]
             .vm
@@ -498,8 +515,10 @@ fn handle_special(
             .copied()
             .ok_or(ExecError::UnknownQueue { id })
     };
-    // A stalled worker pauses at its synchronization events.
-    let stall = injector.worker_stall(plan.workers[i].tid);
+    // A stalled worker pauses at its synchronization events; a slow
+    // worker pays its drag at every one of them.
+    let stall =
+        injector.worker_stall(plan.workers[i].tid) + injector.slow_worker(plan.workers[i].tid);
     workers[i].clock += stall;
     match name.as_str() {
         "__lock_acquire" => {
@@ -574,6 +593,7 @@ fn handle_special(
         "__q_push" | "__q_push_f" => {
             let q = qidx(&p.args)?;
             let bits = p.args[1].to_bits();
+            workers[i].clock += injector.queue_stall_delay();
             let attempt = workers[i].clock;
             match queues[q].push(workers[i].clock, bits, cm) {
                 PushOutcome::Pushed(t) => {
@@ -613,6 +633,7 @@ fn handle_special(
         }
         "__q_pop" | "__q_pop_f" => {
             let q = qidx(&p.args)?;
+            workers[i].clock += injector.queue_stall_delay();
             let attempt = workers[i].clock;
             match queues[q].pop(workers[i].clock, cm) {
                 PopOutcome::Popped(bits, t) => {

@@ -361,8 +361,39 @@ fn run_section(
         section_ord,
     };
 
+    // Deadline enforcement: a monitor thread (spawned inside the scope,
+    // below) waits out `cfg.deadline_ms`, escalates to the watchdog for a
+    // diagnosis, then trips the cooperative cancel flag — the same flag a
+    // failed sibling uses, so every canceling wait unblocks.
+    let deadline_fired = AtomicBool::new(false);
+    let workers_done = AtomicBool::new(false);
     let results: Vec<Result<(), ExecError>> = std::thread::scope(|scope| {
         let ctx = &ctx;
+        if let Some(ms) = cfg.deadline_ms {
+            let fired = &deadline_fired;
+            let done = &workers_done;
+            let wd = watchdog.as_ref();
+            let cancel = &cancel;
+            scope.spawn(move || {
+                let deadline = Duration::from_millis(ms);
+                let t0 = Instant::now();
+                while !done.load(Ordering::Relaxed) {
+                    let elapsed = t0.elapsed();
+                    if elapsed >= deadline {
+                        // Escalation order: ask the watchdog whether the
+                        // overrun is a cycle (its findings land in the
+                        // section report), then cancel cooperatively.
+                        if let Some(wd) = wd {
+                            wd.check();
+                        }
+                        fired.store(true, Ordering::SeqCst);
+                        cancel.store(true, Ordering::SeqCst);
+                        break;
+                    }
+                    std::thread::sleep((deadline - elapsed).min(Duration::from_millis(1)));
+                }
+            });
+        }
         let handles: Vec<_> = plan
             .workers
             .iter()
@@ -405,7 +436,7 @@ fn run_section(
                 })
             })
             .collect();
-        handles
+        let results: Vec<Result<(), ExecError>> = handles
             .into_iter()
             .map(|h| match h.join() {
                 Ok(r) => r,
@@ -416,7 +447,11 @@ fn run_section(
                     cause: panic_message(&*payload),
                 }),
             })
-            .collect()
+            .collect();
+        // Workers joined: release the deadline monitor (it polls this
+        // flag at millisecond granularity, so the scope exits promptly).
+        workers_done.store(true, Ordering::Relaxed);
+        results
     });
 
     // All workers are joined: snapshot the contention counters (before
@@ -453,6 +488,18 @@ fn run_section(
         }
     }
     if let Some(e) = first {
+        // When the deadline monitor tripped the cancel flag, the workers'
+        // Canceled noise *is* the deadline overrun; a genuine
+        // WorkerFailed that raced the deadline still wins (it carries the
+        // root cause).
+        if deadline_fired.load(Ordering::SeqCst) {
+            if let ExecError::Canceled { .. } = e {
+                return Err(ExecError::DeadlineExceeded {
+                    section: plan.section,
+                    deadline_ms: cfg.deadline_ms.unwrap_or(0),
+                });
+            }
+        }
         return Err(e);
     }
     let meta = sink.map(|_| SectionMeta {
@@ -597,7 +644,8 @@ fn worker_loop(
             }
             StepOutcome::Special(p) => {
                 let name = ctx.module.intrinsics.name(p.intrinsic.0 as usize);
-                let stall = ctx.injector.worker_stall(tid);
+                // Periodic stalls plus the persistent slow-worker drag.
+                let stall = ctx.injector.worker_stall(tid) + ctx.injector.slow_worker(tid);
                 if stall > 0 {
                     std::thread::sleep(Duration::from_micros(stall));
                 }
@@ -658,6 +706,10 @@ fn worker_loop(
                             .queue_index
                             .get(&id)
                             .ok_or(ExecError::UnknownQueue { id })?;
+                        let qs = ctx.injector.queue_stall_delay();
+                        if qs > 0 {
+                            std::thread::sleep(Duration::from_micros(qs));
+                        }
                         staged[q].push(p.args[1].to_bits());
                         if staged[q].len() >= batch {
                             let t0 = if telemetry_on { now() } else { 0 };
@@ -686,6 +738,10 @@ fn worker_loop(
                             .queue_index
                             .get(&id)
                             .ok_or(ExecError::UnknownQueue { id })?;
+                        let qs = ctx.injector.queue_stall_delay();
+                        if qs > 0 {
+                            std::thread::sleep(Duration::from_micros(qs));
+                        }
                         let bits = match refill[q].pop_front() {
                             Some(b) => b,
                             None => {

@@ -16,6 +16,10 @@ use crate::rng::SplitMix64;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+/// Panic payload used for injected shard poisoning, recognizable by the
+/// containment layer and the supervisor's error classifier.
+pub const SHARD_POISON_MSG: &str = "injected shard poison (fault plan)";
+
 /// Stall specification for one worker.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WorkerStall {
@@ -26,6 +30,19 @@ pub struct WorkerStall {
     pub every: u64,
     /// Stall magnitude: simulated cycles for the DES, microseconds for
     /// the thread executor.
+    pub cost: u64,
+}
+
+/// One persistently slow worker: unlike [`WorkerStall`] (periodic), a
+/// slow worker pays `cost` at *every* synchronization event, skewing its
+/// progress far behind its siblings — the canonical straggler that
+/// deadline enforcement exists to catch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlowWorker {
+    /// Worker thread id (`tid`) to slow down.
+    pub tid: i64,
+    /// Delay per synchronization event (simulated cycles / real
+    /// microseconds).
     pub cost: u64,
 }
 
@@ -53,6 +70,18 @@ pub struct FaultPlan {
     pub shard_hold_every: u64,
     /// Shard-hold delay magnitude (simulated cycles / real microseconds).
     pub shard_hold_cost: u64,
+    /// Delay every `n`-th pipeline queue push *or* pop (0 = never) —
+    /// models a slow memory bus or NUMA penalty on the DSWP rings.
+    pub queue_stall_every: u64,
+    /// Queue-stall magnitude (simulated cycles / real microseconds).
+    pub queue_stall_cost: u64,
+    /// Panic *inside* the `n`-th shard hold (0 = never). Fires exactly
+    /// once per injector: the panic unwinds through the shard guard,
+    /// poisoning the shard mutex — the supervisor-torture probe that a
+    /// poisoned shard is recovered, contained, and survivable.
+    pub shard_poison_nth: u64,
+    /// One persistently slow worker (`None` = none).
+    pub slow: Option<SlowWorker>,
 }
 
 impl FaultPlan {
@@ -118,6 +147,38 @@ impl FaultPlan {
         }
     }
 
+    /// Queue stalls: every third queue push/pop pays `cost`, dilating
+    /// pipeline communication.
+    pub fn queue_stall(seed: u64, cost: u64) -> Self {
+        FaultPlan {
+            seed,
+            queue_stall_every: 3,
+            queue_stall_cost: cost,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Shard poison: the second shard hold panics while the shard lock is
+    /// held, poisoning the mutex. The sharded world must recover the
+    /// poison and the executor must contain the panic as a worker failure.
+    pub fn shard_poison(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            shard_poison_nth: 2,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// One persistently slow worker: `tid` pays `cost` at every
+    /// synchronization event (the straggler deadlines exist to catch).
+    pub fn slow_worker(seed: u64, tid: i64, cost: u64) -> Self {
+        FaultPlan {
+            seed,
+            slow: Some(SlowWorker { tid, cost }),
+            ..FaultPlan::default()
+        }
+    }
+
     /// True when the plan injects nothing.
     pub fn is_none(&self) -> bool {
         self.stm_abort_every == 0
@@ -125,6 +186,9 @@ impl FaultPlan {
             && self.stall.is_none()
             && self.queue_capacity_clamp.is_none()
             && self.shard_hold_every == 0
+            && self.queue_stall_every == 0
+            && self.shard_poison_nth == 0
+            && self.slow.is_none()
     }
 }
 
@@ -139,6 +203,12 @@ pub struct FaultStats {
     pub stalls: u64,
     /// Multi-shard holds stretched.
     pub shard_holds: u64,
+    /// Queue pushes/pops stalled.
+    pub queue_stalls: u64,
+    /// Shard-poison panics delivered (0 or 1).
+    pub shard_poisons: u64,
+    /// Slow-worker delays delivered.
+    pub slow_delays: u64,
 }
 
 /// Shared, thread-safe decision engine for one run of a [`FaultPlan`].
@@ -149,10 +219,15 @@ pub struct FaultInjector {
     lock_events: AtomicU64,
     stall_events: AtomicU64,
     shard_events: AtomicU64,
+    queue_events: AtomicU64,
+    poison_events: AtomicU64,
     delivered_aborts: AtomicU64,
     delivered_delays: AtomicU64,
     delivered_stalls: AtomicU64,
     delivered_shard_holds: AtomicU64,
+    delivered_queue_stalls: AtomicU64,
+    delivered_poisons: AtomicU64,
+    delivered_slow: AtomicU64,
     rng: Mutex<SplitMix64>,
 }
 
@@ -166,10 +241,15 @@ impl FaultInjector {
             lock_events: AtomicU64::new(0),
             stall_events: AtomicU64::new(0),
             shard_events: AtomicU64::new(0),
+            queue_events: AtomicU64::new(0),
+            poison_events: AtomicU64::new(0),
             delivered_aborts: AtomicU64::new(0),
             delivered_delays: AtomicU64::new(0),
             delivered_stalls: AtomicU64::new(0),
             delivered_shard_holds: AtomicU64::new(0),
+            delivered_queue_stalls: AtomicU64::new(0),
+            delivered_poisons: AtomicU64::new(0),
+            delivered_slow: AtomicU64::new(0),
             rng,
         }
     }
@@ -258,6 +338,56 @@ impl FaultInjector {
         }
     }
 
+    /// Extra delay to impose on worker `tid` because the plan marks it
+    /// persistently slow; 0 = not the slow worker. Unlike
+    /// [`FaultInjector::worker_stall`], fires at *every* event.
+    pub fn slow_worker(&self, tid: i64) -> u64 {
+        let Some(slow) = self.plan.slow else {
+            return 0;
+        };
+        if slow.tid != tid || slow.cost == 0 {
+            return 0;
+        }
+        self.delivered_slow.fetch_add(1, Ordering::Relaxed);
+        slow.cost
+    }
+
+    /// Extra delay (cycles / µs) to impose on this queue push/pop;
+    /// 0 = none.
+    pub fn queue_stall_delay(&self) -> u64 {
+        if self.plan.queue_stall_every == 0 {
+            return 0;
+        }
+        let n = self.queue_events.fetch_add(1, Ordering::Relaxed) + 1;
+        if n.is_multiple_of(self.plan.queue_stall_every) {
+            self.delivered_queue_stalls.fetch_add(1, Ordering::Relaxed);
+            // Same ±50% jitter as lock grants so rings don't resonate.
+            let jitter = self
+                .rng
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .next_u64();
+            let base = self.plan.queue_stall_cost.max(1);
+            base / 2 + jitter % (base / 2 + 1)
+        } else {
+            0
+        }
+    }
+
+    /// Should this shard hold panic (poisoning the shard lock)? Fires
+    /// exactly once per injector, on the plan's `shard_poison_nth` hold.
+    pub fn shard_poison_now(&self) -> bool {
+        if self.plan.shard_poison_nth == 0 {
+            return false;
+        }
+        let n = self.poison_events.fetch_add(1, Ordering::Relaxed) + 1;
+        let hit = n == self.plan.shard_poison_nth;
+        if hit {
+            self.delivered_poisons.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
     /// Applies the plan's queue clamp to a planned capacity.
     pub fn clamp_capacity(&self, capacity: usize) -> usize {
         match self.plan.queue_capacity_clamp {
@@ -273,6 +403,9 @@ impl FaultInjector {
             lock_delays: self.delivered_delays.load(Ordering::Relaxed),
             stalls: self.delivered_stalls.load(Ordering::Relaxed),
             shard_holds: self.delivered_shard_holds.load(Ordering::Relaxed),
+            queue_stalls: self.delivered_queue_stalls.load(Ordering::Relaxed),
+            shard_poisons: self.delivered_poisons.load(Ordering::Relaxed),
+            slow_delays: self.delivered_slow.load(Ordering::Relaxed),
         }
     }
 }
@@ -289,6 +422,9 @@ mod tests {
             assert_eq!(inj.lock_grant_delay(), 0);
             assert_eq!(inj.worker_stall(0), 0);
             assert_eq!(inj.shard_hold_delay(), 0);
+            assert_eq!(inj.queue_stall_delay(), 0);
+            assert!(!inj.shard_poison_now());
+            assert_eq!(inj.slow_worker(0), 0);
         }
         assert_eq!(inj.clamp_capacity(64), 64);
         assert_eq!(inj.stats(), FaultStats::default());
@@ -345,6 +481,45 @@ mod tests {
         }
         assert_eq!(hit, 3);
         assert_eq!(inj.stats().shard_holds, 3);
+    }
+
+    #[test]
+    fn queue_stall_is_periodic_jittered_and_counted() {
+        let inj = FaultInjector::new(FaultPlan::queue_stall(5, 400));
+        assert!(!FaultPlan::queue_stall(5, 400).is_none());
+        let mut hit = 0;
+        for i in 1..=9u64 {
+            let d = inj.queue_stall_delay();
+            if i % 3 == 0 {
+                assert!((200..=400).contains(&d), "delay {d} out of jitter range");
+                hit += 1;
+            } else {
+                assert_eq!(d, 0);
+            }
+        }
+        assert_eq!(hit, 3);
+        assert_eq!(inj.stats().queue_stalls, 3);
+    }
+
+    #[test]
+    fn shard_poison_fires_exactly_once_on_the_nth_hold() {
+        let inj = FaultInjector::new(FaultPlan::shard_poison(3));
+        assert!(!FaultPlan::shard_poison(3).is_none());
+        let hits: Vec<bool> = (0..10).map(|_| inj.shard_poison_now()).collect();
+        assert_eq!(hits.iter().filter(|h| **h).count(), 1);
+        assert!(hits[1], "fires on the second hold");
+        assert_eq!(inj.stats().shard_poisons, 1);
+    }
+
+    #[test]
+    fn slow_worker_pays_at_every_event() {
+        let inj = FaultInjector::new(FaultPlan::slow_worker(1, 3, 250));
+        assert!(!FaultPlan::slow_worker(1, 3, 250).is_none());
+        for _ in 0..5 {
+            assert_eq!(inj.slow_worker(0), 0, "other workers untouched");
+            assert_eq!(inj.slow_worker(3), 250, "slow worker pays every time");
+        }
+        assert_eq!(inj.stats().slow_delays, 5);
     }
 
     #[test]

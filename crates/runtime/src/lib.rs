@@ -37,7 +37,7 @@ pub mod value;
 pub mod watchdog;
 pub mod world;
 
-pub use fault::{FaultInjector, FaultPlan, FaultStats, WorkerStall};
+pub use fault::{FaultInjector, FaultPlan, FaultStats, SlowWorker, WorkerStall};
 pub use intrinsics::{IntrinsicOutcome, Registry, Route, SlotBinding};
 pub use queue::SpscQueue;
 pub use sharded::{

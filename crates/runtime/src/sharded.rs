@@ -256,6 +256,10 @@ impl ShardedWorld {
         };
         self.stats.fast_acquires.fetch_add(1, Ordering::Relaxed);
         self.hold_delay(obs);
+        // An injected poison panics *while the shard guard is held*: the
+        // guard drop poisons the std mutex underneath, and the next
+        // acquisition must recover it (the `sync` shim's contract).
+        Self::maybe_poison(obs);
         f(&mut guard)
     }
 
@@ -290,7 +294,13 @@ impl ShardedWorld {
                 scratch.install_boxed(name, boxed);
             }
         }
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut scratch)));
+        // An injected poison lands inside the existing unwind containment:
+        // the scatter below still runs, every held shard is released (and
+        // reported released to the watchdog) before the panic resumes.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Self::maybe_poison(obs);
+            f(&mut scratch)
+        }));
         // Scatter back by home shard; a slot freshly installed by `f`
         // whose home shard is *not* held (only possible on a partial
         // footprint) falls back to the lowest held shard.
@@ -319,6 +329,16 @@ impl ShardedWorld {
             let d = inj.shard_hold_delay();
             if d > 0 {
                 std::thread::sleep(std::time::Duration::from_micros(d));
+            }
+        }
+    }
+
+    /// Panics with [`crate::fault::SHARD_POISON_MSG`] if the observer's
+    /// injector schedules a shard poison for this hold.
+    fn maybe_poison(obs: &ShardObserver<'_>) {
+        if let Some(inj) = obs.injector {
+            if inj.shard_poison_now() {
+                panic!("{}", crate::fault::SHARD_POISON_MSG);
             }
         }
     }
@@ -508,5 +528,42 @@ mod tests {
         let world = Arc::into_inner(sw).unwrap().into_world();
         assert_eq!(*world.get::<i64>("acc#2"), 24);
         assert_eq!(*world.get::<i64>("acc#7"), 24);
+    }
+
+    #[test]
+    fn injected_shard_poison_is_recovered_on_the_next_acquisition() {
+        let sw = striped_world(8);
+        let inj = FaultInjector::new(FaultPlan::shard_poison(11));
+        let obs = ShardObserver {
+            injector: Some(&inj),
+            ..ShardObserver::silent()
+        };
+        let slot = stripe_slot("acc", 4);
+        // First hold is clean, second panics mid-hold (poisoning the
+        // shard), every later hold must recover and proceed.
+        sw.with_slots(std::slice::from_ref(&slot), &obs, |w| {
+            *w.get_mut::<i64>(&slot) += 1;
+        });
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sw.with_slots(std::slice::from_ref(&slot), &obs, |w| {
+                *w.get_mut::<i64>(&slot) += 100;
+            })
+        }))
+        .expect_err("poison must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains("injected shard poison"), "{msg:?}");
+        sw.with_slots(std::slice::from_ref(&slot), &obs, |w| {
+            *w.get_mut::<i64>(&slot) += 1;
+        });
+        assert_eq!(inj.stats().shard_poisons, 1, "poison fires exactly once");
+        assert_eq!(
+            *sw.into_world().get::<i64>(&slot),
+            2,
+            "poisoned hold's closure never ran; clean holds did"
+        );
     }
 }

@@ -222,16 +222,22 @@ impl Stm {
                     }
                     Err(Abort) => {
                         // Only possible if the body poisoned itself against
-                        // a commit that happened *before* we took rank-0;
-                        // a retry under the held lock must succeed.
-                        self.aborts.fetch_add(1, Ordering::Relaxed);
-                        report.aborts += 1;
-                        let mut tx = self.begin();
-                        let r = body(&mut tx);
-                        tx.commit_internal(false)
-                            .expect("fallback commit cannot be invalidated under rank-0");
-                        self.commits.fetch_add(1, Ordering::Relaxed);
-                        return (r, report);
+                        // a commit that happened *before* we took rank-0.
+                        // With the write side held no optimistic commit can
+                        // interleave, so retrying under the lock converges
+                        // (normally in one pass) — a loop instead of an
+                        // `expect` so even a violated invariant degrades to
+                        // retries rather than panicking into the caller.
+                        loop {
+                            self.aborts.fetch_add(1, Ordering::Relaxed);
+                            report.aborts += 1;
+                            let mut tx = self.begin();
+                            let r = body(&mut tx);
+                            if tx.commit_internal(false).is_ok() {
+                                self.commits.fetch_add(1, Ordering::Relaxed);
+                                return (r, report);
+                            }
+                        }
                     }
                 }
             }

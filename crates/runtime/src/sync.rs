@@ -49,16 +49,26 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+// Audit note: the `expect`s below are not poison paths (poisoning is
+// recovered at acquisition, above). The inner Option is `None` only while
+// `Condvar::wait`/`wait_timeout` holds the guard by `&mut` with the inner
+// std guard moved out, so no `Deref` can observe the gap — these are
+// statically unreachable, kept as `expect` purely to name the invariant.
+
 impl<T: ?Sized> Deref for MutexGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        self.0.as_ref().expect("guard present")
+        self.0
+            .as_ref()
+            .expect("guard taken only inside Condvar::wait")
     }
 }
 
 impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        self.0.as_mut().expect("guard present")
+        self.0
+            .as_mut()
+            .expect("guard taken only inside Condvar::wait")
     }
 }
 

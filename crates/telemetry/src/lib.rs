@@ -26,10 +26,12 @@
 
 pub mod chrome;
 pub mod json;
+pub mod recovery;
 pub mod report;
 pub mod span;
 
 pub use chrome::{chrome_trace_json, ChromeTraceBuilder};
+pub use recovery::RecoveryReport;
 pub use report::{
     ClockUnit, LockReport, QueueReport, RunCounters, RunReport, SectionMeta, SectionProfile,
     StageReport, WorkerReport,

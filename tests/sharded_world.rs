@@ -11,6 +11,7 @@
 
 use commset::Scheme;
 use commset_interp::{ExecConfig, ThreadOutcome, WorldMode};
+use commset_runtime::{FaultPlan, SlowWorker};
 use commset_sim::CostModel;
 use commset_workloads::{all, SchemeSpec, Workload};
 
@@ -139,6 +140,58 @@ fn auto_mode_resolves_by_bindings_and_stays_equivalent() {
             w.name
         );
     }
+}
+
+/// Shard holds stretched by the fault plan, combined with one worker
+/// dragging at every sync event, at eight threads: the watchdog's rank
+/// ordering over shard ranks must stay clean for every bound workload,
+/// and the sharded result must still validate against the oracle. This is
+/// the adversarial schedule most likely to expose a rank inversion —
+/// shard acquisitions held long enough for every other worker to pile up
+/// behind them, skewed by a straggler.
+#[test]
+fn shard_holds_with_a_slow_worker_keep_rank_order_at_eight_threads() {
+    let cm = CostModel::default();
+    let mut exercised = 0u32;
+    for w in all() {
+        if !w.registry.has_bindings() {
+            continue;
+        }
+        let (_, seq_world) = w.run_sequential(&cm);
+        let Some(spec) = w.schemes.iter().find(|s| s.scheme != Scheme::Sequential) else {
+            continue;
+        };
+        let fault = FaultPlan {
+            slow: Some(SlowWorker { tid: 6, cost: 800 }),
+            ..FaultPlan::shard_hold(0x8F, 700)
+        };
+        let cfg = ExecConfig {
+            world: WorldMode::Sharded,
+            fault,
+            ..ExecConfig::default()
+        };
+        let out = match w.run_scheme_threaded(spec, 8, &cfg) {
+            Ok(out) => out,
+            Err(Ok(_diag)) => continue,
+            Err(Err(e)) => panic!("{}: {} x8 tortured: {e}", w.name, spec.label),
+        };
+        (w.validate)(&seq_world, &out.world)
+            .unwrap_or_else(|e| panic!("{}: {} x8 tortured: {e}", w.name, spec.label));
+        assert!(
+            out.stats.watchdog.is_clean(),
+            "{}: {} x8: rank-order violation under shard_hold + slow_worker: {:?}",
+            w.name,
+            spec.label,
+            out.stats.watchdog
+        );
+        assert!(
+            out.stats.fault.slow_delays > 0,
+            "{}: slow-worker fault never fired at 8 threads",
+            w.name
+        );
+        exercised += 1;
+    }
+    assert!(exercised > 0, "no bound workload exercised the combination");
 }
 
 /// The DSWP queue batching knob must not change results: the md5sum

@@ -1,19 +1,27 @@
 //! The fault-injection torture harness.
 //!
 //! Every evaluation workload is run under a matrix of adversarial fault
-//! plans — forced STM aborts, delayed lock grants, stalled workers, and
-//! bounded-queue pushback — on the simulated executor, and a subset of
-//! hand-built programs is additionally tortured on real threads. The
-//! invariant throughout: **a fault plan may slow a schedule down, but it
-//! must never change the answer**, and the waits-for watchdog must stay
-//! clean (no cycles, no rank-order violations).
+//! plans — forced STM aborts, delayed lock grants, stalled workers,
+//! slowed workers, queue stalls, shard poison, and bounded-queue
+//! pushback — on the simulated executor, and a subset of hand-built
+//! programs is additionally tortured on real threads. The invariant
+//! throughout: **a fault plan may slow a schedule down, but it must never
+//! change the answer**, and the waits-for watchdog must stay clean (no
+//! cycles, no rank-order violations).
+//!
+//! The matrix additionally runs *through the execution supervisor*
+//! ([`commset_interp::run_supervised`]): a fault plan may force retries or
+//! a descent down the degradation ladder, but every cell must converge to
+//! output identical to the sequential oracle — recovery is allowed,
+//! failure is not.
 
 use commset::{Compiler, Scheme, SyncMode};
-use commset_interp::{run_threaded_with, ExecConfig, ExecError};
+use commset_interp::supervise::{CompiledProgram, ProgramDesc, ProgramSource};
+use commset_interp::{run_threaded_with, Backend, ExecConfig, ExecError, RecoveryPolicy};
 use commset_ir::IntrinsicTable;
 use commset_lang::ast::Type;
 use commset_runtime::intrinsics::IntrinsicOutcome;
-use commset_runtime::{FaultPlan, Registry, SlotBinding, WorkerStall, World};
+use commset_runtime::{FaultPlan, Registry, SlotBinding, SlowWorker, WorkerStall, World};
 use commset_sim::CostModel;
 use commset_workloads::all;
 
@@ -27,6 +35,8 @@ fn plans() -> Vec<(&'static str, FaultPlan)> {
         ("worker_stall", FaultPlan::worker_stall(0x57, 1, 1500)),
         ("queue_pushback", FaultPlan::queue_pushback(0x9B)),
         ("shard_hold", FaultPlan::shard_hold(0x5D, 800)),
+        ("queue_stall", FaultPlan::queue_stall(0x9A, 400)),
+        ("slow_worker", FaultPlan::slow_worker(0x51, 1, 900)),
         (
             "everything_at_once",
             FaultPlan {
@@ -42,9 +52,39 @@ fn plans() -> Vec<(&'static str, FaultPlan)> {
                 queue_capacity_clamp: Some(1),
                 shard_hold_every: 3,
                 shard_hold_cost: 500,
+                queue_stall_every: 4,
+                queue_stall_cost: 300,
+                shard_poison_nth: 0,
+                slow: Some(SlowWorker { tid: 3, cost: 600 }),
             },
         ),
     ]
+}
+
+/// The chaos-job amplifier: `COMMSET_CHAOS=K` multiplies every fault
+/// plan's injected cost K-fold (default 1 — the plans as written). CI's
+/// chaos job runs the supervised matrix with an enlarged budget this way.
+fn chaos_scale() -> u64 {
+    std::env::var("COMMSET_CHAOS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&k| k >= 1)
+        .unwrap_or(1)
+}
+
+/// Scales a plan's delay magnitudes; trigger cadences stay untouched so
+/// amplification stretches each injected pause rather than firing more.
+fn amplify(mut p: FaultPlan, k: u64) -> FaultPlan {
+    p.lock_delay_cost *= k;
+    p.shard_hold_cost *= k;
+    p.queue_stall_cost *= k;
+    if let Some(s) = &mut p.stall {
+        s.cost *= k;
+    }
+    if let Some(s) = &mut p.slow {
+        s.cost *= k;
+    }
+    p
 }
 
 /// Every workload × every scheme series × every fault plan on the
@@ -378,6 +418,251 @@ fn simulated_deadlock_is_reported_structurally() {
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Supervised torture: the same matrix routed through the execution
+// supervisor. Recovery (retries, ladder descent) is allowed; failure or
+// divergence from the sequential oracle is not.
+// ---------------------------------------------------------------------
+
+/// Every workload × scheme series × fault plan, run through
+/// `run_supervised` on the simulated executor: each cell must finish with
+/// a world the workload's validator accepts against the sequential
+/// oracle, whatever recovery it took to get there.
+#[test]
+fn supervised_matrix_converges_to_oracle_identical_output() {
+    let cm = CostModel::default();
+    let scale = chaos_scale();
+    // The chaos job sets COMMSET_REPRO_DIR so any terminal failure leaves
+    // a replayable bundle behind as a CI artifact.
+    let policy = RecoveryPolicy {
+        max_retries: 1,
+        base_backoff_ms: 1,
+        max_backoff_ms: 2,
+        bundle_dir: std::env::var_os("COMMSET_REPRO_DIR").map(std::path::PathBuf::from),
+        ..RecoveryPolicy::default()
+    };
+    let mut cells = 0u32;
+    for w in all() {
+        let (_, seq_world) = w.run_sequential(&cm);
+        for spec in &w.schemes {
+            if spec.scheme == Scheme::Sequential {
+                continue;
+            }
+            for (label, fault) in plans() {
+                let cfg = ExecConfig::with_fault(amplify(fault, scale));
+                match w.run_scheme_supervised(spec, 4, Backend::Sim, &cfg, &policy) {
+                    Ok(out) => {
+                        (w.validate)(&seq_world, &out.world).unwrap_or_else(|e| {
+                            panic!(
+                                "{}: {} under {label}: supervised output diverged: {e}\n{}",
+                                w.name,
+                                spec.label,
+                                out.recovery.render_text()
+                            )
+                        });
+                        cells += 1;
+                    }
+                    Err(Ok(diag)) => panic!(
+                        "{}: {} under {label}: analysis failed: {diag}",
+                        w.name, spec.label
+                    ),
+                    Err(Err(fail)) => panic!(
+                        "{}: {} under {label}: supervisor exhausted the ladder: {}\n{}",
+                        w.name,
+                        spec.label,
+                        fail.error,
+                        fail.recovery.render_text()
+                    ),
+                }
+            }
+        }
+    }
+    assert!(cells >= 60, "supervised matrix too small: {cells} cells");
+}
+
+/// A zero-millisecond deadline kills every parallel rung deterministically
+/// on the simulator; the supervisor must walk the whole ladder and finish
+/// on the sequential fallback — degraded, but correct.
+#[test]
+fn impossible_deadline_degrades_to_the_sequential_fallback() {
+    let cm = CostModel::default();
+    let workloads = all();
+    let w = &workloads[0];
+    let (_, seq_world) = w.run_sequential(&cm);
+    let spec = w
+        .schemes
+        .iter()
+        .find(|s| s.scheme != Scheme::Sequential)
+        .expect("workload has a parallel scheme");
+    let policy = RecoveryPolicy {
+        max_retries: 0,
+        deadline_ms: Some(0),
+        ..RecoveryPolicy::default()
+    };
+    let out = w
+        .run_scheme_supervised(spec, 4, Backend::Sim, &ExecConfig::default(), &policy)
+        .unwrap_or_else(|e| panic!("{}: supervisor failed outright: {e:?}", w.name));
+    assert!(out.recovery.degraded, "ladder was never descended");
+    assert!(out.recovery.recovered);
+    assert_eq!(out.recovery.final_mode, "sequential");
+    assert!(
+        out.recovery.errors.iter().any(|e| e.contains("deadline")),
+        "no deadline error recorded: {:?}",
+        out.recovery.errors
+    );
+    (w.validate)(&seq_world, &out.world)
+        .unwrap_or_else(|e| panic!("sequential fallback diverged: {e}"));
+}
+
+/// An inline [`ProgramSource`] over a hand-built compiler + registry, for
+/// supervising the real-thread reduction.
+struct TestSource {
+    compiler: Compiler,
+    registry: Registry,
+    source: String,
+    sync: SyncMode,
+}
+
+impl ProgramSource for TestSource {
+    fn parallel(&self, threads: usize) -> Result<CompiledProgram, String> {
+        let a = self
+            .compiler
+            .analyze(&self.source)
+            .map_err(|d| d.to_string())?;
+        let (module, plan) = self
+            .compiler
+            .compile(&a, Scheme::Doall, threads, self.sync)
+            .map_err(|d| d.to_string())?;
+        Ok(CompiledProgram {
+            module,
+            plans: vec![plan],
+        })
+    }
+
+    fn sequential(&self) -> Result<commset_ir::Module, String> {
+        let a = self
+            .compiler
+            .analyze(&self.source)
+            .map_err(|d| d.to_string())?;
+        self.compiler
+            .compile_sequential(&a)
+            .map_err(|d| d.to_string())
+    }
+
+    fn fresh_world(&self) -> World {
+        let mut w = World::new();
+        w.install("acc", 0i64);
+        w
+    }
+
+    fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    fn describe(&self) -> ProgramDesc {
+        ProgramDesc {
+            path: "torture:reduction".into(),
+            source: self.source.clone(),
+            effects: String::new(),
+            scheme: "doall".into(),
+            sync: self.sync.to_string(),
+        }
+    }
+}
+
+/// Injected shard poison panics inside a shard hold on every sharded
+/// attempt (the injector is deterministic in its seed), so the supervisor
+/// must descend from the sharded world to the single-lock world — where
+/// no shard events exist — and converge to the exact reduction total.
+#[test]
+fn shard_poison_descends_the_ladder_on_real_threads() {
+    let (compiler, registry) = reduction_setup();
+    let src = TestSource {
+        compiler,
+        registry,
+        source: REDUCTION.to_string(),
+        sync: SyncMode::Mutex,
+    };
+    let expected: i64 = (0..96).sum();
+    let cfg = ExecConfig::with_fault(FaultPlan::shard_poison(0x50));
+    let policy = RecoveryPolicy {
+        max_retries: 1,
+        base_backoff_ms: 1,
+        max_backoff_ms: 2,
+        ..RecoveryPolicy::default()
+    };
+    let validate = |cand: &World, oracle: &World| -> Result<(), String> {
+        let (c, o) = (*cand.get::<i64>("acc"), *oracle.get::<i64>("acc"));
+        if c == o {
+            Ok(())
+        } else {
+            Err(format!("acc {c} != oracle {o}"))
+        }
+    };
+    let out =
+        commset_interp::run_supervised(&src, Backend::Threads, 4, &cfg, &policy, Some(&validate))
+            .unwrap_or_else(|e| {
+                panic!(
+                    "supervisor failed under shard poison: {}\n{}",
+                    e.error,
+                    e.recovery.render_text()
+                )
+            });
+    assert_eq!(*out.world.get::<i64>("acc"), expected);
+    assert!(out.recovery.recovered, "poison never fired?");
+    assert!(
+        out.recovery.degraded,
+        "sharded rung somehow survived poison"
+    );
+    assert_eq!(out.recovery.final_mode, "threads(single-lock, 4)");
+    assert!(
+        out.recovery
+            .errors
+            .iter()
+            .any(|e| e.contains("injected shard poison")),
+        "errors: {:?}",
+        out.recovery.errors
+    );
+    assert!(
+        out.recovery.retries >= 1,
+        "poison is transient: it must be retried before descending"
+    );
+}
+
+/// Satellite coverage: shard holds combined with the slow-worker fault at
+/// eight threads. The watchdog's rank ordering (shard ranks totally
+/// ordered above CommSet lock ranks) must stay clean even when one worker
+/// drags at every sync event while multi-shard holds are stretched.
+#[test]
+fn watchdog_rank_ordering_survives_shard_hold_plus_slow_worker_at_eight_threads() {
+    let (c, registry) = reduction_setup();
+    let a = c.analyze(REDUCTION).expect("analyzes");
+    let expected: i64 = (0..96).sum();
+    let (module, plan) = c
+        .compile(&a, Scheme::Doall, 8, SyncMode::Mutex)
+        .expect("applies");
+    let fault = FaultPlan {
+        slow: Some(SlowWorker { tid: 5, cost: 700 }),
+        ..FaultPlan::shard_hold(0x8D, 600)
+    };
+    let cfg = ExecConfig::with_fault(fault);
+    let mut world = World::new();
+    world.install("acc", 0i64);
+    let out = run_threaded_with(&module, &registry, std::slice::from_ref(&plan), world, &cfg)
+        .expect("shard_hold + slow_worker must not break the run");
+    assert_eq!(*out.world.get::<i64>("acc"), expected);
+    assert!(
+        out.stats.watchdog.is_clean(),
+        "rank-order violation at 8 threads: {:?}",
+        out.stats.watchdog
+    );
+    assert!(
+        out.stats.fault.slow_delays > 0,
+        "slow-worker fault never fired: {:?}",
+        out.stats.fault
+    );
 }
 
 /// The simulated executor under a fault plan is still a deterministic
