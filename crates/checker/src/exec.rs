@@ -210,6 +210,65 @@ impl Scheduler for Delay {
     }
 }
 
+/// Wraps a scheduler and records every decision it takes — the raw
+/// material for the counterexample shrinker and the schedule-diversity
+/// guard.
+pub struct Recording<'a> {
+    inner: &'a mut dyn Scheduler,
+    /// The chosen worker at each decision point, in order.
+    pub trace: Vec<usize>,
+}
+impl<'a> Recording<'a> {
+    /// Records `inner`'s picks.
+    pub fn new(inner: &'a mut dyn Scheduler) -> Self {
+        Recording {
+            inner,
+            trace: Vec::new(),
+        }
+    }
+}
+impl Scheduler for Recording<'_> {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+    fn pick(&mut self, ready: &[usize]) -> usize {
+        let c = self.inner.pick(ready);
+        self.trace.push(c);
+        c
+    }
+}
+
+/// Replays a recorded decision trace. `None` entries (and positions past
+/// the trace, and recorded picks that are no longer ready) fall back to
+/// the canonical choice — so a partially-canonicalized trace is always a
+/// valid schedule. This is the shrinker's search space: flip recorded
+/// decisions back to canonical one at a time and keep the flips that
+/// preserve the violation.
+pub struct Replay {
+    decisions: Vec<Option<usize>>,
+    pos: usize,
+}
+impl Replay {
+    /// Replays `decisions`; `None` means "canonical choice here".
+    pub fn new(decisions: Vec<Option<usize>>) -> Self {
+        Replay { decisions, pos: 0 }
+    }
+}
+impl Scheduler for Replay {
+    fn name(&self) -> String {
+        let flips = self.decisions.iter().flatten().count();
+        format!("replay({flips} pinned)")
+    }
+    fn pick(&mut self, ready: &[usize]) -> usize {
+        let want = self.decisions.get(self.pos).copied().flatten();
+        self.pos += 1;
+        match want {
+            Some(w) if ready.contains(&w) => w,
+            _ => ready[0],
+        }
+    }
+}
+
 /// Seeded random choice — the bounded "everything else" of the budget.
 pub struct Chaos {
     rng: SplitMix64,
@@ -465,7 +524,11 @@ pub fn run_sequential_model(
     model_cfg: &ModelConfig,
     step_budget: u64,
 ) -> Result<ControlledOutcome, CheckError> {
-    let mut world = ModelWorld::new(model_cfg.clone());
+    // The oracle is sequentially consistent by definition: a stray
+    // per-run store-buffer window must not leak into it.
+    let mut seq_cfg = model_cfg.clone();
+    seq_cfg.sb_window = None;
+    let mut world = ModelWorld::new(seq_cfg);
     let mut globals = PlainGlobals::new(module);
     let mut vm = Vm::for_name(module, "main", &[])?;
     let mut budget = step_budget;
@@ -504,7 +567,7 @@ fn run_section<'m>(
     log: &mut Vec<RegionExec>,
 ) -> Result<(), CheckError> {
     let mut workers: Vec<CWorker<'m>> = Vec::with_capacity(plan.workers.len());
-    for w in &plan.workers {
+    for (i, w) in plan.workers.iter().enumerate() {
         let mut vm = Vm::for_name(
             machine.module,
             &w.func,
@@ -513,6 +576,7 @@ fn run_section<'m>(
         vm.watch_calls_matching("__commset_region_");
         // Run the pre-region prefix (private computation) eagerly, in
         // worker order — deterministic and schedule-irrelevant.
+        machine.world.set_worker(i + 1);
         let state = machine.run_vm(&mut vm, globals, false, &w.func)?;
         workers.push(CWorker { vm, state });
     }
@@ -531,6 +595,10 @@ fn run_section<'m>(
             .collect();
         if ready.is_empty() {
             if workers.iter().all(|w| w.state == WState::Done) {
+                // Section barrier: every store buffer drains, so the
+                // final write multisets match an SC interleaving.
+                machine.world.flush_all();
+                machine.world.set_worker(0);
                 return Ok(());
             }
             return Err(CheckError::Deadlock {
@@ -543,6 +611,10 @@ fn run_section<'m>(
         }
         let chosen = sched.pick(&ready);
         debug_assert!(ready.contains(&chosen), "scheduler returned non-ready");
+        // Every scheduled event is one tick of the store-buffer clock;
+        // parked writes older than the window drain before the event runs.
+        machine.world.tick_advance();
+        machine.world.set_worker(chosen + 1);
         let w = &mut workers[chosen];
         match w.state.clone() {
             WState::AtRegion { func, args } => {
@@ -596,6 +668,27 @@ mod tests {
         for _ in 0..20 {
             assert!(ready.contains(&c.pick(&ready)));
         }
+    }
+
+    #[test]
+    fn recording_and_replay_round_trip() {
+        let ready = vec![0, 1, 2];
+        let mut base = Reverse;
+        let mut rec = Recording::new(&mut base);
+        for _ in 0..3 {
+            rec.pick(&ready);
+        }
+        assert_eq!(rec.trace, vec![2, 2, 2]);
+        // Replaying the trace reproduces it; canonicalizing one decision
+        // falls back to ready[0]; past the trace end is canonical too.
+        let mut rep = Replay::new(vec![Some(2), None, Some(2)]);
+        assert_eq!(rep.pick(&ready), 2);
+        assert_eq!(rep.pick(&ready), 0);
+        assert_eq!(rep.pick(&ready), 2);
+        assert_eq!(rep.pick(&ready), 0, "past-end is canonical");
+        // A pinned worker that is no longer ready degrades to canonical.
+        let mut rep = Replay::new(vec![Some(7)]);
+        assert_eq!(rep.pick(&ready), 0);
     }
 
     #[test]

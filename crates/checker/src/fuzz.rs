@@ -17,8 +17,18 @@
 //!   checker must **not** flag it (a false positive here means the
 //!   checker conflates sync strategy with commutativity).
 
+//!
+//! Mutants are independent, so the campaign fans them out across the same
+//! deterministic pool ([`crate::pool`]) the schedule explorer uses:
+//! `cfg.jobs` checker threads each claim whole mutants (the inner
+//! schedule campaigns run single-threaded), and outcomes are merged in
+//! mutation order — a `--jobs 8` fuzz report is byte-identical to
+//! `--jobs 1`. An unsound fuzz verdict prints a `REPLAY:` line naming the
+//! seed and the offending mutant's index.
+
 use crate::explore::{check_source, CheckConfig};
-use crate::report::Verdict;
+use crate::pool;
+use crate::report::{ReplayInfo, Verdict};
 use commset_ir::IntrinsicTable;
 use commset_lang::diag::Diagnostic;
 
@@ -148,6 +158,10 @@ pub struct FuzzReport {
     pub baseline_summary: String,
     /// One outcome per mutation, in line order.
     pub outcomes: Vec<FuzzOutcome>,
+    /// Reproduction knobs; present exactly when the campaign is unsound.
+    /// `partition` is the 0-based index of the first offending mutant
+    /// (or of the baseline check, when the baseline itself is flagged).
+    pub replay: Option<ReplayInfo>,
 }
 
 impl FuzzReport {
@@ -208,12 +222,36 @@ impl std::fmt::Display for FuzzReport {
             f,
             "fuzz verdict: {}",
             if self.sound() { "SOUND" } else { "UNSOUND" }
-        )
+        )?;
+        if let Some(replay) = &self.replay {
+            writeln!(f, "{replay}")?;
+        }
+        Ok(())
+    }
+}
+
+fn verdict_summary(report: &crate::report::CheckReport) -> String {
+    match &report.verdict {
+        Verdict::Pass { scheme, schedules } => format!("pass ({scheme}, {schedules} schedules)"),
+        Verdict::Fail(fail) => format!("fail under `{}` ({})", fail.schedule, fail.scheme),
+        Verdict::Skipped { reason } => format!("skipped: {reason}"),
+    }
+}
+
+/// True if this outcome violates its expectation (a weakening mutant
+/// escaped, or a conservative mutant was flagged).
+fn offends(o: &FuzzOutcome) -> bool {
+    if o.mutation.weakens() {
+        !o.caught()
+    } else {
+        o.flagged
     }
 }
 
 /// Runs the fuzzing campaign: checks `source` unmutated, then every
-/// mutant, under the same `cfg`.
+/// mutant, under the same `cfg`. Mutants fan out across `cfg.jobs`
+/// checker threads (each mutant's inner schedule campaign runs
+/// single-threaded); the report is identical for every `jobs` value.
 ///
 /// # Errors
 ///
@@ -226,27 +264,23 @@ pub fn fuzz_annotations(
 ) -> Result<FuzzReport, Diagnostic> {
     let baseline = check_source(source, table, cfg)?;
     let baseline_flagged = baseline.is_fail();
-    let baseline_summary = match &baseline.verdict {
-        Verdict::Pass { scheme, schedules } => format!("pass ({scheme}, {schedules} schedules)"),
-        Verdict::Fail(fail) => format!("fail under `{}` ({})", fail.schedule, fail.scheme),
-        Verdict::Skipped { reason } => format!("skipped: {reason}"),
+    let baseline_summary = verdict_summary(&baseline);
+    // One pool slot per mutant; the inner campaigns stay sequential so
+    // the pool's parallelism is spent where the budget is (whole
+    // check_source runs), not oversubscribed.
+    let inner_cfg = CheckConfig {
+        jobs: 1,
+        ..cfg.clone()
     };
-    let mut outcomes = Vec::new();
-    for m in mutations(source) {
+    let ms = mutations(source);
+    let outcomes: Vec<FuzzOutcome> = pool::run_indexed(cfg.jobs, ms.len(), |i| {
+        let m = ms[i].clone();
         let mutated = m.apply(source);
-        let outcome = match check_source(&mutated, table, cfg) {
+        match check_source(&mutated, table, &inner_cfg) {
             Ok(report) => FuzzOutcome {
                 flagged: report.is_fail(),
                 rejected: false,
-                summary: match &report.verdict {
-                    Verdict::Pass { scheme, schedules } => {
-                        format!("pass ({scheme}, {schedules} schedules)")
-                    }
-                    Verdict::Fail(fail) => {
-                        format!("fail under `{}` ({})", fail.schedule, fail.scheme)
-                    }
-                    Verdict::Skipped { reason } => format!("skipped: {reason}"),
-                },
+                summary: verdict_summary(&report),
                 mutation: m,
             },
             Err(d) => FuzzOutcome {
@@ -255,14 +289,35 @@ pub fn fuzz_annotations(
                 summary: format!("rejected: {}", d.message),
                 mutation: m,
             },
-        };
-        outcomes.push(outcome);
-    }
-    Ok(FuzzReport {
+        }
+    });
+    let mut report = FuzzReport {
         baseline_flagged,
         baseline_summary,
         outcomes,
-    })
+        replay: None,
+    };
+    if !report.sound() {
+        let (partition, schedule) = if baseline_flagged {
+            (0, "baseline".to_string())
+        } else {
+            report
+                .outcomes
+                .iter()
+                .position(offends)
+                .map(|i| (i, report.outcomes[i].mutation.to_string()))
+                .unwrap_or((0, "no weakening mutations apply".to_string()))
+        };
+        report.replay = Some(ReplayInfo {
+            seed: cfg.seed,
+            budget: cfg.budget,
+            jobs: cfg.jobs,
+            threads: cfg.nthreads,
+            partition,
+            schedule,
+        });
+    }
+    Ok(report)
 }
 
 #[cfg(test)]

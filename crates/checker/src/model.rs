@@ -20,7 +20,25 @@
 //! Return values are pure functions of `(intrinsic, args)` — plus a
 //! bounded per-instance *stream countdown* for read-loop intrinsics, so
 //! `while (more)` loops terminate identically under every schedule unless
-//! two loop bodies were (unsoundly) allowed to share an instance.
+//! two loop bodies were (unsoundly) allowed to share an instance — plus
+//! an *observer* rule: an int-returning intrinsic that reads a
+//! commutative channel (and has no stream) returns the number of writes
+//! to that channel **visible to the calling worker**, the hook through
+//! which relaxed visibility becomes observable.
+//!
+//! # Relaxed visibility (store buffering)
+//!
+//! With [`ModelConfig::sb_window`] set, each *section worker* gets a
+//! store buffer: its writes to **commutative** channels are held privately
+//! (read-own-writes) and drain to the shared log only once they age past
+//! the window, measured in scheduling ticks — the model-world analogue of
+//! TSO store buffers, in the spirit of the rely-guarantee weak-memory
+//! treatment (wmm-rg). Ordered and per-instance channels are never
+//! buffered (they are order-sensitive by contract, so the runtime must
+//! fence them), and the main thread (worker 0) — hence also the
+//! sequential oracle — always writes through. All buffers drain at
+//! section end, so a relaxed run differs from an SC run *only* in what
+//! observer reads saw mid-flight, never in the final write multisets.
 
 use commset_ir::{EffectSig, IntrinsicTable};
 use commset_lang::ast::Type;
@@ -73,6 +91,12 @@ pub struct ModelConfig {
     /// -shard-hold fault plan. Off by default (region-only scheduling,
     /// the paper's granularity).
     pub pause_at_world_calls: bool,
+    /// Store-buffer flush window for *this run*, in scheduling ticks:
+    /// `Some(w)` buffers section workers' commutative-channel writes
+    /// privately until they are `w` ticks old (the explorer sets this per
+    /// relaxed schedule); `None` is sequential consistency. Worker 0 (the
+    /// main thread, and therefore the sequential oracle) never buffers.
+    pub sb_window: Option<usize>,
 }
 
 impl Default for ModelConfig {
@@ -82,6 +106,7 @@ impl Default for ModelConfig {
             stream_len: 3,
             commutative: BTreeSet::new(),
             pause_at_world_calls: false,
+            sb_window: None,
         }
     }
 }
@@ -99,6 +124,15 @@ impl ModelConfig {
 /// One recorded effect: the hash of `(intrinsic, args, stream state)`.
 type Record = u64;
 
+/// A commutative-channel write parked in a worker's store buffer.
+#[derive(Debug, Clone)]
+struct Pending {
+    chan: String,
+    rec: Record,
+    /// Scheduling tick at which the write was issued.
+    born: u64,
+}
+
 /// The deterministic abstract world.
 #[derive(Debug, Clone, Default)]
 pub struct ModelWorld {
@@ -111,6 +145,14 @@ pub struct ModelWorld {
     per_instance: BTreeMap<String, BTreeMap<i64, Vec<Record>>>,
     /// Stream countdowns, keyed by (channel, instance key).
     streams: BTreeMap<(String, i64), i64>,
+    /// The worker whose code is currently executing (0 = main thread).
+    current: usize,
+    /// Scheduling tick — advanced by the controlled executor at every
+    /// scheduled event; store-buffer ages are measured in these.
+    tick: u64,
+    /// Per-worker store buffers (FIFO), populated only under
+    /// [`ModelConfig::sb_window`] for section workers.
+    pending: BTreeMap<usize, Vec<Pending>>,
 }
 
 impl ModelWorld {
@@ -120,6 +162,57 @@ impl ModelWorld {
             cfg,
             ..Default::default()
         }
+    }
+
+    /// Sets the worker whose code the executor is about to run
+    /// (0 = the main thread; section worker `i` is `i + 1`).
+    pub fn set_worker(&mut self, worker: usize) {
+        self.current = worker;
+    }
+
+    /// Advances the scheduling clock one tick and drains every buffered
+    /// write that has aged past the store-buffer window. Workers drain in
+    /// index order, each FIFO — deterministic for a given schedule.
+    pub fn tick_advance(&mut self) {
+        self.tick += 1;
+        if let Some(w) = self.cfg.sb_window {
+            let now = self.tick;
+            for buf in self.pending.values_mut() {
+                while buf.first().is_some_and(|p| now - p.born >= w as u64) {
+                    let p = buf.remove(0);
+                    self.commutative.entry(p.chan).or_default().push(p.rec);
+                }
+            }
+        }
+    }
+
+    /// Drains every store buffer to the shared log (section end / final
+    /// barrier): after this, the write multisets are exactly what an SC
+    /// run of the same schedule would have produced.
+    pub fn flush_all(&mut self) {
+        for (_, buf) in std::mem::take(&mut self.pending) {
+            for p in buf {
+                self.commutative.entry(p.chan).or_default().push(p.rec);
+            }
+        }
+    }
+
+    /// Writes to commutative channels visible to the current worker:
+    /// everything in the shared log plus the worker's own buffer
+    /// (read-own-writes; other workers' buffers are invisible).
+    fn visible_commutative(&self, chan: &str) -> usize {
+        let shared = self.commutative.get(chan).map_or(0, Vec::len);
+        let own = self
+            .pending
+            .get(&self.current)
+            .map_or(0, |buf| buf.iter().filter(|p| p.chan == chan).count());
+        shared + own
+    }
+
+    /// True when this write should park in the current worker's store
+    /// buffer instead of the shared log.
+    fn buffers_writes(&self) -> bool {
+        self.cfg.sb_window.is_some() && self.current != 0
     }
 
     /// Executes one intrinsic call: records its writes into the channel
@@ -165,7 +258,15 @@ impl ModelWorld {
                     .or_default()
                     .push(rec);
             } else if self.cfg.commutative.contains(&chan) {
-                self.commutative.entry(chan).or_default().push(rec);
+                if self.buffers_writes() {
+                    self.pending.entry(self.current).or_default().push(Pending {
+                        chan,
+                        rec,
+                        born: self.tick,
+                    });
+                } else {
+                    self.commutative.entry(chan).or_default().push(rec);
+                }
             } else {
                 self.ordered.entry(chan).or_default().push(rec);
             }
@@ -188,14 +289,33 @@ impl ModelWorld {
                 // A deterministic fresh handle per (intrinsic, args).
                 Value::Int((hash_call(name, args) & 0x3fff_ffff) as i64 | 1)
             }
-            Type::Int if args.is_empty() && sig.writes.is_empty() => {
-                // Size query: the model's loop bound.
-                Value::Int(self.cfg.size)
-            }
             Type::Int if stream_state.is_some() => {
                 // "More data?" loop: 1 while the per-instance stream has
                 // elements left, then 0.
                 Value::Int(i64::from(stream_state.unwrap_or(0) > 0))
+            }
+            Type::Int
+                if sig
+                    .reads
+                    .iter()
+                    .any(|c| self.cfg.commutative.contains(table.channels.name(*c))) =>
+            {
+                // Observer: reads a commutative channel — return the
+                // number of writes *visible to this worker* on the first
+                // such channel. Under SC this is the shared count; under
+                // store buffering, other workers' parked writes are
+                // invisible, so staleness flows into the return value.
+                let chan = sig
+                    .reads
+                    .iter()
+                    .map(|c| table.channels.name(*c))
+                    .find(|c| self.cfg.commutative.contains(*c))
+                    .expect("guard found a commutative read channel");
+                Value::Int(self.visible_commutative(chan) as i64)
+            }
+            Type::Int if args.is_empty() && sig.writes.is_empty() => {
+                // Size query: the model's loop bound.
+                Value::Int(self.cfg.size)
             }
             _ => Value::Int((hash_call(name, args) % 1009) as i64),
         }
@@ -355,6 +475,66 @@ mod tests {
         let fwd_c = run(&[1, 2, 3], true);
         let rev_c = run(&[3, 2, 1], true);
         assert!(fwd_c.diff(&rev_c).is_empty());
+    }
+
+    fn sb_table() -> IntrinsicTable {
+        let mut t = IntrinsicTable::new();
+        t.register("pub_a", vec![], Type::Void, &[], &["A"], 1);
+        t.register("probe_a", vec![], Type::Int, &["A"], &[], 1);
+        t
+    }
+
+    #[test]
+    fn observer_reads_count_visible_commutative_writes() {
+        let t = sb_table();
+        let mut w = ModelWorld::new(ModelConfig::with_commutative(["A"]));
+        assert_eq!(w.call(&t, "probe_a", &[]), Value::Int(0));
+        w.call(&t, "pub_a", &[]);
+        w.call(&t, "pub_a", &[]);
+        assert_eq!(w.call(&t, "probe_a", &[]), Value::Int(2));
+    }
+
+    #[test]
+    fn store_buffer_hides_other_workers_writes_within_the_window() {
+        let t = sb_table();
+        let mut cfg = ModelConfig::with_commutative(["A"]);
+        cfg.sb_window = Some(2);
+        let mut w = ModelWorld::new(cfg);
+        // Worker 1 publishes; the write parks in its buffer.
+        w.set_worker(1);
+        w.call(&t, "pub_a", &[]);
+        // Read-own-writes: worker 1 sees its parked write...
+        assert_eq!(w.call(&t, "probe_a", &[]), Value::Int(1));
+        // ...but worker 2 does not.
+        w.set_worker(2);
+        assert_eq!(w.call(&t, "probe_a", &[]), Value::Int(0));
+        // One tick: still younger than the window.
+        w.tick_advance();
+        assert_eq!(w.call(&t, "probe_a", &[]), Value::Int(0));
+        // Second tick: aged out, drained to the shared log.
+        w.tick_advance();
+        assert_eq!(w.call(&t, "probe_a", &[]), Value::Int(1));
+    }
+
+    #[test]
+    fn main_thread_and_flush_all_write_through() {
+        let t = sb_table();
+        let mut cfg = ModelConfig::with_commutative(["A"]);
+        cfg.sb_window = Some(8);
+        let mut w = ModelWorld::new(cfg.clone());
+        // Worker 0 (main) never buffers, even under a window.
+        w.call(&t, "pub_a", &[]);
+        w.set_worker(1);
+        assert_eq!(w.call(&t, "probe_a", &[]), Value::Int(1));
+        // A buffered write drains at the final barrier, so the ending
+        // multiset matches an SC run of the same schedule.
+        w.call(&t, "pub_a", &[]);
+        let mut sc = ModelWorld::new(ModelConfig::with_commutative(["A"]));
+        sc.call(&t, "pub_a", &[]);
+        sc.call(&t, "pub_a", &[]);
+        assert!(!w.diff(&sc).is_empty(), "parked write not yet shared");
+        w.flush_all();
+        assert!(w.diff(&sc).is_empty(), "{:?}", w.diff(&sc));
     }
 
     #[test]

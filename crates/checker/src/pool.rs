@@ -1,0 +1,130 @@
+//! A deterministic work-stealing pool for schedule exploration.
+//!
+//! The schedule family is partitioned into fixed-size chunks of
+//! [`PARTITION_CHUNK`] consecutive spec indices. The partition plan is a
+//! pure function of the campaign size — it never depends on the number of
+//! worker threads — so the partition index attached to every outcome (and
+//! printed on `REPLAY:` lines) is stable across `--jobs` values.
+//!
+//! Workers "steal" by claiming the next unclaimed partition from a shared
+//! atomic counter: a worker that finishes early immediately takes more
+//! work, so a straggler partition cannot idle the rest of the pool.
+//! Results are written into per-index slots and merged in spec order,
+//! which is what makes a `--jobs 8` report byte-identical to `--jobs 1`.
+
+use crate::explore::{Campaign, ScheduleOutcome};
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Specs per partition. Small enough that stealing balances uneven
+/// schedules, large enough to amortize claim traffic.
+pub const PARTITION_CHUNK: usize = 8;
+
+/// The partition that owns spec `index`.
+pub fn partition_of(index: usize) -> usize {
+    index / PARTITION_CHUNK
+}
+
+/// The partition plan for a campaign of `total` specs: contiguous
+/// half-open ranges, every spec covered exactly once.
+pub fn partition_plan(total: usize) -> Vec<Range<usize>> {
+    (0..total.div_ceil(PARTITION_CHUNK))
+        .map(|p| p * PARTITION_CHUNK..((p + 1) * PARTITION_CHUNK).min(total))
+        .collect()
+}
+
+/// Runs `f(0..n)` across `jobs` OS threads and returns the results in
+/// index order. `jobs <= 1` (or a single item) runs inline with no thread
+/// overhead. `f` must be pure in its index for the pool to be
+/// deterministic — which every campaign closure is, because the model
+/// world is.
+pub fn run_indexed<T, F>(jobs: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if jobs <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(n) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = f(i);
+                *slots[i].lock().expect("pool slot poisoned") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("pool slot poisoned")
+                .expect("every index claimed exactly once")
+        })
+        .collect()
+}
+
+/// Explores every schedule in the campaign across
+/// [`crate::explore::CheckConfig::jobs`] threads, returning outcomes in
+/// spec order regardless of which worker ran what.
+pub fn run_specs(campaign: &Campaign) -> Vec<ScheduleOutcome> {
+    let total = campaign.specs().len();
+    let plan = partition_plan(total);
+    let per_partition = run_indexed(campaign.cfg().jobs, plan.len(), |p| {
+        plan[p]
+            .clone()
+            .map(|i| campaign.run_spec(i))
+            .collect::<Vec<_>>()
+    });
+    per_partition.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_plan_covers_every_index_once() {
+        for total in [0usize, 1, 7, 8, 9, 24, 240] {
+            let plan = partition_plan(total);
+            let flat: Vec<usize> = plan.iter().cloned().flatten().collect();
+            assert_eq!(flat, (0..total).collect::<Vec<_>>(), "total={total}");
+            for r in &plan {
+                assert!(r.len() <= PARTITION_CHUNK);
+                assert!(!r.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn partition_of_matches_the_plan() {
+        let plan = partition_plan(100);
+        for (p, range) in plan.iter().enumerate() {
+            for i in range.clone() {
+                assert_eq!(partition_of(i), p);
+            }
+        }
+    }
+
+    #[test]
+    fn run_indexed_is_order_preserving_for_any_job_count() {
+        let f = |i: usize| i * i + 1;
+        let expect: Vec<usize> = (0..53).map(f).collect();
+        for jobs in [1usize, 2, 4, 8, 64] {
+            assert_eq!(run_indexed(jobs, 53, f), expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn run_indexed_handles_empty_and_tiny_inputs() {
+        assert_eq!(run_indexed(4, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(run_indexed(4, 1, |i| i + 7), vec![7]);
+    }
+}

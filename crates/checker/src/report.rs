@@ -2,13 +2,18 @@
 //!
 //! The explorer condenses a whole schedule campaign into a
 //! [`CheckReport`]: the verdict, the commutative-region catalog the
-//! analysis exported, and the (deterministic) list of explored schedules.
-//! A failure pinpoints the first schedule whose observable history
-//! diverged from the sequential oracle and pretty-prints both
-//! interleavings plus the first divergent region pair — the paper's
-//! "which two members did not commute" feedback.
+//! analysis exported, the (deterministic) list of explored schedules, and
+//! — when anything diverged — the full list of violating schedules with
+//! their partition indices. A failure pinpoints the first schedule whose
+//! observable history diverged from the sequential oracle and
+//! pretty-prints both interleavings, the first divergent region pair —
+//! the paper's "which two members did not commute" feedback — a
+//! locally-minimal shrunk schedule, and one `REPLAY:` line that names the
+//! exact knobs (`--seed`, `--budget`, `--jobs`, `--threads`) that
+//! reproduce the violation byte-for-byte.
 
 use crate::exec::RegionExec;
+use crate::shrink::ShrunkSchedule;
 use commset_analysis::RegionInfo;
 use commset_telemetry::ChromeTraceBuilder;
 
@@ -19,6 +24,9 @@ pub struct CheckFailure {
     pub scheme: String,
     /// The offending schedule's name (e.g. `delay(w1,2)`).
     pub schedule: String,
+    /// The partition (fixed-size chunk of the schedule family) the
+    /// offending schedule belongs to — stable across `--jobs` values.
+    pub partition: usize,
     /// Channel-by-channel (and global-by-global) differences vs. the
     /// sequential oracle; empty iff `error` is set.
     pub diffs: Vec<String>,
@@ -33,6 +41,10 @@ pub struct CheckFailure {
     /// The first position where the two interleavings diverge, with the
     /// region instances on each side — the non-commuting suspect pair.
     pub suspect: Option<(usize, RegionExec, RegionExec)>,
+    /// A locally-minimal schedule that still reproduces the divergence
+    /// (absent for aborting schedules or when shrinking could not
+    /// reproduce the failure).
+    pub shrunk: Option<ShrunkSchedule>,
     /// Set if the schedule aborted (deadlock, budget, dynamic error)
     /// rather than completing with a different history.
     pub error: Option<String>,
@@ -100,6 +112,43 @@ pub enum Verdict {
     },
 }
 
+/// One violating schedule in the merged report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The schedule's name.
+    pub schedule: String,
+    /// The partition that owned it.
+    pub partition: usize,
+}
+
+/// The exact knobs that reproduce a failing campaign byte-for-byte.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayInfo {
+    /// The chaos seed.
+    pub seed: u64,
+    /// The schedule budget.
+    pub budget: usize,
+    /// Checker threads the campaign ran with (cosmetic: any value
+    /// reproduces the same report).
+    pub jobs: usize,
+    /// Workers in the transformed program.
+    pub threads: usize,
+    /// Partition of the primary violation.
+    pub partition: usize,
+    /// Name of the primary violating schedule.
+    pub schedule: String,
+}
+
+impl std::fmt::Display for ReplayInfo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "REPLAY: --seed {:#x} --budget {} --threads {} --jobs {} (partition {}, schedule `{}`)",
+            self.seed, self.budget, self.threads, self.jobs, self.partition, self.schedule
+        )
+    }
+}
+
 /// The full campaign result.
 #[derive(Debug, Clone)]
 pub struct CheckReport {
@@ -109,6 +158,11 @@ pub struct CheckReport {
     pub regions: Vec<RegionInfo>,
     /// Names of the schedules explored, in execution order.
     pub explored: Vec<String>,
+    /// Every violating schedule (empty on pass/skip) — the merged view
+    /// across all partitions, in spec order.
+    pub violations: Vec<Violation>,
+    /// Reproduction knobs; present exactly when the campaign failed.
+    pub replay: Option<ReplayInfo>,
 }
 
 impl CheckReport {
@@ -176,6 +230,26 @@ impl std::fmt::Display for CheckReport {
                     writeln!(f, "failing interleaving ({}):", fail.schedule)?;
                     f.write_str(&fail.failing)?;
                 }
+                if let Some(s) = &fail.shrunk {
+                    writeln!(
+                        f,
+                        "shrunk: {} of {} scheduling decisions pinned \
+                         (locally minimal, from `{}`):",
+                        s.pinned, s.total, s.from
+                    )?;
+                    f.write_str(&s.interleaving)?;
+                }
+                if !self.violations.is_empty() {
+                    writeln!(
+                        f,
+                        "violating schedules ({} of {}):",
+                        self.violations.len(),
+                        self.explored.len()
+                    )?;
+                    for v in &self.violations {
+                        writeln!(f, "  {} (partition {})", v.schedule, v.partition)?;
+                    }
+                }
             }
         }
         if !self.regions.is_empty() {
@@ -193,7 +267,11 @@ impl std::fmt::Display for CheckReport {
                 )?;
             }
         }
-        writeln!(f, "explored: {}", self.explored.join(", "))
+        writeln!(f, "explored: {}", self.explored.join(", "))?;
+        if let Some(replay) = &self.replay {
+            writeln!(f, "{replay}")?;
+        }
+        Ok(())
     }
 }
 
@@ -216,6 +294,7 @@ mod tests {
             verdict: Verdict::Fail(Box::new(CheckFailure {
                 scheme: "DOALL".into(),
                 schedule: "reverse".into(),
+                partition: 0,
                 diffs: vec!["channel CONSOLE: ordered histories differ".into()],
                 canonical: "  [w0] __commset_region_0(0)\n".into(),
                 failing: "  [w1] __commset_region_0(1)\n".into(),
@@ -226,6 +305,13 @@ mod tests {
                     region(0, "__commset_region_0", 0),
                     region(1, "__commset_region_0", 1),
                 )),
+                shrunk: Some(ShrunkSchedule {
+                    from: "reverse".into(),
+                    total: 5,
+                    pinned: 1,
+                    interleaving: "  [w1] __commset_region_0(1)\n".into(),
+                    log: vec![region(1, "__commset_region_0", 1)],
+                }),
                 error: None,
             })),
             regions: vec![RegionInfo {
@@ -239,6 +325,18 @@ mod tests {
                 origin_line: 7,
             }],
             explored: vec!["canonical".into(), "reverse".into()],
+            violations: vec![Violation {
+                schedule: "reverse".into(),
+                partition: 0,
+            }],
+            replay: Some(ReplayInfo {
+                seed: 0x5eed_c0de,
+                budget: 24,
+                jobs: 1,
+                threads: 2,
+                partition: 0,
+                schedule: "reverse".into(),
+            }),
         };
         assert!(report.is_fail());
         let text = report.to_string();
@@ -246,7 +344,16 @@ mod tests {
         assert!(text.contains("suspect pair"), "{text}");
         assert!(text.contains("set FSET at line 7"), "{text}");
         assert!(text.contains("canonical interleaving"), "{text}");
+        assert!(
+            text.contains("shrunk: 1 of 5 scheduling decisions"),
+            "{text}"
+        );
+        assert!(text.contains("violating schedules (1 of 2):"), "{text}");
         assert!(text.contains("explored: canonical, reverse"), "{text}");
+        assert!(
+            text.contains("REPLAY: --seed 0x5eedc0de --budget 24 --threads 2 --jobs 1"),
+            "{text}"
+        );
     }
 
     #[test]
@@ -254,6 +361,7 @@ mod tests {
         let fail = CheckFailure {
             scheme: "DOALL".into(),
             schedule: "reverse".into(),
+            partition: 0,
             diffs: vec![],
             canonical: String::new(),
             failing: String::new(),
@@ -266,6 +374,7 @@ mod tests {
                 region(0, "__commset_region_0", 0),
             ],
             suspect: None,
+            shrunk: None,
             error: None,
         };
         let doc = fail.chrome_trace_json();
@@ -288,15 +397,20 @@ mod tests {
             },
             regions: vec![],
             explored: vec!["canonical".into()],
+            violations: vec![],
+            replay: None,
         };
         assert!(pass.is_pass());
         assert!(pass.to_string().starts_with("PASS: 24 schedules"));
+        assert!(!pass.to_string().contains("REPLAY:"));
         let skip = CheckReport {
             verdict: Verdict::Skipped {
                 reason: "DOALL illegal".into(),
             },
             regions: vec![],
             explored: vec![],
+            violations: vec![],
+            replay: None,
         };
         assert!(!skip.is_pass() && !skip.is_fail());
         assert!(skip.to_string().contains("SKIPPED"));

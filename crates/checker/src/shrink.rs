@@ -1,0 +1,101 @@
+//! Counterexample shrinking: minimize a violating schedule before
+//! rendering it.
+//!
+//! A delay-grid or chaos schedule that exposes a violation usually
+//! contains many scheduling decisions that are irrelevant to the bug.
+//! The shrinker re-runs the failing spec under a [`Recording`] scheduler
+//! to capture its decision trace, then greedily canonicalizes one
+//! decision at a time (replacing it with "pick the lowest-numbered ready
+//! worker") and keeps each flip that still reproduces the divergence.
+//! The loop runs to a fixed point, so the result is *locally minimal*:
+//! re-canonicalizing any single remaining pinned decision makes the
+//! violation disappear.
+//!
+//! Everything here is deterministic — the model world and the [`Replay`]
+//! scheduler are — so shrinking the same failure twice yields the same
+//! minimal schedule, which is what makes the shrunk diagnostic goldenable.
+
+use crate::exec::{render_interleaving, Recording, RegionExec, Replay};
+use crate::explore::Campaign;
+
+/// A locally-minimal reproduction of a schedule violation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShrunkSchedule {
+    /// The schedule the shrinker started from.
+    pub from: String,
+    /// Total scheduling decisions in the recorded trace.
+    pub total: usize,
+    /// Decisions still pinned to the original (non-canonical) choice;
+    /// the rest were canonicalized away.
+    pub pinned: usize,
+    /// The minimal schedule's region interleaving, rendered.
+    pub interleaving: String,
+    /// The minimal schedule's region log.
+    pub log: Vec<RegionExec>,
+}
+
+/// Runs the decision list and reports the divergence it still produces,
+/// if any. Aborting runs do not count as reproductions: we shrink a
+/// *divergence*, and trading it for a deadlock changes the bug.
+fn still_diverges(
+    campaign: &Campaign,
+    window: Option<usize>,
+    decisions: &[Option<usize>],
+) -> Option<Vec<RegionExec>> {
+    let mut replay = Replay::new(decisions.to_vec());
+    match campaign.run_with_scheduler(window, &mut replay) {
+        Ok((diffs, log)) if !diffs.is_empty() => Some(log),
+        _ => None,
+    }
+}
+
+/// Shrinks the violating spec at `index` to a locally-minimal schedule.
+/// Returns `None` if the failure does not reproduce under recording
+/// (which would indicate nondeterminism and deserves the raw report).
+pub fn shrink_schedule(campaign: &Campaign, index: usize) -> Option<ShrunkSchedule> {
+    let spec = &campaign.specs()[index];
+    let mut base = spec.instantiate();
+    let mut recording = Recording::new(base.as_mut());
+    let reproduced = match campaign.run_with_scheduler(spec.window, &mut recording) {
+        Ok((diffs, _)) => !diffs.is_empty(),
+        Err(_) => false,
+    };
+    let trace = recording.trace;
+    if !reproduced {
+        return None;
+    }
+
+    let mut decisions: Vec<Option<usize>> = trace.into_iter().map(Some).collect();
+    let mut log = still_diverges(campaign, spec.window, &decisions)?;
+
+    // Greedy canonicalization to a fixed point. Each pass tries to drop
+    // every remaining pinned decision once; a successful drop can unlock
+    // earlier ones, hence the outer loop.
+    loop {
+        let mut changed = false;
+        for i in 0..decisions.len() {
+            if decisions[i].is_none() {
+                continue;
+            }
+            let saved = decisions[i].take();
+            match still_diverges(campaign, spec.window, &decisions) {
+                Some(new_log) => {
+                    log = new_log;
+                    changed = true;
+                }
+                None => decisions[i] = saved,
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    Some(ShrunkSchedule {
+        from: spec.name(),
+        total: decisions.len(),
+        pinned: decisions.iter().filter(|d| d.is_some()).count(),
+        interleaving: render_interleaving(&log),
+        log,
+    })
+}

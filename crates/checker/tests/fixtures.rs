@@ -4,7 +4,10 @@
 //! `cargo test`, so any regression in CommSetDepAnalysis or the
 //! transforms that silently legalizes an unsound schedule fails CI.
 
-use commset_checker::{check_source, fuzz_annotations, CheckConfig, ModelConfig, Verdict};
+use commset_checker::{
+    check_source, fuzz_annotations, prepare_campaign, CheckConfig, ModelConfig, PreparedCampaign,
+    Recording, Verdict,
+};
 use commset_ir::IntrinsicTable;
 use commset_lang::ast::Type;
 use std::collections::BTreeSet;
@@ -187,6 +190,148 @@ fn verdicts_are_deterministic_per_seed() {
     };
     let c = check_source(&fixture("eclat_overwide.cmm"), &eclat_table(), &other).expect("compiles");
     assert!(c.is_fail(), "{c}");
+}
+
+// ----------------------------------------------------------- scale-out
+
+/// The diversity guard: every systematic schedule family must drive the
+/// canary fixture through a *distinct* decision trace. A duplicate here
+/// means a family degenerated into another one and the campaign's
+/// nominal coverage silently shrank.
+#[test]
+fn schedule_families_produce_distinct_traces_on_the_canary() {
+    // The md5sum fixture with world-call pausing maximizes scheduling
+    // points, separating even close delay variants.
+    let mut cfg = CheckConfig::with_commutative(["FS_TABLE", "CONSOLE"]);
+    cfg.model.pause_at_world_calls = true;
+    cfg.budget = 9; // the full SC base block for nthreads=2, no chaos
+    let campaign = match prepare_campaign(&fixture("md5sum_ok.cmm"), &md5_table(), &cfg)
+        .expect("canary compiles")
+    {
+        PreparedCampaign::Ready(c) => c,
+        PreparedCampaign::Skipped { reason, .. } => panic!("canary skipped: {reason}"),
+    };
+    let mut seen: std::collections::BTreeMap<Vec<usize>, String> =
+        std::collections::BTreeMap::new();
+    for spec in campaign.specs() {
+        let mut sched = spec.instantiate();
+        let mut rec = Recording::new(sched.as_mut());
+        campaign
+            .run_with_scheduler(spec.window, &mut rec)
+            .expect("canary schedule runs");
+        if let Some(prev) = seen.insert(rec.trace.clone(), spec.name()) {
+            panic!(
+                "families `{prev}` and `{}` produced the same decision \
+                 trace {:?} — duplicate exploration",
+                spec.name(),
+                seen.keys().next()
+            );
+        }
+    }
+    assert_eq!(seen.len(), 9, "all nine SC families ran");
+}
+
+/// The merged report must be bit-identical whichever way the schedule
+/// space is partitioned across checker threads — on a *failing* fixture,
+/// where merge order could plausibly leak (violation list, primary pick,
+/// shrunk schedule).
+#[test]
+fn parallel_jobs_merge_identically_on_a_failing_fixture() {
+    let seq = check_source(&fixture("eclat_overwide.cmm"), &eclat_table(), &eclat_cfg())
+        .expect("compiles");
+    assert!(seq.is_fail());
+    for jobs in [2usize, 4, 8] {
+        let cfg = CheckConfig {
+            jobs,
+            ..eclat_cfg()
+        };
+        let par =
+            check_source(&fixture("eclat_overwide.cmm"), &eclat_table(), &cfg).expect("compiles");
+        assert_eq!(
+            seq.to_string().replace("--jobs 1", "--jobs N"),
+            par.to_string()
+                .replace(&format!("--jobs {jobs}"), "--jobs N"),
+            "jobs={jobs} diverged from sequential"
+        );
+    }
+}
+
+/// Feeding the `REPLAY:` knobs back into the checker reproduces the
+/// violation byte-for-byte — the one-line contract the fix satellite
+/// pins. The replay metadata is used directly (it is what the printed
+/// line is rendered from), including a different `--jobs`.
+#[test]
+fn replay_line_reproduces_the_violation_byte_for_byte() {
+    let first = check_source(&fixture("eclat_overwide.cmm"), &eclat_table(), &eclat_cfg())
+        .expect("compiles");
+    let replay = first
+        .replay
+        .clone()
+        .expect("failing report has REPLAY info");
+    assert!(
+        first.to_string().contains(&format!(
+            "REPLAY: --seed {:#x} --budget {} --threads {} --jobs {}",
+            replay.seed, replay.budget, replay.threads, replay.jobs
+        )),
+        "{first}"
+    );
+    let cfg = CheckConfig {
+        seed: replay.seed,
+        budget: replay.budget,
+        nthreads: replay.threads,
+        jobs: 4, // a different worker count must not change anything
+        ..eclat_cfg()
+    };
+    let second =
+        check_source(&fixture("eclat_overwide.cmm"), &eclat_table(), &cfg).expect("compiles");
+    assert_eq!(
+        first.to_string().replace("--jobs 1", "--jobs N"),
+        second.to_string().replace("--jobs 4", "--jobs N"),
+    );
+    let Verdict::Fail(a) = &first.verdict else {
+        unreachable!()
+    };
+    let Verdict::Fail(b) = &second.verdict else {
+        panic!("replay did not reproduce the failure: {second}")
+    };
+    assert_eq!(a.schedule, b.schedule);
+    assert_eq!(a.partition, b.partition);
+    assert_eq!(a.diffs, b.diffs);
+}
+
+/// The shrinker's output on a known-unsound fixture is pinned as a
+/// golden file: the minimal schedule is deterministic, so any change to
+/// shrinking (or to the schedule family ordering upstream of it) shows
+/// up as a readable diff. Regenerate with
+/// `SHRINK_GOLDEN_REGEN=1 cargo test -p commset-checker`.
+#[test]
+fn shrunk_counterexample_matches_golden() {
+    let report = check_source(&fixture("eclat_overwide.cmm"), &eclat_table(), &eclat_cfg())
+        .expect("compiles");
+    let Verdict::Fail(fail) = &report.verdict else {
+        panic!("{report}")
+    };
+    let shrunk = fail.shrunk.as_ref().expect("completed divergence shrinks");
+    assert!(
+        shrunk.pinned <= shrunk.total,
+        "pinned decisions are a subset of the trace"
+    );
+    let rendered = format!(
+        "from: {}\npinned: {} of {}\n{}",
+        shrunk.from, shrunk.pinned, shrunk.total, shrunk.interleaving
+    );
+    let golden_path = format!(
+        "{}/fixtures/eclat_overwide.shrunk.expected",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    if std::env::var_os("SHRINK_GOLDEN_REGEN").is_some() {
+        std::fs::write(&golden_path, &rendered).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+        panic!("read {golden_path}: {e} (regenerate with SHRINK_GOLDEN_REGEN=1)")
+    });
+    assert_eq!(rendered, expected, "shrunk counterexample drifted");
 }
 
 // ------------------------------------------------------------------- fuzz

@@ -10,8 +10,9 @@
 //! commsetc emit     prog.cmm --scheme doall [--sync spin] [--threads N]
 //!                            [--effects prog.effects]
 //! commsetc check    prog.cmm [--effects prog.effects] [--threads N]
-//!                            [--budget N] [--seed N] [--fuzz]
-//!                            [--trace-out fail.json]
+//!                            [--budget N] [--seed N] [--jobs N] [--fuzz]
+//!                            [--trace-out fail.json] [--corpus DIR]
+//!                            [--capture-corpus]
 //! commsetc profile  prog.cmm --scheme dswp [--sync spin] [--threads N]
 //!                            [--effects prog.effects] [--real]
 //!                            [--trace-out run.json]
@@ -20,13 +21,25 @@
 //! `check` runs the dynamic commutativity checker: it replays the
 //! transformed program under a budget of systematically permuted region
 //! schedules and compares every outcome against the sequential oracle;
+//! `--jobs N` fans the schedule space across N checker threads over a
+//! fixed partition plan (the merged report is bit-identical for every N);
 //! `--fuzz` additionally mutates the annotations (drop a predicate, widen
 //! a set with `SELF`, strip `NoSync`) and asserts the weakened variants
-//! are caught. The sidecar's `commutative CHANS` and `model size= stream=`
-//! directives configure the checker's abstract world. Exit status: 0 if
-//! the verdict is clean, 1 otherwise. With `--trace-out`, a failing check
-//! additionally writes the canonical and failing interleavings as one
-//! Chrome trace-event JSON file.
+//! are caught, with mutants fanned across the same pool. The sidecar's
+//! `commutative CHANS`, `model size= stream=` and `relaxed [window=N]`
+//! directives configure the checker's abstract world (the latter opting
+//! into store-buffered schedule variants). Exit status: 0 if the verdict
+//! is clean, 1 otherwise. With `--trace-out`, a failing check additionally
+//! writes the canonical and failing interleavings as one Chrome
+//! trace-event JSON file.
+//!
+//! Before checking the input, `check` replays the regression corpus: every
+//! `.cmm`/`.effects` pair under `--corpus DIR` (default `fixtures/corpus`,
+//! silently skipped when absent) must still be flagged unsound; a corpus
+//! entry going green is itself a failure. `--capture-corpus` auto-captures
+//! a newly found violation — the input source plus its sidecar — into the
+//! corpus directory under a content-hashed name, growing the corpus with
+//! every new bug the explorer finds.
 //!
 //! `profile` executes one run of the chosen schedule against a synthetic
 //! deterministic world (the checker's model semantics, costs from the
@@ -58,9 +71,9 @@
 
 use commset::profile::run_profile;
 use commset::replay::{replay_bundle, run_profile_supervised, SyntheticSource};
-use commset::spec::{build_table, parse_effects, EffectsSpec};
+use commset::spec::{build_table, parse_effects};
 use commset::{Compiler, Scheme, SyncMode};
-use commset_checker::{check_source, fuzz_annotations, CheckConfig, ModelConfig};
+use commset_checker::{check_source, fuzz_annotations};
 use commset_interp::{ExecConfig, FailureBundle, RecoveryPolicy};
 use commset_lang::printer::print_program;
 use commset_telemetry::chrome_trace_json;
@@ -71,7 +84,8 @@ fn usage() -> ExitCode {
         "usage: commsetc <analyze|schedules|emit|check|profile> <file.cmm> \
          [--effects <file>] [--pdg] [--threads N] \
          [--scheme doall|dswp|ps-dswp] [--sync spin|mutex|tm|lib] \
-         [--hot-func NAME] [--budget N] [--seed N] [--fuzz] \
+         [--hot-func NAME] [--budget N] [--seed N] [--jobs N] [--fuzz] \
+         [--corpus DIR] [--capture-corpus] \
          [--trace-out <file.json>] [--real] \
          [--recover] [--deadline-ms N] [--max-retries N] [--repro-dir DIR]\n\
          \u{20}      commsetc replay <bundle.repro.json>"
@@ -91,6 +105,9 @@ struct Args {
     hot_func: Option<String>,
     budget: Option<usize>,
     seed: Option<u64>,
+    jobs: usize,
+    corpus: Option<String>,
+    capture_corpus: bool,
     fuzz: bool,
     trace_out: Option<String>,
     real: bool,
@@ -121,6 +138,9 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         hot_func: None,
         budget: None,
         seed: None,
+        jobs: 1,
+        corpus: None,
+        capture_corpus: false,
         fuzz: false,
         trace_out: None,
         real: false,
@@ -167,12 +187,26 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
                 args.budget = Some(b);
             }
             "--seed" => {
-                args.seed = Some(
-                    value()?
-                        .parse()
-                        .map_err(|_| "--seed needs a number".to_string())?,
-                )
+                // Accept both decimal and the `0x…` hex form the REPLAY:
+                // line prints, so a failure's replay knobs paste verbatim.
+                let v = value()?;
+                let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+                    Some(hex) => u64::from_str_radix(hex, 16),
+                    None => v.parse(),
+                };
+                args.seed = Some(parsed.map_err(|_| "--seed needs a number".to_string())?);
             }
+            "--jobs" => {
+                let j: usize = value()?
+                    .parse()
+                    .map_err(|_| "--jobs needs a number".to_string())?;
+                if j == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+                args.jobs = j;
+            }
+            "--corpus" => args.corpus = Some(value()?),
+            "--capture-corpus" => args.capture_corpus = true,
             "--fuzz" => args.fuzz = true,
             "--trace-out" => args.trace_out = Some(value()?),
             "--real" => args.real = true,
@@ -198,15 +232,97 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
     Ok(args)
 }
 
+/// Replays every `.cmm`/`.effects` pair in the corpus directory (sorted
+/// by name): each committed entry is a known-unsound fixture and must
+/// still be flagged by the checker, with its own sidecar supplying the
+/// model knobs and the full-family budget guaranteeing the relaxed
+/// (`sb[w]:`) schedules are not truncated away. Returns the entry count;
+/// an entry that goes green — or stops compiling — is a regression.
+fn replay_corpus(dir: &std::path::Path, jobs: usize) -> Result<usize, String> {
+    let mut entries: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "cmm"))
+        .collect();
+    entries.sort();
+    let mut regressions: Vec<String> = Vec::new();
+    for path in &entries {
+        let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("?");
+        let source =
+            std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let fx = path.with_extension("effects");
+        let effects_text = if fx.is_file() {
+            std::fs::read_to_string(&fx).map_err(|e| format!("{}: {e}", fx.display()))?
+        } else {
+            String::new()
+        };
+        let spec = parse_effects(&effects_text)?;
+        let table = build_table(&source, &spec)?;
+        let mut cfg = spec.checker_config();
+        cfg.budget = cfg.full_family_budget();
+        cfg.jobs = jobs;
+        match check_source(&source, &table, &cfg) {
+            Ok(report) if report.is_fail() => println!(
+                "corpus: {name} still flagged ({} of {} schedules violate)",
+                report.violations.len(),
+                report.explored.len()
+            ),
+            Ok(report) => regressions.push(format!(
+                "{name}: no longer flagged ({})",
+                match &report.verdict {
+                    commset_checker::Verdict::Pass { schedules, .. } =>
+                        format!("passed all {schedules} schedules"),
+                    commset_checker::Verdict::Skipped { reason } => format!("skipped: {reason}"),
+                    commset_checker::Verdict::Fail(_) => unreachable!("is_fail was false"),
+                }
+            )),
+            Err(d) => regressions.push(format!("{name}: stopped compiling: {}", d.message)),
+        }
+    }
+    if regressions.is_empty() {
+        Ok(entries.len())
+    } else {
+        Err(format!(
+            "corpus regression — known-unsound fixtures went quiet:\n  {}",
+            regressions.join("\n  ")
+        ))
+    }
+}
+
+/// Captures a newly found violation into the corpus: writes the input
+/// source and its sidecar under a content-hashed name (FNV-1a over both),
+/// so re-capturing the same bug is idempotent.
+fn capture_into_corpus(
+    dir: &std::path::Path,
+    input: &str,
+    source: &str,
+    effects_text: &str,
+) -> Result<std::path::PathBuf, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in source.bytes().chain(effects_text.bytes()) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let stem = std::path::Path::new(input)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("input");
+    let base = dir.join(format!("cap_{stem}_{h:016x}"));
+    let cmm = base.with_extension("cmm");
+    std::fs::write(&cmm, source).map_err(|e| format!("{}: {e}", cmm.display()))?;
+    let fx = base.with_extension("effects");
+    std::fs::write(&fx, effects_text).map_err(|e| format!("{}: {e}", fx.display()))?;
+    Ok(cmm)
+}
+
 fn run(args: &Args) -> Result<(), String> {
     let source = std::fs::read_to_string(&args.file).map_err(|e| format!("{}: {e}", args.file))?;
-    let spec = match &args.effects {
-        Some(path) => {
-            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-            parse_effects(&text)?
-        }
-        None => EffectsSpec::default(),
+    let effects_text = match &args.effects {
+        Some(path) => std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?,
+        None => String::new(),
     };
+    let spec = parse_effects(&effects_text)?;
     let table = build_table(&source, &spec)?;
     let irrevocable: Vec<&str> = spec.irrevocable.iter().map(String::as_str).collect();
     let mut compiler = Compiler::new(table).with_irrevocable(&irrevocable);
@@ -262,19 +378,22 @@ fn run(args: &Args) -> Result<(), String> {
             Ok(())
         }
         "check" => {
-            let mut model =
-                ModelConfig::with_commutative(spec.commutative.iter().map(String::as_str));
-            if let Some(v) = spec.model_size {
-                model.size = v;
+            // Regression corpus first: committed known-unsound fixtures
+            // must still be red before the input is even looked at.
+            let corpus_dir = args
+                .corpus
+                .clone()
+                .unwrap_or_else(|| "fixtures/corpus".to_string());
+            let corpus_path = std::path::Path::new(&corpus_dir).to_path_buf();
+            if corpus_path.is_dir() {
+                let n = replay_corpus(&corpus_path, args.jobs)?;
+                println!("corpus: {n} entries replayed, all still flagged");
+            } else if args.corpus.is_some() {
+                return Err(format!("{corpus_dir}: corpus directory not found"));
             }
-            if let Some(v) = spec.model_stream {
-                model.stream_len = v;
-            }
-            let mut cfg = CheckConfig {
-                model,
-                nthreads: args.threads,
-                ..CheckConfig::default()
-            };
+            let mut cfg = spec.checker_config();
+            cfg.nthreads = args.threads;
+            cfg.jobs = args.jobs;
             if let Some(b) = args.budget {
                 cfg.budget = b;
             }
@@ -302,6 +421,12 @@ fn run(args: &Args) -> Result<(), String> {
                             .map_err(|e| format!("{path}: {e}"))?;
                         eprintln!("wrote schedule trace to {path}");
                     }
+                    // A newly found violation grows the corpus.
+                    if args.capture_corpus {
+                        let dest =
+                            capture_into_corpus(&corpus_path, &args.file, &source, &effects_text)?;
+                        eprintln!("captured corpus entry {}", dest.display());
+                    }
                 }
                 if report.is_fail() {
                     Err("commutativity check failed".to_string())
@@ -317,12 +442,6 @@ fn run(args: &Args) -> Result<(), String> {
             if args.recover {
                 // Supervised profile: deadlines, transient retries, the
                 // degradation ladder, and failure-bundle capture.
-                let effects_text = match &args.effects {
-                    Some(path) => {
-                        std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?
-                    }
-                    None => String::new(),
-                };
                 let src =
                     SyntheticSource::new(&args.file, &source, &effects_text, scheme, args.sync)?;
                 let cfg = ExecConfig {
@@ -543,6 +662,26 @@ mod tests {
         assert_eq!(a.budget, Some(12));
         assert_eq!(a.seed, Some(7));
         assert!(a.fuzz);
+        assert_eq!(a.jobs, 1, "jobs defaults to 1");
+        assert!(a.corpus.is_none() && !a.capture_corpus);
+
+        let a = args(&[
+            "check",
+            "p.cmm",
+            "--jobs",
+            "8",
+            "--corpus",
+            "my/corpus",
+            "--capture-corpus",
+        ])
+        .unwrap();
+        assert_eq!(a.jobs, 8);
+        assert_eq!(a.corpus.as_deref(), Some("my/corpus"));
+        assert!(a.capture_corpus);
+
+        // The REPLAY: line prints the seed in hex; it must paste back.
+        let a = args(&["check", "p.cmm", "--seed", "0x5eedc0de"]).unwrap();
+        assert_eq!(a.seed, Some(0x5eed_c0de));
 
         let a = args(&[
             "profile",
@@ -592,6 +731,14 @@ mod tests {
         // vacuous check (or worse, panicking downstream).
         let err = args(&["check", "f.cmm", "--budget", "0"]).unwrap_err();
         assert!(err.contains("--budget"), "{err}");
+        // Zero checker threads would explore nothing in parallel mode.
+        let err = args(&["check", "f.cmm", "--jobs", "0"]).unwrap_err();
+        assert!(err.contains("--jobs"), "{err}");
+        assert!(args(&["check", "f.cmm", "--jobs", "many"]).is_err());
+        assert!(
+            args(&["check", "f.cmm", "--corpus"]).is_err(),
+            "value missing"
+        );
         assert!(args(&["profile", "f.cmm", "--deadline-ms", "soon"]).is_err());
         assert!(args(&["profile", "f.cmm", "--max-retries", "lots"]).is_err());
         assert!(

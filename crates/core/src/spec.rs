@@ -27,7 +27,12 @@
 //!   checker (`commsetc check`) compares them order-insensitively;
 //! * `model size=N stream=N` — the checker's abstract-world knobs: the
 //!   value of size queries (loop bound) and the per-instance stream
-//!   length.
+//!   length;
+//! * `relaxed [window=N]` — opt this fixture into relaxed-visibility
+//!   checking: the checker additionally explores store-buffered (`sb[w]:`)
+//!   schedule variants where commutative-channel writes stay invisible to
+//!   other workers for up to `window` scheduling ticks (default 4).
+//!   Ordered channels are never buffered.
 //!
 //! Externs absent from the sidecar default to pure compute with cost 100.
 //! Parameter and return *types* always come from the source's `extern`
@@ -53,6 +58,35 @@ pub struct EffectsSpec {
     pub model_size: Option<i64>,
     /// Checker model: per-instance stream length.
     pub model_stream: Option<i64>,
+    /// Opt into relaxed-visibility (store-buffered) schedule families.
+    pub relaxed: bool,
+    /// Largest store-buffer flush window, in scheduling ticks.
+    pub relaxed_window: Option<usize>,
+}
+
+impl EffectsSpec {
+    /// The checker configuration this sidecar describes: commutative
+    /// channels and model knobs are installed into the
+    /// [`ModelConfig`](commset_checker::ModelConfig), and the `relaxed`
+    /// directive turns on the store-buffered schedule families. Shared by
+    /// the `commsetc check` CLI path and the corpus replay harness so the
+    /// two can never drift.
+    pub fn checker_config(&self) -> commset_checker::CheckConfig {
+        let mut cfg = commset_checker::CheckConfig::with_commutative(
+            self.commutative.iter().map(String::as_str),
+        );
+        if let Some(n) = self.model_size {
+            cfg.model.size = n;
+        }
+        if let Some(n) = self.model_stream {
+            cfg.model.stream_len = n;
+        }
+        cfg.relaxed = self.relaxed;
+        if let Some(w) = self.relaxed_window {
+            cfg.max_window = w;
+        }
+        cfg
+    }
 }
 
 /// One extern's effects.
@@ -120,6 +154,26 @@ pub fn parse_effects(text: &str) -> Result<EffectsSpec, String> {
                 format!("line {}: `commutative` needs a channel list", lineno + 1)
             })?;
             spec.commutative.extend(list(chans));
+            continue;
+        }
+        if head == "relaxed" {
+            spec.relaxed = true;
+            for tok in parts {
+                if let Some(v) = tok.strip_prefix("window=") {
+                    let w: usize = v
+                        .parse()
+                        .map_err(|_| format!("line {}: bad window `{v}`", lineno + 1))?;
+                    if w == 0 {
+                        return Err(format!("line {}: window must be >= 1", lineno + 1));
+                    }
+                    spec.relaxed_window = Some(w);
+                } else {
+                    return Err(format!(
+                        "line {}: unknown relaxed attribute `{tok}`",
+                        lineno + 1
+                    ));
+                }
+            }
             continue;
         }
         if head == "model" {
@@ -248,6 +302,35 @@ mod tests {
         assert_eq!(spec.commutative, ["OUT", "ACC"]);
         assert_eq!(spec.model_size, Some(6));
         assert_eq!(spec.model_stream, Some(1));
+        assert!(!spec.relaxed);
+    }
+
+    #[test]
+    fn relaxed_directive_parses_and_configures_the_checker() {
+        let spec = parse_effects(
+            "sink writes=OUT cost=10\n\
+             commutative OUT\n\
+             model size=4\n\
+             relaxed window=2\n",
+        )
+        .unwrap();
+        assert!(spec.relaxed);
+        assert_eq!(spec.relaxed_window, Some(2));
+        let cfg = spec.checker_config();
+        assert!(cfg.relaxed);
+        assert_eq!(cfg.max_window, 2);
+        assert_eq!(cfg.model.size, 4);
+        assert!(cfg.model.commutative.contains("OUT"));
+
+        let bare = parse_effects("relaxed\n").unwrap();
+        assert!(bare.relaxed);
+        assert_eq!(bare.relaxed_window, None);
+        // Default window comes from CheckConfig.
+        assert_eq!(bare.checker_config().max_window, 4);
+
+        assert!(parse_effects("relaxed window=0").is_err());
+        assert!(parse_effects("relaxed window=abc").is_err());
+        assert!(parse_effects("relaxed speed=9").is_err());
     }
 
     #[test]
