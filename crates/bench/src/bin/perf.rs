@@ -13,7 +13,18 @@
 //!
 //! * `--quick` — 1 iteration, 2 threads only (the CI smoke mode);
 //! * `--iters K` — median-of-K iterations (default 3);
-//! * `--out PATH` — output path (default `BENCH_PARALLEL.json`).
+//! * `--out PATH` — output path (default `BENCH_PARALLEL.json`);
+//! * `--delta-smoke WORKLOAD` — CI's delta gate: run one merge-declared
+//!   workload in `WorldMode::Deltas` and fail if the privatized path
+//!   ever touches a shard lock.
+//!
+//! Workloads whose registries declare merge operators get a third
+//! `deltas` cell per DOALL row (CCD-style privatization), with the
+//! shard counters proving the update path took no locks, plus a pair of
+//! deterministic simulator times (`sim_time` / `sim_time_deltas`): the
+//! DES models full `threads`-way parallelism whatever the host has, so
+//! the modeled pair shows the contention win even when the wall clock
+//! is measured on a small machine.
 //!
 //! The output is a machine-readable JSON report (written without any
 //! external serialization dependency): one entry per
@@ -27,7 +38,7 @@
 
 use commset::Scheme;
 use commset_interp::{Backend, ExecConfig, RecoveryPolicy, ThreadOutcome, WorldMode};
-use commset_runtime::ShardStatsSnapshot;
+use commset_runtime::{DeltaSnapshot, ShardStatsSnapshot};
 use commset_sim::CostModel;
 use commset_telemetry::{RecoveryReport, RunReport};
 use commset_workloads::{SchemeSpec, Workload};
@@ -39,6 +50,7 @@ use std::fmt::Write as _;
 struct Cell {
     wall_us: u128,
     shard: ShardStatsSnapshot,
+    delta: DeltaSnapshot,
     queue_full_spins: u64,
     queue_empty_spins: u64,
     /// The unified profiling report from one extra, *untimed* run with
@@ -59,6 +71,51 @@ struct Row {
     /// `WorldMode::Auto` would never shard it, so forcing the sharded
     /// world would only measure the whole-world slow path.
     sharded: Option<Cell>,
+    /// `None` unless the registry declares merge operators and the
+    /// scheme is DOALL — pipeline sections never delta-route, so a
+    /// deltas cell there would just re-measure `sharded`.
+    deltas: Option<Cell>,
+    /// Modeled time on the discrete-event simulator, default world. The
+    /// DES models `threads`-way parallelism whatever the host has, so
+    /// this pair is the deterministic, noise-free contention story the
+    /// wall clock can't tell on a small machine.
+    sim_time: Option<u64>,
+    /// Modeled time with `WorldMode::Deltas`: privatized updates skip
+    /// the commutative channel's serialization charge, so on reduction
+    /// workloads this is strictly below `sim_time` at 2+ threads.
+    sim_time_deltas: Option<u64>,
+}
+
+/// One validated run on the simulated executor; `None` if the scheme is
+/// inapplicable (panics on executor failure — sim runs must not fail).
+fn sim_time(
+    w: &Workload,
+    spec: &SchemeSpec,
+    threads: usize,
+    mode: WorldMode,
+    cm: &CostModel,
+    seq_world: &commset_runtime::World,
+) -> Option<u64> {
+    let cfg = ExecConfig {
+        world: mode,
+        ..ExecConfig::default()
+    };
+    match w.run_scheme_with(spec, threads, cm, &cfg) {
+        Ok((time, world, _)) => {
+            (w.validate)(seq_world, &world).unwrap_or_else(|e| {
+                panic!(
+                    "{}: {} x{threads} sim ({mode:?}) computed a wrong answer: {e}",
+                    w.name, spec.label
+                )
+            });
+            Some(time)
+        }
+        Err(Ok(_diag)) => None,
+        Err(Err(e)) => panic!(
+            "{}: {} x{threads} sim ({mode:?}): executor failed: {e}",
+            w.name, spec.label
+        ),
+    }
 }
 
 fn median(mut xs: Vec<u128>) -> u128 {
@@ -98,6 +155,25 @@ fn measure(
                     spec.label,
                     out.stats.watchdog
                 );
+                if mode == WorldMode::Deltas {
+                    // The point of the deltas cell: updates land in
+                    // per-worker buffers, so the shard locks stay cold.
+                    // One fast acquire is tolerated for a main-thread
+                    // pre-section call (md5sum's `file_count`).
+                    let s = &out.stats.shard;
+                    assert!(
+                        out.stats.delta.applies > 0,
+                        "{}: {} x{threads}: deltas cell never took the privatized path",
+                        w.name,
+                        spec.label
+                    );
+                    assert!(
+                        s.fast_acquires + s.multi_acquires + s.whole_acquires <= 1,
+                        "{}: {} x{threads}: deltas cell touched the shard locks: {s:?}",
+                        w.name,
+                        spec.label
+                    );
+                }
                 walls.push(out.wall.as_micros());
                 last = Some(out);
             }
@@ -131,6 +207,7 @@ fn measure(
     Some(Cell {
         wall_us: median(walls),
         shard: last.stats.shard,
+        delta: last.stats.delta,
         queue_full_spins: last.stats.queue_full_spins,
         queue_empty_spins: last.stats.queue_empty_spins,
         telemetry,
@@ -142,6 +219,8 @@ fn cell_json(c: &Cell) -> String {
     format!(
         "{{\"wall_us\": {}, \"shard\": {{\"fast_acquires\": {}, \"fast_waits\": {}, \
          \"multi_acquires\": {}, \"whole_acquires\": {}}}, \
+         \"delta\": {{\"applies\": {}, \"coalesces\": {}, \"merged_slots\": {}, \
+         \"lock_elisions\": {}}}, \
          \"queue_full_spins\": {}, \"queue_empty_spins\": {}, \"telemetry\": {}, \
          \"recovery\": {}}}",
         c.wall_us,
@@ -149,6 +228,10 @@ fn cell_json(c: &Cell) -> String {
         c.shard.fast_waits,
         c.shard.multi_acquires,
         c.shard.whole_acquires,
+        c.delta.applies,
+        c.delta.coalesces,
+        c.delta.merged_slots,
+        c.delta.lock_elisions,
         c.queue_full_spins,
         c.queue_empty_spins,
         c.telemetry
@@ -160,6 +243,46 @@ fn cell_json(c: &Cell) -> String {
             .map(|r| r.to_json())
             .unwrap_or_else(|| "null".to_string())
     )
+}
+
+/// CI's delta perf gate: run one merge-declared reduction workload
+/// entirely in `WorldMode::Deltas` (every DOALL scheme, 2 threads),
+/// validate against the sequential oracle, and fail hard if the delta
+/// path ever touched a shard lock. The `measure` assertions do the
+/// enforcement; this just narrates the counters.
+fn delta_smoke(name: &str) {
+    let cm = CostModel::default();
+    let w = commset_workloads::all()
+        .into_iter()
+        .find(|w| w.name == name)
+        .unwrap_or_else(|| panic!("no workload named {name}"));
+    assert!(
+        w.registry.has_merges(),
+        "{name} declares no merge operators — not a delta workload"
+    );
+    let (_, seq_world) = w.run_sequential(&cm);
+    let mut cells = 0u32;
+    for spec in &w.schemes {
+        if spec.scheme != Scheme::Doall {
+            continue;
+        }
+        let Some(cell) = measure(&w, spec, 2, WorldMode::Deltas, 1, &seq_world) else {
+            continue;
+        };
+        eprintln!(
+            "{:<8} {:<26} x2 deltas: {:>8}us  applies {}  coalesces {}  elisions {}  shard locks {:?}",
+            w.name,
+            spec.label,
+            cell.wall_us,
+            cell.delta.applies,
+            cell.delta.coalesces,
+            cell.delta.lock_elisions,
+            cell.shard
+        );
+        cells += 1;
+    }
+    assert!(cells > 0, "{name}: no DOALL scheme was measurable");
+    eprintln!("delta smoke: {cells} scheme(s) lock-free and oracle-identical");
 }
 
 fn main() {
@@ -174,6 +297,11 @@ fn main() {
                 iters = args.next().and_then(|v| v.parse().ok()).expect("--iters K");
             }
             "--out" => out_path = args.next().expect("--out PATH"),
+            "--delta-smoke" => {
+                let name = args.next().expect("--delta-smoke WORKLOAD");
+                delta_smoke(&name);
+                return;
+            }
             other => panic!("unknown flag {other}"),
         }
     }
@@ -203,9 +331,29 @@ fn main() {
                 } else {
                     None
                 };
+                let deltas = if w.registry.has_merges() && spec.scheme == Scheme::Doall {
+                    measure(&w, spec, t, WorldMode::Deltas, iters, &seq_world)
+                } else {
+                    None
+                };
+                let sim = sim_time(&w, spec, t, WorldMode::Auto, &cm, &seq_world);
+                let sim_deltas = if deltas.is_some() {
+                    sim_time(&w, spec, t, WorldMode::Deltas, &cm, &seq_world)
+                } else {
+                    None
+                };
+                let extra = match (&deltas, sim, sim_deltas) {
+                    (Some(d), Some(s), Some(sd)) => format!(
+                        "  deltas {:>8}us  [sim {s} -> {sd}, {:.2}x]",
+                        d.wall_us,
+                        s as f64 / sd.max(1) as f64
+                    ),
+                    (Some(d), _, _) => format!("  deltas {:>8}us", d.wall_us),
+                    _ => String::new(),
+                };
                 match &sharded {
                     Some(sh) => eprintln!(
-                        "{:<8} {:<26} x{t}: single {:>8}us  sharded {:>8}us  (ratio {:.2})",
+                        "{:<8} {:<26} x{t}: single {:>8}us  sharded {:>8}us  (ratio {:.2}){extra}",
                         w.name,
                         spec.label,
                         single.wall_us,
@@ -213,7 +361,7 @@ fn main() {
                         single.wall_us as f64 / sh.wall_us.max(1) as f64
                     ),
                     None => eprintln!(
-                        "{:<8} {:<26} x{t}: single {:>8}us  (no slot bindings)",
+                        "{:<8} {:<26} x{t}: single {:>8}us  (no slot bindings){extra}",
                         w.name, spec.label, single.wall_us
                     ),
                 }
@@ -223,18 +371,26 @@ fn main() {
                     threads: t,
                     single,
                     sharded,
+                    deltas,
+                    sim_time: sim,
+                    sim_time_deltas: sim_deltas,
                 });
             }
         }
     }
 
     // Wall at one thread per (workload, scheme, mode), for speedups.
-    let mut base: BTreeMap<(String, String), (u128, Option<u128>)> = BTreeMap::new();
+    #[allow(clippy::type_complexity)]
+    let mut base: BTreeMap<(String, String), (u128, Option<u128>, Option<u128>)> = BTreeMap::new();
     for r in &rows {
         if r.threads == 1 {
             base.insert(
                 (r.workload.clone(), r.scheme.clone()),
-                (r.single.wall_us, r.sharded.as_ref().map(|c| c.wall_us)),
+                (
+                    r.single.wall_us,
+                    r.sharded.as_ref().map(|c| c.wall_us),
+                    r.deltas.as_ref().map(|c| c.wall_us),
+                ),
             );
         }
     }
@@ -273,23 +429,63 @@ fn main() {
                 let _ = writeln!(json, "      \"sharded_over_single\": null,");
             }
         }
+        match &r.deltas {
+            Some(d) => {
+                let ratio = r.single.wall_us as f64 / d.wall_us.max(1) as f64;
+                let _ = writeln!(json, "      \"deltas\": {},", cell_json(d));
+                let _ = writeln!(json, "      \"deltas_over_single\": {ratio:.4},");
+            }
+            None => {
+                let _ = writeln!(json, "      \"deltas\": null,");
+                let _ = writeln!(json, "      \"deltas_over_single\": null,");
+            }
+        }
+        match r.sim_time {
+            Some(s) => {
+                let _ = writeln!(json, "      \"sim_time\": {s},");
+            }
+            None => {
+                let _ = writeln!(json, "      \"sim_time\": null,");
+            }
+        }
+        match (r.sim_time, r.sim_time_deltas) {
+            (Some(s), Some(sd)) => {
+                let v = s as f64 / sd.max(1) as f64;
+                let _ = writeln!(json, "      \"sim_time_deltas\": {sd},");
+                let _ = writeln!(json, "      \"sim_deltas_over_base\": {v:.4},");
+            }
+            _ => {
+                let _ = writeln!(json, "      \"sim_time_deltas\": null,");
+                let _ = writeln!(json, "      \"sim_deltas_over_base\": null,");
+            }
+        }
         match base.get(&key) {
-            Some(&(single1, sharded1)) => {
+            Some(&(single1, sharded1, deltas1)) => {
                 let ss = single1 as f64 / r.single.wall_us.max(1) as f64;
                 let _ = writeln!(json, "      \"speedup_single\": {ss:.4},");
                 match (sharded1, &r.sharded) {
                     (Some(b), Some(sh)) => {
                         let v = b as f64 / sh.wall_us.max(1) as f64;
-                        let _ = writeln!(json, "      \"speedup_sharded\": {v:.4}");
+                        let _ = writeln!(json, "      \"speedup_sharded\": {v:.4},");
                     }
                     _ => {
-                        let _ = writeln!(json, "      \"speedup_sharded\": null");
+                        let _ = writeln!(json, "      \"speedup_sharded\": null,");
+                    }
+                }
+                match (deltas1, &r.deltas) {
+                    (Some(b), Some(d)) => {
+                        let v = b as f64 / d.wall_us.max(1) as f64;
+                        let _ = writeln!(json, "      \"speedup_deltas\": {v:.4}");
+                    }
+                    _ => {
+                        let _ = writeln!(json, "      \"speedup_deltas\": null");
                     }
                 }
             }
             None => {
                 let _ = writeln!(json, "      \"speedup_single\": null,");
-                let _ = writeln!(json, "      \"speedup_sharded\": null");
+                let _ = writeln!(json, "      \"speedup_sharded\": null,");
+                let _ = writeln!(json, "      \"speedup_deltas\": null");
             }
         }
         let _ = writeln!(json, "    }}{}", if i + 1 < rows.len() { "," } else { "" });

@@ -83,6 +83,17 @@ pub struct ModelConfig {
     pub stream_len: i64,
     /// Channels compared as multisets instead of sequences.
     pub commutative: BTreeSet<String>,
+    /// Delta channels (sidecar `merge` rows): section workers' writes are
+    /// *privatized* — parked in the worker's buffer on **every** parallel
+    /// schedule, SC included, regardless of [`ModelConfig::sb_window`] —
+    /// and drain only at the section barrier ([`ModelWorld::flush_all`]).
+    /// This is the model of per-worker delta buffers: siblings never see
+    /// a delta write mid-section, so a program whose correctness needs
+    /// mid-section visibility (an order-sensitive merge mis-declared as
+    /// commutative) diverges from the oracle on every schedule. Delta
+    /// channels should also be in `commutative` (the coalesce order is a
+    /// multiset contract).
+    pub delta: BTreeSet<String>,
     /// Make *bare* world-intrinsic calls (outside commutative regions)
     /// visible scheduling events in the controlled executor. This models
     /// the sharded world's shard-acquisition points: with it on, the
@@ -105,6 +116,7 @@ impl Default for ModelConfig {
             size: 6,
             stream_len: 3,
             commutative: BTreeSet::new(),
+            delta: BTreeSet::new(),
             pause_at_world_calls: false,
             sb_window: None,
         }
@@ -131,6 +143,9 @@ struct Pending {
     rec: Record,
     /// Scheduling tick at which the write was issued.
     born: u64,
+    /// Privatized delta write: never ages out, drains only at
+    /// [`ModelWorld::flush_all`] (the section barrier).
+    delta: bool,
 }
 
 /// The deterministic abstract world.
@@ -178,9 +193,17 @@ impl ModelWorld {
         if let Some(w) = self.cfg.sb_window {
             let now = self.tick;
             for buf in self.pending.values_mut() {
-                while buf.first().is_some_and(|p| now - p.born >= w as u64) {
-                    let p = buf.remove(0);
-                    self.commutative.entry(p.chan).or_default().push(p.rec);
+                // Delta writes never age out (they drain only at the
+                // barrier); aged store-buffered writes behind them still
+                // drain in FIFO order.
+                let mut i = 0;
+                while i < buf.len() {
+                    if !buf[i].delta && now - buf[i].born >= w as u64 {
+                        let p = buf.remove(i);
+                        self.commutative.entry(p.chan).or_default().push(p.rec);
+                    } else {
+                        i += 1;
+                    }
                 }
             }
         }
@@ -258,11 +281,16 @@ impl ModelWorld {
                     .or_default()
                     .push(rec);
             } else if self.cfg.commutative.contains(&chan) {
-                if self.buffers_writes() {
+                // Delta channels privatize on every schedule; plain
+                // commutative channels park only under a store-buffer
+                // window. Worker 0 (main thread / oracle) writes through.
+                let privatize = self.current != 0 && self.cfg.delta.contains(&chan);
+                if privatize || self.buffers_writes() {
                     self.pending.entry(self.current).or_default().push(Pending {
                         chan,
                         rec,
                         born: self.tick,
+                        delta: privatize,
                     });
                 } else {
                     self.commutative.entry(chan).or_default().push(rec);
@@ -535,6 +563,57 @@ mod tests {
         assert!(!w.diff(&sc).is_empty(), "parked write not yet shared");
         w.flush_all();
         assert!(w.diff(&sc).is_empty(), "{:?}", w.diff(&sc));
+    }
+
+    #[test]
+    fn delta_channels_privatize_on_every_schedule() {
+        let t = sb_table();
+        let mut cfg = ModelConfig::with_commutative(["A"]);
+        cfg.delta.insert("A".into());
+        // No sb_window: this is an SC schedule — deltas privatize anyway.
+        let mut w = ModelWorld::new(cfg.clone());
+        w.set_worker(1);
+        w.call(&t, "pub_a", &[]);
+        assert_eq!(w.call(&t, "probe_a", &[]), Value::Int(1), "read-own-writes");
+        w.set_worker(2);
+        assert_eq!(w.call(&t, "probe_a", &[]), Value::Int(0), "siblings blind");
+        // Scheduling ticks never drain a delta write...
+        for _ in 0..16 {
+            w.tick_advance();
+        }
+        assert_eq!(w.call(&t, "probe_a", &[]), Value::Int(0));
+        // ...only the section barrier does.
+        w.flush_all();
+        assert_eq!(w.call(&t, "probe_a", &[]), Value::Int(1));
+        // Worker 0 (main thread / oracle) writes through even on a delta
+        // channel.
+        let mut m = ModelWorld::new(cfg);
+        m.call(&t, "pub_a", &[]);
+        m.set_worker(1);
+        assert_eq!(m.call(&t, "probe_a", &[]), Value::Int(1));
+    }
+
+    #[test]
+    fn delta_writes_survive_a_store_buffer_drain_behind_them() {
+        let t = sb_table();
+        let mut cfg = ModelConfig::with_commutative(["A"]);
+        cfg.delta.insert("A".into());
+        cfg.sb_window = Some(1);
+        let mut w = ModelWorld::new(cfg);
+        w.set_worker(1);
+        // A delta write parks first; it must not block (or be swept out
+        // by) the aged store-buffer drain of later non-delta writes.
+        w.call(&t, "pub_a", &[]);
+        w.tick_advance();
+        w.tick_advance();
+        w.set_worker(2);
+        assert_eq!(
+            w.call(&t, "probe_a", &[]),
+            Value::Int(0),
+            "delta write stays private across ticks"
+        );
+        w.flush_all();
+        assert_eq!(w.call(&t, "probe_a", &[]), Value::Int(1));
     }
 
     #[test]

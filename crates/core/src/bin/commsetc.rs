@@ -69,6 +69,7 @@
 //! touching those channels. Externs absent from the sidecar default to
 //! pure compute with cost 100.
 
+use commset::merge_law::validate_custom_merges;
 use commset::profile::run_profile;
 use commset::replay::{replay_bundle, run_profile_supervised, SyntheticSource};
 use commset::spec::{build_table, parse_effects};
@@ -391,6 +392,11 @@ fn run(args: &Args) -> Result<(), String> {
             } else if args.corpus.is_some() {
                 return Err(format!("{corpus_dir}: corpus directory not found"));
             }
+            // Custom merge operators must obey the merge laws
+            // (commutativity, associativity, identity 0) before any
+            // delta-privatized schedule is trusted.
+            validate_custom_merges(&source, &spec, &compiler.intrinsics)
+                .map_err(|d| d.to_string())?;
             let mut cfg = spec.checker_config();
             cfg.nthreads = args.threads;
             cfg.jobs = args.jobs;

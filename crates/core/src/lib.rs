@@ -61,6 +61,7 @@ use std::collections::{BTreeSet, HashMap};
 
 pub use commset_transform::{ParallelPlan, ParallelProgram, Scheme, SyncMode};
 
+pub mod merge_law;
 pub mod profile;
 pub mod replay;
 pub mod spec;

@@ -32,7 +32,16 @@
 //!   checking: the checker additionally explores store-buffered (`sb[w]:`)
 //!   schedule variants where commutative-channel writes stay invisible to
 //!   other workers for up to `window` scheduling ticks (default 4).
-//!   Ordered channels are never buffered.
+//!   Ordered channels are never buffered;
+//! * `merge CHAN add|max|set-union|custom(fn)` — declares the channel a
+//!   *delta channel*: runtimes may privatize its updates into per-worker
+//!   buffers coalesced at the section barrier by the named operator, and
+//!   the checker models writes to it as privatized (invisible to sibling
+//!   workers until the barrier) on every parallel schedule. `custom(fn)`
+//!   names an `int fn(int a, int b)` defined in the program; `commsetc
+//!   check` rejects the declaration with a structured diagnostic when the
+//!   function fails the merge-operator laws (commutativity, associativity,
+//!   identity 0) on sampled inputs.
 //!
 //! Externs absent from the sidecar default to pure compute with cost 100.
 //! Parameter and return *types* always come from the source's `extern`
@@ -54,6 +63,9 @@ pub struct EffectsSpec {
     pub per_instance: Vec<String>,
     /// Channels compared as multisets by the dynamic checker.
     pub commutative: Vec<String>,
+    /// Delta channels: `(channel, operator)` rows from `merge` directives.
+    /// Operators are `add`, `max`, `set-union`, or `custom(fn)`.
+    pub merges: Vec<(String, String)>,
     /// Checker model: value returned by size queries (loop bound).
     pub model_size: Option<i64>,
     /// Checker model: per-instance stream length.
@@ -75,6 +87,13 @@ impl EffectsSpec {
         let mut cfg = commset_checker::CheckConfig::with_commutative(
             self.commutative.iter().map(String::as_str),
         );
+        for (chan, _op) in &self.merges {
+            // A merge row makes the channel commutative *and* privatized:
+            // worker writes park in per-worker deltas on every schedule and
+            // surface only at the section barrier.
+            cfg.model.commutative.insert(chan.clone());
+            cfg.model.delta.insert(chan.clone());
+        }
         if let Some(n) = self.model_size {
             cfg.model.size = n;
         }
@@ -154,6 +173,37 @@ pub fn parse_effects(text: &str) -> Result<EffectsSpec, String> {
                 format!("line {}: `commutative` needs a channel list", lineno + 1)
             })?;
             spec.commutative.extend(list(chans));
+            continue;
+        }
+        if head == "merge" {
+            let chan = parts
+                .next()
+                .ok_or_else(|| format!("line {}: `merge` needs a channel", lineno + 1))?;
+            let op = parts
+                .next()
+                .ok_or_else(|| format!("line {}: `merge` needs an operator", lineno + 1))?;
+            let known = matches!(op, "add" | "max" | "set-union")
+                || (op.starts_with("custom(") && op.ends_with(')') && op.len() > 8);
+            if !known {
+                return Err(format!(
+                    "line {}: unknown merge operator `{op}` (expected add, max, \
+                     set-union, or custom(fn))",
+                    lineno + 1
+                ));
+            }
+            if let Some(extra) = parts.next() {
+                return Err(format!(
+                    "line {}: unexpected token `{extra}` after merge operator",
+                    lineno + 1
+                ));
+            }
+            if spec.merges.iter().any(|(c, _)| c == chan) {
+                return Err(format!(
+                    "line {}: duplicate merge declaration for channel `{chan}`",
+                    lineno + 1
+                ));
+            }
+            spec.merges.push((chan.to_string(), op.to_string()));
             continue;
         }
         if head == "relaxed" {
@@ -303,6 +353,49 @@ mod tests {
         assert_eq!(spec.model_size, Some(6));
         assert_eq!(spec.model_stream, Some(1));
         assert!(!spec.relaxed);
+    }
+
+    #[test]
+    fn merge_directive_parses_and_configures_the_checker() {
+        let spec = parse_effects(
+            "bump writes=ACC cost=10\n\
+             commutative ACC\n\
+             merge ACC add\n\
+             merge HIST max\n\
+             merge TIDS set-union\n\
+             merge CURSOR custom(merge_cursor)\n",
+        )
+        .unwrap();
+        assert_eq!(
+            spec.merges,
+            [
+                ("ACC".to_string(), "add".to_string()),
+                ("HIST".to_string(), "max".to_string()),
+                ("TIDS".to_string(), "set-union".to_string()),
+                ("CURSOR".to_string(), "custom(merge_cursor)".to_string()),
+            ]
+        );
+        let cfg = spec.checker_config();
+        for chan in ["ACC", "HIST", "TIDS", "CURSOR"] {
+            assert!(cfg.model.commutative.contains(chan), "{chan} commutative");
+            assert!(cfg.model.delta.contains(chan), "{chan} privatized");
+        }
+        // Channels without a merge row stay out of the delta set.
+        let plain = parse_effects("commutative OUT\n").unwrap().checker_config();
+        assert!(plain.model.commutative.contains("OUT"));
+        assert!(plain.model.delta.is_empty());
+    }
+
+    #[test]
+    fn merge_directive_rejects_junk() {
+        assert!(parse_effects("merge").is_err());
+        assert!(parse_effects("merge ACC").is_err());
+        assert!(parse_effects("merge ACC min").is_err());
+        assert!(parse_effects("merge ACC custom()").is_err());
+        assert!(parse_effects("merge ACC custom(f").is_err());
+        assert!(parse_effects("merge ACC add extra").is_err());
+        let dup = parse_effects("merge ACC add\nmerge ACC max\n");
+        assert!(dup.unwrap_err().contains("duplicate merge declaration"));
     }
 
     #[test]

@@ -260,7 +260,7 @@ pub struct FailureBundle {
     /// Executor backend of the failing attempt (`threads` or `sim`).
     pub backend: String,
     /// World mode of the failing attempt (`auto`, `single-lock`,
-    /// `sharded`).
+    /// `sharded`, `deltas`).
     pub world_mode: String,
     /// DSWP queue batch size in effect.
     pub queue_batch: usize,
@@ -340,7 +340,8 @@ impl FailureBundle {
             "  \"fault\": {{\"seed\":{},\"stm_abort_every\":{},\"lock_delay_every\":{},\
              \"lock_delay_cost\":{},\"stall\":{},\"queue_capacity_clamp\":{},\
              \"shard_hold_every\":{},\"shard_hold_cost\":{},\"queue_stall_every\":{},\
-             \"queue_stall_cost\":{},\"shard_poison_nth\":{},\"slow\":{}}},",
+             \"queue_stall_cost\":{},\"shard_poison_nth\":{},\"delta_poison_nth\":{},\
+             \"slow\":{}}},",
             f.seed,
             f.stm_abort_every,
             f.lock_delay_every,
@@ -352,6 +353,7 @@ impl FailureBundle {
             f.queue_stall_every,
             f.queue_stall_cost,
             f.shard_poison_nth,
+            f.delta_poison_nth,
             slow
         );
         let _ = writeln!(out, "  \"error\": \"{}\",", escape(&self.error));
@@ -434,6 +436,8 @@ impl FailureBundle {
             queue_stall_every: fault_u64("queue_stall_every").unwrap_or(0),
             queue_stall_cost: fault_u64("queue_stall_cost").unwrap_or(0),
             shard_poison_nth: fault_u64("shard_poison_nth").unwrap_or(0),
+            // Older bundles predate delta privatization: default 0.
+            delta_poison_nth: fault_u64("delta_poison_nth").unwrap_or(0),
             slow,
         };
         let history = v

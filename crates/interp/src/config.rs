@@ -18,6 +18,15 @@ pub enum WorldMode {
     /// Always the sharded world; unbound intrinsics take the whole-world
     /// slow path.
     Sharded,
+    /// CCD-style delta privatization on top of the sharded world: calls
+    /// whose entire slot footprint carries a declared merge operator run
+    /// against per-worker delta buffers (no shard lock, no STM) and are
+    /// coalesced deterministically at the section barrier. Calls without
+    /// full merge coverage — and every call in a pipeline section, where
+    /// cross-worker queues carry handles between stages — behave exactly
+    /// as [`WorldMode::Sharded`]. Never chosen by [`WorldMode::Auto`];
+    /// opting in requires merge declarations in the registry.
+    Deltas,
 }
 
 /// Knobs shared by the simulated and real-thread executors.

@@ -14,14 +14,15 @@
 //! an adversarial [`FaultPlan`](commset_runtime::FaultPlan) schedule and
 //! runs the waits-for watchdog, whose report lands in [`SimStats`].
 
-use crate::config::ExecConfig;
+use crate::config::{ExecConfig, WorldMode};
 use crate::error::ExecError;
 use crate::globals::PlainGlobals;
 use crate::trace::{TraceEvent, TraceSink};
 use crate::vm::{PendingSpecial, StepOutcome, Vm};
 use commset_ir::Module;
 use commset_runtime::{
-    FaultInjector, FaultStats, Registry, Value, Watchdog, WatchdogReport, World,
+    DeltaBuffer, DeltaSnapshot, FaultInjector, FaultStats, Registry, Value, Watchdog,
+    WatchdogReport, World, DELTA_POISON_MSG,
 };
 use commset_sim::lock::AcquireOutcome;
 use commset_sim::{
@@ -53,6 +54,9 @@ pub struct SimStats {
     pub fault: FaultStats,
     /// Waits-for watchdog findings (merged over all sections).
     pub watchdog: WatchdogReport,
+    /// Delta-privatized activity (all zero unless [`WorldMode::Deltas`]
+    /// routed calls into per-worker buffers).
+    pub delta: DeltaSnapshot,
 }
 
 /// Result of a simulated run.
@@ -231,6 +235,7 @@ fn merge_stats(into: &mut SimStats, from: SimStats) {
     into.tm_fallbacks += from.tm_fallbacks;
     into.queue_pushes += from.queue_pushes;
     into.queue_stalls += from.queue_stalls;
+    into.delta.absorb(from.delta);
     merge_watchdog(&mut into.watchdog, from.watchdog);
 }
 
@@ -314,6 +319,35 @@ fn run_section(
     // writes, and readers wait for in-flight writers. This is what makes
     // I/O-channel saturation emerge at high thread counts.
     let mut channel_free: HashMap<u32, u64> = HashMap::new();
+    // Delta privatization: merge-covered calls run against per-worker
+    // buffers with no channel serialization at all (the modeled analogue
+    // of taking no shard lock); the buffers fold back into the world in
+    // worker-index order at the section end. Pipeline sections (queues
+    // present) keep the serialized discipline.
+    let delta_on =
+        matches!(cfg.world, WorldMode::Deltas) && registry.has_merges() && plan.queues.is_empty();
+    let mut delta_bufs: Vec<DeltaBuffer> = if delta_on {
+        (0..plan.workers.len())
+            .map(|_| DeltaBuffer::new())
+            .collect()
+    } else {
+        Vec::new()
+    };
+    // Static lock elision: a CommSet region lock whose guarded intrinsics
+    // are all delta-covered serializes nothing — every effect in the
+    // region lands in a worker-private buffer, invisible to siblings
+    // until the barrier, and the declared merges make the coalesce order
+    // immaterial. Synthetic locks (`__reduction`) have no members and are
+    // never elided.
+    let elided: Vec<bool> = plan
+        .locks
+        .iter()
+        .map(|ls| {
+            delta_on
+                && !ls.members.is_empty()
+                && ls.members.iter().all(|m| registry.delta_covered(m))
+        })
+        .collect();
 
     let spawn_t = start + cm.par_spawn;
     let mut workers: Vec<Worker<'_>> = Vec::with_capacity(plan.workers.len());
@@ -400,6 +434,8 @@ fn run_section(
                     &queue_index,
                     &mut tm,
                     &mut channel_free,
+                    &mut delta_bufs,
+                    &elided,
                     cm,
                     cfg,
                     injector,
@@ -410,6 +446,39 @@ fn run_section(
         }
         if cfg.trace.is_some() || telem.on {
             drain_region_events(cfg.trace.as_ref(), telem, i, &mut workers[i]);
+        }
+    }
+
+    // Delta coalesce: fold the per-worker buffers into the world in
+    // worker-index order (then slot-name order inside each buffer). The
+    // DES has no panic containment, so an injected poison surfaces as the
+    // same structured error the thread executor's containment produces.
+    let mut delta = DeltaSnapshot::default();
+    for buf in delta_bufs.drain(..) {
+        delta.lock_elisions += buf.lock_elisions;
+        if buf.is_empty() {
+            continue;
+        }
+        if injector.delta_poison_now() {
+            return Err(ExecError::WorkerFailed {
+                stage: "__delta_coalesce".into(),
+                cause: DELTA_POISON_MSG.into(),
+            });
+        }
+        delta.coalesces += 1;
+        delta.applies += buf.applies;
+        for (slot, d) in buf.drain() {
+            let spec = registry
+                .merge_of(&slot)
+                .expect("delta-routed slot has a merge spec");
+            delta.merged_slots += 1;
+            match world.take_boxed(&slot) {
+                Some(mut base) => {
+                    spec.apply(base.as_mut(), d);
+                    world.install_boxed(slot, base);
+                }
+                None => world.install_boxed(slot, d),
+            }
         }
     }
 
@@ -452,6 +521,7 @@ fn run_section(
         queue_stalls: queues.iter().map(|q| q.empty_pops).sum(),
         fault: FaultStats::default(),
         watchdog: watchdog.map(|wd| wd.report()).unwrap_or_default(),
+        delta,
     };
     Ok((end, stats, meta))
 }
@@ -501,6 +571,8 @@ fn handle_special(
     queue_index: &HashMap<i64, usize>,
     tm: &mut TmModel,
     channel_free: &mut HashMap<u32, u64>,
+    delta_bufs: &mut [DeltaBuffer],
+    elided: &[bool],
     cm: &CostModel,
     cfg: &ExecConfig,
     injector: &FaultInjector,
@@ -523,6 +595,15 @@ fn handle_special(
     match name.as_str() {
         "__lock_acquire" => {
             let l = p.args[0].as_int() as usize;
+            if elided.get(l).copied().unwrap_or(false) {
+                // Delta privatization covers everything this lock guards:
+                // grant immediately with no lock state touched.
+                if let Some(buf) = delta_bufs.get_mut(i) {
+                    buf.lock_elisions += 1;
+                }
+                workers[i].vm.resolve_special(Value::Int(0));
+                return Ok(());
+            }
             let t = workers[i].clock;
             let was_blocked = workers[i].lock_retry;
             if let Some(wd) = watchdog {
@@ -568,6 +649,10 @@ fn handle_special(
         }
         "__lock_release" => {
             let l = p.args[0].as_int() as usize;
+            if elided.get(l).copied().unwrap_or(false) {
+                workers[i].vm.resolve_special(Value::Int(0));
+                return Ok(());
+            }
             let t = workers[i].clock;
             if telem.on {
                 if let Some(t0) = workers[i].lock_held.remove(&l) {
@@ -729,6 +814,38 @@ fn handle_special(
             // for its duration (the internally-thread-safe world).
             let sig = module.intrinsics.sig(p.intrinsic.0 as usize);
             let base = sig.base_cost;
+            // Delta fast path: a merge-covered call runs against the
+            // worker-private buffer with no channel serialization — the
+            // whole cost overlaps across cores.
+            if !delta_bufs.is_empty() {
+                if let Some(slots) = registry.delta_route(&name, &p.args) {
+                    let out = delta_bufs[i].apply(registry, &name, &p.args, &slots);
+                    let done = workers[i].clock + base + out.extra_cost;
+                    if telem.on {
+                        telem.span(
+                            i,
+                            workers[i].clock,
+                            done,
+                            SpanKind::WorldCall {
+                                intrinsic: name.clone(),
+                            },
+                        );
+                    }
+                    workers[i].clock = done;
+                    if let Some(tr) = &cfg.trace {
+                        tr.record(
+                            i,
+                            done,
+                            TraceEvent::WorldCall {
+                                intrinsic: name.clone(),
+                                args: p.args.clone(),
+                            },
+                        );
+                    }
+                    workers[i].vm.resolve_special(out.value);
+                    return Ok(());
+                }
+            }
             let out = registry.call(&name, world, &p.args);
             let cost = base + out.extra_cost;
             // Private compute overlaps across cores; only the serialized

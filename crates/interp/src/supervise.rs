@@ -17,7 +17,8 @@
 //!    fallback* (the COMMSET contract) and the bottom rung decides whether
 //!    the error is real.
 //! 3. **Degradation ladder.** When a rung is exhausted the supervisor
-//!    descends: sharded world → single lock (same thread count), then
+//!    descends: delta privatization → sharded world → single lock (same
+//!    thread count), then
 //!    thread count halving N → N/2 → … → 1, then the sequential executor.
 //!    Thread counts are baked into compiled modules, so each rung
 //!    recompiles via [`ProgramSource`]. Every degraded success is
@@ -192,10 +193,14 @@ impl Rung {
         match self {
             Rung::Sequential => "sequential".to_string(),
             Rung::Parallel { mode, threads } => match backend {
-                Backend::Sim => format!("sim({threads})"),
+                Backend::Sim => match mode {
+                    WorldMode::Deltas => format!("sim(deltas, {threads})"),
+                    _ => format!("sim({threads})"),
+                },
                 Backend::Threads => format!(
                     "threads({}, {threads})",
                     match mode {
+                        WorldMode::Deltas => "deltas",
                         WorldMode::Sharded => "sharded",
                         WorldMode::SingleLock => "single-lock",
                         WorldMode::Auto => "auto",
@@ -232,7 +237,20 @@ fn build_ladder(
         threads,
     }];
     if ladder {
-        if backend == Backend::Threads && resolved == WorldMode::Sharded {
+        if resolved == WorldMode::Deltas {
+            // A poisoned delta coalesce degrades to the lock-mediated
+            // sharded world at full width before giving up any threads.
+            rungs.push(Rung::Parallel {
+                mode: WorldMode::Sharded,
+                threads,
+            });
+            if backend == Backend::Threads {
+                rungs.push(Rung::Parallel {
+                    mode: WorldMode::SingleLock,
+                    threads,
+                });
+            }
+        } else if backend == Backend::Threads && resolved == WorldMode::Sharded {
             rungs.push(Rung::Parallel {
                 mode: WorldMode::SingleLock,
                 threads,
@@ -240,7 +258,13 @@ fn build_ladder(
         }
         let degraded_mode = match backend {
             Backend::Threads => WorldMode::SingleLock,
-            Backend::Sim => resolved,
+            Backend::Sim => {
+                if resolved == WorldMode::Deltas {
+                    WorldMode::Sharded
+                } else {
+                    resolved
+                }
+            }
         };
         let mut t = threads;
         while t > 1 {
@@ -380,6 +404,7 @@ fn capture_bundle(
                 WorldMode::Auto => "auto",
                 WorldMode::SingleLock => "single-lock",
                 WorldMode::Sharded => "sharded",
+                WorldMode::Deltas => "deltas",
             },
         ),
         Rung::Sequential => (1, "single-lock"),
@@ -559,6 +584,31 @@ mod tests {
                 "threads(single-lock, 1)",
                 "sequential",
             ]
+        );
+    }
+
+    #[test]
+    fn deltas_ladder_descends_through_sharded_first() {
+        let registry = Registry::new();
+        let rungs = build_ladder(Backend::Threads, WorldMode::Deltas, 8, &registry, true);
+        let names: Vec<String> = rungs.iter().map(|r| r.describe(Backend::Threads)).collect();
+        assert_eq!(
+            names,
+            vec![
+                "threads(deltas, 8)",
+                "threads(sharded, 8)",
+                "threads(single-lock, 8)",
+                "threads(single-lock, 4)",
+                "threads(single-lock, 2)",
+                "threads(single-lock, 1)",
+                "sequential",
+            ]
+        );
+        let sim = build_ladder(Backend::Sim, WorldMode::Deltas, 4, &registry, true);
+        let names: Vec<String> = sim.iter().map(|r| r.describe(Backend::Sim)).collect();
+        assert_eq!(
+            names,
+            vec!["sim(deltas, 4)", "sim(4)", "sim(2)", "sim(1)", "sequential",]
         );
     }
 

@@ -27,7 +27,8 @@ use commset_runtime::sharded::{ShardObserver, ShardStatsSnapshot, ShardedWorld, 
 use commset_runtime::sync::Mutex;
 use commset_runtime::world::SlotError;
 use commset_runtime::{
-    FaultInjector, FaultStats, Registry, SpscQueue, Value, Watchdog, WatchdogReport, World,
+    DeltaBuffer, DeltaSnapshot, FaultInjector, FaultStats, Registry, SpscQueue, Value, Watchdog,
+    WatchdogReport, World, DELTA_POISON_MSG,
 };
 use commset_telemetry::{
     ClockUnit, RunCounters, RunReport, SectionMeta, SpanKind, SpanRecord, TelemetrySink,
@@ -55,6 +56,9 @@ pub struct ThreadStats {
     pub queue_full_spins: u64,
     /// Pops that found a pipeline queue empty (consumer-side starvation).
     pub queue_empty_spins: u64,
+    /// Delta-privatized activity (all zero unless [`WorldMode::Deltas`]
+    /// routed calls into per-worker buffers).
+    pub delta: DeltaSnapshot,
 }
 
 /// The shared world behind one of the two locking disciplines the
@@ -69,7 +73,9 @@ impl WorldStore {
     fn new(world: World, mode: WorldMode, registry: &Registry) -> Self {
         let sharded = match mode {
             WorldMode::SingleLock => false,
-            WorldMode::Sharded => true,
+            // Deltas rides on the sharded world: main-thread calls and
+            // calls without full merge coverage behave exactly as Sharded.
+            WorldMode::Sharded | WorldMode::Deltas => true,
             WorldMode::Auto => registry.has_bindings(),
         };
         if sharded {
@@ -195,6 +201,7 @@ pub fn run_threaded_with(
                     stats.queue_drained += section_out.drained;
                     stats.queue_full_spins += section_out.full_spins;
                     stats.queue_empty_spins += section_out.empty_spins;
+                    stats.delta.absorb(section_out.delta);
                     if let Some(m) = section_out.meta {
                         metas.push(m);
                     }
@@ -285,6 +292,19 @@ struct SectionCtx<'a> {
     queue_index: &'a HashMap<i64, usize>,
     cancel: &'a AtomicBool,
     injector: &'a FaultInjector,
+    /// True when this section privatizes merge-covered world calls into
+    /// per-worker delta buffers ([`WorldMode::Deltas`], merge declarations
+    /// present, and the plan has no cross-worker queues — pipeline stages
+    /// pass handles through queues, so they keep the sharded discipline).
+    delta: bool,
+    /// Per-lock elision decisions (indexed by lock rank): true when every
+    /// intrinsic the lock guards is delta-covered, so the region needs no
+    /// mutual exclusion at all — privatized effects are invisible to
+    /// siblings until the barrier. Empty unless `delta` is set.
+    elided: &'a [bool],
+    /// Finished per-worker buffers, pushed at worker exit and coalesced by
+    /// the section in worker-index order.
+    delta_out: &'a Mutex<Vec<(usize, DeltaBuffer)>>,
     watchdog: Option<&'a Watchdog>,
     trace: Option<&'a TraceSink>,
     queue_batch: usize,
@@ -310,6 +330,8 @@ struct SectionOutcome {
     /// Plan-derived naming + per-queue spins for the report builder
     /// (present iff telemetry is on).
     meta: Option<SectionMeta>,
+    /// Delta-privatized activity of this section.
+    delta: DeltaSnapshot,
 }
 
 /// Executes one parallel section; returns the watchdog report, teardown
@@ -343,6 +365,22 @@ fn run_section(
     }
     let cancel = AtomicBool::new(false);
     let watchdog = cfg.watchdog.then(Watchdog::new);
+    let delta_on =
+        matches!(cfg.world, WorldMode::Deltas) && registry.has_merges() && plan.queues.is_empty();
+    let delta_out: Mutex<Vec<(usize, DeltaBuffer)>> = Mutex::new(Vec::new());
+    // Static lock elision (DESIGN.md §14): a CommSet region lock whose
+    // guarded intrinsics are all delta-covered serializes nothing under
+    // delta privatization. Synthetic locks (`__reduction`) have no
+    // members and are never elided.
+    let elided: Vec<bool> = plan
+        .locks
+        .iter()
+        .map(|ls| {
+            delta_on
+                && !ls.members.is_empty()
+                && ls.members.iter().all(|m| registry.delta_covered(m))
+        })
+        .collect();
     let ctx = SectionCtx {
         module,
         registry,
@@ -353,6 +391,9 @@ fn run_section(
         queue_index: &queue_index,
         cancel: &cancel,
         injector,
+        delta: delta_on,
+        elided: &elided,
+        delta_out: &delta_out,
         watchdog: watchdog.as_ref(),
         trace: cfg.trace.as_ref(),
         queue_batch: cfg.queue_batch.max(1),
@@ -502,6 +543,37 @@ fn run_section(
         }
         return Err(e);
     }
+
+    // Delta coalesce: fold the finished per-worker buffers into the
+    // shared shards, in worker-index order (then slot-name order inside
+    // each buffer) — the deterministic fold DESIGN.md §14 specifies. A
+    // poisoned or panicking merge is contained exactly like a worker
+    // panic so the supervisor can descend the ladder to plain Sharded.
+    let mut delta = DeltaSnapshot::default();
+    if delta_on {
+        let mut bufs = delta_out.into_inner();
+        bufs.sort_by_key(|(w, _)| *w);
+        if let WorldStore::Sharded(sw) = world {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                for (_, buf) in bufs {
+                    delta.lock_elisions += buf.lock_elisions;
+                    if buf.is_empty() {
+                        continue;
+                    }
+                    if injector.delta_poison_now() {
+                        panic!("{DELTA_POISON_MSG}");
+                    }
+                    delta.coalesces += 1;
+                    delta.applies += buf.applies;
+                    delta.merged_slots += sw.coalesce_delta(registry, buf);
+                }
+            }))
+            .map_err(|payload| ExecError::WorkerFailed {
+                stage: "__delta_coalesce".into(),
+                cause: panic_message(&*payload),
+            })?;
+        }
+    }
     let meta = sink.map(|_| SectionMeta {
         section: section_ord,
         stage_desc: plan.stage_desc.clone(),
@@ -517,6 +589,7 @@ fn run_section(
         full_spins,
         empty_spins,
         meta,
+        delta,
     })
 }
 
@@ -596,6 +669,10 @@ fn worker_loop(
     // acquisition, a TM begin, a blocking pop, or its own exit — so no
     // sibling can wait forever on a value parked in our staging buffer.
     let batch = ctx.queue_batch;
+    // Delta privatization: merge-covered world calls land here instead of
+    // taking any shard lock; the buffer is handed to the section barrier
+    // at exit for the deterministic coalesce.
+    let mut delta_buf = ctx.delta.then(DeltaBuffer::new);
     let mut staged: Vec<Vec<u64>> = (0..ctx.queues.len()).map(|_| Vec::new()).collect();
     let mut refill: Vec<VecDeque<u64>> = (0..ctx.queues.len()).map(|_| VecDeque::new()).collect();
     let mut scratch: Vec<u64> = Vec::new();
@@ -640,6 +717,14 @@ fn worker_loop(
                 if !flush_staged(ctx, &mut staged) {
                     return Err(canceled());
                 }
+                // Hand the private delta buffer to the section barrier.
+                // Failed/canceled workers never get here, so their partial
+                // deltas are dropped with the failed section.
+                if let Some(buf) = delta_buf.take() {
+                    if !buf.is_empty() || buf.lock_elisions > 0 {
+                        ctx.delta_out.lock().push((widx, buf));
+                    }
+                }
                 return Ok(());
             }
             StepOutcome::Special(p) => {
@@ -652,6 +737,15 @@ fn worker_loop(
                 match name {
                     "__lock_acquire" => {
                         let l = p.args[0].as_int() as usize;
+                        if ctx.elided.get(l).copied().unwrap_or(false) {
+                            // Delta privatization covers everything this
+                            // lock guards: proceed without touching it.
+                            if let Some(buf) = delta_buf.as_mut() {
+                                buf.lock_elisions += 1;
+                            }
+                            vm.resolve_special(Value::Int(0));
+                            continue;
+                        }
                         // Blocking wait ahead: publish staged values first.
                         if !flush_staged(ctx, &mut staged) {
                             return Err(canceled());
@@ -686,6 +780,10 @@ fn worker_loop(
                     }
                     "__lock_release" => {
                         let l = p.args[0].as_int() as usize;
+                        if ctx.elided.get(l).copied().unwrap_or(false) {
+                            vm.resolve_special(Value::Int(0));
+                            continue;
+                        }
                         if telemetry_on {
                             if let Some(t0) = lock_held.remove(&l) {
                                 span(spans, t0, now(), SpanKind::LockHold { rank: l });
@@ -807,6 +905,37 @@ fn worker_loop(
                     }
                     "__par_invoke" => return Err(ExecError::NestedParallelSection),
                     _ => {
+                        // Delta fast path: a call whose entire slot
+                        // footprint is merge-declared runs against the
+                        // worker-private buffer — no shard lock, no STM.
+                        if let Some(buf) = delta_buf.as_mut() {
+                            if let Some(slots) = ctx.registry.delta_route(name, &p.args) {
+                                let t0 = if telemetry_on { now() } else { 0 };
+                                let out = buf.apply(ctx.registry, name, &p.args, &slots);
+                                if telemetry_on {
+                                    span(
+                                        spans,
+                                        t0,
+                                        now(),
+                                        SpanKind::WorldCall {
+                                            intrinsic: name.to_string(),
+                                        },
+                                    );
+                                }
+                                vm.resolve_special(out.value);
+                                if let Some(tr) = ctx.trace {
+                                    tr.record(
+                                        widx,
+                                        now(),
+                                        TraceEvent::WorldCall {
+                                            intrinsic: name.to_string(),
+                                            args: p.args.clone(),
+                                        },
+                                    );
+                                }
+                                continue;
+                            }
+                        }
                         // World calls never wait on queues (handlers only
                         // touch world slots), so staged pushes can stay
                         // parked across them: shard/world locks are leaf

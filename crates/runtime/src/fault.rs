@@ -82,6 +82,11 @@ pub struct FaultPlan {
     pub shard_poison_nth: u64,
     /// One persistently slow worker (`None` = none).
     pub slow: Option<SlowWorker>,
+    /// Fail the `n`-th delta-coalesce event (0 = never). Fires exactly
+    /// once per injector, only on the delta-privatized world mode's
+    /// section-barrier merge — the probe that a poisoned coalesce
+    /// degrades cleanly to the lock-mediated sharded world.
+    pub delta_poison_nth: u64,
 }
 
 impl FaultPlan {
@@ -179,6 +184,17 @@ impl FaultPlan {
         }
     }
 
+    /// Delta poison: the first section-barrier coalesce of per-worker
+    /// delta buffers fails. The supervisor must contain the failure and
+    /// descend the ladder to the lock-mediated sharded world.
+    pub fn delta_poison(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            delta_poison_nth: 1,
+            ..FaultPlan::default()
+        }
+    }
+
     /// True when the plan injects nothing.
     pub fn is_none(&self) -> bool {
         self.stm_abort_every == 0
@@ -189,6 +205,7 @@ impl FaultPlan {
             && self.queue_stall_every == 0
             && self.shard_poison_nth == 0
             && self.slow.is_none()
+            && self.delta_poison_nth == 0
     }
 }
 
@@ -209,6 +226,8 @@ pub struct FaultStats {
     pub shard_poisons: u64,
     /// Slow-worker delays delivered.
     pub slow_delays: u64,
+    /// Delta-coalesce failures delivered (0 or 1).
+    pub delta_poisons: u64,
 }
 
 /// Shared, thread-safe decision engine for one run of a [`FaultPlan`].
@@ -221,6 +240,7 @@ pub struct FaultInjector {
     shard_events: AtomicU64,
     queue_events: AtomicU64,
     poison_events: AtomicU64,
+    delta_events: AtomicU64,
     delivered_aborts: AtomicU64,
     delivered_delays: AtomicU64,
     delivered_stalls: AtomicU64,
@@ -228,6 +248,7 @@ pub struct FaultInjector {
     delivered_queue_stalls: AtomicU64,
     delivered_poisons: AtomicU64,
     delivered_slow: AtomicU64,
+    delivered_delta_poisons: AtomicU64,
     rng: Mutex<SplitMix64>,
 }
 
@@ -243,6 +264,7 @@ impl FaultInjector {
             shard_events: AtomicU64::new(0),
             queue_events: AtomicU64::new(0),
             poison_events: AtomicU64::new(0),
+            delta_events: AtomicU64::new(0),
             delivered_aborts: AtomicU64::new(0),
             delivered_delays: AtomicU64::new(0),
             delivered_stalls: AtomicU64::new(0),
@@ -250,6 +272,7 @@ impl FaultInjector {
             delivered_queue_stalls: AtomicU64::new(0),
             delivered_poisons: AtomicU64::new(0),
             delivered_slow: AtomicU64::new(0),
+            delivered_delta_poisons: AtomicU64::new(0),
             rng,
         }
     }
@@ -388,6 +411,20 @@ impl FaultInjector {
         hit
     }
 
+    /// Should this delta-coalesce event fail? Fires exactly once per
+    /// injector, on the plan's `delta_poison_nth` coalesce.
+    pub fn delta_poison_now(&self) -> bool {
+        if self.plan.delta_poison_nth == 0 {
+            return false;
+        }
+        let n = self.delta_events.fetch_add(1, Ordering::Relaxed) + 1;
+        let hit = n == self.plan.delta_poison_nth;
+        if hit {
+            self.delivered_delta_poisons.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
     /// Applies the plan's queue clamp to a planned capacity.
     pub fn clamp_capacity(&self, capacity: usize) -> usize {
         match self.plan.queue_capacity_clamp {
@@ -406,6 +443,7 @@ impl FaultInjector {
             queue_stalls: self.delivered_queue_stalls.load(Ordering::Relaxed),
             shard_poisons: self.delivered_poisons.load(Ordering::Relaxed),
             slow_delays: self.delivered_slow.load(Ordering::Relaxed),
+            delta_poisons: self.delivered_delta_poisons.load(Ordering::Relaxed),
         }
     }
 }
@@ -509,6 +547,18 @@ mod tests {
         assert_eq!(hits.iter().filter(|h| **h).count(), 1);
         assert!(hits[1], "fires on the second hold");
         assert_eq!(inj.stats().shard_poisons, 1);
+    }
+
+    #[test]
+    fn delta_poison_fires_exactly_once_on_the_nth_coalesce() {
+        let inj = FaultInjector::new(FaultPlan::delta_poison(4));
+        assert!(!FaultPlan::delta_poison(4).is_none());
+        let hits: Vec<bool> = (0..10).map(|_| inj.delta_poison_now()).collect();
+        assert_eq!(hits.iter().filter(|h| **h).count(), 1);
+        assert!(hits[0], "fires on the first coalesce");
+        assert_eq!(inj.stats().delta_poisons, 1);
+        // Orthogonal to shard poisoning: shard holds are untouched.
+        assert!(!inj.shard_poison_now());
     }
 
     #[test]

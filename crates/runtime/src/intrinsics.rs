@@ -4,6 +4,7 @@
 //! cost) lives in `commset_ir::IntrinsicTable`; this registry holds the
 //! runtime half — the handler closure operating on the [`World`].
 
+use crate::delta::MergeSpec;
 use crate::value::Value;
 use crate::world::World;
 use std::collections::HashMap;
@@ -101,6 +102,8 @@ pub enum Route {
 pub struct Registry {
     handlers: HashMap<String, Handler>,
     bindings: HashMap<String, Vec<SlotBinding>>,
+    /// Slot (or striped-family base) → declared delta merge operator.
+    merges: HashMap<String, MergeSpec>,
 }
 
 impl Registry {
@@ -140,6 +143,68 @@ impl Registry {
     /// the signal the executor uses to pick the sharded world by default.
     pub fn has_bindings(&self) -> bool {
         !self.bindings.is_empty()
+    }
+
+    /// Declares the delta merge operator for `slot` — either a concrete
+    /// slot name (`"clustering"`) or a striped-family base (`"objs"`,
+    /// covering every `objs#k`). Slots with a declared merge become
+    /// eligible for per-worker delta privatization under
+    /// `WorldMode::Deltas`.
+    pub fn declare_merge(&mut self, slot: &str, spec: MergeSpec) {
+        let prev = self.merges.insert(slot.to_string(), spec);
+        assert!(prev.is_none(), "duplicate merge declaration for `{slot}`");
+    }
+
+    /// The merge spec covering `slot`: an exact match wins, else the
+    /// striped-family base (the part before `#`).
+    pub fn merge_of(&self, slot: &str) -> Option<&MergeSpec> {
+        if let Some(m) = self.merges.get(slot) {
+            return Some(m);
+        }
+        let base = slot.split('#').next().unwrap_or(slot);
+        self.merges.get(base)
+    }
+
+    /// True when at least one slot has a declared merge operator — the
+    /// precondition for `WorldMode::Deltas` to privatize anything.
+    pub fn has_merges(&self) -> bool {
+        !self.merges.is_empty()
+    }
+
+    /// Resolves the delta route for a call: `Some(slots)` when the call's
+    /// footprint is known (bound) and *every* touched slot is
+    /// merge-declared, so the whole call can run against a worker-private
+    /// buffer. Pure calls (empty footprint) return `None` — they already
+    /// run lock-free on the shared path. Mixed or unbound footprints
+    /// return `None` and stay on the lock-mediated path.
+    pub fn delta_route(&self, name: &str, args: &[Value]) -> Option<Vec<String>> {
+        match self.route(name, args) {
+            Route::Whole => None,
+            Route::Slots(slots) => {
+                if slots.is_empty() || !slots.iter().all(|s| self.merge_of(s).is_some()) {
+                    return None;
+                }
+                Some(slots)
+            }
+        }
+    }
+
+    /// True when *every* call of `name` is guaranteed to delta-route,
+    /// whatever its arguments: the footprint is declared and each bound
+    /// slot resolves to a merge operator (striped bindings through the
+    /// family base, exactly as [`Registry::merge_of`] will at call
+    /// time). Pure bindings (empty footprint) are covered too — they
+    /// never touch the shared world. This is the static half of
+    /// [`Registry::delta_route`]: executors use it to decide whether a
+    /// CommSet region lock can be elided under `WorldMode::Deltas`.
+    pub fn delta_covered(&self, name: &str) -> bool {
+        match self.bindings.get(name) {
+            None => false,
+            Some(bs) => bs.iter().all(|b| match b {
+                SlotBinding::Fixed(s) => self.merge_of(s).is_some(),
+                SlotBinding::Striped { base, .. } => self.merge_of(base).is_some(),
+            }),
+        }
     }
 
     /// Resolves the shard route for a call of `name` with `args`.
@@ -265,6 +330,54 @@ mod tests {
         assert_eq!(reg.route("striped", &[]), Route::Whole);
         // Unbound names stay on the whole-world route.
         assert_eq!(reg.route("unbound", &[]), Route::Whole);
+    }
+
+    #[test]
+    fn delta_routes_require_fully_merged_footprints() {
+        let mut reg = Registry::new();
+        reg.bind("pure", vec![]);
+        reg.bind("acc_add", vec![SlotBinding::Fixed("acc".into())]);
+        reg.bind(
+            "obj_touch",
+            vec![SlotBinding::Striped {
+                base: "objs".into(),
+                stripes: 8,
+                arg: 0,
+            }],
+        );
+        reg.bind(
+            "mixed",
+            vec![
+                SlotBinding::Fixed("acc".into()),
+                SlotBinding::Fixed("console".into()),
+            ],
+        );
+        assert!(!reg.has_merges());
+        assert_eq!(reg.delta_route("acc_add", &[]), None, "no merge declared");
+
+        reg.declare_merge("acc", crate::delta::MergeSpec::add_i64());
+        reg.declare_merge("objs", crate::delta::MergeSpec::add_i64());
+        assert!(reg.has_merges());
+        assert_eq!(reg.delta_route("acc_add", &[]), Some(vec!["acc".into()]));
+        // Striped slots resolve through the family base.
+        assert_eq!(
+            reg.delta_route("obj_touch", &[Value::Int(11)]),
+            Some(vec!["objs#3".into()])
+        );
+        assert!(reg.merge_of("objs#5").is_some());
+        // Pure calls are already lock-free; mixed and unbound footprints
+        // stay on the lock-mediated path.
+        assert_eq!(reg.delta_route("pure", &[]), None);
+        assert_eq!(reg.delta_route("mixed", &[]), None);
+        assert_eq!(reg.delta_route("unbound", &[]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate merge declaration")]
+    fn duplicate_merge_declaration_panics() {
+        let mut reg = Registry::new();
+        reg.declare_merge("acc", crate::delta::MergeSpec::add_i64());
+        reg.declare_merge("acc", crate::delta::MergeSpec::max_i64());
     }
 
     #[test]

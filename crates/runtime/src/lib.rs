@@ -24,7 +24,11 @@
 //!   by both executors at every synchronization point.
 //! * [`watchdog`] — the waits-for-graph watchdog validating the
 //!   rank-ordered deadlock-freedom claim at runtime.
+//! * [`delta`] — CCD-style delta privatization: per-worker buffers for
+//!   commutative updates plus the declared merge operators that coalesce
+//!   them at the section barrier.
 
+pub mod delta;
 pub mod fault;
 pub mod intrinsics;
 pub mod lock;
@@ -37,6 +41,7 @@ pub mod value;
 pub mod watchdog;
 pub mod world;
 
+pub use delta::{DeltaBuffer, DeltaSnapshot, MergeSpec, DELTA_POISON_MSG};
 pub use fault::{FaultInjector, FaultPlan, FaultStats, SlowWorker, WorkerStall};
 pub use intrinsics::{IntrinsicOutcome, Registry, Route, SlotBinding};
 pub use queue::SpscQueue;

@@ -322,6 +322,46 @@ impl ShardedWorld {
         }
     }
 
+    /// Folds one worker's finished delta buffer into the shared shards at
+    /// the section barrier (the `WorldMode::Deltas` coalesce). Slots are
+    /// merged in the buffer's name order; callers coalesce buffers in
+    /// worker-index order, so the overall fold order is deterministic.
+    ///
+    /// Acquisitions here are plain per-slot locks and are *not* counted
+    /// in [`ShardStats`]: the contention counters measure per-update lock
+    /// traffic, which is exactly what delta privatization eliminates —
+    /// one bounded merge per worker per section is the regime's fixed
+    /// cost, reported separately via
+    /// [`DeltaSnapshot`](crate::delta::DeltaSnapshot).
+    ///
+    /// A slot missing from the shared world is installed from the delta
+    /// directly (identity base). Returns the number of slots merged.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a drained slot has no merge spec in `registry` or the
+    /// types mismatch (wiring bug — executors contain it like any handler
+    /// panic).
+    pub fn coalesce_delta(&self, registry: &Registry, buffer: crate::delta::DeltaBuffer) -> u64 {
+        let mut merged = 0u64;
+        for (name, delta) in buffer.drain() {
+            let spec = registry
+                .merge_of(&name)
+                .unwrap_or_else(|| panic!("delta slot `{name}` has no merge spec"));
+            let idx = self.shard_of(&name);
+            let mut guard = self.shards[idx].lock();
+            match guard.take_boxed(&name) {
+                Some(mut base) => {
+                    spec.apply(base.as_mut(), delta);
+                    guard.install_boxed(name, base);
+                }
+                None => guard.install_boxed(name, delta),
+            }
+            merged += 1;
+        }
+        merged
+    }
+
     /// Sleeps out a shard-hold fault, if the observer carries an injector
     /// whose plan injects one.
     fn hold_delay(&self, obs: &ShardObserver<'_>) {

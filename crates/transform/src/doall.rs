@@ -280,6 +280,7 @@ pub fn apply_doall_scheduled(
         locks.push(LockSpec {
             id: reduction_lock,
             set: "__reduction".to_string(),
+            members: Vec::new(),
         });
     }
     Ok(ParallelProgram {

@@ -378,6 +378,7 @@ fn build_pipeline(
         locks.push(LockSpec {
             id: engine.locks.len() as i64,
             set: "__reduction".to_string(),
+            members: Vec::new(),
         });
     }
     Ok(ParallelProgram {

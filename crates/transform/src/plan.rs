@@ -109,6 +109,15 @@ pub struct LockSpec {
     pub id: i64,
     /// The CommSet it protects.
     pub set: String,
+    /// Extern intrinsics reachable from the set's member functions — the
+    /// world calls this lock actually guards. Under `WorldMode::Deltas`
+    /// an executor may *elide* the lock when every guarded intrinsic is
+    /// delta-covered (its whole footprint lands in worker-private
+    /// buffers), because privatized effects are invisible to siblings
+    /// until the barrier and the declared merges make their order
+    /// immaterial. Empty for synthetic locks (`__reduction`), which are
+    /// never elided.
+    pub members: Vec<String>,
 }
 
 /// A complete plan: the executor contract for one parallelized loop.

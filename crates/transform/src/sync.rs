@@ -55,12 +55,58 @@ impl SyncEngine {
             }
         });
         let mut rank: BTreeMap<SetId, i64> = BTreeMap::new();
+        // Extern intrinsics reachable from each set's members: the world
+        // calls the set's lock actually guards (LockSpec::members).
+        let externs: BTreeSet<&str> = managed
+            .program
+            .items
+            .iter()
+            .filter_map(|it| match it {
+                Item::Extern(e) => Some(e.name.as_str()),
+                _ => None,
+            })
+            .collect();
+        // Direct extern calls per defined function. The call graph keeps
+        // only defined functions as nodes, so intrinsic calls must be
+        // collected with their own walk.
+        let mut direct_externs: BTreeMap<&str, BTreeSet<String>> = BTreeMap::new();
+        for item in &managed.program.items {
+            let Item::Func(f) = item else { continue };
+            let mut out = BTreeSet::new();
+            walk_stmts(&f.body, &mut |st| {
+                stmt_exprs(st, &mut |e| {
+                    walk_expr(e, &mut |x| {
+                        if let ExprKind::Call(name, _) = &x.kind {
+                            if externs.contains(name.as_str()) {
+                                out.insert(name.clone());
+                            }
+                        }
+                    })
+                });
+            });
+            direct_externs.insert(f.name.as_str(), out);
+        }
         let mut locks = Vec::new();
         for (i, &s) in order.iter().enumerate() {
             rank.insert(s, i as i64);
+            let mut members: BTreeSet<String> = BTreeSet::new();
+            for m in managed.members.iter().filter(|m| m.set == s) {
+                if externs.contains(m.func.as_str()) {
+                    members.insert(m.func.clone());
+                }
+                if let Some(de) = direct_externs.get(m.func.as_str()) {
+                    members.extend(de.iter().cloned());
+                }
+                for f in cg.reachable(&m.func) {
+                    if let Some(de) = direct_externs.get(f.as_str()) {
+                        members.extend(de.iter().cloned());
+                    }
+                }
+            }
             locks.push(LockSpec {
                 id: i as i64,
                 set: managed.set(s).name.clone(),
+                members: members.into_iter().collect(),
             });
         }
         let mut member_locks: HashMap<String, Vec<i64>> = HashMap::new();

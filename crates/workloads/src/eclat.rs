@@ -24,7 +24,9 @@ use commset_ir::IntrinsicTable;
 use commset_lang::ast::Type;
 use commset_runtime::intrinsics::IntrinsicOutcome;
 use commset_runtime::rng::SplitMix64;
-use commset_runtime::{stripe_of, stripe_slot, Registry, SlotBinding, World, WORLD_STRIPES};
+use commset_runtime::{
+    stripe_of, stripe_slot, MergeSpec, Registry, SlotBinding, World, WORLD_STRIPES,
+};
 use std::sync::Arc;
 
 /// Candidate itemsets processed.
@@ -236,6 +238,10 @@ fn objs_slot(key: i64) -> String {
 /// world footprint: group-level state (`eclat`) is a fixed slot, the
 /// per-instance object table is striped.
 pub fn registry() -> Registry {
+    // The delta-buffer init closures need the same immutable database the
+    // world shards carry; `generate` is deterministic, so this registry-owned
+    // copy is identical to the one `make_world` installs.
+    let db = Arc::new(EclatDb::generate(SEED));
     let mut r = Registry::new();
     r.register("num_cands", |_, _| {
         IntrinsicOutcome::value(NUM_CANDS as i64)
@@ -299,6 +305,44 @@ pub fn registry() -> Registry {
     r.bind("stat_count", vec![SlotBinding::Fixed("eclat".into())]);
     r.bind("stat_max", vec![SlotBinding::Fixed("eclat".into())]);
     r.bind("obj_del", objs_by_arg0());
+    // Delta merges. The group-level `eclat` state folds by component:
+    // cursor and count add, the set-semantics list appends, the max
+    // statistic maxes — each exact under any coalesce order. The striped
+    // object tables absorb: alloc/free pair within one iteration (one
+    // worker), so a worker's table arrives empty and contributes only its
+    // allocation count.
+    r.declare_merge(
+        "eclat",
+        MergeSpec::custom(
+            "eclat-fold",
+            |_| Eclat::default(),
+            |base: &mut Eclat, d: Eclat| {
+                base.cursor += d.cursor;
+                base.lists.extend(d.lists);
+                base.stat_count += d.stat_count;
+                base.stat_max = base.stat_max.max(d.stat_max);
+            },
+        ),
+    );
+    let delta_db = Arc::clone(&db);
+    r.declare_merge(
+        "objs",
+        MergeSpec::custom(
+            "objs-absorb",
+            move |slot| {
+                let k: usize = slot
+                    .rsplit('#')
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("objs slots are `objs#k`");
+                ObjShard {
+                    table: AllocTable::with_stride(k, WORLD_STRIPES),
+                    db: Arc::clone(&delta_db),
+                }
+            },
+            |base: &mut ObjShard, d: ObjShard| base.table.absorb(d.table),
+        ),
+    );
     r
 }
 

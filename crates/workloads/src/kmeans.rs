@@ -17,9 +17,9 @@ use crate::framework::{PaperRow, SchemeSpec, Workload};
 use commset::{Scheme, SyncMode};
 use commset_ir::IntrinsicTable;
 use commset_lang::ast::Type;
-use commset_runtime::intrinsics::IntrinsicOutcome;
+use commset_runtime::intrinsics::{IntrinsicOutcome, SlotBinding};
 use commset_runtime::rng::SplitMix64;
-use commset_runtime::{Registry, World};
+use commset_runtime::{MergeSpec, Registry, World};
 use std::sync::Arc;
 
 /// Objects clustered.
@@ -30,21 +30,18 @@ pub const K: usize = 12;
 pub const DIMS: usize = 10;
 const SEED: u64 = 0x5eed_0007;
 
-/// The clustering state: immutable current centers, accumulating next
-/// centers.
+/// The read-only half of the iteration: object features and the frozen
+/// current centers. Shared by `Arc` across every worker (and every delta
+/// buffer) — private reads need no world slot at all.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Clustering {
+pub struct Dataset {
     /// Object features.
     pub points: Vec<[i64; DIMS]>,
     /// Current centers (read-only during the loop).
     pub centers: Vec<[i64; DIMS]>,
-    /// Next-iteration accumulators.
-    pub sums: Vec<[i64; DIMS]>,
-    /// Membership counts for the next iteration.
-    pub counts: Vec<i64>,
 }
 
-impl Clustering {
+impl Dataset {
     fn generate(seed: u64) -> Self {
         let mut rng = SplitMix64::new(seed);
         let mut point = || {
@@ -56,12 +53,7 @@ impl Clustering {
         };
         let points: Vec<[i64; DIMS]> = (0..NUM_POINTS).map(|_| point()).collect();
         let centers: Vec<[i64; DIMS]> = (0..K).map(|_| point()).collect();
-        Clustering {
-            points,
-            centers,
-            sums: vec![[0; DIMS]; K],
-            counts: vec![0; K],
-        }
+        Dataset { points, centers }
     }
 
     /// Nearest center of point `i` under squared Euclidean distance.
@@ -77,6 +69,38 @@ impl Clustering {
             }
         }
         best
+    }
+}
+
+/// The mutable half: next-iteration accumulators, living in the
+/// `clustering` world slot. Element-wise integer sums, so merging two
+/// partial accumulators is exact under any fold order — the precondition
+/// for delta privatization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clustering {
+    /// Next-iteration accumulators.
+    pub sums: Vec<[i64; DIMS]>,
+    /// Membership counts for the next iteration.
+    pub counts: Vec<i64>,
+}
+
+impl Clustering {
+    fn zero() -> Self {
+        Clustering {
+            sums: vec![[0; DIMS]; K],
+            counts: vec![0; K],
+        }
+    }
+
+    fn absorb(&mut self, other: Clustering) {
+        for (s, o) in self.sums.iter_mut().zip(&other.sums) {
+            for (a, b) in s.iter_mut().zip(o) {
+                *a += b;
+            }
+        }
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
     }
 }
 
@@ -124,46 +148,62 @@ pub fn table() -> IntrinsicTable {
     t
 }
 
-/// Intrinsic handlers.
+/// Intrinsic handlers. The read-only dataset is `Arc`-captured by the
+/// closures (same `SEED` every construction, so all registries agree);
+/// only the accumulators live in the world, bound to the `clustering`
+/// slot with an element-wise `add` merge — under `WorldMode::Deltas`
+/// every `update_center` lands in a worker-private buffer.
 pub fn registry() -> Registry {
+    let data = Arc::new(Dataset::generate(SEED));
     let mut r = Registry::new();
     r.register("num_points", |_, _| {
         IntrinsicOutcome::value(NUM_POINTS as i64)
     });
-    r.register("nearest_center", |world, args| {
-        let cl = world.get::<Clustering>("clustering");
+    let d = Arc::clone(&data);
+    r.register("nearest_center", move |_, args| {
         let i = args[0].as_int() as usize;
-        let c = cl.nearest(i);
+        let c = d.nearest(i);
         // Distance evaluations: K centers x DIMS dims, all private reads
         // of the frozen centers.
         IntrinsicOutcome::value(c as i64)
             .with_cost((K * DIMS * 7) as u64)
             .with_serialized(0)
     });
-    r.register("update_center", |world, args| {
+    let d = Arc::clone(&data);
+    r.register("update_center", move |world, args| {
         let cl = world.get_mut::<Clustering>("clustering");
         let c = args[0].as_int() as usize;
         let i = args[1].as_int() as usize;
-        for d in 0..DIMS {
-            cl.sums[c][d] += cl.points[i][d];
+        for dim in 0..DIMS {
+            cl.sums[c][dim] += d.points[i][dim];
         }
         cl.counts[c] += 1;
         // The accumulator write is the contended shared access.
         IntrinsicOutcome::unit().with_cost(100).with_serialized(120)
     });
+    r.bind("num_points", vec![]);
+    r.bind("nearest_center", vec![]);
+    r.bind(
+        "update_center",
+        vec![SlotBinding::Fixed("clustering".into())],
+    );
+    r.declare_merge(
+        "clustering",
+        MergeSpec::custom("kmeans-add", |_| Clustering::zero(), Clustering::absorb),
+    );
     r
 }
 
-/// Fresh input world.
+/// Fresh input world: zeroed accumulators (the dataset is registry-owned).
 pub fn make_world() -> World {
     let mut w = World::new();
-    w.install("clustering", Clustering::generate(SEED));
+    w.install("clustering", Clustering::zero());
     w
 }
 
 /// Integer sums are order-independent: the final accumulators must match
 /// the sequential run exactly.
-fn validate(seq: &World, par: &World) -> Result<(), String> {
+pub fn validate(seq: &World, par: &World) -> Result<(), String> {
     let s = seq.get::<Clustering>("clustering");
     let p = par.get::<Clustering>("clustering");
     if s.counts != p.counts {

@@ -24,7 +24,9 @@ use commset::{Scheme, SyncMode};
 use commset_ir::IntrinsicTable;
 use commset_lang::ast::Type;
 use commset_runtime::intrinsics::IntrinsicOutcome;
-use commset_runtime::{stripe_of, stripe_slot, Registry, SlotBinding, World, WORLD_STRIPES};
+use commset_runtime::{
+    stripe_of, stripe_slot, MergeSpec, Registry, SlotBinding, World, WORLD_STRIPES,
+};
 use std::sync::Arc;
 
 /// Number of input files.
@@ -170,6 +172,10 @@ fn fs_slot(key: i64) -> String {
 /// with slot bindings declaring each intrinsic's world footprint (the
 /// sharded world's routing map).
 pub fn registry() -> Registry {
+    // Registry-owned copy of the shared file contents for delta-buffer
+    // init; `generate` is deterministic, so it is identical to the one
+    // `make_world` installs into the shard slots.
+    let files = Arc::new(VirtualFs::generate(FILE_COUNT, 4, 4, SEED).files);
     let mut r = Registry::new();
     r.register("file_count", |world, _| {
         IntrinsicOutcome::value(world.get::<FsShard>(&fs_slot(0)).files.len() as i64)
@@ -224,6 +230,34 @@ pub fn registry() -> Registry {
     r.bind("fs_digest", fs_by_arg0());
     r.bind("fs_close", fs_by_arg0());
     r.bind("print_digest", vec![SlotBinding::Fixed("console".into())]);
+    // Delta merges. Each `fs#k` stripe absorbs (open/close pair within an
+    // iteration, so worker shards arrive with no live streams); the
+    // console appends worker logs in deterministic coalesce order. The
+    // deterministic-output PS-DSWP variant is pipelined (queues present),
+    // so its prints never delta-route and stay in program order.
+    r.declare_merge(
+        "fs",
+        MergeSpec::custom(
+            "fs-absorb",
+            move |slot| {
+                let k: usize = slot
+                    .rsplit('#')
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("fs slots are `fs#k`");
+                FsShard::new(Arc::clone(&files), k, WORLD_STRIPES)
+            },
+            FsShard::absorb,
+        ),
+    );
+    r.declare_merge(
+        "console",
+        MergeSpec::custom(
+            "console-append",
+            |_| Console::default(),
+            |base: &mut Console, d: Console| base.lines.extend(d.lines),
+        ),
+    );
     r
 }
 

@@ -270,6 +270,14 @@ impl FsShard {
         let removed = self.streams.remove(&handle);
         assert!(removed.is_some(), "double close of handle {handle}");
     }
+
+    /// Folds another stripe-compatible shard into this one: still-open
+    /// streams carry over. Used as the delta merge for `fs#k` slots —
+    /// open/close pair within one iteration, so a worker's shard
+    /// normally arrives with no live streams.
+    pub fn absorb(&mut self, other: FsShard) {
+        self.streams.extend(other.streams);
+    }
 }
 
 /// The output console: an ordered log of printed integers.
@@ -373,6 +381,16 @@ impl AllocTable {
     /// Number of live objects (0 at a leak-free end).
     pub fn live_count(&self) -> usize {
         self.live.len()
+    }
+
+    /// Folds another stripe-compatible table into this one: lifetime
+    /// counters add, still-live objects carry over. Used as the delta
+    /// merge for per-stripe object tables — a worker whose allocations
+    /// all pair with frees contributes an empty `live` map and only its
+    /// allocation count.
+    pub fn absorb(&mut self, other: AllocTable) {
+        self.total_allocs += other.total_allocs;
+        self.live.extend(other.live);
     }
 }
 

@@ -105,13 +105,84 @@ fn sb_litmus_is_unsound_only_under_relaxed_visibility() {
     }
 }
 
+/// The delta-privatization corpus pin: `delta_ordermix` declares an
+/// overwrite-last channel as `merge add`, so the model parks every
+/// section worker's publish in a private delta buffer and the
+/// mid-section probe goes blind. Unlike `sb_litmus` this diverges on
+/// plain sequentially-consistent schedules — no store buffering needed —
+/// so it must be flagged on every run, SC-only campaigns included.
+#[test]
+fn delta_ordermix_is_flagged_on_every_run() {
+    let path = corpus_dir().join("delta_ordermix.cmm");
+    let (source, spec) = load(&path);
+    assert!(
+        spec.merges
+            .iter()
+            .any(|(chan, op)| chan == "CUR" && op == "add"),
+        "the fixture's point is the wrongly-declared merge row"
+    );
+    assert!(
+        !spec.relaxed,
+        "delta divergence must not depend on relaxed visibility"
+    );
+    let table = build_table(&source, &spec).expect("externs resolve");
+
+    // SC-only: privatized deltas diverge without any store buffering.
+    let mut sc_cfg = corpus_cfg(&spec);
+    sc_cfg.relaxed = false;
+    let sc = check_source(&source, &table, &sc_cfg).expect("compiles");
+    assert!(
+        sc.is_fail(),
+        "delta_ordermix must be flagged under pure SC schedules:\n{sc}"
+    );
+
+    // ...and deterministically so: every replay of the full campaign
+    // flags it again (the corpus contract `commsetc check` relies on).
+    for run in 0..3 {
+        let report = check_source(&source, &table, &corpus_cfg(&spec)).expect("compiles");
+        assert!(report.is_fail(), "run {run} went green:\n{report}");
+        assert!(report.replay.is_some(), "run {run}: replay info missing");
+    }
+}
+
+/// The sound counterpart: `delta_hist` is a write-only additive
+/// reduction whose `merge HIST add` row is honest — no mid-section
+/// reader exists for privatization to starve, so it stays clean under
+/// SC *and* with store-buffered families forced on.
+#[test]
+fn delta_hist_stays_clean_under_sc_and_relaxed() {
+    let path = checker_fixture_dir().join("delta_hist.cmm");
+    let (source, spec) = load(&path);
+    assert!(
+        spec.merges
+            .iter()
+            .any(|(chan, op)| chan == "HIST" && op == "add"),
+        "delta_hist declares its merge row"
+    );
+    let table = build_table(&source, &spec).expect("externs resolve");
+    for relaxed in [false, true] {
+        let mut cfg = corpus_cfg(&spec);
+        cfg.relaxed = relaxed;
+        let report = check_source(&source, &table, &cfg).expect("compiles");
+        assert!(
+            !report.is_fail(),
+            "delta_hist flagged (relaxed={relaxed}):\n{report}"
+        );
+    }
+}
+
 /// Relaxed mode must not manufacture false positives: the sound checker
 /// fixtures stay clean with store-buffered families forced on, because
 /// their commutative-channel contracts hold under reordered visibility
 /// (all buffers drain at the section barrier before comparison).
 #[test]
 fn sound_fixtures_stay_clean_under_relaxed_mode() {
-    for name in ["md5sum_ok.cmm", "accumulate_ok.cmm", "eclat_pred.cmm"] {
+    for name in [
+        "md5sum_ok.cmm",
+        "accumulate_ok.cmm",
+        "eclat_pred.cmm",
+        "delta_hist.cmm",
+    ] {
         let path = checker_fixture_dir().join(name);
         let (source, spec) = load(&path);
         let mut cfg = spec.checker_config();

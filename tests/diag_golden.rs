@@ -8,6 +8,8 @@
 //! To refresh a golden after an intentional change, rerun with
 //! `DIAG_GOLDEN_REGEN=1` and review the resulting diff.
 
+use commset::merge_law::validate_custom_merges;
+use commset::spec::{build_table, parse_effects};
 use commset::Compiler;
 use commset_ir::IntrinsicTable;
 
@@ -18,9 +20,20 @@ fn diag_dir() -> &'static str {
 fn rendered_diagnostic(name: &str) -> String {
     let path = format!("{}/{name}.cmm", diag_dir());
     let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
-    let err = Compiler::new(IntrinsicTable::new())
-        .analyze(&src)
-        .expect_err("diag fixtures must fail to analyze");
+    // A fixture with a sidecar exercises the effects pipeline (merge-law
+    // validation); one without pins a front-end diagnostic.
+    let fx_path = format!("{}/{name}.effects", diag_dir());
+    let err = match std::fs::read_to_string(&fx_path) {
+        Ok(fx) => {
+            let spec = parse_effects(&fx).expect("diag sidecars must parse");
+            let table = build_table(&src, &spec).expect("diag tables must build");
+            validate_custom_merges(&src, &spec, &table)
+                .expect_err("sidecar diag fixtures must fail merge validation")
+        }
+        Err(_) => Compiler::new(IntrinsicTable::new())
+            .analyze(&src)
+            .expect_err("diag fixtures must fail to analyze"),
+    };
     format!("{err}\n")
 }
 
@@ -51,6 +64,11 @@ fn same_set_transitive_call_is_reported_with_both_members() {
 #[test]
 fn bad_predicate_arity_is_reported_with_counts() {
     check_golden("bad_arity");
+}
+
+#[test]
+fn non_commutative_custom_merge_is_reported_with_a_witness() {
+    check_golden("merge_noncommutative");
 }
 
 /// Every fixture has a golden and every golden has a fixture — no

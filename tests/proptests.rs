@@ -15,7 +15,7 @@ use commset_lang::printer::print_expr;
 use commset_lang::sema::PredicateDef;
 use commset_runtime::intrinsics::IntrinsicOutcome;
 use commset_runtime::rng::SplitMix64;
-use commset_runtime::{Registry, SpscQueue, World};
+use commset_runtime::{DeltaBuffer, MergeSpec, Registry, SlotBinding, SpscQueue, Value, World};
 use commset_sim::CostModel;
 
 /// Test-local generator facade over the deterministic stream.
@@ -646,5 +646,199 @@ fn generated_constant_key_loops_stay_sequential() {
             "case {case}: {}",
             analysis.pdg_dump()
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Delta-merge laws
+// ---------------------------------------------------------------------------
+
+fn unbox_i64(b: Box<dyn std::any::Any + Send>) -> i64 {
+    *b.downcast::<i64>().expect("i64 delta")
+}
+
+/// The scalar built-in merge operators (`add`, `max`) satisfy the three
+/// laws delta privatization assumes — commutativity, associativity, and
+/// identity — over randomized operand triples; `set-union` satisfies
+/// them at multiset level (its append order is absorbed by the
+/// workloads' own order-insensitive validation).
+#[test]
+fn builtin_merge_operators_obey_the_delta_laws() {
+    let mut g = Gen::new(0x5eed_de17_0001);
+    for spec in [MergeSpec::add_i64(), MergeSpec::max_i64()] {
+        let fold = |x: i64, y: i64| {
+            let mut base: Box<dyn std::any::Any + Send> = Box::new(x);
+            spec.apply(base.as_mut(), Box::new(y));
+            unbox_i64(base)
+        };
+        for case in 0..200 {
+            let a = g.irange(-100_000, 100_000);
+            let b = g.irange(-100_000, 100_000);
+            let c = g.irange(-100_000, 100_000);
+            assert_eq!(
+                fold(a, b),
+                fold(b, a),
+                "case {case}: `{}` not commutative",
+                spec.op
+            );
+            assert_eq!(
+                fold(fold(a, b), c),
+                fold(a, fold(b, c)),
+                "case {case}: `{}` not associative",
+                spec.op
+            );
+            // Folding one delta into the identity buffer yields the delta.
+            let mut fresh = spec.fresh("acc");
+            spec.apply(fresh.as_mut(), Box::new(a));
+            assert_eq!(
+                unbox_i64(fresh),
+                a,
+                "case {case}: `{}` identity is not neutral",
+                spec.op
+            );
+        }
+    }
+    let union = MergeSpec::union_vec_i64();
+    let fold = |x: &[i64], y: &[i64]| {
+        let mut base: Box<dyn std::any::Any + Send> = Box::new(x.to_vec());
+        union.apply(base.as_mut(), Box::new(y.to_vec()));
+        *base.downcast::<Vec<i64>>().expect("vec delta")
+    };
+    let multiset = |mut v: Vec<i64>| {
+        v.sort_unstable();
+        v
+    };
+    for case in 0..100 {
+        let draw =
+            |g: &mut Gen| -> Vec<i64> { (0..g.range(0, 8)).map(|_| g.irange(-50, 50)).collect() };
+        let (a, b, c) = (draw(&mut g), draw(&mut g), draw(&mut g));
+        assert_eq!(
+            multiset(fold(&a, &b)),
+            multiset(fold(&b, &a)),
+            "case {case}: set-union not multiset-commutative"
+        );
+        assert_eq!(
+            fold(&fold(&a, &b), &c),
+            fold(&a, &fold(&b, &c)),
+            "case {case}: set-union not associative"
+        );
+        let mut fresh = union.fresh("set");
+        union.apply(fresh.as_mut(), Box::new(a.clone()));
+        assert_eq!(
+            *fresh.downcast::<Vec<i64>>().expect("vec delta"),
+            a,
+            "case {case}: empty vec is not neutral"
+        );
+    }
+}
+
+/// The end-to-end privatization property: a random update sequence,
+/// partitioned arbitrarily across 1–8 workers into real [`DeltaBuffer`]s
+/// and coalesced in worker order, produces exactly the state of applying
+/// every update sequentially — and the coalesce order does not matter
+/// (reverse worker order agrees), which is what makes the schedule-free
+/// delta path sound.
+#[test]
+fn random_worker_partitions_coalesce_to_the_sequential_fold() {
+    let mut g = Gen::new(0x5eed_de17_0002);
+    for case in 0..60 {
+        let mut reg = Registry::new();
+        reg.register("bump", |w, args| {
+            *w.get_mut::<i64>("acc") += args[0].as_int();
+            IntrinsicOutcome::unit()
+        });
+        reg.register("lift", |w, args| {
+            let m = w.get_mut::<i64>("hi");
+            *m = (*m).max(args[0].as_int());
+            IntrinsicOutcome::unit()
+        });
+        reg.register("put", |w, args| {
+            w.get_mut::<Vec<i64>>("set").push(args[0].as_int());
+            IntrinsicOutcome::unit()
+        });
+        reg.bind("bump", vec![SlotBinding::Fixed("acc".into())]);
+        reg.bind("lift", vec![SlotBinding::Fixed("hi".into())]);
+        reg.bind("put", vec![SlotBinding::Fixed("set".into())]);
+        reg.declare_merge("acc", MergeSpec::add_i64());
+        reg.declare_merge("hi", MergeSpec::max_i64());
+        reg.declare_merge("set", MergeSpec::union_vec_i64());
+
+        let workers = g.range(1, 9) as usize;
+        let n = g.range(1, 64);
+        let ops = ["bump", "lift", "put"];
+        let updates: Vec<(&str, i64, usize)> = (0..n)
+            .map(|_| {
+                (
+                    *g.pick(&ops),
+                    g.irange(-1000, 1000),
+                    g.range(0, workers as u64) as usize,
+                )
+            })
+            .collect();
+
+        // Sequential reference: every update in sequence order against
+        // one shared world.
+        let fresh_world = || {
+            let mut w = World::new();
+            w.install("acc", 0i64);
+            w.install("hi", i64::MIN);
+            w.install("set", Vec::<i64>::new());
+            w
+        };
+        let mut seq = fresh_world();
+        for &(op, v, _) in &updates {
+            reg.call(op, &mut seq, &[Value::Int(v)]);
+        }
+
+        // Privatized run: the same updates land in per-worker buffers via
+        // the real delta route, then coalesce in worker order — and, as a
+        // second sample of the commutativity the laws promise, in reverse.
+        for reverse in [false, true] {
+            let mut bufs: Vec<DeltaBuffer> = (0..workers).map(|_| DeltaBuffer::new()).collect();
+            for &(op, v, w) in &updates {
+                let args = [Value::Int(v)];
+                let slots = reg
+                    .delta_route(op, &args)
+                    .expect("fully merge-declared footprint");
+                bufs[w].apply(&reg, op, &args, &slots);
+            }
+            let mut world = fresh_world();
+            let order: Vec<DeltaBuffer> = if reverse {
+                bufs.into_iter().rev().collect()
+            } else {
+                bufs
+            };
+            for buf in order {
+                if buf.is_empty() {
+                    continue;
+                }
+                for (slot, d) in buf.drain() {
+                    let spec = reg.merge_of(&slot).expect("declared above");
+                    let mut base = world.take_boxed(&slot).expect("installed above");
+                    spec.apply(base.as_mut(), d);
+                    world.install_boxed(slot, base);
+                }
+            }
+            assert_eq!(
+                world.get::<i64>("acc"),
+                seq.get::<i64>("acc"),
+                "case {case} (reverse={reverse}): add diverged"
+            );
+            assert_eq!(
+                world.get::<i64>("hi"),
+                seq.get::<i64>("hi"),
+                "case {case} (reverse={reverse}): max diverged"
+            );
+            let multiset = |v: &Vec<i64>| {
+                let mut v = v.clone();
+                v.sort_unstable();
+                v
+            };
+            assert_eq!(
+                multiset(world.get::<Vec<i64>>("set")),
+                multiset(seq.get::<Vec<i64>>("set")),
+                "case {case} (reverse={reverse}): set-union diverged"
+            );
+        }
     }
 }

@@ -142,6 +142,141 @@ fn auto_mode_resolves_by_bindings_and_stays_equivalent() {
     }
 }
 
+/// The delta-privatization thread counts — 1 included deliberately: a
+/// one-worker section still routes through the delta buffer, and its
+/// coalesce must be the identity fold.
+const DELTA_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Runs one scheme in the discrete-event simulator under `mode`; `None`
+/// when the scheme does not apply.
+fn run_sim(
+    w: &Workload,
+    spec: &SchemeSpec,
+    threads: usize,
+    mode: WorldMode,
+) -> Option<(commset_runtime::World, commset_interp::SimStats)> {
+    let cfg = ExecConfig {
+        world: mode,
+        ..ExecConfig::default()
+    };
+    match w.run_scheme_with(spec, threads, &CostModel::default(), &cfg) {
+        Ok((_, world, stats)) => Some((world, stats)),
+        Err(Ok(_diag)) => None,
+        Err(Err(e)) => panic!(
+            "{}: {} x{threads} (sim, {mode:?}): executor failed: {e}",
+            w.name, spec.label
+        ),
+    }
+}
+
+/// The three-way equivalence wall: every delta-eligible workload (a
+/// registry with declared merges), every DOALL scheme, both backends
+/// (sim and threads), at 1/2/4/8 threads, under SingleLock, Sharded and
+/// Deltas — all oracle-identical. On the threads backend the Deltas run
+/// must additionally be *lock-free on the hot path*: zero shard
+/// acquisitions from worker-side commutative updates (md5sum is allowed
+/// exactly one, its pre-section main-thread `file_count` probe), with
+/// the updates accounted for by the delta counters instead.
+#[test]
+fn delta_mode_is_oracle_identical_and_lock_free_across_backends() {
+    let cm = CostModel::default();
+    let mut cells = 0u32;
+    let mut elisions = 0u64;
+    for w in all() {
+        if !w.registry.has_merges() {
+            continue;
+        }
+        let (_, seq_world) = w.run_sequential(&cm);
+        // Main-thread calls before the parallel section legitimately use
+        // the shared sharded world; only md5sum makes one (`file_count`).
+        let allowance = u64::from(w.name == "md5sum");
+        for spec in &w.schemes {
+            if spec.scheme != Scheme::Doall {
+                continue;
+            }
+            for threads in DELTA_THREADS {
+                // Threads backend, three ways.
+                let Some(_single) = run(&w, spec, threads, WorldMode::SingleLock) else {
+                    continue;
+                };
+                let sharded = run(&w, spec, threads, WorldMode::Sharded)
+                    .expect("sharded applicability must match single-lock");
+                let deltas = run(&w, spec, threads, WorldMode::Deltas)
+                    .expect("deltas applicability must match single-lock");
+                for (label, out) in [
+                    ("single-lock", &_single),
+                    ("sharded", &sharded),
+                    ("deltas", &deltas),
+                ] {
+                    (w.validate)(&seq_world, &out.world).unwrap_or_else(|e| {
+                        panic!("{}: {} x{threads} ({label}): {e}", w.name, spec.label)
+                    });
+                    assert!(
+                        out.stats.watchdog.is_clean(),
+                        "{}: {} x{threads} ({label}): watchdog {:?}",
+                        w.name,
+                        spec.label,
+                        out.stats.watchdog
+                    );
+                }
+                // The locked modes never touch delta counters...
+                assert_eq!(sharded.stats.delta, Default::default());
+                // ...and the delta mode routes every worker-side update
+                // through private buffers instead of shard locks.
+                let d = &deltas.stats;
+                assert!(
+                    d.delta.applies > 0 && d.delta.coalesces > 0 && d.delta.merged_slots > 0,
+                    "{}: {} x{threads}: delta path never engaged: {:?}",
+                    w.name,
+                    spec.label,
+                    d.delta
+                );
+                assert!(
+                    d.shard.fast_acquires + d.shard.whole_acquires + d.shard.multi_acquires
+                        <= allowance,
+                    "{}: {} x{threads}: delta run still took shard locks: {:?}",
+                    w.name,
+                    spec.label,
+                    d.shard
+                );
+                elisions += d.delta.lock_elisions;
+                // Sim backend, three ways.
+                for mode in [WorldMode::SingleLock, WorldMode::Sharded, WorldMode::Deltas] {
+                    let (world, stats) = run_sim(&w, spec, threads, mode)
+                        .expect("sim applicability must match threads");
+                    (w.validate)(&seq_world, &world).unwrap_or_else(|e| {
+                        panic!("{}: {} x{threads} (sim, {mode:?}): {e}", w.name, spec.label)
+                    });
+                    if mode == WorldMode::Deltas {
+                        assert!(
+                            stats.delta.applies > 0,
+                            "{}: {} x{threads}: sim delta path never engaged",
+                            w.name,
+                            spec.label
+                        );
+                        elisions += stats.delta.lock_elisions;
+                    } else {
+                        assert_eq!(stats.delta, Default::default());
+                    }
+                }
+                cells += 1;
+            }
+        }
+    }
+    assert!(
+        cells >= 24,
+        "delta equivalence matrix too small: only {cells} cells"
+    );
+    // Spin/Mutex schemes guard the update region with a compiled lock
+    // whose guarded intrinsics are all delta-covered; the delta runs must
+    // have elided it (Lib inserts no locks and TM uses transactions, so
+    // the total is summed across the whole matrix).
+    assert!(
+        elisions > 0,
+        "no delta run ever elided a fully-covered region lock"
+    );
+}
+
 /// Shard holds stretched by the fault plan, combined with one worker
 /// dragging at every sync event, at eight threads: the watchdog's rank
 /// ordering over shard ranks must stay clean for every bound workload,

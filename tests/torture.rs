@@ -17,11 +17,15 @@
 
 use commset::{Compiler, Scheme, SyncMode};
 use commset_interp::supervise::{CompiledProgram, ProgramDesc, ProgramSource};
-use commset_interp::{run_threaded_with, Backend, ExecConfig, ExecError, RecoveryPolicy};
+use commset_interp::{
+    run_threaded_with, Backend, ExecConfig, ExecError, RecoveryPolicy, WorldMode,
+};
 use commset_ir::IntrinsicTable;
 use commset_lang::ast::Type;
 use commset_runtime::intrinsics::IntrinsicOutcome;
-use commset_runtime::{FaultPlan, Registry, SlotBinding, SlowWorker, WorkerStall, World};
+use commset_runtime::{
+    FaultPlan, MergeSpec, Registry, SlotBinding, SlowWorker, WorkerStall, World,
+};
 use commset_sim::CostModel;
 use commset_workloads::all;
 
@@ -55,6 +59,7 @@ fn plans() -> Vec<(&'static str, FaultPlan)> {
                 queue_stall_every: 4,
                 queue_stall_cost: 300,
                 shard_poison_nth: 0,
+                delta_poison_nth: 0,
                 slow: Some(SlowWorker { tid: 3, cost: 600 }),
             },
         ),
@@ -212,6 +217,14 @@ fn reduction_setup() -> (Compiler, Registry) {
     (Compiler::new(t), r)
 }
 
+/// The reduction with its accumulator additionally declared as an
+/// additive merge slot, making it eligible for `WorldMode::Deltas`.
+fn delta_reduction_setup() -> (Compiler, Registry) {
+    let (c, mut r) = reduction_setup();
+    r.declare_merge("acc", MergeSpec::add_i64());
+    (c, r)
+}
+
 fn pipeline_setup() -> (Compiler, Registry) {
     let mut t = IntrinsicTable::new();
     t.register("produce", vec![Type::Int], Type::Int, &[], &[], 8);
@@ -255,6 +268,111 @@ fn threaded_reduction_survives_every_fault_plan() {
             );
         }
     }
+}
+
+/// The same fault matrix with the accumulator privatized in per-worker
+/// delta buffers: every plan must still converge to the exact total
+/// while the delta path keeps the shard locks completely cold — faults
+/// may stretch the schedule, never push an update back onto a lock.
+#[test]
+fn threaded_delta_reduction_survives_every_fault_plan() {
+    let (c, registry) = delta_reduction_setup();
+    let a = c.analyze(REDUCTION).expect("analyzes");
+    let expected: i64 = (0..96).sum();
+    for sync in [SyncMode::Spin, SyncMode::Mutex, SyncMode::Tm] {
+        let (module, plan) = c.compile(&a, Scheme::Doall, 4, sync).expect("applies");
+        for (label, fault) in plans() {
+            let mut cfg = ExecConfig::with_fault(fault);
+            cfg.world = WorldMode::Deltas;
+            let mut world = World::new();
+            world.install("acc", 0i64);
+            let out =
+                run_threaded_with(&module, &registry, std::slice::from_ref(&plan), world, &cfg)
+                    .unwrap_or_else(|e| panic!("{sync} deltas under {label}: {e}"));
+            assert_eq!(
+                *out.world.get::<i64>("acc"),
+                expected,
+                "{sync} deltas under {label}"
+            );
+            assert!(
+                out.stats.watchdog.is_clean(),
+                "{sync} deltas under {label}: {:?}",
+                out.stats.watchdog
+            );
+            assert!(
+                out.stats.delta.applies > 0 && out.stats.delta.coalesces > 0,
+                "{sync} deltas under {label}: updates bypassed the delta path: {:?}",
+                out.stats.delta
+            );
+            let s = &out.stats.shard;
+            assert_eq!(
+                s.fast_acquires + s.multi_acquires + s.whole_acquires,
+                0,
+                "{sync} deltas under {label}: shard locks touched: {s:?}"
+            );
+            // Spin/Mutex wrap the region in a compiled lock whose only
+            // guarded intrinsic is delta-covered — the executor must
+            // elide it entirely (TM regions use transactions instead).
+            if sync != SyncMode::Tm {
+                assert!(
+                    out.stats.delta.lock_elisions > 0,
+                    "{sync} deltas under {label}: region lock not elided: {:?}",
+                    out.stats.delta
+                );
+            }
+        }
+    }
+}
+
+/// The simulated executor's delta mode across the fault matrix: every
+/// merge-declared workload must stay oracle-identical under every plan,
+/// and its DOALL schedules must actually take the privatized path.
+#[test]
+fn simulated_delta_mode_survives_every_fault_plan() {
+    let cm = CostModel::default();
+    let mut cells = 0u32;
+    let mut delta_applies = 0u64;
+    for w in all() {
+        if !w.registry.has_merges() {
+            continue;
+        }
+        let (_, seq_world) = w.run_sequential(&cm);
+        for spec in &w.schemes {
+            if spec.scheme == Scheme::Sequential {
+                continue;
+            }
+            for (label, fault) in plans() {
+                let mut cfg = ExecConfig::with_fault(fault);
+                cfg.world = WorldMode::Deltas;
+                match w.run_scheme_with(spec, 4, &cm, &cfg) {
+                    Ok((_, par_world, stats)) => {
+                        (w.validate)(&seq_world, &par_world).unwrap_or_else(|e| {
+                            panic!("{}: {} deltas under {label}: {e}", w.name, spec.label)
+                        });
+                        assert!(
+                            stats.watchdog.is_clean(),
+                            "{}: {} deltas under {label}: watchdog {:?}",
+                            w.name,
+                            spec.label,
+                            stats.watchdog
+                        );
+                        delta_applies += stats.delta.applies;
+                        cells += 1;
+                    }
+                    Err(Ok(_)) => {}
+                    Err(Err(e)) => panic!(
+                        "{}: {} deltas under {label}: executor failed: {e}",
+                        w.name, spec.label
+                    ),
+                }
+            }
+        }
+    }
+    assert!(cells >= 20, "delta matrix too small: only {cells} cells");
+    assert!(
+        delta_applies > 0,
+        "no cell ever exercised the privatized path"
+    );
 }
 
 #[test]
@@ -622,6 +740,64 @@ fn shard_poison_descends_the_ladder_on_real_threads() {
             .errors
             .iter()
             .any(|e| e.contains("injected shard poison")),
+        "errors: {:?}",
+        out.recovery.errors
+    );
+    assert!(
+        out.recovery.retries >= 1,
+        "poison is transient: it must be retried before descending"
+    );
+}
+
+/// Injected delta poison panics inside the barrier coalesce on every
+/// deltas attempt (the injector is rebuilt per attempt, so the
+/// once-only trigger re-fires), exhausting the deltas rung. The
+/// supervisor must descend exactly one step — to the sharded world,
+/// where no coalesce exists — and converge to the exact total.
+#[test]
+fn delta_poison_descends_to_the_sharded_rung_on_real_threads() {
+    let (compiler, registry) = delta_reduction_setup();
+    let src = TestSource {
+        compiler,
+        registry,
+        source: REDUCTION.to_string(),
+        sync: SyncMode::Mutex,
+    };
+    let expected: i64 = (0..96).sum();
+    let mut cfg = ExecConfig::with_fault(FaultPlan::delta_poison(0xDE));
+    cfg.world = WorldMode::Deltas;
+    let policy = RecoveryPolicy {
+        max_retries: 1,
+        base_backoff_ms: 1,
+        max_backoff_ms: 2,
+        ..RecoveryPolicy::default()
+    };
+    let validate = |cand: &World, oracle: &World| -> Result<(), String> {
+        let (c, o) = (*cand.get::<i64>("acc"), *oracle.get::<i64>("acc"));
+        if c == o {
+            Ok(())
+        } else {
+            Err(format!("acc {c} != oracle {o}"))
+        }
+    };
+    let out =
+        commset_interp::run_supervised(&src, Backend::Threads, 4, &cfg, &policy, Some(&validate))
+            .unwrap_or_else(|e| {
+                panic!(
+                    "supervisor failed under delta poison: {}\n{}",
+                    e.error,
+                    e.recovery.render_text()
+                )
+            });
+    assert_eq!(*out.world.get::<i64>("acc"), expected);
+    assert!(out.recovery.recovered, "poison never fired?");
+    assert!(out.recovery.degraded, "deltas rung somehow survived poison");
+    assert_eq!(out.recovery.final_mode, "threads(sharded, 4)");
+    assert!(
+        out.recovery
+            .errors
+            .iter()
+            .any(|e| e.contains("injected delta poison")),
         "errors: {:?}",
         out.recovery.errors
     );
