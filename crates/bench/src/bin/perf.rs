@@ -17,6 +17,10 @@
 //! * `--delta-smoke WORKLOAD` — CI's delta gate: run one merge-declared
 //!   workload in `WorldMode::Deltas` and fail if the privatized path
 //!   ever touches a shard lock.
+//! * `--engine-smoke` — CI's engine gate: run the md5sum canary on the
+//!   simulated executor under both execution engines and fail if the
+//!   compiled bytecode backend is not strictly faster than the
+//!   tree-walk engine on any applicable cell.
 //!
 //! Workloads whose registries declare merge operators get a third
 //! `deltas` cell per DOALL row (CCD-style privatization), with the
@@ -24,7 +28,10 @@
 //! deterministic simulator times (`sim_time` / `sim_time_deltas`): the
 //! DES models full `threads`-way parallelism whatever the host has, so
 //! the modeled pair shows the contention win even when the wall clock
-//! is measured on a small machine.
+//! is measured on a small machine. Every row also carries
+//! `sim_time_bytecode` — the same modeled run on the compiled bytecode
+//! backend — next to `sim_time` (tree-walk), so the dispatch win of the
+//! compiled engine is a column diff, not a separate report.
 //!
 //! The output is a machine-readable JSON report (written without any
 //! external serialization dependency): one entry per
@@ -37,7 +44,7 @@
 //! benchmark that computes the wrong answer aborts.
 
 use commset::Scheme;
-use commset_interp::{Backend, ExecConfig, RecoveryPolicy, ThreadOutcome, WorldMode};
+use commset_interp::{Backend, Engine, ExecConfig, RecoveryPolicy, ThreadOutcome, WorldMode};
 use commset_runtime::{DeltaSnapshot, ShardStatsSnapshot};
 use commset_sim::CostModel;
 use commset_telemetry::{RecoveryReport, RunReport};
@@ -75,14 +82,21 @@ struct Row {
     /// scheme is DOALL — pipeline sections never delta-route, so a
     /// deltas cell there would just re-measure `sharded`.
     deltas: Option<Cell>,
-    /// Modeled time on the discrete-event simulator, default world. The
-    /// DES models `threads`-way parallelism whatever the host has, so
-    /// this pair is the deterministic, noise-free contention story the
-    /// wall clock can't tell on a small machine.
+    /// Modeled time on the discrete-event simulator, default world,
+    /// tree-walk engine. The DES models `threads`-way parallelism
+    /// whatever the host has, so this pair is the deterministic,
+    /// noise-free contention story the wall clock can't tell on a small
+    /// machine.
     sim_time: Option<u64>,
-    /// Modeled time with `WorldMode::Deltas`: privatized updates skip
-    /// the commutative channel's serialization charge, so on reduction
-    /// workloads this is strictly below `sim_time` at 2+ threads.
+    /// The same modeled run on the compiled bytecode backend: program
+    /// work retires without the tree-walk dispatch premium, so this is
+    /// strictly below `sim_time` wherever program work exists.
+    sim_time_bytecode: Option<u64>,
+    /// Modeled time with `WorldMode::Deltas` (tree-walk, so the ratio
+    /// against `sim_time` isolates the privatization win): privatized
+    /// updates skip the commutative channel's serialization charge, so
+    /// on reduction workloads this is strictly below `sim_time` at 2+
+    /// threads.
     sim_time_deltas: Option<u64>,
 }
 
@@ -93,18 +107,20 @@ fn sim_time(
     spec: &SchemeSpec,
     threads: usize,
     mode: WorldMode,
+    engine: Engine,
     cm: &CostModel,
     seq_world: &commset_runtime::World,
 ) -> Option<u64> {
     let cfg = ExecConfig {
         world: mode,
+        engine,
         ..ExecConfig::default()
     };
     match w.run_scheme_with(spec, threads, cm, &cfg) {
         Ok((time, world, _)) => {
             (w.validate)(seq_world, &world).unwrap_or_else(|e| {
                 panic!(
-                    "{}: {} x{threads} sim ({mode:?}) computed a wrong answer: {e}",
+                    "{}: {} x{threads} sim ({mode:?}, {engine:?}) computed a wrong answer: {e}",
                     w.name, spec.label
                 )
             });
@@ -112,7 +128,7 @@ fn sim_time(
         }
         Err(Ok(_diag)) => None,
         Err(Err(e)) => panic!(
-            "{}: {} x{threads} sim ({mode:?}): executor failed: {e}",
+            "{}: {} x{threads} sim ({mode:?}, {engine:?}): executor failed: {e}",
             w.name, spec.label
         ),
     }
@@ -285,6 +301,69 @@ fn delta_smoke(name: &str) {
     eprintln!("delta smoke: {cells} scheme(s) lock-free and oracle-identical");
 }
 
+/// CI's engine perf gate: the md5sum canary on the simulated executor,
+/// every applicable scheme at 2 and 4 threads, under the tree-walk and
+/// the compiled bytecode engine. Both runs must validate against the
+/// sequential oracle and the bytecode clock must be strictly faster —
+/// a dispatch regression in the compiled backend fails the build.
+fn engine_smoke() {
+    let cm = CostModel::default();
+    let w = commset_workloads::all()
+        .into_iter()
+        .find(|w| w.name == "md5sum")
+        .expect("md5sum workload exists");
+    let (_, seq_world) = w.run_sequential(&cm);
+    let mut cells = 0u32;
+    for spec in &w.schemes {
+        if spec.scheme == Scheme::Sequential {
+            continue;
+        }
+        for t in [2usize, 4] {
+            let Some(slow) = sim_time(
+                &w,
+                spec,
+                t,
+                WorldMode::Auto,
+                Engine::TreeWalk,
+                &cm,
+                &seq_world,
+            ) else {
+                continue;
+            };
+            let fast = sim_time(
+                &w,
+                spec,
+                t,
+                WorldMode::Auto,
+                Engine::Bytecode,
+                &cm,
+                &seq_world,
+            )
+            .unwrap_or_else(|| {
+                panic!(
+                    "md5sum {} x{t}: bytecode must apply where tree-walk does",
+                    spec.label
+                )
+            });
+            assert!(
+                fast < slow,
+                "md5sum {} x{t}: bytecode sim_time ({fast}) regressed vs tree-walk ({slow})",
+                spec.label
+            );
+            eprintln!(
+                "md5sum   {:<26} x{t}: sim tree {:>9}  bytecode {:>9}  ({:.2}x)",
+                spec.label,
+                slow,
+                fast,
+                slow as f64 / fast.max(1) as f64
+            );
+            cells += 1;
+        }
+    }
+    assert!(cells > 0, "md5sum: no scheme was measurable");
+    eprintln!("engine smoke: {cells} cell(s), bytecode strictly faster and oracle-identical");
+}
+
 fn main() {
     let mut quick = false;
     let mut iters = 3usize;
@@ -300,6 +379,10 @@ fn main() {
             "--delta-smoke" => {
                 let name = args.next().expect("--delta-smoke WORKLOAD");
                 delta_smoke(&name);
+                return;
+            }
+            "--engine-smoke" => {
+                engine_smoke();
                 return;
             }
             other => panic!("unknown flag {other}"),
@@ -336,21 +419,57 @@ fn main() {
                 } else {
                     None
                 };
-                let sim = sim_time(&w, spec, t, WorldMode::Auto, &cm, &seq_world);
+                let sim = sim_time(
+                    &w,
+                    spec,
+                    t,
+                    WorldMode::Auto,
+                    Engine::TreeWalk,
+                    &cm,
+                    &seq_world,
+                );
+                let sim_bc = sim_time(
+                    &w,
+                    spec,
+                    t,
+                    WorldMode::Auto,
+                    Engine::Bytecode,
+                    &cm,
+                    &seq_world,
+                );
                 let sim_deltas = if deltas.is_some() {
-                    sim_time(&w, spec, t, WorldMode::Deltas, &cm, &seq_world)
+                    sim_time(
+                        &w,
+                        spec,
+                        t,
+                        WorldMode::Deltas,
+                        Engine::TreeWalk,
+                        &cm,
+                        &seq_world,
+                    )
                 } else {
                     None
                 };
-                let extra = match (&deltas, sim, sim_deltas) {
-                    (Some(d), Some(s), Some(sd)) => format!(
-                        "  deltas {:>8}us  [sim {s} -> {sd}, {:.2}x]",
-                        d.wall_us,
-                        s as f64 / sd.max(1) as f64
-                    ),
-                    (Some(d), _, _) => format!("  deltas {:>8}us", d.wall_us),
+                let mut extra = match (sim, sim_bc) {
+                    (Some(s), Some(b)) => {
+                        format!("  [sim {s} bc {b}, {:.2}x]", s as f64 / b.max(1) as f64)
+                    }
                     _ => String::new(),
                 };
+                match (&deltas, sim, sim_deltas) {
+                    (Some(d), Some(s), Some(sd)) => {
+                        let _ = write!(
+                            extra,
+                            "  deltas {:>8}us  [sim {s} -> {sd}, {:.2}x]",
+                            d.wall_us,
+                            s as f64 / sd.max(1) as f64
+                        );
+                    }
+                    (Some(d), _, _) => {
+                        let _ = write!(extra, "  deltas {:>8}us", d.wall_us);
+                    }
+                    _ => {}
+                }
                 match &sharded {
                     Some(sh) => eprintln!(
                         "{:<8} {:<26} x{t}: single {:>8}us  sharded {:>8}us  (ratio {:.2}){extra}",
@@ -373,6 +492,7 @@ fn main() {
                     sharded,
                     deltas,
                     sim_time: sim,
+                    sim_time_bytecode: sim_bc,
                     sim_time_deltas: sim_deltas,
                 });
             }
@@ -446,6 +566,17 @@ fn main() {
             }
             None => {
                 let _ = writeln!(json, "      \"sim_time\": null,");
+            }
+        }
+        match (r.sim_time, r.sim_time_bytecode) {
+            (Some(s), Some(b)) => {
+                let v = s as f64 / b.max(1) as f64;
+                let _ = writeln!(json, "      \"sim_time_bytecode\": {b},");
+                let _ = writeln!(json, "      \"sim_bytecode_speedup\": {v:.4},");
+            }
+            _ => {
+                let _ = writeln!(json, "      \"sim_time_bytecode\": null,");
+                let _ = writeln!(json, "      \"sim_bytecode_speedup\": null,");
             }
         }
         match (r.sim_time, r.sim_time_deltas) {

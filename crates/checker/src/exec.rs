@@ -19,7 +19,7 @@
 use crate::model::{ModelConfig, ModelWorld};
 use commset_interp::globals::PlainGlobals;
 use commset_interp::vm::GlobalMem;
-use commset_interp::{ExecError, StepOutcome, Vm};
+use commset_interp::{prepare_engine, EngineVm, ExecError, StepOutcome};
 use commset_ir::Module;
 use commset_runtime::rng::SplitMix64;
 use commset_runtime::Value;
@@ -311,7 +311,7 @@ enum WState {
 }
 
 struct CWorker<'m> {
-    vm: Vm<'m>,
+    vm: EngineVm<'m>,
     state: WState,
 }
 
@@ -339,11 +339,14 @@ impl<'m> Machine<'m> {
     /// *exit* instead of entry.
     fn run_vm(
         &mut self,
-        vm: &mut Vm<'m>,
+        vm: &mut EngineVm<'_>,
         globals: &mut PlainGlobals,
         in_region: bool,
         region_func: &str,
     ) -> Result<WState, CheckError> {
+        // Copy the module reference out so intrinsic names can stay
+        // borrowed `&str` across the `self.world` calls below.
+        let module = self.module;
         loop {
             self.spend()?;
             match vm.step(globals)? {
@@ -366,12 +369,8 @@ impl<'m> Machine<'m> {
                 }
                 StepOutcome::Finished(_) => return Ok(WState::Done),
                 StepOutcome::Special(p) => {
-                    let name = self
-                        .module
-                        .intrinsics
-                        .name(p.intrinsic.0 as usize)
-                        .to_string();
-                    match name.as_str() {
+                    let name = module.intrinsics.name(p.intrinsic.0 as usize);
+                    match name {
                         "__lock_acquire" | "__lock_release" | "__tx_begin" | "__tx_commit" => {
                             // Regions execute atomically: synchronization
                             // is vacuous under the controlled scheduler.
@@ -409,11 +408,11 @@ impl<'m> Machine<'m> {
                                 // special stays pending; the section loop
                                 // executes it when this worker is picked.
                                 return Ok(WState::AtWorldCall {
-                                    name,
+                                    name: name.to_string(),
                                     args: p.args.clone(),
                                 });
                             }
-                            let v = self.world.call(&self.module.intrinsics, &name, &p.args);
+                            let v = self.world.call(&module.intrinsics, name, &p.args);
                             vm.resolve_special(v);
                         }
                     }
@@ -444,6 +443,8 @@ pub fn run_controlled(
     sched: &mut dyn Scheduler,
     step_budget: u64,
 ) -> Result<ControlledOutcome, CheckError> {
+    // Declared before `machine` and the VMs so it outlives every borrow.
+    let bc = prepare_engine(module, model_cfg.engine);
     let mut machine = Machine {
         module,
         world: ModelWorld::new(model_cfg.clone()),
@@ -458,7 +459,7 @@ pub fn run_controlled(
         pause_world: model_cfg.pause_at_world_calls,
     };
     let mut globals = PlainGlobals::new(module);
-    let mut main = Vm::for_name(module, "main", &[])?;
+    let mut main = EngineVm::for_name(module, bc.as_ref(), "main", &[])?;
     let mut log: Vec<RegionExec> = Vec::new();
 
     loop {
@@ -467,7 +468,7 @@ pub fn run_controlled(
             StepOutcome::Ran { .. } => {}
             StepOutcome::Finished(_) => break,
             StepOutcome::Special(p) => {
-                let name = module.intrinsics.name(p.intrinsic.0 as usize).to_string();
+                let name = module.intrinsics.name(p.intrinsic.0 as usize);
                 if name == "__par_invoke" {
                     let section = p.args[0].as_int();
                     if section != plan.section {
@@ -475,14 +476,21 @@ pub fn run_controlled(
                             "section {section} has no plan"
                         )));
                     }
-                    run_section(&mut machine, plan, &mut globals, sched, &mut log)?;
+                    run_section(
+                        &mut machine,
+                        bc.as_ref(),
+                        plan,
+                        &mut globals,
+                        sched,
+                        &mut log,
+                    )?;
                     main.resolve_special(Value::Int(0));
                 } else if name.starts_with("__") {
                     return Err(CheckError::Unsupported(format!(
                         "synchronization intrinsic {name} outside a section"
                     )));
                 } else {
-                    let v = machine.world.call(&module.intrinsics, &name, &p.args);
+                    let v = machine.world.call(&module.intrinsics, name, &p.args);
                     main.resolve_special(v);
                 }
             }
@@ -528,9 +536,10 @@ pub fn run_sequential_model(
     // per-run store-buffer window must not leak into it.
     let mut seq_cfg = model_cfg.clone();
     seq_cfg.sb_window = None;
+    let bc = prepare_engine(module, model_cfg.engine);
     let mut world = ModelWorld::new(seq_cfg);
     let mut globals = PlainGlobals::new(module);
-    let mut vm = Vm::for_name(module, "main", &[])?;
+    let mut vm = EngineVm::for_name(module, bc.as_ref(), "main", &[])?;
     let mut budget = step_budget;
     loop {
         if budget == 0 {
@@ -541,13 +550,13 @@ pub fn run_sequential_model(
             StepOutcome::Ran { .. } => {}
             StepOutcome::Finished(_) => break,
             StepOutcome::Special(p) => {
-                let name = module.intrinsics.name(p.intrinsic.0 as usize).to_string();
+                let name = module.intrinsics.name(p.intrinsic.0 as usize);
                 if name.starts_with("__") {
                     return Err(CheckError::Unsupported(format!(
                         "synchronization intrinsic {name} in the sequential oracle"
                     )));
                 }
-                let v = world.call(&module.intrinsics, &name, &p.args);
+                let v = world.call(&module.intrinsics, name, &p.args);
                 vm.resolve_special(v);
             }
         }
@@ -559,17 +568,22 @@ pub fn run_sequential_model(
     })
 }
 
-fn run_section<'m>(
+fn run_section<'m, 'e>(
     machine: &mut Machine<'m>,
+    bc: Option<&'e commset_interp::BcModule>,
     plan: &ParallelPlan,
     globals: &mut PlainGlobals,
     sched: &mut dyn Scheduler,
     log: &mut Vec<RegionExec>,
-) -> Result<(), CheckError> {
-    let mut workers: Vec<CWorker<'m>> = Vec::with_capacity(plan.workers.len());
+) -> Result<(), CheckError>
+where
+    'm: 'e,
+{
+    let mut workers: Vec<CWorker<'e>> = Vec::with_capacity(plan.workers.len());
     for (i, w) in plan.workers.iter().enumerate() {
-        let mut vm = Vm::for_name(
+        let mut vm = EngineVm::for_name(
             machine.module,
+            bc,
             &w.func,
             &[Value::Int(w.tid), Value::Int(w.nt)],
         )?;

@@ -9,14 +9,26 @@
 //! commsetc schedules prog.cmm [--effects prog.effects] [--threads N]
 //! commsetc emit     prog.cmm --scheme doall [--sync spin] [--threads N]
 //!                            [--effects prog.effects]
+//! commsetc compile  prog.cmm [--dump-bytecode] [--scheme doall]
+//!                            [--sync spin] [--threads N]
+//!                            [--effects prog.effects]
 //! commsetc check    prog.cmm [--effects prog.effects] [--threads N]
 //!                            [--budget N] [--seed N] [--jobs N] [--fuzz]
+//!                            [--engine auto|tree-walk|bytecode]
 //!                            [--trace-out fail.json] [--corpus DIR]
 //!                            [--capture-corpus]
 //! commsetc profile  prog.cmm --scheme dswp [--sync spin] [--threads N]
 //!                            [--effects prog.effects] [--real]
 //!                            [--trace-out run.json]
 //! ```
+//!
+//! `compile` lowers the program to the interpreter's flat register
+//! bytecode (the compiled execution backend) and prints a per-function
+//! summary: op count, fused superinstructions, inline-cached intrinsic
+//! call sites. `--dump-bytecode` prints the full disassembled listing
+//! instead — block labels, registers, retire weights. With `--scheme`
+//! the *transformed* (parallelized) module is compiled; the default is
+//! the sequential module.
 //!
 //! `check` runs the dynamic commutativity checker: it replays the
 //! transformed program under a budget of systematically permuted region
@@ -28,7 +40,10 @@
 //! are caught, with mutants fanned across the same pool. The sidecar's
 //! `commutative CHANS`, `model size= stream=` and `relaxed [window=N]`
 //! directives configure the checker's abstract world (the latter opting
-//! into store-buffered schedule variants). Exit status: 0 if the verdict
+//! into store-buffered schedule variants). `--engine` selects the VM
+//! driving the model world (tree-walk or the compiled bytecode backend);
+//! engines are report-invariant, so CI diffs the two reports to prove it.
+//! Exit status: 0 if the verdict
 //! is clean, 1 otherwise. With `--trace-out`, a failing check additionally
 //! writes the canonical and failing interleavings as one Chrome
 //! trace-event JSON file.
@@ -75,17 +90,19 @@ use commset::replay::{replay_bundle, run_profile_supervised, SyntheticSource};
 use commset::spec::{build_table, parse_effects};
 use commset::{Compiler, Scheme, SyncMode};
 use commset_checker::{check_source, fuzz_annotations};
-use commset_interp::{ExecConfig, FailureBundle, RecoveryPolicy};
+use commset_interp::{Engine, ExecConfig, FailureBundle, RecoveryPolicy};
 use commset_lang::printer::print_program;
 use commset_telemetry::chrome_trace_json;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: commsetc <analyze|schedules|emit|check|profile> <file.cmm> \
+        "usage: commsetc <analyze|schedules|emit|compile|check|profile> <file.cmm> \
          [--effects <file>] [--pdg] [--threads N] \
          [--scheme doall|dswp|ps-dswp] [--sync spin|mutex|tm|lib] \
-         [--hot-func NAME] [--budget N] [--seed N] [--jobs N] [--fuzz] \
+         [--hot-func NAME] [--dump-bytecode] \
+         [--engine auto|tree-walk|bytecode] \
+         [--budget N] [--seed N] [--jobs N] [--fuzz] \
          [--corpus DIR] [--capture-corpus] \
          [--trace-out <file.json>] [--real] \
          [--recover] [--deadline-ms N] [--max-retries N] [--repro-dir DIR]\n\
@@ -104,6 +121,8 @@ struct Args {
     scheme: Option<Scheme>,
     sync: SyncMode,
     hot_func: Option<String>,
+    dump_bytecode: bool,
+    engine: Engine,
     budget: Option<usize>,
     seed: Option<u64>,
     jobs: usize,
@@ -123,7 +142,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
     let command = argv.next().ok_or("missing command")?;
     if !matches!(
         command.as_str(),
-        "analyze" | "schedules" | "emit" | "check" | "profile" | "replay"
+        "analyze" | "schedules" | "emit" | "compile" | "check" | "profile" | "replay"
     ) {
         return Err(format!("unknown command `{command}`"));
     }
@@ -137,6 +156,8 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         scheme: None,
         sync: SyncMode::Spin,
         hot_func: None,
+        dump_bytecode: false,
+        engine: Engine::Auto,
         budget: None,
         seed: None,
         jobs: 1,
@@ -178,6 +199,15 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
                 }
             }
             "--hot-func" => args.hot_func = Some(value()?),
+            "--dump-bytecode" => args.dump_bytecode = true,
+            "--engine" => {
+                args.engine = match value()?.as_str() {
+                    "auto" => Engine::Auto,
+                    "tree-walk" | "tree" => Engine::TreeWalk,
+                    "bytecode" => Engine::Bytecode,
+                    other => return Err(format!("unknown engine `{other}`")),
+                }
+            }
             "--budget" => {
                 let b: usize = value()?
                     .parse()
@@ -400,6 +430,7 @@ fn run(args: &Args) -> Result<(), String> {
             let mut cfg = spec.checker_config();
             cfg.nthreads = args.threads;
             cfg.jobs = args.jobs;
+            cfg.model.engine = args.engine;
             if let Some(b) = args.budget {
                 cfg.budget = b;
             }
@@ -521,6 +552,40 @@ fn run(args: &Args) -> Result<(), String> {
                 }
                 Ok(())
             }
+        }
+        "compile" => {
+            let module = match args.scheme {
+                Some(scheme) => {
+                    compiler
+                        .compile(&analysis, scheme, args.threads, args.sync)
+                        .map_err(|d| d.to_string())?
+                        .0
+                }
+                None => compiler
+                    .compile_sequential(&analysis)
+                    .map_err(|d| d.to_string())?,
+            };
+            let bc = commset_interp::BcModule::compile(&module);
+            let mut out = String::new();
+            if args.dump_bytecode {
+                out.push_str(&commset_interp::print_bc_module(&module, &bc));
+            } else {
+                for bf in &bc.funcs {
+                    let fused = bf.weights.iter().filter(|w| **w > 1).count();
+                    out.push_str(&format!(
+                        "{:<28} {:>5} ops {:>4} fused {:>3} call sites\n",
+                        bf.name,
+                        bf.ops.len(),
+                        fused,
+                        bf.sites.len()
+                    ));
+                }
+            }
+            // One write, errors ignored: `commsetc compile | head` must
+            // not panic on the closed pipe.
+            use std::io::Write;
+            let _ = std::io::stdout().write_all(out.as_bytes());
+            Ok(())
         }
         "emit" => {
             let scheme = args
@@ -684,6 +749,21 @@ mod tests {
         assert_eq!(a.jobs, 8);
         assert_eq!(a.corpus.as_deref(), Some("my/corpus"));
         assert!(a.capture_corpus);
+
+        let a = args(&["compile", "p.cmm", "--dump-bytecode"]).unwrap();
+        assert_eq!(a.command, "compile");
+        assert!(a.dump_bytecode);
+        let a = args(&["compile", "p.cmm", "--scheme", "doall"]).unwrap();
+        assert!(!a.dump_bytecode, "dump is opt-in");
+        assert_eq!(a.scheme, Some(Scheme::Doall));
+
+        let a = args(&["check", "p.cmm"]).unwrap();
+        assert_eq!(a.engine, Engine::Auto, "engine defaults to auto");
+        let a = args(&["check", "p.cmm", "--engine", "tree-walk"]).unwrap();
+        assert_eq!(a.engine, Engine::TreeWalk);
+        let a = args(&["check", "p.cmm", "--engine", "bytecode"]).unwrap();
+        assert_eq!(a.engine, Engine::Bytecode);
+        assert!(args(&["check", "p.cmm", "--engine", "jit"]).is_err());
 
         // The REPLAY: line prints the seed in hex; it must paste back.
         let a = args(&["check", "p.cmm", "--seed", "0x5eedc0de"]).unwrap();

@@ -1,0 +1,191 @@
+//! The engine-dispatch layer: one worker VM that is either the tree-walk
+//! interpreter or the compiled bytecode machine.
+//!
+//! Executors decide the engine once per run (from
+//! [`ExecConfig::engine`](crate::config::ExecConfig::engine)), compile the
+//! module to a [`BcModule`] when the bytecode backend is selected, and
+//! construct every worker through [`EngineVm::for_name`]. Passing
+//! `Some(&bc)` selects the compiled machine; `None` the tree-walk one —
+//! so the borrow of the compiled artifact and the engine choice cannot
+//! drift apart.
+//!
+//! Both variants honor the identical resumable contract
+//! ([`StepOutcome`], `resolve_special`, `retry_special_later`, watch
+//! events), so the executors stay engine-agnostic beyond construction and
+//! one cost multiplier: [`program_cost_factor`] returns the dispatch
+//! premium the tree-walk engine pays on modeled *program* work
+//! (instruction ticks, intrinsic base/extra cost). Substrate costs —
+//! locks, queues, transactions, spawns — model the shared runtime, not
+//! the interpreter, and are never scaled.
+
+use crate::bytecode::{BcModule, BcVm};
+use crate::config::Engine;
+use crate::error::ExecError;
+use crate::vm::{CallEvent, GlobalMem, StepOutcome, Vm};
+use commset_ir::Module;
+use commset_runtime::Value;
+use commset_sim::CostModel;
+
+/// Compiles the module when `engine` resolves to the bytecode backend.
+///
+/// The returned artifact is threaded to [`EngineVm::for_name`] as
+/// `Option<&BcModule>`; `None` (tree-walk) skips compilation entirely.
+pub fn prepare_engine(module: &Module, engine: Engine) -> Option<BcModule> {
+    match engine.resolved() {
+        Engine::TreeWalk => None,
+        _ => Some(BcModule::compile(module)),
+    }
+}
+
+/// The multiplier `engine` pays on modeled program work (instruction
+/// ticks and intrinsic base/extra cost) relative to the compiled
+/// backend. `CostModel::interp_penalty` for the tree-walk engine, 1 for
+/// bytecode.
+pub fn program_cost_factor(engine: Engine, cm: &CostModel) -> u64 {
+    match engine.resolved() {
+        Engine::TreeWalk => cm.interp_penalty.max(1),
+        _ => 1,
+    }
+}
+
+/// A worker VM of either engine. Every method delegates; the two arms
+/// are behaviorally identical (same results, same dynamic errors, same
+/// watch events, bit-identical retired cost).
+#[derive(Debug)]
+pub enum EngineVm<'m> {
+    /// The tree-walk interpreter over the CFG IR.
+    Tree(Vm<'m>),
+    /// The compiled bytecode machine.
+    Bc(BcVm<'m>),
+}
+
+impl<'m> EngineVm<'m> {
+    /// Creates a worker for `name(args...)` on the engine implied by
+    /// `bc`: `Some` runs the compiled module, `None` the tree-walk VM.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::UnknownFunction`] / [`ExecError::ArityMismatch`], as
+    /// the underlying constructors.
+    pub fn for_name(
+        module: &'m Module,
+        bc: Option<&'m BcModule>,
+        name: &str,
+        args: &[Value],
+    ) -> Result<Self, ExecError> {
+        Ok(match bc {
+            Some(bc) => EngineVm::Bc(BcVm::for_name(module, bc, name, args)?),
+            None => EngineVm::Tree(Vm::for_name(module, name, args)?),
+        })
+    }
+
+    /// True once the entry function has returned.
+    pub fn is_finished(&self) -> bool {
+        match self {
+            EngineVm::Tree(vm) => vm.is_finished(),
+            EngineVm::Bc(vm) => vm.is_finished(),
+        }
+    }
+
+    /// See [`Vm::watch_calls`].
+    pub fn watch_calls<'a>(&mut self, funcs: impl IntoIterator<Item = &'a str>) {
+        match self {
+            EngineVm::Tree(vm) => vm.watch_calls(funcs),
+            EngineVm::Bc(vm) => vm.watch_calls(funcs),
+        }
+    }
+
+    /// See [`Vm::watch_calls_matching`].
+    pub fn watch_calls_matching(&mut self, prefix: &str) {
+        match self {
+            EngineVm::Tree(vm) => vm.watch_calls_matching(prefix),
+            EngineVm::Bc(vm) => vm.watch_calls_matching(prefix),
+        }
+    }
+
+    /// See [`Vm::drain_call_events`].
+    pub fn drain_call_events(&mut self) -> Vec<CallEvent> {
+        match self {
+            EngineVm::Tree(vm) => vm.drain_call_events(),
+            EngineVm::Bc(vm) => vm.drain_call_events(),
+        }
+    }
+
+    /// See [`Vm::watched_depth`].
+    pub fn watched_depth(&self) -> usize {
+        match self {
+            EngineVm::Tree(vm) => vm.watched_depth(),
+            EngineVm::Bc(vm) => vm.watched_depth(),
+        }
+    }
+
+    /// See [`Vm::current_function`].
+    pub fn current_function(&self) -> &str {
+        match self {
+            EngineVm::Tree(vm) => vm.current_function(),
+            EngineVm::Bc(vm) => vm.current_function(),
+        }
+    }
+
+    /// See [`Vm::resolve_special`].
+    pub fn resolve_special(&mut self, value: Value) {
+        match self {
+            EngineVm::Tree(vm) => vm.resolve_special(value),
+            EngineVm::Bc(vm) => vm.resolve_special(value),
+        }
+    }
+
+    /// See [`Vm::retry_special_later`].
+    pub fn retry_special_later(&mut self) {
+        match self {
+            EngineVm::Tree(vm) => vm.retry_special_later(),
+            EngineVm::Bc(vm) => vm.retry_special_later(),
+        }
+    }
+
+    /// See [`Vm::step`].
+    ///
+    /// # Errors
+    ///
+    /// Dynamic errors ([`ExecError`]) exactly as the underlying engine —
+    /// both produce identical payloads on the same program point.
+    pub fn step(&mut self, globals: &mut dyn GlobalMem) -> Result<StepOutcome, ExecError> {
+        match self {
+            EngineVm::Tree(vm) => vm.step(globals),
+            EngineVm::Bc(vm) => vm.step(globals),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_is_one_for_the_compiled_backend() {
+        let cm = CostModel::default();
+        assert_eq!(program_cost_factor(Engine::Bytecode, &cm), 1);
+        assert_eq!(program_cost_factor(Engine::Auto, &cm), 1);
+        assert_eq!(
+            program_cost_factor(Engine::TreeWalk, &cm),
+            cm.interp_penalty
+        );
+    }
+
+    #[test]
+    fn prepare_compiles_only_when_needed() {
+        let unit = commset_lang::compile_unit("int main() { return 4; }").unwrap();
+        let m =
+            commset_ir::lower_program(&unit.program, commset_ir::IntrinsicTable::new()).unwrap();
+        assert!(prepare_engine(&m, Engine::TreeWalk).is_none());
+        let bc = prepare_engine(&m, Engine::Auto).expect("auto compiles");
+        let mut vm = EngineVm::for_name(&m, Some(&bc), "main", &[]).unwrap();
+        let mut g = crate::globals::PlainGlobals::new(&m);
+        loop {
+            if let StepOutcome::Finished(v) = vm.step(&mut g).unwrap() {
+                assert_eq!(v, Some(Value::Int(4)));
+                break;
+            }
+        }
+    }
+}

@@ -5,6 +5,12 @@
 //! * [`vm`] — a *resumable* virtual machine over the IR: `step()` retires
 //!   one instruction; intrinsic calls surface as pending *special* events
 //!   the driving executor resolves. The same VM backs every executor.
+//! * [`bytecode`] — the compiled execution backend: each function is
+//!   lowered once to flat register bytecode (pre-resolved block offsets,
+//!   fused superinstructions, inline-cached intrinsic call sites) and run
+//!   by [`bytecode::BcVm`], which honors the same resumable `step()`
+//!   contract as the tree-walk VM. Selected per run via
+//!   [`config::Engine`].
 //! * [`globals`] — global-memory backends (plain for single-threaded
 //!   executors, atomic for the thread executor).
 //! * [`seq`] — the sequential executor (the evaluation baseline), with
@@ -39,7 +45,9 @@
 //! spans on real threads and deterministic ticks under the DES.
 
 pub mod bundle;
+pub mod bytecode;
 pub mod config;
+pub mod engine;
 pub mod error;
 pub mod globals;
 pub mod seq;
@@ -50,9 +58,11 @@ pub mod trace;
 pub mod vm;
 
 pub use bundle::FailureBundle;
-pub use config::{ExecConfig, WorldMode};
+pub use bytecode::{print_bc_function, print_bc_module, BcModule, BcVm};
+pub use config::{Engine, ExecConfig, WorldMode};
+pub use engine::{prepare_engine, program_cost_factor, EngineVm};
 pub use error::ExecError;
-pub use seq::run_sequential;
+pub use seq::{run_sequential, run_sequential_with};
 pub use sim_exec::{run_simulated, run_simulated_with, SimOutcome, SimStats};
 pub use supervise::{
     run_supervised, Backend, CompiledProgram, ProgramDesc, ProgramSource, RecoveryPolicy,

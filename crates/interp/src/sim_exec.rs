@@ -15,10 +15,11 @@
 //! runs the waits-for watchdog, whose report lands in [`SimStats`].
 
 use crate::config::{ExecConfig, WorldMode};
+use crate::engine::{prepare_engine, program_cost_factor, EngineVm};
 use crate::error::ExecError;
 use crate::globals::PlainGlobals;
 use crate::trace::{TraceEvent, TraceSink};
-use crate::vm::{PendingSpecial, StepOutcome, Vm};
+use crate::vm::{PendingSpecial, StepOutcome};
 use commset_ir::Module;
 use commset_runtime::{
     DeltaBuffer, DeltaSnapshot, FaultInjector, FaultStats, Registry, Value, Watchdog,
@@ -147,8 +148,10 @@ pub fn run_simulated_with(
     cfg: &ExecConfig,
 ) -> Result<SimOutcome, ExecError> {
     let injector = FaultInjector::new(cfg.fault.clone());
+    let bc = prepare_engine(module, cfg.engine);
+    let factor = program_cost_factor(cfg.engine, cm);
     let mut globals = PlainGlobals::new(module);
-    let mut vm = Vm::for_name(module, "main", &[])?;
+    let mut vm = EngineVm::for_name(module, bc.as_ref(), "main", &[])?;
     let mut sim_time: u64 = 0;
     let mut stats = SimStats::default();
     let sink = cfg.telemetry.then(TelemetrySink::new);
@@ -156,7 +159,7 @@ pub fn run_simulated_with(
     let mut next_ord = 0usize;
     loop {
         match vm.step(&mut globals)? {
-            StepOutcome::Ran { cost } => sim_time += cost * cm.inst,
+            StepOutcome::Ran { cost } => sim_time += factor * cost * cm.inst,
             StepOutcome::Special(p) => {
                 let name = module.intrinsics.name(p.intrinsic.0 as usize);
                 if name == "__par_invoke" {
@@ -173,6 +176,7 @@ pub fn run_simulated_with(
                     next_ord += 1;
                     let (end, section_stats, meta) = run_section(
                         module,
+                        bc.as_ref(),
                         registry,
                         plan,
                         world,
@@ -193,7 +197,7 @@ pub fn run_simulated_with(
                 } else {
                     let base = module.intrinsics.sig(p.intrinsic.0 as usize).base_cost;
                     let out = registry.call(name, world, &p.args);
-                    sim_time += base + out.extra_cost;
+                    sim_time += factor * (base + out.extra_cost);
                     vm.resolve_special(out.value);
                 }
             }
@@ -255,7 +259,7 @@ fn merge_watchdog(into: &mut WatchdogReport, from: WatchdogReport) {
 }
 
 struct Worker<'m> {
-    vm: Vm<'m>,
+    vm: EngineVm<'m>,
     clock: u64,
     status: WStatus,
     tx: Option<commset_sim::tm::TxRecord>,
@@ -280,8 +284,9 @@ struct Worker<'m> {
 /// Executes one parallel section; returns (end time, stats, telemetry
 /// metadata).
 #[allow(clippy::too_many_arguments)]
-fn run_section(
-    module: &Module,
+fn run_section<'m>(
+    module: &'m Module,
+    bc: Option<&'m crate::bytecode::BcModule>,
     registry: &Registry,
     plan: &ParallelPlan,
     world: &mut World,
@@ -349,10 +354,12 @@ fn run_section(
         })
         .collect();
 
+    let factor = program_cost_factor(cfg.engine, cm);
     let spawn_t = start + cm.par_spawn;
-    let mut workers: Vec<Worker<'_>> = Vec::with_capacity(plan.workers.len());
+    let mut workers: Vec<Worker<'m>> = Vec::with_capacity(plan.workers.len());
     for w in &plan.workers {
-        let mut vm = Vm::for_name(module, &w.func, &[Value::Int(w.tid), Value::Int(w.nt)])?;
+        let mut vm =
+            EngineVm::for_name(module, bc, &w.func, &[Value::Int(w.tid), Value::Int(w.nt)])?;
         if cfg.trace.is_some() || telem.on {
             vm.watch_calls_matching("__commset_region_");
         }
@@ -415,7 +422,7 @@ fn run_section(
             })?;
         match step {
             StepOutcome::Ran { cost } => {
-                workers[i].clock += cost * cm.inst;
+                workers[i].clock += factor * cost * cm.inst;
             }
             StepOutcome::Finished(_) => {
                 workers[i].status = WStatus::Done;
@@ -579,7 +586,9 @@ fn handle_special(
     watchdog: Option<&Watchdog>,
     telem: &mut SectionTelemetry,
 ) -> Result<(), ExecError> {
-    let name = module.intrinsics.name(p.intrinsic.0 as usize).to_string();
+    // Borrowed, not cloned: this runs once per special, on the hot path.
+    let name = module.intrinsics.name(p.intrinsic.0 as usize);
+    let factor = program_cost_factor(cfg.engine, cm);
     let qidx = |args: &[Value]| -> Result<usize, ExecError> {
         let id = args[0].as_int();
         queue_index
@@ -592,7 +601,7 @@ fn handle_special(
     let stall =
         injector.worker_stall(plan.workers[i].tid) + injector.slow_worker(plan.workers[i].tid);
     workers[i].clock += stall;
-    match name.as_str() {
+    match name {
         "__lock_acquire" => {
             let l = p.args[0].as_int() as usize;
             if elided.get(l).copied().unwrap_or(false) {
@@ -818,16 +827,16 @@ fn handle_special(
             // worker-private buffer with no channel serialization — the
             // whole cost overlaps across cores.
             if !delta_bufs.is_empty() {
-                if let Some(slots) = registry.delta_route(&name, &p.args) {
-                    let out = delta_bufs[i].apply(registry, &name, &p.args, &slots);
-                    let done = workers[i].clock + base + out.extra_cost;
+                if let Some(slots) = registry.delta_route(name, &p.args) {
+                    let out = delta_bufs[i].apply(registry, name, &p.args, &slots);
+                    let done = workers[i].clock + factor * (base + out.extra_cost);
                     if telem.on {
                         telem.span(
                             i,
                             workers[i].clock,
                             done,
                             SpanKind::WorldCall {
-                                intrinsic: name.clone(),
+                                intrinsic: name.to_string(),
                             },
                         );
                     }
@@ -837,7 +846,7 @@ fn handle_special(
                             i,
                             done,
                             TraceEvent::WorldCall {
-                                intrinsic: name.clone(),
+                                intrinsic: name.to_string(),
                                 args: p.args.clone(),
                             },
                         );
@@ -846,12 +855,16 @@ fn handle_special(
                     return Ok(());
                 }
             }
-            let out = registry.call(&name, world, &p.args);
-            let cost = base + out.extra_cost;
+            let out = registry.call(name, world, &p.args);
+            let raw = base + out.extra_cost;
+            // Application work executed by the engine pays the engine's
+            // dispatch factor; the serialized/parallel split keeps its
+            // proportions.
+            let cost = factor * raw;
             // Private compute overlaps across cores; only the serialized
             // portion holds the intrinsic's write channels (readers wait
             // for in-flight writers).
-            let ser = out.serialized_cost.unwrap_or(cost).min(cost);
+            let ser = (factor * out.serialized_cost.unwrap_or(raw)).min(cost);
             let par = cost - ser;
             let mut start = workers[i].clock + par;
             // Instance-partitioned channels hold per-instance state: their
@@ -878,7 +891,7 @@ fn handle_special(
                     workers[i].clock,
                     done,
                     SpanKind::WorldCall {
-                        intrinsic: name.clone(),
+                        intrinsic: name.to_string(),
                     },
                 );
             }
@@ -888,7 +901,7 @@ fn handle_special(
                     i,
                     done,
                     TraceEvent::WorldCall {
-                        intrinsic: name.clone(),
+                        intrinsic: name.to_string(),
                         args: p.args.clone(),
                     },
                 );

@@ -323,12 +323,13 @@ fn run_rung(
         Rung::Sequential => {
             let module = src.sequential().map_err(AttemptError::Compile)?;
             let mut world = src.fresh_world();
-            let out = run_sequential(
+            let out = crate::seq::run_sequential_with(
                 &module,
                 src.registry(),
                 &mut world,
                 &CostModel::default(),
                 "main",
+                cfg.engine,
             )
             .map_err(AttemptError::Exec)?;
             Ok(Attempt {

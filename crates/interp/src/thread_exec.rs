@@ -16,10 +16,11 @@
 //! [`ExecError::WorkerFailed`] naming the stage and cause.
 
 use crate::config::{ExecConfig, WorldMode};
+use crate::engine::{prepare_engine, EngineVm};
 use crate::error::ExecError;
 use crate::globals::{AtomicGlobals, SharedGlobals};
 use crate::trace::{TraceEvent, TraceSink};
-use crate::vm::{StepOutcome, Vm};
+use crate::vm::StepOutcome;
 use commset_ir::Module;
 use commset_runtime::intrinsics::IntrinsicOutcome;
 use commset_runtime::lock::{LockKind, RawLock};
@@ -164,10 +165,11 @@ pub fn run_threaded_with(
 ) -> Result<ThreadOutcome, ExecError> {
     let start = Instant::now();
     let injector = FaultInjector::new(cfg.fault.clone());
+    let bc = prepare_engine(module, cfg.engine);
     let shared_globals = AtomicGlobals::new(module);
     let world = WorldStore::new(world, cfg.world, registry);
     let mut globals = SharedGlobals::new(Arc::clone(&shared_globals));
-    let mut vm = Vm::for_name(module, "main", &[])?;
+    let mut vm = EngineVm::for_name(module, bc.as_ref(), "main", &[])?;
     let mut stats = ThreadStats::default();
     let sink = cfg.telemetry.then(TelemetrySink::new);
     let mut metas: Vec<SectionMeta> = Vec::new();
@@ -187,6 +189,7 @@ pub fn run_threaded_with(
                     next_ord += 1;
                     let section_out = run_section(
                         module,
+                        bc.as_ref(),
                         registry,
                         plan,
                         &shared_globals,
@@ -284,6 +287,9 @@ fn merge_watchdog(into: &mut WatchdogReport, from: WatchdogReport) {
 /// Shared, immutable context for one section's worker threads.
 struct SectionCtx<'a> {
     module: &'a Module,
+    /// Compiled bytecode when the run's engine is the compiled backend;
+    /// `None` runs workers on the tree-walk VM.
+    bc: Option<&'a crate::bytecode::BcModule>,
     registry: &'a Registry,
     world: &'a WorldStore,
     locks: &'a [RawLock],
@@ -339,6 +345,7 @@ struct SectionOutcome {
 #[allow(clippy::too_many_arguments)]
 fn run_section(
     module: &Module,
+    bc: Option<&crate::bytecode::BcModule>,
     registry: &Registry,
     plan: &ParallelPlan,
     shared_globals: &Arc<AtomicGlobals>,
@@ -383,6 +390,7 @@ fn run_section(
         .collect();
     let ctx = SectionCtx {
         module,
+        bc,
         registry,
         world,
         locks: &locks,
@@ -637,7 +645,7 @@ fn worker_loop(
     spans: &mut Vec<SpanRecord>,
 ) -> Result<(), ExecError> {
     let canceled = || ExecError::Canceled { stage: func.into() };
-    let mut vm = Vm::for_name(ctx.module, func, &[Value::Int(tid), Value::Int(nt)])?;
+    let mut vm = EngineVm::for_name(ctx.module, ctx.bc, func, &[Value::Int(tid), Value::Int(nt)])?;
     let telemetry_on = ctx.telemetry.is_some();
     if ctx.trace.is_some() || telemetry_on {
         vm.watch_calls_matching("__commset_region_");

@@ -138,7 +138,7 @@ impl std::fmt::Debug for Vm<'_> {
     }
 }
 
-fn zero_of(ty: Type) -> Value {
+pub(crate) fn zero_of(ty: Type) -> Value {
     match ty {
         Type::Float => Value::Float(0.0),
         _ => Value::Int(0),
@@ -454,15 +454,11 @@ impl<'m> Vm<'m> {
             }
             Inst::Call { dst, callee, args } => {
                 let mut vals = Vec::with_capacity(args.len());
-                let mut str_args = Vec::new();
-                for (i, a) in args.iter().enumerate() {
-                    match a {
-                        Arg::Slot(s) => vals.push(fr.slots[s.0 as usize]),
-                        Arg::Str(s) => {
-                            str_args.push((i, s.clone()));
-                            vals.push(Value::Int(0));
-                        }
-                    }
+                for a in args {
+                    vals.push(match a {
+                        Arg::Slot(s) => fr.slots[s.0 as usize],
+                        Arg::Str(_) => Value::Int(0),
+                    });
                 }
                 match callee {
                     Callee::Func(fid) => {
@@ -484,6 +480,17 @@ impl<'m> Vm<'m> {
                         return Ok(StepOutcome::Ran { cost: 3 });
                     }
                     Callee::Intrinsic(iid) => {
+                        // String literals only reach intrinsics, so the
+                        // owned copies for `PendingSpecial` are made here
+                        // rather than on every call instruction.
+                        let str_args = args
+                            .iter()
+                            .enumerate()
+                            .filter_map(|(i, a)| match a {
+                                Arg::Str(s) => Some((i, s.clone())),
+                                Arg::Slot(_) => None,
+                            })
+                            .collect();
                         // `dst` is re-read from the instruction when the
                         // executor resolves the call.
                         let _ = dst;
@@ -502,7 +509,7 @@ impl<'m> Vm<'m> {
     }
 }
 
-fn eval_un(op: UnOp, v: Value, func: &str) -> Result<Value, ExecError> {
+pub(crate) fn eval_un(op: UnOp, v: Value, func: &str) -> Result<Value, ExecError> {
     Ok(match (op, v) {
         (UnOp::Neg, Value::Int(i)) => Value::Int(i.wrapping_neg()),
         (UnOp::Neg, Value::Float(f)) => Value::Float(-f),
@@ -517,7 +524,7 @@ fn eval_un(op: UnOp, v: Value, func: &str) -> Result<Value, ExecError> {
     })
 }
 
-fn eval_bin(op: BinOp, a: Value, b: Value, func: &str) -> Result<Value, ExecError> {
+pub(crate) fn eval_bin(op: BinOp, a: Value, b: Value, func: &str) -> Result<Value, ExecError> {
     use BinOp::*;
     Ok(match (a, b) {
         (Value::Int(x), Value::Int(y)) => match op {

@@ -18,12 +18,14 @@ pub mod builder;
 pub mod cfg;
 pub mod dom;
 pub mod effects;
+pub mod liveness;
 pub mod loops;
 pub mod lower;
 pub mod print;
 pub mod repr;
 
 pub use effects::{ChannelId, EffectSig, IntrinsicTable};
+pub use liveness::{Liveness, SlotSet};
 pub use lower::lower_program;
 pub use repr::{
     Arg, ArrRef, ArrayId, BlockId, Callee, Const, FuncId, Function, GlobalId, Inst, IntrinsicId,

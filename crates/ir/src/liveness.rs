@@ -1,0 +1,226 @@
+//! Slot liveness — the backward dataflow the bytecode compiler's
+//! superinstruction fusion is guarded by.
+//!
+//! A fused op may skip materializing an intermediate slot (the compare
+//! feeding a branch, the constant feeding an immediate-form arithmetic
+//! op) only when nothing downstream reads it. This module computes the
+//! classic per-block live-in/live-out sets from [`Inst::def`]/
+//! [`Inst::uses`], plus the per-instruction "live after" sets a peephole
+//! needs to make that call, as compact slot bitsets.
+
+use crate::repr::{Function, Inst, Slot, Terminator};
+
+/// A fixed-width bitset over a function's slots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotSet {
+    words: Vec<u64>,
+}
+
+impl SlotSet {
+    /// The empty set for a function with `nslots` slots.
+    pub fn new(nslots: usize) -> Self {
+        SlotSet {
+            words: vec![0; nslots.div_ceil(64)],
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, s: Slot) -> bool {
+        let i = s.0 as usize;
+        self.words
+            .get(i / 64)
+            .is_some_and(|w| w & (1u64 << (i % 64)) != 0)
+    }
+
+    /// Inserts `s`; returns true if it was new.
+    pub fn insert(&mut self, s: Slot) -> bool {
+        let i = s.0 as usize;
+        let w = &mut self.words[i / 64];
+        let bit = 1u64 << (i % 64);
+        let new = *w & bit == 0;
+        *w |= bit;
+        new
+    }
+
+    /// Removes `s`.
+    pub fn remove(&mut self, s: Slot) {
+        let i = s.0 as usize;
+        if let Some(w) = self.words.get_mut(i / 64) {
+            *w &= !(1u64 << (i % 64));
+        }
+    }
+
+    /// Unions `other` in; returns true if anything changed.
+    pub fn union_with(&mut self, other: &SlotSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let next = *a | *b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+}
+
+/// Applies one instruction's transfer function backwards:
+/// `live = (live - def) ∪ uses`.
+fn transfer(live: &mut SlotSet, inst: &Inst) {
+    if let Some(d) = inst.def() {
+        live.remove(d);
+    }
+    for u in inst.uses() {
+        live.insert(u);
+    }
+}
+
+/// Per-function liveness: block-level live-in/live-out sets.
+#[derive(Debug)]
+pub struct Liveness {
+    live_in: Vec<SlotSet>,
+    live_out: Vec<SlotSet>,
+}
+
+impl Liveness {
+    /// Computes liveness for `f` by iterating the backward dataflow to a
+    /// fixed point (blocks are few; no worklist finesse needed).
+    pub fn compute(f: &Function) -> Self {
+        let n = f.blocks.len();
+        let nslots = f.slots.len();
+        let mut live_in = vec![SlotSet::new(nslots); n];
+        let mut live_out = vec![SlotSet::new(nslots); n];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in (0..n).rev() {
+                let block = &f.blocks[b];
+                let mut out = SlotSet::new(nslots);
+                for succ in block.term.successors() {
+                    out.union_with(&live_in[succ.0 as usize]);
+                }
+                let mut live = out.clone();
+                match &block.term {
+                    Terminator::Br { cond, .. } => {
+                        live.insert(*cond);
+                    }
+                    Terminator::Ret(Some(s)) => {
+                        live.insert(*s);
+                    }
+                    _ => {}
+                }
+                for node in block.insts.iter().rev() {
+                    transfer(&mut live, &node.inst);
+                }
+                changed |= live_out[b] != out;
+                live_out[b] = out;
+                changed |= live_in[b] != live;
+                live_in[b] = live;
+            }
+        }
+        Liveness { live_in, live_out }
+    }
+
+    /// Slots live on entry to block `b`.
+    pub fn live_in(&self, b: usize) -> &SlotSet {
+        &self.live_in[b]
+    }
+
+    /// Slots live on exit from block `b` (before the terminator's own
+    /// uses — i.e. the union of successor live-ins).
+    pub fn live_out(&self, b: usize) -> &SlotSet {
+        &self.live_out[b]
+    }
+
+    /// The "live after instruction `i`" sets for block `b`, computed by
+    /// one backward walk: entry `i` is the set of slots read at or after
+    /// instruction `i + 1` (including the terminator) on some path. The
+    /// returned vector has one entry per instruction.
+    pub fn live_after(&self, f: &Function, b: usize) -> Vec<SlotSet> {
+        let block = &f.blocks[b];
+        let mut live = self.live_out[b].clone();
+        match &block.term {
+            Terminator::Br { cond, .. } => {
+                live.insert(*cond);
+            }
+            Terminator::Ret(Some(s)) => {
+                live.insert(*s);
+            }
+            _ => {}
+        }
+        let mut after = vec![SlotSet::new(f.slots.len()); block.insts.len()];
+        for (i, node) in block.insts.iter().enumerate().rev() {
+            after[i] = live.clone();
+            transfer(&mut live, &node.inst);
+        }
+        after
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::effects::IntrinsicTable;
+    use crate::lower::lower_program;
+    use crate::repr::Module;
+
+    fn module(src: &str) -> Module {
+        let unit = commset_lang::compile_unit(src).unwrap();
+        lower_program(&unit.program, IntrinsicTable::new()).unwrap()
+    }
+
+    #[test]
+    fn loop_variable_is_live_around_the_backedge() {
+        let m = module(
+            "int main() { int s = 0; for (int i = 0; i < 10; i = i + 1) { s = s + i; } return s; }",
+        );
+        let f = m.funcs.iter().find(|f| f.name == "main").unwrap();
+        let lv = Liveness::compute(f);
+        // Find the block whose terminator is the conditional branch: both
+        // the accumulator and the induction variable must be live into it.
+        let (header, _) = f
+            .blocks
+            .iter()
+            .enumerate()
+            .find(|(_, b)| matches!(b.term, Terminator::Br { .. }))
+            .expect("loop header");
+        let live = lv.live_in(header);
+        let live_count = (0..f.slots.len())
+            .filter(|i| live.contains(Slot(*i as u32)))
+            .count();
+        assert!(live_count >= 2, "s and i live at the header");
+    }
+
+    #[test]
+    fn dead_compare_temp_is_not_live_after_its_branch_block() {
+        let m = module("int main() { int i = 3; if (i < 5) { return 1; } return 0; }");
+        let f = m.funcs.iter().find(|f| f.name == "main").unwrap();
+        let lv = Liveness::compute(f);
+        for (b, block) in f.blocks.iter().enumerate() {
+            if let Terminator::Br { cond, .. } = block.term {
+                assert!(
+                    !lv.live_out(b).contains(cond),
+                    "the compare temp feeds only the branch"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn live_after_tracks_intra_block_reads() {
+        let m = module("int main() { int a = 1; int b = a + 2; int c = b * 3; return c; }");
+        let f = m.funcs.iter().find(|f| f.name == "main").unwrap();
+        let lv = Liveness::compute(f);
+        let after = lv.live_after(f, 0);
+        let block = &f.blocks[0];
+        // Every def that is read later in the block is live right after
+        // its defining instruction.
+        for (i, node) in block.insts.iter().enumerate() {
+            if let Some(d) = node.inst.def() {
+                let read_later = block.insts[i + 1..]
+                    .iter()
+                    .any(|n| n.inst.uses().contains(&d))
+                    || matches!(block.term, Terminator::Ret(Some(s)) if s == d);
+                assert_eq!(after[i].contains(d), read_later, "inst {i}");
+            }
+        }
+    }
+}

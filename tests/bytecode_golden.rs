@@ -1,0 +1,93 @@
+//! Golden bytecode listings: each `samples/bytecode/*.cmm` fixture is
+//! compiled to the interpreter's flat register bytecode and the
+//! disassembled listing (what `commsetc compile --dump-bytecode` prints)
+//! must match the sibling `.bc` file byte for byte. This pins the
+//! compiled backend's lowering — register allocation, block offsets,
+//! superinstruction fusion, retire weights — so a codegen change shows
+//! up as a readable listing diff, not as a silent perf or semantics
+//! drift.
+//!
+//! To refresh a golden after an intentional change, rerun with
+//! `BYTECODE_GOLDEN_REGEN=1` and review the resulting diff.
+
+use commset::spec::{build_table, parse_effects};
+use commset::Compiler;
+use commset_interp::{print_bc_module, BcModule};
+
+fn fixture_dir() -> &'static str {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../samples/bytecode")
+}
+
+fn listing(name: &str) -> String {
+    let path = format!("{}/{name}.cmm", fixture_dir());
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let spec = parse_effects("").expect("empty sidecar parses");
+    let table = build_table(&src, &spec).expect("fixture tables must build");
+    let compiler = Compiler::new(table);
+    let analysis = compiler
+        .analyze(&src)
+        .unwrap_or_else(|d| panic!("{name}: {d}"));
+    let module = compiler
+        .compile_sequential(&analysis)
+        .unwrap_or_else(|d| panic!("{name}: {d}"));
+    let bc = BcModule::compile(&module);
+    print_bc_module(&module, &bc)
+}
+
+fn check_golden(name: &str) {
+    let path = format!("{}/{name}.bc", fixture_dir());
+    let got = listing(name);
+    if std::env::var_os("BYTECODE_GOLDEN_REGEN").is_some() {
+        std::fs::write(&path, &got).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    assert_eq!(
+        got, want,
+        "{name}: bytecode listing drifted from its golden file"
+    );
+}
+
+#[test]
+fn rmw_loop_listing_is_stable() {
+    check_golden("rmw_loop");
+}
+
+/// The fixture is chosen to exercise every superinstruction: the golden
+/// must actually contain fused RMWs, fused compare-and-branch, immediate
+/// operands and a non-trivial retire weight — otherwise the listing
+/// pins nothing interesting.
+#[test]
+fn rmw_loop_listing_exercises_the_superinstructions() {
+    let got = listing("rmw_loop");
+    assert!(got.contains("cmpbr"), "fused compare-and-branch:\n{got}");
+    assert!(got.contains("; w"), "non-trivial retire weights:\n{got}");
+    assert!(got.contains(" #"), "immediate operands:\n{got}");
+    assert!(
+        got.lines()
+            .any(|l| l.contains("[r") && l.matches("@h[").count() == 2),
+        "fused array read-modify-write:\n{got}"
+    );
+    assert!(got.contains("call !"), "inline-cached call sites:\n{got}");
+}
+
+/// Every fixture has a golden and every golden has a fixture — no
+/// orphans in either direction.
+#[test]
+fn fixtures_and_goldens_pair_up() {
+    let mut cmm = Vec::new();
+    let mut bc = Vec::new();
+    for entry in std::fs::read_dir(fixture_dir()).expect("samples/bytecode exists") {
+        let name = entry.expect("dir entry").file_name();
+        let name = name.to_string_lossy().into_owned();
+        if let Some(stem) = name.strip_suffix(".cmm") {
+            cmm.push(stem.to_string());
+        } else if let Some(stem) = name.strip_suffix(".bc") {
+            bc.push(stem.to_string());
+        }
+    }
+    cmm.sort();
+    bc.sort();
+    assert_eq!(cmm, bc, "each .cmm needs a matching .bc golden");
+    assert!(!cmm.is_empty(), "the golden corpus must not be empty");
+}
