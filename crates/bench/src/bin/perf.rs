@@ -21,6 +21,14 @@
 //!   simulated executor under both execution engines and fail if the
 //!   compiled bytecode backend is not strictly faster than the
 //!   tree-walk engine on any applicable cell.
+//! * `--diff OLD.json [--against NEW.json]` — the noise-aware perf
+//!   regression gate: diff a candidate report against the committed
+//!   baseline cell-by-cell (tight 5% band on the deterministic
+//!   simulator columns, factor + absolute-floor band on the noisy
+//!   wall-clock columns — see `commset_bench::diff`). Without
+//!   `--against`, a quick suite runs in-process as the candidate.
+//!   Exit 1 on any regression; unknown flags and unreadable files
+//!   exit 2 with the usage line.
 //!
 //! Workloads whose registries declare merge operators get a third
 //! `deltas` cell per DOALL row (CCD-style privatization), with the
@@ -44,6 +52,8 @@
 //! benchmark that computes the wrong answer aborts.
 
 use commset::Scheme;
+use commset_bench::diff::{diff_reports, DiffConfig};
+use commset_interp::bundle::Json;
 use commset_interp::{Backend, Engine, ExecConfig, RecoveryPolicy, ThreadOutcome, WorldMode};
 use commset_runtime::{DeltaSnapshot, ShardStatsSnapshot};
 use commset_sim::CostModel;
@@ -364,20 +374,78 @@ fn engine_smoke() {
     eprintln!("engine smoke: {cells} cell(s), bytecode strictly faster and oracle-identical");
 }
 
+/// Usage-error exit: the usage line on stderr, status 2 (so CI can tell
+/// a mis-invocation from a perf regression, which exits 1).
+fn usage() -> ! {
+    eprintln!(
+        "usage: perf [--quick] [--iters K] [--out PATH] \
+         [--delta-smoke WORKLOAD] [--engine-smoke] \
+         [--diff OLD.json [--against NEW.json]]"
+    );
+    std::process::exit(2);
+}
+
+fn read_report(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: {path}: {e}");
+        usage();
+    });
+    Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("error: {path}: {e}");
+        usage();
+    })
+}
+
+/// The `--diff` mode: baseline vs candidate (a saved report, or a fresh
+/// in-process quick run). Exits 1 when any column regressed.
+fn run_diff(old_path: &str, against: Option<&str>) -> ! {
+    let old = read_report(old_path);
+    let new = match against {
+        Some(path) => read_report(path),
+        None => {
+            eprintln!("no --against report: running the quick suite as the candidate");
+            let (json, _) = run_suite(true, 1);
+            Json::parse(&json).expect("in-process report serializes round-trip")
+        }
+    };
+    let report = diff_reports(&old, &new, &DiffConfig::default()).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        usage();
+    });
+    print!("{}", report.render_text());
+    if report.regressions().is_empty() {
+        std::process::exit(0);
+    }
+    std::process::exit(1);
+}
+
 fn main() {
     let mut quick = false;
     let mut iters = 3usize;
     let mut out_path = "BENCH_PARALLEL.json".to_string();
+    let mut diff_path: Option<String> = None;
+    let mut against: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => quick = true,
             "--iters" => {
-                iters = args.next().and_then(|v| v.parse().ok()).expect("--iters K");
+                iters = match args.next().and_then(|v| v.parse().ok()) {
+                    Some(k) => k,
+                    None => usage(),
+                };
             }
-            "--out" => out_path = args.next().expect("--out PATH"),
+            "--out" => {
+                out_path = match args.next() {
+                    Some(p) => p,
+                    None => usage(),
+                }
+            }
             "--delta-smoke" => {
-                let name = args.next().expect("--delta-smoke WORKLOAD");
+                let name = match args.next() {
+                    Some(n) => n,
+                    None => usage(),
+                };
                 delta_smoke(&name);
                 return;
             }
@@ -385,12 +453,49 @@ fn main() {
                 engine_smoke();
                 return;
             }
-            other => panic!("unknown flag {other}"),
+            "--diff" => {
+                diff_path = match args.next() {
+                    Some(p) => Some(p),
+                    None => usage(),
+                }
+            }
+            "--against" => {
+                against = match args.next() {
+                    Some(p) => Some(p),
+                    None => usage(),
+                }
+            }
+            other => {
+                eprintln!("error: unknown flag `{other}`");
+                usage();
+            }
         }
+    }
+    if let Some(old_path) = &diff_path {
+        run_diff(old_path, against.as_deref());
+    }
+    if against.is_some() {
+        eprintln!("error: --against only applies with --diff");
+        usage();
     }
     if quick {
         iters = 1;
     }
+    let (json, rows) = run_suite(quick, iters);
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("writing {out_path} failed: {e}"));
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!(
+        "wrote {out_path} ({rows} configurations, {iters} iteration(s), \
+         host has {host_threads} hardware thread(s))",
+    );
+}
+
+/// Runs the whole measurement matrix and serializes the report; returns
+/// `(json, row count)`. Shared by the default write-a-report mode and
+/// `--diff`'s in-process candidate.
+fn run_suite(quick: bool, iters: usize) -> (String, usize) {
     let threads: Vec<usize> = if quick { vec![2] } else { vec![1, 2, 4, 8] };
     let host_threads = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -624,11 +729,5 @@ fn main() {
     let _ = writeln!(json, "  ]");
     let _ = writeln!(json, "}}");
 
-    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("writing {out_path} failed: {e}"));
-    eprintln!(
-        "wrote {out_path} ({} configurations, {} iteration(s), host has {} hardware thread(s))",
-        rows.len(),
-        iters,
-        host_threads
-    );
+    (json, rows.len())
 }

@@ -14,6 +14,7 @@
 //! external dependencies) measure the compiler itself (`compiler_phases`)
 //! and the per-figure regeneration cost (`figures`).
 
+pub mod diff;
 pub mod table1;
 pub mod timing;
 

@@ -107,6 +107,9 @@ pub struct ControlledOutcome {
     pub globals: Vec<(String, Value)>,
     /// The region interleaving that was executed.
     pub log: Vec<RegionExec>,
+    /// VM steps spent (against the step budget) — the exploration
+    /// throughput denominator the metrics registry reports.
+    pub steps: u64,
 }
 
 /// A schedule: picks which paused worker advances next.
@@ -498,6 +501,7 @@ pub fn run_controlled(
     }
 
     Ok(ControlledOutcome {
+        steps: step_budget - machine.budget,
         world: machine.world,
         globals: snapshot_globals(module, &mut globals),
         log,
@@ -562,6 +566,7 @@ pub fn run_sequential_model(
         }
     }
     Ok(ControlledOutcome {
+        steps: step_budget - budget,
         world,
         globals: snapshot_globals(module, &mut globals),
         log: Vec::new(),

@@ -372,6 +372,9 @@ pub struct ScheduleOutcome {
     pub diffs: Vec<String>,
     /// Set if the run aborted (deadlock, budget, dynamic error).
     pub error: Option<String>,
+    /// VM steps the schedule spent (0 when the run aborted before
+    /// reporting), feeding the checker throughput metrics.
+    pub steps: u64,
 }
 
 impl ScheduleOutcome {
@@ -481,6 +484,17 @@ impl Campaign {
         window: Option<usize>,
         sched: &mut dyn Scheduler,
     ) -> Result<(Vec<String>, Vec<RegionExec>), String> {
+        self.run_with_scheduler_counted(window, sched)
+            .map(|(diffs, log, _)| (diffs, log))
+    }
+
+    /// [`Campaign::run_with_scheduler`] plus the VM steps the run spent —
+    /// the exploration-throughput numerator the metrics registry reports.
+    pub fn run_with_scheduler_counted(
+        &self,
+        window: Option<usize>,
+        sched: &mut dyn Scheduler,
+    ) -> Result<(Vec<String>, Vec<RegionExec>, u64), String> {
         let mut model = self.cfg.model.clone();
         model.sb_window = window;
         match run_controlled(
@@ -490,7 +504,11 @@ impl Campaign {
             sched,
             self.cfg.step_budget,
         ) {
-            Ok(outcome) => Ok((outcome_diffs(&self.oracle, &outcome), outcome.log)),
+            Ok(outcome) => Ok((
+                outcome_diffs(&self.oracle, &outcome),
+                outcome.log,
+                outcome.steps,
+            )),
             Err(e) => Err(e.to_string()),
         }
     }
@@ -499,13 +517,14 @@ impl Campaign {
     pub fn run_spec(&self, index: usize) -> ScheduleOutcome {
         let spec = &self.specs[index];
         let mut sched = spec.instantiate();
-        match self.run_with_scheduler(spec.window, sched.as_mut()) {
-            Ok((diffs, log)) => ScheduleOutcome {
+        match self.run_with_scheduler_counted(spec.window, sched.as_mut()) {
+            Ok((diffs, log, steps)) => ScheduleOutcome {
                 index,
                 name: spec.name(),
                 log,
                 diffs,
                 error: None,
+                steps,
             },
             Err(e) => ScheduleOutcome {
                 index,
@@ -513,8 +532,28 @@ impl Campaign {
                 log: Vec::new(),
                 diffs: Vec::new(),
                 error: Some(e),
+                steps: 0,
             },
         }
+    }
+
+    /// Folds a campaign's outcomes into a metrics registry:
+    /// `checker.schedules` / `checker.violations` / `checker.steps`
+    /// counters and the per-schedule `checker.schedule_steps` step
+    /// histogram. Deterministic for a given outcome list, and entirely
+    /// separate from [`CheckReport`] rendering (which stays byte-stable).
+    pub fn metrics(&self, outcomes: &[ScheduleOutcome]) -> commset_telemetry::MetricsRegistry {
+        let mut reg = commset_telemetry::MetricsRegistry::new();
+        reg.inc("checker.schedules", outcomes.len() as u64);
+        reg.inc(
+            "checker.violations",
+            outcomes.iter().filter(|o| o.violates()).count() as u64,
+        );
+        reg.inc("checker.steps", outcomes.iter().map(|o| o.steps).sum());
+        for o in outcomes {
+            reg.observe("checker.schedule_steps", o.steps);
+        }
+        reg
     }
 
     /// Merges per-schedule outcomes (in spec order) into the final
@@ -600,20 +639,40 @@ pub fn check_source(
     table: &IntrinsicTable,
     cfg: &CheckConfig,
 ) -> Result<CheckReport, Diagnostic> {
+    check_source_with_metrics(source, table, cfg).map(|(report, _)| report)
+}
+
+/// [`check_source`] plus the campaign's exploration-throughput metrics
+/// (`checker.schedules`, `checker.steps`, the per-schedule step
+/// histogram). The report is byte-identical to [`check_source`]'s; the
+/// registry is empty for skipped campaigns.
+///
+/// # Errors
+///
+/// As [`check_source`].
+pub fn check_source_with_metrics(
+    source: &str,
+    table: &IntrinsicTable,
+    cfg: &CheckConfig,
+) -> Result<(CheckReport, commset_telemetry::MetricsRegistry), Diagnostic> {
     let campaign = match prepare_campaign(source, table, cfg)? {
         PreparedCampaign::Ready(c) => c,
         PreparedCampaign::Skipped { reason, regions } => {
-            return Ok(CheckReport {
-                verdict: Verdict::Skipped { reason },
-                regions,
-                explored: Vec::new(),
-                violations: Vec::new(),
-                replay: None,
-            })
+            return Ok((
+                CheckReport {
+                    verdict: Verdict::Skipped { reason },
+                    regions,
+                    explored: Vec::new(),
+                    violations: Vec::new(),
+                    replay: None,
+                },
+                commset_telemetry::MetricsRegistry::new(),
+            ))
         }
     };
     let outcomes = pool::run_specs(&campaign);
-    Ok(campaign.merge(&outcomes))
+    let metrics = campaign.metrics(&outcomes);
+    Ok((campaign.merge(&outcomes), metrics))
 }
 
 #[cfg(test)]

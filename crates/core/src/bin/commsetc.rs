@@ -19,7 +19,12 @@
 //!                            [--capture-corpus]
 //! commsetc profile  prog.cmm --scheme dswp [--sync spin] [--threads N]
 //!                            [--effects prog.effects] [--real]
-//!                            [--trace-out run.json]
+//!                            [--trace-out run.json] [--metrics]
+//!                            [--journal-out run.jsonl] [--top N]
+//! commsetc report   prog.cmm --scheme dswp [--sync spin] [--threads N]
+//!                            [--effects prog.effects] [--real] [--top N]
+//!                            [--journal-out run.jsonl]
+//! commsetc report   --journal run.jsonl [--top N]
 //! ```
 //!
 //! `compile` lowers the program to the interpreter's flat register
@@ -64,6 +69,17 @@
 //! profiles); `--real` uses OS threads and monotonic clocks instead.
 //! `--trace-out FILE` also writes the span timeline as Chrome trace-event
 //! JSON, loadable in `chrome://tracing` or <https://ui.perfetto.dev>.
+//! `--metrics` additionally prints the hotspot registry (hot blocks,
+//! opcode mix, contended locks/channels, queue occupancy, counters);
+//! `--journal-out FILE` attaches the causal event journal and saves it
+//! as JSONL.
+//!
+//! `report` is the hotspot view: it runs the profile with the metrics
+//! registry and event journal always on and renders the causal run
+//! summary plus the top-`--top` hotspot tables. With `--journal FILE` it
+//! skips execution and renders a previously saved JSONL journal instead
+//! (the terminal `metrics` event embeds the registry, so saved journals
+//! are self-contained).
 //!
 //! Intrinsic *types* come from the source's `extern` declarations. Their
 //! *effects* come from an optional sidecar file (`--effects`), one line
@@ -85,19 +101,20 @@
 //! pure compute with cost 100.
 
 use commset::merge_law::validate_custom_merges;
-use commset::profile::run_profile;
+use commset::profile::run_profile_with;
 use commset::replay::{replay_bundle, run_profile_supervised, SyntheticSource};
+use commset::report::parse_journal;
 use commset::spec::{build_table, parse_effects};
 use commset::{Compiler, Scheme, SyncMode};
 use commset_checker::{check_source, fuzz_annotations};
 use commset_interp::{Engine, ExecConfig, FailureBundle, RecoveryPolicy};
 use commset_lang::printer::print_program;
-use commset_telemetry::chrome_trace_json;
+use commset_telemetry::{chrome_trace_json, Journal};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: commsetc <analyze|schedules|emit|compile|check|profile> <file.cmm> \
+        "usage: commsetc <analyze|schedules|emit|compile|check|profile|report> <file.cmm> \
          [--effects <file>] [--pdg] [--threads N] \
          [--scheme doall|dswp|ps-dswp] [--sync spin|mutex|tm|lib] \
          [--hot-func NAME] [--dump-bytecode] \
@@ -105,7 +122,9 @@ fn usage() -> ExitCode {
          [--budget N] [--seed N] [--jobs N] [--fuzz] \
          [--corpus DIR] [--capture-corpus] \
          [--trace-out <file.json>] [--real] \
+         [--metrics] [--journal-out <file.jsonl>] [--top N] \
          [--recover] [--deadline-ms N] [--max-retries N] [--repro-dir DIR]\n\
+         \u{20}      commsetc report --journal <run.jsonl> [--top N]\n\
          \u{20}      commsetc replay <bundle.repro.json>"
     );
     ExitCode::from(2)
@@ -131,6 +150,10 @@ struct Args {
     fuzz: bool,
     trace_out: Option<String>,
     real: bool,
+    metrics: bool,
+    journal: Option<String>,
+    journal_out: Option<String>,
+    top: usize,
     recover: bool,
     deadline_ms: Option<u64>,
     max_retries: Option<u32>,
@@ -142,11 +165,22 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
     let command = argv.next().ok_or("missing command")?;
     if !matches!(
         command.as_str(),
-        "analyze" | "schedules" | "emit" | "compile" | "check" | "profile" | "replay"
+        "analyze" | "schedules" | "emit" | "compile" | "check" | "profile" | "report" | "replay"
     ) {
         return Err(format!("unknown command `{command}`"));
     }
-    let file = argv.next().ok_or("missing input file")?;
+    // `report --journal run.jsonl` has no source positional; a leading
+    // flag is pushed back into the flag loop instead of being eaten as
+    // the input file.
+    let mut pending_flag: Option<String> = None;
+    let file = match argv.next() {
+        Some(tok) if tok.starts_with("--") => {
+            pending_flag = Some(tok);
+            String::new()
+        }
+        Some(tok) => tok,
+        None => String::new(),
+    };
     let mut args = Args {
         command,
         file,
@@ -166,12 +200,16 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         fuzz: false,
         trace_out: None,
         real: false,
+        metrics: false,
+        journal: None,
+        journal_out: None,
+        top: 10,
         recover: false,
         deadline_ms: None,
         max_retries: None,
         repro_dir: None,
     };
-    while let Some(flag) = argv.next() {
+    while let Some(flag) = pending_flag.take().or_else(|| argv.next()) {
         let mut value = || argv.next().ok_or(format!("{flag} needs a value"));
         match flag.as_str() {
             "--effects" => args.effects = Some(value()?),
@@ -241,6 +279,18 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
             "--fuzz" => args.fuzz = true,
             "--trace-out" => args.trace_out = Some(value()?),
             "--real" => args.real = true,
+            "--metrics" => args.metrics = true,
+            "--journal" => args.journal = Some(value()?),
+            "--journal-out" => args.journal_out = Some(value()?),
+            "--top" => {
+                let t: usize = value()?
+                    .parse()
+                    .map_err(|_| "--top needs a number".to_string())?;
+                if t == 0 {
+                    return Err("--top must be at least 1".into());
+                }
+                args.top = t;
+            }
             "--recover" => args.recover = true,
             "--deadline-ms" => {
                 args.deadline_ms = Some(
@@ -259,6 +309,12 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
             "--repro-dir" => args.repro_dir = Some(value()?),
             other => return Err(format!("unknown flag `{other}`")),
         }
+    }
+    if args.file.is_empty() && !(args.command == "report" && args.journal.is_some()) {
+        return Err("missing input file".to_string());
+    }
+    if args.command == "report" && args.journal.is_none() && args.scheme.is_none() {
+        return Err("report needs --scheme doall|dswp|ps-dswp (or --journal FILE)".to_string());
     }
     Ok(args)
 }
@@ -348,6 +404,15 @@ fn capture_into_corpus(
 }
 
 fn run(args: &Args) -> Result<(), String> {
+    // `report --journal`: render a saved journal, no compilation at all.
+    if args.command == "report" {
+        if let Some(path) = &args.journal {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let report = parse_journal(&text).map_err(|e| format!("{path}: {e}"))?;
+            print!("{}", report.render_text(args.top));
+            return Ok(());
+        }
+    }
     let source = std::fs::read_to_string(&args.file).map_err(|e| format!("{}: {e}", args.file))?;
     let effects_text = match &args.effects {
         Some(path) => std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?,
@@ -472,10 +537,61 @@ fn run(args: &Args) -> Result<(), String> {
                 }
             }
         }
+        "report" => {
+            let scheme = args
+                .scheme
+                .ok_or("report needs --scheme doall|dswp|ps-dswp (or --journal FILE)")?;
+            // Deterministic causal run id: same program + knobs, same id.
+            let journal = Journal::new(Journal::derive_run_id(&[
+                &args.file,
+                &scheme.to_string(),
+                &args.sync.to_string(),
+                &args.threads.to_string(),
+                if args.real { "threads" } else { "sim" },
+            ]));
+            let cfg = ExecConfig {
+                telemetry: true,
+                metrics: true,
+                journal: Some(journal.clone()),
+                ..ExecConfig::default()
+            };
+            let out = run_profile_with(
+                &compiler,
+                &analysis,
+                &spec,
+                scheme,
+                args.threads,
+                args.sync,
+                args.real,
+                &cfg,
+            )?;
+            // Render through the journal loader: the live view and a
+            // saved `--journal` view of the same run are identical.
+            let jsonl = journal.to_jsonl();
+            let report = parse_journal(&jsonl)?;
+            print!("{}", report.render_text(args.top));
+            if let Some(t) = out.sim_time {
+                println!("total simulated time: {t} ticks");
+            }
+            if let Some(path) = &args.journal_out {
+                std::fs::write(path, &jsonl).map_err(|e| format!("{path}: {e}"))?;
+                eprintln!("wrote event journal to {path}");
+            }
+            Ok(())
+        }
         "profile" => {
             let scheme = args
                 .scheme
                 .ok_or("profile needs --scheme doall|dswp|ps-dswp")?;
+            let journal = (args.metrics || args.journal_out.is_some()).then(|| {
+                Journal::new(Journal::derive_run_id(&[
+                    &args.file,
+                    &scheme.to_string(),
+                    &args.sync.to_string(),
+                    &args.threads.to_string(),
+                    if args.real { "threads" } else { "sim" },
+                ]))
+            });
             if args.recover {
                 // Supervised profile: deadlines, transient retries, the
                 // degradation ladder, and failure-bundle capture.
@@ -483,6 +599,8 @@ fn run(args: &Args) -> Result<(), String> {
                     SyntheticSource::new(&args.file, &source, &effects_text, scheme, args.sync)?;
                 let cfg = ExecConfig {
                     telemetry: true,
+                    metrics: args.metrics,
+                    journal: journal.clone(),
                     ..ExecConfig::default()
                 };
                 let mut policy = RecoveryPolicy {
@@ -513,6 +631,23 @@ fn run(args: &Args) -> Result<(), String> {
                                 println!("(no telemetry: run completed on the sequential fallback)")
                             }
                         }
+                        if args.metrics {
+                            // The supervised outcome carries no registry;
+                            // the journal's terminal metrics event does.
+                            let from_journal = journal
+                                .as_ref()
+                                .and_then(|j| parse_journal(&j.to_jsonl()).ok())
+                                .and_then(|r| r.metrics);
+                            match from_journal {
+                                Some(reg) => print!("{}", reg.render_text(args.top)),
+                                None => println!("metrics:\n  (no metrics recorded)"),
+                            }
+                        }
+                        if let (Some(path), Some(j)) = (&args.journal_out, &journal) {
+                            std::fs::write(path, j.to_jsonl())
+                                .map_err(|e| format!("{path}: {e}"))?;
+                            eprintln!("wrote event journal to {path}");
+                        }
                         if out.recovery.is_clean() {
                             println!(
                                 "recovery: clean ({} attempt, no retries, no degradation)",
@@ -525,11 +660,24 @@ fn run(args: &Args) -> Result<(), String> {
                     }
                     Err(fail) => {
                         print!("{}", fail.recovery.render_text());
+                        // The journal of a terminally failed run is the
+                        // most interesting one; save it when asked.
+                        if let (Some(path), Some(j)) = (&args.journal_out, &journal) {
+                            if std::fs::write(path, j.to_jsonl()).is_ok() {
+                                eprintln!("wrote event journal to {path}");
+                            }
+                        }
                         Err(format!("supervised run failed terminally: {}", fail.error))
                     }
                 }
             } else {
-                let out = run_profile(
+                let cfg = ExecConfig {
+                    telemetry: true,
+                    metrics: args.metrics,
+                    journal: journal.clone(),
+                    ..ExecConfig::default()
+                };
+                let out = run_profile_with(
                     &compiler,
                     &analysis,
                     &spec,
@@ -537,8 +685,12 @@ fn run(args: &Args) -> Result<(), String> {
                     args.threads,
                     args.sync,
                     args.real,
+                    &cfg,
                 )?;
                 print!("{}", out.report.render_text());
+                if let Some(reg) = &out.metrics {
+                    print!("{}", reg.render_text(args.top));
+                }
                 if let Some(t) = out.sim_time {
                     println!("total simulated time: {t} ticks");
                 }
@@ -549,6 +701,10 @@ fn run(args: &Args) -> Result<(), String> {
                         "wrote Chrome trace to {path} \
                          (load in chrome://tracing or ui.perfetto.dev)"
                     );
+                }
+                if let (Some(path), Some(j)) = (&args.journal_out, &journal) {
+                    std::fs::write(path, j.to_jsonl()).map_err(|e| format!("{path}: {e}"))?;
+                    eprintln!("wrote event journal to {path}");
                 }
                 Ok(())
             }
@@ -785,10 +941,52 @@ mod tests {
         assert_eq!(a.scheme, Some(Scheme::Dswp));
         assert_eq!(a.trace_out.as_deref(), Some("run.json"));
         assert!(a.real);
-        // Defaults: DES backend, no trace export.
+        // Defaults: DES backend, no trace export, observability opt-in.
         let a = args(&["profile", "p.cmm", "--scheme", "doall"]).unwrap();
         assert!(!a.real);
         assert!(a.trace_out.is_none());
+        assert!(!a.metrics && a.journal.is_none() && a.journal_out.is_none());
+        assert_eq!(a.top, 10, "hotspot tables default to 10 rows");
+
+        let a = args(&[
+            "profile",
+            "p.cmm",
+            "--scheme",
+            "doall",
+            "--metrics",
+            "--journal-out",
+            "run.jsonl",
+            "--top",
+            "3",
+        ])
+        .unwrap();
+        assert!(a.metrics);
+        assert_eq!(a.journal_out.as_deref(), Some("run.jsonl"));
+        assert_eq!(a.top, 3);
+    }
+
+    #[test]
+    fn report_parses_live_and_saved_journal_forms() {
+        // Live: a source positional plus the usual schedule knobs.
+        let a = args(&["report", "p.cmm", "--scheme", "dswp", "--top", "5"]).unwrap();
+        assert_eq!(a.command, "report");
+        assert_eq!(a.file, "p.cmm");
+        assert_eq!(a.scheme, Some(Scheme::Dswp));
+        assert_eq!(a.top, 5);
+        // Saved: `--journal FILE` with no source positional at all.
+        let a = args(&["report", "--journal", "run.jsonl"]).unwrap();
+        assert_eq!(a.journal.as_deref(), Some("run.jsonl"));
+        assert!(a.file.is_empty());
+        // Without --journal, report still needs an input file.
+        let err = args(&["report", "--top", "4"]).unwrap_err();
+        assert!(err.contains("missing input file"), "{err}");
+        // A live report with no schedule knob is a usage error (exit 2),
+        // caught at parse time rather than deep inside run().
+        let err = args(&["report", "p.cmm"]).unwrap_err();
+        assert!(err.contains("report needs --scheme"), "{err}");
+        // And so does every other command.
+        let err = args(&["profile", "--scheme", "doall"]).unwrap_err();
+        assert!(err.contains("missing input file"), "{err}");
     }
 
     #[test]
@@ -820,6 +1018,11 @@ mod tests {
         // Zero checker threads would explore nothing in parallel mode.
         let err = args(&["check", "f.cmm", "--jobs", "0"]).unwrap_err();
         assert!(err.contains("--jobs"), "{err}");
+        // Zero hotspot rows would render empty tables.
+        let err = args(&["report", "f.cmm", "--top", "0"]).unwrap_err();
+        assert!(err.contains("--top"), "{err}");
+        assert!(args(&["report", "f.cmm", "--top", "many"]).is_err());
+        assert!(args(&["report", "--journal"]).is_err(), "value missing");
         assert!(args(&["check", "f.cmm", "--jobs", "many"]).is_err());
         assert!(
             args(&["check", "f.cmm", "--corpus"]).is_err(),

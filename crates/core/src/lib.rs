@@ -64,6 +64,7 @@ pub use commset_transform::{ParallelPlan, ParallelProgram, Scheme, SyncMode};
 pub mod merge_law;
 pub mod profile;
 pub mod replay;
+pub mod report;
 pub mod spec;
 
 /// The result of the analysis half of the pipeline: everything the

@@ -126,6 +126,8 @@ pub struct ProfileOutcome {
     /// Total simulated time, when the DES backend ran (`None` under
     /// `--real`).
     pub sim_time: Option<u64>,
+    /// The merged metrics registry, when `ExecConfig::metrics` was on.
+    pub metrics: Option<commset_telemetry::MetricsRegistry>,
 }
 
 /// Compiles `analysis` under `(scheme, threads, sync)` and profiles one
@@ -147,6 +149,32 @@ pub fn run_profile(
     sync: SyncMode,
     real: bool,
 ) -> Result<ProfileOutcome, String> {
+    let cfg = ExecConfig {
+        telemetry: true,
+        ..ExecConfig::default()
+    };
+    run_profile_with(compiler, analysis, spec, scheme, threads, sync, real, &cfg)
+}
+
+/// [`run_profile`] with a caller-supplied [`ExecConfig`] — the hook for
+/// `--metrics` (hotspot registry) and an attached event journal.
+/// Telemetry is forced on regardless of `cfg.telemetry`: a profile
+/// without a span report is not a profile.
+///
+/// # Errors
+///
+/// As [`run_profile`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_profile_with(
+    compiler: &Compiler,
+    analysis: &Analysis,
+    spec: &EffectsSpec,
+    scheme: Scheme,
+    threads: usize,
+    sync: SyncMode,
+    real: bool,
+    cfg: &ExecConfig,
+) -> Result<ProfileOutcome, String> {
     let (module, plan) = compiler
         .compile(analysis, scheme, threads, sync)
         .map_err(|d| d.to_string())?;
@@ -154,7 +182,7 @@ pub fn run_profile(
     let mut world = synthetic_world();
     let cfg = ExecConfig {
         telemetry: true,
-        ..ExecConfig::default()
+        ..cfg.clone()
     };
     let plans = [plan];
     if real {
@@ -163,6 +191,7 @@ pub fn run_profile(
         Ok(ProfileOutcome {
             report: out.telemetry.expect("telemetry was enabled"),
             sim_time: None,
+            metrics: out.metrics,
         })
     } else {
         let out = run_simulated_with(
@@ -177,6 +206,7 @@ pub fn run_profile(
         Ok(ProfileOutcome {
             report: out.telemetry.expect("telemetry was enabled"),
             sim_time: Some(out.sim_time),
+            metrics: out.metrics,
         })
     }
 }

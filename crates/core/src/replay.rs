@@ -292,6 +292,7 @@ mod tests {
             error: error.into(),
             rung: format!("{backend}(4)"),
             attempt: 1,
+            run_id: 0,
             history: vec![],
         }
     }

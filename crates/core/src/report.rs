@@ -1,0 +1,275 @@
+//! The `commsetc report` loader: turn a saved JSONL event journal back
+//! into a [`MetricsRegistry`] and a causal run summary.
+//!
+//! A metrics-enabled run ends with a `kind="metrics"` journal event whose
+//! `metrics` field embeds the merged registry JSON (escaped, as a string
+//! field — see `commset-telemetry`'s journal docs). This module parses
+//! the JSONL line-by-line with the same dependency-free [`Json`] reader
+//! the failure bundles use, re-parses that embedded payload, and rebuilds
+//! the registry through its public mutators — so `commsetc report
+//! --journal run.jsonl` renders the identical hotspot tables a live run
+//! would have printed.
+
+use commset_interp::bundle::Json;
+use commset_runtime::Hist64;
+use commset_telemetry::MetricsRegistry;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// What a saved journal says about its run: the causal summary plus the
+/// rebuilt metrics registry (absent when the run had metrics off).
+#[derive(Debug, Clone)]
+pub struct JournalReport {
+    /// The 16-hex-digit causal run id stamped on every event.
+    pub run_id: String,
+    /// Total journal events.
+    pub events: usize,
+    /// Event count per kind, e.g. `worker_done -> 8`.
+    pub kinds: BTreeMap<String, usize>,
+    /// Highest supervisor attempt ordinal seen (0 when unsupervised).
+    pub attempts: u64,
+    /// The `final_mode` field of the `run_end` event, when present.
+    pub final_mode: Option<String>,
+    /// Bundle paths from `bundle_captured` events, in capture order.
+    pub bundles: Vec<String>,
+    /// The rebuilt metrics registry from the terminal `metrics` event.
+    pub metrics: Option<MetricsRegistry>,
+}
+
+/// Rebuilds a [`MetricsRegistry`] from its [`MetricsRegistry::to_json`]
+/// encoding.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed section. Unknown keys are
+/// ignored so newer journals load under older readers.
+pub fn registry_from_json(v: &Json) -> Result<MetricsRegistry, String> {
+    fn fold(v: &Json, section: &str, mut f: impl FnMut(&str, u64)) -> Result<(), String> {
+        match v.get(section) {
+            None => Ok(()),
+            Some(Json::Obj(pairs)) => {
+                for (k, val) in pairs {
+                    let n = val
+                        .as_u64()
+                        .ok_or_else(|| format!("{section}.{k}: not a u64"))?;
+                    f(k, n);
+                }
+                Ok(())
+            }
+            Some(_) => Err(format!("{section}: not an object")),
+        }
+    }
+    let mut reg = MetricsRegistry::new();
+    fold(v, "counters", |k, n| reg.inc(k, n))?;
+    fold(v, "opcodes", |k, n| reg.record_opcode(k, n))?;
+    fold(v, "blocks", |k, n| reg.record_block(k, n))?;
+    match v.get("hists") {
+        None => {}
+        Some(Json::Obj(pairs)) => {
+            for (k, hv) in pairs {
+                let count = hv
+                    .get("count")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("hists.{k}: missing count"))?;
+                let sum = hv.get("sum").and_then(Json::as_u64).unwrap_or(0);
+                let max = hv.get("max").and_then(Json::as_u64).unwrap_or(0);
+                let buckets: Vec<u64> = hv
+                    .get("buckets")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| format!("hists.{k}: missing buckets"))?
+                    .iter()
+                    .map(|b| b.as_u64().ok_or_else(|| format!("hists.{k}: bad bucket")))
+                    .collect::<Result<_, _>>()?;
+                reg.merge_hist(k, &Hist64::from_parts(&buckets, count, sum, max));
+            }
+        }
+        Some(_) => return Err("hists: not an object".to_string()),
+    }
+    Ok(reg)
+}
+
+/// Parses a saved JSONL journal into a [`JournalReport`].
+///
+/// Each non-empty line must be one JSON object; the terminal
+/// `kind="metrics"` event (the last one, if several) supplies the
+/// registry.
+///
+/// # Errors
+///
+/// Returns a line-numbered diagnostic for unparsable lines or a
+/// malformed embedded metrics payload.
+pub fn parse_journal(text: &str) -> Result<JournalReport, String> {
+    let mut report = JournalReport {
+        run_id: String::new(),
+        events: 0,
+        kinds: BTreeMap::new(),
+        attempts: 0,
+        final_mode: None,
+        bundles: Vec::new(),
+        metrics: None,
+    };
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let ev = Json::parse(line).map_err(|e| format!("journal line {}: {e}", lineno + 1))?;
+        report.events += 1;
+        if let Some(run) = ev.get("run").and_then(Json::as_str) {
+            if report.run_id.is_empty() {
+                report.run_id = run.to_string();
+            }
+        }
+        let kind = ev
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("journal line {}: missing kind", lineno + 1))?
+            .to_string();
+        if let Some(a) = ev.get("attempt").and_then(Json::as_u64) {
+            report.attempts = report.attempts.max(a);
+        }
+        let fields = ev.get("fields");
+        match kind.as_str() {
+            "run_end" => {
+                report.final_mode = fields
+                    .and_then(|f| f.get("final_mode"))
+                    .and_then(Json::as_str)
+                    .map(str::to_string);
+            }
+            "bundle_captured" => {
+                if let Some(p) = fields.and_then(|f| f.get("path")).and_then(Json::as_str) {
+                    report.bundles.push(p.to_string());
+                }
+            }
+            "metrics" => {
+                let payload = fields
+                    .and_then(|f| f.get("metrics"))
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| {
+                        format!("journal line {}: metrics event without payload", lineno + 1)
+                    })?;
+                let parsed = Json::parse(payload)
+                    .map_err(|e| format!("journal line {}: embedded metrics: {e}", lineno + 1))?;
+                report.metrics = Some(registry_from_json(&parsed)?);
+            }
+            _ => {}
+        }
+        *report.kinds.entry(kind).or_insert(0) += 1;
+    }
+    if report.events == 0 {
+        return Err("journal is empty".to_string());
+    }
+    Ok(report)
+}
+
+impl JournalReport {
+    /// Renders the causal run summary followed by the hotspot tables
+    /// (`top` rows per table), matching the live `commsetc report`
+    /// layout.
+    pub fn render_text(&self, top: usize) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "run:      {}", self.run_id);
+        let _ = writeln!(s, "events:   {}", self.events);
+        let kinds: Vec<String> = self.kinds.iter().map(|(k, n)| format!("{k}={n}")).collect();
+        let _ = writeln!(s, "kinds:    {}", kinds.join(" "));
+        if self.attempts > 0 {
+            let _ = writeln!(s, "attempts: {}", self.attempts);
+        }
+        if let Some(m) = &self.final_mode {
+            let _ = writeln!(s, "final:    {m}");
+        }
+        for b in &self.bundles {
+            let _ = writeln!(s, "bundle:   {b}");
+        }
+        match &self.metrics {
+            Some(reg) => s.push_str(&reg.render_text(top)),
+            None => s.push_str("metrics:\n  (journal has no metrics event)\n"),
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commset_telemetry::{Journal, JournalEvent};
+
+    fn sample_registry() -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        m.inc("delta.applies", 7);
+        m.inc("shard.fast_acquires", 3);
+        m.observe("lock_wait.FS", 12);
+        m.observe("lock_wait.FS", 900);
+        m.observe("queue_occupancy.0", 2);
+        m.record_opcode("Bin", 41);
+        m.record_block("main:bb1", 420);
+        m
+    }
+
+    #[test]
+    fn registry_round_trips_through_journal_jsonl() {
+        let reg = sample_registry();
+        let j = Journal::new(0x00c0_ffee);
+        j.record(JournalEvent::new("run_start", 0).field("backend", "sim"));
+        j.record(
+            JournalEvent {
+                section: Some(0),
+                worker: Some(2),
+                ..JournalEvent::new("worker_done", 10)
+            }
+            .field("ok", "true"),
+        );
+        j.record_metrics(99, &reg);
+        let report = parse_journal(&j.to_jsonl()).unwrap();
+        assert_eq!(report.run_id, "0000000000c0ffee");
+        assert_eq!(report.events, 3);
+        assert_eq!(report.kinds["worker_done"], 1);
+        let loaded = report.metrics.expect("metrics event parsed");
+        // Counters, opcodes and blocks round-trip exactly; histograms
+        // round-trip bucket-exactly (count/sum/max preserved verbatim).
+        assert_eq!(loaded, reg);
+    }
+
+    #[test]
+    fn journal_without_metrics_reports_none() {
+        let j = Journal::new(5);
+        j.record(JournalEvent::new("run_start", 0));
+        let report = parse_journal(&j.to_jsonl()).unwrap();
+        assert!(report.metrics.is_none());
+        assert!(report.render_text(5).contains("no metrics event"));
+    }
+
+    #[test]
+    fn malformed_lines_are_line_numbered_errors() {
+        let err = parse_journal("{\"run\":\"x\",\"kind\":\"a\"}\nnot json\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(parse_journal("").unwrap_err().contains("empty"));
+        let err = parse_journal("{\"run\":\"x\"}\n").unwrap_err();
+        assert!(err.contains("missing kind"), "{err}");
+    }
+
+    #[test]
+    fn summary_tracks_attempts_bundles_and_final_mode() {
+        let j = Journal::new(1);
+        j.record(JournalEvent::new("run_start", 0));
+        j.record(JournalEvent {
+            attempt: Some(1),
+            ..JournalEvent::new("attempt_start", 1)
+        });
+        j.record(
+            JournalEvent {
+                attempt: Some(2),
+                ..JournalEvent::new("bundle_captured", 5)
+            }
+            .field("path", "target/repro/b.repro.json"),
+        );
+        j.record(JournalEvent::new("run_end", 9).field("final_mode", "threads(sharded, 8)"));
+        let report = parse_journal(&j.to_jsonl()).unwrap();
+        assert_eq!(report.attempts, 2);
+        assert_eq!(report.final_mode.as_deref(), Some("threads(sharded, 8)"));
+        assert_eq!(report.bundles, vec!["target/repro/b.repro.json"]);
+        let text = report.render_text(3);
+        assert!(text.contains("attempts: 2"));
+        assert!(text.contains("final:    threads(sharded, 8)"));
+    }
+}

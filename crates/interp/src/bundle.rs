@@ -278,6 +278,9 @@ pub struct FailureBundle {
     pub attempt: u32,
     /// Schedule excerpt: per-attempt error history up to the capture.
     pub history: Vec<String>,
+    /// Causal run id linking this bundle to the event journal of the run
+    /// that captured it (`0` when no journal was active).
+    pub run_id: u64,
 }
 
 fn opt_u64(v: Option<u64>) -> String {
@@ -359,6 +362,7 @@ impl FailureBundle {
         let _ = writeln!(out, "  \"error\": \"{}\",", escape(&self.error));
         let _ = writeln!(out, "  \"rung\": \"{}\",", escape(&self.rung));
         let _ = writeln!(out, "  \"attempt\": {},", self.attempt);
+        let _ = writeln!(out, "  \"run_id\": {},", self.run_id);
         let _ = writeln!(out, "  \"history\": [{}]", history.join(","));
         out.push('}');
         out
@@ -471,6 +475,8 @@ impl FailureBundle {
             rung: str_field("rung")?,
             attempt: u64_field("attempt")? as u32,
             history,
+            // Older bundles predate the event journal: default 0.
+            run_id: v.get("run_id").and_then(Json::as_u64).unwrap_or(0),
         })
     }
 
@@ -541,6 +547,7 @@ mod tests {
             rung: "threads(sharded, 8)".into(),
             attempt: 2,
             history: vec!["first error \"quoted\"".into()],
+            run_id: 0xdead_beef_0042_1111,
         }
     }
 

@@ -153,6 +153,54 @@ pub enum Op {
     Ret { src: Option<Reg> },
 }
 
+/// Display names of the opcode kinds, indexed by [`Op::kind`]. The
+/// metrics registry's per-opcode retire counts use these labels.
+pub const OPCODE_NAMES: [&str; 17] = [
+    "Const",
+    "Copy",
+    "Un",
+    "Bin",
+    "BinImm",
+    "Cast",
+    "LoadG",
+    "StoreG",
+    "LoadElem",
+    "StoreElem",
+    "ElemRmw",
+    "CallFunc",
+    "CallIntr",
+    "Jump",
+    "Br",
+    "CmpBr",
+    "Ret",
+];
+
+impl Op {
+    /// Dense opcode-kind index (an index into [`OPCODE_NAMES`]), used by
+    /// the metrics layer to count retires per opcode with one array add.
+    pub fn kind(&self) -> usize {
+        match self {
+            Op::Const { .. } => 0,
+            Op::Copy { .. } => 1,
+            Op::Un { .. } => 2,
+            Op::Bin { .. } => 3,
+            Op::BinImm { .. } => 4,
+            Op::Cast { .. } => 5,
+            Op::LoadG { .. } => 6,
+            Op::StoreG { .. } => 7,
+            Op::LoadElem { .. } => 8,
+            Op::StoreElem { .. } => 9,
+            Op::ElemRmw { .. } => 10,
+            Op::CallFunc { .. } => 11,
+            Op::CallIntr { .. } => 12,
+            Op::Jump { .. } => 13,
+            Op::Br { .. } => 14,
+            Op::CmpBr { .. } => 15,
+            Op::Ret { .. } => 16,
+        }
+    }
+}
+
 /// One compiled function.
 #[derive(Debug)]
 pub struct BcFunction {
@@ -174,6 +222,17 @@ pub struct BcFunction {
     regs_init: Vec<Value>,
     /// Local-array templates: (zero value, length) per array.
     arrays_init: Vec<(Value, usize)>,
+}
+
+impl BcFunction {
+    /// Index of the source basic block containing op offset `pc`
+    /// (hot-block attribution: `block_offsets` is sorted ascending, so
+    /// this is the last block starting at or before `pc`).
+    pub fn block_of(&self, pc: u32) -> usize {
+        self.block_offsets
+            .partition_point(|off| *off <= pc)
+            .saturating_sub(1)
+    }
 }
 
 /// A whole module compiled to bytecode, indexed by [`FuncId`].
@@ -762,6 +821,17 @@ impl<'m> BcVm<'m> {
             Some(fr) => &self.bc.funcs[fr.func.0 as usize].name,
             None => "<finished>",
         }
+    }
+
+    /// The `(function id, op offset)` the next [`step`](Self::step) will
+    /// retire, or `None` once finished. The metrics layer samples this
+    /// *before* stepping to attribute the retired cost to an opcode kind
+    /// and a source basic block.
+    pub fn site(&self) -> Option<(u32, u32)> {
+        if self.finished {
+            return None;
+        }
+        self.frames.last().map(|fr| (fr.func.0, fr.pc))
     }
 
     /// Supplies the result of the pending intrinsic call and advances.

@@ -105,6 +105,18 @@ pub struct ExecConfig {
     /// Interpretation engine driving each worker VM
     /// ([`Engine::Auto`] by default, which selects the bytecode backend).
     pub engine: Engine,
+    /// Collect metrics-registry observability (bytecode per-opcode retire
+    /// counts and hot-block ranks, lock/channel wait histograms, queue
+    /// occupancy, delta merge sizes) and attach a merged
+    /// `commset_telemetry::MetricsRegistry` to the outcome. Off by
+    /// default; when off the executors consult only this flag, and on the
+    /// DES every recording is passive (no modeled clock is touched), so
+    /// simulated time is bit-identical with metrics on or off.
+    pub metrics: bool,
+    /// When set, the executors and the supervisor append causally-ID'd
+    /// events (run → attempt → rung → section → worker) to this shared
+    /// journal; off (`None`) by default.
+    pub journal: Option<commset_telemetry::Journal>,
 }
 
 impl Default for ExecConfig {
@@ -119,6 +131,8 @@ impl Default for ExecConfig {
             telemetry: false,
             deadline_ms: None,
             engine: Engine::Auto,
+            metrics: false,
+            journal: None,
         }
     }
 }
@@ -159,6 +173,8 @@ mod tests {
         assert_eq!(c.world, WorldMode::Auto);
         assert!(c.queue_batch >= 1);
         assert!(!c.telemetry, "telemetry must be opt-in");
+        assert!(!c.metrics, "the metrics registry must be opt-in");
+        assert!(c.journal.is_none(), "the event journal must be opt-in");
         assert!(c.deadline_ms.is_none(), "deadlines must be opt-in");
         assert_eq!(c.engine, Engine::Auto);
         assert_eq!(

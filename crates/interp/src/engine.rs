@@ -127,6 +127,17 @@ impl<'m> EngineVm<'m> {
         }
     }
 
+    /// The compiled-engine `(function id, op offset)` the next step will
+    /// retire (see [`BcVm::site`]); `None` on the tree-walk engine (the
+    /// metrics registry's opcode/hot-block attribution is a property of
+    /// the compiled form) or once finished.
+    pub fn bc_site(&self) -> Option<(u32, u32)> {
+        match self {
+            EngineVm::Tree(_) => None,
+            EngineVm::Bc(vm) => vm.site(),
+        }
+    }
+
     /// See [`Vm::resolve_special`].
     pub fn resolve_special(&mut self, value: Value) {
         match self {

@@ -50,6 +50,7 @@ pub mod config;
 pub mod engine;
 pub mod error;
 pub mod globals;
+pub mod metrics;
 pub mod seq;
 pub mod sim_exec;
 pub mod supervise;
@@ -62,6 +63,7 @@ pub use bytecode::{print_bc_function, print_bc_module, BcModule, BcVm};
 pub use config::{Engine, ExecConfig, WorldMode};
 pub use engine::{prepare_engine, program_cost_factor, EngineVm};
 pub use error::ExecError;
+pub use metrics::MetricsLocal;
 pub use seq::{run_sequential, run_sequential_with};
 pub use sim_exec::{run_simulated, run_simulated_with, SimOutcome, SimStats};
 pub use supervise::{

@@ -18,6 +18,7 @@ use crate::config::{ExecConfig, WorldMode};
 use crate::engine::{prepare_engine, program_cost_factor, EngineVm};
 use crate::error::ExecError;
 use crate::globals::PlainGlobals;
+use crate::metrics::MetricsLocal;
 use crate::trace::{TraceEvent, TraceSink};
 use crate::vm::{PendingSpecial, StepOutcome};
 use commset_ir::Module;
@@ -30,7 +31,8 @@ use commset_sim::{
     pick_min_clock, CostModel, PopOutcome, PushOutcome, SimLock, SimLockKind, SimQueue, TmModel,
 };
 use commset_telemetry::{
-    ClockUnit, RunCounters, RunReport, SectionMeta, SpanKind, SpanRecord, TelemetrySink,
+    ClockUnit, JournalEvent, MetricsRegistry, RunCounters, RunReport, SectionMeta, SpanKind,
+    SpanRecord, TelemetrySink,
 };
 use commset_transform::{ParallelPlan, SyncMode};
 use std::collections::HashMap;
@@ -73,6 +75,42 @@ pub struct SimOutcome {
     /// was on. Timestamps are deterministic logical ticks, so the report
     /// is bit-identical across runs.
     pub telemetry: Option<RunReport>,
+    /// The merged metrics registry (opcode retires, hot-block ranks,
+    /// lock/channel wait histograms, queue occupancy, delta merge
+    /// sizes), present iff [`ExecConfig::metrics`] was on. Recording is
+    /// passive — no modeled clock is touched — so `sim_time` is
+    /// bit-identical with metrics on or off.
+    pub metrics: Option<MetricsRegistry>,
+}
+
+/// Run-wide metrics accumulation: a no-op (one bool check per call) when
+/// the metrics registry is off. The DES is single-threaded, so one local
+/// accumulator serves every virtual worker and there is no sink.
+struct SimMetrics {
+    on: bool,
+    reg: MetricsRegistry,
+    local: MetricsLocal,
+}
+
+impl SimMetrics {
+    fn retire(
+        &mut self,
+        bc: Option<&crate::bytecode::BcModule>,
+        site: Option<(u32, u32)>,
+        cost: u64,
+    ) {
+        if self.on {
+            if let (Some(bc), Some(site)) = (bc, site) {
+                self.local.retire(bc, site, cost);
+            }
+        }
+    }
+
+    fn observe(&mut self, name: &str, v: u64) {
+        if self.on {
+            self.reg.observe(name, v);
+        }
+    }
 }
 
 /// Per-section span collection: a no-op (one bool check per call) when
@@ -155,11 +193,23 @@ pub fn run_simulated_with(
     let mut sim_time: u64 = 0;
     let mut stats = SimStats::default();
     let sink = cfg.telemetry.then(TelemetrySink::new);
+    let mut mx = SimMetrics {
+        on: cfg.metrics,
+        reg: MetricsRegistry::new(),
+        local: MetricsLocal::new(),
+    };
     let mut metas: Vec<SectionMeta> = Vec::new();
     let mut next_ord = 0usize;
     loop {
+        // Sampled before the step so a retired op attributes to the site
+        // that produced it; `None` when metrics are off or the engine is
+        // the tree-walk VM.
+        let site = if mx.on { vm.bc_site() } else { None };
         match vm.step(&mut globals)? {
-            StepOutcome::Ran { cost } => sim_time += factor * cost * cm.inst,
+            StepOutcome::Ran { cost } => {
+                sim_time += factor * cost * cm.inst;
+                mx.retire(bc.as_ref(), site, cost);
+            }
             StepOutcome::Special(p) => {
                 let name = module.intrinsics.name(p.intrinsic.0 as usize);
                 if name == "__par_invoke" {
@@ -174,6 +224,14 @@ pub fn run_simulated_with(
                         spans: Vec::new(),
                     };
                     next_ord += 1;
+                    if let Some(j) = &cfg.journal {
+                        j.record(JournalEvent {
+                            section: Some((next_ord - 1) as u64),
+                            ..JournalEvent::new("section_start", sim_time)
+                                .field("plan_section", section.to_string())
+                                .field("workers", plan.workers.len().to_string())
+                        });
+                    }
                     let (end, section_stats, meta) = run_section(
                         module,
                         bc.as_ref(),
@@ -186,7 +244,14 @@ pub fn run_simulated_with(
                         cfg,
                         &injector,
                         &mut telem,
+                        &mut mx,
                     )?;
+                    if let Some(j) = &cfg.journal {
+                        j.record(JournalEvent {
+                            section: Some((next_ord - 1) as u64),
+                            ..JournalEvent::new("section_end", end)
+                        });
+                    }
                     sim_time = end;
                     merge_stats(&mut stats, section_stats);
                     if let (Some(s), Some(m)) = (sink.as_ref(), meta) {
@@ -212,6 +277,7 @@ pub fn run_simulated_with(
                         // The DES has no sharded world and no SPSC rings:
                         // empty-pop counts stand in for empty spins.
                         shard: Default::default(),
+                        delta: stats.delta,
                         tm_commits: stats.tm_commits,
                         tm_aborts: stats.tm_aborts,
                         tm_fallbacks: stats.tm_fallbacks,
@@ -221,11 +287,37 @@ pub fn run_simulated_with(
                     };
                     RunReport::build(ClockUnit::Ticks, s.take(), metas, counters)
                 });
+                let metrics = mx.on.then(|| {
+                    let mut reg = std::mem::take(&mut mx.reg);
+                    if let Some(bcm) = bc.as_ref() {
+                        mx.local.publish(module, bcm, &mut reg);
+                    }
+                    reg.inc("delta.applies", stats.delta.applies);
+                    reg.inc("delta.coalesces", stats.delta.coalesces);
+                    reg.inc("delta.merged_slots", stats.delta.merged_slots);
+                    reg.inc("delta.lock_elisions", stats.delta.lock_elisions);
+                    reg.inc("tm.commits", stats.tm_commits);
+                    reg.inc("tm.aborts", stats.tm_aborts);
+                    reg.inc("tm.fallbacks", stats.tm_fallbacks);
+                    reg.inc("queue.pushes", stats.queue_pushes);
+                    reg.inc("queue.empty_pops", stats.queue_stalls);
+                    if let Some(j) = &cfg.journal {
+                        j.record_metrics(sim_time, &reg);
+                    }
+                    reg
+                });
+                if let Some(j) = &cfg.journal {
+                    j.record(
+                        JournalEvent::new("sim_finished", sim_time)
+                            .field("sim_time", sim_time.to_string()),
+                    );
+                }
                 return Ok(SimOutcome {
                     result,
                     sim_time,
                     stats,
                     telemetry,
+                    metrics,
                 });
             }
         }
@@ -296,6 +388,7 @@ fn run_section<'m>(
     cfg: &ExecConfig,
     injector: &FaultInjector,
     telem: &mut SectionTelemetry,
+    mx: &mut SimMetrics,
 ) -> Result<(u64, SimStats, Option<SectionMeta>), ExecError> {
     let lock_kind = match plan.sync {
         SyncMode::Spin => SimLockKind::Spin,
@@ -413,6 +506,7 @@ fn run_section<'m>(
             }
         }
         // Step worker i until it blocks, finishes, or completes one special.
+        let site = if mx.on { workers[i].vm.bc_site() } else { None };
         let step = workers[i]
             .vm
             .step(globals)
@@ -423,6 +517,7 @@ fn run_section<'m>(
         match step {
             StepOutcome::Ran { cost } => {
                 workers[i].clock += factor * cost * cm.inst;
+                mx.retire(bc, site, cost);
             }
             StepOutcome::Finished(_) => {
                 workers[i].status = WStatus::Done;
@@ -448,6 +543,7 @@ fn run_section<'m>(
                     injector,
                     watchdog.as_ref(),
                     telem,
+                    mx,
                 )?;
             }
         }
@@ -474,7 +570,9 @@ fn run_section<'m>(
         }
         delta.coalesces += 1;
         delta.applies += buf.applies;
+        let mut buf_slots = 0u64;
         for (slot, d) in buf.drain() {
+            buf_slots += 1;
             let spec = registry
                 .merge_of(&slot)
                 .expect("delta-routed slot has a merge spec");
@@ -487,6 +585,7 @@ fn run_section<'m>(
                 None => world.install_boxed(slot, d),
             }
         }
+        mx.observe("delta.merge_slots", buf_slots);
     }
 
     let end = workers
@@ -585,6 +684,7 @@ fn handle_special(
     injector: &FaultInjector,
     watchdog: Option<&Watchdog>,
     telem: &mut SectionTelemetry,
+    mx: &mut SimMetrics,
 ) -> Result<(), ExecError> {
     // Borrowed, not cloned: this runs once per special, on the hot path.
     let name = module.intrinsics.name(p.intrinsic.0 as usize);
@@ -627,10 +727,16 @@ fn handle_special(
                     if let Some(wd) = watchdog {
                         wd.acquired(i, l);
                     }
-                    if telem.on {
-                        let wait_from = workers[i].block_start.take().unwrap_or(t);
-                        if grant > wait_from {
+                    let wait_from = workers[i].block_start.take().unwrap_or(t);
+                    if grant > wait_from {
+                        if telem.on {
                             telem.span(i, wait_from, grant, SpanKind::LockWait { rank: l });
+                        }
+                        if mx.on {
+                            mx.observe(
+                                &format!("lock_wait.{}", plan.locks[l].set),
+                                grant - wait_from,
+                            );
                         }
                     }
                     workers[i].clock = grant + injector.lock_grant_delay();
@@ -647,7 +753,7 @@ fn handle_special(
                     if !was_blocked {
                         locks[l].pending += 1;
                         workers[i].lock_retry = true;
-                        if telem.on {
+                        if telem.on || mx.on {
                             workers[i].block_start = Some(t);
                         }
                     }
@@ -699,6 +805,12 @@ fn handle_special(
                         }
                         telem.span(i, t, t, SpanKind::QueuePush { queue: qid });
                     }
+                    if mx.on {
+                        mx.observe(
+                            &format!("queue_occupancy.{}", p.args[0].as_int()),
+                            queues[q].len() as u64,
+                        );
+                    }
                     workers[i].vm.resolve_special(Value::Int(0));
                     if let Some(tr) = &cfg.trace {
                         tr.record(
@@ -738,6 +850,12 @@ fn handle_special(
                             telem.span(i, bs, attempt, SpanKind::QueuePopWait { queue: qid });
                         }
                         telem.span(i, t, t, SpanKind::QueuePop { queue: qid });
+                    }
+                    if mx.on {
+                        mx.observe(
+                            &format!("queue_occupancy.{}", p.args[0].as_int()),
+                            queues[q].len() as u64,
+                        );
                     }
                     let v = Value::from_bits(bits, name == "__q_pop_f");
                     workers[i].vm.resolve_special(v);
@@ -867,6 +985,7 @@ fn handle_special(
             let ser = (factor * out.serialized_cost.unwrap_or(raw)).min(cost);
             let par = cost - ser;
             let mut start = workers[i].clock + par;
+            let base_start = start;
             // Instance-partitioned channels hold per-instance state: their
             // accesses do not serialize across workers (each instance is
             // its own cache lines).
@@ -875,6 +994,25 @@ fn handle_special(
                     continue;
                 }
                 start = start.max(channel_free.get(&c.0).copied().unwrap_or(0));
+            }
+            // Per-channel contention attribution: how long each serialized
+            // channel alone would have delayed this call past its ready
+            // point (passive — `start` is already settled above).
+            if mx.on && start > base_start {
+                let mut seen: Vec<u32> = Vec::new();
+                for c in sig.reads.iter().chain(&sig.writes) {
+                    if module.intrinsics.is_per_instance(*c) || seen.contains(&c.0) {
+                        continue;
+                    }
+                    seen.push(c.0);
+                    let free = channel_free.get(&c.0).copied().unwrap_or(0);
+                    if free > base_start {
+                        mx.observe(
+                            &format!("channel_wait.{}", module.intrinsics.channels.name(*c)),
+                            free - base_start,
+                        );
+                    }
+                }
             }
             let done = start + ser;
             if ser > 0 {
@@ -1286,6 +1424,59 @@ mod tests {
             commset_telemetry::chrome_trace_json(&report),
             commset_telemetry::chrome_trace_json(&again)
         );
+    }
+
+    #[test]
+    fn metrics_and_journal_do_not_perturb_the_sim_clock() {
+        let cm = CostModel::default();
+        let (module, plan) = compile_pipeline(4);
+        let run = |metrics: bool, journal: Option<commset_telemetry::Journal>| {
+            let mut world = World::new();
+            world.install("out", Vec::<i64>::new());
+            let cfg = ExecConfig {
+                metrics,
+                journal,
+                ..ExecConfig::default()
+            };
+            run_simulated_with(
+                &module,
+                &registry(),
+                std::slice::from_ref(&plan),
+                &mut world,
+                &cm,
+                &cfg,
+            )
+            .unwrap()
+        };
+        let off = run(false, None);
+        assert!(off.metrics.is_none(), "metrics must be opt-in");
+        let j = commset_telemetry::Journal::new(7);
+        let on = run(true, Some(j.clone()));
+        assert_eq!(
+            on.sim_time, off.sim_time,
+            "metrics + journal must not change simulated time"
+        );
+        let reg = on.metrics.expect("metrics were enabled");
+        assert!(!reg.opcodes().is_empty(), "opcode retires recorded");
+        assert!(
+            reg.blocks().keys().all(|b| b.contains(":bb")),
+            "hot blocks carry func:bbN names: {:?}",
+            reg.blocks().keys().collect::<Vec<_>>()
+        );
+        assert!(
+            reg.hists()
+                .keys()
+                .any(|k| k.starts_with("queue_occupancy.")),
+            "pipeline queues recorded occupancy: {:?}",
+            reg.hists().keys().collect::<Vec<_>>()
+        );
+        let jsonl = j.to_jsonl();
+        assert!(jsonl.contains("\"kind\":\"section_start\""), "{jsonl}");
+        assert!(jsonl.contains("\"kind\":\"section_end\""));
+        assert!(jsonl.contains("\"kind\":\"metrics\""));
+        // The registry is fully deterministic across runs.
+        let again = run(true, None);
+        assert_eq!(reg, again.metrics.unwrap());
     }
 
     #[test]

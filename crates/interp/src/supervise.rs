@@ -42,7 +42,7 @@ use commset_ir::Module;
 use commset_runtime::rng::SplitMix64;
 use commset_runtime::{Registry, Value, World};
 use commset_sim::CostModel;
-use commset_telemetry::{RecoveryReport, RunReport};
+use commset_telemetry::{JournalEvent, RecoveryReport, RunReport};
 use commset_transform::ParallelPlan;
 use std::path::PathBuf;
 
@@ -382,6 +382,7 @@ fn run_rung(
 
 /// Captures a failure bundle for `err` if `policy.bundle_dir` is set and
 /// none has been written yet; records the path in `report`.
+#[allow(clippy::too_many_arguments)]
 fn capture_bundle(
     src: &dyn ProgramSource,
     backend: Backend,
@@ -390,6 +391,7 @@ fn capture_bundle(
     policy: &RecoveryPolicy,
     report: &mut RecoveryReport,
     err: &AttemptError,
+    epoch: std::time::Instant,
 ) {
     let Some(dir) = &policy.bundle_dir else {
         return;
@@ -433,9 +435,20 @@ fn capture_bundle(
         rung: rung.describe(backend),
         attempt: report.attempts,
         history: report.errors.clone(),
+        run_id: cfg.journal.as_ref().map_or(0, |j| j.run_id()),
     };
     match bundle.write(dir) {
-        Ok(path) => report.bundle = Some(path.display().to_string()),
+        Ok(path) => {
+            if let Some(j) = &cfg.journal {
+                j.record(JournalEvent {
+                    attempt: Some(u64::from(report.attempts)),
+                    rung: Some(rung.describe(backend)),
+                    ..JournalEvent::new("bundle_captured", epoch.elapsed().as_nanos() as u64)
+                        .field("path", path.display().to_string())
+                });
+            }
+            report.bundle = Some(path.display().to_string());
+        }
         Err(e) => report.errors.push(format!("bundle capture failed: {e}")),
     }
 }
@@ -470,12 +483,35 @@ pub fn run_supervised(
     let mut rng = SplitMix64::new(policy.seed);
     let mut oracle: Option<(Option<Value>, World)> = None;
     let mut last_error: Option<ExecError> = None;
+    let epoch = std::time::Instant::now();
+    let now = || epoch.elapsed().as_nanos() as u64;
+    if let Some(j) = &cfg.journal {
+        j.record(
+            JournalEvent::new("run_start", now())
+                .field(
+                    "backend",
+                    match backend {
+                        Backend::Threads => "threads",
+                        Backend::Sim => "sim",
+                    },
+                )
+                .field("threads", threads.to_string())
+                .field("rungs", rungs.len().to_string()),
+        );
+    }
 
     for (ri, &rung) in rungs.iter().enumerate() {
         report.rungs.push(rung.describe(backend));
         let mut tries_left = policy.max_retries;
         loop {
             report.attempts += 1;
+            if let Some(j) = &cfg.journal {
+                j.record(JournalEvent {
+                    attempt: Some(u64::from(report.attempts)),
+                    rung: Some(rung.describe(backend)),
+                    ..JournalEvent::new("attempt_start", now())
+                });
+            }
             let attempt = run_rung(src, backend, rung, &cfg).and_then(|a| {
                 // Degraded parallel successes must preserve semantics.
                 if ri > 0 && rung != Rung::Sequential {
@@ -501,6 +537,15 @@ pub fn run_supervised(
                     report.final_mode = rung.describe(backend);
                     report.recovered = !report.errors.is_empty();
                     report.degraded = ri > 0;
+                    if let Some(j) = &cfg.journal {
+                        j.record(JournalEvent {
+                            attempt: Some(u64::from(report.attempts)),
+                            rung: Some(report.final_mode.clone()),
+                            ..JournalEvent::new("run_end", now())
+                                .field("degraded", report.degraded.to_string())
+                                .field("recovered", report.recovered.to_string())
+                        });
+                    }
                     return Ok(SupervisedOutcome {
                         result: a.result,
                         world: a.world,
@@ -510,7 +555,16 @@ pub fn run_supervised(
                 }
                 Err(e) => {
                     report.errors.push(e.render());
-                    capture_bundle(src, backend, rung, &cfg, policy, &mut report, &e);
+                    if let Some(j) = &cfg.journal {
+                        j.record(JournalEvent {
+                            attempt: Some(u64::from(report.attempts)),
+                            rung: Some(rung.describe(backend)),
+                            ..JournalEvent::new("attempt_error", now())
+                                .field("error", e.render())
+                                .field("transient", e.transient().to_string())
+                        });
+                    }
+                    capture_bundle(src, backend, rung, &cfg, policy, &mut report, &e, epoch);
                     if let AttemptError::Exec(err) = &e {
                         last_error = Some(err.clone());
                     }
@@ -518,7 +572,16 @@ pub fn run_supervised(
                         tries_left -= 1;
                         report.retries += 1;
                         let retry_no = policy.max_retries - tries_left;
-                        report.backoff_ms += backoff_sleep(policy, retry_no, &mut rng);
+                        let slept = backoff_sleep(policy, retry_no, &mut rng);
+                        report.backoff_ms += slept;
+                        if let Some(j) = &cfg.journal {
+                            j.record(JournalEvent {
+                                attempt: Some(u64::from(report.attempts)),
+                                rung: Some(rung.describe(backend)),
+                                ..JournalEvent::new("retry", now())
+                                    .field("backoff_ms", slept.to_string())
+                            });
+                        }
                         continue;
                     }
                     break; // descend to the next rung
@@ -528,6 +591,9 @@ pub fn run_supervised(
     }
 
     report.final_mode = "exhausted".to_string();
+    if let Some(j) = &cfg.journal {
+        j.record(JournalEvent::new("run_end", now()).field("final_mode", "exhausted"));
+    }
     let error = last_error.unwrap_or(ExecError::Canceled {
         stage: "<supervisor>".to_string(),
     });

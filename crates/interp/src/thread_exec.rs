@@ -19,6 +19,7 @@ use crate::config::{ExecConfig, WorldMode};
 use crate::engine::{prepare_engine, EngineVm};
 use crate::error::ExecError;
 use crate::globals::{AtomicGlobals, SharedGlobals};
+use crate::metrics::MetricsLocal;
 use crate::trace::{TraceEvent, TraceSink};
 use crate::vm::StepOutcome;
 use commset_ir::Module;
@@ -32,7 +33,8 @@ use commset_runtime::{
     WatchdogReport, World, DELTA_POISON_MSG,
 };
 use commset_telemetry::{
-    ClockUnit, RunCounters, RunReport, SectionMeta, SpanKind, SpanRecord, TelemetrySink,
+    ClockUnit, JournalEvent, MetricsRegistry, MetricsSink, RunCounters, RunReport, SectionMeta,
+    SpanKind, SpanRecord, TelemetrySink,
 };
 use commset_transform::{ParallelPlan, SyncMode};
 use std::collections::{HashMap, VecDeque};
@@ -129,6 +131,11 @@ pub struct ThreadOutcome {
     /// The unified profiling report, present iff [`ExecConfig::telemetry`]
     /// was on. Timestamps are monotonic nanoseconds since the run's start.
     pub telemetry: Option<RunReport>,
+    /// The merged metrics registry (opcode retires, hot-block ranks,
+    /// lock/channel wait histograms, queue occupancy, delta merge
+    /// sizes), present iff [`ExecConfig::metrics`] was on. Each worker
+    /// records into private local state and publishes once at exit.
+    pub metrics: Option<MetricsRegistry>,
 }
 
 /// Runs the transformed program on real threads with the default
@@ -172,11 +179,20 @@ pub fn run_threaded_with(
     let mut vm = EngineVm::for_name(module, bc.as_ref(), "main", &[])?;
     let mut stats = ThreadStats::default();
     let sink = cfg.telemetry.then(TelemetrySink::new);
+    let msink = cfg.metrics.then(MetricsSink::new);
+    let mut mlocal = cfg.metrics.then(MetricsLocal::new);
     let mut metas: Vec<SectionMeta> = Vec::new();
     let mut next_ord = 0usize;
     let result = loop {
+        // Sampled before the step so a retired op attributes to the site
+        // that produced it (main-thread sequential work).
+        let site = if mlocal.is_some() { vm.bc_site() } else { None };
         match vm.step(&mut globals)? {
-            StepOutcome::Ran { .. } => {}
+            StepOutcome::Ran { cost } => {
+                if let (Some(ml), Some(site), Some(bcm)) = (mlocal.as_mut(), site, bc.as_ref()) {
+                    ml.retire(bcm, site, cost);
+                }
+            }
             StepOutcome::Special(p) => {
                 let name = module.intrinsics.name(p.intrinsic.0 as usize);
                 if name == "__par_invoke" {
@@ -187,6 +203,14 @@ pub fn run_threaded_with(
                         .ok_or(ExecError::UnknownSection { section })?;
                     let ord = next_ord;
                     next_ord += 1;
+                    if let Some(j) = &cfg.journal {
+                        j.record(JournalEvent {
+                            section: Some(ord as u64),
+                            ..JournalEvent::new("section_start", start.elapsed().as_nanos() as u64)
+                                .field("plan_section", section.to_string())
+                                .field("workers", plan.workers.len().to_string())
+                        });
+                    }
                     let section_out = run_section(
                         module,
                         bc.as_ref(),
@@ -197,9 +221,16 @@ pub fn run_threaded_with(
                         cfg,
                         &injector,
                         sink.as_ref(),
+                        msink.as_ref(),
                         start,
                         ord,
                     )?;
+                    if let Some(j) = &cfg.journal {
+                        j.record(JournalEvent {
+                            section: Some(ord as u64),
+                            ..JournalEvent::new("section_end", start.elapsed().as_nanos() as u64)
+                        });
+                    }
                     merge_watchdog(&mut stats.watchdog, section_out.watchdog);
                     stats.queue_drained += section_out.drained;
                     stats.queue_full_spins += section_out.full_spins;
@@ -251,6 +282,7 @@ pub fn run_threaded_with(
             watchdog_clean: stats.watchdog.is_clean(),
             max_blocked: stats.watchdog.max_blocked,
             shard: stats.shard,
+            delta: stats.delta,
             tm_commits,
             tm_aborts: 0,
             tm_fallbacks: 0,
@@ -260,12 +292,34 @@ pub fn run_threaded_with(
         };
         RunReport::build(ClockUnit::Nanos, spans, metas, counters)
     });
+    let metrics = msink.map(|ms| {
+        let mut reg = ms.take();
+        if let (Some(ml), Some(bcm)) = (mlocal.as_ref(), bc.as_ref()) {
+            ml.publish(module, bcm, &mut reg);
+        }
+        reg.inc("shard.fast_acquires", stats.shard.fast_acquires);
+        reg.inc("shard.fast_waits", stats.shard.fast_waits);
+        reg.inc("shard.multi_acquires", stats.shard.multi_acquires);
+        reg.inc("shard.whole_acquires", stats.shard.whole_acquires);
+        reg.inc("queue.full_spins", stats.queue_full_spins);
+        reg.inc("queue.empty_spins", stats.queue_empty_spins);
+        reg.inc("queue.drained", stats.queue_drained);
+        reg.inc("delta.applies", stats.delta.applies);
+        reg.inc("delta.coalesces", stats.delta.coalesces);
+        reg.inc("delta.merged_slots", stats.delta.merged_slots);
+        reg.inc("delta.lock_elisions", stats.delta.lock_elisions);
+        if let Some(j) = &cfg.journal {
+            j.record_metrics(start.elapsed().as_nanos() as u64, &reg);
+        }
+        reg
+    });
     Ok(ThreadOutcome {
         result,
         wall: start.elapsed(),
         world: world.into_world(),
         stats,
         telemetry,
+        metrics,
     })
 }
 
@@ -316,6 +370,12 @@ struct SectionCtx<'a> {
     queue_batch: usize,
     /// Span sink when [`ExecConfig::telemetry`] is on.
     telemetry: Option<&'a TelemetrySink>,
+    /// Metrics sink when [`ExecConfig::metrics`] is on. Workers record
+    /// into private state and publish once at exit.
+    metrics: Option<&'a MetricsSink>,
+    /// CommSet set names indexed by lock rank — the `lock_wait.<SET>`
+    /// histogram keys.
+    lock_sets: &'a [String],
     /// The run's epoch: span and trace timestamps are nanoseconds since
     /// this instant.
     epoch: Instant,
@@ -353,6 +413,7 @@ fn run_section(
     cfg: &ExecConfig,
     injector: &FaultInjector,
     sink: Option<&TelemetrySink>,
+    msink: Option<&MetricsSink>,
     epoch: Instant,
     section_ord: usize,
 ) -> Result<SectionOutcome, ExecError> {
@@ -388,6 +449,7 @@ fn run_section(
                 && ls.members.iter().all(|m| registry.delta_covered(m))
         })
         .collect();
+    let lock_sets: Vec<String> = plan.locks.iter().map(|l| l.set.clone()).collect();
     let ctx = SectionCtx {
         module,
         bc,
@@ -406,6 +468,8 @@ fn run_section(
         trace: cfg.trace.as_ref(),
         queue_batch: cfg.queue_batch.max(1),
         telemetry: sink,
+        metrics: msink,
+        lock_sets: &lock_sets,
         epoch,
         section_ord,
     };
@@ -443,6 +507,7 @@ fn run_section(
                 }
             });
         }
+        let journal = cfg.journal.as_ref();
         let handles: Vec<_> = plan
             .workers
             .iter()
@@ -480,6 +545,18 @@ fn run_section(
                     if outcome.is_err() {
                         // Unblock every sibling parked in a queue or lock.
                         ctx.cancel.store(true, Ordering::SeqCst);
+                    }
+                    if let Some(j) = journal {
+                        j.record(JournalEvent {
+                            section: Some(ctx.section_ord as u64),
+                            worker: Some(widx as u64),
+                            ..JournalEvent::new(
+                                "worker_done",
+                                ctx.epoch.elapsed().as_nanos() as u64,
+                            )
+                            .field("stage", func.clone())
+                            .field("ok", outcome.is_ok().to_string())
+                        });
                     }
                     outcome
                 })
@@ -561,6 +638,7 @@ fn run_section(
     if delta_on {
         let mut bufs = delta_out.into_inner();
         bufs.sort_by_key(|(w, _)| *w);
+        let mut merge_sizes: Vec<u64> = Vec::new();
         if let WorldStore::Sharded(sw) = world {
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 for (_, buf) in bufs {
@@ -573,13 +651,22 @@ fn run_section(
                     }
                     delta.coalesces += 1;
                     delta.applies += buf.applies;
-                    delta.merged_slots += sw.coalesce_delta(registry, buf);
+                    let slots = sw.coalesce_delta(registry, buf);
+                    delta.merged_slots += slots;
+                    merge_sizes.push(slots);
                 }
             }))
             .map_err(|payload| ExecError::WorkerFailed {
                 stage: "__delta_coalesce".into(),
                 cause: panic_message(&*payload),
             })?;
+        }
+        if let Some(ms) = msink {
+            let mut reg = MetricsRegistry::new();
+            for slots in merge_sizes {
+                reg.observe("delta.merge_slots", slots);
+            }
+            ms.publish(&reg);
         }
     }
     let meta = sink.map(|_| SectionMeta {
@@ -647,6 +734,12 @@ fn worker_loop(
     let canceled = || ExecError::Canceled { stage: func.into() };
     let mut vm = EngineVm::for_name(ctx.module, ctx.bc, func, &[Value::Int(tid), Value::Int(nt)])?;
     let telemetry_on = ctx.telemetry.is_some();
+    // Metrics accumulate into worker-private state and publish once at
+    // normal exit; failed/canceled workers drop their partial metrics
+    // (exactly like their partial delta buffers).
+    let metrics_on = ctx.metrics.is_some();
+    let mut mloc = metrics_on.then(MetricsLocal::new);
+    let mut mreg = metrics_on.then(MetricsRegistry::new);
     if ctx.trace.is_some() || telemetry_on {
         vm.watch_calls_matching("__commset_region_");
     }
@@ -688,6 +781,9 @@ fn worker_loop(
         if ctx.cancel.load(Ordering::Relaxed) {
             return Err(canceled());
         }
+        // Sampled before the step so a retired op attributes to the site
+        // that produced it.
+        let site = if metrics_on { vm.bc_site() } else { None };
         let step = vm.step(&mut globals)?;
         if ctx.trace.is_some() || telemetry_on {
             for ev in vm.drain_call_events() {
@@ -719,7 +815,11 @@ fn worker_loop(
             }
         }
         match step {
-            StepOutcome::Ran { .. } => {}
+            StepOutcome::Ran { cost } => {
+                if let (Some(ml), Some(site), Some(bcm)) = (mloc.as_mut(), site, ctx.bc) {
+                    ml.retire(bcm, site, cost);
+                }
+            }
             StepOutcome::Finished(_) => {
                 // Publish any staged queue values before exiting.
                 if !flush_staged(ctx, &mut staged) {
@@ -732,6 +832,14 @@ fn worker_loop(
                     if !buf.is_empty() || buf.lock_elisions > 0 {
                         ctx.delta_out.lock().push((widx, buf));
                     }
+                }
+                // Publish this worker's metrics in one batch.
+                if let Some(ms) = ctx.metrics {
+                    let mut reg = mreg.take().unwrap_or_default();
+                    if let (Some(ml), Some(bcm)) = (mloc.as_ref(), ctx.bc) {
+                        ml.publish(ctx.module, bcm, &mut reg);
+                    }
+                    ms.publish(&reg);
                 }
                 return Ok(());
             }
@@ -761,15 +869,24 @@ fn worker_loop(
                         if let Some(wd) = ctx.watchdog {
                             wd.acquiring(widx, l);
                         }
-                        let t0 = if telemetry_on { now() } else { 0 };
+                        let t0 = if telemetry_on || metrics_on { now() } else { 0 };
                         if !ctx.locks[l].acquire_canceling(ctx.cancel) {
                             if let Some(wd) = ctx.watchdog {
                                 wd.wait_abandoned(widx);
                             }
                             return Err(canceled());
                         }
-                        if telemetry_on {
-                            span(spans, t0, now(), SpanKind::LockWait { rank: l });
+                        if telemetry_on || metrics_on {
+                            let t1 = now();
+                            if telemetry_on {
+                                span(spans, t0, t1, SpanKind::LockWait { rank: l });
+                            }
+                            if let Some(mr) = mreg.as_mut() {
+                                mr.observe(
+                                    &format!("lock_wait.{}", ctx.lock_sets[l]),
+                                    t1.saturating_sub(t0),
+                                );
+                            }
                         }
                         if let Some(wd) = ctx.watchdog {
                             wd.acquired(widx, l);
@@ -833,6 +950,12 @@ fn worker_loop(
                             let t = now();
                             span(spans, t, t, SpanKind::QueuePush { queue: id });
                         }
+                        if let Some(mr) = mreg.as_mut() {
+                            mr.observe(
+                                &format!("queue_occupancy.{id}"),
+                                ctx.queues[q].len() as u64,
+                            );
+                        }
                         vm.resolve_special(Value::Int(0));
                         if let Some(tr) = ctx.trace {
                             tr.record(widx, now(), TraceEvent::QueuePush { queue: id });
@@ -880,6 +1003,12 @@ fn worker_loop(
                             let t = now();
                             span(spans, t, t, SpanKind::QueuePop { queue: id });
                         }
+                        if let Some(mr) = mreg.as_mut() {
+                            mr.observe(
+                                &format!("queue_occupancy.{id}"),
+                                ctx.queues[q].len() as u64,
+                            );
+                        }
                         vm.resolve_special(Value::from_bits(bits, name == "__q_pop_f"));
                         if let Some(tr) = ctx.trace {
                             tr.record(widx, now(), TraceEvent::QueuePop { queue: id });
@@ -907,6 +1036,10 @@ fn worker_loop(
                             // Pessimistic TM: the window commits, no aborts.
                             span(spans, tx_start, now(), SpanKind::Tx { aborts: 0 });
                         }
+                        if let Some(mr) = mreg.as_mut() {
+                            // Pessimistic TM here: every window commits.
+                            mr.inc("tm.commits", 1);
+                        }
                         ctx.tm_lock.release();
                         in_tx = false;
                         vm.resolve_special(Value::Int(0));
@@ -918,17 +1051,26 @@ fn worker_loop(
                         // worker-private buffer — no shard lock, no STM.
                         if let Some(buf) = delta_buf.as_mut() {
                             if let Some(slots) = ctx.registry.delta_route(name, &p.args) {
-                                let t0 = if telemetry_on { now() } else { 0 };
+                                let t0 = if telemetry_on || metrics_on { now() } else { 0 };
                                 let out = buf.apply(ctx.registry, name, &p.args, &slots);
-                                if telemetry_on {
-                                    span(
-                                        spans,
-                                        t0,
-                                        now(),
-                                        SpanKind::WorldCall {
-                                            intrinsic: name.to_string(),
-                                        },
-                                    );
+                                if telemetry_on || metrics_on {
+                                    let t1 = now();
+                                    if telemetry_on {
+                                        span(
+                                            spans,
+                                            t0,
+                                            t1,
+                                            SpanKind::WorldCall {
+                                                intrinsic: name.to_string(),
+                                            },
+                                        );
+                                    }
+                                    if let Some(mr) = mreg.as_mut() {
+                                        mr.observe(
+                                            &format!("world_call.{name}"),
+                                            t1.saturating_sub(t0),
+                                        );
+                                    }
                                 }
                                 vm.resolve_special(out.value);
                                 if let Some(tr) = ctx.trace {
@@ -955,17 +1097,23 @@ fn worker_loop(
                             rank_base: ctx.locks.len(),
                             injector: Some(ctx.injector),
                         };
-                        let t0 = if telemetry_on { now() } else { 0 };
+                        let t0 = if telemetry_on || metrics_on { now() } else { 0 };
                         let out = ctx.world.call(ctx.registry, name, &p.args, &obs);
-                        if telemetry_on {
-                            span(
-                                spans,
-                                t0,
-                                now(),
-                                SpanKind::WorldCall {
-                                    intrinsic: name.to_string(),
-                                },
-                            );
+                        if telemetry_on || metrics_on {
+                            let t1 = now();
+                            if telemetry_on {
+                                span(
+                                    spans,
+                                    t0,
+                                    t1,
+                                    SpanKind::WorldCall {
+                                        intrinsic: name.to_string(),
+                                    },
+                                );
+                            }
+                            if let Some(mr) = mreg.as_mut() {
+                                mr.observe(&format!("world_call.{name}"), t1.saturating_sub(t0));
+                            }
                         }
                         vm.resolve_special(out.value);
                         if let Some(tr) = ctx.trace {
@@ -1188,6 +1336,43 @@ mod tests {
         world2.install("acc", 0i64);
         let out2 = run_threaded(&module2, &registry(), &[plan2], world2).unwrap();
         assert!(out2.telemetry.is_none());
+    }
+
+    #[test]
+    fn metrics_and_journal_attach_and_stay_opt_in() {
+        let (module, plan) = compile_doall(SUM_SRC, 3, SyncMode::Spin);
+        let mut world = World::new();
+        world.install("acc", 0i64);
+        let journal = commset_telemetry::Journal::new(42);
+        let cfg = ExecConfig {
+            metrics: true,
+            journal: Some(journal.clone()),
+            ..ExecConfig::default()
+        };
+        let out = run_threaded_with(&module, &registry(), &[plan], world, &cfg).unwrap();
+        assert_eq!(*out.world.get::<i64>("acc"), (0..200).sum::<i64>());
+        let reg = out.metrics.expect("metrics on must attach a registry");
+        assert!(!reg.opcodes().is_empty(), "opcode retires recorded");
+        assert!(
+            reg.blocks().keys().all(|k| k.contains(":bb")),
+            "{:?}",
+            reg.blocks()
+        );
+        assert!(
+            reg.hists().keys().any(|k| k.starts_with("lock_wait.")),
+            "lock waits observed: {:?}",
+            reg.hists().keys().collect::<Vec<_>>()
+        );
+        let jsonl = journal.to_jsonl();
+        for kind in ["section_start", "worker_done", "section_end", "metrics"] {
+            assert!(jsonl.contains(&format!("\"kind\":\"{kind}\"")), "{jsonl}");
+        }
+        // Off by default: no registry attached.
+        let (module2, plan2) = compile_doall(SUM_SRC, 3, SyncMode::Spin);
+        let mut world2 = World::new();
+        world2.install("acc", 0i64);
+        let out2 = run_threaded(&module2, &registry(), &[plan2], world2).unwrap();
+        assert!(out2.metrics.is_none());
     }
 
     #[test]

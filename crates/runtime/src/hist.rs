@@ -1,0 +1,208 @@
+//! A log2-bucketed histogram for low-overhead latency/size attribution.
+//!
+//! [`Hist64`] is the single histogram shape the metrics layer records
+//! into: 64 power-of-two buckets (bucket `i` holds samples whose value
+//! has `i` significant bits, i.e. `[2^(i-1), 2^i)` for `i > 0`, with
+//! bucket 0 reserved for zero), plus exact `count`/`sum`/`max`
+//! aggregates. Recording is two adds and a `leading_zeros` — cheap
+//! enough for per-event use on hot paths — and merging is element-wise,
+//! so per-worker histograms combine deterministically regardless of
+//! publication order.
+
+/// Number of log2 buckets (one per possible bit width of a `u64`,
+/// plus bucket 0 for the value zero).
+pub const HIST_BUCKETS: usize = 64;
+
+/// A mergeable log2-bucketed histogram over `u64` samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hist64 {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Hist64 {
+    fn default() -> Self {
+        Hist64 {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+/// Bucket index for a sample: 0 for zero, otherwise the number of
+/// significant bits (so 1→1, 2..3→2, 4..7→3, ...).
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+impl Hist64 {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v).min(HIST_BUCKETS - 1)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds `other` into `self` (element-wise; commutative and
+    /// associative, so publication order never changes the merged
+    /// result).
+    pub fn merge(&mut self, other: &Hist64) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample value, rounded down (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Approximate quantile (`q` in 0..=100): walks the buckets to the
+    /// one containing the q-th percentile sample and returns that
+    /// bucket's upper bound. Exact for zero, within 2x otherwise.
+    pub fn percentile(&self, q: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (self.count.saturating_mul(q.min(100))).div_ceil(100).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return if i == 0 {
+                    0
+                } else {
+                    (1u64 << i).saturating_sub(1)
+                };
+            }
+        }
+        self.max
+    }
+
+    /// The raw bucket counts (for serialization).
+    pub fn buckets(&self) -> &[u64; HIST_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Rebuilds a histogram from serialized parts (missing trailing
+    /// buckets default to zero; extras are ignored). The inverse of
+    /// reading [`buckets`](Self::buckets)/[`count`](Self::count)/
+    /// [`sum`](Self::sum)/[`max`](Self::max) — used by the journal
+    /// loader to round-trip saved metrics.
+    pub fn from_parts(buckets: &[u64], count: u64, sum: u64, max: u64) -> Self {
+        let mut h = Hist64 {
+            buckets: [0; HIST_BUCKETS],
+            count,
+            sum,
+            max,
+        };
+        for (dst, src) in h.buckets.iter_mut().zip(buckets.iter()) {
+            *dst = *src;
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_follow_bit_width() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn record_and_aggregates() {
+        let mut h = Hist64::new();
+        for v in [0, 1, 2, 3, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 106);
+        assert_eq!(h.max(), 100);
+        assert_eq!(h.mean(), 21);
+        assert!(!h.is_empty());
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[2], 2);
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let mut a = Hist64::new();
+        let mut b = Hist64::new();
+        for v in [5, 9, 1000] {
+            a.record(v);
+        }
+        for v in [0, 7, 63] {
+            b.record(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count(), 6);
+        assert_eq!(ab.sum(), 5 + 9 + 1000 + 7 + 63);
+    }
+
+    #[test]
+    fn percentile_brackets_the_samples() {
+        let mut h = Hist64::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let p50 = h.percentile(50);
+        assert!((32..=127).contains(&p50), "p50 = {p50}");
+        assert_eq!(h.percentile(100), 127);
+        assert_eq!(Hist64::new().percentile(99), 0);
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let mut h = Hist64::new();
+        for v in [3, 17, 900, 0] {
+            h.record(v);
+        }
+        let back = Hist64::from_parts(h.buckets(), h.count(), h.sum(), h.max());
+        assert_eq!(back, h);
+    }
+}

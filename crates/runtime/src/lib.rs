@@ -27,9 +27,12 @@
 //! * [`delta`] — CCD-style delta privatization: per-worker buffers for
 //!   commutative updates plus the declared merge operators that coalesce
 //!   them at the section barrier.
+//! * [`hist`] — the log2-bucketed [`Hist64`] histogram the metrics layer
+//!   records latency/size distributions into.
 
 pub mod delta;
 pub mod fault;
+pub mod hist;
 pub mod intrinsics;
 pub mod lock;
 pub mod queue;
@@ -43,6 +46,7 @@ pub mod world;
 
 pub use delta::{DeltaBuffer, DeltaSnapshot, MergeSpec, DELTA_POISON_MSG};
 pub use fault::{FaultInjector, FaultPlan, FaultStats, SlowWorker, WorkerStall};
+pub use hist::{Hist64, HIST_BUCKETS};
 pub use intrinsics::{IntrinsicOutcome, Registry, Route, SlotBinding};
 pub use queue::SpscQueue;
 pub use sharded::{

@@ -1,0 +1,238 @@
+//! The structured JSONL event journal with causal IDs.
+//!
+//! Every supervised run can carry a [`Journal`]: an append-only event
+//! log whose entries are causally addressed `run → supervisor attempt →
+//! ladder rung → section → worker`, so a failure three rungs deep in the
+//! degradation ladder is attributable to the exact attempt and worker
+//! that produced it — and replay-linkable to the `.repro.json` bundle
+//! captured for it (bundles embed the same `run_id`).
+//!
+//! Events serialize one-per-line as JSON objects ([`Journal::to_jsonl`])
+//! with a stable field order: `run` (16-hex-digit causal run id), `t`
+//! (deterministic ticks on the DES, monotonic nanos on threads), `kind`,
+//! the optional causal coordinates, then free-form string `fields`. The
+//! final event of a metrics-enabled run is `kind="metrics"` whose
+//! `metrics` field embeds the merged [`MetricsRegistry`] JSON — saved
+//! journals are self-contained inputs for `commsetc report --journal`.
+
+use crate::json::escape;
+use crate::metrics::MetricsRegistry;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+/// One journal entry. `t` is in the clock unit of the emitting executor;
+/// unset causal coordinates mean "not applicable at this scope" (e.g. a
+/// supervisor-level event has no section or worker).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct JournalEvent {
+    /// Event timestamp (ticks on the DES, nanos on threads, 0 when the
+    /// emitter has no clock — e.g. supervisor control-flow events).
+    pub t: u64,
+    /// Event kind, e.g. `run_start`, `attempt_start`, `section_start`,
+    /// `worker_done`, `bundle_captured`, `metrics`, `run_end`.
+    pub kind: String,
+    /// 1-based supervisor attempt number.
+    pub attempt: Option<u64>,
+    /// Ladder rung description, e.g. `threads(sharded, 8)`.
+    pub rung: Option<String>,
+    /// Parallel-section ordinal within the program.
+    pub section: Option<u64>,
+    /// Worker index within the section.
+    pub worker: Option<u64>,
+    /// Free-form key/value payload (values are strings; JSON payloads
+    /// nest as escaped strings).
+    pub fields: Vec<(String, String)>,
+}
+
+impl JournalEvent {
+    /// A bare event of `kind` at time `t`.
+    pub fn new(kind: &str, t: u64) -> Self {
+        JournalEvent {
+            t,
+            kind: kind.to_string(),
+            ..JournalEvent::default()
+        }
+    }
+
+    /// Appends one payload field.
+    pub fn field(mut self, key: &str, value: impl Into<String>) -> Self {
+        self.fields.push((key.to_string(), value.into()));
+        self
+    }
+}
+
+#[derive(Debug, Default)]
+struct JournalState {
+    events: Vec<JournalEvent>,
+}
+
+/// A shared, append-only journal handle. Clones refer to the same log;
+/// appends take a mutex, so emitters keep journal writes off per-step
+/// hot paths (section/worker/attempt boundaries only).
+#[derive(Debug, Clone)]
+pub struct Journal {
+    run_id: u64,
+    inner: Arc<Mutex<JournalState>>,
+}
+
+impl Journal {
+    /// A fresh journal for causal run `run_id`.
+    pub fn new(run_id: u64) -> Self {
+        Journal {
+            run_id,
+            inner: Arc::new(Mutex::new(JournalState::default())),
+        }
+    }
+
+    /// Derives a deterministic run id from identifying parts (FNV-1a
+    /// over the parts, NUL-separated) — no wall clock, so the same
+    /// program + config always yields the same causal id.
+    pub fn derive_run_id(parts: &[&str]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for p in parts {
+            for b in p.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            h ^= 0;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+
+    /// The causal run id this journal stamps on every event.
+    pub fn run_id(&self) -> u64 {
+        self.run_id
+    }
+
+    /// Appends one event.
+    pub fn record(&self, ev: JournalEvent) {
+        let mut g = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        g.events.push(ev);
+    }
+
+    /// Appends the terminal `metrics` event embedding the merged
+    /// registry JSON (making the journal self-contained for
+    /// `commsetc report --journal`).
+    pub fn record_metrics(&self, t: u64, metrics: &MetricsRegistry) {
+        self.record(JournalEvent::new("metrics", t).field("metrics", metrics.to_json()));
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        let g = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        g.events.len()
+    }
+
+    /// True when no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A snapshot of the recorded events.
+    pub fn events(&self) -> Vec<JournalEvent> {
+        let g = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        g.events.clone()
+    }
+
+    /// Renders the journal as JSONL: one JSON object per event, in
+    /// append order, each stamped with this journal's run id.
+    pub fn to_jsonl(&self) -> String {
+        let g = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let mut out = String::new();
+        for ev in &g.events {
+            let _ = write!(
+                out,
+                "{{\"run\":\"{:016x}\",\"t\":{},\"kind\":\"{}\"",
+                self.run_id,
+                ev.t,
+                escape(&ev.kind)
+            );
+            if let Some(a) = ev.attempt {
+                let _ = write!(out, ",\"attempt\":{a}");
+            }
+            if let Some(r) = &ev.rung {
+                let _ = write!(out, ",\"rung\":\"{}\"", escape(r));
+            }
+            if let Some(sec) = ev.section {
+                let _ = write!(out, ",\"section\":{sec}");
+            }
+            if let Some(w) = ev.worker {
+                let _ = write!(out, ",\"worker\":{w}");
+            }
+            if !ev.fields.is_empty() {
+                out.push_str(",\"fields\":{");
+                for (i, (k, v)) in ev.fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "\"{}\":\"{}\"", escape(k), escape(v));
+                }
+                out.push('}');
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_ids_are_deterministic_and_input_sensitive() {
+        let a = Journal::derive_run_id(&["md5sum.cmm", "doall", "8"]);
+        let b = Journal::derive_run_id(&["md5sum.cmm", "doall", "8"]);
+        let c = Journal::derive_run_id(&["md5sum.cmm", "doall", "4"]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn jsonl_has_one_object_per_event_with_causal_ids() {
+        let j = Journal::new(0xabcd);
+        j.record(JournalEvent::new("run_start", 0).field("backend", "sim"));
+        j.record(JournalEvent {
+            attempt: Some(1),
+            rung: Some("threads(sharded, 8)".to_string()),
+            section: Some(0),
+            worker: Some(3),
+            ..JournalEvent::new("worker_done", 42)
+        });
+        let text = j.to_jsonl();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"run\":\"000000000000abcd\""));
+        assert!(lines[0].contains("\"kind\":\"run_start\""));
+        assert!(lines[0].contains("\"fields\":{\"backend\":\"sim\"}"));
+        assert!(lines[1].contains("\"attempt\":1"));
+        assert!(lines[1].contains("\"rung\":\"threads(sharded, 8)\""));
+        assert!(lines[1].contains("\"section\":0"));
+        assert!(lines[1].contains("\"worker\":3"));
+        for line in lines {
+            assert_eq!(line.matches('{').count(), line.matches('}').count());
+        }
+    }
+
+    #[test]
+    fn clones_share_the_log() {
+        let j = Journal::new(1);
+        let j2 = j.clone();
+        j2.record(JournalEvent::new("x", 0));
+        assert_eq!(j.len(), 1);
+        assert!(!j.is_empty());
+    }
+
+    #[test]
+    fn metrics_event_embeds_registry_json() {
+        let j = Journal::new(9);
+        let mut m = MetricsRegistry::new();
+        m.inc("delta.applies", 3);
+        j.record_metrics(77, &m);
+        let text = j.to_jsonl();
+        assert!(text.contains("\"kind\":\"metrics\""));
+        // The registry JSON rides inside the string field, escaped.
+        assert!(text.contains("\\\"delta.applies\\\":3"));
+    }
+}

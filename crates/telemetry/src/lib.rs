@@ -20,17 +20,29 @@
 //!   `chrome://tracing` or <https://ui.perfetto.dev>.
 //! * [`json`] — the tiny shared JSON-writing helpers (the workspace has
 //!   no serialization dependency by design).
+//! * [`metrics`] — the always-on [`metrics::MetricsRegistry`]: monotonic
+//!   counters, log2-bucketed histograms, and bytecode hotspot
+//!   attribution (per-opcode retires, hot-block ranks), merged from
+//!   per-worker local state published once at worker exit.
+//! * [`journal`] — the structured JSONL event [`journal::Journal`] with
+//!   causal IDs (run → attempt → rung → section → worker),
+//!   replay-linkable to `.repro.json` failure bundles.
 //!
 //! Telemetry is zero-cost when off: executors consult one `bool` knob
-//! (`ExecConfig::telemetry` in `commset-interp`) and touch nothing else.
+//! per layer (`ExecConfig::telemetry` / `ExecConfig::metrics` in
+//! `commset-interp`) and touch nothing else.
 
 pub mod chrome;
+pub mod journal;
 pub mod json;
+pub mod metrics;
 pub mod recovery;
 pub mod report;
 pub mod span;
 
 pub use chrome::{chrome_trace_json, ChromeTraceBuilder};
+pub use journal::{Journal, JournalEvent};
+pub use metrics::{MetricsRegistry, MetricsSink};
 pub use recovery::RecoveryReport;
 pub use report::{
     ClockUnit, LockReport, QueueReport, RunCounters, RunReport, SectionMeta, SectionProfile,

@@ -94,6 +94,8 @@ pub struct RunCounters {
     pub max_blocked: usize,
     /// Sharded-world contention counters (zero under the single lock).
     pub shard: ShardStatsSnapshot,
+    /// Delta-privatization counters (zero outside `WorldMode::Deltas`).
+    pub delta: commset_runtime::DeltaSnapshot,
     /// Transactions committed (simulated TM model).
     pub tm_commits: u64,
     /// Transactions aborted.
@@ -386,6 +388,11 @@ impl RunReport {
         );
         let _ = writeln!(
             out,
+            "  delta: applies={} coalesces={} merged_slots={} lock_elisions={}",
+            c.delta.applies, c.delta.coalesces, c.delta.merged_slots, c.delta.lock_elisions
+        );
+        let _ = writeln!(
+            out,
             "  watchdog: {} (checks={}, max_blocked={})",
             if c.watchdog_clean {
                 "clean"
@@ -491,6 +498,8 @@ impl RunReport {
              \"stalls\": {}, \"shard_holds\": {}}}, \"stm\": {{\"commits\": {}, \
              \"aborts\": {}, \"fallbacks\": {}}}, \"shard\": {{\"fast_acquires\": {}, \
              \"fast_waits\": {}, \"multi_acquires\": {}, \"whole_acquires\": {}}}, \
+             \"delta\": {{\"applies\": {}, \"coalesces\": {}, \"merged_slots\": {}, \
+             \"lock_elisions\": {}}}, \
              \"queue_full_spins\": {}, \"queue_empty_spins\": {}, \"queue_drained\": {}, \
              \"watchdog\": {{\"clean\": {}, \"checks\": {}, \"max_blocked\": {}}}}}}}",
             c.fault.stm_aborts,
@@ -504,6 +513,10 @@ impl RunReport {
             c.shard.fast_waits,
             c.shard.multi_acquires,
             c.shard.whole_acquires,
+            c.delta.applies,
+            c.delta.coalesces,
+            c.delta.merged_slots,
+            c.delta.lock_elisions,
             c.queue_full_spins,
             c.queue_empty_spins,
             c.queue_drained,
